@@ -1,0 +1,188 @@
+//! The auction-site [`Application`]: interaction catalog and dispatch.
+
+use crate::populate::AuctionScale;
+use crate::schema::{CATEGORY_COUNT, REGION_COUNT};
+use crate::{ejb_logic, sql_logic};
+use dynamid_core::{
+    AppLockSpec, AppResult, Application, InteractionSpec, LogicStyle, RequestCtx, SessionData,
+};
+use dynamid_sim::SimRng;
+
+/// Interaction ids, in catalog order (the 26 interactions of §3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Interaction {
+    Home = 0,
+    Register = 1,
+    RegisterUser = 2,
+    Browse = 3,
+    BrowseCategories = 4,
+    SearchItemsInCategory = 5,
+    BrowseRegions = 6,
+    BrowseCategoriesInRegion = 7,
+    SearchItemsInRegion = 8,
+    ViewItem = 9,
+    ViewUserInfo = 10,
+    ViewBidHistory = 11,
+    BuyNowAuth = 12,
+    BuyNow = 13,
+    StoreBuyNow = 14,
+    PutBidAuth = 15,
+    PutBid = 16,
+    StoreBid = 17,
+    PutCommentAuth = 18,
+    PutComment = 19,
+    StoreComment = 20,
+    Sell = 21,
+    SelectCategoryToSellItem = 22,
+    SellItemForm = 23,
+    RegisterItem = 24,
+    AboutMe = 25,
+}
+
+/// The 26 auction-site interactions. Five modify the database
+/// (RegisterUser, StoreBuyNow, StoreBid, StoreComment, RegisterItem).
+pub const INTERACTIONS: [InteractionSpec; 26] = [
+    InteractionSpec { name: "Home", read_only: true, secure: false },
+    InteractionSpec { name: "Register", read_only: true, secure: false },
+    InteractionSpec { name: "RegisterUser", read_only: false, secure: false },
+    InteractionSpec { name: "Browse", read_only: true, secure: false },
+    InteractionSpec { name: "BrowseCategories", read_only: true, secure: false },
+    InteractionSpec { name: "SearchItemsInCategory", read_only: true, secure: false },
+    InteractionSpec { name: "BrowseRegions", read_only: true, secure: false },
+    InteractionSpec { name: "BrowseCategoriesInRegion", read_only: true, secure: false },
+    InteractionSpec { name: "SearchItemsInRegion", read_only: true, secure: false },
+    InteractionSpec { name: "ViewItem", read_only: true, secure: false },
+    InteractionSpec { name: "ViewUserInfo", read_only: true, secure: false },
+    InteractionSpec { name: "ViewBidHistory", read_only: true, secure: false },
+    InteractionSpec { name: "BuyNowAuth", read_only: true, secure: false },
+    InteractionSpec { name: "BuyNow", read_only: true, secure: false },
+    InteractionSpec { name: "StoreBuyNow", read_only: false, secure: false },
+    InteractionSpec { name: "PutBidAuth", read_only: true, secure: false },
+    InteractionSpec { name: "PutBid", read_only: true, secure: false },
+    InteractionSpec { name: "StoreBid", read_only: false, secure: false },
+    InteractionSpec { name: "PutCommentAuth", read_only: true, secure: false },
+    InteractionSpec { name: "PutComment", read_only: true, secure: false },
+    InteractionSpec { name: "StoreComment", read_only: false, secure: false },
+    InteractionSpec { name: "Sell", read_only: true, secure: false },
+    InteractionSpec { name: "SelectCategoryToSellItem", read_only: true, secure: false },
+    InteractionSpec { name: "SellItemForm", read_only: true, secure: false },
+    InteractionSpec { name: "RegisterItem", read_only: false, secure: false },
+    InteractionSpec { name: "AboutMe", read_only: true, secure: false },
+];
+
+/// The auction-site benchmark application (RUBiS-style).
+#[derive(Debug, Clone)]
+pub struct Auction {
+    scale: AuctionScale,
+}
+
+impl Auction {
+    /// Creates the application for a database populated at `scale`.
+    pub fn new(scale: AuctionScale) -> Self {
+        Auction { scale }
+    }
+
+    /// The population scale handlers draw random entities from.
+    pub fn scale(&self) -> &AuctionScale {
+        &self.scale
+    }
+
+    /// A random live-item id, Zipf-skewed toward popular (low-id) items.
+    pub fn random_item(&self, rng: &mut SimRng) -> i64 {
+        rng.zipf(self.scale.live_items, 0.4) as i64 + 1
+    }
+
+    /// A random registered user's nickname.
+    pub fn random_nickname(&self, rng: &mut SimRng) -> String {
+        format!("U{}", rng.index(self.scale.users))
+    }
+
+    /// A random user id.
+    pub fn random_user(&self, rng: &mut SimRng) -> i64 {
+        rng.uniform_i64(1, self.scale.users as i64)
+    }
+
+    /// A random category id.
+    pub fn random_category(&self, rng: &mut SimRng) -> i64 {
+        rng.uniform_i64(1, CATEGORY_COUNT as i64)
+    }
+
+    /// A random region id.
+    pub fn random_region(&self, rng: &mut SimRng) -> i64 {
+        rng.uniform_i64(1, REGION_COUNT as i64)
+    }
+}
+
+impl Application for Auction {
+    fn name(&self) -> &str {
+        "auction"
+    }
+
+    fn interactions(&self) -> &[InteractionSpec] {
+        &INTERACTIONS
+    }
+
+    fn app_locks(&self) -> Vec<AppLockSpec> {
+        vec![
+            // Per-item mutexes for bid/buy-now updates.
+            AppLockSpec::new("item", 128),
+            // Per-user mutexes for rating updates.
+            AppLockSpec::new("user", 128),
+            // The ids bookkeeping row.
+            AppLockSpec::new("ids", 1),
+        ]
+    }
+
+    fn handle(
+        &self,
+        id: usize,
+        ctx: &mut RequestCtx<'_>,
+        session: &mut SessionData,
+        rng: &mut SimRng,
+    ) -> AppResult<()> {
+        match ctx.style() {
+            LogicStyle::ExplicitSql { .. } => sql_logic::handle(self, id, ctx, session, rng),
+            LogicStyle::EntityBean => ejb_logic::handle(self, id, ctx, session, rng),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_shape() {
+        assert_eq!(INTERACTIONS.len(), 26);
+        let writes: Vec<&str> = INTERACTIONS
+            .iter()
+            .filter(|s| !s.read_only)
+            .map(|s| s.name)
+            .collect();
+        assert_eq!(
+            writes,
+            vec![
+                "RegisterUser",
+                "StoreBuyNow",
+                "StoreBid",
+                "StoreComment",
+                "RegisterItem"
+            ]
+        );
+        // No SSL on the auction site.
+        assert!(INTERACTIONS.iter().all(|s| !s.secure));
+    }
+
+    #[test]
+    fn pickers_stay_in_range() {
+        let app = Auction::new(AuctionScale::small());
+        let mut rng = SimRng::new(2);
+        for _ in 0..200 {
+            assert!((1..=app.scale().live_items as i64).contains(&app.random_item(&mut rng)));
+            assert!((1..=app.scale().users as i64).contains(&app.random_user(&mut rng)));
+            assert!((1..=40).contains(&app.random_category(&mut rng)));
+            assert!((1..=62).contains(&app.random_region(&mut rng)));
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! # dynamid-auction — the eBay-style auction-site benchmark
+//!
+//! The paper's second benchmark (§3.2, the workload later distributed as
+//! RUBiS): selling, browsing, and bidding with visitor / buyer / seller
+//! sessions — nine tables and 26 interactions, in a browsing (read-only)
+//! and a bidding (15% read-write) mix.
+//!
+//! The auction site's queries are short (point reads, 25-row listing
+//! pages, single-row bid inserts), so the **dynamic-content generator** —
+//! not the database — is the bottleneck; this is the benchmark where the
+//! paper's front-end architecture differences (PHP vs co-located servlets
+//! vs dedicated servlet machine vs EJB) separate.
+//!
+//! Like the bookstore, every interaction is implemented twice:
+//! [`sql_logic`] (PHP/servlet architectures) and [`ejb_logic`] (session
+//! façades + entity beans).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod app;
+pub mod ejb_logic;
+pub mod mixes;
+pub mod populate;
+pub mod schema;
+pub mod sql_logic;
+
+pub use app::{Auction, Interaction, INTERACTIONS};
+pub use populate::{build_db, AuctionScale};

@@ -1,0 +1,128 @@
+//! The two auction workload mixes (§3.2 of the paper): a **browsing mix**
+//! of read-only interactions and a **bidding mix** with 15% read-write
+//! interactions ("the most representative of an auction site workload").
+//!
+//! As with the bookstore, each mix is realized as a Markov chain whose
+//! rows equal the target visit distribution, so long-run interaction
+//! shares match the specification exactly.
+
+use dynamid_workload::{Mix, TransitionMatrix};
+
+/// Bidding-mix interaction shares (15% read-write), in catalog order.
+pub const BIDDING_SHARES: [f64; 26] = [
+    1.8,  // Home
+    0.6,  // Register
+    1.5,  // RegisterUser (write)
+    3.0,  // Browse
+    5.0,  // BrowseCategories
+    16.0, // SearchItemsInCategory
+    2.0,  // BrowseRegions
+    2.2,  // BrowseCategoriesInRegion
+    4.8,  // SearchItemsInRegion
+    16.0, // ViewItem
+    3.0,  // ViewUserInfo
+    2.6,  // ViewBidHistory
+    1.3,  // BuyNowAuth
+    1.2,  // BuyNow
+    1.0,  // StoreBuyNow (write)
+    7.0,  // PutBidAuth
+    6.5,  // PutBid
+    7.0,  // StoreBid (write)
+    2.3,  // PutCommentAuth
+    2.2,  // PutComment
+    2.0,  // StoreComment (write)
+    1.2,  // Sell
+    1.1,  // SelectCategoryToSellItem
+    3.1,  // SellItemForm
+    3.5,  // RegisterItem (write)
+    2.1,  // AboutMe
+];
+
+/// Browsing-mix interaction shares (read-only).
+pub const BROWSING_SHARES: [f64; 26] = [
+    3.0,  // Home
+    0.0, 0.0, // Register flows excluded
+    6.0,  // Browse
+    9.0,  // BrowseCategories
+    27.0, // SearchItemsInCategory
+    4.0,  // BrowseRegions
+    5.0,  // BrowseCategoriesInRegion
+    10.0, // SearchItemsInRegion
+    22.0, // ViewItem
+    5.0,  // ViewUserInfo
+    6.0,  // ViewBidHistory
+    0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, // trade flows excluded
+    3.0,  // AboutMe
+];
+
+fn mix_from_shares(name: &str, shares: &[f64; 26]) -> Mix {
+    // States with zero mass keep a self-row equal to the target
+    // distribution too (they are simply never entered).
+    let rows = vec![shares.to_vec(); 26];
+    let matrix = TransitionMatrix::from_rows(rows).expect("static mix is valid");
+    let mut entry = vec![0.0; 26];
+    entry[0] = 1.0; // sessions start at Home
+    Mix::new(name, matrix, entry).expect("static mix is valid")
+}
+
+/// The bidding mix (15% read-write).
+pub fn bidding() -> Mix {
+    mix_from_shares("bidding", &BIDDING_SHARES)
+}
+
+/// The browsing mix (read-only).
+pub fn browsing() -> Mix {
+    mix_from_shares("browsing", &BROWSING_SHARES)
+}
+
+/// Both mixes in paper order (bidding first, as in §6).
+pub fn all() -> Vec<Mix> {
+    vec![bidding(), browsing()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::INTERACTIONS;
+
+    #[test]
+    fn shares_sum_to_100() {
+        assert!((BIDDING_SHARES.iter().sum::<f64>() - 100.0).abs() < 1e-9);
+        assert!((BROWSING_SHARES.iter().sum::<f64>() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bidding_mix_is_15_percent_write() {
+        let writes: f64 = INTERACTIONS
+            .iter()
+            .zip(&BIDDING_SHARES)
+            .filter(|(s, _)| !s.read_only)
+            .map(|(_, w)| w)
+            .sum();
+        assert!((writes - 15.0).abs() < 1e-9, "writes = {writes}");
+    }
+
+    #[test]
+    fn browsing_mix_is_read_only() {
+        for (spec, share) in INTERACTIONS.iter().zip(&BROWSING_SHARES) {
+            if !spec.read_only {
+                assert_eq!(*share, 0.0, "{} must be excluded", spec.name);
+            }
+        }
+    }
+
+    #[test]
+    fn mixes_construct() {
+        assert_eq!(bidding().interaction_count(), 26);
+        assert_eq!(browsing().interaction_count(), 26);
+        assert_eq!(all().len(), 2);
+    }
+
+    #[test]
+    fn estimated_write_share_matches() {
+        let mix = bidding();
+        let marker: Vec<bool> = INTERACTIONS.iter().map(|s| !s.read_only).collect();
+        let rw = mix.estimate_marked_share(&marker, 100_000, 11);
+        assert!((rw - 0.15).abs() < 0.01, "rw={rw}");
+    }
+}

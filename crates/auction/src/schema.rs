@@ -1,0 +1,170 @@
+//! The auction site's database schema (§3.2 of the paper).
+//!
+//! Nine tables, as the paper lists them: `users`, `items`, `old_items`,
+//! `bids`, `buy_now`, `comments`, `categories`, `regions`, and `ids`.
+//! The `items`/`old_items` split is the paper's working-set optimization:
+//! browsing and bidding touch only items currently on sale, so the hot
+//! table stays small. The per-item `nb_of_bids`/`max_bid` columns are the
+//! paper's denormalization "to prevent many expensive lookups on the bids
+//! table".
+
+use dynamid_sqldb::{ColumnType, Database, SqlResult, TableSchema};
+
+/// eBay-style category count used by the paper.
+pub const CATEGORY_COUNT: usize = 40;
+/// eBay-style region count used by the paper.
+pub const REGION_COUNT: usize = 62;
+
+fn item_table(name: &str) -> SqlResult<TableSchema> {
+    TableSchema::builder(name)
+        .column("id", ColumnType::Int)
+        .column("name", ColumnType::Str)
+        .column("description", ColumnType::Str)
+        .column("initial_price", ColumnType::Float)
+        .column("quantity", ColumnType::Int)
+        .column("reserve_price", ColumnType::Float)
+        .column("buy_now", ColumnType::Float)
+        .column("nb_of_bids", ColumnType::Int)
+        .column("max_bid", ColumnType::Float)
+        .column("start_date", ColumnType::Int)
+        .column("end_date", ColumnType::Int)
+        .column("seller", ColumnType::Int)
+        .column("category", ColumnType::Int)
+        .primary_key("id")
+        .auto_increment()
+        .index("seller")
+        .index("category")
+        .build()
+}
+
+/// Creates all nine tables in an empty database.
+///
+/// # Errors
+///
+/// Fails if any table already exists.
+pub fn create_schema(db: &mut Database) -> SqlResult<()> {
+    db.create_table(
+        TableSchema::builder("categories")
+            .column("id", ColumnType::Int)
+            .column("name", ColumnType::Str)
+            .primary_key("id")
+            .auto_increment()
+            .build()?,
+    )?;
+    db.create_table(
+        TableSchema::builder("regions")
+            .column("id", ColumnType::Int)
+            .column("name", ColumnType::Str)
+            .primary_key("id")
+            .auto_increment()
+            .build()?,
+    )?;
+    db.create_table(
+        TableSchema::builder("users")
+            .column("id", ColumnType::Int)
+            .column("firstname", ColumnType::Str)
+            .column("lastname", ColumnType::Str)
+            .column("nickname", ColumnType::Str)
+            .column("password", ColumnType::Str)
+            .column("email", ColumnType::Str)
+            .column("rating", ColumnType::Int)
+            .column("balance", ColumnType::Float)
+            .column("creation_date", ColumnType::Int)
+            .column("region", ColumnType::Int)
+            .primary_key("id")
+            .auto_increment()
+            .index("nickname")
+            .index("region")
+            .build()?,
+    )?;
+    db.create_table(item_table("items")?)?;
+    db.create_table(item_table("old_items")?)?;
+    db.create_table(
+        TableSchema::builder("bids")
+            .column("id", ColumnType::Int)
+            .column("user_id", ColumnType::Int)
+            .column("item_id", ColumnType::Int)
+            .column("qty", ColumnType::Int)
+            .column("bid", ColumnType::Float)
+            .column("max_bid", ColumnType::Float)
+            .column("date", ColumnType::Int)
+            .primary_key("id")
+            .auto_increment()
+            .index("user_id")
+            .index("item_id")
+            .build()?,
+    )?;
+    db.create_table(
+        TableSchema::builder("buy_now")
+            .column("id", ColumnType::Int)
+            .column("buyer_id", ColumnType::Int)
+            .column("item_id", ColumnType::Int)
+            .column("qty", ColumnType::Int)
+            .column("date", ColumnType::Int)
+            .primary_key("id")
+            .auto_increment()
+            .index("buyer_id")
+            .build()?,
+    )?;
+    db.create_table(
+        TableSchema::builder("comments")
+            .column("id", ColumnType::Int)
+            .column("from_user_id", ColumnType::Int)
+            .column("to_user_id", ColumnType::Int)
+            .column("item_id", ColumnType::Int)
+            .column("rating", ColumnType::Int)
+            .column("date", ColumnType::Int)
+            .column("comment", ColumnType::Str)
+            .primary_key("id")
+            .auto_increment()
+            .index("to_user_id")
+            .build()?,
+    )?;
+    db.create_table(
+        TableSchema::builder("ids")
+            .column("id", ColumnType::Int)
+            .column("table_name", ColumnType::Str)
+            .column("value", ColumnType::Int)
+            .primary_key("id")
+            .build()?,
+    )?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_creates_nine_tables() {
+        let mut db = Database::new();
+        create_schema(&mut db).unwrap();
+        let names = db.table_names();
+        assert_eq!(names.len(), 9);
+        for t in [
+            "users",
+            "items",
+            "old_items",
+            "bids",
+            "buy_now",
+            "comments",
+            "categories",
+            "regions",
+            "ids",
+        ] {
+            assert!(names.contains(&t), "missing table {t}");
+        }
+    }
+
+    #[test]
+    fn items_and_old_items_share_structure() {
+        let mut db = Database::new();
+        create_schema(&mut db).unwrap();
+        let a = db.table("items").unwrap().schema();
+        let b = db.table("old_items").unwrap().schema();
+        assert_eq!(a.columns().len(), b.columns().len());
+        for (ca, cb) in a.columns().iter().zip(b.columns()) {
+            assert_eq!(ca.name(), cb.name());
+        }
+    }
+}

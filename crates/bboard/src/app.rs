@@ -1,0 +1,132 @@
+//! The bulletin-board [`Application`]: interaction catalog and dispatch.
+
+use crate::populate::BboardScale;
+use crate::schema::CATEGORY_COUNT;
+use dynamid_core::{
+    AppLockSpec, AppResult, Application, InteractionSpec, RequestCtx, SessionData,
+};
+use dynamid_sim::SimRng;
+
+/// Interaction ids, in catalog order (a representative RUBBoS subset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Interaction {
+    StoriesOfTheDay = 0,
+    BrowseCategories = 1,
+    BrowseStoriesByCategory = 2,
+    OlderStories = 3,
+    ViewStory = 4,
+    AuthorInfo = 5,
+    Search = 6,
+    SubmitStoryForm = 7,
+    StoreStory = 8,
+    PostCommentForm = 9,
+    StoreComment = 10,
+    ModerateComment = 11,
+    ViewUserComments = 12,
+}
+
+/// The thirteen bulletin-board interactions; three write.
+pub const INTERACTIONS: [InteractionSpec; 13] = [
+    InteractionSpec { name: "StoriesOfTheDay", read_only: true, secure: false },
+    InteractionSpec { name: "BrowseCategories", read_only: true, secure: false },
+    InteractionSpec { name: "BrowseStoriesByCategory", read_only: true, secure: false },
+    InteractionSpec { name: "OlderStories", read_only: true, secure: false },
+    InteractionSpec { name: "ViewStory", read_only: true, secure: false },
+    InteractionSpec { name: "AuthorInfo", read_only: true, secure: false },
+    InteractionSpec { name: "Search", read_only: true, secure: false },
+    InteractionSpec { name: "SubmitStoryForm", read_only: true, secure: false },
+    InteractionSpec { name: "StoreStory", read_only: false, secure: false },
+    InteractionSpec { name: "PostCommentForm", read_only: true, secure: false },
+    InteractionSpec { name: "StoreComment", read_only: false, secure: false },
+    InteractionSpec { name: "ModerateComment", read_only: false, secure: false },
+    InteractionSpec { name: "ViewUserComments", read_only: true, secure: false },
+];
+
+/// The bulletin-board benchmark application.
+#[derive(Debug, Clone)]
+pub struct BulletinBoard {
+    scale: BboardScale,
+}
+
+impl BulletinBoard {
+    /// Creates the application for a database populated at `scale`.
+    pub fn new(scale: BboardScale) -> Self {
+        BulletinBoard { scale }
+    }
+
+    /// The population scale handlers draw random entities from.
+    pub fn scale(&self) -> &BboardScale {
+        &self.scale
+    }
+
+    /// A random live-story id (Zipf-skewed: front-page stories get most
+    /// traffic).
+    pub fn random_story(&self, rng: &mut SimRng) -> i64 {
+        rng.zipf(self.scale.stories, 0.7) as i64 + 1
+    }
+
+    /// A random user's nickname.
+    pub fn random_nickname(&self, rng: &mut SimRng) -> String {
+        format!("B{}", rng.index(self.scale.users))
+    }
+
+    /// A random user id.
+    pub fn random_user(&self, rng: &mut SimRng) -> i64 {
+        rng.uniform_i64(1, self.scale.users as i64)
+    }
+
+    /// A random category id.
+    pub fn random_category(&self, rng: &mut SimRng) -> i64 {
+        rng.uniform_i64(1, CATEGORY_COUNT as i64)
+    }
+}
+
+impl Application for BulletinBoard {
+    fn name(&self) -> &str {
+        "bboard"
+    }
+
+    fn interactions(&self) -> &[InteractionSpec] {
+        &INTERACTIONS
+    }
+
+    fn app_locks(&self) -> Vec<AppLockSpec> {
+        vec![
+            AppLockSpec::new("story", 64),
+            AppLockSpec::new("user", 64),
+        ]
+    }
+
+    fn handle(
+        &self,
+        id: usize,
+        ctx: &mut RequestCtx<'_>,
+        session: &mut SessionData,
+        rng: &mut SimRng,
+    ) -> AppResult<()> {
+        crate::logic::handle(self, id, ctx, session, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_shape() {
+        assert_eq!(INTERACTIONS.len(), 13);
+        let writes = INTERACTIONS.iter().filter(|s| !s.read_only).count();
+        assert_eq!(writes, 3);
+    }
+
+    #[test]
+    fn pickers_in_range() {
+        let app = BulletinBoard::new(BboardScale::small());
+        let mut rng = SimRng::new(1);
+        for _ in 0..100 {
+            assert!((1..=app.scale().stories as i64).contains(&app.random_story(&mut rng)));
+            assert!((1..=app.scale().users as i64).contains(&app.random_user(&mut rng)));
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! # dynamid-bboard — the bulletin-board benchmark (extension)
+//!
+//! The paper's related-work section (§7) mentions a third benchmark from
+//! the authors' earlier workload-characterization study — a Slashdot-style
+//! **bulletin board** (later distributed as RUBBoS) — and explains why it
+//! was left out: *"the Web server CPU is the bottleneck for the bulletin
+//! board. Therefore, we expect the results for the bulletin board to be
+//! similar to the auction site results."*
+//!
+//! This crate implements that benchmark so the prediction can be tested:
+//! a story/comment site with five tables and twelve interactions (a
+//! representative subset of RUBBoS's catalog), implemented — like the
+//! other two applications — in both the explicit-SQL and the entity-bean
+//! styles, with a read-heavy browse mix. The integration tests in
+//! `tests/` confirm the paper's expectation: the dynamic-content
+//! generator, not the database, is the bottleneck, and the configuration
+//! ordering matches the auction site's.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod app;
+pub mod logic;
+pub mod mixes;
+pub mod populate;
+pub mod schema;
+
+pub use app::{BulletinBoard, Interaction, INTERACTIONS};
+pub use populate::{build_db, BboardScale};

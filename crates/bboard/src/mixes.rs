@@ -1,0 +1,78 @@
+//! The bulletin-board workload mixes: a read-only browse mix and a
+//! submission mix (~10% read-write), mirroring RUBBoS's defaults.
+
+use dynamid_workload::{Mix, TransitionMatrix};
+
+/// Submission-mix shares (10% read-write), in catalog order.
+pub const SUBMISSION_SHARES: [f64; 13] = [
+    14.0, // StoriesOfTheDay
+    5.0,  // BrowseCategories
+    12.0, // BrowseStoriesByCategory
+    6.0,  // OlderStories
+    24.0, // ViewStory
+    6.0,  // AuthorInfo
+    6.0,  // Search
+    4.0,  // SubmitStoryForm
+    2.0,  // StoreStory (write)
+    7.0,  // PostCommentForm
+    5.0,  // StoreComment (write)
+    3.0,  // ModerateComment (write)
+    6.0,  // ViewUserComments
+];
+
+/// Browse-mix shares (read-only).
+pub const BROWSE_SHARES: [f64; 13] = [
+    18.0, 7.0, 15.0, 9.0, 28.0, 7.0, 6.0, 0.0, 0.0, 0.0, 0.0, 0.0, 10.0,
+];
+
+fn mix_from_shares(name: &str, shares: &[f64; 13]) -> Mix {
+    let rows = vec![shares.to_vec(); 13];
+    let matrix = TransitionMatrix::from_rows(rows).expect("static mix is valid");
+    let mut entry = vec![0.0; 13];
+    entry[0] = 1.0;
+    Mix::new(name, matrix, entry).expect("static mix is valid")
+}
+
+/// The submission mix (~10% read-write).
+pub fn submission() -> Mix {
+    mix_from_shares("submission", &SUBMISSION_SHARES)
+}
+
+/// The browse mix (read-only).
+pub fn browse() -> Mix {
+    mix_from_shares("browse", &BROWSE_SHARES)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::INTERACTIONS;
+
+    #[test]
+    fn shares_sum_to_100() {
+        assert!((SUBMISSION_SHARES.iter().sum::<f64>() - 100.0).abs() < 1e-9);
+        assert!((BROWSE_SHARES.iter().sum::<f64>() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn submission_write_share_is_10_percent() {
+        let writes: f64 = INTERACTIONS
+            .iter()
+            .zip(&SUBMISSION_SHARES)
+            .filter(|(s, _)| !s.read_only)
+            .map(|(_, w)| w)
+            .sum();
+        assert!((writes - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn browse_mix_is_read_only() {
+        for (spec, share) in INTERACTIONS.iter().zip(&BROWSE_SHARES) {
+            if !spec.read_only {
+                assert_eq!(*share, 0.0, "{}", spec.name);
+            }
+        }
+        assert_eq!(browse().interaction_count(), 13);
+        assert_eq!(submission().interaction_count(), 13);
+    }
+}

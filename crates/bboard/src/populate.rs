@@ -1,0 +1,181 @@
+//! Synthetic population for the bulletin board (RUBBoS-scale defaults:
+//! half a million users, ~200 live stories with deep comment threads, a
+//! large archive).
+
+use crate::schema::{create_schema, CATEGORY_COUNT};
+use dynamid_sim::SimRng;
+use dynamid_sqldb::{Database, SqlResult, Value};
+
+/// Reference epoch for synthetic dates (2001-09-09, epoch seconds).
+pub const BASE_DATE: i64 = 1_000_000_000;
+/// One day in epoch seconds.
+pub const DAY: i64 = 86_400;
+
+/// Population cardinalities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BboardScale {
+    /// Registered users.
+    pub users: usize,
+    /// Stories on the front sections.
+    pub stories: usize,
+    /// Archived stories.
+    pub old_stories: usize,
+    /// Average comments per live story.
+    pub comments_per_story: usize,
+}
+
+impl BboardScale {
+    /// RUBBoS-style sizing.
+    pub fn paper() -> Self {
+        BboardScale {
+            users: 500_000,
+            stories: 200,
+            old_stories: 60_000,
+            comments_per_story: 100,
+        }
+    }
+
+    /// A small configuration for tests.
+    pub fn small() -> Self {
+        BboardScale {
+            users: 1_000,
+            stories: 40,
+            old_stories: 300,
+            comments_per_story: 12,
+        }
+    }
+
+    /// Paper sizing scaled by `factor`.
+    pub fn scaled(factor: f64) -> Self {
+        let p = Self::paper();
+        let s = |n: usize| ((n as f64 * factor).round() as usize).max(10);
+        BboardScale {
+            users: s(p.users),
+            stories: s(p.stories),
+            old_stories: s(p.old_stories),
+            comments_per_story: p.comments_per_story.min(s(p.comments_per_story)),
+        }
+    }
+}
+
+/// Builds and populates a bulletin-board database.
+///
+/// # Errors
+///
+/// Propagates schema or insertion failures.
+pub fn build_db(scale: &BboardScale, seed: u64) -> SqlResult<Database> {
+    let mut db = Database::new();
+    create_schema(&mut db)?;
+    let mut rng = SimRng::new(seed);
+    {
+        let t = db.table_mut("categories")?;
+        for i in 0..CATEGORY_COUNT {
+            t.insert(vec![Value::Int(i as i64 + 1), Value::str(format!("SECTION{i:02}"))])?;
+        }
+    }
+    {
+        let mut urng = rng.fork(1);
+        let t = db.table_mut("users")?;
+        for i in 0..scale.users {
+            t.insert(vec![
+                Value::Null,
+                Value::str(format!("B{i}")),
+                Value::str("pw"),
+                Value::Int(urng.uniform_i64(-10, 100)),
+                Value::Int(BASE_DATE - urng.uniform_i64(0, 500) * DAY),
+            ])?;
+        }
+    }
+    let users = scale.users as i64;
+    let story = |rng: &mut SimRng, live: bool| -> Vec<Value> {
+        let age = if live {
+            rng.uniform_i64(0, 6)
+        } else {
+            rng.uniform_i64(7, 400)
+        };
+        vec![
+            Value::Null,
+            Value::str(format!("STORY {}", rng.ascii_string(16))),
+            Value::str(rng.ascii_string(200)),
+            Value::Int(rng.uniform_i64(1, users)),
+            Value::Int(rng.uniform_i64(1, CATEGORY_COUNT as i64)),
+            Value::Int(BASE_DATE - age * DAY),
+            Value::Int(0),
+            Value::Int(rng.uniform_i64(-1, 5)),
+        ]
+    };
+    {
+        let mut srng = rng.fork(2);
+        for _ in 0..scale.stories {
+            let row = story(&mut srng, true);
+            db.table_mut("stories")?.insert(row)?;
+        }
+        for _ in 0..scale.old_stories {
+            let row = story(&mut srng, false);
+            db.table_mut("old_stories")?.insert(row)?;
+        }
+    }
+    {
+        let mut crng = rng.fork(3);
+        let total = scale.stories * scale.comments_per_story;
+        for _ in 0..total {
+            let story_id = crng.zipf(scale.stories, 0.7) as i64 + 1;
+            let t = db.table_mut("comments")?;
+            t.insert(vec![
+                Value::Null,
+                Value::Int(story_id),
+                Value::Int(0),
+                Value::Int(crng.uniform_i64(1, users)),
+                Value::Int(BASE_DATE - crng.uniform_i64(0, 6) * DAY),
+                Value::str(format!("RE {}", crng.ascii_string(10))),
+                Value::str(crng.ascii_string(80)),
+                Value::Int(crng.uniform_i64(-1, 5)),
+            ])?;
+        }
+        // Refresh the denormalized per-story comment counts.
+        let counts = db.execute(
+            "SELECT story_id, COUNT(*) AS n FROM comments GROUP BY story_id",
+            &[],
+        )?;
+        for row in counts.rows {
+            db.execute(
+                "UPDATE stories SET nb_comments = ? WHERE id = ?",
+                &[row[1].clone(), row[0].clone()],
+            )?;
+        }
+    }
+    Ok(db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_population() {
+        let scale = BboardScale::small();
+        let mut db = build_db(&scale, 1).unwrap();
+        assert_eq!(db.table("users").unwrap().row_count(), scale.users);
+        assert_eq!(db.table("stories").unwrap().row_count(), scale.stories);
+        assert_eq!(db.table("old_stories").unwrap().row_count(), scale.old_stories);
+        assert_eq!(
+            db.table("comments").unwrap().row_count(),
+            scale.stories * scale.comments_per_story
+        );
+        // Denormalized counts match.
+        let r = db
+            .execute("SELECT SUM(nb_comments) FROM stories", &[])
+            .unwrap();
+        assert_eq!(
+            r.scalar().unwrap().as_int().unwrap(),
+            (scale.stories * scale.comments_per_story) as i64
+        );
+    }
+
+    #[test]
+    fn scaled_clamps() {
+        let s = BboardScale::scaled(0.001);
+        assert!(s.users >= 10);
+        assert!(s.stories >= 10);
+    }
+}

@@ -1,0 +1,86 @@
+//! The bulletin board's schema: users, live and archived stories, and
+//! threaded comments (RUBBoS keeps old stories separate for the same
+//! working-set reason the auction site splits `items`/`old_items`).
+
+use dynamid_sqldb::{ColumnType, Database, SqlResult, TableSchema};
+
+/// Story categories (RUBBoS ships Slashdot-style sections).
+pub const CATEGORY_COUNT: usize = 12;
+
+fn story_table(name: &str) -> SqlResult<TableSchema> {
+    TableSchema::builder(name)
+        .column("id", ColumnType::Int)
+        .column("title", ColumnType::Str)
+        .column("body", ColumnType::Str)
+        .column("author", ColumnType::Int)
+        .column("category", ColumnType::Int)
+        .column("date", ColumnType::Int)
+        .column("nb_comments", ColumnType::Int)
+        .column("rating", ColumnType::Int)
+        .primary_key("id")
+        .auto_increment()
+        .index("category")
+        .index("author")
+        .build()
+}
+
+/// Creates all five tables in an empty database.
+///
+/// # Errors
+///
+/// Fails if any table already exists.
+pub fn create_schema(db: &mut Database) -> SqlResult<()> {
+    db.create_table(
+        TableSchema::builder("users")
+            .column("id", ColumnType::Int)
+            .column("nickname", ColumnType::Str)
+            .column("password", ColumnType::Str)
+            .column("karma", ColumnType::Int)
+            .column("creation_date", ColumnType::Int)
+            .primary_key("id")
+            .auto_increment()
+            .index("nickname")
+            .build()?,
+    )?;
+    db.create_table(story_table("stories")?)?;
+    db.create_table(story_table("old_stories")?)?;
+    db.create_table(
+        TableSchema::builder("comments")
+            .column("id", ColumnType::Int)
+            .column("story_id", ColumnType::Int)
+            .column("parent_id", ColumnType::Int)
+            .column("author", ColumnType::Int)
+            .column("date", ColumnType::Int)
+            .column("subject", ColumnType::Str)
+            .column("body", ColumnType::Str)
+            .column("rating", ColumnType::Int)
+            .primary_key("id")
+            .auto_increment()
+            .index("story_id")
+            .index("author")
+            .build()?,
+    )?;
+    db.create_table(
+        TableSchema::builder("categories")
+            .column("id", ColumnType::Int)
+            .column("name", ColumnType::Str)
+            .primary_key("id")
+            .build()?,
+    )?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_tables() {
+        let mut db = Database::new();
+        create_schema(&mut db).unwrap();
+        assert_eq!(db.table_names().len(), 5);
+        for t in ["users", "stories", "old_stories", "comments", "categories"] {
+            assert!(db.table(t).is_ok(), "missing {t}");
+        }
+    }
+}

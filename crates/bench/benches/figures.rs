@@ -1,0 +1,88 @@
+//! One bench per paper figure pair: regenerates Figures 5/6, 7/8, 9/10,
+//! 11/12, and 13/14 at miniature scale (tiny population, short windows),
+//! exercising the exact code path of the full `repro` harness. Each
+//! iteration runs the complete sweep — all six deployment configurations ×
+//! two client counts — and asserts the defining qualitative property of
+//! that figure, so the bench doubles as a regression gate on the
+//! reproduction's shape.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dynamid_bench::bench_harness_config;
+use dynamid_core::StandardConfig;
+use dynamid_harness::{find_figure, run_figure, FigureData};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn peak(data: &FigureData, config: StandardConfig) -> f64 {
+    data.curve(config).expect("curve").peak().ipm
+}
+
+fn bench_pair(c: &mut Criterion, key: &str, check: fn(&FigureData)) {
+    let pair = find_figure(key).expect("known figure");
+    let cfg = bench_harness_config();
+    let mut g = c.benchmark_group("figures");
+    // One sweep per sample; keep the sample count minimal — each sample is
+    // a full multi-configuration experiment.
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(8))
+        .warm_up_time(Duration::from_millis(500));
+    g.bench_function(format!("{}_{}", pair.throughput_id, pair.cpu_id), |b| {
+        b.iter(|| {
+            let data = run_figure(pair, &cfg);
+            check(&data);
+            black_box(data.curves.len())
+        })
+    });
+    g.finish();
+}
+
+fn fig05_06(c: &mut Criterion) {
+    bench_pair(c, "fig05", |d| {
+        // At bench scale the population is too small for the database to
+        // dominate (that property is asserted at realistic scale in
+        // tests/paper_shapes.rs); here every configuration must complete
+        // work and report the database machine.
+        for curve in &d.curves {
+            assert!(curve.peak().ipm > 0.0, "{}", curve.config);
+            assert!(curve.peak().cpu_of("db").unwrap() > 0.0);
+        }
+    });
+}
+
+fn fig07_08(c: &mut Criterion) {
+    bench_pair(c, "fig07", |d| {
+        for curve in &d.curves {
+            assert!(curve.peak().ipm > 0.0, "{}", curve.config);
+        }
+    });
+}
+
+fn fig09_10(c: &mut Criterion) {
+    bench_pair(c, "fig09", |d| {
+        for curve in &d.curves {
+            assert!(curve.peak().ipm > 0.0, "{}", curve.config);
+        }
+    });
+}
+
+fn fig11_12(c: &mut Criterion) {
+    bench_pair(c, "fig11", |d| {
+        // Defining property: the front end, not the database, binds the
+        // PHP configuration.
+        let p = d.curve(StandardConfig::PhpColocated).unwrap().peak();
+        assert!(p.cpu_of("web").unwrap() >= p.cpu_of("db").unwrap());
+    });
+}
+
+fn fig13_14(c: &mut Criterion) {
+    bench_pair(c, "fig13", |d| {
+        // Read-only mix: the sync and plain servlet curves coincide.
+        let plain = peak(d, StandardConfig::ServletColocated);
+        let sync = peak(d, StandardConfig::ServletColocatedSync);
+        let rel = (plain - sync).abs() / plain.max(1.0);
+        assert!(rel < 0.05, "sync {sync} vs plain {plain}");
+    });
+}
+
+criterion_group!(benches, fig05_06, fig07_08, fig09_10, fig11_12, fig13_14);
+criterion_main!(benches);

@@ -1,0 +1,197 @@
+//! Microbenchmarks for the substrates: SQL parsing and execution, the
+//! processor-sharing kernel, the lock manager, and the per-character IPC
+//! cost the paper profiles in §6.1 (experiment E11 in DESIGN.md).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dynamid_http::Connector;
+use dynamid_sim::engine::NullDriver;
+use dynamid_sim::{
+    GrantPolicy, LockManager, LockMode, Op, PsResource, SimDuration, SimTime, Simulation, Trace,
+};
+use dynamid_sqldb::{parse, ColumnType, Database, TableSchema, Value};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn small_db(rows: i64) -> Database {
+    let mut db = Database::new();
+    db.create_table(
+        TableSchema::builder("items")
+            .column("id", ColumnType::Int)
+            .column("category", ColumnType::Int)
+            .column("name", ColumnType::Str)
+            .column("price", ColumnType::Float)
+            .primary_key("id")
+            .auto_increment()
+            .index("category")
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    for i in 0..rows {
+        db.execute(
+            "INSERT INTO items (id, category, name, price) VALUES (NULL, ?, ?, ?)",
+            &[
+                Value::Int(i % 40),
+                Value::str(format!("item {i}")),
+                Value::Float(i as f64),
+            ],
+        )
+        .unwrap();
+    }
+    db
+}
+
+fn bench_sql(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sqldb");
+    g.measurement_time(Duration::from_secs(2)).sample_size(30);
+
+    g.bench_function("parse_select_join", |b| {
+        b.iter(|| {
+            parse(black_box(
+                "SELECT i.id, i.name, SUM(ol.qty) AS total FROM items i \
+                 JOIN order_line ol ON ol.item_id = i.id \
+                 WHERE ol.order_id > ? AND i.subject = ? \
+                 GROUP BY i.id ORDER BY total DESC LIMIT 50",
+            ))
+            .unwrap()
+        })
+    });
+
+    let mut db = small_db(2_000);
+    g.bench_function("point_select_by_pk", |b| {
+        b.iter(|| {
+            db.execute(
+                black_box("SELECT name, price FROM items WHERE id = ?"),
+                &[Value::Int(997)],
+            )
+            .unwrap()
+        })
+    });
+
+    g.bench_function("indexed_range_with_sort", |b| {
+        b.iter(|| {
+            db.execute(
+                "SELECT id, name FROM items WHERE category = ? ORDER BY price DESC LIMIT 25",
+                &[Value::Int(7)],
+            )
+            .unwrap()
+        })
+    });
+
+    g.bench_function("like_scan", |b| {
+        b.iter(|| {
+            db.execute(
+                "SELECT id FROM items WHERE name LIKE ? LIMIT 10",
+                &[Value::str("%item 199%")],
+            )
+            .unwrap()
+        })
+    });
+
+    g.bench_function("update_by_pk", |b| {
+        b.iter(|| {
+            db.execute(
+                "UPDATE items SET price = price + 1.0 WHERE id = ?",
+                &[Value::Int(512)],
+            )
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_sim_kernel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim");
+    g.measurement_time(Duration::from_secs(2)).sample_size(30);
+
+    g.bench_function("ps_resource_churn_1k", |b| {
+        b.iter_batched(
+            || PsResource::new("cpu", 1.0),
+            |mut r| {
+                let mut now = SimTime::ZERO;
+                for i in 0..1_000u64 {
+                    r.enqueue(now, dynamid_sim::JobId(i), 100.0);
+                    if i % 4 == 3 {
+                        now = r.next_completion(now).unwrap();
+                        black_box(r.pop_completed(now));
+                    }
+                }
+                while let Some(t) = r.next_completion(now) {
+                    now = t;
+                    if r.pop_completed(now).is_empty() {
+                        break;
+                    }
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.bench_function("lock_manager_contended_1k", |b| {
+        b.iter_batched(
+            || {
+                let mut lm = LockManager::new(GrantPolicy::WriterPriority);
+                let l = lm.register_lock("t");
+                (lm, l)
+            },
+            |(mut lm, l)| {
+                let mut held: Vec<dynamid_sim::JobId> = Vec::new();
+                for i in 0..1_000u64 {
+                    let job = dynamid_sim::JobId(i);
+                    let mode = if i % 5 == 0 { LockMode::Exclusive } else { LockMode::Shared };
+                    if lm.acquire(SimTime::from_micros(i), l, mode, job) {
+                        held.push(job);
+                    }
+                    if held.len() > 8 {
+                        let j = held.remove(0);
+                        black_box(lm.release(SimTime::from_micros(i), l, j));
+                    }
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.bench_function("engine_10k_cpu_jobs", |b| {
+        b.iter_batched(
+            || {
+                let mut sim = Simulation::new(SimDuration::from_micros(100));
+                let m = sim.add_machine("m", 1.0, 100.0);
+                for i in 0..10_000 {
+                    let t: Trace = [Op::Cpu { machine: m, micros: 50 + (i % 17) }]
+                        .into_iter()
+                        .collect();
+                    sim.submit(t, i);
+                }
+                sim
+            },
+            |mut sim| {
+                sim.run(SimTime::from_micros(u64::MAX / 2), &mut NullDriver);
+                black_box(sim.stats().completed)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+/// E11: the §6.1 profiling claim — per-byte cost of moving dynamic content
+/// across the web-server/servlet boundary vs the in-process PHP module.
+fn bench_ipc_cost(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ipc_cost");
+    g.measurement_time(Duration::from_secs(1)).sample_size(20);
+    let ajp = Connector::ajp12();
+    let php = Connector::mod_php();
+    for bytes in [1_000u64, 10_000, 100_000] {
+        g.bench_function(format!("ajp_{bytes}B"), |b| {
+            b.iter(|| black_box(ajp.send_micros(black_box(bytes)) + ajp.recv_micros(bytes)))
+        });
+        g.bench_function(format!("php_{bytes}B"), |b| {
+            b.iter(|| black_box(php.send_micros(black_box(bytes)) + php.recv_micros(bytes)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sql, bench_sim_kernel, bench_ipc_cost);
+criterion_main!(benches);

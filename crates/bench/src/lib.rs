@@ -1,0 +1,44 @@
+//! # dynamid-bench — benchmark helpers
+//!
+//! Shared configuration for the Criterion benches: miniature but
+//! structurally complete experiment setups, so `cargo bench` exercises the
+//! same code paths as the full `repro` harness in seconds rather than
+//! minutes. The figure benches regenerate each paper figure at reduced
+//! population/window scale; the micro benches cover the substrates (SQL
+//! engine, simulator kernel, lock manager).
+
+#![warn(missing_docs)]
+
+use dynamid_core::StandardConfig;
+use dynamid_harness::HarnessConfig;
+use dynamid_sim::SimDuration;
+
+/// A miniature harness configuration for benchmarking: tiny population,
+/// short phases, two representative client counts, all six configurations.
+pub fn bench_harness_config() -> HarnessConfig {
+    HarnessConfig {
+        scale: 0.002,
+        clients: vec![10, 40],
+        configs: StandardConfig::ALL.to_vec(),
+        think_time: SimDuration::from_millis(500),
+        session_time: SimDuration::from_secs(60),
+        ramp_up: SimDuration::from_secs(2),
+        measure: SimDuration::from_secs(6),
+        ramp_down: SimDuration::from_secs(1),
+        policy: dynamid_sim::GrantPolicy::default(),
+        seed: 42,
+        verbose: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_config_is_small() {
+        let c = bench_harness_config();
+        assert!(c.scale < 0.01);
+        assert_eq!(c.configs.len(), 6);
+    }
+}

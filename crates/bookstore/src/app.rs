@@ -1,0 +1,222 @@
+//! The bookstore [`Application`]: interaction catalog, session helpers, and
+//! dispatch between the explicit-SQL and entity-bean implementations.
+
+use crate::populate::BookstoreScale;
+use crate::{ejb_logic, sql_logic};
+use dynamid_core::{
+    AppLockSpec, AppResult, Application, InteractionSpec, LogicStyle, RequestCtx, SessionData,
+};
+use dynamid_sim::SimRng;
+
+/// Interaction ids, in catalog order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Interaction {
+    Home = 0,
+    NewProducts = 1,
+    BestSellers = 2,
+    ProductDetail = 3,
+    SearchRequest = 4,
+    SearchResults = 5,
+    ShoppingCart = 6,
+    CustomerRegistration = 7,
+    BuyRequest = 8,
+    BuyConfirm = 9,
+    OrderInquiry = 10,
+    OrderDisplay = 11,
+    AdminRequest = 12,
+    AdminConfirm = 13,
+}
+
+/// The 14 TPC-W interactions: six read-only, eight read-write, with the
+/// secure (SSL) flags TPC-W gives the buy/registration/admin pages.
+pub const INTERACTIONS: [InteractionSpec; 14] = [
+    InteractionSpec { name: "Home", read_only: true, secure: false },
+    InteractionSpec { name: "NewProducts", read_only: true, secure: false },
+    InteractionSpec { name: "BestSellers", read_only: true, secure: false },
+    InteractionSpec { name: "ProductDetail", read_only: true, secure: false },
+    InteractionSpec { name: "SearchRequest", read_only: true, secure: false },
+    InteractionSpec { name: "SearchResults", read_only: true, secure: false },
+    InteractionSpec { name: "ShoppingCart", read_only: false, secure: false },
+    InteractionSpec { name: "CustomerRegistration", read_only: false, secure: true },
+    InteractionSpec { name: "BuyRequest", read_only: false, secure: true },
+    InteractionSpec { name: "BuyConfirm", read_only: false, secure: true },
+    InteractionSpec { name: "OrderInquiry", read_only: false, secure: true },
+    InteractionSpec { name: "OrderDisplay", read_only: false, secure: true },
+    InteractionSpec { name: "AdminRequest", read_only: false, secure: true },
+    InteractionSpec { name: "AdminConfirm", read_only: false, secure: true },
+];
+
+/// Maximum shopping-cart lines kept in a session.
+pub const MAX_CART_LINES: usize = 10;
+
+/// The online bookstore benchmark application (TPC-W).
+#[derive(Debug, Clone)]
+pub struct Bookstore {
+    scale: BookstoreScale,
+}
+
+impl Bookstore {
+    /// Creates the application for a database populated at `scale`.
+    pub fn new(scale: BookstoreScale) -> Self {
+        Bookstore { scale }
+    }
+
+    /// The population scale handlers draw random entities from.
+    pub fn scale(&self) -> &BookstoreScale {
+        &self.scale
+    }
+
+    /// A random existing item id.
+    pub fn random_item(&self, rng: &mut SimRng) -> i64 {
+        rng.uniform_i64(1, self.scale.items as i64)
+    }
+
+    /// A random existing customer user name.
+    pub fn random_uname(&self, rng: &mut SimRng) -> String {
+        format!("C{}", rng.index(self.scale.customers))
+    }
+
+    /// A random subject string.
+    pub fn random_subject(&self, rng: &mut SimRng) -> String {
+        format!("SUBJECT{:02}", rng.index(crate::schema::SUBJECT_COUNT))
+    }
+}
+
+impl Application for Bookstore {
+    fn name(&self) -> &str {
+        "bookstore"
+    }
+
+    fn interactions(&self) -> &[InteractionSpec] {
+        &INTERACTIONS
+    }
+
+    fn app_locks(&self) -> Vec<AppLockSpec> {
+        vec![
+            // Per-item stock mutexes (sync replaces `LOCK TABLES items`).
+            AppLockSpec::new("item", 64),
+            // Order-creation serialization per customer stripe.
+            AppLockSpec::new("customer", 64),
+        ]
+    }
+
+    fn handle(
+        &self,
+        id: usize,
+        ctx: &mut RequestCtx<'_>,
+        session: &mut SessionData,
+        rng: &mut SimRng,
+    ) -> AppResult<()> {
+        match ctx.style() {
+            LogicStyle::ExplicitSql { .. } => sql_logic::handle(self, id, ctx, session, rng),
+            LogicStyle::EntityBean => ejb_logic::handle(self, id, ctx, session, rng),
+        }
+    }
+}
+
+/// Shopping-cart session accessors (the paper's schema keeps the cart out
+/// of the database; it lives with the client session).
+pub mod cart {
+    use dynamid_core::SessionData;
+
+    /// Lines currently in the cart as `(item_id, qty)`.
+    pub fn lines(session: &SessionData) -> Vec<(i64, i64)> {
+        let n = session.int("cart_len").unwrap_or(0).max(0) as usize;
+        (0..n)
+            .filter_map(|i| {
+                Some((
+                    session.int(&format!("cart_item_{i}"))?,
+                    session.int(&format!("cart_qty_{i}"))?,
+                ))
+            })
+            .collect()
+    }
+
+    /// Adds a line (or bumps the quantity of an existing line).
+    pub fn add(session: &mut SessionData, item: i64, qty: i64) {
+        let mut ls = lines(session);
+        if let Some(l) = ls.iter_mut().find(|(i, _)| *i == item) {
+            l.1 += qty;
+        } else if ls.len() < super::MAX_CART_LINES {
+            ls.push((item, qty));
+        }
+        store(session, &ls);
+    }
+
+    /// Replaces the quantity of a line; zero removes it.
+    pub fn set_qty(session: &mut SessionData, item: i64, qty: i64) {
+        let mut ls = lines(session);
+        ls.retain(|(i, _)| *i != item || qty > 0);
+        if let Some(l) = ls.iter_mut().find(|(i, _)| *i == item) {
+            l.1 = qty;
+        }
+        store(session, &ls);
+    }
+
+    /// Empties the cart.
+    pub fn clear(session: &mut SessionData) {
+        store(session, &[]);
+    }
+
+    fn store(session: &mut SessionData, ls: &[(i64, i64)]) {
+        session.set_int("cart_len", ls.len() as i64);
+        for (i, (item, qty)) in ls.iter().enumerate() {
+            session.set_int(format!("cart_item_{i}"), *item);
+            session.set_int(format!("cart_qty_{i}"), *qty);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_shape_matches_tpcw() {
+        assert_eq!(INTERACTIONS.len(), 14);
+        let read_only = INTERACTIONS.iter().filter(|s| s.read_only).count();
+        assert_eq!(read_only, 6, "TPC-W has six read-only interactions");
+        let secure = INTERACTIONS.iter().filter(|s| s.secure).count();
+        assert_eq!(secure, 7);
+        assert_eq!(INTERACTIONS[Interaction::BestSellers as usize].name, "BestSellers");
+    }
+
+    #[test]
+    fn random_pickers_in_range() {
+        let app = Bookstore::new(BookstoreScale::small());
+        let mut rng = SimRng::new(1);
+        for _ in 0..100 {
+            let item = app.random_item(&mut rng);
+            assert!((1..=app.scale().items as i64).contains(&item));
+            let uname = app.random_uname(&mut rng);
+            assert!(uname.starts_with('C'));
+            assert!(app.random_subject(&mut rng).starts_with("SUBJECT"));
+        }
+    }
+
+    #[test]
+    fn cart_roundtrip() {
+        let mut s = SessionData::new(0);
+        assert!(cart::lines(&s).is_empty());
+        cart::add(&mut s, 7, 2);
+        cart::add(&mut s, 9, 1);
+        cart::add(&mut s, 7, 1); // merge
+        assert_eq!(cart::lines(&s), vec![(7, 3), (9, 1)]);
+        cart::set_qty(&mut s, 9, 5);
+        assert_eq!(cart::lines(&s), vec![(7, 3), (9, 5)]);
+        cart::set_qty(&mut s, 7, 0); // remove
+        assert_eq!(cart::lines(&s), vec![(9, 5)]);
+        cart::clear(&mut s);
+        assert!(cart::lines(&s).is_empty());
+    }
+
+    #[test]
+    fn cart_caps_lines() {
+        let mut s = SessionData::new(0);
+        for i in 0..(MAX_CART_LINES as i64 + 5) {
+            cart::add(&mut s, i + 1, 1);
+        }
+        assert_eq!(cart::lines(&s).len(), MAX_CART_LINES);
+    }
+}

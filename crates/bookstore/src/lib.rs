@@ -1,0 +1,32 @@
+//! # dynamid-bookstore — the TPC-W online bookstore benchmark
+//!
+//! The paper's first benchmark (§3.1): an online bookstore implementing
+//! the performance-relevant functionality of TPC-W — eight tables, 14
+//! interactions (six read-only, eight read-write), and the three TPC-W
+//! workload mixes (browsing 95/5, shopping 80/20, ordering 50/50).
+//!
+//! Every interaction is implemented twice, as in the paper:
+//!
+//! * [`sql_logic`] — hand-written SQL, identical for the PHP and servlet
+//!   architectures, with `LOCK TABLES` consistency spans that the
+//!   `(sync)` configurations replace with container-level locks;
+//! * [`ejb_logic`] — session façades over entity beans with
+//!   container-managed persistence.
+//!
+//! The bookstore's database queries are heavy (best-seller aggregation
+//! over the 3,333 most recent orders, LIKE searches over the catalog), so
+//! the database machine is the bottleneck — the property the paper's §5
+//! results rest on.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod app;
+pub mod ejb_logic;
+pub mod mixes;
+pub mod populate;
+pub mod schema;
+pub mod sql_logic;
+
+pub use app::{cart, Bookstore, Interaction, INTERACTIONS};
+pub use populate::{build_db, BookstoreScale};

@@ -1,0 +1,97 @@
+//! The three TPC-W workload mixes (§3.1 of the paper).
+//!
+//! TPC-W specifies the long-run fraction of each interaction per mix; we
+//! realize each mix as a Markov chain whose every row equals the target
+//! distribution (so the stationary visit shares match the specification
+//! exactly), with the documented read-write ratios: browsing 95/5,
+//! shopping 80/20, ordering 50/50.
+
+use dynamid_workload::{Mix, TransitionMatrix};
+
+/// TPC-W browsing-mix interaction shares (95% read-only), in catalog
+/// order: Home, NewProducts, BestSellers, ProductDetail, SearchRequest,
+/// SearchResults, ShoppingCart, CustomerRegistration, BuyRequest,
+/// BuyConfirm, OrderInquiry, OrderDisplay, AdminRequest, AdminConfirm.
+pub const BROWSING_SHARES: [f64; 14] = [
+    29.00, 11.00, 11.00, 21.00, 12.00, 11.00, 2.00, 0.82, 0.75, 0.69, 0.30, 0.25, 0.10, 0.09,
+];
+
+/// TPC-W shopping-mix interaction shares (80% read-only) — the paper's
+/// headline workload.
+pub const SHOPPING_SHARES: [f64; 14] = [
+    16.00, 5.00, 5.00, 17.00, 20.00, 17.00, 11.60, 3.00, 2.60, 1.20, 0.75, 0.66, 0.10, 0.09,
+];
+
+/// TPC-W ordering-mix interaction shares (50% read-only).
+pub const ORDERING_SHARES: [f64; 14] = [
+    9.12, 0.46, 0.46, 12.35, 14.53, 13.08, 13.53, 12.86, 12.73, 10.18, 0.25, 0.22, 0.12, 0.11,
+];
+
+fn mix_from_shares(name: &str, shares: &[f64; 14]) -> Mix {
+    let rows = vec![shares.to_vec(); 14];
+    let matrix = TransitionMatrix::from_rows(rows).expect("static mix is valid");
+    // Sessions start at Home.
+    let mut entry = vec![0.0; 14];
+    entry[0] = 1.0;
+    Mix::new(name, matrix, entry).expect("static mix is valid")
+}
+
+/// The browsing mix (95% read-only).
+pub fn browsing() -> Mix {
+    mix_from_shares("browsing", &BROWSING_SHARES)
+}
+
+/// The shopping mix (80% read-only) — "the most representative mix for
+/// this benchmark".
+pub fn shopping() -> Mix {
+    mix_from_shares("shopping", &SHOPPING_SHARES)
+}
+
+/// The ordering mix (50% read-only).
+pub fn ordering() -> Mix {
+    mix_from_shares("ordering", &ORDERING_SHARES)
+}
+
+/// All three mixes in paper order.
+pub fn all() -> Vec<Mix> {
+    vec![browsing(), shopping(), ordering()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::INTERACTIONS;
+
+    fn read_share(shares: &[f64; 14]) -> f64 {
+        let reads: f64 = INTERACTIONS
+            .iter()
+            .zip(shares)
+            .filter(|(s, _)| s.read_only)
+            .map(|(_, w)| w)
+            .sum();
+        reads / shares.iter().sum::<f64>()
+    }
+
+    #[test]
+    fn read_write_ratios_match_tpcw() {
+        assert!((read_share(&BROWSING_SHARES) - 0.95).abs() < 0.005);
+        assert!((read_share(&SHOPPING_SHARES) - 0.80).abs() < 0.005);
+        assert!((read_share(&ORDERING_SHARES) - 0.50).abs() < 0.005);
+    }
+
+    #[test]
+    fn mixes_are_well_formed() {
+        for mix in all() {
+            assert_eq!(mix.interaction_count(), 14);
+        }
+        assert_eq!(shopping().name(), "shopping");
+    }
+
+    #[test]
+    fn stationary_shares_match_spec() {
+        let mix = shopping();
+        let marker: Vec<bool> = INTERACTIONS.iter().map(|s| !s.read_only).collect();
+        let rw = mix.estimate_marked_share(&marker, 100_000, 3);
+        assert!((rw - 0.20).abs() < 0.01, "rw share {rw}");
+    }
+}

@@ -1,0 +1,182 @@
+//! The online bookstore's database schema (TPC-W, §3.1 of the paper).
+//!
+//! Eight tables, as the paper lists them: `customers`, `address`, `orders`,
+//! `order_line`, `credit_info`, `items`, `authors`, `countries`. The
+//! shopping cart lives in the client session (the paper's schema has no
+//! cart table); dates are epoch seconds stored as integers.
+
+use dynamid_sqldb::{ColumnType, Database, SqlResult, TableSchema};
+
+/// Number of book subjects (TPC-W's 24 subject strings).
+pub const SUBJECT_COUNT: usize = 24;
+
+/// The subject catalog.
+pub fn subjects() -> Vec<String> {
+    (0..SUBJECT_COUNT).map(|i| format!("SUBJECT{i:02}")).collect()
+}
+
+/// Creates all eight tables in an empty database.
+///
+/// # Errors
+///
+/// Fails if any table already exists.
+pub fn create_schema(db: &mut Database) -> SqlResult<()> {
+    db.create_table(
+        TableSchema::builder("countries")
+            .column("id", ColumnType::Int)
+            .column("name", ColumnType::Str)
+            .column("exchange", ColumnType::Float)
+            .primary_key("id")
+            .auto_increment()
+            .build()?,
+    )?;
+    db.create_table(
+        TableSchema::builder("address")
+            .column("id", ColumnType::Int)
+            .column("street", ColumnType::Str)
+            .column("city", ColumnType::Str)
+            .column("zip", ColumnType::Str)
+            .column("country_id", ColumnType::Int)
+            .primary_key("id")
+            .auto_increment()
+            .build()?,
+    )?;
+    db.create_table(
+        TableSchema::builder("customers")
+            .column("id", ColumnType::Int)
+            .column("uname", ColumnType::Str)
+            .column("passwd", ColumnType::Str)
+            .column("fname", ColumnType::Str)
+            .column("lname", ColumnType::Str)
+            .column("addr_id", ColumnType::Int)
+            .column("phone", ColumnType::Str)
+            .column("email", ColumnType::Str)
+            .column("since", ColumnType::Int)
+            .column("discount", ColumnType::Float)
+            .primary_key("id")
+            .auto_increment()
+            .index("uname")
+            .build()?,
+    )?;
+    db.create_table(
+        TableSchema::builder("authors")
+            .column("id", ColumnType::Int)
+            .column("fname", ColumnType::Str)
+            .column("lname", ColumnType::Str)
+            .column("bio", ColumnType::Str)
+            .primary_key("id")
+            .auto_increment()
+            .index("lname")
+            .build()?,
+    )?;
+    db.create_table(
+        TableSchema::builder("items")
+            .column("id", ColumnType::Int)
+            .column("title", ColumnType::Str)
+            .column("author_id", ColumnType::Int)
+            .column("pub_date", ColumnType::Int)
+            .column("publisher", ColumnType::Str)
+            .column("subject", ColumnType::Str)
+            .column("descr", ColumnType::Str)
+            .column("cost", ColumnType::Float)
+            .column("stock", ColumnType::Int)
+            .column("isbn", ColumnType::Str)
+            .column("related1", ColumnType::Int)
+            .column("related2", ColumnType::Int)
+            .column("related3", ColumnType::Int)
+            .column("related4", ColumnType::Int)
+            .column("related5", ColumnType::Int)
+            .primary_key("id")
+            .auto_increment()
+            .index("subject")
+            .index("author_id")
+            .build()?,
+    )?;
+    db.create_table(
+        TableSchema::builder("orders")
+            .column("id", ColumnType::Int)
+            .column("customer_id", ColumnType::Int)
+            .column("date", ColumnType::Int)
+            .column("subtotal", ColumnType::Float)
+            .column("tax", ColumnType::Float)
+            .column("total", ColumnType::Float)
+            .column("ship_type", ColumnType::Str)
+            .column("ship_date", ColumnType::Int)
+            .column("status", ColumnType::Str)
+            .primary_key("id")
+            .auto_increment()
+            .index("customer_id")
+            .build()?,
+    )?;
+    db.create_table(
+        TableSchema::builder("order_line")
+            .column("id", ColumnType::Int)
+            .column("order_id", ColumnType::Int)
+            .column("item_id", ColumnType::Int)
+            .column("qty", ColumnType::Int)
+            .column("discount", ColumnType::Float)
+            .column("comment", ColumnType::Str)
+            .primary_key("id")
+            .auto_increment()
+            .index("order_id")
+            .index("item_id")
+            .build()?,
+    )?;
+    db.create_table(
+        TableSchema::builder("credit_info")
+            .column("id", ColumnType::Int)
+            .column("order_id", ColumnType::Int)
+            .column("cc_type", ColumnType::Str)
+            .column("cc_num", ColumnType::Str)
+            .column("cc_name", ColumnType::Str)
+            .column("cc_expiry", ColumnType::Int)
+            .column("auth_id", ColumnType::Str)
+            .column("amount", ColumnType::Float)
+            .column("date", ColumnType::Int)
+            .primary_key("id")
+            .auto_increment()
+            .index("order_id")
+            .build()?,
+    )?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_creates_eight_tables() {
+        let mut db = Database::new();
+        create_schema(&mut db).unwrap();
+        let names = db.table_names();
+        assert_eq!(names.len(), 8);
+        for t in [
+            "countries",
+            "address",
+            "customers",
+            "authors",
+            "items",
+            "orders",
+            "order_line",
+            "credit_info",
+        ] {
+            assert!(names.contains(&t), "missing table {t}");
+        }
+    }
+
+    #[test]
+    fn subject_catalog_shape() {
+        let s = subjects();
+        assert_eq!(s.len(), SUBJECT_COUNT);
+        assert_eq!(s[0], "SUBJECT00");
+        assert_eq!(s[23], "SUBJECT23");
+    }
+
+    #[test]
+    fn double_create_fails() {
+        let mut db = Database::new();
+        create_schema(&mut db).unwrap();
+        assert!(create_schema(&mut db).is_err());
+    }
+}

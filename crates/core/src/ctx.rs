@@ -1,0 +1,645 @@
+//! The request context: the API interaction handlers program against.
+//!
+//! A [`RequestCtx`] does two things at once:
+//!
+//! 1. it executes the handler's SQL **for real** against the in-memory
+//!    database, so the application sees real data and the database really
+//!    changes; and
+//! 2. it compiles everything the request *would cost* on the paper's
+//!    hardware — driver CPU, wire transfers, MyISAM table locks, database
+//!    CPU, HTML generation — into a [`Trace`] that the simulation then
+//!    plays against contended resources.
+//!
+//! Table-locking semantics follow MyISAM: every statement implicitly locks
+//! the tables it touches (read or write) for its own duration; an explicit
+//! `LOCK TABLES` spans statements until `UNLOCK TABLES`, and while it is
+//! held, statements may only touch locked tables (MySQL errors otherwise —
+//! and so do we, since anything else could deadlock).
+
+use crate::app::{AppError, AppResult, LogicStyle};
+use crate::cost::{CostModel, GeneratorCosts};
+use crate::deploy::{Architecture, Deployment};
+use dynamid_http::{StaticAsset, Status};
+use dynamid_sim::{LockId, LockMode, MachineId, Op, Trace};
+use dynamid_sqldb::ast::TableLockKind;
+use dynamid_sqldb::{Database, QueryResult, SqlError, StatementKind, Value};
+
+/// Per-request accounting, reported alongside the compiled trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RequestStats {
+    /// SQL statements issued (including container-generated ones).
+    pub queries: u64,
+    /// Total database CPU microseconds charged.
+    pub db_micros: u64,
+    /// Result rows received.
+    pub rows_returned: u64,
+    /// Generated HTML bytes.
+    pub output_bytes: u64,
+    /// Session-façade invocations (EJB style only).
+    pub facade_calls: u64,
+    /// Entity-bean activations/stores (EJB style only).
+    pub bean_accesses: u64,
+    /// Locks the context had to force-release at request end (handler bug
+    /// or error path).
+    pub forced_unlocks: u64,
+}
+
+/// Where code is currently executing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Tier {
+    /// The dynamic-content generator (PHP in the web server, or the
+    /// servlet container).
+    Generator,
+    /// Inside a session-façade call on the EJB server.
+    EjbServer,
+}
+
+/// The context handed to interaction handlers.
+pub struct RequestCtx<'a> {
+    pub(crate) db: &'a mut Database,
+    pub(crate) deployment: &'a Deployment,
+    pub(crate) costs: &'a CostModel,
+    style: LogicStyle,
+    pub(crate) trace: Trace,
+    pub(crate) tier: Tier,
+    /// Tables held via explicit LOCK TABLES, with the granted mode.
+    held_tables: Vec<(String, TableLockKind, LockId)>,
+    /// Application-level locks held, with a re-entrancy count.
+    held_app: Vec<(LockId, u32)>,
+    output_bytes: u64,
+    capture: Option<String>,
+    assets: Vec<StaticAsset>,
+    status: Status,
+    pub(crate) stats: RequestStats,
+}
+
+impl std::fmt::Debug for RequestCtx<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RequestCtx")
+            .field("style", &self.style)
+            .field("tier", &self.tier)
+            .field("ops", &self.trace.len())
+            .field("output_bytes", &self.output_bytes)
+            .finish()
+    }
+}
+
+impl<'a> RequestCtx<'a> {
+    /// Creates a context; used by the middleware layer, not applications.
+    pub(crate) fn new(
+        db: &'a mut Database,
+        deployment: &'a Deployment,
+        costs: &'a CostModel,
+        style: LogicStyle,
+        capture_html: bool,
+    ) -> Self {
+        RequestCtx {
+            db,
+            deployment,
+            costs,
+            style,
+            trace: Trace::with_capacity(32),
+            tier: Tier::Generator,
+            held_tables: Vec::new(),
+            held_app: Vec::new(),
+            output_bytes: 0,
+            capture: capture_html.then(String::new),
+            assets: Vec::new(),
+            status: Status::Ok,
+            stats: RequestStats::default(),
+        }
+    }
+
+    /// The implementation style the handler must use.
+    pub fn style(&self) -> LogicStyle {
+        self.style
+    }
+
+    /// `true` in the `(sync)` configurations: replace `LOCK TABLES` with
+    /// [`app_lock`](Self::app_lock).
+    pub fn sync_mode(&self) -> bool {
+        self.style.is_sync()
+    }
+
+    /// The machine the current tier's code runs on.
+    pub(crate) fn current_machine(&self) -> MachineId {
+        match self.tier {
+            Tier::Generator => self.deployment.machines().generator(),
+            Tier::EjbServer => self
+                .deployment
+                .machines()
+                .ejb
+                .expect("EJB tier without EJB machine"),
+        }
+    }
+
+    /// The generator cost profile for the current architecture/tier.
+    pub(crate) fn gen_costs(&self) -> &GeneratorCosts {
+        match self.deployment.config().architecture() {
+            Architecture::Php => &self.costs.php,
+            // The servlet container and the EJB server both use the
+            // interpreted JDBC driver.
+            Architecture::Servlet { .. } | Architecture::Ejb => &self.costs.servlet,
+        }
+    }
+
+    /// Executes one SQL statement and charges its full simulated cost:
+    /// driver CPU, wire transfer to the database machine, MyISAM table
+    /// locks, database CPU, and the reply.
+    ///
+    /// # Errors
+    ///
+    /// Database errors, plus a constraint error when a statement touches a
+    /// table not covered by a held `LOCK TABLES` set (MySQL semantics).
+    pub fn query(&mut self, sql: &str, params: &[Value]) -> AppResult<QueryResult> {
+        let result = self.db.execute(sql, params).map_err(AppError::Sql)?;
+        let gen = self.current_machine();
+        let db_machine = self.deployment.machines().db;
+        let g = *self.gen_costs();
+        let param_bytes: u64 = params.iter().map(Value::wire_size).sum();
+        let req_bytes = CostModel::query_wire_bytes(sql.len(), param_bytes);
+
+        self.stats.queries += 1;
+
+        match &result.kind {
+            StatementKind::LockTables(list) => {
+                if !self.held_tables.is_empty() {
+                    return Err(AppError::Sql(SqlError::Constraint(
+                        "LOCK TABLES while already holding locks".into(),
+                    )));
+                }
+                self.push(Op::Cpu { machine: gen, micros: g.per_query.round() as u64 });
+                self.push(Op::Net { from: gen, to: db_machine, bytes: req_bytes });
+                // Acquire in lock-id order: deadlock-free by global order.
+                let mut to_take: Vec<(String, TableLockKind, LockId)> = list
+                    .iter()
+                    .map(|(t, k)| (t.clone(), *k, self.deployment.table_lock(t)))
+                    .collect();
+                to_take.sort_by_key(|(_, _, id)| *id);
+                for (t, k, id) in to_take {
+                    self.push(Op::Lock {
+                        lock: id,
+                        mode: match k {
+                            TableLockKind::Read => LockMode::Shared,
+                            TableLockKind::Write => LockMode::Exclusive,
+                        },
+                    });
+                    self.held_tables.push((t, k, id));
+                }
+                let cost = self.db.statement_cost(&result.counters);
+                self.stats.db_micros += cost;
+                self.push_db_execution(db_machine, cost);
+                self.push(Op::Net { from: db_machine, to: gen, bytes: 64 });
+            }
+            StatementKind::UnlockTables => {
+                self.push(Op::Cpu { machine: gen, micros: g.per_query.round() as u64 });
+                self.push(Op::Net { from: gen, to: db_machine, bytes: req_bytes });
+                for (_, _, id) in self.held_tables.drain(..).rev().collect::<Vec<_>>() {
+                    self.push(Op::Unlock { lock: id });
+                }
+                let cost = self.db.statement_cost(&result.counters);
+                self.stats.db_micros += cost;
+                self.push_db_execution(db_machine, cost);
+                self.push(Op::Net { from: db_machine, to: gen, bytes: 64 });
+            }
+            StatementKind::Read | StatementKind::Write => {
+                // Implicit per-statement locks for tables not already
+                // covered by LOCK TABLES.
+                let mut needed: Vec<(LockId, LockMode)> = Vec::new();
+                for t in &result.read_tables {
+                    self.check_or_collect(t, TableLockKind::Read, &mut needed)?;
+                }
+                for t in &result.write_tables {
+                    self.check_or_collect(t, TableLockKind::Write, &mut needed)?;
+                }
+                needed.sort_by_key(|(id, _)| *id);
+                needed.dedup_by_key(|(id, _)| *id);
+
+                let resp_bytes = result.counters.bytes_returned + 64;
+                let cost = self.db.statement_cost(&result.counters);
+                self.stats.db_micros += cost;
+                self.stats.rows_returned += result.counters.rows_returned;
+
+                self.push(Op::Cpu { machine: gen, micros: g.per_query.round() as u64 });
+                self.push(Op::Net { from: gen, to: db_machine, bytes: req_bytes });
+                for (id, mode) in &needed {
+                    self.push(Op::Lock { lock: *id, mode: *mode });
+                }
+                self.push_db_execution(db_machine, cost);
+                for (id, _) in needed.iter().rev() {
+                    self.push(Op::Unlock { lock: *id });
+                }
+                self.push(Op::Net { from: db_machine, to: gen, bytes: resp_bytes });
+                let decode = (g.per_result_byte * resp_bytes as f64).round() as u64;
+                if decode > 0 {
+                    self.push(Op::Cpu { machine: gen, micros: decode });
+                }
+            }
+        }
+        Ok(result)
+    }
+
+    /// Validates MyISAM's locking discipline for one table touched by a
+    /// statement, or records the implicit lock to take.
+    fn check_or_collect(
+        &self,
+        table: &str,
+        want: TableLockKind,
+        needed: &mut Vec<(LockId, LockMode)>,
+    ) -> AppResult<()> {
+        if let Some((_, held_kind, _)) = self.held_tables.iter().find(|(t, _, _)| t == table) {
+            if want == TableLockKind::Write && *held_kind == TableLockKind::Read {
+                return Err(AppError::Sql(SqlError::Constraint(format!(
+                    "table '{table}' was locked READ but the statement writes it"
+                ))));
+            }
+            return Ok(()); // covered by the explicit lock
+        }
+        if !self.held_tables.is_empty() {
+            return Err(AppError::Sql(SqlError::Constraint(format!(
+                "table '{table}' was not mentioned in LOCK TABLES"
+            ))));
+        }
+        let mode = match want {
+            TableLockKind::Read => LockMode::Shared,
+            TableLockKind::Write => LockMode::Exclusive,
+        };
+        needed.push((self.deployment.table_lock(table), mode));
+        Ok(())
+    }
+
+    /// Emits the execution of one statement on the database machine.
+    fn push_db_execution(&mut self, db_machine: dynamid_sim::MachineId, cost: u64) {
+        self.push(Op::Cpu { machine: db_machine, micros: cost });
+    }
+
+    /// Charges business-logic CPU on the current tier's machine.
+    pub fn cpu(&mut self, micros: u64) {
+        if micros > 0 {
+            let machine = self.current_machine();
+            self.push(Op::Cpu { machine, micros });
+        }
+    }
+
+    /// Appends generated HTML. The byte count drives per-byte generation
+    /// CPU and the response's network cost; the text itself is kept only
+    /// when capture was requested (examples, tests).
+    pub fn emit(&mut self, html: &str) {
+        self.output_bytes += html.len() as u64;
+        if let Some(buf) = &mut self.capture {
+            buf.push_str(html);
+        }
+    }
+
+    /// Accounts `bytes` of generated output without materializing text
+    /// (bulk table rows).
+    pub fn emit_bytes(&mut self, bytes: u64) {
+        self.output_bytes += bytes;
+        if let Some(buf) = &mut self.capture {
+            buf.extend(std::iter::repeat('.').take(bytes.min(4_096) as usize));
+        }
+    }
+
+    /// Declares an embedded static asset (item thumbnail, button) the
+    /// client will fetch as part of this interaction.
+    pub fn embed_asset(&mut self, asset: StaticAsset) {
+        self.assets.push(asset);
+    }
+
+    /// Acquires a container-level lock (sync configurations). Striped by
+    /// `key`; re-entrant acquisition of the same stripe is counted, not
+    /// re-locked.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the group was not declared in
+    /// [`Application::app_locks`](crate::Application::app_locks).
+    pub fn app_lock(&mut self, group: &str, key: u64) {
+        let id = self.deployment.app_lock(group, key);
+        if let Some((_, n)) = self.held_app.iter_mut().find(|(l, _)| *l == id) {
+            *n += 1;
+            return;
+        }
+        self.held_app.push((id, 1));
+        self.push(Op::Lock { lock: id, mode: LockMode::Exclusive });
+    }
+
+    /// Releases a container-level lock taken with
+    /// [`app_lock`](Self::app_lock).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the stripe is not currently held.
+    pub fn app_unlock(&mut self, group: &str, key: u64) {
+        let id = self.deployment.app_lock(group, key);
+        let pos = self
+            .held_app
+            .iter()
+            .position(|(l, _)| *l == id)
+            .expect("app_unlock of a stripe that is not held");
+        self.held_app[pos].1 -= 1;
+        if self.held_app[pos].1 == 0 {
+            self.held_app.remove(pos);
+            self.push(Op::Unlock { lock: id });
+        }
+    }
+
+    /// Sets the response status (defaults to 200 OK).
+    pub fn set_status(&mut self, status: Status) {
+        self.status = status;
+    }
+
+    /// The response status so far.
+    pub fn status(&self) -> Status {
+        self.status
+    }
+
+    /// Generated output bytes so far.
+    pub fn output_bytes(&self) -> u64 {
+        self.output_bytes
+    }
+
+    /// Captured HTML, when capture was requested.
+    pub fn captured_html(&self) -> Option<&str> {
+        self.capture.as_deref()
+    }
+
+    /// Embedded assets declared so far.
+    pub(crate) fn assets(&self) -> &[StaticAsset] {
+        &self.assets
+    }
+
+    pub(crate) fn push(&mut self, op: Op) {
+        self.trace.push(op);
+    }
+
+    /// Releases anything still held (error paths, handler bugs) so the
+    /// trace stays balanced; returns how many locks had to be forced.
+    pub(crate) fn force_release(&mut self) -> u64 {
+        let mut forced = 0;
+        for (_, _, id) in self.held_tables.drain(..).rev().collect::<Vec<_>>() {
+            self.trace.push(Op::Unlock { lock: id });
+            forced += 1;
+        }
+        for (id, _) in self.held_app.drain(..).rev().collect::<Vec<_>>() {
+            self.trace.push(Op::Unlock { lock: id });
+            forced += 1;
+        }
+        self.stats.forced_unlocks += forced;
+        forced
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::{AppLockSpec, AppResult, Application, InteractionSpec};
+    use crate::session::SessionData;
+    use dynamid_sim::{SimDuration, SimRng, Simulation};
+    use dynamid_sqldb::{ColumnType, TableSchema};
+
+    struct NoApp;
+    impl Application for NoApp {
+        fn name(&self) -> &str {
+            "none"
+        }
+        fn interactions(&self) -> &[InteractionSpec] {
+            &[]
+        }
+        fn app_locks(&self) -> Vec<AppLockSpec> {
+            vec![AppLockSpec::new("g", 2)]
+        }
+        fn handle(
+            &self,
+            _id: usize,
+            _ctx: &mut RequestCtx<'_>,
+            _s: &mut SessionData,
+            _r: &mut SimRng,
+        ) -> AppResult<()> {
+            Ok(())
+        }
+    }
+
+    fn setup(
+        config: crate::deploy::StandardConfig,
+    ) -> (Simulation, Database, Deployment, CostModel) {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::builder("items")
+                .column("id", ColumnType::Int)
+                .column("stock", ColumnType::Int)
+                .primary_key("id")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db.create_table(
+            TableSchema::builder("orders")
+                .column("id", ColumnType::Int)
+                .column("item", ColumnType::Int)
+                .primary_key("id")
+                .auto_increment()
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db.execute("INSERT INTO items (id, stock) VALUES (1, 10)", &[])
+            .unwrap();
+        let mut sim = Simulation::new(SimDuration::from_micros(100));
+        let dep = Deployment::install(&mut sim, config, &db, &NoApp, 512);
+        (sim, db, dep, CostModel::default())
+    }
+
+    use crate::deploy::StandardConfig::*;
+
+    #[test]
+    fn query_builds_locked_db_roundtrip() {
+        let (_sim, mut db, dep, costs) = setup(PhpColocated);
+        let mut ctx = RequestCtx::new(
+            &mut db,
+            &dep,
+            &costs,
+            LogicStyle::ExplicitSql { sync: false },
+            false,
+        );
+        let r = ctx
+            .query("SELECT stock FROM items WHERE id = ?", &[Value::Int(1)])
+            .unwrap();
+        assert_eq!(r.rows[0][0], Value::Int(10));
+        let ops = ctx.trace.ops();
+        // Driver CPU, request transfer, lock, DB CPU, unlock, reply
+        // transfer, decode CPU.
+        assert!(matches!(ops[0], Op::Cpu { .. }));
+        assert!(matches!(ops[1], Op::Net { .. }));
+        assert!(matches!(ops[2], Op::Lock { mode: LockMode::Shared, .. }));
+        assert!(matches!(ops[3], Op::Cpu { .. }));
+        assert!(matches!(ops[4], Op::Unlock { .. }));
+        assert!(matches!(ops[5], Op::Net { .. }));
+        assert!(ctx.trace.check_balanced().is_ok());
+        assert_eq!(ctx.stats.queries, 1);
+        assert!(ctx.stats.db_micros > 0);
+    }
+
+    #[test]
+    fn write_takes_exclusive_lock() {
+        let (_sim, mut db, dep, costs) = setup(PhpColocated);
+        let mut ctx = RequestCtx::new(
+            &mut db,
+            &dep,
+            &costs,
+            LogicStyle::ExplicitSql { sync: false },
+            false,
+        );
+        ctx.query("UPDATE items SET stock = stock - 1 WHERE id = 1", &[])
+            .unwrap();
+        assert!(ctx
+            .trace
+            .ops()
+            .iter()
+            .any(|op| matches!(op, Op::Lock { mode: LockMode::Exclusive, .. })));
+    }
+
+    #[test]
+    fn explicit_lock_tables_span_statements() {
+        let (_sim, mut db, dep, costs) = setup(PhpColocated);
+        let items_lock = dep.table_lock("items");
+        let mut ctx = RequestCtx::new(
+            &mut db,
+            &dep,
+            &costs,
+            LogicStyle::ExplicitSql { sync: false },
+            false,
+        );
+        ctx.query("LOCK TABLES items WRITE", &[]).unwrap();
+        ctx.query("UPDATE items SET stock = stock - 1 WHERE id = 1", &[])
+            .unwrap();
+        ctx.query("SELECT stock FROM items WHERE id = 1", &[]).unwrap();
+        ctx.query("UNLOCK TABLES", &[]).unwrap();
+        let locks: Vec<&Op> = ctx
+            .trace
+            .ops()
+            .iter()
+            .filter(|op| matches!(op, Op::Lock { .. } | Op::Unlock { .. }))
+            .collect();
+        // Exactly one lock/unlock pair for the whole span.
+        assert_eq!(locks.len(), 2);
+        assert!(matches!(
+            locks[0],
+            Op::Lock { lock, mode: LockMode::Exclusive } if *lock == items_lock
+        ));
+        assert!(ctx.trace.check_balanced().is_ok());
+    }
+
+    #[test]
+    fn statement_outside_lock_set_is_rejected() {
+        let (_sim, mut db, dep, costs) = setup(PhpColocated);
+        let mut ctx = RequestCtx::new(
+            &mut db,
+            &dep,
+            &costs,
+            LogicStyle::ExplicitSql { sync: false },
+            false,
+        );
+        ctx.query("LOCK TABLES items WRITE", &[]).unwrap();
+        let err = ctx
+            .query("INSERT INTO orders (id, item) VALUES (NULL, 1)", &[])
+            .unwrap_err();
+        assert!(err.to_string().contains("not mentioned in LOCK TABLES"));
+        // Writing a READ-locked table is also rejected.
+        ctx.query("UNLOCK TABLES", &[]).unwrap();
+        ctx.query("LOCK TABLES items READ", &[]).unwrap();
+        let err = ctx
+            .query("UPDATE items SET stock = 0 WHERE id = 1", &[])
+            .unwrap_err();
+        assert!(err.to_string().contains("locked READ"));
+    }
+
+    #[test]
+    fn app_locks_are_reentrant_and_balanced() {
+        let (_sim, mut db, dep, costs) = setup(ServletColocatedSync);
+        let mut ctx = RequestCtx::new(
+            &mut db,
+            &dep,
+            &costs,
+            LogicStyle::ExplicitSql { sync: true },
+            false,
+        );
+        assert!(ctx.sync_mode());
+        ctx.app_lock("g", 0);
+        ctx.app_lock("g", 2); // same stripe (2 % 2 == 0): re-entrant
+        ctx.app_unlock("g", 2);
+        ctx.app_unlock("g", 0);
+        let lock_ops = ctx
+            .trace
+            .ops()
+            .iter()
+            .filter(|op| matches!(op, Op::Lock { .. }))
+            .count();
+        assert_eq!(lock_ops, 1);
+        assert!(ctx.trace.check_balanced().is_ok());
+    }
+
+    #[test]
+    fn force_release_balances_dangling_locks() {
+        let (_sim, mut db, dep, costs) = setup(PhpColocated);
+        let mut ctx = RequestCtx::new(
+            &mut db,
+            &dep,
+            &costs,
+            LogicStyle::ExplicitSql { sync: false },
+            false,
+        );
+        ctx.query("LOCK TABLES items WRITE, orders WRITE", &[]).unwrap();
+        assert!(ctx.trace.check_balanced().is_err());
+        assert_eq!(ctx.force_release(), 2);
+        assert!(ctx.trace.check_balanced().is_ok());
+        assert_eq!(ctx.stats.forced_unlocks, 2);
+    }
+
+    #[test]
+    fn emit_accumulates_and_captures() {
+        let (_sim, mut db, dep, costs) = setup(PhpColocated);
+        let mut ctx = RequestCtx::new(
+            &mut db,
+            &dep,
+            &costs,
+            LogicStyle::ExplicitSql { sync: false },
+            true,
+        );
+        ctx.emit("<html>");
+        ctx.emit_bytes(100);
+        assert_eq!(ctx.output_bytes(), 106);
+        assert!(ctx.captured_html().unwrap().starts_with("<html>"));
+    }
+
+    #[test]
+    fn ejb_tier_charges_ejb_machine() {
+        let (_sim, mut db, dep, costs) = setup(EjbFourTier);
+        let mut ctx = RequestCtx::new(&mut db, &dep, &costs, LogicStyle::EntityBean, false);
+        let servlet = ctx.current_machine();
+        ctx.tier = Tier::EjbServer;
+        let ejb = ctx.current_machine();
+        assert_ne!(servlet, ejb);
+        ctx.query("SELECT stock FROM items WHERE id = 1", &[]).unwrap();
+        assert!(ctx.trace.cpu_demand(ejb) > 0);
+        assert_eq!(ctx.trace.cpu_demand(servlet), 0);
+    }
+
+    #[test]
+    fn status_and_asset_tracking() {
+        let (_sim, mut db, dep, costs) = setup(PhpColocated);
+        let mut ctx = RequestCtx::new(
+            &mut db,
+            &dep,
+            &costs,
+            LogicStyle::ExplicitSql { sync: false },
+            false,
+        );
+        assert_eq!(ctx.status(), Status::Ok);
+        ctx.set_status(Status::ClientError);
+        assert_eq!(ctx.status(), Status::ClientError);
+        ctx.embed_asset(StaticAsset::thumbnail());
+        ctx.embed_asset(StaticAsset::button());
+        assert_eq!(ctx.assets().len(), 2);
+    }
+}

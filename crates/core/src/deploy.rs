@@ -1,0 +1,405 @@
+//! The six deployment configurations evaluated in the paper, and their
+//! installation into a simulation.
+
+use crate::app::{AppLockSpec, Application, LogicStyle};
+use dynamid_sim::{LockId, MachineId, SemaphoreId, Simulation};
+use dynamid_sqldb::Database;
+use std::collections::HashMap;
+use std::fmt;
+
+/// One reference machine: one 1.33 GHz Athlon core.
+pub const MACHINE_CORES: f64 = 1.0;
+/// Switched 100 Mb/s Ethernet, as in the paper.
+pub const MACHINE_NIC_MBPS: f64 = 100.0;
+/// The client farm is "enough machines that clients are never the
+/// bottleneck" (§4.4): model it as one very wide machine.
+pub const CLIENT_CORES: f64 = 4096.0;
+/// Aggregate client-side NIC capacity (never limiting).
+pub const CLIENT_NIC_MBPS: f64 = 100_000.0;
+
+/// The dynamic-content architecture a deployment uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Architecture {
+    /// Scripts in the web-server process (PHP).
+    Php,
+    /// Out-of-process servlet container; `sync` moves table locking into
+    /// the container.
+    Servlet {
+        /// Container-level locking replaces SQL `LOCK TABLES`.
+        sync: bool,
+    },
+    /// Servlet presentation + EJB session façades + entity beans.
+    Ejb,
+}
+
+/// The six configurations of Figure 4 in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StandardConfig {
+    /// `WsPhp-DB`: PHP module in the web server; DB on its own machine.
+    PhpColocated,
+    /// `WsServlet-DB`: servlet container co-located with the web server.
+    ServletColocated,
+    /// `WsServlet-DB(sync)`: co-located, container-level locking.
+    ServletColocatedSync,
+    /// `Ws-Servlet-DB`: servlet container on a dedicated machine.
+    ServletDedicated,
+    /// `Ws-Servlet-DB(sync)`: dedicated machine, container-level locking.
+    ServletDedicatedSync,
+    /// `Ws-Servlet-EJB-DB`: four machines (web, servlet, EJB, DB).
+    EjbFourTier,
+    /// `WsPhp-DB(sync)` — **extension, not in the paper's six**: PHP with
+    /// application-level locking via System V semaphores, the possibility
+    /// the paper's §2.2 footnote mentions but declines to evaluate
+    /// ("because this feature is not available on all platforms").
+    PhpColocatedSync,
+}
+
+impl StandardConfig {
+    /// The six configurations the paper evaluates, in figure order (the
+    /// [`PhpColocatedSync`](StandardConfig::PhpColocatedSync) extension is
+    /// deliberately excluded; the figures reproduce the paper).
+    pub const ALL: [StandardConfig; 6] = [
+        StandardConfig::PhpColocated,
+        StandardConfig::ServletColocated,
+        StandardConfig::ServletColocatedSync,
+        StandardConfig::ServletDedicated,
+        StandardConfig::ServletDedicatedSync,
+        StandardConfig::EjbFourTier,
+    ];
+
+    /// The paper's label for this configuration.
+    pub fn paper_name(self) -> &'static str {
+        match self {
+            StandardConfig::PhpColocated => "WsPhp-DB",
+            StandardConfig::ServletColocated => "WsServlet-DB",
+            StandardConfig::ServletColocatedSync => "WsServlet-DB(sync)",
+            StandardConfig::ServletDedicated => "Ws-Servlet-DB",
+            StandardConfig::ServletDedicatedSync => "Ws-Servlet-DB(sync)",
+            StandardConfig::EjbFourTier => "Ws-Servlet-EJB-DB",
+            StandardConfig::PhpColocatedSync => "WsPhp-DB(sync)",
+        }
+    }
+
+    /// The architecture this configuration runs.
+    pub fn architecture(self) -> Architecture {
+        match self {
+            StandardConfig::PhpColocated | StandardConfig::PhpColocatedSync => Architecture::Php,
+            StandardConfig::ServletColocated | StandardConfig::ServletDedicated => {
+                Architecture::Servlet { sync: false }
+            }
+            StandardConfig::ServletColocatedSync | StandardConfig::ServletDedicatedSync => {
+                Architecture::Servlet { sync: true }
+            }
+            StandardConfig::EjbFourTier => Architecture::Ejb,
+        }
+    }
+
+    /// The implementation style handlers run under.
+    pub fn logic_style(self) -> LogicStyle {
+        match (self, self.architecture()) {
+            (StandardConfig::PhpColocatedSync, _) => LogicStyle::ExplicitSql { sync: true },
+            (_, Architecture::Php) => LogicStyle::ExplicitSql { sync: false },
+            (_, Architecture::Servlet { sync }) => LogicStyle::ExplicitSql { sync },
+            (_, Architecture::Ejb) => LogicStyle::EntityBean,
+        }
+    }
+
+    /// `true` when the servlet container runs on its own machine.
+    pub fn servlet_dedicated(self) -> bool {
+        matches!(
+            self,
+            StandardConfig::ServletDedicated
+                | StandardConfig::ServletDedicatedSync
+                | StandardConfig::EjbFourTier
+        )
+    }
+
+    /// Number of server machines (excluding clients).
+    pub fn server_machines(self) -> usize {
+        match self {
+            StandardConfig::PhpColocated
+            | StandardConfig::PhpColocatedSync
+            | StandardConfig::ServletColocated
+            | StandardConfig::ServletColocatedSync => 2,
+            StandardConfig::ServletDedicated | StandardConfig::ServletDedicatedSync => 3,
+            StandardConfig::EjbFourTier => 4,
+        }
+    }
+}
+
+impl fmt::Display for StandardConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.paper_name())
+    }
+}
+
+/// The machines of one installed deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MachineSet {
+    /// The (aggregated) client farm.
+    pub client: MachineId,
+    /// The web-server machine.
+    pub web: MachineId,
+    /// The servlet container's machine (equals `web` when co-located;
+    /// `None` for the PHP configuration).
+    pub servlet: Option<MachineId>,
+    /// The EJB server's machine (four-tier configuration only).
+    pub ejb: Option<MachineId>,
+    /// The database machine.
+    pub db: MachineId,
+}
+
+impl MachineSet {
+    /// The machine the dynamic-content generator runs on (the servlet
+    /// container's machine, or the web machine for PHP).
+    pub fn generator(&self) -> MachineId {
+        self.servlet.unwrap_or(self.web)
+    }
+}
+
+/// An installed deployment: machines plus the lock/semaphore identities the
+/// request context needs when compiling traces.
+#[derive(Debug)]
+pub struct Deployment {
+    config: StandardConfig,
+    machines: MachineSet,
+    table_locks: HashMap<String, LockId>,
+    app_locks: HashMap<String, Vec<LockId>>,
+    web_pool: SemaphoreId,
+}
+
+impl Deployment {
+    /// Installs `config` into `sim`: creates the machines, one lock per
+    /// database table, the application lock groups, and the web-server
+    /// process-pool semaphore.
+    pub fn install(
+        sim: &mut Simulation,
+        config: StandardConfig,
+        db: &Database,
+        app: &dyn Application,
+        web_processes: u32,
+    ) -> Deployment {
+        let client = sim.add_machine("clients", CLIENT_CORES, CLIENT_NIC_MBPS);
+        let web = sim.add_machine("web", MACHINE_CORES, MACHINE_NIC_MBPS);
+        let servlet = match config {
+            StandardConfig::PhpColocated | StandardConfig::PhpColocatedSync => None,
+            StandardConfig::ServletColocated | StandardConfig::ServletColocatedSync => Some(web),
+            _ => Some(sim.add_machine("servlet", MACHINE_CORES, MACHINE_NIC_MBPS)),
+        };
+        let ejb = match config {
+            StandardConfig::EjbFourTier => {
+                Some(sim.add_machine("ejb", MACHINE_CORES, MACHINE_NIC_MBPS))
+            }
+            _ => None,
+        };
+        let db_machine = sim.add_machine("db", MACHINE_CORES, MACHINE_NIC_MBPS);
+
+        let mut table_locks = HashMap::new();
+        for name in db.table_names() {
+            let id = sim.register_lock(format!("table:{name}"));
+            table_locks.insert(name.to_string(), id);
+        }
+        let mut app_locks = HashMap::new();
+        for AppLockSpec { group, stripes } in app.app_locks() {
+            let ids: Vec<LockId> = (0..stripes)
+                .map(|i| sim.register_lock(format!("app:{group}#{i}")))
+                .collect();
+            app_locks.insert(group, ids);
+        }
+        let web_pool = sim.register_semaphore("web-pool", web_processes);
+
+        Deployment {
+            config,
+            machines: MachineSet {
+                client,
+                web,
+                servlet,
+                ejb,
+                db: db_machine,
+            },
+            table_locks,
+            app_locks,
+            web_pool,
+        }
+    }
+
+    /// The configuration installed.
+    pub fn config(&self) -> StandardConfig {
+        self.config
+    }
+
+    /// The machine set.
+    pub fn machines(&self) -> &MachineSet {
+        &self.machines
+    }
+
+    /// Lock protecting a database table.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the table does not exist (tables are registered at
+    /// install time from the live catalog).
+    pub fn table_lock(&self, table: &str) -> LockId {
+        *self
+            .table_locks
+            .get(table)
+            .unwrap_or_else(|| panic!("no lock for table '{table}'"))
+    }
+
+    /// Whether the table exists in the lock registry.
+    pub fn has_table(&self, table: &str) -> bool {
+        self.table_locks.contains_key(table)
+    }
+
+    /// Container-level lock for `group`, striped by `key`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the group was not declared by the application.
+    pub fn app_lock(&self, group: &str, key: u64) -> LockId {
+        let stripes = self
+            .app_locks
+            .get(group)
+            .unwrap_or_else(|| panic!("undeclared app lock group '{group}'"));
+        stripes[(key % stripes.len() as u64) as usize]
+    }
+
+    /// The web-server process-pool semaphore.
+    pub fn web_pool(&self) -> SemaphoreId {
+        self.web_pool
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::{AppResult, InteractionSpec};
+    use crate::ctx::RequestCtx;
+    use crate::session::SessionData;
+    use dynamid_sim::{SimDuration, SimRng};
+    use dynamid_sqldb::{ColumnType, TableSchema};
+
+    struct NoApp;
+    impl Application for NoApp {
+        fn name(&self) -> &str {
+            "none"
+        }
+        fn interactions(&self) -> &[InteractionSpec] {
+            &[]
+        }
+        fn app_locks(&self) -> Vec<AppLockSpec> {
+            vec![AppLockSpec::new("items", 4)]
+        }
+        fn handle(
+            &self,
+            _id: usize,
+            _ctx: &mut RequestCtx<'_>,
+            _s: &mut SessionData,
+            _r: &mut SimRng,
+        ) -> AppResult<()> {
+            Ok(())
+        }
+    }
+
+    fn small_db() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::builder("items")
+                .column("id", ColumnType::Int)
+                .primary_key("id")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn paper_names_match() {
+        assert_eq!(StandardConfig::PhpColocated.paper_name(), "WsPhp-DB");
+        assert_eq!(
+            StandardConfig::ServletDedicatedSync.to_string(),
+            "Ws-Servlet-DB(sync)"
+        );
+        assert_eq!(StandardConfig::EjbFourTier.paper_name(), "Ws-Servlet-EJB-DB");
+    }
+
+    #[test]
+    fn architectures_and_styles() {
+        assert_eq!(StandardConfig::PhpColocated.architecture(), Architecture::Php);
+        assert_eq!(
+            StandardConfig::ServletColocatedSync.architecture(),
+            Architecture::Servlet { sync: true }
+        );
+        assert!(StandardConfig::ServletDedicatedSync.logic_style().is_sync());
+        assert_eq!(
+            StandardConfig::EjbFourTier.logic_style(),
+            LogicStyle::EntityBean
+        );
+    }
+
+    #[test]
+    fn machine_counts() {
+        assert_eq!(StandardConfig::PhpColocated.server_machines(), 2);
+        assert_eq!(StandardConfig::ServletDedicated.server_machines(), 3);
+        assert_eq!(StandardConfig::EjbFourTier.server_machines(), 4);
+        assert!(!StandardConfig::ServletColocated.servlet_dedicated());
+        assert!(StandardConfig::ServletDedicated.servlet_dedicated());
+    }
+
+    #[test]
+    fn install_colocated_shares_machine() {
+        let mut sim = Simulation::new(SimDuration::from_micros(100));
+        let db = small_db();
+        let d = Deployment::install(&mut sim, StandardConfig::ServletColocated, &db, &NoApp, 512);
+        assert_eq!(d.machines().servlet, Some(d.machines().web));
+        assert_eq!(d.machines().generator(), d.machines().web);
+        assert!(d.machines().ejb.is_none());
+        // client + web + db
+        assert_eq!(sim.machine_count(), 3);
+    }
+
+    #[test]
+    fn install_four_tier_has_four_servers() {
+        let mut sim = Simulation::new(SimDuration::from_micros(100));
+        let db = small_db();
+        let d = Deployment::install(&mut sim, StandardConfig::EjbFourTier, &db, &NoApp, 512);
+        assert_eq!(sim.machine_count(), 5); // clients + 4 servers
+        assert_ne!(d.machines().servlet, Some(d.machines().web));
+        assert!(d.machines().ejb.is_some());
+    }
+
+    #[test]
+    fn locks_registered_per_table_and_group() {
+        let mut sim = Simulation::new(SimDuration::from_micros(100));
+        let db = small_db();
+        let d = Deployment::install(&mut sim, StandardConfig::PhpColocated, &db, &NoApp, 512);
+        let l = d.table_lock("items");
+        assert!(d.has_table("items"));
+        assert!(!d.has_table("users"));
+        // Striped app locks map keys deterministically.
+        let a = d.app_lock("items", 1);
+        let b = d.app_lock("items", 5); // 5 % 4 == 1
+        assert_eq!(a, b);
+        assert_ne!(d.app_lock("items", 0), d.app_lock("items", 1));
+        assert_ne!(l, a);
+    }
+
+    #[test]
+    #[should_panic(expected = "undeclared app lock group")]
+    fn unknown_app_lock_group_panics() {
+        let mut sim = Simulation::new(SimDuration::from_micros(100));
+        let db = small_db();
+        let d = Deployment::install(&mut sim, StandardConfig::PhpColocated, &db, &NoApp, 512);
+        d.app_lock("nope", 0);
+    }
+
+    #[test]
+    fn generator_machine_for_php_is_web() {
+        let mut sim = Simulation::new(SimDuration::from_micros(100));
+        let db = small_db();
+        let d = Deployment::install(&mut sim, StandardConfig::PhpColocated, &db, &NoApp, 512);
+        assert_eq!(d.machines().generator(), d.machines().web);
+        assert!(d.machines().servlet.is_none());
+    }
+}

@@ -1,0 +1,118 @@
+//! Per-client session state.
+//!
+//! A client session (one emulated browser between login and logoff) carries
+//! application state across interactions: who is logged in, which shopping
+//! cart is active, which item was viewed last. The benchmark applications
+//! read and write this state to generate realistic parameter flows (you bid
+//! on the item you just viewed).
+
+use dynamid_sqldb::Value;
+use std::collections::HashMap;
+
+/// A typed key/value store scoped to one client session.
+///
+/// ```
+/// use dynamid_core::SessionData;
+/// let mut s = SessionData::new(7);
+/// s.set_int("user_id", 42);
+/// assert_eq!(s.int("user_id"), Some(42));
+/// assert_eq!(s.int("cart_id"), None);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SessionData {
+    client: u64,
+    values: HashMap<String, Value>,
+}
+
+impl SessionData {
+    /// Creates an empty session for client `client`.
+    pub fn new(client: u64) -> Self {
+        SessionData {
+            client,
+            values: HashMap::new(),
+        }
+    }
+
+    /// The owning client's id.
+    pub fn client(&self) -> u64 {
+        self.client
+    }
+
+    /// Stores a value under `key`.
+    pub fn set(&mut self, key: impl Into<String>, value: Value) {
+        self.values.insert(key.into(), value);
+    }
+
+    /// Stores an integer.
+    pub fn set_int(&mut self, key: impl Into<String>, value: i64) {
+        self.set(key, Value::Int(value));
+    }
+
+    /// Reads a value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.values.get(key)
+    }
+
+    /// Reads an integer, if present and integral.
+    pub fn int(&self, key: &str) -> Option<i64> {
+        self.values.get(key).and_then(Value::as_int)
+    }
+
+    /// Removes a value, returning it.
+    pub fn remove(&mut self, key: &str) -> Option<Value> {
+        self.values.remove(key)
+    }
+
+    /// Drops all state (used when a session ends and the client starts a
+    /// fresh one).
+    pub fn reset(&mut self) {
+        self.values.clear();
+    }
+
+    /// Number of stored values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` when no state is stored.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_remove() {
+        let mut s = SessionData::new(3);
+        assert_eq!(s.client(), 3);
+        s.set("name", Value::str("ann"));
+        s.set_int("user_id", 9);
+        assert_eq!(s.get("name"), Some(&Value::str("ann")));
+        assert_eq!(s.int("user_id"), Some(9));
+        assert_eq!(s.int("name"), None); // wrong type
+        assert_eq!(s.remove("name"), Some(Value::str("ann")));
+        assert_eq!(s.get("name"), None);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut s = SessionData::new(0);
+        s.set_int("a", 1);
+        s.set_int("b", 2);
+        assert_eq!(s.len(), 2);
+        s.reset();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn overwrite_replaces() {
+        let mut s = SessionData::new(0);
+        s.set_int("k", 1);
+        s.set_int("k", 2);
+        assert_eq!(s.int("k"), Some(2));
+        assert_eq!(s.len(), 1);
+    }
+}

@@ -1,0 +1,159 @@
+//! Command-line experiment runner: regenerates the paper's figures.
+//!
+//! ```text
+//! repro fig05                     one figure pair
+//! repro bookstore-shopping        same, by benchmark-mix name
+//! repro all                       every figure, CSVs into results/
+//! repro summary                   peak table across all figures
+//! options:
+//!   --fast            scaled-down populations and short windows
+//!   --scale <f>       population scale factor (default 1.0)
+//!   --clients a,b,c   explicit client sweep
+//!   --measure <secs>  measurement window length
+//!   --seed <n>        master seed
+//!   --out <dir>       output directory (default results/)
+//!   --quiet           suppress progress
+//! ```
+
+use dynamid_harness::report::{cpu_markdown, peak_summary_line, sweep_csv, throughput_markdown};
+use dynamid_harness::{find_figure, run_figure, FigureData, HarnessConfig, FIGURES};
+use dynamid_sim::SimDuration;
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = HarnessConfig::default();
+    cfg.verbose = true;
+    let mut targets: Vec<String> = Vec::new();
+    let mut out_dir = PathBuf::from("results");
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--fast" => {
+                let verbose = cfg.verbose;
+                cfg = HarnessConfig::fast();
+                cfg.verbose = verbose;
+            }
+            "--quiet" => cfg.verbose = false,
+            "--scale" => {
+                i += 1;
+                cfg.scale = match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(v) => v,
+                    None => return usage("--scale needs a number"),
+                };
+            }
+            "--seed" => {
+                i += 1;
+                cfg.seed = match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(v) => v,
+                    None => return usage("--seed needs an integer"),
+                };
+            }
+            "--measure" => {
+                i += 1;
+                cfg.measure = match args.get(i).and_then(|v| v.parse::<u64>().ok()) {
+                    Some(v) => SimDuration::from_secs(v),
+                    None => return usage("--measure needs seconds"),
+                };
+            }
+            "--clients" => {
+                i += 1;
+                let Some(list) = args.get(i) else {
+                    return usage("--clients needs a list");
+                };
+                match list
+                    .split(',')
+                    .map(|s| s.trim().parse::<usize>())
+                    .collect::<Result<Vec<_>, _>>()
+                {
+                    Ok(v) if !v.is_empty() => cfg.clients = v,
+                    _ => return usage("--clients needs comma-separated integers"),
+                }
+            }
+            "--out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(d) => out_dir = PathBuf::from(d),
+                    None => return usage("--out needs a directory"),
+                }
+            }
+            "--policy" => {
+                // Ablation: MyISAM grants writers priority; FIFO shows how
+                // much of the bookstore contention collapse that policy
+                // choice causes.
+                i += 1;
+                cfg.policy = match args.get(i).map(String::as_str) {
+                    Some("fifo") => dynamid_sim::GrantPolicy::Fifo,
+                    Some("writer") => dynamid_sim::GrantPolicy::WriterPriority,
+                    _ => return usage("--policy needs 'fifo' or 'writer'"),
+                };
+            }
+            flag if flag.starts_with("--") => {
+                return usage(&format!("unknown option {flag}"));
+            }
+            target => targets.push(target.to_string()),
+        }
+        i += 1;
+    }
+    if targets.is_empty() {
+        return usage("no target given");
+    }
+
+    if let Err(e) = fs::create_dir_all(&out_dir) {
+        eprintln!("cannot create {}: {e}", out_dir.display());
+        return ExitCode::FAILURE;
+    }
+
+    for target in &targets {
+        match target.as_str() {
+            "all" => {
+                for pair in FIGURES {
+                    run_and_emit(pair.throughput_id, &cfg, &out_dir);
+                }
+            }
+            "summary" => {
+                println!("# Peak throughput summary (all figures)\n");
+                for pair in FIGURES {
+                    eprintln!("== {}", pair.title);
+                    let data = run_figure(pair, &cfg);
+                    println!("## {}", pair.title);
+                    for curve in &data.curves {
+                        println!("{}", peak_summary_line(curve));
+                    }
+                    println!();
+                }
+            }
+            key => {
+                if find_figure(key).is_none() {
+                    return usage(&format!("unknown figure '{key}'"));
+                }
+                run_and_emit(key, &cfg, &out_dir);
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn run_and_emit(key: &str, cfg: &HarnessConfig, out_dir: &std::path::Path) {
+    let pair = find_figure(key).expect("validated by caller");
+    eprintln!("== {} ({} / {})", pair.title, pair.throughput_id, pair.cpu_id);
+    let data: FigureData = run_figure(pair, cfg);
+    println!("{}", throughput_markdown(&data));
+    println!("{}", cpu_markdown(&data));
+    let csv_path = out_dir.join(format!("{}.csv", pair.throughput_id));
+    if let Err(e) = fs::write(&csv_path, sweep_csv(&data)) {
+        eprintln!("could not write {}: {e}", csv_path.display());
+    } else {
+        eprintln!("wrote {}", csv_path.display());
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("error: {err}\n");
+    eprintln!("usage: repro [options] <fig05|..|fig13|bookstore-shopping|..|all|summary>");
+    eprintln!("options: --fast --quiet --scale <f> --clients a,b,c --measure <secs> --seed <n> --out <dir> --policy fifo|writer");
+    ExitCode::FAILURE
+}

@@ -1,0 +1,314 @@
+//! The paper's experiment catalog: one entry per throughput/CPU figure
+//! pair, plus the sweep runner that regenerates them.
+
+use crate::HarnessConfig;
+use dynamid_auction::{Auction, AuctionScale};
+use dynamid_bookstore::{Bookstore, BookstoreScale};
+use dynamid_core::{Application, CostModel, StandardConfig};
+use dynamid_sqldb::Database;
+use dynamid_workload::{
+    run_experiment_with_policy, ExperimentResult, Mix, WorkloadConfig,
+};
+
+/// Which benchmark application a figure uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Benchmark {
+    /// TPC-W online bookstore.
+    Bookstore,
+    /// Auction site.
+    Auction,
+}
+
+/// One throughput-curve figure and its companion CPU-utilization figure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FigurePair {
+    /// Paper id of the throughput figure ("fig05").
+    pub throughput_id: &'static str,
+    /// Paper id of the CPU figure ("fig06").
+    pub cpu_id: &'static str,
+    /// The benchmark.
+    pub benchmark: Benchmark,
+    /// Mix name within the benchmark.
+    pub mix: &'static str,
+    /// Human-readable description.
+    pub title: &'static str,
+}
+
+/// All five figure pairs of the paper's evaluation (Figures 5–14).
+pub const FIGURES: [FigurePair; 5] = [
+    FigurePair {
+        throughput_id: "fig05",
+        cpu_id: "fig06",
+        benchmark: Benchmark::Bookstore,
+        mix: "shopping",
+        title: "Online bookstore, shopping mix (80/20)",
+    },
+    FigurePair {
+        throughput_id: "fig07",
+        cpu_id: "fig08",
+        benchmark: Benchmark::Bookstore,
+        mix: "browsing",
+        title: "Online bookstore, browsing mix (95/5)",
+    },
+    FigurePair {
+        throughput_id: "fig09",
+        cpu_id: "fig10",
+        benchmark: Benchmark::Bookstore,
+        mix: "ordering",
+        title: "Online bookstore, ordering mix (50/50)",
+    },
+    FigurePair {
+        throughput_id: "fig11",
+        cpu_id: "fig12",
+        benchmark: Benchmark::Auction,
+        mix: "bidding",
+        title: "Auction site, bidding mix (15% read-write)",
+    },
+    FigurePair {
+        throughput_id: "fig13",
+        cpu_id: "fig14",
+        benchmark: Benchmark::Auction,
+        mix: "browsing",
+        title: "Auction site, browsing mix (read-only)",
+    },
+];
+
+/// Looks a figure pair up by either of its ids or by
+/// `"<benchmark>-<mix>"`.
+pub fn find_figure(key: &str) -> Option<FigurePair> {
+    FIGURES.iter().copied().find(|f| {
+        f.throughput_id == key
+            || f.cpu_id == key
+            || format!(
+                "{}-{}",
+                match f.benchmark {
+                    Benchmark::Bookstore => "bookstore",
+                    Benchmark::Auction => "auction",
+                },
+                f.mix
+            ) == key
+    })
+}
+
+/// One sweep point: a full experiment at one client count.
+#[derive(Debug, Clone)]
+pub struct CurvePoint {
+    /// Offered clients.
+    pub clients: usize,
+    /// Measured throughput (interactions per minute).
+    pub ipm: f64,
+    /// Fraction of completions that errored.
+    pub error_rate: f64,
+    /// Per-machine CPU utilization (0..1) over the window.
+    pub cpu: Vec<(String, f64)>,
+    /// Per-machine NIC throughput (Mb/s) over the window.
+    pub nic: Vec<(String, f64)>,
+    /// Total lock wait time per completed interaction (ms) — contention
+    /// diagnostic.
+    pub lock_wait_ms_per_interaction: f64,
+    /// Median response time (ms) of window completions.
+    pub latency_p50_ms: f64,
+    /// 90th-percentile response time (ms).
+    pub latency_p90_ms: f64,
+}
+
+impl CurvePoint {
+    fn from_result(r: &ExperimentResult) -> CurvePoint {
+        let lock_wait_ms = if r.metrics.completed > 0 {
+            r.lock_stats.wait_micros as f64 / 1_000.0 / r.metrics.completed as f64
+        } else {
+            0.0
+        };
+        CurvePoint {
+            clients: r.clients,
+            ipm: r.throughput_ipm,
+            error_rate: r.metrics.error_rate(),
+            cpu: r.resources.cpu_util.clone(),
+            nic: r.resources.nic_mbps.clone(),
+            lock_wait_ms_per_interaction: lock_wait_ms,
+            latency_p50_ms: r.metrics.latency.quantile(0.5).as_micros() as f64 / 1000.0,
+            latency_p90_ms: r.metrics.latency.quantile(0.9).as_micros() as f64 / 1000.0,
+        }
+    }
+
+    /// CPU utilization of the named machine, if present.
+    pub fn cpu_of(&self, machine: &str) -> Option<f64> {
+        self.cpu.iter().find(|(n, _)| n == machine).map(|(_, u)| *u)
+    }
+
+    /// NIC Mb/s of the named machine, if present.
+    pub fn nic_of(&self, machine: &str) -> Option<f64> {
+        self.nic.iter().find(|(n, _)| n == machine).map(|(_, u)| *u)
+    }
+}
+
+/// The sweep of one deployment configuration.
+#[derive(Debug, Clone)]
+pub struct ConfigCurve {
+    /// The deployment.
+    pub config: StandardConfig,
+    /// Points in increasing client order.
+    pub points: Vec<CurvePoint>,
+}
+
+impl ConfigCurve {
+    /// The point with the highest throughput.
+    pub fn peak(&self) -> &CurvePoint {
+        self.points
+            .iter()
+            .max_by(|a, b| a.ipm.total_cmp(&b.ipm))
+            .expect("curve has at least one point")
+    }
+}
+
+/// A fully executed figure pair.
+#[derive(Debug, Clone)]
+pub struct FigureData {
+    /// Which figure this is.
+    pub pair: FigurePair,
+    /// One curve per deployment configuration.
+    pub curves: Vec<ConfigCurve>,
+}
+
+impl FigureData {
+    /// The curve for one configuration.
+    pub fn curve(&self, config: StandardConfig) -> Option<&ConfigCurve> {
+        self.curves.iter().find(|c| c.config == config)
+    }
+}
+
+fn mix_for(pair: &FigurePair) -> Mix {
+    match (pair.benchmark, pair.mix) {
+        (Benchmark::Bookstore, "browsing") => dynamid_bookstore::mixes::browsing(),
+        (Benchmark::Bookstore, "shopping") => dynamid_bookstore::mixes::shopping(),
+        (Benchmark::Bookstore, "ordering") => dynamid_bookstore::mixes::ordering(),
+        (Benchmark::Auction, "bidding") => dynamid_auction::mixes::bidding(),
+        (Benchmark::Auction, "browsing") => dynamid_auction::mixes::browsing(),
+        other => panic!("unknown benchmark/mix {other:?}"),
+    }
+}
+
+/// Default client sweep for a benchmark at population scale 1.0. Chosen to
+/// bracket the saturation knee of every configuration under the default
+/// cost model.
+pub fn default_clients(benchmark: Benchmark) -> Vec<usize> {
+    match benchmark {
+        Benchmark::Bookstore => vec![50, 100, 150, 225, 325, 450],
+        Benchmark::Auction => vec![100, 250, 500, 800, 1200, 1700, 2300, 3000],
+    }
+}
+
+/// Runs the full sweep for one figure pair.
+pub fn run_figure(pair: FigurePair, cfg: &HarnessConfig) -> FigureData {
+    let clients = if cfg.clients.is_empty() {
+        default_clients(pair.benchmark)
+    } else {
+        cfg.clients.clone()
+    };
+    let mix = mix_for(&pair);
+    let mut curves = Vec::new();
+    for config in &cfg.configs {
+        let (base_db, app): (Database, Box<dyn Application>) = match pair.benchmark {
+            Benchmark::Bookstore => {
+                let scale = BookstoreScale::scaled(cfg.scale);
+                (
+                    dynamid_bookstore::build_db(&scale, cfg.seed).expect("population"),
+                    Box::new(Bookstore::new(scale)),
+                )
+            }
+            Benchmark::Auction => {
+                let scale = AuctionScale::scaled(cfg.scale);
+                (
+                    dynamid_auction::build_db(&scale, cfg.seed).expect("population"),
+                    Box::new(Auction::new(scale)),
+                )
+            }
+        };
+        let mut points = Vec::new();
+        for &n in &clients {
+            let mut db = base_db.clone();
+            let workload = WorkloadConfig {
+                clients: n,
+                think_time: cfg.think_time,
+                session_time: cfg.session_time,
+                ramp_up: cfg.ramp_up,
+                measure: cfg.measure,
+                ramp_down: cfg.ramp_down,
+                seed: cfg.seed ^ n as u64,
+            };
+            let result = run_experiment_with_policy(
+                &mut db,
+                app.as_ref(),
+                &mix,
+                *config,
+                CostModel::default(),
+                workload,
+                cfg.policy,
+            );
+            if cfg.verbose {
+                eprintln!(
+                    "  {:<22} clients={:<6} ipm={:>9.0} errors={:.2}%",
+                    config.paper_name(),
+                    n,
+                    result.throughput_ipm,
+                    result.metrics.error_rate() * 100.0
+                );
+            }
+            points.push(CurvePoint::from_result(&result));
+        }
+        curves.push(ConfigCurve {
+            config: *config,
+            points,
+        });
+    }
+    FigureData { pair, curves }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_covers_all_ten_figures() {
+        assert_eq!(FIGURES.len(), 5);
+        let ids: Vec<&str> = FIGURES
+            .iter()
+            .flat_map(|f| [f.throughput_id, f.cpu_id])
+            .collect();
+        assert_eq!(
+            ids,
+            vec![
+                "fig05", "fig06", "fig07", "fig08", "fig09", "fig10", "fig11", "fig12",
+                "fig13", "fig14"
+            ]
+        );
+    }
+
+    #[test]
+    fn lookup_by_any_key() {
+        assert_eq!(find_figure("fig05").unwrap().mix, "shopping");
+        assert_eq!(find_figure("fig12").unwrap().mix, "bidding");
+        assert_eq!(find_figure("bookstore-ordering").unwrap().cpu_id, "fig10");
+        assert_eq!(find_figure("auction-browsing").unwrap().throughput_id, "fig13");
+        assert!(find_figure("fig99").is_none());
+    }
+
+    #[test]
+    fn tiny_sweep_produces_curves() {
+        let cfg = HarnessConfig::smoke();
+        let pair = find_figure("fig11").unwrap();
+        let data = run_figure(pair, &cfg);
+        assert_eq!(data.curves.len(), cfg.configs.len());
+        for curve in &data.curves {
+            assert_eq!(curve.points.len(), cfg.clients.len());
+            assert!(curve.peak().ipm > 0.0, "{}", curve.config);
+            // Every point reports the web and db machines.
+            for p in &curve.points {
+                assert!(p.cpu_of("web").is_some());
+                assert!(p.cpu_of("db").is_some());
+                assert!(p.nic_of("web").is_some());
+            }
+        }
+        assert!(data.curve(cfg.configs[0]).is_some());
+    }
+}

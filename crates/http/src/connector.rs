@@ -1,0 +1,135 @@
+//! Connectors between the web server and a dynamic-content generator.
+//!
+//! The paper's three architectures differ precisely here:
+//!
+//! * PHP runs as a module **inside** the Apache process — no IPC at all;
+//! * the Tomcat servlet engine is a separate JVM process reached over the
+//!   **AJP12** protocol — per-request and per-byte marshalling cost on both
+//!   sides, plus network transfer when the engine runs on its own machine;
+//! * the JOnAS EJB server is reached from the servlets over **RMI** — a
+//!   much heavier per-call serialization cost.
+//!
+//! §6.1 of the paper measures the AJP12 path at ~191 µs per character of
+//! dynamic content crossing the Web-server/servlet-engine boundary on their
+//! profiling run; our default per-byte constants are calibrated so the
+//! *relative* overhead of servlets vs PHP lands where the paper's
+//! throughput ratios put it (PHP ≈ +33% over co-located servlets on the
+//! auction bidding mix).
+
+/// CPU cost of crossing a connector, charged on each side.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConnectorCosts {
+    /// Per crossing (request or reply), each side.
+    pub per_message: f64,
+    /// Per payload byte, each side.
+    pub per_byte: f64,
+}
+
+/// How the web server reaches the dynamic-content generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Connector {
+    /// Same process, same address space (mod_php): only the interpreter
+    /// invocation cost.
+    InProcess {
+        /// Interpreter entry cost per request.
+        invoke: f64,
+    },
+    /// Apache JServ Protocol to a separate servlet-engine process.
+    Ajp(ConnectorCosts),
+    /// Java RMI between the servlet engine and the EJB server.
+    Rmi(ConnectorCosts),
+}
+
+impl Connector {
+    /// The paper's mod_php configuration.
+    pub fn mod_php() -> Self {
+        Connector::InProcess { invoke: 150.0 }
+    }
+
+    /// AJP12 with defaults calibrated so the PHP-vs-co-located-servlet
+    /// throughput ratio lands where the paper's figures put it (see module
+    /// docs).
+    pub fn ajp12() -> Self {
+        Connector::Ajp(ConnectorCosts {
+            per_message: 120.0,
+            per_byte: 0.025,
+        })
+    }
+
+    /// RMI with defaults reflecting Java serialization circa JDK 1.3.
+    pub fn rmi() -> Self {
+        Connector::Rmi(ConnectorCosts {
+            per_message: 360.0,
+            per_byte: 0.20,
+        })
+    }
+
+    /// CPU microseconds charged on the *sending* side for a crossing with
+    /// `bytes` of payload.
+    pub fn send_micros(&self, bytes: u64) -> u64 {
+        match self {
+            Connector::InProcess { invoke } => invoke.round() as u64,
+            Connector::Ajp(c) | Connector::Rmi(c) => {
+                (c.per_message + c.per_byte * bytes as f64).round() as u64
+            }
+        }
+    }
+
+    /// CPU microseconds charged on the *receiving* side.
+    pub fn recv_micros(&self, bytes: u64) -> u64 {
+        match self {
+            // In-process: no second side.
+            Connector::InProcess { .. } => 0,
+            Connector::Ajp(c) | Connector::Rmi(c) => {
+                (c.per_message + c.per_byte * bytes as f64).round() as u64
+            }
+        }
+    }
+
+    /// `true` when crossing this connector involves a separate process
+    /// (and therefore may involve a separate machine).
+    pub fn is_out_of_process(&self) -> bool {
+        !matches!(self, Connector::InProcess { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_process_has_no_receive_cost() {
+        let c = Connector::mod_php();
+        assert!(c.send_micros(10_000) > 0);
+        assert_eq!(c.recv_micros(10_000), 0);
+        assert!(!c.is_out_of_process());
+    }
+
+    #[test]
+    fn ajp_scales_with_bytes_both_sides() {
+        let c = Connector::ajp12();
+        assert!(c.is_out_of_process());
+        let small = c.send_micros(100);
+        let big = c.send_micros(50_000);
+        assert!(big > small * 5);
+        assert_eq!(c.send_micros(1_000), c.recv_micros(1_000));
+    }
+
+    #[test]
+    fn rmi_is_heavier_than_ajp() {
+        let ajp = Connector::ajp12();
+        let rmi = Connector::rmi();
+        assert!(rmi.send_micros(1_000) > ajp.send_micros(1_000));
+    }
+
+    #[test]
+    fn php_cheaper_than_ajp_for_any_payload() {
+        let php = Connector::mod_php();
+        let ajp = Connector::ajp12();
+        for bytes in [0u64, 100, 1_000, 100_000] {
+            let php_total = php.send_micros(bytes) + php.recv_micros(bytes);
+            let ajp_total = ajp.send_micros(bytes) + ajp.recv_micros(bytes);
+            assert!(php_total < ajp_total, "bytes={bytes}");
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! HTTP request and response messages.
+//!
+//! The client emulator builds [`Request`]s; the middleware tiers produce
+//! [`Response`]s whose body size drives NIC and per-byte CPU charges.
+
+use std::fmt;
+
+/// Approximate bytes of HTTP request-line + headers on the wire.
+pub const REQUEST_OVERHEAD_BYTES: u64 = 350;
+/// Approximate bytes of HTTP status-line + headers on the wire.
+pub const RESPONSE_OVERHEAD_BYTES: u64 = 250;
+
+/// HTTP request method (the benchmarks use GET for reads and POST for
+/// form submissions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Method {
+    /// Idempotent page fetch.
+    #[default]
+    Get,
+    /// Form submission.
+    Post,
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Method::Get => write!(f, "GET"),
+            Method::Post => write!(f, "POST"),
+        }
+    }
+}
+
+/// HTTP response status (only what the benchmarks produce).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Status {
+    /// 200.
+    #[default]
+    Ok,
+    /// 4xx — e.g. failed authentication in the auction site.
+    ClientError,
+    /// 5xx — an application or database error.
+    ServerError,
+}
+
+impl Status {
+    /// Numeric code.
+    pub fn code(self) -> u16 {
+        match self {
+            Status::Ok => 200,
+            Status::ClientError => 400,
+            Status::ServerError => 500,
+        }
+    }
+}
+
+/// An HTTP request from an emulated client.
+///
+/// ```
+/// use dynamid_http::{Request, Method};
+/// let req = Request::new(Method::Get, "/item")
+///     .with_param("id", "42")
+///     .secure(true);
+/// assert_eq!(req.path(), "/item");
+/// assert_eq!(req.param("id"), Some("42"));
+/// assert!(req.is_secure());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Request {
+    method: Method,
+    path: String,
+    params: Vec<(String, String)>,
+    secure: bool,
+}
+
+impl Request {
+    /// Creates a request for `path`.
+    pub fn new(method: Method, path: impl Into<String>) -> Self {
+        Request {
+            method,
+            path: path.into(),
+            params: Vec::new(),
+            secure: false,
+        }
+    }
+
+    /// Adds a query/form parameter.
+    pub fn with_param(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.params.push((key.into(), value.into()));
+        self
+    }
+
+    /// Marks the request as HTTPS (TPC-W buy/admin interactions use SSL).
+    pub fn secure(mut self, secure: bool) -> Self {
+        self.secure = secure;
+        self
+    }
+
+    /// The method.
+    pub fn method(&self) -> Method {
+        self.method
+    }
+
+    /// The URL path.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// Looks up a parameter value.
+    pub fn param(&self, key: &str) -> Option<&str> {
+        self.params
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// All parameters in insertion order.
+    pub fn params(&self) -> &[(String, String)] {
+        &self.params
+    }
+
+    /// Whether the request travels over SSL.
+    pub fn is_secure(&self) -> bool {
+        self.secure
+    }
+
+    /// Approximate size on the wire (path + encoded params + headers).
+    pub fn wire_bytes(&self) -> u64 {
+        let params: usize = self
+            .params
+            .iter()
+            .map(|(k, v)| k.len() + v.len() + 2)
+            .sum();
+        REQUEST_OVERHEAD_BYTES + self.path.len() as u64 + params as u64
+    }
+}
+
+/// An HTTP response produced by a middleware tier.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    status: Status,
+    body_bytes: u64,
+}
+
+impl Response {
+    /// Creates a response carrying `body_bytes` of generated content.
+    pub fn new(status: Status, body_bytes: u64) -> Self {
+        Response { status, body_bytes }
+    }
+
+    /// An empty 200.
+    pub fn ok() -> Self {
+        Response::new(Status::Ok, 0)
+    }
+
+    /// The status.
+    pub fn status(&self) -> Status {
+        self.status
+    }
+
+    /// Generated body size in bytes.
+    pub fn body_bytes(&self) -> u64 {
+        self.body_bytes
+    }
+
+    /// Approximate size on the wire (body + headers).
+    pub fn wire_bytes(&self) -> u64 {
+        RESPONSE_OVERHEAD_BYTES + self.body_bytes
+    }
+}
+
+impl Default for Response {
+    fn default() -> Self {
+        Response::ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_builder_and_accessors() {
+        let r = Request::new(Method::Post, "/bid")
+            .with_param("item", "7")
+            .with_param("amount", "12.50");
+        assert_eq!(r.method(), Method::Post);
+        assert_eq!(r.param("amount"), Some("12.50"));
+        assert_eq!(r.param("nope"), None);
+        assert_eq!(r.params().len(), 2);
+        assert!(!r.is_secure());
+    }
+
+    #[test]
+    fn wire_bytes_grow_with_content() {
+        let small = Request::new(Method::Get, "/");
+        let big = Request::new(Method::Get, "/search").with_param("q", "dynamic content");
+        assert!(big.wire_bytes() > small.wire_bytes());
+        let resp_small = Response::new(Status::Ok, 100);
+        let resp_big = Response::new(Status::Ok, 50_000);
+        assert_eq!(resp_big.wire_bytes() - resp_small.wire_bytes(), 49_900);
+    }
+
+    #[test]
+    fn status_codes() {
+        assert_eq!(Status::Ok.code(), 200);
+        assert_eq!(Status::ClientError.code(), 400);
+        assert_eq!(Status::ServerError.code(), 500);
+    }
+
+    #[test]
+    fn method_display() {
+        assert_eq!(Method::Get.to_string(), "GET");
+        assert_eq!(Method::Post.to_string(), "POST");
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+
+    #[test]
+    fn default_request_is_plain_get() {
+        let r = Request::default();
+        assert_eq!(r.method(), Method::Get);
+        assert_eq!(r.path(), "");
+        assert!(!r.is_secure());
+        assert!(r.params().is_empty());
+    }
+
+    #[test]
+    fn duplicate_params_keep_first_on_lookup() {
+        let r = Request::new(Method::Get, "/x")
+            .with_param("k", "1")
+            .with_param("k", "2");
+        assert_eq!(r.param("k"), Some("1"));
+        assert_eq!(r.params().len(), 2);
+    }
+
+    #[test]
+    fn response_default_is_empty_ok() {
+        let r = Response::default();
+        assert_eq!(r.status(), Status::Ok);
+        assert_eq!(r.body_bytes(), 0);
+        assert_eq!(r.wire_bytes(), RESPONSE_OVERHEAD_BYTES);
+    }
+
+    #[test]
+    fn secure_flag_roundtrip() {
+        let r = Request::new(Method::Post, "/buy").secure(true).secure(false);
+        assert!(!r.is_secure());
+    }
+}

@@ -1,0 +1,841 @@
+//! The discrete-event simulation engine.
+//!
+//! A [`Simulation`] owns a set of machines (each a CPU and a NIC, both
+//! processor-sharing), a [`LockManager`], and a calendar of events. Work
+//! enters as jobs — linear [`Trace`]s of [`Op`]s — submitted by a
+//! [`Driver`] (the client emulator). The engine plays each trace against the
+//! contended resources and calls the driver back when a job finishes or a
+//! timer fires.
+//!
+//! Determinism: given the same machines, traces, timers, and seeds, two runs
+//! produce identical event orders (ties are broken by a monotone sequence
+//! number).
+
+use crate::lock::{GrantPolicy, LockId, LockManager, LockStats, SemaphoreId};
+use crate::op::{Op, Trace};
+use crate::ps::{PsResource, PsStats};
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Identifies a simulated machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MachineId(pub u32);
+
+/// Identifies a job (one submitted trace).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobId(pub u64);
+
+/// Details handed to [`Driver::on_job_complete`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobDone {
+    /// The completed job.
+    pub id: JobId,
+    /// The caller-supplied tag from [`Simulation::submit`].
+    pub tag: u64,
+    /// When the job was submitted.
+    pub submitted: SimTime,
+    /// When the job finished its last op.
+    pub completed: SimTime,
+}
+
+impl JobDone {
+    /// End-to-end simulated latency of the job.
+    pub fn latency(&self) -> SimDuration {
+        self.completed.duration_since(self.submitted)
+    }
+}
+
+/// Callbacks through which the simulation hands control to the workload
+/// layer. The driver is external to the [`Simulation`], so callbacks receive
+/// `&mut Simulation` and may submit jobs or set timers re-entrantly.
+pub trait Driver {
+    /// A job finished its trace.
+    fn on_job_complete(&mut self, sim: &mut Simulation, done: JobDone);
+    /// A timer set with [`Simulation::set_timer`] fired.
+    fn on_timer(&mut self, sim: &mut Simulation, token: u64);
+}
+
+/// A no-op driver, useful for tests that only exercise resources.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullDriver;
+
+impl Driver for NullDriver {
+    fn on_job_complete(&mut self, _sim: &mut Simulation, _done: JobDone) {}
+    fn on_timer(&mut self, _sim: &mut Simulation, _token: u64) {}
+}
+
+/// Which processor-sharing resource of a machine an event refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ResKey {
+    Cpu(u32),
+    Nic(u32),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EventKind {
+    /// A predicted processor-sharing completion; stale if the epoch moved.
+    Ps { res: ResKey, epoch: u64 },
+    /// A `Delay` op (or the latency leg of a `Net` op) finished.
+    DelayDone { job: JobId },
+    /// Deferred start of a freshly submitted job.
+    JobStart { job: JobId },
+    /// A driver timer.
+    Timer { token: u64 },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Scheduled {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.at.cmp(&other.at).then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// Progress of a `Net` op within a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NetPhase {
+    Idle,
+    SenderNic,
+    Latency,
+    ReceiverNic,
+}
+
+#[derive(Debug)]
+struct Job {
+    trace: Trace,
+    pc: usize,
+    net_phase: NetPhase,
+    tag: u64,
+    submitted: SimTime,
+}
+
+#[derive(Debug)]
+struct Machine {
+    name: String,
+    cpu: PsResource,
+    nic: PsResource,
+}
+
+/// Counters maintained by the engine itself.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EngineStats {
+    /// Jobs submitted so far.
+    pub submitted: u64,
+    /// Jobs that ran to completion.
+    pub completed: u64,
+    /// Calendar events processed (including stale ones).
+    pub events: u64,
+}
+
+/// The simulation world: machines, locks, jobs, and the event calendar.
+///
+/// ```
+/// use dynamid_sim::*;
+/// use dynamid_sim::engine::NullDriver;
+/// let mut sim = Simulation::new(SimDuration::from_micros(100));
+/// let m = sim.add_machine("web", 1.0, 100.0);
+/// let trace: Trace = [Op::Cpu { machine: m, micros: 500 }].into_iter().collect();
+/// sim.submit(trace, 0);
+/// sim.run(SimTime::from_micros(10_000), &mut NullDriver);
+/// assert_eq!(sim.stats().completed, 1);
+/// ```
+#[derive(Debug)]
+pub struct Simulation {
+    now: SimTime,
+    queue: BinaryHeap<Reverse<Scheduled>>,
+    seq: u64,
+    machines: Vec<Machine>,
+    locks: LockManager,
+    jobs: HashMap<JobId, Job>,
+    next_job: u64,
+    link_latency: SimDuration,
+    stats: EngineStats,
+}
+
+impl Simulation {
+    /// Creates a simulation whose machine-to-machine transfers incur the
+    /// given one-way link latency, with the default (writer-priority) lock
+    /// grant policy.
+    pub fn new(link_latency: SimDuration) -> Self {
+        Self::with_policy(link_latency, GrantPolicy::default())
+    }
+
+    /// Creates a simulation with an explicit lock grant policy.
+    pub fn with_policy(link_latency: SimDuration, policy: GrantPolicy) -> Self {
+        Simulation {
+            now: SimTime::ZERO,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            machines: Vec::new(),
+            locks: LockManager::new(policy),
+            jobs: HashMap::new(),
+            next_job: 0,
+            link_latency,
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Engine-level counters.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Jobs currently in flight (submitted but not completed).
+    pub fn jobs_in_flight(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Adds a machine with `cores` CPU cores and a NIC of `nic_mbps`
+    /// megabits per second, returning its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` or `nic_mbps` is not positive.
+    pub fn add_machine(&mut self, name: impl Into<String>, cores: f64, nic_mbps: f64) -> MachineId {
+        let name = name.into();
+        let id = MachineId(self.machines.len() as u32);
+        self.machines.push(Machine {
+            // One request cannot run faster than one core.
+            cpu: PsResource::with_job_cap(format!("{name}.cpu"), cores, 1.0),
+            // Mb/s -> bytes per microsecond: mbps * 1e6 / 8 / 1e6.
+            nic: PsResource::new(format!("{name}.nic"), nic_mbps / 8.0),
+            name,
+        });
+        id
+    }
+
+    /// Number of machines.
+    pub fn machine_count(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// A machine's display name.
+    pub fn machine_name(&self, m: MachineId) -> &str {
+        &self.machines[m.0 as usize].name
+    }
+
+    /// CPU statistics for a machine, current as of [`now`](Self::now).
+    pub fn cpu_stats(&mut self, m: MachineId) -> PsStats {
+        let now = self.now;
+        let mach = &mut self.machines[m.0 as usize];
+        mach.cpu.advance(now);
+        mach.cpu.stats()
+    }
+
+    /// NIC statistics for a machine, current as of [`now`](Self::now).
+    /// `work_done` is in bytes transferred through the interface.
+    pub fn nic_stats(&mut self, m: MachineId) -> PsStats {
+        let now = self.now;
+        let mach = &mut self.machines[m.0 as usize];
+        mach.nic.advance(now);
+        mach.nic.stats()
+    }
+
+    /// Registers a read/write lock (e.g., one per database table).
+    pub fn register_lock(&mut self, name: impl Into<String>) -> LockId {
+        self.locks.register_lock(name)
+    }
+
+    /// Registers a counting semaphore (e.g., the web-server process pool).
+    pub fn register_semaphore(&mut self, name: impl Into<String>, capacity: u32) -> SemaphoreId {
+        self.locks.register_semaphore(name, capacity)
+    }
+
+    /// Statistics for one lock.
+    pub fn lock_stats(&self, lock: LockId) -> LockStats {
+        self.locks.lock_stats(lock)
+    }
+
+    /// Aggregate statistics over all locks.
+    pub fn total_lock_stats(&self) -> LockStats {
+        self.locks.total_lock_stats()
+    }
+
+    /// Submits a trace for execution, returning its job id. The job starts
+    /// at the current instant (via a zero-delay calendar event, so it is
+    /// safe to call from driver callbacks).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the trace's lock operations are unbalanced.
+    pub fn submit(&mut self, trace: Trace, tag: u64) -> JobId {
+        debug_assert!(
+            trace.check_balanced().is_ok(),
+            "unbalanced trace: {:?}",
+            trace.check_balanced().unwrap_err()
+        );
+        let id = JobId(self.next_job);
+        self.next_job += 1;
+        self.jobs.insert(
+            id,
+            Job {
+                trace,
+                pc: 0,
+                net_phase: NetPhase::Idle,
+                tag,
+                submitted: self.now,
+            },
+        );
+        self.stats.submitted += 1;
+        self.schedule(self.now, EventKind::JobStart { job: id });
+        id
+    }
+
+    /// Schedules a driver timer at the given absolute time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn set_timer(&mut self, at: SimTime, token: u64) {
+        assert!(at >= self.now, "timer set in the past");
+        self.schedule(at, EventKind::Timer { token });
+    }
+
+    /// Convenience: a timer `delay` from now.
+    pub fn set_timer_after(&mut self, delay: SimDuration, token: u64) {
+        self.set_timer(self.now + delay, token);
+    }
+
+    fn schedule(&mut self, at: SimTime, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Scheduled { at, seq, kind }));
+    }
+
+    /// Runs the calendar until `until` (inclusive), advancing all resource
+    /// clocks to `until` at the end so utilization integrals are exact.
+    pub fn run<D: Driver>(&mut self, until: SimTime, driver: &mut D) {
+        while let Some(Reverse(ev)) = self.queue.peek().copied() {
+            if ev.at > until {
+                break;
+            }
+            self.queue.pop();
+            debug_assert!(ev.at >= self.now, "event in the past");
+            self.now = ev.at;
+            self.stats.events += 1;
+            self.dispatch(ev.kind, driver);
+        }
+        self.now = until;
+        for m in &mut self.machines {
+            m.cpu.advance(until);
+            m.nic.advance(until);
+        }
+    }
+
+    /// Runs until the calendar is empty (tests and drain scenarios).
+    /// Returns the time of the last processed event.
+    pub fn run_until_idle<D: Driver>(&mut self, driver: &mut D) -> SimTime {
+        while let Some(Reverse(ev)) = self.queue.peek().copied() {
+            self.queue.pop();
+            self.now = ev.at;
+            self.stats.events += 1;
+            self.dispatch(ev.kind, driver);
+        }
+        self.now
+    }
+
+    fn dispatch<D: Driver>(&mut self, kind: EventKind, driver: &mut D) {
+        match kind {
+            EventKind::Ps { res, epoch } => {
+                let resource = self.resource_mut(res);
+                if resource.epoch() != epoch {
+                    return; // stale prediction
+                }
+                let now = self.now;
+                let resource = self.resource_mut(res);
+                resource.advance(now);
+                let done = resource.pop_completed(now);
+                let mut work: Vec<JobId> = Vec::with_capacity(done.len());
+                for job in done {
+                    self.on_service_done(res, job, &mut work);
+                }
+                self.refresh_ps(res);
+                self.drain(work, driver);
+            }
+            EventKind::DelayDone { job } => {
+                let mut work = Vec::new();
+                self.on_delay_done(job, &mut work);
+                self.drain(work, driver);
+            }
+            EventKind::JobStart { job } => {
+                self.drain(vec![job], driver);
+            }
+            EventKind::Timer { token } => {
+                driver.on_timer(self, token);
+            }
+        }
+    }
+
+    fn resource_mut(&mut self, res: ResKey) -> &mut PsResource {
+        match res {
+            ResKey::Cpu(i) => &mut self.machines[i as usize].cpu,
+            ResKey::Nic(i) => &mut self.machines[i as usize].nic,
+        }
+    }
+
+    /// (Re)schedules the completion prediction for a resource.
+    fn refresh_ps(&mut self, res: ResKey) {
+        let now = self.now;
+        let resource = self.resource_mut(res);
+        if let Some(at) = resource.next_completion(now) {
+            let epoch = resource.epoch();
+            self.schedule(at, EventKind::Ps { res, epoch });
+        }
+    }
+
+    /// A job finished service on a CPU or NIC: advance its program state and
+    /// queue it for further stepping.
+    fn on_service_done(&mut self, res: ResKey, job_id: JobId, work: &mut Vec<JobId>) {
+        let job = self.jobs.get_mut(&job_id).expect("service for unknown job");
+        match res {
+            ResKey::Cpu(_) => {
+                job.pc += 1;
+                work.push(job_id);
+            }
+            ResKey::Nic(_) => match job.net_phase {
+                NetPhase::SenderNic => {
+                    job.net_phase = NetPhase::Latency;
+                    if self.link_latency.is_zero() {
+                        self.enter_receiver_nic(job_id, work);
+                    } else {
+                        let at = self.now + self.link_latency;
+                        self.schedule(at, EventKind::DelayDone { job: job_id });
+                    }
+                }
+                NetPhase::ReceiverNic => {
+                    job.net_phase = NetPhase::Idle;
+                    job.pc += 1;
+                    work.push(job_id);
+                }
+                other => panic!("NIC completion in phase {other:?}"),
+            },
+        }
+    }
+
+    fn enter_receiver_nic(&mut self, job_id: JobId, work: &mut Vec<JobId>) {
+        let job = self.jobs.get_mut(&job_id).expect("unknown job");
+        let Op::Net { to, bytes, .. } = job.trace.ops()[job.pc] else {
+            panic!("receiver phase on non-Net op");
+        };
+        job.net_phase = NetPhase::ReceiverNic;
+        let now = self.now;
+        let nic = &mut self.machines[to.0 as usize].nic;
+        nic.enqueue(now, job_id, bytes as f64);
+        self.refresh_ps(ResKey::Nic(to.0));
+        let _ = work;
+    }
+
+    fn on_delay_done(&mut self, job_id: JobId, work: &mut Vec<JobId>) {
+        let job = self.jobs.get_mut(&job_id).expect("delay for unknown job");
+        match job.net_phase {
+            NetPhase::Latency => self.enter_receiver_nic(job_id, work),
+            NetPhase::Idle => {
+                job.pc += 1;
+                work.push(job_id);
+            }
+            other => panic!("delay completion in phase {other:?}"),
+        }
+    }
+
+    /// Steps every job in `work` (and any jobs they unblock) until each is
+    /// parked in a resource, waiting on a lock, delayed, or complete.
+    fn drain<D: Driver>(&mut self, work: Vec<JobId>, driver: &mut D) {
+        let mut queue: Vec<JobId> = work;
+        while let Some(job_id) = queue.pop() {
+            self.step_job(job_id, &mut queue, driver);
+        }
+    }
+
+    /// Executes ops of one job until it blocks or finishes. Newly unblocked
+    /// jobs are appended to `queue`.
+    fn step_job<D: Driver>(&mut self, job_id: JobId, queue: &mut Vec<JobId>, driver: &mut D) {
+        loop {
+            let job = self.jobs.get_mut(&job_id).expect("step for unknown job");
+            if job.pc >= job.trace.len() {
+                let done = JobDone {
+                    id: job_id,
+                    tag: job.tag,
+                    submitted: job.submitted,
+                    completed: self.now,
+                };
+                self.jobs.remove(&job_id);
+                self.stats.completed += 1;
+                driver.on_job_complete(self, done);
+                return;
+            }
+            let op = job.trace.ops()[job.pc].clone();
+            match op {
+                Op::Cpu { machine, micros } => {
+                    let now = self.now;
+                    self.machines[machine.0 as usize]
+                        .cpu
+                        .enqueue(now, job_id, micros as f64);
+                    self.refresh_ps(ResKey::Cpu(machine.0));
+                    return;
+                }
+                Op::Net { from, to, bytes } => {
+                    if from == to || bytes == 0 {
+                        job.pc += 1;
+                        continue;
+                    }
+                    job.net_phase = NetPhase::SenderNic;
+                    let now = self.now;
+                    self.machines[from.0 as usize]
+                        .nic
+                        .enqueue(now, job_id, bytes as f64);
+                    self.refresh_ps(ResKey::Nic(from.0));
+                    return;
+                }
+                Op::Delay { micros } => {
+                    let at = self.now + SimDuration::from_micros(micros);
+                    self.schedule(at, EventKind::DelayDone { job: job_id });
+                    return;
+                }
+                Op::Lock { lock, mode } => {
+                    if self.locks.acquire(self.now, lock, mode, job_id) {
+                        let job = self.jobs.get_mut(&job_id).expect("job");
+                        job.pc += 1;
+                        continue;
+                    }
+                    // Parked; the pc stays at the Lock op and is advanced by
+                    // the grant path below.
+                    return;
+                }
+                Op::Unlock { lock } => {
+                    let granted = self.locks.release(self.now, lock, job_id);
+                    for g in granted {
+                        // The granted job was parked at its Lock op.
+                        let gj = self.jobs.get_mut(&g).expect("granted unknown job");
+                        gj.pc += 1;
+                        queue.push(g);
+                    }
+                    let job = self.jobs.get_mut(&job_id).expect("job");
+                    job.pc += 1;
+                    continue;
+                }
+                Op::SemAcquire { sem } => {
+                    if self.locks.sem_acquire(self.now, sem, job_id) {
+                        let job = self.jobs.get_mut(&job_id).expect("job");
+                        job.pc += 1;
+                        continue;
+                    }
+                    return;
+                }
+                Op::SemRelease { sem } => {
+                    if let Some(g) = self.locks.sem_release(self.now, sem) {
+                        let gj = self.jobs.get_mut(&g).expect("granted unknown job");
+                        gj.pc += 1;
+                        queue.push(g);
+                    }
+                    let job = self.jobs.get_mut(&job_id).expect("job");
+                    job.pc += 1;
+                    continue;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lock::LockMode;
+
+    struct Recorder {
+        done: Vec<JobDone>,
+        timers: Vec<(SimTime, u64)>,
+    }
+
+    impl Recorder {
+        fn new() -> Self {
+            Recorder {
+                done: Vec::new(),
+                timers: Vec::new(),
+            }
+        }
+    }
+
+    impl Driver for Recorder {
+        fn on_job_complete(&mut self, _sim: &mut Simulation, done: JobDone) {
+            self.done.push(done);
+        }
+        fn on_timer(&mut self, sim: &mut Simulation, token: u64) {
+            self.timers.push((sim.now(), token));
+        }
+    }
+
+    fn t(micros: u64) -> SimTime {
+        SimTime::from_micros(micros)
+    }
+
+    #[test]
+    fn single_cpu_job_completes_on_time() {
+        let mut sim = Simulation::new(SimDuration::ZERO);
+        let m = sim.add_machine("web", 1.0, 100.0);
+        let trace: Trace = [Op::Cpu { machine: m, micros: 400 }].into_iter().collect();
+        sim.submit(trace, 42);
+        let mut rec = Recorder::new();
+        sim.run(t(10_000), &mut rec);
+        assert_eq!(rec.done.len(), 1);
+        assert_eq!(rec.done[0].tag, 42);
+        assert_eq!(rec.done[0].completed, t(400));
+        assert_eq!(rec.done[0].latency(), SimDuration::from_micros(400));
+    }
+
+    #[test]
+    fn ps_contention_stretches_latency() {
+        let mut sim = Simulation::new(SimDuration::ZERO);
+        let m = sim.add_machine("web", 1.0, 100.0);
+        for i in 0..2 {
+            let trace: Trace = [Op::Cpu { machine: m, micros: 1_000 }].into_iter().collect();
+            sim.submit(trace, i);
+        }
+        let mut rec = Recorder::new();
+        sim.run(t(100_000), &mut rec);
+        assert_eq!(rec.done.len(), 2);
+        // Both share the CPU: each takes ~2000us.
+        for d in &rec.done {
+            assert!(d.latency() >= SimDuration::from_micros(1_999), "{d:?}");
+        }
+    }
+
+    #[test]
+    fn net_transfer_charges_both_nics_and_latency() {
+        let mut sim = Simulation::new(SimDuration::from_micros(150));
+        let a = sim.add_machine("a", 1.0, 100.0); // 12.5 B/us
+        let b = sim.add_machine("b", 1.0, 100.0);
+        let trace: Trace = [Op::Net { from: a, to: b, bytes: 1_250 }]
+            .into_iter()
+            .collect();
+        sim.submit(trace, 0);
+        let mut rec = Recorder::new();
+        sim.run(t(100_000), &mut rec);
+        // 1250 bytes at 12.5 B/us = 100us per NIC + 150us latency = 350us.
+        assert_eq!(rec.done[0].completed, t(350));
+        let sa = sim.nic_stats(a);
+        let sb = sim.nic_stats(b);
+        assert!((sa.work_done - 1_250.0).abs() < 1e-6);
+        assert!((sb.work_done - 1_250.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn loopback_and_zero_byte_transfers_are_free() {
+        let mut sim = Simulation::new(SimDuration::from_micros(150));
+        let a = sim.add_machine("a", 1.0, 100.0);
+        let b = sim.add_machine("b", 1.0, 100.0);
+        let trace: Trace = [
+            Op::Net { from: a, to: a, bytes: 1_000_000 },
+            Op::Net { from: a, to: b, bytes: 0 },
+        ]
+        .into_iter()
+        .collect();
+        sim.submit(trace, 0);
+        let mut rec = Recorder::new();
+        sim.run(t(10_000), &mut rec);
+        assert_eq!(rec.done[0].completed, t(0));
+    }
+
+    #[test]
+    fn delay_op_waits_exactly() {
+        let mut sim = Simulation::new(SimDuration::ZERO);
+        let _ = sim.add_machine("a", 1.0, 100.0);
+        let trace: Trace = [Op::Delay { micros: 777 }].into_iter().collect();
+        sim.submit(trace, 0);
+        let mut rec = Recorder::new();
+        sim.run(t(10_000), &mut rec);
+        assert_eq!(rec.done[0].completed, t(777));
+    }
+
+    #[test]
+    fn lock_serializes_critical_sections() {
+        let mut sim = Simulation::new(SimDuration::ZERO);
+        let m = sim.add_machine("db", 1.0, 100.0);
+        let l = sim.register_lock("items");
+        for i in 0..3 {
+            let trace: Trace = [
+                Op::Lock { lock: l, mode: LockMode::Exclusive },
+                Op::Cpu { machine: m, micros: 1_000 },
+                Op::Unlock { lock: l },
+            ]
+            .into_iter()
+            .collect();
+            sim.submit(trace, i);
+        }
+        let mut rec = Recorder::new();
+        sim.run(t(100_000), &mut rec);
+        assert_eq!(rec.done.len(), 3);
+        // Fully serialized: completions at 1000, 2000, 3000 (the CPU is
+        // never shared because the lock serializes).
+        let mut ends: Vec<u64> = rec.done.iter().map(|d| d.completed.as_micros()).collect();
+        ends.sort_unstable();
+        assert_eq!(ends, vec![1_000, 2_000, 3_000]);
+        let ls = sim.lock_stats(l);
+        assert_eq!(ls.immediate_grants + ls.contended, 3);
+        assert_eq!(ls.contended, 2);
+    }
+
+    #[test]
+    fn readers_proceed_in_parallel() {
+        let mut sim = Simulation::new(SimDuration::ZERO);
+        let m = sim.add_machine("db", 2.0, 100.0); // 2 cores
+        let l = sim.register_lock("items");
+        for i in 0..2 {
+            let trace: Trace = [
+                Op::Lock { lock: l, mode: LockMode::Shared },
+                Op::Cpu { machine: m, micros: 1_000 },
+                Op::Unlock { lock: l },
+            ]
+            .into_iter()
+            .collect();
+            sim.submit(trace, i);
+        }
+        let mut rec = Recorder::new();
+        sim.run(t(100_000), &mut rec);
+        // Both run concurrently on 2 cores: both end at 1000us.
+        assert!(rec.done.iter().all(|d| d.completed == t(1_000)));
+    }
+
+    #[test]
+    fn semaphore_limits_concurrency() {
+        let mut sim = Simulation::new(SimDuration::ZERO);
+        let m = sim.add_machine("web", 4.0, 100.0);
+        let s = sim.register_semaphore("pool", 1);
+        for i in 0..2 {
+            let trace: Trace = [
+                Op::SemAcquire { sem: s },
+                Op::Cpu { machine: m, micros: 500 },
+                Op::SemRelease { sem: s },
+            ]
+            .into_iter()
+            .collect();
+            sim.submit(trace, i);
+        }
+        let mut rec = Recorder::new();
+        sim.run(t(100_000), &mut rec);
+        let mut ends: Vec<u64> = rec.done.iter().map(|d| d.completed.as_micros()).collect();
+        ends.sort_unstable();
+        // Despite 4 cores, the pool of 1 serializes: 500 then 1000... the
+        // second job starts only when the first releases.
+        assert_eq!(ends, vec![500, 1_000]);
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        let mut sim = Simulation::new(SimDuration::ZERO);
+        sim.set_timer(t(300), 3);
+        sim.set_timer(t(100), 1);
+        sim.set_timer(t(200), 2);
+        let mut rec = Recorder::new();
+        sim.run(t(1_000), &mut rec);
+        assert_eq!(
+            rec.timers,
+            vec![(t(100), 1), (t(200), 2), (t(300), 3)]
+        );
+    }
+
+    #[test]
+    fn empty_trace_completes_immediately() {
+        let mut sim = Simulation::new(SimDuration::ZERO);
+        sim.submit(Trace::new(), 9);
+        let mut rec = Recorder::new();
+        sim.run(t(1), &mut rec);
+        assert_eq!(rec.done.len(), 1);
+        assert_eq!(rec.done[0].completed, t(0));
+    }
+
+    /// A driver that submits a new job from within a completion callback.
+    struct Chainer {
+        m: MachineId,
+        remaining: u32,
+        finished: u32,
+    }
+
+    impl Driver for Chainer {
+        fn on_job_complete(&mut self, sim: &mut Simulation, _done: JobDone) {
+            self.finished += 1;
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                let trace: Trace = [Op::Cpu { machine: self.m, micros: 100 }]
+                    .into_iter()
+                    .collect();
+                sim.submit(trace, 0);
+            }
+        }
+        fn on_timer(&mut self, _sim: &mut Simulation, _token: u64) {}
+    }
+
+    #[test]
+    fn reentrant_submission_from_callback() {
+        let mut sim = Simulation::new(SimDuration::ZERO);
+        let m = sim.add_machine("web", 1.0, 100.0);
+        let trace: Trace = [Op::Cpu { machine: m, micros: 100 }].into_iter().collect();
+        sim.submit(trace, 0);
+        let mut chain = Chainer { m, remaining: 4, finished: 0 };
+        sim.run(t(10_000), &mut chain);
+        assert_eq!(chain.finished, 5);
+        assert_eq!(sim.stats().completed, 5);
+        // 5 sequential 100us jobs.
+        assert_eq!(sim.cpu_stats(m).busy_micros as u64, 500);
+    }
+
+    #[test]
+    fn utilization_integrals_are_exact_at_run_end() {
+        let mut sim = Simulation::new(SimDuration::ZERO);
+        let m = sim.add_machine("web", 1.0, 100.0);
+        let trace: Trace = [Op::Cpu { machine: m, micros: 2_500 }].into_iter().collect();
+        sim.submit(trace, 0);
+        let mut rec = Recorder::new();
+        sim.run(t(10_000), &mut rec);
+        let s = sim.cpu_stats(m);
+        assert!((s.busy_micros - 2_500.0).abs() < 1e-6);
+        // Utilization over the window: 25%.
+        let util = s.busy_micros / sim.now().as_micros() as f64;
+        assert!((util - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn deterministic_event_order() {
+        let run = || {
+            let mut sim = Simulation::new(SimDuration::from_micros(10));
+            let a = sim.add_machine("a", 1.0, 100.0);
+            let b = sim.add_machine("b", 1.0, 100.0);
+            let l = sim.register_lock("x");
+            for i in 0..20 {
+                let trace: Trace = [
+                    Op::Cpu { machine: a, micros: 100 + i * 7 },
+                    Op::Lock { lock: l, mode: LockMode::Exclusive },
+                    Op::Net { from: a, to: b, bytes: 200 + i * 13 },
+                    Op::Cpu { machine: b, micros: 50 },
+                    Op::Unlock { lock: l },
+                ]
+                .into_iter()
+                .collect();
+                sim.submit(trace, i);
+            }
+            let mut rec = Recorder::new();
+            sim.run(t(1_000_000), &mut rec);
+            rec.done
+                .iter()
+                .map(|d| (d.tag, d.completed.as_micros()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,522 @@
+//! Queued read/write locks and counting semaphores.
+//!
+//! The database's MyISAM-style **table locks** and the servlet container's
+//! **application-level locks** (the paper's "sync" configurations) are both
+//! instances of the read/write lock implemented here; the Apache process
+//! pool is a counting semaphore. Jobs that cannot be granted a lock are
+//! parked by the engine and resumed when the release path grants them, so
+//! lock *queueing delay* is a first-class part of simulated response time —
+//! this is what produces the paper's lock-contention plateaus and dips.
+
+use crate::engine::JobId;
+use crate::time::SimTime;
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+/// Identifies a lock registered with a [`LockManager`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LockId(pub u32);
+
+/// Identifies a semaphore registered with a [`LockManager`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SemaphoreId(pub u32);
+
+/// Lock compatibility mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LockMode {
+    /// Shared (read) access: compatible with other shared holders.
+    Shared,
+    /// Exclusive (write) access: compatible with nothing.
+    Exclusive,
+}
+
+impl fmt::Display for LockMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LockMode::Shared => write!(f, "READ"),
+            LockMode::Exclusive => write!(f, "WRITE"),
+        }
+    }
+}
+
+/// How waiting requests are granted on release.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GrantPolicy {
+    /// Strict arrival order; a shared request queues behind an earlier
+    /// exclusive request.
+    Fifo,
+    /// MySQL/MyISAM semantics: waiting writers are preferred over waiting
+    /// and newly arriving readers.
+    #[default]
+    WriterPriority,
+}
+
+/// Cumulative per-lock statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LockStats {
+    /// Requests granted immediately.
+    pub immediate_grants: u64,
+    /// Requests that had to wait.
+    pub contended: u64,
+    /// Total microseconds spent waiting, summed over jobs.
+    pub wait_micros: u64,
+    /// Total microseconds locks were held, summed over holders.
+    pub hold_micros: u64,
+    /// Largest observed wait-queue length.
+    pub max_queue: usize,
+}
+
+#[derive(Debug)]
+struct LockState {
+    name: String,
+    readers: Vec<JobId>,
+    writer: Option<JobId>,
+    queue: VecDeque<(JobId, LockMode, SimTime)>,
+    granted_at: HashMap<JobId, SimTime>,
+    stats: LockStats,
+}
+
+impl LockState {
+    fn is_free(&self) -> bool {
+        self.readers.is_empty() && self.writer.is_none()
+    }
+
+    fn writer_waiting(&self) -> bool {
+        self.queue.iter().any(|(_, m, _)| *m == LockMode::Exclusive)
+    }
+
+    fn record_grant(&mut self, now: SimTime, job: JobId) {
+        self.granted_at.insert(job, now);
+    }
+}
+
+#[derive(Debug)]
+struct Semaphore {
+    name: String,
+    capacity: u32,
+    in_use: u32,
+    queue: VecDeque<(JobId, SimTime)>,
+    stats: LockStats,
+}
+
+/// Registry and grant engine for all locks and semaphores in a simulation.
+///
+/// ```
+/// use dynamid_sim::{LockManager, LockMode, SimTime};
+/// use dynamid_sim::engine::JobId;
+/// let mut lm = LockManager::default();
+/// let l = lm.register_lock("items");
+/// assert!(lm.acquire(SimTime::ZERO, l, LockMode::Exclusive, JobId(1)));
+/// assert!(!lm.acquire(SimTime::ZERO, l, LockMode::Shared, JobId(2)));
+/// let granted = lm.release(SimTime::from_micros(10), l, JobId(1));
+/// assert_eq!(granted, vec![JobId(2)]);
+/// ```
+#[derive(Debug, Default)]
+pub struct LockManager {
+    locks: Vec<LockState>,
+    sems: Vec<Semaphore>,
+    policy: GrantPolicy,
+}
+
+impl LockManager {
+    /// Creates a manager with the given grant policy.
+    pub fn new(policy: GrantPolicy) -> Self {
+        LockManager {
+            locks: Vec::new(),
+            sems: Vec::new(),
+            policy,
+        }
+    }
+
+    /// The grant policy in effect.
+    pub fn policy(&self) -> GrantPolicy {
+        self.policy
+    }
+
+    /// Registers a named read/write lock and returns its id.
+    pub fn register_lock(&mut self, name: impl Into<String>) -> LockId {
+        let id = LockId(self.locks.len() as u32);
+        self.locks.push(LockState {
+            name: name.into(),
+            readers: Vec::new(),
+            writer: None,
+            queue: VecDeque::new(),
+            granted_at: HashMap::new(),
+            stats: LockStats::default(),
+        });
+        id
+    }
+
+    /// Registers a counting semaphore with the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn register_semaphore(&mut self, name: impl Into<String>, capacity: u32) -> SemaphoreId {
+        assert!(capacity > 0, "semaphore capacity must be positive");
+        let id = SemaphoreId(self.sems.len() as u32);
+        self.sems.push(Semaphore {
+            name: name.into(),
+            capacity,
+            in_use: 0,
+            queue: VecDeque::new(),
+            stats: LockStats::default(),
+        });
+        id
+    }
+
+    /// Number of registered locks.
+    pub fn lock_count(&self) -> usize {
+        self.locks.len()
+    }
+
+    /// The display name of a lock.
+    pub fn lock_name(&self, lock: LockId) -> &str {
+        &self.locks[lock.0 as usize].name
+    }
+
+    /// Statistics for a lock.
+    pub fn lock_stats(&self, lock: LockId) -> LockStats {
+        self.locks[lock.0 as usize].stats
+    }
+
+    /// Statistics for a semaphore.
+    pub fn semaphore_stats(&self, sem: SemaphoreId) -> LockStats {
+        self.sems[sem.0 as usize].stats
+    }
+
+    /// Aggregate statistics over all locks (not semaphores).
+    pub fn total_lock_stats(&self) -> LockStats {
+        let mut agg = LockStats::default();
+        for l in &self.locks {
+            agg.immediate_grants += l.stats.immediate_grants;
+            agg.contended += l.stats.contended;
+            agg.wait_micros += l.stats.wait_micros;
+            agg.hold_micros += l.stats.hold_micros;
+            agg.max_queue = agg.max_queue.max(l.stats.max_queue);
+        }
+        agg
+    }
+
+    /// Requests `lock` in `mode` for `job`. Returns `true` when granted
+    /// immediately; otherwise the job is queued and will be returned by a
+    /// later [`release`](LockManager::release).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the job already holds or is already waiting for this lock
+    /// (the middleware layer never issues re-entrant table locks).
+    pub fn acquire(&mut self, now: SimTime, lock: LockId, mode: LockMode, job: JobId) -> bool {
+        let policy = self.policy;
+        let st = &mut self.locks[lock.0 as usize];
+        assert!(
+            st.writer != Some(job)
+                && !st.readers.contains(&job)
+                && !st.queue.iter().any(|(j, _, _)| *j == job),
+            "job {job:?} re-requested lock {}",
+            st.name
+        );
+        let grantable = match mode {
+            LockMode::Shared => {
+                st.writer.is_none()
+                    && match policy {
+                        GrantPolicy::Fifo => st.queue.is_empty(),
+                        GrantPolicy::WriterPriority => !st.writer_waiting(),
+                    }
+            }
+            LockMode::Exclusive => st.is_free() && st.queue.is_empty(),
+        };
+        if grantable {
+            match mode {
+                LockMode::Shared => st.readers.push(job),
+                LockMode::Exclusive => st.writer = Some(job),
+            }
+            st.record_grant(now, job);
+            st.stats.immediate_grants += 1;
+            true
+        } else {
+            st.queue.push_back((job, mode, now));
+            st.stats.contended += 1;
+            st.stats.max_queue = st.stats.max_queue.max(st.queue.len());
+            false
+        }
+    }
+
+    /// Releases `lock` held by `job` and grants waiting requests according
+    /// to the policy. Returns the jobs granted by this release, in grant
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the job does not hold the lock.
+    pub fn release(&mut self, now: SimTime, lock: LockId, job: JobId) -> Vec<JobId> {
+        let policy = self.policy;
+        let st = &mut self.locks[lock.0 as usize];
+        if st.writer == Some(job) {
+            st.writer = None;
+        } else if let Some(pos) = st.readers.iter().position(|j| *j == job) {
+            st.readers.swap_remove(pos);
+        } else {
+            panic!("job {job:?} released lock {} it does not hold", st.name);
+        }
+        if let Some(granted) = st.granted_at.remove(&job) {
+            st.stats.hold_micros += now.duration_since(granted).as_micros();
+        }
+        Self::grant_waiters(st, policy, now)
+    }
+
+    fn grant_waiters(st: &mut LockState, policy: GrantPolicy, now: SimTime) -> Vec<JobId> {
+        let mut granted = Vec::new();
+        loop {
+            // Pick the next candidate position according to the policy.
+            let candidate = match policy {
+                GrantPolicy::Fifo => if st.queue.is_empty() { None } else { Some(0) },
+                GrantPolicy::WriterPriority => {
+                    let writer_pos = st
+                        .queue
+                        .iter()
+                        .position(|(_, m, _)| *m == LockMode::Exclusive);
+                    match writer_pos {
+                        Some(p) if st.is_free() => Some(p),
+                        // A writer waits but the lock is not free: nothing
+                        // can be granted (readers would starve the writer).
+                        Some(_) => None,
+                        // No writer waiting: grant readers from the front.
+                        None => {
+                            if st.queue.is_empty() {
+                                None
+                            } else {
+                                Some(0)
+                            }
+                        }
+                    }
+                }
+            };
+            let Some(pos) = candidate else { break };
+            let (job, mode, since) = st.queue[pos];
+            let ok = match mode {
+                LockMode::Shared => st.writer.is_none(),
+                LockMode::Exclusive => st.is_free(),
+            };
+            if !ok {
+                break;
+            }
+            st.queue.remove(pos);
+            match mode {
+                LockMode::Shared => st.readers.push(job),
+                LockMode::Exclusive => st.writer = Some(job),
+            }
+            st.stats.wait_micros += now.duration_since(since).as_micros();
+            st.record_grant(now, job);
+            granted.push(job);
+            if mode == LockMode::Exclusive {
+                break;
+            }
+        }
+        granted
+    }
+
+    /// `true` if the lock currently has any holder.
+    pub fn is_held(&self, lock: LockId) -> bool {
+        !self.locks[lock.0 as usize].is_free()
+    }
+
+    /// Number of jobs waiting on the lock.
+    pub fn queue_len(&self, lock: LockId) -> usize {
+        self.locks[lock.0 as usize].queue.len()
+    }
+
+    /// Requests one unit of `sem` for `job`. Returns `true` when granted
+    /// immediately; otherwise the job queues.
+    pub fn sem_acquire(&mut self, now: SimTime, sem: SemaphoreId, job: JobId) -> bool {
+        let s = &mut self.sems[sem.0 as usize];
+        if s.in_use < s.capacity {
+            s.in_use += 1;
+            s.stats.immediate_grants += 1;
+            true
+        } else {
+            s.queue.push_back((job, now));
+            s.stats.contended += 1;
+            s.stats.max_queue = s.stats.max_queue.max(s.queue.len());
+            false
+        }
+    }
+
+    /// Releases one unit of `sem`; returns the job granted by this release,
+    /// if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the semaphore has no units in use.
+    pub fn sem_release(&mut self, now: SimTime, sem: SemaphoreId) -> Option<JobId> {
+        let s = &mut self.sems[sem.0 as usize];
+        assert!(s.in_use > 0, "semaphore {} over-released", s.name);
+        if let Some((job, since)) = s.queue.pop_front() {
+            // Hand the unit directly to the waiter.
+            s.stats.wait_micros += now.duration_since(since).as_micros();
+            Some(job)
+        } else {
+            s.in_use -= 1;
+            None
+        }
+    }
+
+    /// Units of the semaphore currently in use.
+    pub fn sem_in_use(&self, sem: SemaphoreId) -> u32 {
+        self.sems[sem.0 as usize].in_use
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(micros: u64) -> SimTime {
+        SimTime::from_micros(micros)
+    }
+
+    #[test]
+    fn shared_locks_coexist() {
+        let mut lm = LockManager::default();
+        let l = lm.register_lock("t");
+        assert!(lm.acquire(t(0), l, LockMode::Shared, JobId(1)));
+        assert!(lm.acquire(t(0), l, LockMode::Shared, JobId(2)));
+        assert!(lm.is_held(l));
+        assert!(lm.release(t(5), l, JobId(1)).is_empty());
+        assert!(lm.release(t(9), l, JobId(2)).is_empty());
+        assert!(!lm.is_held(l));
+        let s = lm.lock_stats(l);
+        assert_eq!(s.immediate_grants, 2);
+        assert_eq!(s.hold_micros, 5 + 9);
+    }
+
+    #[test]
+    fn exclusive_excludes_everyone() {
+        let mut lm = LockManager::default();
+        let l = lm.register_lock("t");
+        assert!(lm.acquire(t(0), l, LockMode::Exclusive, JobId(1)));
+        assert!(!lm.acquire(t(1), l, LockMode::Shared, JobId(2)));
+        assert!(!lm.acquire(t(2), l, LockMode::Exclusive, JobId(3)));
+        assert_eq!(lm.queue_len(l), 2);
+    }
+
+    #[test]
+    fn fifo_grants_in_arrival_order() {
+        let mut lm = LockManager::new(GrantPolicy::Fifo);
+        let l = lm.register_lock("t");
+        assert!(lm.acquire(t(0), l, LockMode::Exclusive, JobId(1)));
+        assert!(!lm.acquire(t(1), l, LockMode::Shared, JobId(2)));
+        assert!(!lm.acquire(t(2), l, LockMode::Exclusive, JobId(3)));
+        assert!(!lm.acquire(t(3), l, LockMode::Shared, JobId(4)));
+        // Release grants the head (shared J2) only, because J3 (exclusive)
+        // is next and blocks J4.
+        assert_eq!(lm.release(t(10), l, JobId(1)), vec![JobId(2)]);
+        assert_eq!(lm.release(t(20), l, JobId(2)), vec![JobId(3)]);
+        assert_eq!(lm.release(t(30), l, JobId(3)), vec![JobId(4)]);
+    }
+
+    #[test]
+    fn writer_priority_prefers_writers() {
+        let mut lm = LockManager::new(GrantPolicy::WriterPriority);
+        let l = lm.register_lock("t");
+        assert!(lm.acquire(t(0), l, LockMode::Exclusive, JobId(1)));
+        assert!(!lm.acquire(t(1), l, LockMode::Shared, JobId(2)));
+        assert!(!lm.acquire(t(2), l, LockMode::Exclusive, JobId(3)));
+        // The waiting writer J3 jumps ahead of the earlier reader J2.
+        assert_eq!(lm.release(t(10), l, JobId(1)), vec![JobId(3)]);
+        assert_eq!(lm.release(t(20), l, JobId(3)), vec![JobId(2)]);
+    }
+
+    #[test]
+    fn writer_priority_blocks_new_readers_when_writer_waits() {
+        let mut lm = LockManager::new(GrantPolicy::WriterPriority);
+        let l = lm.register_lock("t");
+        assert!(lm.acquire(t(0), l, LockMode::Shared, JobId(1)));
+        assert!(!lm.acquire(t(1), l, LockMode::Exclusive, JobId(2)));
+        // A new reader must queue behind the waiting writer.
+        assert!(!lm.acquire(t(2), l, LockMode::Shared, JobId(3)));
+        assert_eq!(lm.release(t(10), l, JobId(1)), vec![JobId(2)]);
+        assert_eq!(lm.release(t(20), l, JobId(2)), vec![JobId(3)]);
+    }
+
+    #[test]
+    fn release_grants_batch_of_readers() {
+        let mut lm = LockManager::new(GrantPolicy::Fifo);
+        let l = lm.register_lock("t");
+        assert!(lm.acquire(t(0), l, LockMode::Exclusive, JobId(1)));
+        for j in 2..=4 {
+            assert!(!lm.acquire(t(j), l, LockMode::Shared, JobId(j)));
+        }
+        let granted = lm.release(t(10), l, JobId(1));
+        assert_eq!(granted, vec![JobId(2), JobId(3), JobId(4)]);
+    }
+
+    #[test]
+    fn wait_time_is_accounted() {
+        let mut lm = LockManager::default();
+        let l = lm.register_lock("t");
+        assert!(lm.acquire(t(0), l, LockMode::Exclusive, JobId(1)));
+        assert!(!lm.acquire(t(100), l, LockMode::Exclusive, JobId(2)));
+        lm.release(t(400), l, JobId(1));
+        assert_eq!(lm.lock_stats(l).wait_micros, 300);
+        assert_eq!(lm.lock_stats(l).contended, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not hold")]
+    fn release_without_hold_panics() {
+        let mut lm = LockManager::default();
+        let l = lm.register_lock("t");
+        lm.release(t(0), l, JobId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "re-requested")]
+    fn reentrant_acquire_panics() {
+        let mut lm = LockManager::default();
+        let l = lm.register_lock("t");
+        assert!(lm.acquire(t(0), l, LockMode::Shared, JobId(1)));
+        lm.acquire(t(1), l, LockMode::Shared, JobId(1));
+    }
+
+    #[test]
+    fn semaphore_caps_concurrency() {
+        let mut lm = LockManager::default();
+        let s = lm.register_semaphore("httpd", 2);
+        assert!(lm.sem_acquire(t(0), s, JobId(1)));
+        assert!(lm.sem_acquire(t(0), s, JobId(2)));
+        assert!(!lm.sem_acquire(t(1), s, JobId(3)));
+        assert_eq!(lm.sem_in_use(s), 2);
+        // Releasing hands the unit to the waiter directly.
+        assert_eq!(lm.sem_release(t(5), s), Some(JobId(3)));
+        assert_eq!(lm.sem_in_use(s), 2);
+        assert_eq!(lm.sem_release(t(6), s), None);
+        assert_eq!(lm.sem_release(t(7), s), None);
+        assert_eq!(lm.sem_in_use(s), 0);
+        assert_eq!(lm.semaphore_stats(s).wait_micros, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "over-released")]
+    fn semaphore_over_release_panics() {
+        let mut lm = LockManager::default();
+        let s = lm.register_semaphore("x", 1);
+        lm.sem_release(t(0), s);
+    }
+
+    #[test]
+    fn aggregate_stats_roll_up() {
+        let mut lm = LockManager::default();
+        let a = lm.register_lock("a");
+        let b = lm.register_lock("b");
+        assert!(lm.acquire(t(0), a, LockMode::Exclusive, JobId(1)));
+        assert!(lm.acquire(t(0), b, LockMode::Exclusive, JobId(2)));
+        assert!(!lm.acquire(t(1), a, LockMode::Shared, JobId(3)));
+        lm.release(t(10), a, JobId(1));
+        lm.release(t(10), b, JobId(2));
+        let s = lm.total_lock_stats();
+        assert_eq!(s.immediate_grants, 2);
+        assert_eq!(s.contended, 1);
+        assert_eq!(s.hold_micros, 20);
+    }
+}

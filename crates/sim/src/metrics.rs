@@ -1,0 +1,266 @@
+//! Measurement helpers: latency histograms and windowed utilization
+//! snapshots.
+//!
+//! The paper measures throughput (interactions per minute) over a
+//! measurement window bracketed by ramp-up and ramp-down phases, and reports
+//! per-machine CPU utilization at the peak. [`WindowSnapshot`] captures the
+//! cumulative resource integrals at the window edges so the harness can
+//! compute exact window utilizations; [`LatencyHistogram`] accumulates
+//! response times with logarithmic buckets for percentile reporting.
+
+use crate::ps::PsStats;
+use crate::time::{SimDuration, SimTime};
+
+/// A latency histogram with pseudo-logarithmic buckets (2 sub-buckets per
+/// octave) from 1 µs to ~1.1 hours.
+///
+/// ```
+/// use dynamid_sim::{LatencyHistogram, SimDuration};
+/// let mut h = LatencyHistogram::new();
+/// for ms in [1, 2, 3, 4, 100] {
+///     h.record(SimDuration::from_millis(ms));
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert!(h.quantile(0.5) <= h.quantile(0.99));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    total_micros: u64,
+    max_micros: u64,
+}
+
+/// Number of histogram buckets: 32 octaves × 2.
+const BUCKETS: usize = 64;
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            total_micros: 0,
+            max_micros: 0,
+        }
+    }
+
+    fn bucket_of(micros: u64) -> usize {
+        if micros <= 1 {
+            return 0;
+        }
+        let octave = 63 - micros.leading_zeros() as usize; // floor(log2)
+        let half = (micros >> (octave.saturating_sub(1))) & 1; // second half?
+        (octave * 2 + half as usize).min(BUCKETS - 1)
+    }
+
+    /// Lower bound (in µs) of the bucket with the given index.
+    fn bucket_floor(idx: usize) -> u64 {
+        let octave = idx / 2;
+        let base = 1u64 << octave;
+        if idx % 2 == 0 {
+            base
+        } else {
+            base + base / 2
+        }
+    }
+
+    /// Records one latency observation.
+    pub fn record(&mut self, latency: SimDuration) {
+        let us = latency.as_micros();
+        self.buckets[Self::bucket_of(us)] += 1;
+        self.count += 1;
+        self.total_micros += us;
+        self.max_micros = self.max_micros.max(us);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean of the observations.
+    pub fn mean(&self) -> SimDuration {
+        if self.count == 0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration::from_micros(self.total_micros / self.count)
+    }
+
+    /// Largest recorded observation (exact).
+    pub fn max(&self) -> SimDuration {
+        SimDuration::from_micros(self.max_micros)
+    }
+
+    /// Approximate quantile `q` in `[0, 1]`; resolution is one half-octave.
+    /// Returns zero when empty.
+    pub fn quantile(&self, q: f64) -> SimDuration {
+        if self.count == 0 {
+            return SimDuration::ZERO;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((self.count as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= target {
+                return SimDuration::from_micros(Self::bucket_floor(i));
+            }
+        }
+        self.max()
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.total_micros += other.total_micros;
+        self.max_micros = self.max_micros.max(other.max_micros);
+    }
+
+    /// Clears all observations.
+    pub fn reset(&mut self) {
+        self.buckets.iter_mut().for_each(|b| *b = 0);
+        self.count = 0;
+        self.total_micros = 0;
+        self.max_micros = 0;
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A point-in-time capture of a resource's cumulative counters, used to
+/// compute exact utilization over a window by differencing two snapshots.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct WindowSnapshot {
+    /// Time of the snapshot.
+    pub at: SimTime,
+    /// Cumulative busy microseconds at the snapshot.
+    pub busy_micros: f64,
+    /// Cumulative work done (service units) at the snapshot.
+    pub work_done: f64,
+}
+
+impl WindowSnapshot {
+    /// Captures a snapshot of `stats` at time `at`.
+    pub fn capture(at: SimTime, stats: PsStats) -> Self {
+        WindowSnapshot {
+            at,
+            busy_micros: stats.busy_micros,
+            work_done: stats.work_done,
+        }
+    }
+
+    /// Fraction of time the resource was busy between `self` and `later`
+    /// (0.0–1.0). Returns 0 for an empty window.
+    pub fn utilization_until(&self, later: &WindowSnapshot) -> f64 {
+        let elapsed = later.at.duration_since(self.at).as_micros() as f64;
+        if elapsed <= 0.0 {
+            return 0.0;
+        }
+        ((later.busy_micros - self.busy_micros) / elapsed).clamp(0.0, 1.0)
+    }
+
+    /// Work delivered between `self` and `later`, in service units per
+    /// second (for NICs: bytes/s).
+    pub fn throughput_until(&self, later: &WindowSnapshot) -> f64 {
+        let elapsed = later.at.duration_since(self.at).as_secs_f64();
+        if elapsed <= 0.0 {
+            return 0.0;
+        }
+        (later.work_done - self.work_done) / elapsed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_counts_and_mean() {
+        let mut h = LatencyHistogram::new();
+        h.record(SimDuration::from_micros(100));
+        h.record(SimDuration::from_micros(300));
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.mean(), SimDuration::from_micros(200));
+        assert_eq!(h.max(), SimDuration::from_micros(300));
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), SimDuration::ZERO);
+        assert_eq!(h.quantile(0.5), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bracket_data() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=1_000u64 {
+            h.record(SimDuration::from_micros(i * 10));
+        }
+        let q50 = h.quantile(0.5);
+        let q90 = h.quantile(0.9);
+        let q99 = h.quantile(0.99);
+        assert!(q50 <= q90 && q90 <= q99);
+        // The median of 10..=10000 is ~5000us; half-octave resolution means
+        // we accept a generous bracket.
+        let med = q50.as_micros();
+        assert!((2_500..=8_000).contains(&med), "median bucket {med}");
+    }
+
+    #[test]
+    fn merge_and_reset() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(SimDuration::from_millis(1));
+        b.record(SimDuration::from_millis(2));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), SimDuration::from_millis(2));
+        a.reset();
+        assert_eq!(a.count(), 0);
+        assert_eq!(a.max(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn bucket_mapping_is_monotone() {
+        let mut last = 0;
+        for us in [1u64, 2, 3, 5, 8, 100, 1_000, 65_000, 1 << 30] {
+            let b = LatencyHistogram::bucket_of(us);
+            assert!(b >= last, "bucket_of({us}) went backwards");
+            last = b;
+        }
+    }
+
+    #[test]
+    fn window_utilization_from_snapshots() {
+        let s0 = WindowSnapshot {
+            at: SimTime::from_micros(1_000),
+            busy_micros: 500.0,
+            work_done: 400.0,
+        };
+        let s1 = WindowSnapshot {
+            at: SimTime::from_micros(3_000),
+            busy_micros: 1_500.0,
+            work_done: 2_400.0,
+        };
+        assert!((s0.utilization_until(&s1) - 0.5).abs() < 1e-12);
+        // 2000 service units over 2ms = 1e6 units/s.
+        assert!((s0.throughput_until(&s1) - 1e6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_window_is_zero() {
+        let s = WindowSnapshot::default();
+        assert_eq!(s.utilization_until(&s), 0.0);
+        assert_eq!(s.throughput_until(&s), 0.0);
+    }
+}

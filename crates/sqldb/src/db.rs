@@ -1,0 +1,331 @@
+//! The database facade: catalog, statement cache, execution entry point.
+
+use crate::ast::Stmt;
+use crate::cost::{DbCostModel, QueryCounters};
+use crate::error::{SqlError, SqlResult};
+use crate::exec::{execute_stmt, QueryResult};
+use crate::parser::parse;
+use crate::schema::TableSchema;
+use crate::table::Table;
+use crate::value::Value;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Cumulative engine statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DbStats {
+    /// Statements executed.
+    pub statements: u64,
+    /// Statement-cache hits.
+    pub cache_hits: u64,
+    /// Statements that returned an error.
+    pub errors: u64,
+}
+
+/// An in-memory relational database: tables, a parsed-statement cache, and
+/// a cost model.
+///
+/// Modeled on MySQL 3.23 with MyISAM tables, as used in the paper: no
+/// transactions, table-level locking (enforced by the middleware layer via
+/// the lock metadata each [`QueryResult`] carries), `LOCK TABLES` /
+/// `UNLOCK TABLES` statements, and auto-increment keys.
+///
+/// ```
+/// use dynamid_sqldb::{Database, TableSchema, ColumnType, Value};
+/// let mut db = Database::new();
+/// db.create_table(
+///     TableSchema::builder("users")
+///         .column("id", ColumnType::Int)
+///         .column("name", ColumnType::Str)
+///         .primary_key("id")
+///         .auto_increment()
+///         .build()?,
+/// )?;
+/// db.execute("INSERT INTO users (id, name) VALUES (NULL, ?)", &[Value::str("ann")])?;
+/// let r = db.execute("SELECT name FROM users WHERE id = ?", &[Value::Int(1)])?;
+/// assert_eq!(r.rows[0][0], Value::str("ann"));
+/// # Ok::<(), dynamid_sqldb::SqlError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Database {
+    tables: Vec<Table>,
+    by_name: HashMap<String, usize>,
+    cost: DbCostModel,
+    stmt_cache: HashMap<String, Arc<Stmt>>,
+    stats: DbStats,
+}
+
+impl Database {
+    /// Creates an empty database with the default cost model.
+    pub fn new() -> Self {
+        Self::with_cost_model(DbCostModel::default())
+    }
+
+    /// Creates an empty database with an explicit cost model.
+    pub fn with_cost_model(cost: DbCostModel) -> Self {
+        Database {
+            tables: Vec::new(),
+            by_name: HashMap::new(),
+            cost,
+            stmt_cache: HashMap::new(),
+            stats: DbStats::default(),
+        }
+    }
+
+    /// The cost model used by [`statement_cost`](Self::statement_cost).
+    pub fn cost_model(&self) -> &DbCostModel {
+        &self.cost
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> DbStats {
+        self.stats
+    }
+
+    /// Registers a new table.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a table with the same name exists.
+    pub fn create_table(&mut self, schema: TableSchema) -> SqlResult<()> {
+        let name = schema.name().to_string();
+        if self.by_name.contains_key(&name) {
+            return Err(SqlError::TableExists(name));
+        }
+        self.by_name.insert(name, self.tables.len());
+        self.tables.push(Table::new(schema));
+        Ok(())
+    }
+
+    /// Names of all tables, in creation order.
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.iter().map(|t| t.schema().name()).collect()
+    }
+
+    /// Immutable access to a table.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the table does not exist.
+    pub fn table(&self, name: &str) -> SqlResult<&Table> {
+        self.by_name
+            .get(name)
+            .map(|i| &self.tables[*i])
+            .ok_or_else(|| SqlError::UnknownTable(name.to_string()))
+    }
+
+    /// Mutable access to a table (used by the executor and by bulk loaders).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the table does not exist.
+    pub fn table_mut(&mut self, name: &str) -> SqlResult<&mut Table> {
+        match self.by_name.get(name) {
+            Some(i) => Ok(&mut self.tables[*i]),
+            None => Err(SqlError::UnknownTable(name.to_string())),
+        }
+    }
+
+    /// Executes one SQL statement with positional `?` parameters.
+    ///
+    /// Parsed statements are cached by SQL text, so the parameterized query
+    /// style the benchmark applications use amortizes parsing.
+    ///
+    /// # Errors
+    ///
+    /// Any parse, resolution, type, or constraint error.
+    pub fn execute(&mut self, sql: &str, params: &[Value]) -> SqlResult<QueryResult> {
+        self.stats.statements += 1;
+        let stmt = match self.stmt_cache.get(sql) {
+            Some(s) => {
+                self.stats.cache_hits += 1;
+                Arc::clone(s)
+            }
+            None => {
+                let parsed = match parse(sql) {
+                    Ok(p) => Arc::new(p),
+                    Err(e) => {
+                        self.stats.errors += 1;
+                        return Err(e);
+                    }
+                };
+                self.stmt_cache.insert(sql.to_string(), Arc::clone(&parsed));
+                parsed
+            }
+        };
+        match execute_stmt(self, &stmt, params) {
+            Ok(r) => Ok(r),
+            Err(e) => {
+                self.stats.errors += 1;
+                Err(e)
+            }
+        }
+    }
+
+    /// CPU microseconds the database machine should be charged for a
+    /// statement with the given counters.
+    pub fn statement_cost(&self, counters: &QueryCounters) -> u64 {
+        self.cost.cost_micros(counters)
+    }
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::StatementKind;
+    use crate::schema::ColumnType;
+
+    fn db_with_users() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::builder("users")
+                .column("id", ColumnType::Int)
+                .column("nickname", ColumnType::Str)
+                .column("region", ColumnType::Int)
+                .column("rating", ColumnType::Int)
+                .primary_key("id")
+                .auto_increment()
+                .index("region")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        for (nick, region, rating) in [
+            ("ann", 1, 5),
+            ("bob", 1, 3),
+            ("cat", 2, 9),
+            ("dee", 3, 1),
+        ] {
+            db.execute(
+                "INSERT INTO users (id, nickname, region, rating) VALUES (NULL, ?, ?, ?)",
+                &[Value::str(nick), Value::Int(region), Value::Int(rating)],
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn create_insert_select_roundtrip() {
+        let mut db = db_with_users();
+        let r = db
+            .execute("SELECT nickname FROM users WHERE region = ?", &[Value::Int(1)])
+            .unwrap();
+        let mut names: Vec<&str> = r.rows.iter().map(|r| r[0].as_str().unwrap()).collect();
+        names.sort_unstable();
+        assert_eq!(names, vec!["ann", "bob"]);
+        assert_eq!(r.kind, StatementKind::Read);
+        assert_eq!(r.read_tables, vec!["users"]);
+        // Used the secondary index: 2 rows examined, not 4.
+        assert_eq!(r.counters.rows_examined, 2);
+        assert_eq!(r.counters.index_lookups, 1);
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let mut db = db_with_users();
+        let err = db
+            .create_table(
+                TableSchema::builder("users")
+                    .column("id", ColumnType::Int)
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, SqlError::TableExists(_)));
+    }
+
+    #[test]
+    fn update_and_delete_affect_counts() {
+        let mut db = db_with_users();
+        let r = db
+            .execute(
+                "UPDATE users SET rating = rating + 1 WHERE region = 1",
+                &[],
+            )
+            .unwrap();
+        assert_eq!(r.affected, 2);
+        assert_eq!(r.write_tables, vec!["users"]);
+        let r = db
+            .execute("SELECT rating FROM users WHERE nickname = 'ann'", &[])
+            .unwrap();
+        assert_eq!(r.rows[0][0], Value::Int(6));
+        // Ratings now: ann=6, bob=4, cat=9, dee=1.
+        let r = db.execute("DELETE FROM users WHERE rating < 4", &[]).unwrap();
+        assert_eq!(r.affected, 1);
+        let r = db.execute("SELECT COUNT(*) FROM users", &[]).unwrap();
+        assert_eq!(r.scalar(), Some(&Value::Int(3)));
+    }
+
+    #[test]
+    fn last_insert_id_flows_through() {
+        let mut db = db_with_users();
+        let r = db
+            .execute(
+                "INSERT INTO users (id, nickname, region, rating) VALUES (NULL, 'eve', 2, 2)",
+                &[],
+            )
+            .unwrap();
+        assert_eq!(r.last_insert_id, Some(5));
+    }
+
+    #[test]
+    fn statement_cache_hits() {
+        let mut db = db_with_users();
+        let before = db.stats();
+        for i in 0..5 {
+            db.execute("SELECT * FROM users WHERE id = ?", &[Value::Int(i + 1)])
+                .unwrap();
+        }
+        let after = db.stats();
+        assert_eq!(after.statements - before.statements, 5);
+        assert_eq!(after.cache_hits - before.cache_hits, 4);
+    }
+
+    #[test]
+    fn lock_statements_classified() {
+        let mut db = db_with_users();
+        let r = db.execute("LOCK TABLES users WRITE", &[]).unwrap();
+        match r.kind {
+            StatementKind::LockTables(l) => {
+                assert_eq!(l, vec![("users".to_string(), crate::ast::TableLockKind::Write)]);
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+        let r = db.execute("UNLOCK TABLES", &[]).unwrap();
+        assert_eq!(r.kind, StatementKind::UnlockTables);
+        // Locking a missing table errors.
+        assert!(db.execute("LOCK TABLES nope WRITE", &[]).is_err());
+    }
+
+    #[test]
+    fn errors_are_counted_and_reported() {
+        let mut db = db_with_users();
+        assert!(db.execute("SELEKT * FROM users", &[]).is_err());
+        assert!(db.execute("SELECT * FROM missing", &[]).is_err());
+        assert!(db
+            .execute("SELECT * FROM users WHERE id = ?", &[])
+            .is_err());
+        assert_eq!(db.stats().errors, 3);
+    }
+
+    #[test]
+    fn table_names_in_order() {
+        let db = db_with_users();
+        assert_eq!(db.table_names(), vec!["users"]);
+    }
+
+    #[test]
+    fn statement_cost_scales_with_counters() {
+        let db = db_with_users();
+        let small = QueryCounters { rows_examined: 1, ..Default::default() };
+        let big = QueryCounters { rows_examined: 100_000, ..Default::default() };
+        assert!(db.statement_cost(&big) > db.statement_cost(&small) * 100);
+    }
+}

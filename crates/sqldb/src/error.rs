@@ -1,0 +1,90 @@
+//! Error type for the SQL engine.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by parsing, planning, or executing a statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlError {
+    /// The SQL text could not be tokenized or parsed.
+    Parse {
+        /// Human-readable description.
+        message: String,
+        /// Byte offset into the statement where the error was noticed.
+        offset: usize,
+    },
+    /// A referenced table does not exist.
+    UnknownTable(String),
+    /// A referenced column does not exist (optionally qualified).
+    UnknownColumn(String),
+    /// A column reference is ambiguous between joined tables.
+    AmbiguousColumn(String),
+    /// A `?` placeholder index has no corresponding parameter.
+    MissingParam(usize),
+    /// A value had the wrong type for the operation or column.
+    TypeMismatch {
+        /// What the operation expected.
+        expected: &'static str,
+        /// What it got.
+        found: String,
+    },
+    /// An INSERT would duplicate a primary key.
+    DuplicateKey(String),
+    /// A table with this name already exists.
+    TableExists(String),
+    /// NOT NULL or arity constraint violated.
+    Constraint(String),
+    /// The statement uses a feature the engine does not support.
+    Unsupported(String),
+    /// Division by zero or a similar arithmetic failure.
+    Arithmetic(String),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Parse { message, offset } => {
+                write!(f, "parse error at byte {offset}: {message}")
+            }
+            SqlError::UnknownTable(t) => write!(f, "unknown table '{t}'"),
+            SqlError::UnknownColumn(c) => write!(f, "unknown column '{c}'"),
+            SqlError::AmbiguousColumn(c) => write!(f, "ambiguous column '{c}'"),
+            SqlError::MissingParam(i) => write!(f, "missing parameter for placeholder {i}"),
+            SqlError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            SqlError::DuplicateKey(k) => write!(f, "duplicate primary key {k}"),
+            SqlError::TableExists(t) => write!(f, "table '{t}' already exists"),
+            SqlError::Constraint(m) => write!(f, "constraint violation: {m}"),
+            SqlError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            SqlError::Arithmetic(m) => write!(f, "arithmetic error: {m}"),
+        }
+    }
+}
+
+impl Error for SqlError {}
+
+/// Convenience alias used throughout the engine.
+pub type SqlResult<T> = Result<T, SqlError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = SqlError::UnknownTable("itemz".into());
+        assert_eq!(e.to_string(), "unknown table 'itemz'");
+        let e = SqlError::Parse {
+            message: "expected FROM".into(),
+            offset: 12,
+        };
+        assert!(e.to_string().contains("byte 12"));
+    }
+
+    #[test]
+    fn error_trait_object_compatible() {
+        fn takes_err(_: &(dyn Error + Send + Sync)) {}
+        takes_err(&SqlError::Constraint("x".into()));
+    }
+}

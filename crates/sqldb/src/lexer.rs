@@ -1,0 +1,348 @@
+//! SQL tokenizer.
+
+use crate::error::{SqlError, SqlResult};
+
+/// A lexical token with its byte offset in the input.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset where the token starts.
+    pub offset: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword (stored as written; keyword matching is
+    /// case-insensitive in the parser).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal (with `''` unescaped).
+    Str(String),
+    /// `?` placeholder.
+    Param,
+    /// `,`
+    Comma,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `*`
+    Star,
+    /// `.`
+    Dot,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `;`
+    Semicolon,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// `true` if this is the identifier `word` (case-insensitive).
+    pub fn is_kw(&self, word: &str) -> bool {
+        matches!(self, TokenKind::Ident(s) if s.eq_ignore_ascii_case(word))
+    }
+}
+
+/// Tokenizes a statement.
+///
+/// # Errors
+///
+/// Returns a parse error for unterminated strings, malformed numbers, or
+/// unexpected characters.
+pub fn tokenize(input: &str) -> SqlResult<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let start = i;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token { kind: TokenKind::Comma, offset: start });
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token { kind: TokenKind::LParen, offset: start });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token { kind: TokenKind::RParen, offset: start });
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token { kind: TokenKind::Star, offset: start });
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token { kind: TokenKind::Dot, offset: start });
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token { kind: TokenKind::Semicolon, offset: start });
+                i += 1;
+            }
+            '?' => {
+                tokens.push(Token { kind: TokenKind::Param, offset: start });
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token { kind: TokenKind::Plus, offset: start });
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Token { kind: TokenKind::Minus, offset: start });
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token { kind: TokenKind::Slash, offset: start });
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token { kind: TokenKind::Eq, offset: start });
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::Ne, offset: start });
+                    i += 2;
+                } else {
+                    return Err(err("expected '=' after '!'", start));
+                }
+            }
+            '<' => match bytes.get(i + 1) {
+                Some(b'=') => {
+                    tokens.push(Token { kind: TokenKind::Le, offset: start });
+                    i += 2;
+                }
+                Some(b'>') => {
+                    tokens.push(Token { kind: TokenKind::Ne, offset: start });
+                    i += 2;
+                }
+                _ => {
+                    tokens.push(Token { kind: TokenKind::Lt, offset: start });
+                    i += 1;
+                }
+            },
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::Ge, offset: start });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Gt, offset: start });
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => return Err(err("unterminated string literal", start)),
+                        Some(b'\'') => {
+                            if bytes.get(i + 1) == Some(&b'\'') {
+                                s.push('\'');
+                                i += 2;
+                            } else {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        Some(_) => {
+                            // Consume one UTF-8 scalar.
+                            let rest = &input[i..];
+                            let ch = rest.chars().next().expect("in bounds");
+                            s.push(ch);
+                            i += ch.len_utf8();
+                        }
+                    }
+                }
+                tokens.push(Token { kind: TokenKind::Str(s), offset: start });
+            }
+            '0'..='9' => {
+                let mut end = i;
+                let mut is_float = false;
+                while end < bytes.len() {
+                    match bytes[end] {
+                        b'0'..=b'9' => end += 1,
+                        b'.' if !is_float
+                            && bytes.get(end + 1).is_some_and(u8::is_ascii_digit) =>
+                        {
+                            is_float = true;
+                            end += 1;
+                        }
+                        _ => break,
+                    }
+                }
+                let text = &input[i..end];
+                let kind = if is_float {
+                    TokenKind::Float(
+                        text.parse()
+                            .map_err(|_| err("malformed float literal", start))?,
+                    )
+                } else {
+                    TokenKind::Int(
+                        text.parse()
+                            .map_err(|_| err("integer literal out of range", start))?,
+                    )
+                };
+                tokens.push(Token { kind, offset: start });
+                i = end;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut end = i;
+                while end < bytes.len()
+                    && ((bytes[end] as char).is_ascii_alphanumeric() || bytes[end] == b'_')
+                {
+                    end += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(input[i..end].to_string()),
+                    offset: start,
+                });
+                i = end;
+            }
+            other => {
+                return Err(err(&format!("unexpected character '{other}'"), start));
+            }
+        }
+    }
+    tokens.push(Token { kind: TokenKind::Eof, offset: input.len() });
+    Ok(tokens)
+}
+
+fn err(message: &str, offset: usize) -> SqlError {
+    SqlError::Parse {
+        message: message.to_string(),
+        offset,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(sql: &str) -> Vec<TokenKind> {
+        tokenize(sql).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_select_tokens() {
+        let k = kinds("SELECT id, name FROM items WHERE id = ?");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("SELECT".into()),
+                TokenKind::Ident("id".into()),
+                TokenKind::Comma,
+                TokenKind::Ident("name".into()),
+                TokenKind::Ident("FROM".into()),
+                TokenKind::Ident("items".into()),
+                TokenKind::Ident("WHERE".into()),
+                TokenKind::Ident("id".into()),
+                TokenKind::Eq,
+                TokenKind::Param,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_and_strings() {
+        let k = kinds("42 3.25 'o''reilly' 'café'");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Int(42),
+                TokenKind::Float(3.25),
+                TokenKind::Str("o'reilly".into()),
+                TokenKind::Str("café".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let k = kinds("< <= > >= <> != =");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Lt,
+                TokenKind::Le,
+                TokenKind::Gt,
+                TokenKind::Ge,
+                TokenKind::Ne,
+                TokenKind::Ne,
+                TokenKind::Eq,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn arithmetic_and_punctuation() {
+        let k = kinds("(a.b + 1) - 2 / 3 * x;");
+        assert!(k.contains(&TokenKind::Plus));
+        assert!(k.contains(&TokenKind::Minus));
+        assert!(k.contains(&TokenKind::Slash));
+        assert!(k.contains(&TokenKind::Star));
+        assert!(k.contains(&TokenKind::Dot));
+        assert!(k.contains(&TokenKind::Semicolon));
+    }
+
+    #[test]
+    fn offsets_recorded() {
+        let toks = tokenize("ab  cd").unwrap();
+        assert_eq!(toks[0].offset, 0);
+        assert_eq!(toks[1].offset, 4);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(matches!(tokenize("'abc"), Err(SqlError::Parse { .. })));
+        assert!(matches!(tokenize("a ! b"), Err(SqlError::Parse { .. })));
+        assert!(matches!(tokenize("a # b"), Err(SqlError::Parse { .. })));
+        assert!(tokenize("99999999999999999999").is_err());
+    }
+
+    #[test]
+    fn kw_matching_is_case_insensitive() {
+        let toks = tokenize("select").unwrap();
+        assert!(toks[0].kind.is_kw("SELECT"));
+        assert!(toks[0].kind.is_kw("select"));
+        assert!(!toks[0].kind.is_kw("insert"));
+    }
+
+    #[test]
+    fn trailing_dot_number_is_int_then_dot() {
+        // "1." with no following digit lexes as Int(1), Dot.
+        let k = kinds("1.");
+        assert_eq!(k, vec![TokenKind::Int(1), TokenKind::Dot, TokenKind::Eof]);
+    }
+}

@@ -1,0 +1,358 @@
+//! Access-path selection.
+//!
+//! The planner mimics what MySQL 3.23 would do for the benchmark queries:
+//! use an index for an equality or range predicate on an indexed column,
+//! otherwise fall back to a full scan. It runs at execution time (parameters
+//! are already bound), so "planning" resolves predicate constants to
+//! concrete [`Value`]s.
+
+use crate::ast::{BinOp, ColRef, Expr};
+use crate::error::SqlResult;
+use crate::table::Table;
+use crate::value::Value;
+use std::ops::Bound;
+
+/// How the executor will locate candidate rows in one table.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AccessPath {
+    /// Visit every live row.
+    FullScan,
+    /// Probe an index with an equality key.
+    IndexEq {
+        /// Column position.
+        col: usize,
+        /// Bound key value.
+        key: Value,
+    },
+    /// Walk an index over a key range.
+    IndexRange {
+        /// Column position.
+        col: usize,
+        /// Lower bound.
+        lo: OwnedBound,
+        /// Upper bound.
+        hi: OwnedBound,
+    },
+}
+
+/// An owned interval endpoint (mirrors [`std::ops::Bound`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum OwnedBound {
+    /// Endpoint included.
+    Included(Value),
+    /// Endpoint excluded.
+    Excluded(Value),
+    /// No bound on this side.
+    Unbounded,
+}
+
+impl OwnedBound {
+    /// View as a [`std::ops::Bound`] for B-tree range queries.
+    pub fn as_bound(&self) -> Bound<&Value> {
+        match self {
+            OwnedBound::Included(v) => Bound::Included(v),
+            OwnedBound::Excluded(v) => Bound::Excluded(v),
+            OwnedBound::Unbounded => Bound::Unbounded,
+        }
+    }
+}
+
+/// Splits an expression tree into its top-level AND conjuncts.
+pub fn conjuncts(expr: &Expr) -> Vec<&Expr> {
+    let mut out = Vec::new();
+    fn walk<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
+        match e {
+            Expr::Binary { op: BinOp::And, lhs, rhs } => {
+                walk(lhs, out);
+                walk(rhs, out);
+            }
+            other => out.push(other),
+        }
+    }
+    walk(expr, &mut out);
+    out
+}
+
+/// `true` when the expression can be evaluated without a row (only
+/// literals, parameters, and arithmetic over them).
+fn is_const(expr: &Expr) -> bool {
+    match expr {
+        Expr::Lit(_) | Expr::Param(_) => true,
+        Expr::Neg(e) => is_const(e),
+        Expr::Binary { op, lhs, rhs } => {
+            matches!(op, BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div)
+                && is_const(lhs)
+                && is_const(rhs)
+        }
+        _ => false,
+    }
+}
+
+/// Evaluates a row-independent expression.
+fn eval_const(expr: &Expr, params: &[Value]) -> SqlResult<Value> {
+    crate::exec::eval_row_free(expr, params)
+}
+
+/// `true` when `col` refers to `alias` (or is unqualified) and names an
+/// existing column of `table`; returns the column position.
+fn col_on_table(col: &ColRef, alias: &str, table: &Table) -> Option<usize> {
+    if let Some(t) = &col.table {
+        if t != alias {
+            return None;
+        }
+    }
+    table.schema().column_index(&col.column)
+}
+
+/// Chooses the access path for `table` (referred to as `alias`) given the
+/// WHERE conjuncts. Preference: primary-key equality, secondary-index
+/// equality, indexed range / BETWEEN, full scan.
+///
+/// # Errors
+///
+/// Propagates parameter-binding errors from constant evaluation.
+pub fn choose_path(
+    table: &Table,
+    alias: &str,
+    conj: &[&Expr],
+    params: &[Value],
+) -> SqlResult<AccessPath> {
+    let pk = table.schema().primary_key();
+    let mut best_eq: Option<(usize, Value)> = None;
+    let mut best_range: Option<(usize, OwnedBound, OwnedBound)> = None;
+
+    for e in conj {
+        match e {
+            Expr::Binary { op, lhs, rhs } if op.is_comparison() => {
+                // Normalize to (col, op, const).
+                let (col, op, konst) = match (&**lhs, &**rhs) {
+                    (Expr::Col(c), k) if is_const(k) => (c, *op, k),
+                    (k, Expr::Col(c)) if is_const(k) => (c, flip(*op), k),
+                    _ => continue,
+                };
+                let Some(pos) = col_on_table(col, alias, table) else {
+                    continue;
+                };
+                if !table.has_index_on(pos) {
+                    continue;
+                }
+                let key = eval_const(konst, params)?;
+                match op {
+                    BinOp::Eq => {
+                        let better = match &best_eq {
+                            None => true,
+                            // Prefer the primary key.
+                            Some((cur, _)) => pk == Some(pos) && pk != Some(*cur),
+                        };
+                        if better {
+                            best_eq = Some((pos, key));
+                        }
+                    }
+                    BinOp::Lt => {
+                        merge_range(&mut best_range, pos, OwnedBound::Unbounded, OwnedBound::Excluded(key));
+                    }
+                    BinOp::Le => {
+                        merge_range(&mut best_range, pos, OwnedBound::Unbounded, OwnedBound::Included(key));
+                    }
+                    BinOp::Gt => {
+                        merge_range(&mut best_range, pos, OwnedBound::Excluded(key), OwnedBound::Unbounded);
+                    }
+                    BinOp::Ge => {
+                        merge_range(&mut best_range, pos, OwnedBound::Included(key), OwnedBound::Unbounded);
+                    }
+                    _ => {}
+                }
+            }
+            Expr::Between { expr, lo, hi } => {
+                let Expr::Col(col) = &**expr else { continue };
+                if !is_const(lo) || !is_const(hi) {
+                    continue;
+                }
+                let Some(pos) = col_on_table(col, alias, table) else {
+                    continue;
+                };
+                if !table.has_index_on(pos) {
+                    continue;
+                }
+                let lov = eval_const(lo, params)?;
+                let hiv = eval_const(hi, params)?;
+                merge_range(
+                    &mut best_range,
+                    pos,
+                    OwnedBound::Included(lov),
+                    OwnedBound::Included(hiv),
+                );
+            }
+            _ => {}
+        }
+    }
+
+    if let Some((col, key)) = best_eq {
+        return Ok(AccessPath::IndexEq { col, key });
+    }
+    if let Some((col, lo, hi)) = best_range {
+        return Ok(AccessPath::IndexRange { col, lo, hi });
+    }
+    Ok(AccessPath::FullScan)
+}
+
+/// Combines range conjuncts on the same column (e.g. `a > 1 AND a <= 9`).
+fn merge_range(
+    best: &mut Option<(usize, OwnedBound, OwnedBound)>,
+    col: usize,
+    lo: OwnedBound,
+    hi: OwnedBound,
+) {
+    match best {
+        Some((cur, cur_lo, cur_hi)) if *cur == col => {
+            if !matches!(lo, OwnedBound::Unbounded) {
+                *cur_lo = lo;
+            }
+            if !matches!(hi, OwnedBound::Unbounded) {
+                *cur_hi = hi;
+            }
+        }
+        Some(_) => {} // keep the first ranged column
+        None => *best = Some((col, lo, hi)),
+    }
+}
+
+fn flip(op: BinOp) -> BinOp {
+    match op {
+        BinOp::Lt => BinOp::Gt,
+        BinOp::Le => BinOp::Ge,
+        BinOp::Gt => BinOp::Lt,
+        BinOp::Ge => BinOp::Le,
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::schema::{ColumnType, TableSchema};
+    use crate::ast::Stmt;
+
+    fn table() -> Table {
+        let schema = TableSchema::builder("items")
+            .column("id", ColumnType::Int)
+            .column("category", ColumnType::Int)
+            .column("name", ColumnType::Str)
+            .column("price", ColumnType::Float)
+            .primary_key("id")
+            .index("category")
+            .build()
+            .unwrap();
+        let mut t = Table::new(schema);
+        for i in 0..10 {
+            t.insert(vec![
+                Value::Int(i),
+                Value::Int(i % 3),
+                Value::str(format!("item{i}")),
+                Value::Float(i as f64),
+            ])
+            .unwrap();
+        }
+        t
+    }
+
+    fn where_of(sql: &str) -> Expr {
+        match parse(sql).unwrap() {
+            Stmt::Select(s) => s.where_clause.unwrap(),
+            _ => panic!(),
+        }
+    }
+
+    fn path(sql: &str, params: &[Value]) -> AccessPath {
+        let w = where_of(sql);
+        let c = conjuncts(&w);
+        choose_path(&table(), "items", &c, params).unwrap()
+    }
+
+    #[test]
+    fn pk_equality_wins() {
+        let p = path(
+            "SELECT * FROM items WHERE category = 1 AND id = ?",
+            &[Value::Int(5)],
+        );
+        assert_eq!(p, AccessPath::IndexEq { col: 0, key: Value::Int(5) });
+    }
+
+    #[test]
+    fn secondary_equality_used() {
+        let p = path("SELECT * FROM items WHERE category = 2", &[]);
+        assert_eq!(p, AccessPath::IndexEq { col: 1, key: Value::Int(2) });
+    }
+
+    #[test]
+    fn reversed_operands_normalized() {
+        let p = path("SELECT * FROM items WHERE 5 = id", &[]);
+        assert_eq!(p, AccessPath::IndexEq { col: 0, key: Value::Int(5) });
+    }
+
+    #[test]
+    fn range_predicates_merge() {
+        let p = path("SELECT * FROM items WHERE id > 2 AND id <= 7", &[]);
+        assert_eq!(
+            p,
+            AccessPath::IndexRange {
+                col: 0,
+                lo: OwnedBound::Excluded(Value::Int(2)),
+                hi: OwnedBound::Included(Value::Int(7)),
+            }
+        );
+    }
+
+    #[test]
+    fn between_becomes_range() {
+        let p = path("SELECT * FROM items WHERE id BETWEEN ? AND ?", &[Value::Int(1), Value::Int(3)]);
+        assert_eq!(
+            p,
+            AccessPath::IndexRange {
+                col: 0,
+                lo: OwnedBound::Included(Value::Int(1)),
+                hi: OwnedBound::Included(Value::Int(3)),
+            }
+        );
+    }
+
+    #[test]
+    fn unindexed_column_scans() {
+        let p = path("SELECT * FROM items WHERE name = 'item3'", &[]);
+        assert_eq!(p, AccessPath::FullScan);
+        let p = path("SELECT * FROM items WHERE price < 3.0", &[]);
+        assert_eq!(p, AccessPath::FullScan);
+    }
+
+    #[test]
+    fn eq_beats_range() {
+        let p = path("SELECT * FROM items WHERE id > 2 AND category = 1", &[]);
+        assert_eq!(p, AccessPath::IndexEq { col: 1, key: Value::Int(1) });
+    }
+
+    #[test]
+    fn qualified_alias_respected() {
+        let w = where_of("SELECT * FROM items i WHERE i.id = 4");
+        let c = conjuncts(&w);
+        let p = choose_path(&table(), "i", &c, &[]).unwrap();
+        assert_eq!(p, AccessPath::IndexEq { col: 0, key: Value::Int(4) });
+        // Wrong alias: predicate is about another table.
+        let p = choose_path(&table(), "other", &c, &[]).unwrap();
+        assert_eq!(p, AccessPath::FullScan);
+    }
+
+    #[test]
+    fn or_disables_indexing() {
+        let p = path("SELECT * FROM items WHERE id = 1 OR category = 2", &[]);
+        assert_eq!(p, AccessPath::FullScan);
+    }
+
+    #[test]
+    fn conjunct_split() {
+        let w = where_of("SELECT * FROM items WHERE id = 1 AND category = 2 AND name LIKE 'a%'");
+        assert_eq!(conjuncts(&w).len(), 3);
+        let w = where_of("SELECT * FROM items WHERE id = 1 OR category = 2");
+        assert_eq!(conjuncts(&w).len(), 1);
+    }
+}

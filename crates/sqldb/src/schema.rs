@@ -1,0 +1,381 @@
+//! Table schemas: columns, types, keys, and secondary indexes.
+
+use crate::error::{SqlError, SqlResult};
+use crate::value::Value;
+
+/// Static type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ColumnType {
+    /// 64-bit integer (ids, counts, epoch-second dates).
+    Int,
+    /// Double-precision float (prices, rates).
+    Float,
+    /// UTF-8 text.
+    Str,
+}
+
+impl ColumnType {
+    /// `true` when `value` may be stored in a column of this type
+    /// (NULL is checked separately against nullability).
+    pub fn admits(self, value: &Value) -> bool {
+        matches!(
+            (self, value),
+            (_, Value::Null)
+                | (ColumnType::Int, Value::Int(_))
+                | (ColumnType::Float, Value::Float(_))
+                | (ColumnType::Float, Value::Int(_))
+                | (ColumnType::Str, Value::Str(_))
+        )
+    }
+}
+
+/// One column of a table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    name: String,
+    ty: ColumnType,
+    nullable: bool,
+}
+
+impl Column {
+    /// The column name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The declared type.
+    pub fn column_type(&self) -> ColumnType {
+        self.ty
+    }
+
+    /// Whether NULL is storable.
+    pub fn is_nullable(&self) -> bool {
+        self.nullable
+    }
+}
+
+/// A complete table definition.
+///
+/// Built with [`TableSchema::builder`]:
+///
+/// ```
+/// use dynamid_sqldb::{TableSchema, ColumnType};
+/// let schema = TableSchema::builder("items")
+///     .column("id", ColumnType::Int)
+///     .column("name", ColumnType::Str)
+///     .column("category", ColumnType::Int)
+///     .primary_key("id")
+///     .auto_increment()
+///     .index("category")
+///     .build()
+///     .unwrap();
+/// assert_eq!(schema.name(), "items");
+/// assert_eq!(schema.columns().len(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableSchema {
+    name: String,
+    columns: Vec<Column>,
+    primary_key: Option<usize>,
+    auto_increment: bool,
+    /// Secondary index columns (by position).
+    indexes: Vec<usize>,
+}
+
+impl TableSchema {
+    /// Starts building a schema for a table with the given name.
+    pub fn builder(name: impl Into<String>) -> TableSchemaBuilder {
+        TableSchemaBuilder {
+            name: name.into(),
+            columns: Vec::new(),
+            primary_key: None,
+            auto_increment: false,
+            indexes: Vec::new(),
+            error: None,
+        }
+    }
+
+    /// The table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All columns in declaration order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Position of the column with the given name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Position of the primary-key column, if declared.
+    pub fn primary_key(&self) -> Option<usize> {
+        self.primary_key
+    }
+
+    /// Whether the primary key auto-increments on insert.
+    pub fn is_auto_increment(&self) -> bool {
+        self.auto_increment
+    }
+
+    /// Secondary-index column positions.
+    pub fn indexes(&self) -> &[usize] {
+        &self.indexes
+    }
+
+    /// Validates that `row` matches the schema arity, types, and
+    /// nullability.
+    pub fn check_row(&self, row: &[Value]) -> SqlResult<()> {
+        if row.len() != self.columns.len() {
+            return Err(SqlError::Constraint(format!(
+                "table '{}' expects {} columns, got {}",
+                self.name,
+                self.columns.len(),
+                row.len()
+            )));
+        }
+        for (col, val) in self.columns.iter().zip(row) {
+            if val.is_null() && !col.nullable {
+                return Err(SqlError::Constraint(format!(
+                    "column '{}.{}' is NOT NULL",
+                    self.name, col.name
+                )));
+            }
+            if !col.ty.admits(val) {
+                return Err(SqlError::TypeMismatch {
+                    expected: match col.ty {
+                        ColumnType::Int => "integer",
+                        ColumnType::Float => "number",
+                        ColumnType::Str => "string",
+                    },
+                    found: format!("{} for column '{}'", val.type_name(), col.name),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Incremental builder for [`TableSchema`].
+#[derive(Debug)]
+pub struct TableSchemaBuilder {
+    name: String,
+    columns: Vec<Column>,
+    primary_key: Option<usize>,
+    auto_increment: bool,
+    indexes: Vec<usize>,
+    error: Option<SqlError>,
+}
+
+impl TableSchemaBuilder {
+    /// Adds a NOT NULL column.
+    pub fn column(mut self, name: impl Into<String>, ty: ColumnType) -> Self {
+        self.push_column(name.into(), ty, false);
+        self
+    }
+
+    /// Adds a nullable column.
+    pub fn nullable_column(mut self, name: impl Into<String>, ty: ColumnType) -> Self {
+        self.push_column(name.into(), ty, true);
+        self
+    }
+
+    fn push_column(&mut self, name: String, ty: ColumnType, nullable: bool) {
+        if self.columns.iter().any(|c| c.name == name) {
+            self.error.get_or_insert(SqlError::Constraint(format!(
+                "duplicate column '{name}'"
+            )));
+            return;
+        }
+        self.columns.push(Column { name, ty, nullable });
+    }
+
+    /// Declares the primary key (a previously added column).
+    pub fn primary_key(mut self, name: &str) -> Self {
+        match self.columns.iter().position(|c| c.name == name) {
+            Some(i) => self.primary_key = Some(i),
+            None => {
+                self.error
+                    .get_or_insert(SqlError::UnknownColumn(name.to_string()));
+            }
+        }
+        self
+    }
+
+    /// Makes the primary key auto-increment (must be an Int column).
+    pub fn auto_increment(mut self) -> Self {
+        self.auto_increment = true;
+        self
+    }
+
+    /// Adds a secondary index on a previously added column.
+    pub fn index(mut self, name: &str) -> Self {
+        match self.columns.iter().position(|c| c.name == name) {
+            Some(i) => {
+                if !self.indexes.contains(&i) && self.primary_key != Some(i) {
+                    self.indexes.push(i);
+                }
+            }
+            None => {
+                self.error
+                    .get_or_insert(SqlError::UnknownColumn(name.to_string()));
+            }
+        }
+        self
+    }
+
+    /// Finishes the schema.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first structural error: duplicate or unknown columns, an
+    /// empty column list, a non-Int auto-increment key, or auto-increment
+    /// without a primary key.
+    pub fn build(self) -> SqlResult<TableSchema> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        if self.columns.is_empty() {
+            return Err(SqlError::Constraint(format!(
+                "table '{}' has no columns",
+                self.name
+            )));
+        }
+        if self.auto_increment {
+            match self.primary_key {
+                None => {
+                    return Err(SqlError::Constraint(
+                        "auto_increment requires a primary key".into(),
+                    ))
+                }
+                Some(pk) if self.columns[pk].ty != ColumnType::Int => {
+                    return Err(SqlError::Constraint(
+                        "auto_increment key must be an integer".into(),
+                    ))
+                }
+                _ => {}
+            }
+        }
+        Ok(TableSchema {
+            name: self.name,
+            columns: self.columns,
+            primary_key: self.primary_key,
+            auto_increment: self.auto_increment,
+            indexes: self.indexes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn items() -> TableSchema {
+        TableSchema::builder("items")
+            .column("id", ColumnType::Int)
+            .column("name", ColumnType::Str)
+            .column("price", ColumnType::Float)
+            .nullable_column("notes", ColumnType::Str)
+            .primary_key("id")
+            .auto_increment()
+            .index("name")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_wires_everything() {
+        let s = items();
+        assert_eq!(s.primary_key(), Some(0));
+        assert!(s.is_auto_increment());
+        assert_eq!(s.indexes(), &[1]);
+        assert_eq!(s.column_index("price"), Some(2));
+        assert_eq!(s.column_index("nope"), None);
+        assert!(s.columns()[3].is_nullable());
+        assert_eq!(s.columns()[1].column_type(), ColumnType::Str);
+        assert_eq!(s.columns()[0].name(), "id");
+    }
+
+    #[test]
+    fn row_validation() {
+        let s = items();
+        let good = vec![
+            Value::Int(1),
+            Value::str("book"),
+            Value::Float(9.5),
+            Value::Null,
+        ];
+        assert!(s.check_row(&good).is_ok());
+        // Int admitted into Float column.
+        let promo = vec![
+            Value::Int(1),
+            Value::str("book"),
+            Value::Int(9),
+            Value::Null,
+        ];
+        assert!(s.check_row(&promo).is_ok());
+        // Wrong arity.
+        assert!(s.check_row(&good[..3]).is_err());
+        // NULL into NOT NULL.
+        let null_name = vec![Value::Int(1), Value::Null, Value::Float(1.0), Value::Null];
+        assert!(matches!(
+            s.check_row(&null_name),
+            Err(SqlError::Constraint(_))
+        ));
+        // Type mismatch.
+        let bad_ty = vec![
+            Value::str("x"),
+            Value::str("book"),
+            Value::Float(1.0),
+            Value::Null,
+        ];
+        assert!(matches!(
+            s.check_row(&bad_ty),
+            Err(SqlError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn builder_errors() {
+        assert!(TableSchema::builder("t").build().is_err());
+        assert!(TableSchema::builder("t")
+            .column("a", ColumnType::Int)
+            .column("a", ColumnType::Int)
+            .build()
+            .is_err());
+        assert!(TableSchema::builder("t")
+            .column("a", ColumnType::Int)
+            .primary_key("b")
+            .build()
+            .is_err());
+        assert!(TableSchema::builder("t")
+            .column("a", ColumnType::Str)
+            .primary_key("a")
+            .auto_increment()
+            .build()
+            .is_err());
+        assert!(TableSchema::builder("t")
+            .column("a", ColumnType::Int)
+            .auto_increment()
+            .build()
+            .is_err());
+        assert!(TableSchema::builder("t")
+            .column("a", ColumnType::Int)
+            .index("zz")
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn pk_index_not_duplicated_as_secondary() {
+        let s = TableSchema::builder("t")
+            .column("id", ColumnType::Int)
+            .primary_key("id")
+            .index("id")
+            .build()
+            .unwrap();
+        assert!(s.indexes().is_empty());
+    }
+}

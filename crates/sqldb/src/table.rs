@@ -1,0 +1,413 @@
+//! Row storage with primary-key and secondary B-tree indexes.
+
+use crate::error::{SqlError, SqlResult};
+use crate::schema::TableSchema;
+use crate::value::Value;
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+/// Identifies a row slot within one table. Stable for the row's lifetime;
+/// slots of deleted rows are reused.
+pub type RowId = usize;
+
+/// A stored table: schema, row slots, and indexes.
+///
+/// ```
+/// use dynamid_sqldb::{Table, TableSchema, ColumnType, Value};
+/// let schema = TableSchema::builder("users")
+///     .column("id", ColumnType::Int)
+///     .column("nickname", ColumnType::Str)
+///     .primary_key("id")
+///     .auto_increment()
+///     .index("nickname")
+///     .build()
+///     .unwrap();
+/// let mut t = Table::new(schema);
+/// let (rid, id) = t.insert(vec![Value::Null, Value::str("bob")]).unwrap();
+/// assert_eq!(id, Some(1));
+/// assert_eq!(t.get(rid).unwrap()[1], Value::str("bob"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    schema: TableSchema,
+    rows: Vec<Option<Vec<Value>>>,
+    live: usize,
+    free: Vec<RowId>,
+    pk_index: BTreeMap<Value, RowId>,
+    /// Parallel to `schema.indexes()`: one B-tree per secondary index.
+    sec: Vec<BTreeMap<Value, Vec<RowId>>>,
+    next_auto: i64,
+}
+
+impl Table {
+    /// Creates an empty table for the schema.
+    pub fn new(schema: TableSchema) -> Self {
+        let sec = schema.indexes().iter().map(|_| BTreeMap::new()).collect();
+        Table {
+            schema,
+            rows: Vec::new(),
+            live: 0,
+            free: Vec::new(),
+            pk_index: BTreeMap::new(),
+            sec,
+            next_auto: 1,
+        }
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &TableSchema {
+        &self.schema
+    }
+
+    /// Number of live rows.
+    pub fn row_count(&self) -> usize {
+        self.live
+    }
+
+    /// Inserts a row (values in schema column order). For an auto-increment
+    /// table, pass `Value::Null` as the key to have one assigned. Returns
+    /// the row id and the auto-assigned key, if any.
+    ///
+    /// # Errors
+    ///
+    /// Fails on arity/type/nullability violations or a duplicate primary
+    /// key.
+    pub fn insert(&mut self, mut row: Vec<Value>) -> SqlResult<(RowId, Option<i64>)> {
+        let mut assigned = None;
+        if let Some(pk) = self.schema.primary_key() {
+            if self.schema.is_auto_increment() && row.get(pk).is_some_and(Value::is_null) {
+                let id = self.next_auto;
+                self.next_auto += 1;
+                row[pk] = Value::Int(id);
+                assigned = Some(id);
+            }
+        }
+        self.schema.check_row(&row)?;
+        if let Some(pk) = self.schema.primary_key() {
+            if self.pk_index.contains_key(&row[pk]) {
+                return Err(SqlError::DuplicateKey(format!(
+                    "{}={}",
+                    self.schema.columns()[pk].name(),
+                    row[pk]
+                )));
+            }
+            // Keep the auto counter ahead of explicit keys.
+            if self.schema.is_auto_increment() {
+                if let Some(k) = row[pk].as_int() {
+                    self.next_auto = self.next_auto.max(k + 1);
+                }
+            }
+        }
+        let rid = match self.free.pop() {
+            Some(slot) => {
+                self.rows[slot] = Some(row);
+                slot
+            }
+            None => {
+                self.rows.push(Some(row));
+                self.rows.len() - 1
+            }
+        };
+        self.live += 1;
+        self.index_insert(rid);
+        Ok((rid, assigned))
+    }
+
+    /// The row at `rid`, if live.
+    pub fn get(&self, rid: RowId) -> Option<&[Value]> {
+        self.rows.get(rid)?.as_deref()
+    }
+
+    /// Replaces the row at `rid`, maintaining all indexes.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the row id is dead, the new row violates the schema, or the
+    /// new primary key duplicates another row's.
+    pub fn update(&mut self, rid: RowId, new_row: Vec<Value>) -> SqlResult<()> {
+        self.schema.check_row(&new_row)?;
+        let Some(Some(old)) = self.rows.get(rid) else {
+            return Err(SqlError::Constraint(format!("no row {rid}")));
+        };
+        if let Some(pk) = self.schema.primary_key() {
+            if old[pk] != new_row[pk] && self.pk_index.contains_key(&new_row[pk]) {
+                return Err(SqlError::DuplicateKey(format!(
+                    "{}={}",
+                    self.schema.columns()[pk].name(),
+                    new_row[pk]
+                )));
+            }
+        }
+        self.index_remove(rid);
+        self.rows[rid] = Some(new_row);
+        self.index_insert(rid);
+        Ok(())
+    }
+
+    /// Deletes the row at `rid`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the row id is dead.
+    pub fn delete(&mut self, rid: RowId) -> SqlResult<Vec<Value>> {
+        if self.get(rid).is_none() {
+            return Err(SqlError::Constraint(format!("no row {rid}")));
+        }
+        self.index_remove(rid);
+        let row = self.rows[rid].take().expect("checked live");
+        self.free.push(rid);
+        self.live -= 1;
+        Ok(row)
+    }
+
+    /// Iterates live rows in slot order.
+    pub fn scan(&self) -> impl Iterator<Item = (RowId, &[Value])> + '_ {
+        self.rows
+            .iter()
+            .enumerate()
+            .filter_map(|(rid, r)| r.as_deref().map(|row| (rid, row)))
+    }
+
+    /// Looks up a row by primary key.
+    pub fn pk_lookup(&self, key: &Value) -> Option<RowId> {
+        self.pk_index.get(key).copied()
+    }
+
+    /// `true` when lookups on this column can use an index (primary or
+    /// secondary).
+    pub fn has_index_on(&self, col: usize) -> bool {
+        self.schema.primary_key() == Some(col) || self.schema.indexes().contains(&col)
+    }
+
+    /// Row ids matching `key` on column `col`, using an index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column is not indexed; callers check
+    /// [`has_index_on`](Self::has_index_on) first (the planner does).
+    pub fn index_lookup(&self, col: usize, key: &Value) -> Vec<RowId> {
+        if self.schema.primary_key() == Some(col) {
+            return self.pk_lookup(key).into_iter().collect();
+        }
+        let slot = self.secondary_slot(col);
+        self.sec[slot].get(key).cloned().unwrap_or_default()
+    }
+
+    /// Row ids with column `col` in the given bounds, in key order, using an
+    /// index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column is not indexed.
+    pub fn index_range(
+        &self,
+        col: usize,
+        lo: Bound<&Value>,
+        hi: Bound<&Value>,
+    ) -> Vec<RowId> {
+        if self.schema.primary_key() == Some(col) {
+            return self.pk_index.range((lo, hi)).map(|(_, r)| *r).collect();
+        }
+        let slot = self.secondary_slot(col);
+        self.sec[slot]
+            .range((lo, hi))
+            .flat_map(|(_, rids)| rids.iter().copied())
+            .collect()
+    }
+
+    /// Number of distinct keys in the index on `col` (diagnostics).
+    pub fn index_cardinality(&self, col: usize) -> usize {
+        if self.schema.primary_key() == Some(col) {
+            self.pk_index.len()
+        } else {
+            self.sec[self.secondary_slot(col)].len()
+        }
+    }
+
+    fn secondary_slot(&self, col: usize) -> usize {
+        self.schema
+            .indexes()
+            .iter()
+            .position(|c| *c == col)
+            .unwrap_or_else(|| panic!("column {col} is not indexed"))
+    }
+
+    fn index_insert(&mut self, rid: RowId) {
+        let row = self.rows[rid].as_ref().expect("live row");
+        if let Some(pk) = self.schema.primary_key() {
+            self.pk_index.insert(row[pk].clone(), rid);
+        }
+        for (slot, col) in self.schema.indexes().to_vec().into_iter().enumerate() {
+            let key = row[col].clone();
+            self.sec[slot].entry(key).or_default().push(rid);
+        }
+    }
+
+    fn index_remove(&mut self, rid: RowId) {
+        let row = self.rows[rid].as_ref().expect("live row").clone();
+        if let Some(pk) = self.schema.primary_key() {
+            self.pk_index.remove(&row[pk]);
+        }
+        for (slot, col) in self.schema.indexes().to_vec().into_iter().enumerate() {
+            if let Some(rids) = self.sec[slot].get_mut(&row[col]) {
+                rids.retain(|r| *r != rid);
+                if rids.is_empty() {
+                    self.sec[slot].remove(&row[col]);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnType;
+
+    fn users() -> Table {
+        let schema = TableSchema::builder("users")
+            .column("id", ColumnType::Int)
+            .column("nickname", ColumnType::Str)
+            .column("region", ColumnType::Int)
+            .primary_key("id")
+            .auto_increment()
+            .index("nickname")
+            .index("region")
+            .build()
+            .unwrap();
+        Table::new(schema)
+    }
+
+    fn row(nick: &str, region: i64) -> Vec<Value> {
+        vec![Value::Null, Value::str(nick), Value::Int(region)]
+    }
+
+    #[test]
+    fn auto_increment_assigns_sequential_keys() {
+        let mut t = users();
+        let (_, a) = t.insert(row("ann", 1)).unwrap();
+        let (_, b) = t.insert(row("bob", 2)).unwrap();
+        assert_eq!((a, b), (Some(1), Some(2)));
+        // Explicit key advances the counter.
+        t.insert(vec![Value::Int(10), Value::str("cat"), Value::Int(1)])
+            .unwrap();
+        let (_, c) = t.insert(row("dee", 3)).unwrap();
+        assert_eq!(c, Some(11));
+        assert_eq!(t.row_count(), 4);
+    }
+
+    #[test]
+    fn duplicate_pk_rejected() {
+        let mut t = users();
+        t.insert(vec![Value::Int(5), Value::str("a"), Value::Int(1)])
+            .unwrap();
+        let err = t
+            .insert(vec![Value::Int(5), Value::str("b"), Value::Int(1)])
+            .unwrap_err();
+        assert!(matches!(err, SqlError::DuplicateKey(_)));
+    }
+
+    #[test]
+    fn pk_and_secondary_lookup() {
+        let mut t = users();
+        let (r1, _) = t.insert(row("ann", 1)).unwrap();
+        let (r2, _) = t.insert(row("bob", 1)).unwrap();
+        let (r3, _) = t.insert(row("bob", 2)).unwrap();
+        assert_eq!(t.pk_lookup(&Value::Int(1)), Some(r1));
+        assert_eq!(t.pk_lookup(&Value::Int(99)), None);
+        let mut bobs = t.index_lookup(1, &Value::str("bob"));
+        bobs.sort_unstable();
+        assert_eq!(bobs, vec![r2, r3]);
+        assert_eq!(t.index_lookup(2, &Value::Int(1)).len(), 2);
+        assert!(t.has_index_on(0));
+        assert!(t.has_index_on(1));
+        assert!(!t.has_index_on(999));
+    }
+
+    #[test]
+    fn index_range_on_pk_and_secondary() {
+        let mut t = users();
+        for (n, r) in [("a", 1), ("b", 2), ("c", 3), ("d", 4)] {
+            t.insert(row(n, r)).unwrap();
+        }
+        let ids = t.index_range(
+            0,
+            Bound::Included(&Value::Int(2)),
+            Bound::Excluded(&Value::Int(4)),
+        );
+        assert_eq!(ids.len(), 2);
+        let regs = t.index_range(2, Bound::Excluded(&Value::Int(2)), Bound::Unbounded);
+        assert_eq!(regs.len(), 2);
+    }
+
+    #[test]
+    fn update_maintains_indexes() {
+        let mut t = users();
+        let (rid, _) = t.insert(row("ann", 1)).unwrap();
+        t.update(
+            rid,
+            vec![Value::Int(1), Value::str("anna"), Value::Int(7)],
+        )
+        .unwrap();
+        assert!(t.index_lookup(1, &Value::str("ann")).is_empty());
+        assert_eq!(t.index_lookup(1, &Value::str("anna")), vec![rid]);
+        assert_eq!(t.index_lookup(2, &Value::Int(7)), vec![rid]);
+        assert_eq!(t.get(rid).unwrap()[1], Value::str("anna"));
+    }
+
+    #[test]
+    fn update_pk_change_checked_for_duplicates() {
+        let mut t = users();
+        let (r1, _) = t.insert(row("a", 1)).unwrap();
+        t.insert(row("b", 2)).unwrap();
+        let err = t
+            .update(r1, vec![Value::Int(2), Value::str("a"), Value::Int(1)])
+            .unwrap_err();
+        assert!(matches!(err, SqlError::DuplicateKey(_)));
+        // Changing to a fresh key works and remaps the pk index.
+        t.update(r1, vec![Value::Int(9), Value::str("a"), Value::Int(1)])
+            .unwrap();
+        assert_eq!(t.pk_lookup(&Value::Int(9)), Some(r1));
+        assert_eq!(t.pk_lookup(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn delete_frees_slot_and_cleans_indexes() {
+        let mut t = users();
+        let (r1, _) = t.insert(row("ann", 1)).unwrap();
+        let deleted = t.delete(r1).unwrap();
+        assert_eq!(deleted[1], Value::str("ann"));
+        assert_eq!(t.row_count(), 0);
+        assert!(t.get(r1).is_none());
+        assert!(t.pk_lookup(&Value::Int(1)).is_none());
+        assert!(t.index_lookup(1, &Value::str("ann")).is_empty());
+        assert!(t.delete(r1).is_err());
+        // Slot reuse.
+        let (r2, _) = t.insert(row("bob", 2)).unwrap();
+        assert_eq!(r2, r1);
+    }
+
+    #[test]
+    fn scan_skips_tombstones() {
+        let mut t = users();
+        let (r1, _) = t.insert(row("a", 1)).unwrap();
+        t.insert(row("b", 2)).unwrap();
+        t.delete(r1).unwrap();
+        let names: Vec<&str> = t
+            .scan()
+            .map(|(_, row)| row[1].as_str().unwrap())
+            .collect();
+        assert_eq!(names, vec!["b"]);
+    }
+
+    #[test]
+    fn cardinality_reporting() {
+        let mut t = users();
+        t.insert(row("x", 1)).unwrap();
+        t.insert(row("x", 2)).unwrap();
+        t.insert(row("y", 2)).unwrap();
+        assert_eq!(t.index_cardinality(0), 3);
+        assert_eq!(t.index_cardinality(1), 2);
+        assert_eq!(t.index_cardinality(2), 2);
+    }
+}

@@ -1,0 +1,425 @@
+//! SQL values and their ordering, arithmetic, and pattern semantics.
+
+use crate::error::{SqlError, SqlResult};
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// A single SQL value.
+///
+/// Strings are reference-counted so result rows and index keys can be cloned
+/// cheaply. The total order is `NULL < numbers (Int and Float compared
+/// numerically) < strings`, which is what the B-tree indexes use.
+///
+/// ```
+/// use dynamid_sqldb::Value;
+/// assert!(Value::Null < Value::Int(0));
+/// assert!(Value::Int(2) < Value::Float(2.5));
+/// assert!(Value::Float(9.0) < Value::str("a"));
+/// ```
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// 64-bit signed integer (also used for dates as epoch seconds).
+    Int(i64),
+    /// Double-precision float (prices, rates).
+    Float(f64),
+    /// UTF-8 string.
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Creates a string value.
+    pub fn str(s: impl AsRef<str>) -> Value {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// `true` if the value is NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The integer inside, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The value as a float, converting integers.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// The string inside, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer inside, or a `TypeMismatch` error.
+    pub fn expect_int(&self) -> SqlResult<i64> {
+        self.as_int().ok_or_else(|| SqlError::TypeMismatch {
+            expected: "integer",
+            found: self.type_name().to_string(),
+        })
+    }
+
+    /// The float (or widened integer) inside, or a `TypeMismatch` error.
+    pub fn expect_float(&self) -> SqlResult<f64> {
+        self.as_float().ok_or_else(|| SqlError::TypeMismatch {
+            expected: "number",
+            found: self.type_name().to_string(),
+        })
+    }
+
+    /// The string inside, or a `TypeMismatch` error.
+    pub fn expect_str(&self) -> SqlResult<&str> {
+        self.as_str().ok_or_else(|| SqlError::TypeMismatch {
+            expected: "string",
+            found: self.type_name().to_string(),
+        })
+    }
+
+    /// A short name for the value's runtime type.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "NULL",
+            Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+        }
+    }
+
+    /// Approximate wire size in bytes, used by the cost model to charge for
+    /// result marshalling.
+    pub fn wire_size(&self) -> u64 {
+        match self {
+            Value::Null => 1,
+            Value::Int(_) => 8,
+            Value::Float(_) => 8,
+            Value::Str(s) => s.len() as u64,
+        }
+    }
+
+    /// SQL three-valued truthiness: NULL is false, numbers by non-zero,
+    /// strings by non-empty.
+    pub fn is_truthy(&self) -> bool {
+        match self {
+            Value::Null => false,
+            Value::Int(i) => *i != 0,
+            Value::Float(f) => *f != 0.0,
+            Value::Str(s) => !s.is_empty(),
+        }
+    }
+
+    /// Binary addition with numeric promotion.
+    pub fn add(&self, rhs: &Value) -> SqlResult<Value> {
+        numeric_op(self, rhs, "+", |a, b| a.checked_add(b), |a, b| a + b)
+    }
+
+    /// Binary subtraction with numeric promotion.
+    pub fn sub(&self, rhs: &Value) -> SqlResult<Value> {
+        numeric_op(self, rhs, "-", |a, b| a.checked_sub(b), |a, b| a - b)
+    }
+
+    /// Binary multiplication with numeric promotion.
+    pub fn mul(&self, rhs: &Value) -> SqlResult<Value> {
+        numeric_op(self, rhs, "*", |a, b| a.checked_mul(b), |a, b| a * b)
+    }
+
+    /// Binary division; integer division truncates, division by zero is an
+    /// error.
+    pub fn div(&self, rhs: &Value) -> SqlResult<Value> {
+        if matches!(rhs, Value::Int(0)) || matches!(rhs, Value::Float(f) if *f == 0.0) {
+            return Err(SqlError::Arithmetic("division by zero".into()));
+        }
+        numeric_op(self, rhs, "/", |a, b| a.checked_div(b), |a, b| a / b)
+    }
+
+    /// SQL `LIKE` with `%` (any run) and `_` (any single char), case
+    /// sensitive, over this string value.
+    pub fn like(&self, pattern: &Value) -> SqlResult<bool> {
+        if self.is_null() || pattern.is_null() {
+            return Ok(false);
+        }
+        Ok(like_match(self.expect_str()?, pattern.expect_str()?))
+    }
+}
+
+fn numeric_op(
+    lhs: &Value,
+    rhs: &Value,
+    op: &'static str,
+    int_op: impl Fn(i64, i64) -> Option<i64>,
+    float_op: impl Fn(f64, f64) -> f64,
+) -> SqlResult<Value> {
+    match (lhs, rhs) {
+        (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+        (Value::Int(a), Value::Int(b)) => int_op(*a, *b)
+            .map(Value::Int)
+            .ok_or_else(|| SqlError::Arithmetic(format!("integer overflow in {op}"))),
+        (a, b) => {
+            let (Some(x), Some(y)) = (a.as_float(), b.as_float()) else {
+                return Err(SqlError::TypeMismatch {
+                    expected: "number",
+                    found: format!("{} {op} {}", a.type_name(), b.type_name()),
+                });
+            };
+            Ok(Value::Float(float_op(x, y)))
+        }
+    }
+}
+
+/// Iterative `LIKE` matcher (no recursion, no allocation).
+fn like_match(text: &str, pattern: &str) -> bool {
+    let t: Vec<char> = text.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+    let (mut ti, mut pi) = (0usize, 0usize);
+    let (mut star_p, mut star_t) = (usize::MAX, 0usize);
+    while ti < t.len() {
+        // '%' must be tested first: it is a wildcard even when the text
+        // itself contains a literal '%' character.
+        if pi < p.len() && p[pi] == '%' {
+            star_p = pi;
+            star_t = ti;
+            pi += 1;
+        } else if pi < p.len() && (p[pi] == '_' || p[pi] == t[ti]) {
+            ti += 1;
+            pi += 1;
+        } else if star_p != usize::MAX {
+            star_t += 1;
+            ti = star_t;
+            pi = star_p + 1;
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '%' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Null, _) => Ordering::Less,
+            (_, Null) => Ordering::Greater,
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Int(a), Float(b)) => (*a as f64).total_cmp(b),
+            (Float(a), Int(b)) => a.total_cmp(&(*b as f64)),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Str(_), _) => Ordering::Greater,
+            (_, Str(_)) => Ordering::Less,
+        }
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            // Hash integers and integral floats identically so Int(2) and
+            // Float(2.0), which compare equal, hash equal.
+            Value::Int(i) => {
+                1u8.hash(state);
+                (*i as f64).to_bits().hash(state);
+            }
+            Value::Float(f) => {
+                1u8.hash(state);
+                f.to_bits().hash(state);
+            }
+            Value::Str(s) => {
+                2u8.hash(state);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Value {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Value {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::str(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(Arc::from(v.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_across_types() {
+        let mut vals = vec![
+            Value::str("b"),
+            Value::Int(10),
+            Value::Null,
+            Value::Float(3.5),
+            Value::str("a"),
+            Value::Int(2),
+        ];
+        vals.sort();
+        assert_eq!(
+            vals,
+            vec![
+                Value::Null,
+                Value::Int(2),
+                Value::Float(3.5),
+                Value::Int(10),
+                Value::str("a"),
+                Value::str("b"),
+            ]
+        );
+    }
+
+    #[test]
+    fn int_float_equality_and_hash() {
+        use std::collections::hash_map::DefaultHasher;
+        assert_eq!(Value::Int(2), Value::Float(2.0));
+        let h = |v: &Value| {
+            let mut s = DefaultHasher::new();
+            v.hash(&mut s);
+            s.finish()
+        };
+        assert_eq!(h(&Value::Int(2)), h(&Value::Float(2.0)));
+    }
+
+    #[test]
+    fn arithmetic_promotion() {
+        assert_eq!(Value::Int(2).add(&Value::Int(3)).unwrap(), Value::Int(5));
+        assert_eq!(
+            Value::Int(2).add(&Value::Float(0.5)).unwrap(),
+            Value::Float(2.5)
+        );
+        assert_eq!(Value::Int(7).div(&Value::Int(2)).unwrap(), Value::Int(3));
+        assert_eq!(
+            Value::Float(7.0).div(&Value::Int(2)).unwrap(),
+            Value::Float(3.5)
+        );
+        assert!(Value::Int(1).div(&Value::Int(0)).is_err());
+        assert!(Value::str("x").add(&Value::Int(1)).is_err());
+        assert_eq!(Value::Null.add(&Value::Int(1)).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn overflow_is_an_error() {
+        assert!(Value::Int(i64::MAX).add(&Value::Int(1)).is_err());
+        assert!(Value::Int(i64::MIN).sub(&Value::Int(1)).is_err());
+    }
+
+    #[test]
+    fn like_patterns() {
+        let s = Value::str("the great gatsby");
+        assert!(s.like(&Value::str("%great%")).unwrap());
+        assert!(s.like(&Value::str("the%")).unwrap());
+        assert!(s.like(&Value::str("%gatsby")).unwrap());
+        assert!(s.like(&Value::str("the _reat gatsby")).unwrap());
+        assert!(!s.like(&Value::str("great")).unwrap());
+        assert!(s.like(&Value::str("%")).unwrap());
+        assert!(!s.like(&Value::str("")).unwrap());
+        assert!(!Value::Null.like(&Value::str("%")).unwrap());
+        // Multiple wildcards with backtracking.
+        assert!(Value::str("abcabc").like(&Value::str("%b%bc")).unwrap());
+        assert!(!Value::str("abcabc").like(&Value::str("%b%bd")).unwrap());
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(!Value::Null.is_truthy());
+        assert!(!Value::Int(0).is_truthy());
+        assert!(Value::Int(-1).is_truthy());
+        assert!(!Value::str("").is_truthy());
+        assert!(Value::str("x").is_truthy());
+    }
+
+    #[test]
+    fn expect_helpers_report_types() {
+        let e = Value::str("x").expect_int().unwrap_err();
+        assert!(e.to_string().contains("expected integer"));
+        assert_eq!(Value::Int(3).expect_float().unwrap(), 3.0);
+        assert_eq!(Value::str("ab").expect_str().unwrap(), "ab");
+    }
+
+    #[test]
+    fn wire_sizes() {
+        assert_eq!(Value::Null.wire_size(), 1);
+        assert_eq!(Value::Int(1).wire_size(), 8);
+        assert_eq!(Value::str("abcd").wire_size(), 4);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(3i32), Value::Int(3));
+        assert_eq!(Value::from(3u32), Value::Int(3));
+        assert_eq!(Value::from("s"), Value::str("s"));
+        assert_eq!(Value::from(String::from("s")), Value::str("s"));
+        assert_eq!(Value::from(2.5f64), Value::Float(2.5));
+    }
+}

@@ -1,0 +1,264 @@
+//! Property-based tests for the SQL engine.
+//!
+//! Core invariants: inserted data is faithfully returned, indexed and
+//! unindexed access paths agree, ORDER BY/LIMIT behave like the obvious
+//! reference implementation, and the LIKE matcher agrees with a naive
+//! backtracking oracle.
+
+use dynamid_sqldb::{ColumnType, Database, TableSchema, Value};
+use proptest::prelude::*;
+
+/// Builds two tables with identical content; `fast` has a secondary index
+/// on `k`, `slow` does not.
+fn twin_tables(rows: &[(i64, i64)]) -> Database {
+    let mut db = Database::new();
+    for (name, indexed) in [("fast", true), ("slow", false)] {
+        let mut b = TableSchema::builder(name)
+            .column("id", ColumnType::Int)
+            .column("k", ColumnType::Int)
+            .primary_key("id")
+            .auto_increment();
+        if indexed {
+            b = b.index("k");
+        }
+        db.create_table(b.build().unwrap()).unwrap();
+    }
+    for (id, k) in rows {
+        for t in ["fast", "slow"] {
+            db.execute(
+                &format!("INSERT INTO {t} (id, k) VALUES (?, ?)"),
+                &[Value::Int(*id), Value::Int(*k)],
+            )
+            .unwrap();
+        }
+    }
+    db
+}
+
+fn ids_of(r: &dynamid_sqldb::QueryResult) -> Vec<i64> {
+    let c = r.col_index("id").unwrap();
+    let mut ids: Vec<i64> = r.rows.iter().map(|row| row[c].as_int().unwrap()).collect();
+    ids.sort_unstable();
+    ids
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whatever we insert comes back unchanged.
+    #[test]
+    fn insert_select_roundtrip(
+        vals in prop::collection::vec((0i64..1000, -1000i64..1000, ".{0,12}"), 0..40)
+    ) {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::builder("t")
+                .column("id", ColumnType::Int)
+                .column("n", ColumnType::Int)
+                .column("s", ColumnType::Str)
+                .primary_key("id")
+                .auto_increment()
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        let mut expected = Vec::new();
+        for (i, (_, n, s)) in vals.iter().enumerate() {
+            db.execute(
+                "INSERT INTO t (id, n, s) VALUES (?, ?, ?)",
+                &[Value::Int(i as i64 + 1), Value::Int(*n), Value::str(s)],
+            )
+            .unwrap();
+            expected.push((i as i64 + 1, *n, s.clone()));
+        }
+        let r = db.execute("SELECT id, n, s FROM t ORDER BY id", &[]).unwrap();
+        prop_assert_eq!(r.rows.len(), expected.len());
+        for (row, (id, n, s)) in r.rows.iter().zip(&expected) {
+            prop_assert_eq!(row[0].as_int().unwrap(), *id);
+            prop_assert_eq!(row[1].as_int().unwrap(), *n);
+            prop_assert_eq!(row[2].as_str().unwrap(), s.as_str());
+        }
+    }
+
+    /// Index-equality and full-scan paths return the same rows.
+    #[test]
+    fn index_eq_matches_scan(
+        rows in prop::collection::vec((1i64..500, 0i64..10), 1..60),
+        probe in 0i64..10,
+    ) {
+        // De-duplicate primary keys.
+        let mut seen = std::collections::HashSet::new();
+        let rows: Vec<(i64, i64)> = rows
+            .into_iter()
+            .filter(|(id, _)| seen.insert(*id))
+            .collect();
+        let mut db = twin_tables(&rows);
+        let f = db.execute("SELECT id FROM fast WHERE k = ?", &[Value::Int(probe)]).unwrap();
+        let s = db.execute("SELECT id FROM slow WHERE k = ?", &[Value::Int(probe)]).unwrap();
+        prop_assert_eq!(ids_of(&f), ids_of(&s));
+        // The indexed path examined no more rows than the scan.
+        prop_assert!(f.counters.rows_examined <= s.counters.rows_examined);
+    }
+
+    /// Index-range and full-scan paths agree on BETWEEN.
+    #[test]
+    fn index_range_matches_scan(
+        rows in prop::collection::vec((1i64..500, -50i64..50), 1..60),
+        lo in -50i64..50,
+        width in 0i64..40,
+    ) {
+        let mut seen = std::collections::HashSet::new();
+        let rows: Vec<(i64, i64)> = rows
+            .into_iter()
+            .filter(|(id, _)| seen.insert(*id))
+            .collect();
+        let mut db = twin_tables(&rows);
+        let hi = lo + width;
+        let q = "SELECT id FROM fast WHERE k BETWEEN ? AND ?";
+        let f = db.execute(q, &[Value::Int(lo), Value::Int(hi)]).unwrap();
+        let s = db
+            .execute(
+                "SELECT id FROM slow WHERE k BETWEEN ? AND ?",
+                &[Value::Int(lo), Value::Int(hi)],
+            )
+            .unwrap();
+        prop_assert_eq!(ids_of(&f), ids_of(&s));
+    }
+
+    /// ORDER BY k produces a non-decreasing (or non-increasing) column, and
+    /// LIMIT yields exactly the prefix of the full ordering.
+    #[test]
+    fn order_and_limit_are_consistent(
+        rows in prop::collection::vec((1i64..500, -100i64..100), 1..60),
+        limit in 1u64..20,
+        desc in any::<bool>(),
+    ) {
+        let mut seen = std::collections::HashSet::new();
+        let rows: Vec<(i64, i64)> = rows
+            .into_iter()
+            .filter(|(id, _)| seen.insert(*id))
+            .collect();
+        let mut db = twin_tables(&rows);
+        let dir = if desc { "DESC" } else { "ASC" };
+        let full = db
+            .execute(&format!("SELECT id, k FROM fast ORDER BY k {dir}, id"), &[])
+            .unwrap();
+        let ks: Vec<i64> = full.rows.iter().map(|r| r[1].as_int().unwrap()).collect();
+        for w in ks.windows(2) {
+            if desc {
+                prop_assert!(w[0] >= w[1]);
+            } else {
+                prop_assert!(w[0] <= w[1]);
+            }
+        }
+        let page = db
+            .execute(
+                &format!("SELECT id, k FROM fast ORDER BY k {dir}, id LIMIT {limit}"),
+                &[],
+            )
+            .unwrap();
+        prop_assert_eq!(&page.rows[..], &full.rows[..page.rows.len()]);
+        prop_assert!(page.rows.len() as u64 <= limit);
+    }
+
+    /// COUNT(*) equals the number of matching rows; SUM matches a fold.
+    #[test]
+    fn aggregates_match_reference(
+        rows in prop::collection::vec((1i64..500, -20i64..20), 0..60),
+        probe in -20i64..20,
+    ) {
+        let mut seen = std::collections::HashSet::new();
+        let rows: Vec<(i64, i64)> = rows
+            .into_iter()
+            .filter(|(id, _)| seen.insert(*id))
+            .collect();
+        let mut db = twin_tables(&rows);
+        let r = db
+            .execute(
+                "SELECT COUNT(*), SUM(k) FROM fast WHERE k >= ?",
+                &[Value::Int(probe)],
+            )
+            .unwrap();
+        let matching: Vec<i64> = rows.iter().filter(|(_, k)| *k >= probe).map(|(_, k)| *k).collect();
+        prop_assert_eq!(r.rows[0][0].as_int().unwrap(), matching.len() as i64);
+        if matching.is_empty() {
+            prop_assert!(r.rows[0][1].is_null());
+        } else {
+            prop_assert_eq!(r.rows[0][1].as_int().unwrap(), matching.iter().sum::<i64>());
+        }
+    }
+
+    /// DELETE removes exactly the matching rows; survivors unchanged.
+    #[test]
+    fn delete_complements_select(
+        rows in prop::collection::vec((1i64..500, 0i64..10), 0..60),
+        probe in 0i64..10,
+    ) {
+        let mut seen = std::collections::HashSet::new();
+        let rows: Vec<(i64, i64)> = rows
+            .into_iter()
+            .filter(|(id, _)| seen.insert(*id))
+            .collect();
+        let mut db = twin_tables(&rows);
+        let before = db.execute("SELECT id FROM fast", &[]).unwrap();
+        let hit = db
+            .execute("SELECT id FROM fast WHERE k = ?", &[Value::Int(probe)])
+            .unwrap();
+        let del = db
+            .execute("DELETE FROM fast WHERE k = ?", &[Value::Int(probe)])
+            .unwrap();
+        prop_assert_eq!(del.affected as usize, hit.rows.len());
+        let after = db.execute("SELECT id FROM fast", &[]).unwrap();
+        prop_assert_eq!(after.rows.len(), before.rows.len() - hit.rows.len());
+        // None of the survivors match the probe.
+        let rematch = db
+            .execute("SELECT id FROM fast WHERE k = ?", &[Value::Int(probe)])
+            .unwrap();
+        prop_assert!(rematch.is_empty());
+    }
+
+    /// The LIKE matcher agrees with a naive recursive oracle.
+    #[test]
+    fn like_matches_oracle(text in "[ab_%]{0,10}", pattern in "[ab_%]{0,8}") {
+        fn oracle(t: &[char], p: &[char]) -> bool {
+            match p.first() {
+                None => t.is_empty(),
+                Some('%') => {
+                    (0..=t.len()).any(|i| oracle(&t[i..], &p[1..]))
+                }
+                Some('_') => !t.is_empty() && oracle(&t[1..], &p[1..]),
+                Some(c) => t.first() == Some(c) && oracle(&t[1..], &p[1..]),
+            }
+        }
+        let tc: Vec<char> = text.chars().collect();
+        let pc: Vec<char> = pattern.chars().collect();
+        let expect = oracle(&tc, &pc);
+        let got = Value::str(&text).like(&Value::str(&pattern)).unwrap();
+        prop_assert_eq!(got, expect, "text={:?} pattern={:?}", text, pattern);
+    }
+
+    /// UPDATE arithmetic matches the reference computation.
+    #[test]
+    fn update_arithmetic_reference(
+        rows in prop::collection::vec((1i64..200, -100i64..100), 1..40),
+        delta in -10i64..10,
+    ) {
+        let mut seen = std::collections::HashSet::new();
+        let rows: Vec<(i64, i64)> = rows
+            .into_iter()
+            .filter(|(id, _)| seen.insert(*id))
+            .collect();
+        let mut db = twin_tables(&rows);
+        db.execute("UPDATE fast SET k = k + ?", &[Value::Int(delta)]).unwrap();
+        let r = db.execute("SELECT id, k FROM fast ORDER BY id", &[]).unwrap();
+        let mut expected: Vec<(i64, i64)> =
+            rows.iter().map(|(id, k)| (*id, *k + delta)).collect();
+        expected.sort_unstable();
+        let got: Vec<(i64, i64)> = r
+            .rows
+            .iter()
+            .map(|row| (row[0].as_int().unwrap(), row[1].as_int().unwrap()))
+            .collect();
+        prop_assert_eq!(got, expected);
+    }
+}

@@ -1,0 +1,357 @@
+//! The client-browser emulator: sessions, think times, and measurement.
+//!
+//! Implements §4.1 and §4.5 of the paper: each emulated client holds a
+//! persistent connection, waits an exponentially distributed think time
+//! (mean 7 s) between interactions, and abandons its session after an
+//! exponentially distributed session length (mean 15 min), immediately
+//! starting a fresh one so the offered client population stays constant.
+//! Measurements are taken only inside the measurement window, bracketed by
+//! ramp-up and ramp-down phases.
+
+use crate::mix::Mix;
+use dynamid_core::{Application, Middleware, SessionData};
+use dynamid_sim::{
+    Driver, JobDone, LatencyHistogram, SimDuration, SimRng, SimTime, Simulation, WindowSnapshot,
+};
+use dynamid_sqldb::Database;
+
+/// Timer token marking the start of the measurement window.
+const TOKEN_WINDOW_START: u64 = u64::MAX;
+/// Timer token marking the end of the measurement window.
+const TOKEN_WINDOW_END: u64 = u64::MAX - 1;
+
+/// Emulator parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadConfig {
+    /// Number of concurrent emulated clients.
+    pub clients: usize,
+    /// Mean think time between interactions (exponential).
+    pub think_time: SimDuration,
+    /// Mean session length (exponential).
+    pub session_time: SimDuration,
+    /// Ramp-up phase length.
+    pub ramp_up: SimDuration,
+    /// Measurement phase length.
+    pub measure: SimDuration,
+    /// Ramp-down phase length.
+    pub ramp_down: SimDuration,
+    /// Master seed; every client derives an independent stream.
+    pub seed: u64,
+}
+
+impl WorkloadConfig {
+    /// The paper's client model with shortened phases suitable for
+    /// simulation (the full paper-length phases are available through
+    /// [`paper_phases`](Self::paper_phases)).
+    pub fn new(clients: usize) -> Self {
+        WorkloadConfig {
+            clients,
+            think_time: SimDuration::from_secs(7),
+            session_time: SimDuration::from_mins(15),
+            ramp_up: SimDuration::from_secs(30),
+            measure: SimDuration::from_secs(120),
+            ramp_down: SimDuration::from_secs(10),
+            seed: 42,
+        }
+    }
+
+    /// Phase lengths as the paper used for the given benchmark
+    /// (`bookstore`: 1/20/1 min; `auction`: 5/30/5 min).
+    pub fn paper_phases(mut self, benchmark: &str) -> Self {
+        let (up, measure, down) = match benchmark {
+            "bookstore" => (1, 20, 1),
+            _ => (5, 30, 5),
+        };
+        self.ramp_up = SimDuration::from_mins(up);
+        self.measure = SimDuration::from_mins(measure);
+        self.ramp_down = SimDuration::from_mins(down);
+        self
+    }
+
+    /// Overrides the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Total run length.
+    pub fn total(&self) -> SimDuration {
+        self.ramp_up + self.measure + self.ramp_down
+    }
+
+    /// The measurement window `[start, end)`.
+    pub fn window(&self) -> (SimTime, SimTime) {
+        (
+            SimTime::ZERO + self.ramp_up,
+            SimTime::ZERO + self.ramp_up + self.measure,
+        )
+    }
+}
+
+/// Counters and distributions collected during the measurement window.
+#[derive(Debug, Clone)]
+pub struct WorkloadMetrics {
+    /// Interactions completed inside the window.
+    pub completed: u64,
+    /// Interactions completed inside the window that ended in an
+    /// application error.
+    pub errors: u64,
+    /// Per-interaction completion counts (index = interaction id).
+    pub per_interaction: Vec<u64>,
+    /// Latency distribution of window completions.
+    pub latency: LatencyHistogram,
+    /// All interactions submitted over the whole run (any phase).
+    pub submitted_total: u64,
+    /// Sessions started over the whole run.
+    pub sessions: u64,
+}
+
+impl WorkloadMetrics {
+    fn new(interactions: usize) -> Self {
+        WorkloadMetrics {
+            completed: 0,
+            errors: 0,
+            per_interaction: vec![0; interactions],
+            latency: LatencyHistogram::new(),
+            submitted_total: 0,
+            sessions: 0,
+        }
+    }
+
+    /// Throughput in interactions per minute over a window of `measure`.
+    pub fn throughput_ipm(&self, measure: SimDuration) -> f64 {
+        if measure.is_zero() {
+            return 0.0;
+        }
+        self.completed as f64 * 60.0 / measure.as_secs_f64()
+    }
+
+    /// Fraction of window completions that errored.
+    pub fn error_rate(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.errors as f64 / self.completed as f64
+        }
+    }
+}
+
+/// Per-machine resource usage over the measurement window.
+#[derive(Debug, Clone, Default)]
+pub struct ResourceWindow {
+    /// `(machine name, cpu utilization 0..1)` per distinct machine.
+    pub cpu_util: Vec<(String, f64)>,
+    /// `(machine name, NIC throughput in Mb/s)` per distinct machine.
+    pub nic_mbps: Vec<(String, f64)>,
+}
+
+struct ClientState {
+    session: SessionData,
+    rng: SimRng,
+    /// Last completed interaction (None right after a session reset).
+    current: Option<usize>,
+    session_end: SimTime,
+    /// Outcome of the interaction currently in flight.
+    pending_error: bool,
+}
+
+/// The [`Driver`] implementation that emulates the client population.
+pub struct WorkloadDriver<'a> {
+    app: &'a dyn Application,
+    mix: &'a Mix,
+    middleware: &'a Middleware,
+    db: &'a mut Database,
+    cfg: WorkloadConfig,
+    clients: Vec<ClientState>,
+    metrics: WorkloadMetrics,
+    window: (SimTime, SimTime),
+    cpu_snaps: Vec<(u32, WindowSnapshot, WindowSnapshot)>,
+    nic_snaps: Vec<(u32, WindowSnapshot, WindowSnapshot)>,
+    resources: ResourceWindow,
+}
+
+impl std::fmt::Debug for WorkloadDriver<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkloadDriver")
+            .field("clients", &self.clients.len())
+            .field("completed", &self.metrics.completed)
+            .finish()
+    }
+}
+
+impl<'a> WorkloadDriver<'a> {
+    /// Creates the driver and schedules every client's first arrival
+    /// (staggered across the ramp-up phase) plus the window-boundary
+    /// timers.
+    pub fn start(
+        sim: &mut Simulation,
+        app: &'a dyn Application,
+        mix: &'a Mix,
+        middleware: &'a Middleware,
+        db: &'a mut Database,
+        cfg: WorkloadConfig,
+    ) -> WorkloadDriver<'a> {
+        assert_eq!(
+            mix.interaction_count(),
+            app.interactions().len(),
+            "mix does not match the application's interaction catalog"
+        );
+        assert!(cfg.clients > 0, "at least one client required");
+        let mut root = SimRng::new(cfg.seed);
+        let mut clients = Vec::with_capacity(cfg.clients);
+        for i in 0..cfg.clients {
+            clients.push(ClientState {
+                session: SessionData::new(i as u64),
+                rng: root.fork(i as u64),
+                current: None,
+                session_end: SimTime::ZERO, // set at first wake
+                pending_error: false,
+            });
+        }
+        // Stagger client starts uniformly over the ramp-up phase.
+        let ramp = cfg.ramp_up.as_micros().max(1);
+        for i in 0..cfg.clients {
+            let offset = ramp * i as u64 / cfg.clients as u64;
+            sim.set_timer(SimTime::from_micros(offset), i as u64);
+        }
+        let (w0, w1) = cfg.window();
+        sim.set_timer(w0, TOKEN_WINDOW_START);
+        sim.set_timer(w1, TOKEN_WINDOW_END);
+        let metrics = WorkloadMetrics::new(mix.interaction_count());
+        WorkloadDriver {
+            app,
+            mix,
+            middleware,
+            db,
+            cfg,
+            clients,
+            metrics,
+            window: (w0, w1),
+            cpu_snaps: Vec::new(),
+            nic_snaps: Vec::new(),
+            resources: ResourceWindow::default(),
+        }
+    }
+
+    /// Collected workload metrics.
+    pub fn metrics(&self) -> &WorkloadMetrics {
+        &self.metrics
+    }
+
+    /// Per-machine resource usage over the window (valid after the run
+    /// passed the window end).
+    pub fn resources(&self) -> &ResourceWindow {
+        &self.resources
+    }
+
+    /// The measurement window.
+    pub fn window(&self) -> (SimTime, SimTime) {
+        self.window
+    }
+
+    fn begin_interaction(&mut self, sim: &mut Simulation, client_id: usize) {
+        let now = sim.now();
+        let client = &mut self.clients[client_id];
+        // Session bookkeeping.
+        if client.current.is_none() || now >= client.session_end {
+            client.session.reset();
+            client.current = None;
+            client.session_end = now + client.rng.exponential(self.cfg.session_time);
+            self.metrics.sessions += 1;
+        }
+        let client = &mut self.clients[client_id];
+        let next = match client.current {
+            None => self.mix.entry(&mut client.rng),
+            Some(cur) => self.mix.next(cur, &mut client.rng),
+        };
+        client.current = Some(next);
+        let prep = self.middleware.run_interaction(
+            self.db,
+            self.app,
+            next,
+            &mut client.session,
+            &mut client.rng,
+            false,
+        );
+        client.pending_error = !prep.is_ok();
+        self.metrics.submitted_total += 1;
+        sim.submit(prep.trace, client_id as u64);
+    }
+
+    fn snapshot(&mut self, sim: &mut Simulation, end: bool) {
+        let n = sim.machine_count() as u32;
+        if !end {
+            self.cpu_snaps.clear();
+            self.nic_snaps.clear();
+            for i in 0..n {
+                let m = dynamid_sim::MachineId(i);
+                let at = sim.now();
+                let cpu = WindowSnapshot::capture(at, sim.cpu_stats(m));
+                let nic = WindowSnapshot::capture(at, sim.nic_stats(m));
+                self.cpu_snaps.push((i, cpu, WindowSnapshot::default()));
+                self.nic_snaps.push((i, nic, WindowSnapshot::default()));
+            }
+            return;
+        }
+        for idx in 0..self.cpu_snaps.len() {
+            let m = dynamid_sim::MachineId(self.cpu_snaps[idx].0);
+            let at = sim.now();
+            self.cpu_snaps[idx].2 = WindowSnapshot::capture(at, sim.cpu_stats(m));
+            self.nic_snaps[idx].2 = WindowSnapshot::capture(at, sim.nic_stats(m));
+        }
+        self.resources = ResourceWindow {
+            cpu_util: self
+                .cpu_snaps
+                .iter()
+                .map(|(i, s0, s1)| {
+                    (
+                        sim.machine_name(dynamid_sim::MachineId(*i)).to_string(),
+                        s0.utilization_until(s1),
+                    )
+                })
+                .collect(),
+            nic_mbps: self
+                .nic_snaps
+                .iter()
+                .map(|(i, s0, s1)| {
+                    let bytes_per_sec = s0.throughput_until(s1);
+                    (
+                        sim.machine_name(dynamid_sim::MachineId(*i)).to_string(),
+                        bytes_per_sec * 8.0 / 1e6,
+                    )
+                })
+                .collect(),
+        };
+    }
+}
+
+impl Driver for WorkloadDriver<'_> {
+    fn on_job_complete(&mut self, sim: &mut Simulation, done: JobDone) {
+        let client_id = done.tag as usize;
+        let (w0, w1) = self.window;
+        if done.completed >= w0 && done.completed < w1 {
+            self.metrics.completed += 1;
+            if self.clients[client_id].pending_error {
+                self.metrics.errors += 1;
+            }
+            if let Some(cur) = self.clients[client_id].current {
+                self.metrics.per_interaction[cur] += 1;
+            }
+            self.metrics.latency.record(done.latency());
+        }
+        // Think, then next interaction.
+        let think = {
+            let client = &mut self.clients[client_id];
+            client.rng.exponential(self.cfg.think_time)
+        };
+        sim.set_timer_after(think, client_id as u64);
+    }
+
+    fn on_timer(&mut self, sim: &mut Simulation, token: u64) {
+        match token {
+            TOKEN_WINDOW_START => self.snapshot(sim, false),
+            TOKEN_WINDOW_END => self.snapshot(sim, true),
+            client_id => self.begin_interaction(sim, client_id as usize),
+        }
+    }
+}

@@ -1,0 +1,352 @@
+//! One-call experiment execution: install a deployment, run the client
+//! population through its phases, and report the paper's metrics.
+
+use crate::driver::{ResourceWindow, WorkloadConfig, WorkloadDriver, WorkloadMetrics};
+use crate::mix::Mix;
+use dynamid_core::{Application, CostModel, Middleware, StandardConfig};
+use dynamid_sim::{GrantPolicy, LockStats, SimDuration, SimTime, Simulation};
+use dynamid_sqldb::Database;
+
+/// One-way LAN latency between the paper's machines (switched 100 Mb/s
+/// Ethernet).
+pub const LAN_LATENCY: SimDuration = SimDuration::from_micros(100);
+
+/// Everything measured by one experiment run (one configuration at one
+/// client count).
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// The deployment configuration measured.
+    pub config: StandardConfig,
+    /// Offered client population.
+    pub clients: usize,
+    /// Throughput in interactions per minute over the measurement window.
+    pub throughput_ipm: f64,
+    /// Workload counters.
+    pub metrics: WorkloadMetrics,
+    /// Per-machine CPU and NIC usage over the window.
+    pub resources: ResourceWindow,
+    /// Aggregate lock statistics over the whole run (contention
+    /// diagnostics).
+    pub lock_stats: LockStats,
+    /// Simulator event count (run cost diagnostics).
+    pub events: u64,
+}
+
+impl ExperimentResult {
+    /// CPU utilization (0..1) of the machine with the given name, if it
+    /// exists in this deployment.
+    pub fn cpu_of(&self, machine: &str) -> Option<f64> {
+        self.resources
+            .cpu_util
+            .iter()
+            .find(|(n, _)| n == machine)
+            .map(|(_, u)| *u)
+    }
+
+    /// NIC throughput in Mb/s of the machine with the given name.
+    pub fn nic_of(&self, machine: &str) -> Option<f64> {
+        self.resources
+            .nic_mbps
+            .iter()
+            .find(|(n, _)| n == machine)
+            .map(|(_, u)| *u)
+    }
+}
+
+/// Runs one experiment: a fresh `db`, the given application and mix, one
+/// deployment configuration, and one client population.
+///
+/// The database is consumed because the run mutates it (this mirrors the
+/// paper's procedure of reloading the database between runs).
+pub fn run_experiment(
+    mut db: Database,
+    app: &dyn Application,
+    mix: &Mix,
+    config: StandardConfig,
+    costs: CostModel,
+    workload: WorkloadConfig,
+) -> ExperimentResult {
+    run_experiment_with_policy(
+        &mut db,
+        app,
+        mix,
+        config,
+        costs,
+        workload,
+        GrantPolicy::default(),
+    )
+}
+
+/// Like [`run_experiment`] but with an explicit lock grant policy and a
+/// borrowed database (inspectable afterwards).
+pub fn run_experiment_with_policy(
+    db: &mut Database,
+    app: &dyn Application,
+    mix: &Mix,
+    config: StandardConfig,
+    costs: CostModel,
+    workload: WorkloadConfig,
+    policy: GrantPolicy,
+) -> ExperimentResult {
+    let mut sim = Simulation::with_policy(LAN_LATENCY, policy);
+    let middleware = Middleware::install(&mut sim, config, db, app, costs);
+    let total = workload.total();
+    let measure = workload.measure;
+    let clients = workload.clients;
+    let mut driver = WorkloadDriver::start(&mut sim, app, mix, &middleware, db, workload);
+    sim.run(SimTime::ZERO + total, &mut driver);
+
+    let metrics = driver.metrics().clone();
+    let resources = driver.resources().clone();
+    let throughput_ipm = metrics.throughput_ipm(measure);
+    ExperimentResult {
+        config,
+        clients,
+        throughput_ipm,
+        metrics,
+        resources,
+        lock_stats: sim.total_lock_stats(),
+        events: sim.stats().events,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mix::TransitionMatrix;
+    use dynamid_core::{
+        AppLockSpec, AppResult, Application, InteractionSpec, LogicStyle, RequestCtx, SessionData,
+    };
+    use dynamid_sim::SimRng;
+    use dynamid_sqldb::{ColumnType, TableSchema, Value};
+
+    /// A two-interaction mini-application with a contended write.
+    struct MiniApp;
+
+    impl Application for MiniApp {
+        fn name(&self) -> &str {
+            "mini"
+        }
+        fn interactions(&self) -> &[InteractionSpec] {
+            &[
+                InteractionSpec { name: "Read", read_only: true, secure: false },
+                InteractionSpec { name: "Write", read_only: false, secure: false },
+            ]
+        }
+        fn app_locks(&self) -> Vec<AppLockSpec> {
+            vec![AppLockSpec::new("counter", 16)]
+        }
+        fn handle(
+            &self,
+            id: usize,
+            ctx: &mut RequestCtx<'_>,
+            _session: &mut SessionData,
+            rng: &mut SimRng,
+        ) -> AppResult<()> {
+            let key = rng.uniform_i64(1, 50);
+            match id {
+                0 => {
+                    let r = ctx.query(
+                        "SELECT v FROM counters WHERE id = ?",
+                        &[Value::Int(key)],
+                    )?;
+                    let v = r.rows.first().and_then(|r| r[0].as_int()).unwrap_or(0);
+                    ctx.emit(&format!("<html>{v}</html>"));
+                }
+                _ => {
+                    match ctx.style() {
+                        LogicStyle::ExplicitSql { sync: false } => {
+                            ctx.query("LOCK TABLES counters WRITE", &[])?;
+                            ctx.query(
+                                "UPDATE counters SET v = v + 1 WHERE id = ?",
+                                &[Value::Int(key)],
+                            )?;
+                            ctx.query("UNLOCK TABLES", &[])?;
+                        }
+                        LogicStyle::ExplicitSql { sync: true } => {
+                            ctx.app_lock("counter", key as u64);
+                            ctx.query(
+                                "UPDATE counters SET v = v + 1 WHERE id = ?",
+                                &[Value::Int(key)],
+                            )?;
+                            ctx.app_unlock("counter", key as u64);
+                        }
+                        LogicStyle::EntityBean => {
+                            ctx.facade("Counter.incr", |em| {
+                                if let Some(h) = em.find("counters", Value::Int(key))? {
+                                    let v = em.get(h, "v")?.as_int().unwrap();
+                                    em.set(h, "v", Value::Int(v + 1))?;
+                                }
+                                Ok(())
+                            })?;
+                        }
+                    }
+                    ctx.emit("<html>ok</html>");
+                }
+            }
+            Ok(())
+        }
+    }
+
+    fn mini_db() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::builder("counters")
+                .column("id", ColumnType::Int)
+                .column("v", ColumnType::Int)
+                .primary_key("id")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        for i in 1..=50 {
+            db.execute(
+                "INSERT INTO counters (id, v) VALUES (?, 0)",
+                &[Value::Int(i)],
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    fn mini_mix() -> Mix {
+        // 70% reads, 30% writes.
+        let m = TransitionMatrix::from_rows(vec![
+            vec![0.7, 0.3],
+            vec![0.7, 0.3],
+        ])
+        .unwrap();
+        Mix::new("mini", m, vec![1.0, 0.0]).unwrap()
+    }
+
+    fn quick(clients: usize) -> WorkloadConfig {
+        WorkloadConfig {
+            clients,
+            think_time: SimDuration::from_millis(500),
+            session_time: SimDuration::from_secs(60),
+            ramp_up: SimDuration::from_secs(2),
+            measure: SimDuration::from_secs(10),
+            ramp_down: SimDuration::from_secs(1),
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn experiment_produces_throughput_and_utilization() {
+        let r = run_experiment(
+            mini_db(),
+            &MiniApp,
+            &mini_mix(),
+            StandardConfig::PhpColocated,
+            CostModel::default(),
+            quick(20),
+        );
+        assert!(r.throughput_ipm > 0.0, "no throughput: {r:?}");
+        assert!(r.metrics.completed > 0);
+        assert_eq!(r.metrics.error_rate(), 0.0);
+        let web = r.cpu_of("web").expect("web machine reported");
+        let db = r.cpu_of("db").expect("db machine reported");
+        assert!(web > 0.0 && web <= 1.0);
+        assert!(db > 0.0 && db <= 1.0);
+        assert!(r.nic_of("web").unwrap() > 0.0);
+        assert!(r.events > 0);
+    }
+
+    #[test]
+    fn all_configs_run_the_mini_app() {
+        for config in StandardConfig::ALL {
+            let r = run_experiment(
+                mini_db(),
+                &MiniApp,
+                &mini_mix(),
+                config,
+                CostModel::default(),
+                quick(10),
+            );
+            assert!(r.throughput_ipm > 0.0, "{config} produced nothing");
+            assert_eq!(r.metrics.error_rate(), 0.0, "{config} errored");
+        }
+    }
+
+    #[test]
+    fn determinism_same_seed_same_result() {
+        let run = || {
+            run_experiment(
+                mini_db(),
+                &MiniApp,
+                &mini_mix(),
+                StandardConfig::ServletColocated,
+                CostModel::default(),
+                quick(10),
+            )
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.metrics.completed, b.metrics.completed);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.throughput_ipm, b.throughput_ipm);
+    }
+
+    #[test]
+    fn more_clients_more_throughput_until_saturation() {
+        let few = run_experiment(
+            mini_db(),
+            &MiniApp,
+            &mini_mix(),
+            StandardConfig::PhpColocated,
+            CostModel::default(),
+            quick(5),
+        );
+        let many = run_experiment(
+            mini_db(),
+            &MiniApp,
+            &mini_mix(),
+            StandardConfig::PhpColocated,
+            CostModel::default(),
+            quick(50),
+        );
+        assert!(
+            many.throughput_ipm > few.throughput_ipm * 2.0,
+            "few={} many={}",
+            few.throughput_ipm,
+            many.throughput_ipm
+        );
+    }
+
+    #[test]
+    fn database_state_reflects_the_run() {
+        let mut db = mini_db();
+        let _ = run_experiment_with_policy(
+            &mut db,
+            &MiniApp,
+            &mini_mix(),
+            StandardConfig::PhpColocated,
+            CostModel::default(),
+            quick(10),
+            GrantPolicy::default(),
+        );
+        let total = db
+            .execute("SELECT SUM(v) FROM counters", &[])
+            .unwrap();
+        // Some writes happened.
+        assert!(total.rows[0][0].as_int().unwrap() > 0);
+    }
+
+    #[test]
+    fn window_metrics_exclude_rampdown_only_runs() {
+        // With a measurement window of zero length nothing is counted.
+        let mut cfg = quick(5);
+        cfg.measure = SimDuration::ZERO;
+        let r = run_experiment(
+            mini_db(),
+            &MiniApp,
+            &mini_mix(),
+            StandardConfig::PhpColocated,
+            CostModel::default(),
+            cfg,
+        );
+        assert_eq!(r.metrics.completed, 0);
+        assert_eq!(r.throughput_ipm, 0.0);
+        assert!(r.metrics.submitted_total > 0);
+    }
+}

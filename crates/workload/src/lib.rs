@@ -1,0 +1,23 @@
+//! # dynamid-workload — client emulation and experiment execution
+//!
+//! Implements the paper's measurement methodology (§4.1, §4.5): a
+//! population of emulated browsers, each running sessions of interactions
+//! drawn from a per-mix Markov transition matrix, with exponential think
+//! times (mean 7 s) and session lengths (mean 15 min); a ramp-up /
+//! measurement / ramp-down phase structure; and throughput reported in
+//! interactions per minute with per-machine CPU utilization over the
+//! measurement window.
+//!
+//! [`run_experiment`] is the one-call entry point the figure harness and
+//! the examples build on.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod driver;
+pub mod experiment;
+pub mod mix;
+
+pub use driver::{ResourceWindow, WorkloadConfig, WorkloadDriver, WorkloadMetrics};
+pub use experiment::{run_experiment, run_experiment_with_policy, ExperimentResult, LAN_LATENCY};
+pub use mix::{Mix, TransitionMatrix};

@@ -1,0 +1,236 @@
+//! Workload mixes: Markov transition matrices over interactions.
+//!
+//! As in TPC-W (and the paper's client emulator, §4.1), the next
+//! interaction of a session is drawn from a state-transition matrix; a
+//! fresh session starts from an entry distribution. Mixes differ in their
+//! read-write ratio: TPC-W's browsing (95/5), shopping (80/20) and
+//! ordering (50/50) mixes, and the auction site's browsing (read-only) and
+//! bidding (15% read-write) mixes.
+
+use dynamid_sim::SimRng;
+
+/// A right-stochastic transition matrix over `n` interaction states.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransitionMatrix {
+    n: usize,
+    rows: Vec<Vec<f64>>,
+}
+
+impl TransitionMatrix {
+    /// Builds a matrix from explicit rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the matrix is not square, contains a
+    /// negative weight, or has a row that sums to zero.
+    pub fn from_rows(rows: Vec<Vec<f64>>) -> Result<Self, String> {
+        let n = rows.len();
+        if n == 0 {
+            return Err("empty matrix".into());
+        }
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != n {
+                return Err(format!("row {i} has {} entries, want {n}", row.len()));
+            }
+            let mut sum = 0.0;
+            for w in row {
+                if *w < 0.0 || !w.is_finite() {
+                    return Err(format!("row {i} has an invalid weight {w}"));
+                }
+                sum += w;
+            }
+            if sum <= 0.0 {
+                return Err(format!("row {i} sums to zero"));
+            }
+        }
+        Ok(TransitionMatrix { n, rows })
+    }
+
+    /// The uniform matrix over `n` states (useful for tests).
+    pub fn uniform(n: usize) -> Self {
+        TransitionMatrix {
+            n,
+            rows: vec![vec![1.0; n]; n],
+        }
+    }
+
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` when the matrix has no states (never constructible).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Draws the next state from `from`'s row.
+    pub fn next(&self, from: usize, rng: &mut SimRng) -> usize {
+        rng.weighted(&self.rows[from])
+    }
+
+    /// The stationary-ish visit share of each state, estimated by a long
+    /// deterministic walk (diagnostics and tests).
+    pub fn estimate_visit_share(&self, steps: usize, seed: u64) -> Vec<f64> {
+        let mut rng = SimRng::new(seed);
+        let mut counts = vec![0usize; self.n];
+        let mut state = 0;
+        for _ in 0..steps {
+            state = self.next(state, &mut rng);
+            counts[state] += 1;
+        }
+        counts
+            .into_iter()
+            .map(|c| c as f64 / steps as f64)
+            .collect()
+    }
+}
+
+/// A named workload mix: transition matrix plus the entry distribution of
+/// a fresh session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mix {
+    name: String,
+    matrix: TransitionMatrix,
+    entry: Vec<f64>,
+}
+
+impl Mix {
+    /// Creates a mix.
+    ///
+    /// # Errors
+    ///
+    /// Propagates matrix validation errors; also rejects an entry
+    /// distribution of the wrong length or zero mass.
+    pub fn new(
+        name: impl Into<String>,
+        matrix: TransitionMatrix,
+        entry: Vec<f64>,
+    ) -> Result<Self, String> {
+        if entry.len() != matrix.len() {
+            return Err(format!(
+                "entry distribution has {} entries, want {}",
+                entry.len(),
+                matrix.len()
+            ));
+        }
+        if entry.iter().any(|w| *w < 0.0) || entry.iter().sum::<f64>() <= 0.0 {
+            return Err("invalid entry distribution".into());
+        }
+        Ok(Mix {
+            name: name.into(),
+            matrix,
+            entry,
+        })
+    }
+
+    /// The mix's display name ("shopping", "bidding"...).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of interaction states.
+    pub fn interaction_count(&self) -> usize {
+        self.matrix.len()
+    }
+
+    /// Draws the first interaction of a session.
+    pub fn entry(&self, rng: &mut SimRng) -> usize {
+        rng.weighted(&self.entry)
+    }
+
+    /// Draws the interaction following `from`.
+    pub fn next(&self, from: usize, rng: &mut SimRng) -> usize {
+        self.matrix.next(from, rng)
+    }
+
+    /// Long-run visit share per interaction (diagnostics).
+    pub fn estimate_visit_share(&self, steps: usize, seed: u64) -> Vec<f64> {
+        self.matrix.estimate_visit_share(steps, seed)
+    }
+
+    /// The long-run fraction of visits landing on states marked `true` in
+    /// `marker` (e.g., read-write interactions) — used to validate a mix
+    /// against its specified read-write ratio.
+    pub fn estimate_marked_share(&self, marker: &[bool], steps: usize, seed: u64) -> f64 {
+        let shares = self.estimate_visit_share(steps, seed);
+        shares
+            .iter()
+            .zip(marker)
+            .filter(|(_, m)| **m)
+            .map(|(s, _)| s)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_errors() {
+        assert!(TransitionMatrix::from_rows(vec![]).is_err());
+        assert!(TransitionMatrix::from_rows(vec![vec![1.0, 0.0]]).is_err()); // not square
+        assert!(TransitionMatrix::from_rows(vec![vec![-1.0]]).is_err());
+        assert!(TransitionMatrix::from_rows(vec![vec![0.0]]).is_err());
+        assert!(TransitionMatrix::from_rows(vec![vec![1.0]]).is_ok());
+    }
+
+    #[test]
+    fn next_respects_weights() {
+        let m = TransitionMatrix::from_rows(vec![
+            vec![0.0, 1.0], // state 0 always goes to 1
+            vec![1.0, 0.0], // state 1 always goes to 0
+        ])
+        .unwrap();
+        let mut rng = SimRng::new(1);
+        assert_eq!(m.next(0, &mut rng), 1);
+        assert_eq!(m.next(1, &mut rng), 0);
+    }
+
+    #[test]
+    fn visit_share_matches_structure() {
+        // A chain that spends 80% of transitions into state 0.
+        let m = TransitionMatrix::from_rows(vec![
+            vec![0.8, 0.2],
+            vec![0.8, 0.2],
+        ])
+        .unwrap();
+        let share = m.estimate_visit_share(50_000, 7);
+        assert!((share[0] - 0.8).abs() < 0.02, "{share:?}");
+    }
+
+    #[test]
+    fn mix_entry_and_next() {
+        let m = TransitionMatrix::uniform(3);
+        let mix = Mix::new("test", m, vec![1.0, 0.0, 0.0]).unwrap();
+        let mut rng = SimRng::new(3);
+        // Entry always state 0.
+        for _ in 0..10 {
+            assert_eq!(mix.entry(&mut rng), 0);
+        }
+        assert_eq!(mix.interaction_count(), 3);
+        assert_eq!(mix.name(), "test");
+    }
+
+    #[test]
+    fn mix_validation() {
+        let m = TransitionMatrix::uniform(2);
+        assert!(Mix::new("bad", m.clone(), vec![1.0]).is_err());
+        assert!(Mix::new("bad", m.clone(), vec![0.0, 0.0]).is_err());
+        assert!(Mix::new("ok", m, vec![0.5, 0.5]).is_ok());
+    }
+
+    #[test]
+    fn marked_share_estimates_rw_ratio() {
+        // Two states; the second is "read-write" and gets 20% of mass.
+        let m = TransitionMatrix::from_rows(vec![
+            vec![0.8, 0.2],
+            vec![0.8, 0.2],
+        ])
+        .unwrap();
+        let mix = Mix::new("shoppingish", m, vec![1.0, 0.0]).unwrap();
+        let rw = mix.estimate_marked_share(&[false, true], 50_000, 5);
+        assert!((rw - 0.2).abs() < 0.02, "rw={rw}");
+    }
+}

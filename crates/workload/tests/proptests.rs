@@ -1,0 +1,144 @@
+//! Property-based tests for the workload layer: mix sampling fidelity,
+//! phase accounting, and experiment-level invariants under arbitrary
+//! mixes.
+
+use dynamid_core::{
+    AppResult, Application, CostModel, InteractionSpec, RequestCtx, SessionData, StandardConfig,
+};
+use dynamid_sim::{SimDuration, SimRng};
+use dynamid_sqldb::{ColumnType, Database, TableSchema, Value};
+use dynamid_workload::{run_experiment, Mix, TransitionMatrix, WorkloadConfig};
+use proptest::prelude::*;
+
+/// A two-interaction application with a cheap read and a cheap write.
+struct TinyApp;
+
+impl Application for TinyApp {
+    fn name(&self) -> &str {
+        "tiny"
+    }
+    fn interactions(&self) -> &[InteractionSpec] {
+        &[
+            InteractionSpec { name: "R", read_only: true, secure: false },
+            InteractionSpec { name: "W", read_only: false, secure: false },
+        ]
+    }
+    fn handle(
+        &self,
+        id: usize,
+        ctx: &mut RequestCtx<'_>,
+        _s: &mut SessionData,
+        rng: &mut SimRng,
+    ) -> AppResult<()> {
+        let key = rng.uniform_i64(1, 20);
+        if id == 0 {
+            ctx.query("SELECT v FROM kv WHERE id = ?", &[Value::Int(key)])?;
+        } else {
+            ctx.query("UPDATE kv SET v = v + 1 WHERE id = ?", &[Value::Int(key)])?;
+        }
+        ctx.emit("<html>ok</html>");
+        Ok(())
+    }
+}
+
+fn tiny_db() -> Database {
+    let mut db = Database::new();
+    db.create_table(
+        TableSchema::builder("kv")
+            .column("id", ColumnType::Int)
+            .column("v", ColumnType::Int)
+            .primary_key("id")
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    for i in 1..=20 {
+        db.execute("INSERT INTO kv (id, v) VALUES (?, 0)", &[Value::Int(i)])
+            .unwrap();
+    }
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Sampling from an i.i.d.-rows matrix reproduces the row weights.
+    #[test]
+    fn visit_shares_match_weights(w0 in 1u32..100, w1 in 1u32..100) {
+        let rows = vec![
+            vec![w0 as f64, w1 as f64],
+            vec![w0 as f64, w1 as f64],
+        ];
+        let m = TransitionMatrix::from_rows(rows).unwrap();
+        let share = m.estimate_visit_share(40_000, 7);
+        let expect = w0 as f64 / (w0 + w1) as f64;
+        prop_assert!((share[0] - expect).abs() < 0.03, "share {share:?} expect {expect}");
+    }
+
+    /// Experiments never report more window completions than submissions,
+    /// utilizations stay in [0, 1], and throughput is consistent with the
+    /// completion count.
+    #[test]
+    fn experiment_invariants_hold(
+        read_w in 1u32..20,
+        write_w in 1u32..20,
+        clients in 1usize..40,
+        seed in 0u64..1000,
+    ) {
+        let rows = vec![
+            vec![read_w as f64, write_w as f64],
+            vec![read_w as f64, write_w as f64],
+        ];
+        let mix = Mix::new(
+            "p",
+            TransitionMatrix::from_rows(rows).unwrap(),
+            vec![1.0, 0.0],
+        )
+        .unwrap();
+        let workload = WorkloadConfig {
+            clients,
+            think_time: SimDuration::from_millis(200),
+            session_time: SimDuration::from_secs(30),
+            ramp_up: SimDuration::from_secs(1),
+            measure: SimDuration::from_secs(5),
+            ramp_down: SimDuration::from_secs(1),
+            seed,
+        };
+        let r = run_experiment(
+            tiny_db(),
+            &TinyApp,
+            &mix,
+            StandardConfig::ServletColocated,
+            CostModel::default(),
+            workload,
+        );
+        prop_assert!(r.metrics.completed <= r.metrics.submitted_total);
+        prop_assert_eq!(r.metrics.error_rate(), 0.0);
+        for (name, u) in &r.resources.cpu_util {
+            prop_assert!((0.0..=1.0).contains(u), "{name} util {u}");
+        }
+        let implied = r.metrics.completed as f64 * 60.0 / 5.0;
+        prop_assert!((r.throughput_ipm - implied).abs() < 1e-6);
+        // Per-interaction counts sum to the window completions.
+        let sum: u64 = r.metrics.per_interaction.iter().sum();
+        prop_assert_eq!(sum, r.metrics.completed);
+    }
+
+    /// The phase windows partition the run.
+    #[test]
+    fn window_partitions_run(up in 0u64..100, measure in 0u64..100, down in 0u64..100) {
+        let cfg = WorkloadConfig {
+            clients: 1,
+            think_time: SimDuration::from_secs(1),
+            session_time: SimDuration::from_secs(1),
+            ramp_up: SimDuration::from_secs(up),
+            measure: SimDuration::from_secs(measure),
+            ramp_down: SimDuration::from_secs(down),
+            seed: 0,
+        };
+        let (w0, w1) = cfg.window();
+        prop_assert_eq!(w0.as_micros(), up * 1_000_000);
+        prop_assert_eq!(w1.duration_since(w0).as_micros(), measure * 1_000_000);
+        prop_assert_eq!(cfg.total().as_micros(), (up + measure + down) * 1_000_000);
+    }
+}

@@ -1,0 +1,58 @@
+//! Using the library as a capacity-planning tool: sweep the client
+//! population for one configuration and find the saturation knee, the way
+//! the paper's throughput figures are produced.
+//!
+//! ```text
+//! cargo run --release --example capacity_planning
+//! ```
+
+use dynamid::auction::{build_db, Auction, AuctionScale};
+use dynamid::core::{CostModel, StandardConfig};
+use dynamid::sim::SimDuration;
+use dynamid::workload::{run_experiment, WorkloadConfig};
+
+fn main() {
+    let scale = AuctionScale::scaled(0.02);
+    let app = Auction::new(scale);
+    let mix = dynamid::auction::mixes::browsing();
+    let config = StandardConfig::ServletDedicated;
+
+    println!(
+        "capacity sweep: {} on the auction browsing mix\n",
+        config.paper_name()
+    );
+    println!(
+        "{:>8} {:>10} {:>8} {:>10} {:>12}",
+        "clients", "ipm", "web%", "servlet%", "web NIC Mb/s"
+    );
+
+    let mut last_ipm = 0.0;
+    for clients in [25, 50, 100, 200, 400, 800] {
+        let db = build_db(&scale, 9).expect("population");
+        let workload = WorkloadConfig {
+            clients,
+            think_time: SimDuration::from_secs(1),
+            session_time: SimDuration::from_mins(5),
+            ramp_up: SimDuration::from_secs(5),
+            measure: SimDuration::from_secs(25),
+            ramp_down: SimDuration::from_secs(2),
+            seed: 42,
+        };
+        let r = run_experiment(db, &app, &mix, config, CostModel::default(), workload);
+        println!(
+            "{:>8} {:>10.0} {:>7.0}% {:>9.0}% {:>12.1}",
+            clients,
+            r.throughput_ipm,
+            r.cpu_of("web").unwrap_or(0.0) * 100.0,
+            r.cpu_of("servlet").unwrap_or(0.0) * 100.0,
+            r.nic_of("web").unwrap_or(0.0),
+        );
+        // Report the knee: the first point with <10% marginal gain.
+        if last_ipm > 0.0 && r.throughput_ipm < last_ipm * 1.10 {
+            println!("          ^ saturation knee reached around here");
+            last_ipm = f64::MAX; // only print once
+        } else if last_ipm != f64::MAX {
+            last_ipm = r.throughput_ipm;
+        }
+    }
+}

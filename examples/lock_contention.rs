@@ -1,0 +1,57 @@
+//! The paper's central database-tier finding, §5: when a write-heavy mix
+//! contends on MyISAM table locks, moving the locking out of the database
+//! and into the servlet container (the "(sync)" configurations) lets the
+//! database CPU reach 100% and lifts throughput.
+//!
+//! This example runs the bookstore ordering mix (50% read-write — the
+//! worst case for table locks) on the plain and sync servlet
+//! configurations and prints throughput plus lock-wait diagnostics.
+//!
+//! ```text
+//! cargo run --release --example lock_contention
+//! ```
+
+use dynamid::bookstore::{build_db, Bookstore, BookstoreScale};
+use dynamid::core::{CostModel, StandardConfig};
+use dynamid::sim::SimDuration;
+use dynamid::workload::{run_experiment, WorkloadConfig};
+
+fn main() {
+    let scale = BookstoreScale::scaled(0.05);
+    let app = Bookstore::new(scale);
+    let mix = dynamid::bookstore::mixes::ordering();
+
+    let workload = WorkloadConfig {
+        clients: 450,
+        think_time: SimDuration::from_millis(500),
+        session_time: SimDuration::from_mins(5),
+        ramp_up: SimDuration::from_secs(5),
+        measure: SimDuration::from_secs(40),
+        ramp_down: SimDuration::from_secs(2),
+        seed: 7,
+    };
+
+    println!("bookstore, ordering mix (50/50), {} clients\n", workload.clients);
+    println!(
+        "{:<22} {:>9} {:>6} {:>16} {:>14}",
+        "configuration", "ipm", "db%", "lock waits (s)", "contended acq"
+    );
+    for config in [
+        StandardConfig::ServletColocated,
+        StandardConfig::ServletColocatedSync,
+    ] {
+        let db = build_db(&scale, 3).expect("population");
+        let r = run_experiment(db, &app, &mix, config, CostModel::default(), workload.clone());
+        println!(
+            "{:<22} {:>9.0} {:>5.0}% {:>16.1} {:>14}",
+            config.paper_name(),
+            r.throughput_ipm,
+            r.cpu_of("db").unwrap_or(0.0) * 100.0,
+            r.lock_stats.wait_micros as f64 / 1e6,
+            r.lock_stats.contended,
+        );
+    }
+    println!("\nThe sync configuration replaces LOCK TABLES spans with");
+    println!("container-level striped locks: database lock waiting collapses");
+    println!("and throughput rises — Figure 9 of the paper in miniature.");
+}

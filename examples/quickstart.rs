@@ -1,0 +1,57 @@
+//! Quickstart: run one auction-site experiment in each of the paper's six
+//! deployment configurations and print a small comparison table.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use dynamid::auction::{build_db, Auction, AuctionScale};
+use dynamid::core::{CostModel, StandardConfig};
+use dynamid::sim::SimDuration;
+use dynamid::workload::{run_experiment, WorkloadConfig};
+
+fn main() {
+    // A small population so the example finishes in seconds; the harness
+    // (`repro`) uses the paper's full sizes.
+    let scale = AuctionScale::scaled(0.02);
+    let app = Auction::new(scale);
+    let mix = dynamid::auction::mixes::bidding();
+
+    let workload = WorkloadConfig {
+        clients: 500,
+        think_time: SimDuration::from_millis(700),
+        session_time: SimDuration::from_mins(5),
+        ramp_up: SimDuration::from_secs(5),
+        measure: SimDuration::from_secs(30),
+        ramp_down: SimDuration::from_secs(2),
+        seed: 42,
+    };
+
+    println!("auction site, bidding mix, {} clients\n", workload.clients);
+    println!(
+        "{:<22} {:>10} {:>8} {:>8} {:>8}",
+        "configuration", "ipm", "web%", "gen%", "db%"
+    );
+    for config in StandardConfig::ALL {
+        let db = build_db(&scale, 1).expect("population");
+        let r = run_experiment(db, &app, &mix, config, CostModel::default(), workload.clone());
+        // "gen" is the generator machine: the servlet or EJB box when
+        // dedicated, otherwise the web machine itself.
+        let gen = r
+            .cpu_of("ejb")
+            .or_else(|| r.cpu_of("servlet"))
+            .or_else(|| r.cpu_of("web"))
+            .unwrap_or(0.0);
+        println!(
+            "{:<22} {:>10.0} {:>7.0}% {:>7.0}% {:>7.0}%",
+            config.paper_name(),
+            r.throughput_ipm,
+            r.cpu_of("web").unwrap_or(0.0) * 100.0,
+            gen * 100.0,
+            r.cpu_of("db").unwrap_or(0.0) * 100.0,
+        );
+    }
+    println!("\nExpected shape (paper, Figure 11): the dedicated servlet");
+    println!("machine wins, PHP beats co-located servlets, EJB trails far");
+    println!("behind with its own CPU saturated.");
+}

@@ -1,0 +1,69 @@
+//! # dynamid — dynamic-web-content middleware architectures, reproduced
+//!
+//! An executable reproduction of *"Performance Comparison of Middleware
+//! Architectures for Generating Dynamic Web Content"* (Cecchet, Chanda,
+//! Elnikety, Marguerite, Zwaenepoel — MIDDLEWARE 2003): the three
+//! middleware architectures (PHP scripts in the web server, out-of-process
+//! Java servlets, EJB session façades over entity beans), the two
+//! application benchmarks (a TPC-W online bookstore and an eBay-style
+//! auction site), the six deployment configurations, and the measurement
+//! methodology — all running against a from-scratch in-memory SQL engine
+//! over a deterministic discrete-event cluster simulation.
+//!
+//! This crate re-exports the workspace members:
+//!
+//! * [`sim`] — discrete-event kernel (machines, processor-sharing CPUs and
+//!   NICs, queued locks, semaphores, deterministic RNG).
+//! * [`sqldb`] — the relational engine (SQL subset, B-tree indexes,
+//!   MyISAM-style locking metadata, analytic cost model).
+//! * [`http`] — web-server front-end model (Apache-like process pool,
+//!   static assets, AJP/RMI connectors).
+//! * [`core`] — the middleware tiers under test and the six deployments.
+//! * [`workload`] — the client emulator and experiment runner.
+//! * [`bookstore`] / [`auction`] — the two benchmark applications.
+//! * [`bboard`] — the bulletin-board benchmark the paper's §7 predicts
+//!   results for but does not measure (extension).
+//! * [`harness`] — the figure-by-figure reproduction harness (also the
+//!   `repro` binary).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use dynamid::bookstore::{build_db, Bookstore, BookstoreScale};
+//! use dynamid::core::{CostModel, StandardConfig};
+//! use dynamid::workload::{run_experiment, WorkloadConfig};
+//!
+//! let scale = BookstoreScale::small();
+//! let db = build_db(&scale, 42)?;
+//! let app = Bookstore::new(scale);
+//! let mix = dynamid::bookstore::mixes::shopping();
+//! let result = run_experiment(
+//!     db,
+//!     &app,
+//!     &mix,
+//!     StandardConfig::PhpColocated,
+//!     CostModel::default(),
+//!     WorkloadConfig {
+//!         clients: 10,
+//!         ramp_up: dynamid::sim::SimDuration::from_secs(2),
+//!         measure: dynamid::sim::SimDuration::from_secs(10),
+//!         ramp_down: dynamid::sim::SimDuration::from_secs(1),
+//!         think_time: dynamid::sim::SimDuration::from_millis(500),
+//!         ..WorkloadConfig::new(10)
+//!     },
+//! );
+//! assert!(result.throughput_ipm > 0.0);
+//! # Ok::<(), dynamid::sqldb::SqlError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub use dynamid_auction as auction;
+pub use dynamid_bboard as bboard;
+pub use dynamid_bookstore as bookstore;
+pub use dynamid_core as core;
+pub use dynamid_harness as harness;
+pub use dynamid_http as http;
+pub use dynamid_sim as sim;
+pub use dynamid_sqldb as sqldb;
+pub use dynamid_workload as workload;

@@ -1,0 +1,179 @@
+//! Relational invariants after full workload runs: whatever the
+//! architecture, the application data must come out consistent — every
+//! order has lines and a payment record, denormalized bid summaries match
+//! the bids table, and registrations are well-formed.
+
+use dynamid::auction::{Auction, AuctionScale};
+use dynamid::bookstore::{Bookstore, BookstoreScale};
+use dynamid::core::{CostModel, StandardConfig};
+use dynamid::sim::{GrantPolicy, SimDuration};
+use dynamid::sqldb::{Database, Value};
+use dynamid::workload::{run_experiment_with_policy, WorkloadConfig};
+
+fn load(clients: usize, seed: u64) -> WorkloadConfig {
+    WorkloadConfig {
+        clients,
+        think_time: SimDuration::from_millis(300),
+        session_time: SimDuration::from_secs(60),
+        ramp_up: SimDuration::from_secs(2),
+        measure: SimDuration::from_secs(12),
+        ramp_down: SimDuration::from_secs(1),
+        seed,
+    }
+}
+
+fn count(db: &mut Database, sql: &str, params: &[Value]) -> i64 {
+    db.execute(sql, params)
+        .unwrap()
+        .scalar()
+        .and_then(Value::as_int)
+        .unwrap_or(0)
+}
+
+#[test]
+fn bookstore_order_graph_is_consistent_in_every_config() {
+    let scale = BookstoreScale::scaled(0.01);
+    let app = Bookstore::new(scale);
+    let mix = dynamid::bookstore::mixes::ordering(); // write-heaviest
+    for config in StandardConfig::ALL {
+        let mut db = dynamid::bookstore::build_db(&scale, 77).unwrap();
+        let before = db.table("orders").unwrap().row_count() as i64;
+        let r = run_experiment_with_policy(
+            &mut db,
+            &app,
+            &mix,
+            config,
+            CostModel::default(),
+            load(60, 99),
+            GrantPolicy::default(),
+        );
+        assert!(r.metrics.completed > 0, "{config}: nothing ran");
+        let orders = count(&mut db, "SELECT COUNT(*) FROM orders", &[]);
+        assert!(orders > before, "{config}: no orders placed");
+        // Every new order carries at least one line and exactly one
+        // payment record.
+        let max_id = count(&mut db, "SELECT MAX(id) FROM orders", &[]);
+        for oid in (before + 1)..=max_id {
+            let lines = count(
+                &mut db,
+                "SELECT COUNT(*) FROM order_line WHERE order_id = ?",
+                &[Value::Int(oid)],
+            );
+            assert!(lines >= 1, "{config}: order {oid} has no lines");
+            let pays = count(
+                &mut db,
+                "SELECT COUNT(*) FROM credit_info WHERE order_id = ?",
+                &[Value::Int(oid)],
+            );
+            assert_eq!(pays, 1, "{config}: order {oid} has {pays} payments");
+        }
+        // New customers always carry an address.
+        let dangling = count(
+            &mut db,
+            "SELECT COUNT(*) FROM customers c WHERE c.addr_id < 1",
+            &[],
+        );
+        assert_eq!(dangling, 0, "{config}: customers without address");
+    }
+}
+
+#[test]
+fn auction_bid_summaries_match_bids_table() {
+    let scale = AuctionScale::scaled(0.01);
+    let app = Auction::new(scale);
+    let mix = dynamid::auction::mixes::bidding();
+    for config in [
+        StandardConfig::PhpColocated,
+        StandardConfig::ServletDedicatedSync,
+        StandardConfig::EjbFourTier,
+    ] {
+        let mut db = dynamid::auction::build_db(&scale, 31).unwrap();
+        // Record pre-existing bid counts (population already skews them).
+        let pre_bids = db.table("bids").unwrap().row_count() as i64;
+        let r = run_experiment_with_policy(
+            &mut db,
+            &app,
+            &mix,
+            config,
+            CostModel::default(),
+            load(80, 5),
+            GrantPolicy::default(),
+        );
+        assert!(r.metrics.completed > 0, "{config}");
+        let max_pre = pre_bids; // bids are append-only with auto ids
+        let new_bids = count(
+            &mut db,
+            "SELECT COUNT(*) FROM bids WHERE id > ?",
+            &[Value::Int(max_pre)],
+        );
+        assert!(new_bids > 0, "{config}: no bids stored");
+        // For every item that received new bids, the denormalized summary
+        // must be at least as fresh as the newest stored bid.
+        let items_with_new = db
+            .execute(
+                "SELECT item_id, MAX(bid) AS top, COUNT(*) AS n FROM bids \
+                 WHERE id > ? GROUP BY item_id",
+                &[Value::Int(max_pre)],
+            )
+            .unwrap();
+        for row in &items_with_new.rows {
+            let item = row[0].clone();
+            let top = row[1].as_float().unwrap();
+            let summary = db
+                .execute(
+                    "SELECT max_bid, nb_of_bids FROM items WHERE id = ?",
+                    &[item.clone()],
+                )
+                .unwrap();
+            if let Some(s) = summary.rows.first() {
+                let max_bid = s[0].as_float().unwrap_or(0.0);
+                assert!(
+                    max_bid + 1e-9 >= top,
+                    "{config}: item {item} summary {max_bid} < stored top bid {top}"
+                );
+                assert!(
+                    s[1].as_int().unwrap_or(0) >= 1,
+                    "{config}: item {item} nb_of_bids not bumped"
+                );
+            }
+        }
+        // ids bookkeeping rows never decrease.
+        let users_counter = count(
+            &mut db,
+            "SELECT value FROM ids WHERE table_name = 'users'",
+            &[],
+        );
+        assert!(users_counter >= scale.users as i64, "{config}");
+    }
+}
+
+#[test]
+fn comments_always_reference_real_users() {
+    let scale = AuctionScale::scaled(0.01);
+    let app = Auction::new(scale);
+    let mix = dynamid::auction::mixes::bidding();
+    let mut db = dynamid::auction::build_db(&scale, 13).unwrap();
+    let _ = run_experiment_with_policy(
+        &mut db,
+        &app,
+        &mix,
+        StandardConfig::ServletColocated,
+        CostModel::default(),
+        load(60, 21),
+        GrantPolicy::default(),
+    );
+    // Join the comments table to users on both endpoints: no orphans.
+    let total = count(&mut db, "SELECT COUNT(*) FROM comments", &[]);
+    let joined_from = count(
+        &mut db,
+        "SELECT COUNT(*) FROM comments c JOIN users u ON c.from_user_id = u.id",
+        &[],
+    );
+    let joined_to = count(
+        &mut db,
+        "SELECT COUNT(*) FROM comments c JOIN users u ON c.to_user_id = u.id",
+        &[],
+    );
+    assert_eq!(total, joined_from, "orphaned comment authors");
+    assert_eq!(total, joined_to, "orphaned comment targets");
+}

@@ -1,0 +1,205 @@
+//! Cross-crate integration tests asserting the paper's qualitative
+//! findings at miniature scale. These are the acceptance criteria from
+//! DESIGN.md §4, shrunk so they run in seconds under `cargo test`.
+
+use dynamid::auction::{Auction, AuctionScale};
+use dynamid::bookstore::{Bookstore, BookstoreScale};
+use dynamid::core::{CostModel, StandardConfig};
+use dynamid::sim::SimDuration;
+use dynamid::workload::{run_experiment, ExperimentResult, Mix, WorkloadConfig};
+
+fn quick_load(clients: usize) -> WorkloadConfig {
+    WorkloadConfig {
+        clients,
+        think_time: SimDuration::from_millis(400),
+        session_time: SimDuration::from_secs(120),
+        ramp_up: SimDuration::from_secs(4),
+        measure: SimDuration::from_secs(16),
+        ramp_down: SimDuration::from_secs(1),
+        seed: 1234,
+    }
+}
+
+fn run_auction(config: StandardConfig, mix: &Mix, clients: usize) -> ExperimentResult {
+    let scale = AuctionScale::scaled(0.01);
+    let db = dynamid::auction::build_db(&scale, 5).expect("population");
+    let app = Auction::new(scale);
+    run_experiment(db, &app, mix, config, CostModel::default(), quick_load(clients))
+}
+
+fn run_bookstore(config: StandardConfig, mix: &Mix, clients: usize) -> ExperimentResult {
+    let scale = BookstoreScale::scaled(0.01);
+    let db = dynamid::bookstore::build_db(&scale, 5).expect("population");
+    let app = Bookstore::new(scale);
+    run_experiment(db, &app, mix, config, CostModel::default(), quick_load(clients))
+}
+
+/// §6.1: on the auction bidding mix, the front end binds — PHP beats the
+/// co-located servlet container, and the database stays well below
+/// saturation.
+#[test]
+fn auction_front_end_is_the_bottleneck() {
+    let mix = dynamid::auction::mixes::bidding();
+    let clients = 200; // saturating for the front end at this think time
+    let php = run_auction(StandardConfig::PhpColocated, &mix, clients);
+    let servlet = run_auction(StandardConfig::ServletColocated, &mix, clients);
+    assert!(
+        php.throughput_ipm > servlet.throughput_ipm * 1.1,
+        "PHP ({:.0}) must beat co-located servlets ({:.0})",
+        php.throughput_ipm,
+        servlet.throughput_ipm
+    );
+    // Web CPU saturated, DB not.
+    assert!(php.cpu_of("web").unwrap() > 0.9, "{:?}", php.resources);
+    assert!(php.cpu_of("db").unwrap() < 0.8, "{:?}", php.resources);
+}
+
+/// §6.1: a dedicated servlet machine relieves the web server and beats the
+/// co-located deployment.
+#[test]
+fn dedicated_servlet_machine_beats_colocated() {
+    let mix = dynamid::auction::mixes::bidding();
+    let clients = 220;
+    let colocated = run_auction(StandardConfig::ServletColocated, &mix, clients);
+    let dedicated = run_auction(StandardConfig::ServletDedicated, &mix, clients);
+    assert!(
+        dedicated.throughput_ipm > colocated.throughput_ipm * 1.15,
+        "dedicated ({:.0}) vs colocated ({:.0})",
+        dedicated.throughput_ipm,
+        colocated.throughput_ipm
+    );
+}
+
+/// §6.1: EJB trails every other configuration, with the EJB server's own
+/// CPU as the bottleneck.
+#[test]
+fn ejb_is_slowest_on_the_auction() {
+    let mix = dynamid::auction::mixes::bidding();
+    let clients = 220;
+    let ejb = run_auction(StandardConfig::EjbFourTier, &mix, clients);
+    let php = run_auction(StandardConfig::PhpColocated, &mix, clients);
+    assert!(
+        ejb.throughput_ipm < php.throughput_ipm * 0.75,
+        "EJB ({:.0}) must trail PHP ({:.0})",
+        ejb.throughput_ipm,
+        php.throughput_ipm
+    );
+    let ejb_cpu = ejb.cpu_of("ejb").unwrap();
+    assert!(ejb_cpu > 0.9, "EJB server should saturate, got {ejb_cpu}");
+}
+
+/// §6.2: the auction browsing mix is read-only, so container-level locking
+/// changes nothing — the sync and plain curves coincide.
+#[test]
+fn sync_is_a_noop_without_write_contention() {
+    let mix = dynamid::auction::mixes::browsing();
+    let clients = 150;
+    let plain = run_auction(StandardConfig::ServletColocated, &mix, clients);
+    let sync = run_auction(StandardConfig::ServletColocatedSync, &mix, clients);
+    let rel = (plain.throughput_ipm - sync.throughput_ipm).abs() / plain.throughput_ipm;
+    assert!(
+        rel < 0.03,
+        "browsing mix: sync ({:.0}) must coincide with plain ({:.0})",
+        sync.throughput_ipm,
+        plain.throughput_ipm
+    );
+}
+
+/// §5: the bookstore is database-bound in every configuration.
+#[test]
+fn bookstore_database_is_the_bottleneck() {
+    let mix = dynamid::bookstore::mixes::shopping();
+    for config in [
+        StandardConfig::PhpColocated,
+        StandardConfig::ServletDedicatedSync,
+    ] {
+        let r = run_bookstore(config, &mix, 120);
+        let db = r.cpu_of("db").unwrap();
+        let web = r.cpu_of("web").unwrap();
+        assert!(
+            db > web,
+            "{config}: db ({db:.2}) must exceed web ({web:.2})"
+        );
+    }
+}
+
+/// §5.3: on the write-heavy ordering mix, moving locking into the
+/// container (sync) beats SQL table locking.
+#[test]
+fn sync_wins_under_write_contention() {
+    let mix = dynamid::bookstore::mixes::ordering();
+    let clients = 150;
+    let plain = run_bookstore(StandardConfig::ServletColocated, &mix, clients);
+    let sync = run_bookstore(StandardConfig::ServletColocatedSync, &mix, clients);
+    assert!(
+        sync.throughput_ipm > plain.throughput_ipm * 1.05,
+        "sync ({:.0}) must beat plain table locking ({:.0})",
+        sync.throughput_ipm,
+        plain.throughput_ipm
+    );
+    // The mechanism: plain accumulates far more database lock waiting.
+    assert!(
+        plain.lock_stats.wait_micros > sync.lock_stats.wait_micros * 2,
+        "plain waits {} vs sync {}",
+        plain.lock_stats.wait_micros,
+        sync.lock_stats.wait_micros
+    );
+}
+
+/// §4.2: PHP and servlets issue the same queries — interaction for
+/// interaction, the two architectures produce identical database effects.
+#[test]
+fn php_and_servlet_share_the_database_interface() {
+    let mix = dynamid::bookstore::mixes::shopping();
+    let php = run_bookstore(StandardConfig::PhpColocated, &mix, 40);
+    let servlet = run_bookstore(StandardConfig::ServletColocated, &mix, 40);
+    // Same seed, same mix: same interactions issued; completions may differ
+    // by a few in-flight requests at the window edges.
+    let diff = (php.metrics.completed as f64 - servlet.metrics.completed as f64).abs();
+    assert!(
+        diff / php.metrics.completed as f64 <= 0.25,
+        "php {} vs servlet {}",
+        php.metrics.completed,
+        servlet.metrics.completed
+    );
+    assert_eq!(php.metrics.error_rate(), 0.0);
+    assert_eq!(servlet.metrics.error_rate(), 0.0);
+}
+
+/// Determinism across the whole stack: same seed, same result.
+#[test]
+fn full_stack_determinism() {
+    let mix = dynamid::auction::mixes::bidding();
+    let a = run_auction(StandardConfig::EjbFourTier, &mix, 60);
+    let b = run_auction(StandardConfig::EjbFourTier, &mix, 60);
+    assert_eq!(a.metrics.completed, b.metrics.completed);
+    assert_eq!(a.throughput_ipm, b.throughput_ipm);
+    assert_eq!(a.events, b.events);
+}
+
+/// Extension (paper §2.2 footnote 2): PHP with application-level locking —
+/// the configuration the paper declined to evaluate. It should capture the
+/// same contention relief the servlet sync configurations get.
+#[test]
+fn php_sync_extension_matches_servlet_sync_gains() {
+    let mix = dynamid::bookstore::mixes::ordering();
+    let clients = 150;
+    let php_plain = run_bookstore(StandardConfig::PhpColocated, &mix, clients);
+    let php_sync = run_bookstore(StandardConfig::PhpColocatedSync, &mix, clients);
+    assert!(
+        php_sync.throughput_ipm > php_plain.throughput_ipm * 1.05,
+        "php sync ({:.0}) must beat plain php ({:.0})",
+        php_sync.throughput_ipm,
+        php_plain.throughput_ipm
+    );
+    // And it should land in the same regime as the servlet sync config.
+    let servlet_sync = run_bookstore(StandardConfig::ServletColocatedSync, &mix, clients);
+    let rel = (php_sync.throughput_ipm - servlet_sync.throughput_ipm).abs()
+        / servlet_sync.throughput_ipm;
+    assert!(
+        rel < 0.35,
+        "php-sync {:.0} vs servlet-sync {:.0}",
+        php_sync.throughput_ipm,
+        servlet_sync.throughput_ipm
+    );
+}
