@@ -155,20 +155,11 @@ mod tests {
     #[test]
     fn catalog_shape() {
         assert_eq!(INTERACTIONS.len(), 26);
-        let writes: Vec<&str> = INTERACTIONS
-            .iter()
-            .filter(|s| !s.read_only)
-            .map(|s| s.name)
-            .collect();
+        let writes: Vec<&str> =
+            INTERACTIONS.iter().filter(|s| !s.read_only).map(|s| s.name).collect();
         assert_eq!(
             writes,
-            vec![
-                "RegisterUser",
-                "StoreBuyNow",
-                "StoreBid",
-                "StoreComment",
-                "RegisterItem"
-            ]
+            vec!["RegisterUser", "StoreBuyNow", "StoreBid", "StoreComment", "RegisterItem"]
         );
         // No SSL on the auction site.
         assert!(INTERACTIONS.iter().all(|s| !s.secure));

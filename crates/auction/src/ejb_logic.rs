@@ -59,9 +59,7 @@ pub fn handle(
 }
 
 fn page_header(ctx: &mut RequestCtx<'_>, title: &str) {
-    ctx.emit(&format!(
-        "<html><head><title>{title}</title></head><body><h1>{title}</h1>"
-    ));
+    ctx.emit(&format!("<html><head><title>{title}</title></head><body><h1>{title}</h1>"));
     ctx.emit_bytes(1_800);
     ctx.embed_asset(StaticAsset::button());
     ctx.embed_asset(StaticAsset::button());
@@ -74,9 +72,7 @@ fn page_footer(ctx: &mut RequestCtx<'_>) {
 }
 
 fn focus_item(app: &Auction, session: &mut SessionData, rng: &mut SimRng) -> i64 {
-    session
-        .int("item_id")
-        .unwrap_or_else(|| app.random_item(rng))
+    session.int("item_id").unwrap_or_else(|| app.random_item(rng))
 }
 
 fn login(
@@ -91,13 +87,10 @@ fn login(
     let nick = app.random_nickname(rng);
     let id = ctx.facade("UserSession.authenticate", |em| {
         let pks = em.find_pks_where("users", "nickname", Value::str(&nick))?;
-        let pk = pks
-            .into_iter()
-            .next()
-            .ok_or_else(|| AppError::Logic(format!("no user '{nick}'")))?;
-        let h = em
-            .find("users", pk.clone())?
-            .ok_or_else(|| AppError::Logic("user vanished".into()))?;
+        let pk =
+            pks.into_iter().next().ok_or_else(|| AppError::Logic(format!("no user '{nick}'")))?;
+        let h =
+            em.find("users", pk.clone())?.ok_or_else(|| AppError::Logic("user vanished".into()))?;
         em.get(h, "password")?;
         Ok(pk.as_int().unwrap_or(0))
     })?;
@@ -178,17 +171,10 @@ fn register_user(
     rng: &mut SimRng,
 ) -> AppResult<()> {
     page_header(ctx, "Register User");
-    let nick = format!(
-        "NU{}_{}",
-        session.client(),
-        rng.uniform_u64(0, u32::MAX as u64)
-    );
+    let nick = format!("NU{}_{}", session.client(), rng.uniform_u64(0, u32::MAX as u64));
     let region = app.random_region(rng);
     let created = ctx.facade("UserSession.register", |em| {
-        if !em
-            .find_pks_where("users", "nickname", Value::str(&nick))?
-            .is_empty()
-        {
+        if !em.find_pks_where("users", "nickname", Value::str(&nick))?.is_empty() {
             return Ok(None);
         }
         let pk = em.create(
@@ -311,9 +297,7 @@ fn search_items_in_region(
     rng: &mut SimRng,
 ) -> AppResult<()> {
     page_header(ctx, "Items in Region");
-    let region = session
-        .int("region_id")
-        .unwrap_or_else(|| app.random_region(rng));
+    let region = session.int("region_id").unwrap_or_else(|| app.random_region(rng));
     let category = app.random_category(rng);
     // CMP has no joins: the façade filters item beans by their seller
     // bean's region, activating sellers one at a time.
@@ -397,19 +381,9 @@ fn view_user_info(app: &Auction, ctx: &mut RequestCtx<'_>, rng: &mut SimRng) -> 
         let Some(h) = em.find("users", Value::Int(user))? else {
             return Ok(None);
         };
-        let head = format!(
-            "{} (rating {})",
-            em.get(h, "nickname")?,
-            em.get(h, "rating")?
-        );
-        let pks = em.find_pks_ordered(
-            "comments",
-            "to_user_id",
-            Value::Int(user),
-            "date",
-            true,
-            25,
-        )?;
+        let head = format!("{} (rating {})", em.get(h, "nickname")?, em.get(h, "rating")?);
+        let pks =
+            em.find_pks_ordered("comments", "to_user_id", Value::Int(user), "date", true, 25)?;
         let mut comments = Vec::new();
         for pk in pks {
             if let Some(c) = em.find("comments", pk)? {
@@ -669,10 +643,7 @@ fn put_comment(
         };
         Ok((user, item_name))
     })?;
-    ctx.emit(&format!(
-        "<form><p>Comment on {} about {}</p></form>",
-        detail.0, detail.1
-    ));
+    ctx.emit(&format!("<form><p>Comment on {} about {}</p></form>", detail.0, detail.1));
     page_footer(ctx);
     Ok(())
 }
@@ -685,9 +656,7 @@ fn store_comment(
 ) -> AppResult<()> {
     page_header(ctx, "Store Comment");
     let uid = login(app, ctx, session, rng)?;
-    let to = session
-        .int("comment_to")
-        .unwrap_or_else(|| app.random_user(rng));
+    let to = session.int("comment_to").unwrap_or_else(|| app.random_user(rng));
     let item = focus_item(app, session, rng);
     let rating = rng.uniform_i64(-1, 1);
     let text = rng.ascii_string(40);
@@ -748,9 +717,7 @@ fn sell_item_form(
             None => Ok(String::new()),
         }
     })?;
-    ctx.emit(&format!(
-        "<form><p>List an item in {name}</p><input name=\"name\"></form>"
-    ));
+    ctx.emit(&format!("<form><p>List an item in {name}</p><input name=\"name\"></form>"));
     page_footer(ctx);
     Ok(())
 }
@@ -763,9 +730,7 @@ fn register_item(
 ) -> AppResult<()> {
     page_header(ctx, "Register Item");
     let uid = login(app, ctx, session, rng)?;
-    let category = session
-        .int("sell_category")
-        .unwrap_or_else(|| app.random_category(rng));
+    let category = session.int("sell_category").unwrap_or_else(|| app.random_category(rng));
     let price = rng.uniform_i64(100, 50_000) as f64 / 100.0;
     let name = format!("ITEM {}", rng.ascii_string(14));
     let descr = rng.ascii_string(60);
@@ -817,11 +782,7 @@ fn about_me(
     let uid = login(app, ctx, session, rng)?;
     let report = ctx.facade("UserSession.aboutMe", |em| {
         let head = match em.find("users", Value::Int(uid))? {
-            Some(h) => format!(
-                "{} (rating {})",
-                em.get(h, "nickname")?,
-                em.get(h, "rating")?
-            ),
+            Some(h) => format!("{} (rating {})", em.get(h, "nickname")?, em.get(h, "rating")?),
             None => "?".into(),
         };
         // Bids with their item beans.

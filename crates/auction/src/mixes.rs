@@ -40,8 +40,8 @@ pub const BIDDING_SHARES: [f64; 26] = [
 
 /// Browsing-mix interaction shares (read-only).
 pub const BROWSING_SHARES: [f64; 26] = [
-    3.0,  // Home
-    0.0, 0.0, // Register flows excluded
+    3.0, // Home
+    0.0, 0.0,  // Register flows excluded
     6.0,  // Browse
     9.0,  // BrowseCategories
     27.0, // SearchItemsInCategory
@@ -52,7 +52,7 @@ pub const BROWSING_SHARES: [f64; 26] = [
     5.0,  // ViewUserInfo
     6.0,  // ViewBidHistory
     0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, // trade flows excluded
-    3.0,  // AboutMe
+    3.0, // AboutMe
 ];
 
 fn mix_from_shares(name: &str, shares: &[f64; 26]) -> Mix {

@@ -85,18 +85,11 @@ pub fn build_db(scale: &AuctionScale, seed: u64) -> SqlResult<Database> {
     Ok(db)
 }
 
-fn item_row(
-    rng: &mut SimRng,
-    users: i64,
-    live: bool,
-) -> Vec<Value> {
+fn item_row(rng: &mut SimRng, users: i64, live: bool) -> Vec<Value> {
     let initial = rng.uniform_i64(100, 50_000) as f64 / 100.0;
     let nb_bids = rng.uniform_i64(0, 20);
-    let max_bid = if nb_bids > 0 {
-        initial + rng.uniform_i64(0, 10_000) as f64 / 100.0
-    } else {
-        0.0
-    };
+    let max_bid =
+        if nb_bids > 0 { initial + rng.uniform_i64(0, 10_000) as f64 / 100.0 } else { 0.0 };
     let (start, end) = if live {
         // Live auctions end within the next week.
         let start = BASE_DATE - rng.uniform_i64(0, 6) * DAY;
@@ -229,10 +222,7 @@ pub fn populate(db: &mut Database, scale: &AuctionScale, seed: u64) -> SqlResult
         let t = db.table_mut("ids")?;
         // Next-id bookkeeping rows, one per user-visible table (RUBiS keeps
         // this even with auto-increment keys).
-        for (i, name) in ["users", "items", "bids", "buy_now", "comments"]
-            .iter()
-            .enumerate()
-        {
+        for (i, name) in ["users", "items", "bids", "buy_now", "comments"].iter().enumerate() {
             let value = match *name {
                 "users" => scale.users,
                 "items" => scale.live_items,
@@ -240,11 +230,7 @@ pub fn populate(db: &mut Database, scale: &AuctionScale, seed: u64) -> SqlResult
                 "buy_now" => scale.buy_nows,
                 _ => scale.comments,
             };
-            t.insert(vec![
-                Value::Int(i as i64 + 1),
-                Value::str(*name),
-                Value::Int(value as i64),
-            ])?;
+            t.insert(vec![Value::Int(i as i64 + 1), Value::str(*name), Value::Int(value as i64)])?;
         }
     }
     Ok(())
@@ -261,10 +247,7 @@ mod tests {
         assert_eq!(db.table("users").unwrap().row_count(), scale.users);
         assert_eq!(db.table("items").unwrap().row_count(), scale.live_items);
         assert_eq!(db.table("old_items").unwrap().row_count(), scale.old_items);
-        assert_eq!(
-            db.table("bids").unwrap().row_count(),
-            scale.live_items * scale.bids_per_item
-        );
+        assert_eq!(db.table("bids").unwrap().row_count(), scale.live_items * scale.bids_per_item);
         assert_eq!(db.table("comments").unwrap().row_count(), scale.comments);
         assert_eq!(db.table("buy_now").unwrap().row_count(), scale.buy_nows);
         assert_eq!(db.table("categories").unwrap().row_count(), CATEGORY_COUNT);
@@ -276,17 +259,11 @@ mod tests {
     fn live_items_end_in_the_future() {
         let mut db = build_db(&AuctionScale::small(), 2).unwrap();
         let r = db
-            .execute(
-                "SELECT COUNT(*) FROM items WHERE end_date <= ?",
-                &[Value::Int(BASE_DATE)],
-            )
+            .execute("SELECT COUNT(*) FROM items WHERE end_date <= ?", &[Value::Int(BASE_DATE)])
             .unwrap();
         assert_eq!(r.scalar(), Some(&Value::Int(0)));
         let r = db
-            .execute(
-                "SELECT COUNT(*) FROM old_items WHERE end_date > ?",
-                &[Value::Int(BASE_DATE)],
-            )
+            .execute("SELECT COUNT(*) FROM old_items WHERE end_date > ?", &[Value::Int(BASE_DATE)])
             .unwrap();
         assert_eq!(r.scalar(), Some(&Value::Int(0)));
     }
@@ -295,10 +272,7 @@ mod tests {
     fn category_browse_is_indexed() {
         let mut db = build_db(&AuctionScale::small(), 3).unwrap();
         let r = db
-            .execute(
-                "SELECT id FROM items WHERE category = ? LIMIT 25",
-                &[Value::Int(1)],
-            )
+            .execute("SELECT id FROM items WHERE category = ? LIMIT 25", &[Value::Int(1)])
             .unwrap();
         assert!(r.counters.index_lookups > 0);
         assert!(r.counters.rows_examined < 600, "category probe scanned all");

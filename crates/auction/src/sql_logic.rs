@@ -67,9 +67,7 @@ pub fn handle(
 }
 
 fn page_header(ctx: &mut RequestCtx<'_>, title: &str) {
-    ctx.emit(&format!(
-        "<html><head><title>{title}</title></head><body><h1>{title}</h1>"
-    ));
+    ctx.emit(&format!("<html><head><title>{title}</title></head><body><h1>{title}</h1>"));
     ctx.emit_bytes(1_800); // eBay-style chrome: nav tables, search box
     ctx.embed_asset(StaticAsset::button());
     ctx.embed_asset(StaticAsset::button());
@@ -92,10 +90,8 @@ fn login(
         return Ok(id);
     }
     let nick = app.random_nickname(rng);
-    let r = ctx.query(
-        "SELECT id, password, rating FROM users WHERE nickname = ?",
-        &[Value::str(&nick)],
-    )?;
+    let r = ctx
+        .query("SELECT id, password, rating FROM users WHERE nickname = ?", &[Value::str(&nick)])?;
     let id = r
         .rows
         .first()
@@ -106,14 +102,8 @@ fn login(
 }
 
 /// The item the session is focused on, defaulting to a fresh random one.
-fn focus_item(
-    app: &Auction,
-    session: &mut SessionData,
-    rng: &mut SimRng,
-) -> i64 {
-    session
-        .int("item_id")
-        .unwrap_or_else(|| app.random_item(rng))
+fn focus_item(app: &Auction, session: &mut SessionData, rng: &mut SimRng) -> i64 {
+    session.int("item_id").unwrap_or_else(|| app.random_item(rng))
 }
 
 fn emit_categories(ctx: &mut RequestCtx<'_>) -> AppResult<()> {
@@ -169,16 +159,9 @@ fn register_user(
     rng: &mut SimRng,
 ) -> AppResult<()> {
     page_header(ctx, "Register User");
-    let nick = format!(
-        "NU{}_{}",
-        session.client(),
-        rng.uniform_u64(0, u32::MAX as u64)
-    );
+    let nick = format!("NU{}_{}", session.client(), rng.uniform_u64(0, u32::MAX as u64));
     // Uniqueness check, as RUBiS does.
-    let dup = ctx.query(
-        "SELECT id FROM users WHERE nickname = ?",
-        &[Value::str(&nick)],
-    )?;
+    let dup = ctx.query("SELECT id FROM users WHERE nickname = ?", &[Value::str(&nick)])?;
     if !dup.is_empty() {
         ctx.emit("<p>Nickname taken.</p>");
         page_footer(ctx);
@@ -200,17 +183,11 @@ fn register_user(
     )?;
     if ctx.sync_mode() {
         ctx.app_lock("ids", 0);
-        ctx.query(
-            "UPDATE ids SET value = value + 1 WHERE table_name = 'users'",
-            &[],
-        )?;
+        ctx.query("UPDATE ids SET value = value + 1 WHERE table_name = 'users'", &[])?;
         ctx.app_unlock("ids", 0);
     } else {
         ctx.query("LOCK TABLES ids WRITE", &[])?;
-        ctx.query(
-            "UPDATE ids SET value = value + 1 WHERE table_name = 'users'",
-            &[],
-        )?;
+        ctx.query("UPDATE ids SET value = value + 1 WHERE table_name = 'users'", &[])?;
         ctx.query("UNLOCK TABLES", &[])?;
     }
     if let Some(id) = r.last_insert_id {
@@ -295,9 +272,7 @@ fn search_items_in_region(
     rng: &mut SimRng,
 ) -> AppResult<()> {
     page_header(ctx, "Items in Region");
-    let region = session
-        .int("region_id")
-        .unwrap_or_else(|| app.random_region(rng));
+    let region = session.int("region_id").unwrap_or_else(|| app.random_region(rng));
     let category = app.random_category(rng);
     let r = ctx.query(
         &format!(
@@ -342,10 +317,7 @@ fn view_item(
         "<h2>{}</h2><p>{}</p><p>current bid {} ({} bids), ends {}</p>",
         row[1], row[2], row[6], row[5], row[8]
     ));
-    let s = ctx.query(
-        "SELECT nickname, rating FROM users WHERE id = ?",
-        &[seller],
-    )?;
+    let s = ctx.query("SELECT nickname, rating FROM users WHERE id = ?", &[seller])?;
     if let Some(srow) = s.rows.first() {
         ctx.emit(&format!("<p>Seller {} (rating {})</p>", srow[0], srow[1]));
     }
@@ -362,10 +334,7 @@ fn view_user_info(app: &Auction, ctx: &mut RequestCtx<'_>, rng: &mut SimRng) -> 
         &[Value::Int(user)],
     )?;
     if let Some(row) = u.rows.first() {
-        ctx.emit(&format!(
-            "<h2>{} (rating {})</h2><p>member since {}</p>",
-            row[0], row[1], row[2]
-        ));
+        ctx.emit(&format!("<h2>{} (rating {})</h2><p>member since {}</p>", row[0], row[1], row[2]));
     }
     let c = ctx.query(
         "SELECT c.rating, c.date, c.comment, u.nickname \
@@ -420,10 +389,7 @@ fn auth_form(
     let uid = login(app, ctx, session, rng)?;
     // HTTP is stateless: the auth page re-verifies the credentials on
     // every submission, as RUBiS does.
-    ctx.query(
-        "SELECT password FROM users WHERE id = ?",
-        &[Value::Int(uid)],
-    )?;
+    ctx.query("SELECT password FROM users WHERE id = ?", &[Value::Int(uid)])?;
     ctx.emit(&format!(
         "<form action=\"{target}\"><input type=\"hidden\" name=\"user\" value=\"{uid}\"></form>"
     ));
@@ -447,10 +413,7 @@ fn buy_now(
         &[Value::Int(item)],
     )?;
     if let Some(row) = r.rows.first() {
-        ctx.emit(&format!(
-            "<p>Buy {} now for {} from {}</p>",
-            row[0], row[1], row[3]
-        ));
+        ctx.emit(&format!("<p>Buy {} now for {} from {}</p>", row[0], row[1], row[3]));
     }
     page_footer(ctx);
     Ok(())
@@ -476,10 +439,7 @@ fn store_buy_now(
         ctx.app_lock("item", item as u64);
     }
     let run = |ctx: &mut RequestCtx<'_>| -> AppResult<bool> {
-        let r = ctx.query(
-            "SELECT quantity FROM items WHERE id = ?",
-            &[Value::Int(item)],
-        )?;
+        let r = ctx.query("SELECT quantity FROM items WHERE id = ?", &[Value::Int(item)])?;
         let Some(have) = r.rows.first().and_then(|row| row[0].as_int()) else {
             return Ok(false);
         };
@@ -498,12 +458,7 @@ fn store_buy_now(
         }
         ctx.query(
             "INSERT INTO buy_now (id, buyer_id, item_id, qty, date) VALUES (NULL, ?, ?, ?, ?)",
-            &[
-                Value::Int(uid),
-                Value::Int(item),
-                Value::Int(qty),
-                Value::Int(BASE_DATE),
-            ],
+            &[Value::Int(uid), Value::Int(item), Value::Int(qty), Value::Int(BASE_DATE)],
         )?;
         Ok(true)
     };
@@ -535,15 +490,10 @@ fn put_bid(
         &[Value::Int(item)],
     )?;
     if let Some(row) = r.rows.first() {
-        ctx.emit(&format!(
-            "<p>Bid on {}: current {} ({} bids)</p>",
-            row[0], row[2], row[3]
-        ));
+        ctx.emit(&format!("<p>Bid on {}: current {} ({} bids)</p>", row[0], row[2], row[3]));
     }
-    let h = ctx.query(
-        "SELECT MAX(bid), COUNT(*) FROM bids WHERE item_id = ?",
-        &[Value::Int(item)],
-    )?;
+    let h =
+        ctx.query("SELECT MAX(bid), COUNT(*) FROM bids WHERE item_id = ?", &[Value::Int(item)])?;
     if let Some(row) = h.rows.first() {
         ctx.emit(&format!("<p>History: top {} of {}</p>", row[0], row[1]));
     }
@@ -572,11 +522,8 @@ fn store_bid(
         let Some(row) = r.rows.first() else {
             return Ok(false);
         };
-        let current = row[0]
-            .as_float()
-            .filter(|b| *b > 0.0)
-            .or_else(|| row[2].as_float())
-            .unwrap_or(1.0);
+        let current =
+            row[0].as_float().filter(|b| *b > 0.0).or_else(|| row[2].as_float()).unwrap_or(1.0);
         let bid = current + rng.uniform_i64(50, 500) as f64 / 100.0;
         ctx.query(
             "INSERT INTO bids (id, user_id, item_id, qty, bid, max_bid, date) \
@@ -621,16 +568,10 @@ fn put_comment(
     let to = app.random_user(rng);
     session.set_int("comment_to", to);
     let item = focus_item(app, session, rng);
-    let u = ctx.query(
-        "SELECT nickname, rating FROM users WHERE id = ?",
-        &[Value::Int(to)],
-    )?;
+    let u = ctx.query("SELECT nickname, rating FROM users WHERE id = ?", &[Value::Int(to)])?;
     let i = ctx.query("SELECT name FROM items WHERE id = ?", &[Value::Int(item)])?;
     if let (Some(urow), Some(irow)) = (u.rows.first(), i.rows.first()) {
-        ctx.emit(&format!(
-            "<form><p>Comment on {} about {}</p></form>",
-            urow[0], irow[0]
-        ));
+        ctx.emit(&format!("<form><p>Comment on {} about {}</p></form>", urow[0], irow[0]));
     }
     page_footer(ctx);
     Ok(())
@@ -644,9 +585,7 @@ fn store_comment(
 ) -> AppResult<()> {
     page_header(ctx, "Store Comment");
     let uid = login(app, ctx, session, rng)?;
-    let to = session
-        .int("comment_to")
-        .unwrap_or_else(|| app.random_user(rng));
+    let to = session.int("comment_to").unwrap_or_else(|| app.random_user(rng));
     let item = focus_item(app, session, rng);
     let rating = rng.uniform_i64(-1, 1);
     let sync = ctx.sync_mode();
@@ -706,15 +645,9 @@ fn sell_item_form(
     login(app, ctx, session, rng)?;
     let category = app.random_category(rng);
     session.set_int("sell_category", category);
-    let r = ctx.query(
-        "SELECT name FROM categories WHERE id = ?",
-        &[Value::Int(category)],
-    )?;
+    let r = ctx.query("SELECT name FROM categories WHERE id = ?", &[Value::Int(category)])?;
     if let Some(row) = r.rows.first() {
-        ctx.emit(&format!(
-            "<form><p>List an item in {}</p><input name=\"name\"></form>",
-            row[0]
-        ));
+        ctx.emit(&format!("<form><p>List an item in {}</p><input name=\"name\"></form>", row[0]));
     }
     page_footer(ctx);
     Ok(())
@@ -728,9 +661,7 @@ fn register_item(
 ) -> AppResult<()> {
     page_header(ctx, "Register Item");
     let uid = login(app, ctx, session, rng)?;
-    let category = session
-        .int("sell_category")
-        .unwrap_or_else(|| app.random_category(rng));
+    let category = session.int("sell_category").unwrap_or_else(|| app.random_category(rng));
     let price = rng.uniform_i64(100, 50_000) as f64 / 100.0;
     let r = ctx.query(
         "INSERT INTO items (id, name, description, initial_price, quantity, \
@@ -751,17 +682,11 @@ fn register_item(
     )?;
     if ctx.sync_mode() {
         ctx.app_lock("ids", 0);
-        ctx.query(
-            "UPDATE ids SET value = value + 1 WHERE table_name = 'items'",
-            &[],
-        )?;
+        ctx.query("UPDATE ids SET value = value + 1 WHERE table_name = 'items'", &[])?;
         ctx.app_unlock("ids", 0);
     } else {
         ctx.query("LOCK TABLES ids WRITE", &[])?;
-        ctx.query(
-            "UPDATE ids SET value = value + 1 WHERE table_name = 'items'",
-            &[],
-        )?;
+        ctx.query("UPDATE ids SET value = value + 1 WHERE table_name = 'items'", &[])?;
         ctx.query("UNLOCK TABLES", &[])?;
     }
     if let Some(id) = r.last_insert_id {

@@ -19,12 +19,7 @@ fn every_interaction_in_every_config() {
         for (id, spec) in INTERACTIONS.iter().enumerate() {
             for round in 0..2 {
                 let prep = mw.run_interaction(&mut db, &app, id, &mut session, &mut rng, false);
-                assert!(
-                    prep.is_ok(),
-                    "{config} {} round {round}: {:?}",
-                    spec.name,
-                    prep.error
-                );
+                assert!(prep.is_ok(), "{config} {} round {round}: {:?}", spec.name, prep.error);
                 assert!(
                     prep.trace.check_balanced().is_ok(),
                     "{config} {}: unbalanced trace",
@@ -104,13 +99,8 @@ fn register_user_and_item_grow_tables() {
     assert_eq!(db.table("users").unwrap().row_count(), users0 + 1);
     assert_eq!(db.table("items").unwrap().row_count(), items0 + 1);
     // The ids bookkeeping rows were bumped.
-    let r = db
-        .execute("SELECT value FROM ids WHERE table_name = 'items'", &[])
-        .unwrap();
-    assert_eq!(
-        r.rows[0][0].as_int().unwrap(),
-        scale.live_items as i64 + 1
-    );
+    let r = db.execute("SELECT value FROM ids WHERE table_name = 'items'", &[]).unwrap();
+    assert_eq!(r.rows[0][0].as_int().unwrap(), scale.live_items as i64 + 1);
 }
 
 #[test]
@@ -133,10 +123,7 @@ fn ejb_issues_many_more_queries_than_sql() {
     };
     let sql = count(StandardConfig::PhpColocated);
     let ejb = count(StandardConfig::EjbFourTier);
-    assert!(
-        ejb > sql * 3,
-        "CMP must flood the DB with short statements: sql={sql} ejb={ejb}"
-    );
+    assert!(ejb > sql * 3, "CMP must flood the DB with short statements: sql={sql} ejb={ejb}");
 }
 
 #[test]

@@ -2,9 +2,7 @@
 
 use crate::populate::BboardScale;
 use crate::schema::CATEGORY_COUNT;
-use dynamid_core::{
-    AppLockSpec, AppResult, Application, InteractionSpec, RequestCtx, SessionData,
-};
+use dynamid_core::{AppLockSpec, AppResult, Application, InteractionSpec, RequestCtx, SessionData};
 use dynamid_sim::SimRng;
 
 /// Interaction ids, in catalog order (a representative RUBBoS subset).
@@ -92,10 +90,7 @@ impl Application for BulletinBoard {
     }
 
     fn app_locks(&self) -> Vec<AppLockSpec> {
-        vec![
-            AppLockSpec::new("story", 64),
-            AppLockSpec::new("user", 64),
-        ]
+        vec![AppLockSpec::new("story", 64), AppLockSpec::new("user", 64)]
     }
 
     fn handle(

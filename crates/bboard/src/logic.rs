@@ -61,10 +61,7 @@ fn login(
     let nick = app.random_nickname(rng);
     let id = match ctx.style() {
         LogicStyle::ExplicitSql { .. } => ctx
-            .query(
-                "SELECT id, password FROM users WHERE nickname = ?",
-                &[Value::str(&nick)],
-            )?
+            .query("SELECT id, password FROM users WHERE nickname = ?", &[Value::str(&nick)])?
             .rows
             .first()
             .and_then(|r| r[0].as_int()),
@@ -110,10 +107,7 @@ fn list_stories_sql(
         ),
         params,
     )?;
-    Ok(r.rows
-        .into_iter()
-        .map(|row| (row[0].clone(), row[1].clone(), row[2].clone()))
-        .collect())
+    Ok(r.rows.into_iter().map(|row| (row[0].clone(), row[1].clone(), row[2].clone())).collect())
 }
 
 fn list_stories_ejb(
@@ -241,9 +235,7 @@ fn view_story(
     rng: &mut SimRng,
 ) -> AppResult<()> {
     header(ctx, "Story");
-    let story = session
-        .int("story_id")
-        .unwrap_or_else(|| app.random_story(rng));
+    let story = session.int("story_id").unwrap_or_else(|| app.random_story(rng));
     session.set_int("story_id", story);
     match ctx.style() {
         LogicStyle::ExplicitSql { .. } => {
@@ -327,16 +319,15 @@ fn author_info(app: &BulletinBoard, ctx: &mut RequestCtx<'_>, rng: &mut SimRng) 
             }
         }
         LogicStyle::EntityBean => {
-            let head = ctx.facade("UserSession.info", |em| {
-                match em.find("users", Value::Int(user))? {
+            let head =
+                ctx.facade("UserSession.info", |em| match em.find("users", Value::Int(user))? {
                     Some(h) => Ok(Some(format!(
                         "{} (karma {})",
                         em.get(h, "nickname")?,
                         em.get(h, "karma")?
                     ))),
                     None => Ok(None),
-                }
-            })?;
+                })?;
             if let Some(h) = head {
                 ctx.emit(&format!("<h2>{h}</h2>"));
             }
@@ -481,13 +472,9 @@ fn comment_form(
     header(ctx, "Post Comment");
     let uid = login(app, ctx, session, rng)?;
     reverify(ctx, uid)?;
-    let story = session
-        .int("story_id")
-        .unwrap_or_else(|| app.random_story(rng));
+    let story = session.int("story_id").unwrap_or_else(|| app.random_story(rng));
     session.set_int("story_id", story);
-    ctx.emit(&format!(
-        "<form><input type=\"hidden\" name=\"story\" value=\"{story}\"></form>"
-    ));
+    ctx.emit(&format!("<form><input type=\"hidden\" name=\"story\" value=\"{story}\"></form>"));
     footer(ctx);
     Ok(())
 }
@@ -500,9 +487,7 @@ fn store_comment(
 ) -> AppResult<()> {
     header(ctx, "Store Comment");
     let uid = login(app, ctx, session, rng)?;
-    let story = session
-        .int("story_id")
-        .unwrap_or_else(|| app.random_story(rng));
+    let story = session.int("story_id").unwrap_or_else(|| app.random_story(rng));
     let subject = format!("RE {}", rng.ascii_string(10));
     let body = rng.ascii_string(80);
     match ctx.style() {
@@ -568,9 +553,7 @@ fn moderate(
 ) -> AppResult<()> {
     header(ctx, "Moderate");
     login(app, ctx, session, rng)?;
-    let story = session
-        .int("story_id")
-        .unwrap_or_else(|| app.random_story(rng));
+    let story = session.int("story_id").unwrap_or_else(|| app.random_story(rng));
     let delta = if rng.chance(0.7) { 1 } else { -1 };
     match ctx.style() {
         LogicStyle::ExplicitSql { sync } => {

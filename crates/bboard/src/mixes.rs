@@ -21,9 +21,8 @@ pub const SUBMISSION_SHARES: [f64; 13] = [
 ];
 
 /// Browse-mix shares (read-only).
-pub const BROWSE_SHARES: [f64; 13] = [
-    18.0, 7.0, 15.0, 9.0, 28.0, 7.0, 6.0, 0.0, 0.0, 0.0, 0.0, 0.0, 10.0,
-];
+pub const BROWSE_SHARES: [f64; 13] =
+    [18.0, 7.0, 15.0, 9.0, 28.0, 7.0, 6.0, 0.0, 0.0, 0.0, 0.0, 0.0, 10.0];
 
 fn mix_from_shares(name: &str, shares: &[f64; 13]) -> Mix {
     let rows = vec![shares.to_vec(); 13];

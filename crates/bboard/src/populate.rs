@@ -27,22 +27,12 @@ pub struct BboardScale {
 impl BboardScale {
     /// RUBBoS-style sizing.
     pub fn paper() -> Self {
-        BboardScale {
-            users: 500_000,
-            stories: 200,
-            old_stories: 60_000,
-            comments_per_story: 100,
-        }
+        BboardScale { users: 500_000, stories: 200, old_stories: 60_000, comments_per_story: 100 }
     }
 
     /// A small configuration for tests.
     pub fn small() -> Self {
-        BboardScale {
-            users: 1_000,
-            stories: 40,
-            old_stories: 300,
-            comments_per_story: 12,
-        }
+        BboardScale { users: 1_000, stories: 40, old_stories: 300, comments_per_story: 12 }
     }
 
     /// Paper sizing scaled by `factor`.
@@ -88,11 +78,7 @@ pub fn build_db(scale: &BboardScale, seed: u64) -> SqlResult<Database> {
     }
     let users = scale.users as i64;
     let story = |rng: &mut SimRng, live: bool| -> Vec<Value> {
-        let age = if live {
-            rng.uniform_i64(0, 6)
-        } else {
-            rng.uniform_i64(7, 400)
-        };
+        let age = if live { rng.uniform_i64(0, 6) } else { rng.uniform_i64(7, 400) };
         vec![
             Value::Null,
             Value::str(format!("STORY {}", rng.ascii_string(16))),
@@ -133,10 +119,8 @@ pub fn build_db(scale: &BboardScale, seed: u64) -> SqlResult<Database> {
             ])?;
         }
         // Refresh the denormalized per-story comment counts.
-        let counts = db.execute(
-            "SELECT story_id, COUNT(*) AS n FROM comments GROUP BY story_id",
-            &[],
-        )?;
+        let counts =
+            db.execute("SELECT story_id, COUNT(*) AS n FROM comments GROUP BY story_id", &[])?;
         for row in counts.rows {
             db.execute(
                 "UPDATE stories SET nb_comments = ? WHERE id = ?",
@@ -163,9 +147,7 @@ mod tests {
             scale.stories * scale.comments_per_story
         );
         // Denormalized counts match.
-        let r = db
-            .execute("SELECT SUM(nb_comments) FROM stories", &[])
-            .unwrap();
+        let r = db.execute("SELECT SUM(nb_comments) FROM stories", &[]).unwrap();
         assert_eq!(
             r.scalar().unwrap().as_int().unwrap(),
             (scale.stories * scale.comments_per_story) as i64

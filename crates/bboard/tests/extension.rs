@@ -39,13 +39,8 @@ fn writes_change_the_database() {
     let app = BulletinBoard::new(scale);
     let mut db = build_db(&scale, 4).unwrap();
     let mut sim = Simulation::new(SimDuration::from_micros(100));
-    let mw = Middleware::install(
-        &mut sim,
-        StandardConfig::EjbFourTier,
-        &db,
-        &app,
-        CostModel::default(),
-    );
+    let mw =
+        Middleware::install(&mut sim, StandardConfig::EjbFourTier, &db, &app, CostModel::default());
     let stories0 = db.table("stories").unwrap().row_count();
     let comments0 = db.table("comments").unwrap().row_count();
     let mut session = SessionData::new(0);
@@ -59,10 +54,7 @@ fn writes_change_the_database() {
     assert_eq!(db.table("comments").unwrap().row_count(), comments0 + 1);
     let sid = session.int("story_id").unwrap();
     let n = db
-        .execute(
-            "SELECT nb_comments FROM stories WHERE id = ?",
-            &[dynamid_sqldb::Value::Int(sid)],
-        )
+        .execute("SELECT nb_comments FROM stories WHERE id = ?", &[dynamid_sqldb::Value::Int(sid)])
         .unwrap();
     assert_eq!(n.rows[0][0], dynamid_sqldb::Value::Int(1));
 }

@@ -3,6 +3,7 @@
 //! cost the paper profiles in §6.1 (experiment E11 in DESIGN.md).
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dynamid_harness::{find_figure, run_figure, HarnessConfig};
 use dynamid_http::Connector;
 use dynamid_sim::engine::NullDriver;
 use dynamid_sim::{
@@ -30,11 +31,7 @@ fn small_db(rows: i64) -> Database {
     for i in 0..rows {
         db.execute(
             "INSERT INTO items (id, category, name, price) VALUES (NULL, ?, ?, ?)",
-            &[
-                Value::Int(i % 40),
-                Value::str(format!("item {i}")),
-                Value::Float(i as f64),
-            ],
+            &[Value::Int(i % 40), Value::str(format!("item {i}")), Value::Float(i as f64)],
         )
         .unwrap();
     }
@@ -60,11 +57,8 @@ fn bench_sql(c: &mut Criterion) {
     let mut db = small_db(2_000);
     g.bench_function("point_select_by_pk", |b| {
         b.iter(|| {
-            db.execute(
-                black_box("SELECT name, price FROM items WHERE id = ?"),
-                &[Value::Int(997)],
-            )
-            .unwrap()
+            db.execute(black_box("SELECT name, price FROM items WHERE id = ?"), &[Value::Int(997)])
+                .unwrap()
         })
     });
 
@@ -90,13 +84,50 @@ fn bench_sql(c: &mut Criterion) {
 
     g.bench_function("update_by_pk", |b| {
         b.iter(|| {
-            db.execute(
-                "UPDATE items SET price = price + 1.0 WHERE id = ?",
-                &[Value::Int(512)],
-            )
-            .unwrap()
+            db.execute("UPDATE items SET price = price + 1.0 WHERE id = ?", &[Value::Int(512)])
+                .unwrap()
         })
     });
+    g.finish();
+}
+
+/// What compile-once buys on the hot path: the same indexed point SELECT
+/// served from a cached plan vs recompiled from scratch (parse + name
+/// resolution + access-path selection) on every call. The warm path is the
+/// one the benchmark applications live on.
+fn bench_plan_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("plan_cache");
+    g.measurement_time(Duration::from_secs(2)).sample_size(30);
+
+    let sql = "SELECT name, price FROM items WHERE id = ?";
+    let mut db = small_db(2_000);
+    g.bench_function("point_select_warm_plan", |b| {
+        b.iter(|| db.execute(black_box(sql), &[Value::Int(997)]).unwrap())
+    });
+
+    let mut db = small_db(2_000);
+    g.bench_function("point_select_cold_compile", |b| {
+        b.iter(|| {
+            db.clear_caches();
+            db.execute(black_box(sql), &[Value::Int(997)]).unwrap()
+        })
+    });
+    g.finish();
+}
+
+/// Sweep-level scaling: the same smoke-sized figure executed by one worker
+/// and by four. The outputs are bit-identical; only wall-clock differs.
+fn bench_figure_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("harness");
+    g.measurement_time(Duration::from_secs(8)).sample_size(10);
+    let pair = find_figure("fig11").unwrap();
+    for jobs in [1usize, 4] {
+        let mut cfg = HarnessConfig::smoke();
+        cfg.jobs = jobs;
+        g.bench_function(format!("run_figure_smoke_jobs{jobs}"), |b| {
+            b.iter(|| black_box(run_figure(pair, &cfg)))
+        });
+    }
     g.finish();
 }
 
@@ -158,9 +189,8 @@ fn bench_sim_kernel(c: &mut Criterion) {
                 let mut sim = Simulation::new(SimDuration::from_micros(100));
                 let m = sim.add_machine("m", 1.0, 100.0);
                 for i in 0..10_000 {
-                    let t: Trace = [Op::Cpu { machine: m, micros: 50 + (i % 17) }]
-                        .into_iter()
-                        .collect();
+                    let t: Trace =
+                        [Op::Cpu { machine: m, micros: 50 + (i % 17) }].into_iter().collect();
                     sim.submit(t, i);
                 }
                 sim
@@ -193,5 +223,12 @@ fn bench_ipc_cost(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_sql, bench_sim_kernel, bench_ipc_cost);
+criterion_group!(
+    benches,
+    bench_sql,
+    bench_plan_cache,
+    bench_figure_sweep,
+    bench_sim_kernel,
+    bench_ipc_cost
+);
 criterion_main!(benches);

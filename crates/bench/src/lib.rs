@@ -28,6 +28,7 @@ pub fn bench_harness_config() -> HarnessConfig {
         policy: dynamid_sim::GrantPolicy::default(),
         seed: 42,
         verbose: false,
+        jobs: 1,
     }
 }
 

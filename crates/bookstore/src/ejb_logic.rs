@@ -56,9 +56,7 @@ pub fn handle(
 }
 
 fn page_header(ctx: &mut RequestCtx<'_>, title: &str) {
-    ctx.emit(&format!(
-        "<html><head><title>{title}</title></head><body><h1>{title}</h1>"
-    ));
+    ctx.emit(&format!("<html><head><title>{title}</title></head><body><h1>{title}</h1>"));
     ctx.emit_bytes(1_100);
     ctx.embed_asset(StaticAsset::button());
     ctx.embed_asset(StaticAsset::button());
@@ -135,14 +133,8 @@ fn new_products(app: &Bookstore, ctx: &mut RequestCtx<'_>, rng: &mut SimRng) -> 
     page_header(ctx, "New Products");
     let subject = app.random_subject(rng);
     let rows = ctx.facade("CatalogSession.newProducts", |em| {
-        let pks = em.find_pks_ordered(
-            "items",
-            "subject",
-            Value::str(&subject),
-            "pub_date",
-            true,
-            50,
-        )?;
+        let pks =
+            em.find_pks_ordered("items", "subject", Value::str(&subject), "pub_date", true, 50)?;
         let mut out = Vec::new();
         for pk in pks {
             if let Some(h) = em.find("items", pk)? {
@@ -170,11 +162,7 @@ fn best_sellers(app: &Bookstore, ctx: &mut RequestCtx<'_>, rng: &mut SimRng) -> 
     let subject = app.random_subject(rng);
     let rows = ctx.facade("CatalogSession.bestSellers", |em| {
         // Window: line pks above the horizon, capped by the finder limit.
-        let max_order = em.find_pks_query_tail(
-            "orders",
-            "ORDER BY id DESC LIMIT 1",
-            &[],
-        )?;
+        let max_order = em.find_pks_query_tail("orders", "ORDER BY id DESC LIMIT 1", &[])?;
         let horizon = max_order
             .first()
             .and_then(Value::as_int)
@@ -283,14 +271,8 @@ fn search_results(app: &Bookstore, ctx: &mut RequestCtx<'_>, rng: &mut SimRng) -
     page_header(ctx, "Search Results");
     let subject = app.random_subject(rng);
     let titles = ctx.facade("CatalogSession.search", |em| {
-        let pks = em.find_pks_ordered(
-            "items",
-            "subject",
-            Value::str(&subject),
-            "title",
-            false,
-            50,
-        )?;
+        let pks =
+            em.find_pks_ordered("items", "subject", Value::str(&subject), "title", false, 50)?;
         let mut out = Vec::new();
         for pk in pks {
             if let Some(h) = em.find("items", pk)? {
@@ -318,9 +300,7 @@ fn shopping_cart(
     rng: &mut SimRng,
 ) -> AppResult<()> {
     page_header(ctx, "Shopping Cart");
-    let add = session
-        .int("last_item")
-        .unwrap_or_else(|| app.random_item(rng));
+    let add = session.int("last_item").unwrap_or_else(|| app.random_item(rng));
     cart::add(session, add, rng.uniform_i64(1, 3));
     let lines = cart::lines(session);
     let details = ctx.facade("CartSession.view", |em| {
@@ -543,15 +523,12 @@ fn order_inquiry(
 ) -> AppResult<()> {
     page_header(ctx, "Order Inquiry");
     let cid = login(app, ctx, session, rng)?;
-    let uname = ctx.facade("CustomerSession.uname", |em| {
-        match em.find("customers", Value::Int(cid))? {
+    let uname =
+        ctx.facade("CustomerSession.uname", |em| match em.find("customers", Value::Int(cid))? {
             Some(h) => Ok(em.get(h, "uname")?.to_string()),
             None => Ok(String::new()),
-        }
-    })?;
-    ctx.emit(&format!(
-        "<form><input name=\"customer\" value=\"{uname}\"></form>"
-    ));
+        })?;
+    ctx.emit(&format!("<form><input name=\"customer\" value=\"{uname}\"></form>"));
     page_footer(ctx);
     Ok(())
 }
@@ -598,9 +575,7 @@ fn order_display(
     match display {
         None => ctx.emit("<p>No orders on file.</p>"),
         Some((order_pk, status, total, lines, paid)) => {
-            ctx.emit(&format!(
-                "<p>Order #{order_pk} status {status} total ${total}</p>"
-            ));
+            ctx.emit(&format!("<p>Order #{order_pk} status {status} total ${total}</p>"));
             for (title, qty) in lines {
                 ctx.emit(&format!("<tr><td>{qty} x {title}</td></tr>"));
             }
@@ -645,9 +620,7 @@ fn admin_confirm(
     rng: &mut SimRng,
 ) -> AppResult<()> {
     page_header(ctx, "Admin Confirm");
-    let item = session
-        .int("admin_item")
-        .unwrap_or_else(|| app.random_item(rng));
+    let item = session.int("admin_item").unwrap_or_else(|| app.random_item(rng));
     let new_cost = rng.uniform_i64(100, 9999) as f64 / 100.0;
     let fill: Vec<i64> = (0..5).map(|_| app.random_item(rng)).collect();
     ctx.app_lock("item", item as u64);

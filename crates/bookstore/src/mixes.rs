@@ -12,20 +12,17 @@ use dynamid_workload::{Mix, TransitionMatrix};
 /// order: Home, NewProducts, BestSellers, ProductDetail, SearchRequest,
 /// SearchResults, ShoppingCart, CustomerRegistration, BuyRequest,
 /// BuyConfirm, OrderInquiry, OrderDisplay, AdminRequest, AdminConfirm.
-pub const BROWSING_SHARES: [f64; 14] = [
-    29.00, 11.00, 11.00, 21.00, 12.00, 11.00, 2.00, 0.82, 0.75, 0.69, 0.30, 0.25, 0.10, 0.09,
-];
+pub const BROWSING_SHARES: [f64; 14] =
+    [29.00, 11.00, 11.00, 21.00, 12.00, 11.00, 2.00, 0.82, 0.75, 0.69, 0.30, 0.25, 0.10, 0.09];
 
 /// TPC-W shopping-mix interaction shares (80% read-only) — the paper's
 /// headline workload.
-pub const SHOPPING_SHARES: [f64; 14] = [
-    16.00, 5.00, 5.00, 17.00, 20.00, 17.00, 11.60, 3.00, 2.60, 1.20, 0.75, 0.66, 0.10, 0.09,
-];
+pub const SHOPPING_SHARES: [f64; 14] =
+    [16.00, 5.00, 5.00, 17.00, 20.00, 17.00, 11.60, 3.00, 2.60, 1.20, 0.75, 0.66, 0.10, 0.09];
 
 /// TPC-W ordering-mix interaction shares (50% read-only).
-pub const ORDERING_SHARES: [f64; 14] = [
-    9.12, 0.46, 0.46, 12.35, 14.53, 13.08, 13.53, 12.86, 12.73, 10.18, 0.25, 0.22, 0.12, 0.11,
-];
+pub const ORDERING_SHARES: [f64; 14] =
+    [9.12, 0.46, 0.46, 12.35, 14.53, 13.08, 13.53, 12.86, 12.73, 10.18, 0.25, 0.22, 0.12, 0.11];
 
 fn mix_from_shares(name: &str, shares: &[f64; 14]) -> Mix {
     let rows = vec![shares.to_vec(); 14];
@@ -63,12 +60,8 @@ mod tests {
     use crate::app::INTERACTIONS;
 
     fn read_share(shares: &[f64; 14]) -> f64 {
-        let reads: f64 = INTERACTIONS
-            .iter()
-            .zip(shares)
-            .filter(|(s, _)| s.read_only)
-            .map(|(_, w)| w)
-            .sum();
+        let reads: f64 =
+            INTERACTIONS.iter().zip(shares).filter(|(s, _)| s.read_only).map(|(_, w)| w).sum();
         reads / shares.iter().sum::<f64>()
     }
 

@@ -27,20 +27,12 @@ pub struct BookstoreScale {
 impl BookstoreScale {
     /// The paper's configuration: 10,000 items, 288,000 customers.
     pub fn paper() -> Self {
-        BookstoreScale {
-            items: 10_000,
-            customers: 288_000,
-            orders: 259_200,
-        }
+        BookstoreScale { items: 10_000, customers: 288_000, orders: 259_200 }
     }
 
     /// A small configuration for tests and examples.
     pub fn small() -> Self {
-        BookstoreScale {
-            items: 400,
-            customers: 800,
-            orders: 720,
-        }
+        BookstoreScale { items: 400, customers: 800, orders: 720 }
     }
 
     /// The paper's configuration scaled by `factor` (clamped to at least a
@@ -48,11 +40,7 @@ impl BookstoreScale {
     pub fn scaled(factor: f64) -> Self {
         let p = Self::paper();
         let s = |n: usize| ((n as f64 * factor).round() as usize).max(20);
-        BookstoreScale {
-            items: s(p.items),
-            customers: s(p.customers),
-            orders: s(p.orders),
-        }
+        BookstoreScale { items: s(p.items), customers: s(p.customers), orders: s(p.orders) }
     }
 
     /// Authors (TPC-W: items / 4).
@@ -116,9 +104,8 @@ pub fn populate(db: &mut Database, scale: &BookstoreScale, seed: u64) -> SqlResu
         let items = scale.items as i64;
         let t = db.table_mut("items")?;
         for i in 0..scale.items {
-            let related: Vec<Value> = (0..5)
-                .map(|_| Value::Int(irng.uniform_i64(1, items)))
-                .collect();
+            let related: Vec<Value> =
+                (0..5).map(|_| Value::Int(irng.uniform_i64(1, items))).collect();
             let mut row = vec![
                 Value::Null,
                 Value::str(format!("TITLE {} {}", i, irng.ascii_string(18))),
@@ -247,15 +234,10 @@ mod tests {
     fn queries_work_after_population() {
         let mut db = build_db(&BookstoreScale::small(), 2).unwrap();
         let r = db
-            .execute(
-                "SELECT COUNT(*) FROM items WHERE subject = ?",
-                &[Value::str("SUBJECT00")],
-            )
+            .execute("SELECT COUNT(*) FROM items WHERE subject = ?", &[Value::str("SUBJECT00")])
             .unwrap();
         assert!(r.scalar().unwrap().as_int().unwrap() > 0);
-        let r = db
-            .execute("SELECT uname FROM customers WHERE id = 1", &[])
-            .unwrap();
+        let r = db.execute("SELECT uname FROM customers WHERE id = 1", &[]).unwrap();
         assert_eq!(r.rows[0][0], Value::str("C0"));
     }
 
@@ -265,12 +247,8 @@ mod tests {
         let mut a = a;
         let b = build_db(&BookstoreScale::small(), 7).unwrap();
         let mut b = b;
-        let qa = a
-            .execute("SELECT title FROM items WHERE id = 5", &[])
-            .unwrap();
-        let qb = b
-            .execute("SELECT title FROM items WHERE id = 5", &[])
-            .unwrap();
+        let qa = a.execute("SELECT title FROM items WHERE id = 5", &[]).unwrap();
+        let qb = b.execute("SELECT title FROM items WHERE id = 5", &[]).unwrap();
         assert_eq!(qa.rows, qb.rows);
     }
 

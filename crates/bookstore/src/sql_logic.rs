@@ -70,9 +70,7 @@ fn login(
 }
 
 fn page_header(ctx: &mut RequestCtx<'_>, title: &str) {
-    ctx.emit(&format!(
-        "<html><head><title>{title}</title></head><body><h1>{title}</h1>"
-    ));
+    ctx.emit(&format!("<html><head><title>{title}</title></head><body><h1>{title}</h1>"));
     ctx.emit_bytes(1_100); // banner markup, nav tables, style
     ctx.embed_asset(StaticAsset::button());
     ctx.embed_asset(StaticAsset::button());
@@ -92,10 +90,7 @@ fn home(
 ) -> AppResult<()> {
     page_header(ctx, "TPC-W Home");
     if let Some(cid) = session.int("customer_id") {
-        let r = ctx.query(
-            "SELECT fname, lname FROM customers WHERE id = ?",
-            &[Value::Int(cid)],
-        )?;
+        let r = ctx.query("SELECT fname, lname FROM customers WHERE id = ?", &[Value::Int(cid)])?;
         if let Some(row) = r.rows.first() {
             ctx.emit(&format!("<p>Welcome back {} {}</p>", row[0], row[1]));
         }
@@ -109,10 +104,7 @@ fn home(
     if let Some(row) = r.rows.first() {
         let promos: Vec<Value> = row.clone();
         for p in promos {
-            let item = ctx.query(
-                "SELECT id, title, cost FROM items WHERE id = ?",
-                &[p],
-            )?;
+            let item = ctx.query("SELECT id, title, cost FROM items WHERE id = ?", &[p])?;
             if let Some(it) = item.rows.first() {
                 ctx.emit(&format!(
                     "<a href=\"product?i={}\">{} (${})</a><br>",
@@ -152,11 +144,8 @@ fn new_products(app: &Bookstore, ctx: &mut RequestCtx<'_>, rng: &mut SimRng) -> 
 fn best_sellers(app: &Bookstore, ctx: &mut RequestCtx<'_>, rng: &mut SimRng) -> AppResult<()> {
     page_header(ctx, "Best Sellers");
     let subject = app.random_subject(rng);
-    let max_order = ctx
-        .query("SELECT MAX(id) FROM orders", &[])?
-        .scalar()
-        .and_then(Value::as_int)
-        .unwrap_or(0);
+    let max_order =
+        ctx.query("SELECT MAX(id) FROM orders", &[])?.scalar().and_then(Value::as_int).unwrap_or(0);
     let horizon = (max_order - BEST_SELLER_ORDER_WINDOW).max(0);
     let r = ctx.query(
         "SELECT i.id, i.title, i.cost, a.lname, SUM(ol.qty) AS total \
@@ -210,10 +199,8 @@ fn search_request(app: &Bookstore, ctx: &mut RequestCtx<'_>, rng: &mut SimRng) -
     page_header(ctx, "Search");
     // The form page shows a promotional strip like Home does.
     let anchor = app.random_item(rng);
-    let r = ctx.query(
-        "SELECT related1, related2 FROM items WHERE id = ?",
-        &[Value::Int(anchor)],
-    )?;
+    let r =
+        ctx.query("SELECT related1, related2 FROM items WHERE id = ?", &[Value::Int(anchor)])?;
     if let Some(row) = r.rows.first() {
         for p in row.clone() {
             let item = ctx.query("SELECT title FROM items WHERE id = ?", &[p])?;
@@ -279,9 +266,7 @@ fn shopping_cart(
 ) -> AppResult<()> {
     page_header(ctx, "Shopping Cart");
     // TPC-W: if the cart is empty, a random item is added.
-    let add = session
-        .int("last_item")
-        .unwrap_or_else(|| app.random_item(rng));
+    let add = session.int("last_item").unwrap_or_else(|| app.random_item(rng));
     cart::add(session, add, rng.uniform_i64(1, 3));
     // Occasionally adjust a line.
     let lines = cart::lines(session);
@@ -291,17 +276,11 @@ fn shopping_cart(
     }
     let mut total = 0.0;
     for (item, qty) in cart::lines(session) {
-        let r = ctx.query(
-            "SELECT title, cost FROM items WHERE id = ?",
-            &[Value::Int(item)],
-        )?;
+        let r = ctx.query("SELECT title, cost FROM items WHERE id = ?", &[Value::Int(item)])?;
         if let Some(row) = r.rows.first() {
             let cost = row[1].as_float().unwrap_or(0.0);
             total += cost * qty as f64;
-            ctx.emit(&format!(
-                "<tr><td>{}</td><td>{qty}</td><td>${cost}</td></tr>",
-                row[0]
-            ));
+            ctx.emit(&format!("<tr><td>{}</td><td>{qty}</td><td>${cost}</td></tr>", row[0]));
         }
         ctx.embed_asset(StaticAsset::thumbnail());
     }
@@ -321,10 +300,8 @@ fn customer_registration(
     if rng.chance(0.2) {
         // Returning customer path: re-load the customer record.
         let id = login(app, ctx, session, rng)?;
-        let r = ctx.query(
-            "SELECT fname, lname, email FROM customers WHERE id = ?",
-            &[Value::Int(id)],
-        )?;
+        let r =
+            ctx.query("SELECT fname, lname, email FROM customers WHERE id = ?", &[Value::Int(id)])?;
         if let Some(row) = r.rows.first() {
             ctx.emit(&format!("<p>Welcome back {} {} (#{id})</p>", row[0], row[1]));
         }
@@ -393,10 +370,7 @@ fn buy_request(
     }
     let mut subtotal = 0.0;
     for (item, qty) in cart::lines(session) {
-        let r = ctx.query(
-            "SELECT cost FROM items WHERE id = ?",
-            &[Value::Int(item)],
-        )?;
+        let r = ctx.query("SELECT cost FROM items WHERE id = ?", &[Value::Int(item)])?;
         if let Some(row) = r.rows.first() {
             subtotal += row[0].as_float().unwrap_or(0.0) * qty as f64;
         }
@@ -430,19 +404,13 @@ fn buy_confirm(
     // only the write phase (order graph + stock decrements), keeping the
     // MyISAM table locks as short as a careful PHP implementation would.
     let disc = ctx
-        .query(
-            "SELECT discount FROM customers WHERE id = ?",
-            &[Value::Int(cid)],
-        )?
+        .query("SELECT discount FROM customers WHERE id = ?", &[Value::Int(cid)])?
         .scalar()
         .and_then(Value::as_float)
         .unwrap_or(0.0);
     let mut subtotal = 0.0;
     for (item, qty) in &lines {
-        let r = ctx.query(
-            "SELECT cost, stock FROM items WHERE id = ?",
-            &[Value::Int(*item)],
-        )?;
+        let r = ctx.query("SELECT cost, stock FROM items WHERE id = ?", &[Value::Int(*item)])?;
         if let Some(row) = r.rows.first() {
             subtotal += row[0].as_float().unwrap_or(0.0) * *qty as f64;
         }
@@ -462,59 +430,60 @@ fn buy_confirm(
         )?;
     }
 
-    let run = |ctx: &mut RequestCtx<'_>, session: &mut SessionData, rng: &mut SimRng| -> AppResult<f64> {
-        let total = subtotal * (1.0 - disc) * 1.0825 + 3.0;
-        let date = BASE_DATE + rng.uniform_i64(0, 30) * DAY;
-        let order = ctx.query(
-            "INSERT INTO orders (id, customer_id, date, subtotal, tax, total, \
+    let run =
+        |ctx: &mut RequestCtx<'_>, session: &mut SessionData, rng: &mut SimRng| -> AppResult<f64> {
+            let total = subtotal * (1.0 - disc) * 1.0825 + 3.0;
+            let date = BASE_DATE + rng.uniform_i64(0, 30) * DAY;
+            let order = ctx.query(
+                "INSERT INTO orders (id, customer_id, date, subtotal, tax, total, \
              ship_type, ship_date, status) VALUES (NULL, ?, ?, ?, ?, ?, ?, ?, ?)",
-            &[
-                Value::Int(cid),
-                Value::Int(date),
-                Value::Float(subtotal),
-                Value::Float(subtotal * 0.0825),
-                Value::Float(total),
-                Value::str("AIR"),
-                Value::Int(date + 3 * DAY),
-                Value::str("PENDING"),
-            ],
-        )?;
-        let order_id = order.last_insert_id.unwrap_or(0);
-        for (item, qty) in &lines {
-            ctx.query(
-                "INSERT INTO order_line (id, order_id, item_id, qty, discount, comment) \
-                 VALUES (NULL, ?, ?, ?, ?, ?)",
                 &[
-                    Value::Int(order_id),
-                    Value::Int(*item),
-                    Value::Int(*qty),
-                    Value::Float(disc),
-                    Value::str("OK"),
+                    Value::Int(cid),
+                    Value::Int(date),
+                    Value::Float(subtotal),
+                    Value::Float(subtotal * 0.0825),
+                    Value::Float(total),
+                    Value::str("AIR"),
+                    Value::Int(date + 3 * DAY),
+                    Value::str("PENDING"),
                 ],
             )?;
-            // TPC-W restocks when stock would fall below zero.
+            let order_id = order.last_insert_id.unwrap_or(0);
+            for (item, qty) in &lines {
+                ctx.query(
+                    "INSERT INTO order_line (id, order_id, item_id, qty, discount, comment) \
+                 VALUES (NULL, ?, ?, ?, ?, ?)",
+                    &[
+                        Value::Int(order_id),
+                        Value::Int(*item),
+                        Value::Int(*qty),
+                        Value::Float(disc),
+                        Value::str("OK"),
+                    ],
+                )?;
+                // TPC-W restocks when stock would fall below zero.
+                ctx.query(
+                    "UPDATE items SET stock = stock - ? WHERE id = ?",
+                    &[Value::Int(*qty), Value::Int(*item)],
+                )?;
+            }
             ctx.query(
-                "UPDATE items SET stock = stock - ? WHERE id = ?",
-                &[Value::Int(*qty), Value::Int(*item)],
-            )?;
-        }
-        ctx.query(
-            "INSERT INTO credit_info (id, order_id, cc_type, cc_num, cc_name, \
+                "INSERT INTO credit_info (id, order_id, cc_type, cc_num, cc_name, \
              cc_expiry, auth_id, amount, date) VALUES (NULL, ?, ?, ?, ?, ?, ?, ?, ?)",
-            &[
-                Value::Int(order_id),
-                Value::str("VISA"),
-                Value::str("4111111111111111"),
-                Value::str("CARD HOLDER"),
-                Value::Int(date + 365 * DAY),
-                Value::str(format!("AUTH{}", rng.uniform_u64(0, 999_999))),
-                Value::Float(total),
-                Value::Int(date),
-            ],
-        )?;
-        session.set_int("last_order", order_id);
-        Ok(total)
-    };
+                &[
+                    Value::Int(order_id),
+                    Value::str("VISA"),
+                    Value::str("4111111111111111"),
+                    Value::str("CARD HOLDER"),
+                    Value::Int(date + 365 * DAY),
+                    Value::str(format!("AUTH{}", rng.uniform_u64(0, 999_999))),
+                    Value::Float(total),
+                    Value::Int(date),
+                ],
+            )?;
+            session.set_int("last_order", order_id);
+            Ok(total)
+        };
     let result = run(ctx, session, rng);
 
     if sync {
@@ -543,18 +512,10 @@ fn order_inquiry(
 ) -> AppResult<()> {
     page_header(ctx, "Order Inquiry");
     let cid = login(app, ctx, session, rng)?;
-    let r = ctx.query(
-        "SELECT uname FROM customers WHERE id = ?",
-        &[Value::Int(cid)],
-    )?;
-    let uname = r
-        .rows
-        .first()
-        .and_then(|row| row[0].as_str().map(str::to_string))
-        .unwrap_or_default();
-    ctx.emit(&format!(
-        "<form><input name=\"customer\" value=\"{uname}\"></form>"
-    ));
+    let r = ctx.query("SELECT uname FROM customers WHERE id = ?", &[Value::Int(cid)])?;
+    let uname =
+        r.rows.first().and_then(|row| row[0].as_str().map(str::to_string)).unwrap_or_default();
+    ctx.emit(&format!("<form><input name=\"customer\" value=\"{uname}\"></form>"));
     page_footer(ctx);
     Ok(())
 }
@@ -591,10 +552,7 @@ fn order_display(
         &[Value::Int(order_id)],
     )?;
     for row in &lines.rows {
-        ctx.emit(&format!(
-            "<tr><td>{} x {} (${})</td></tr>",
-            row[0], row[2], row[3]
-        ));
+        ctx.emit(&format!("<tr><td>{} x {} (${})</td></tr>", row[0], row[2], row[3]));
     }
     let cc = ctx.query(
         "SELECT cc_type, amount, date FROM credit_info WHERE order_id = ?",
@@ -617,15 +575,10 @@ fn admin_request(
     page_header(ctx, "Admin Request");
     let item = app.random_item(rng);
     session.set_int("admin_item", item);
-    let r = ctx.query(
-        "SELECT id, title, cost, stock FROM items WHERE id = ?",
-        &[Value::Int(item)],
-    )?;
+    let r =
+        ctx.query("SELECT id, title, cost, stock FROM items WHERE id = ?", &[Value::Int(item)])?;
     if let Some(row) = r.rows.first() {
-        ctx.emit(&format!(
-            "<form><p>{} cost ${} stock {}</p></form>",
-            row[1], row[2], row[3]
-        ));
+        ctx.emit(&format!("<form><p>{} cost ${} stock {}</p></form>", row[1], row[2], row[3]));
     }
     page_footer(ctx);
     Ok(())
@@ -640,16 +593,11 @@ fn admin_confirm(
     rng: &mut SimRng,
 ) -> AppResult<()> {
     page_header(ctx, "Admin Confirm");
-    let item = session
-        .int("admin_item")
-        .unwrap_or_else(|| app.random_item(rng));
+    let item = session.int("admin_item").unwrap_or_else(|| app.random_item(rng));
     // The expensive co-purchase discovery runs before the lock span; only
     // the item update itself needs the write lock.
-    let max_order = ctx
-        .query("SELECT MAX(id) FROM orders", &[])?
-        .scalar()
-        .and_then(Value::as_int)
-        .unwrap_or(0);
+    let max_order =
+        ctx.query("SELECT MAX(id) FROM orders", &[])?.scalar().and_then(Value::as_int).unwrap_or(0);
     let horizon = (max_order - BEST_SELLER_ORDER_WINDOW).max(0);
     let related = ctx.query(
         "SELECT ol2.item_id, COUNT(*) AS n \
@@ -658,12 +606,8 @@ fn admin_confirm(
          GROUP BY ol2.item_id ORDER BY n DESC LIMIT 5",
         &[Value::Int(item), Value::Int(horizon)],
     )?;
-    let mut rel: Vec<i64> = related
-        .rows
-        .iter()
-        .filter_map(|r| r[0].as_int())
-        .filter(|r| *r != item)
-        .collect();
+    let mut rel: Vec<i64> =
+        related.rows.iter().filter_map(|r| r[0].as_int()).filter(|r| *r != item).collect();
     while rel.len() < 5 {
         rel.push(app.random_item(rng));
     }

@@ -21,22 +21,13 @@ fn every_interaction_in_every_config() {
             // Run each interaction a few times to hit different branches.
             for round in 0..3 {
                 let prep = mw.run_interaction(&mut db, &app, id, &mut session, &mut rng, false);
-                assert!(
-                    prep.is_ok(),
-                    "{config} {} round {round}: {:?}",
-                    spec.name,
-                    prep.error
-                );
+                assert!(prep.is_ok(), "{config} {} round {round}: {:?}", spec.name, prep.error);
                 assert!(
                     prep.trace.check_balanced().is_ok(),
                     "{config} {}: unbalanced trace",
                     spec.name
                 );
-                assert!(
-                    prep.stats.queries > 0,
-                    "{config} {}: no database access",
-                    spec.name
-                );
+                assert!(prep.stats.queries > 0, "{config} {}: no database access", spec.name);
                 assert!(
                     prep.response.body_bytes() > 500,
                     "{config} {}: implausibly small page ({} bytes)",
@@ -48,11 +39,7 @@ fn every_interaction_in_every_config() {
         }
         let completed_target = INTERACTIONS.len() as u64 * 3;
         sim.run(SimTime::from_micros(600_000_000), &mut NullDriver);
-        assert_eq!(
-            sim.stats().completed,
-            completed_target,
-            "{config}: traces did not drain"
-        );
+        assert_eq!(sim.stats().completed, completed_target, "{config}: traces did not drain");
     }
 }
 
@@ -78,10 +65,7 @@ fn buy_confirm_really_places_orders() {
         }
         let after = db.table("orders").unwrap().row_count();
         assert_eq!(after, before + 1, "{config}: order not created");
-        assert!(
-            db.table("credit_info").unwrap().row_count() > 0,
-            "{config}: no payment row"
-        );
+        assert!(db.table("credit_info").unwrap().row_count() > 0, "{config}: no payment row");
         assert!(session.int("last_order").is_some());
         // The cart was emptied.
         assert_eq!(session.int("cart_len"), Some(0));
@@ -137,10 +121,7 @@ fn ejb_issues_many_more_queries_than_sql() {
 
     let sql = count_queries(StandardConfig::PhpColocated);
     let ejb = count_queries(StandardConfig::EjbFourTier);
-    assert!(
-        ejb > sql * 3,
-        "EJB should flood the DB with short queries: sql={sql} ejb={ejb}"
-    );
+    assert!(ejb > sql * 3, "EJB should flood the DB with short queries: sql={sql} ejb={ejb}");
 }
 
 #[test]

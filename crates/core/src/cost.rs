@@ -84,10 +84,7 @@ impl Default for CostModel {
                 per_query: 150.0,
                 per_result_byte: 0.08,
             },
-            ejb: EjbCosts {
-                per_facade_call: 480.0,
-                per_bean_access: 200.0,
-            },
+            ejb: EjbCosts { per_facade_call: 480.0, per_bean_access: 200.0 },
             db: DbCostModel::default(),
             ajp: Connector::ajp12(),
             rmi: Connector::rmi(),
@@ -135,9 +132,6 @@ mod tests {
     #[test]
     fn query_wire_bytes_include_overhead() {
         assert!(CostModel::query_wire_bytes(0, 0) > 0);
-        assert_eq!(
-            CostModel::query_wire_bytes(100, 50) - CostModel::query_wire_bytes(0, 0),
-            150
-        );
+        assert_eq!(CostModel::query_wire_bytes(100, 50) - CostModel::query_wire_bytes(0, 0), 150);
     }
 }

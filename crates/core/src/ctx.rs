@@ -125,11 +125,9 @@ impl<'a> RequestCtx<'a> {
     pub(crate) fn current_machine(&self) -> MachineId {
         match self.tier {
             Tier::Generator => self.deployment.machines().generator(),
-            Tier::EjbServer => self
-                .deployment
-                .machines()
-                .ejb
-                .expect("EJB tier without EJB machine"),
+            Tier::EjbServer => {
+                self.deployment.machines().ejb.expect("EJB tier without EJB machine")
+            }
         }
     }
 
@@ -296,7 +294,7 @@ impl<'a> RequestCtx<'a> {
     pub fn emit_bytes(&mut self, bytes: u64) {
         self.output_bytes += bytes;
         if let Some(buf) = &mut self.capture {
-            buf.extend(std::iter::repeat('.').take(bytes.min(4_096) as usize));
+            buf.extend(std::iter::repeat_n('.', bytes.min(4_096) as usize));
         }
     }
 
@@ -443,8 +441,7 @@ mod tests {
                 .unwrap(),
         )
         .unwrap();
-        db.execute("INSERT INTO items (id, stock) VALUES (1, 10)", &[])
-            .unwrap();
+        db.execute("INSERT INTO items (id, stock) VALUES (1, 10)", &[]).unwrap();
         let mut sim = Simulation::new(SimDuration::from_micros(100));
         let dep = Deployment::install(&mut sim, config, &db, &NoApp, 512);
         (sim, db, dep, CostModel::default())
@@ -455,16 +452,9 @@ mod tests {
     #[test]
     fn query_builds_locked_db_roundtrip() {
         let (_sim, mut db, dep, costs) = setup(PhpColocated);
-        let mut ctx = RequestCtx::new(
-            &mut db,
-            &dep,
-            &costs,
-            LogicStyle::ExplicitSql { sync: false },
-            false,
-        );
-        let r = ctx
-            .query("SELECT stock FROM items WHERE id = ?", &[Value::Int(1)])
-            .unwrap();
+        let mut ctx =
+            RequestCtx::new(&mut db, &dep, &costs, LogicStyle::ExplicitSql { sync: false }, false);
+        let r = ctx.query("SELECT stock FROM items WHERE id = ?", &[Value::Int(1)]).unwrap();
         assert_eq!(r.rows[0][0], Value::Int(10));
         let ops = ctx.trace.ops();
         // Driver CPU, request transfer, lock, DB CPU, unlock, reply
@@ -483,15 +473,9 @@ mod tests {
     #[test]
     fn write_takes_exclusive_lock() {
         let (_sim, mut db, dep, costs) = setup(PhpColocated);
-        let mut ctx = RequestCtx::new(
-            &mut db,
-            &dep,
-            &costs,
-            LogicStyle::ExplicitSql { sync: false },
-            false,
-        );
-        ctx.query("UPDATE items SET stock = stock - 1 WHERE id = 1", &[])
-            .unwrap();
+        let mut ctx =
+            RequestCtx::new(&mut db, &dep, &costs, LogicStyle::ExplicitSql { sync: false }, false);
+        ctx.query("UPDATE items SET stock = stock - 1 WHERE id = 1", &[]).unwrap();
         assert!(ctx
             .trace
             .ops()
@@ -503,16 +487,10 @@ mod tests {
     fn explicit_lock_tables_span_statements() {
         let (_sim, mut db, dep, costs) = setup(PhpColocated);
         let items_lock = dep.table_lock("items");
-        let mut ctx = RequestCtx::new(
-            &mut db,
-            &dep,
-            &costs,
-            LogicStyle::ExplicitSql { sync: false },
-            false,
-        );
+        let mut ctx =
+            RequestCtx::new(&mut db, &dep, &costs, LogicStyle::ExplicitSql { sync: false }, false);
         ctx.query("LOCK TABLES items WRITE", &[]).unwrap();
-        ctx.query("UPDATE items SET stock = stock - 1 WHERE id = 1", &[])
-            .unwrap();
+        ctx.query("UPDATE items SET stock = stock - 1 WHERE id = 1", &[]).unwrap();
         ctx.query("SELECT stock FROM items WHERE id = 1", &[]).unwrap();
         ctx.query("UNLOCK TABLES", &[]).unwrap();
         let locks: Vec<&Op> = ctx
@@ -533,48 +511,29 @@ mod tests {
     #[test]
     fn statement_outside_lock_set_is_rejected() {
         let (_sim, mut db, dep, costs) = setup(PhpColocated);
-        let mut ctx = RequestCtx::new(
-            &mut db,
-            &dep,
-            &costs,
-            LogicStyle::ExplicitSql { sync: false },
-            false,
-        );
+        let mut ctx =
+            RequestCtx::new(&mut db, &dep, &costs, LogicStyle::ExplicitSql { sync: false }, false);
         ctx.query("LOCK TABLES items WRITE", &[]).unwrap();
-        let err = ctx
-            .query("INSERT INTO orders (id, item) VALUES (NULL, 1)", &[])
-            .unwrap_err();
+        let err = ctx.query("INSERT INTO orders (id, item) VALUES (NULL, 1)", &[]).unwrap_err();
         assert!(err.to_string().contains("not mentioned in LOCK TABLES"));
         // Writing a READ-locked table is also rejected.
         ctx.query("UNLOCK TABLES", &[]).unwrap();
         ctx.query("LOCK TABLES items READ", &[]).unwrap();
-        let err = ctx
-            .query("UPDATE items SET stock = 0 WHERE id = 1", &[])
-            .unwrap_err();
+        let err = ctx.query("UPDATE items SET stock = 0 WHERE id = 1", &[]).unwrap_err();
         assert!(err.to_string().contains("locked READ"));
     }
 
     #[test]
     fn app_locks_are_reentrant_and_balanced() {
         let (_sim, mut db, dep, costs) = setup(ServletColocatedSync);
-        let mut ctx = RequestCtx::new(
-            &mut db,
-            &dep,
-            &costs,
-            LogicStyle::ExplicitSql { sync: true },
-            false,
-        );
+        let mut ctx =
+            RequestCtx::new(&mut db, &dep, &costs, LogicStyle::ExplicitSql { sync: true }, false);
         assert!(ctx.sync_mode());
         ctx.app_lock("g", 0);
         ctx.app_lock("g", 2); // same stripe (2 % 2 == 0): re-entrant
         ctx.app_unlock("g", 2);
         ctx.app_unlock("g", 0);
-        let lock_ops = ctx
-            .trace
-            .ops()
-            .iter()
-            .filter(|op| matches!(op, Op::Lock { .. }))
-            .count();
+        let lock_ops = ctx.trace.ops().iter().filter(|op| matches!(op, Op::Lock { .. })).count();
         assert_eq!(lock_ops, 1);
         assert!(ctx.trace.check_balanced().is_ok());
     }
@@ -582,13 +541,8 @@ mod tests {
     #[test]
     fn force_release_balances_dangling_locks() {
         let (_sim, mut db, dep, costs) = setup(PhpColocated);
-        let mut ctx = RequestCtx::new(
-            &mut db,
-            &dep,
-            &costs,
-            LogicStyle::ExplicitSql { sync: false },
-            false,
-        );
+        let mut ctx =
+            RequestCtx::new(&mut db, &dep, &costs, LogicStyle::ExplicitSql { sync: false }, false);
         ctx.query("LOCK TABLES items WRITE, orders WRITE", &[]).unwrap();
         assert!(ctx.trace.check_balanced().is_err());
         assert_eq!(ctx.force_release(), 2);
@@ -599,13 +553,8 @@ mod tests {
     #[test]
     fn emit_accumulates_and_captures() {
         let (_sim, mut db, dep, costs) = setup(PhpColocated);
-        let mut ctx = RequestCtx::new(
-            &mut db,
-            &dep,
-            &costs,
-            LogicStyle::ExplicitSql { sync: false },
-            true,
-        );
+        let mut ctx =
+            RequestCtx::new(&mut db, &dep, &costs, LogicStyle::ExplicitSql { sync: false }, true);
         ctx.emit("<html>");
         ctx.emit_bytes(100);
         assert_eq!(ctx.output_bytes(), 106);
@@ -628,13 +577,8 @@ mod tests {
     #[test]
     fn status_and_asset_tracking() {
         let (_sim, mut db, dep, costs) = setup(PhpColocated);
-        let mut ctx = RequestCtx::new(
-            &mut db,
-            &dep,
-            &costs,
-            LogicStyle::ExplicitSql { sync: false },
-            false,
-        );
+        let mut ctx =
+            RequestCtx::new(&mut db, &dep, &costs, LogicStyle::ExplicitSql { sync: false }, false);
         assert_eq!(ctx.status(), Status::Ok);
         ctx.set_status(Status::ClientError);
         assert_eq!(ctx.status(), Status::ClientError);

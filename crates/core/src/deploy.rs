@@ -201,22 +201,15 @@ impl Deployment {
         }
         let mut app_locks = HashMap::new();
         for AppLockSpec { group, stripes } in app.app_locks() {
-            let ids: Vec<LockId> = (0..stripes)
-                .map(|i| sim.register_lock(format!("app:{group}#{i}")))
-                .collect();
+            let ids: Vec<LockId> =
+                (0..stripes).map(|i| sim.register_lock(format!("app:{group}#{i}"))).collect();
             app_locks.insert(group, ids);
         }
         let web_pool = sim.register_semaphore("web-pool", web_processes);
 
         Deployment {
             config,
-            machines: MachineSet {
-                client,
-                web,
-                servlet,
-                ejb,
-                db: db_machine,
-            },
+            machines: MachineSet { client, web, servlet, ejb, db: db_machine },
             table_locks,
             app_locks,
             web_pool,
@@ -240,10 +233,7 @@ impl Deployment {
     /// Panics when the table does not exist (tables are registered at
     /// install time from the live catalog).
     pub fn table_lock(&self, table: &str) -> LockId {
-        *self
-            .table_locks
-            .get(table)
-            .unwrap_or_else(|| panic!("no lock for table '{table}'"))
+        *self.table_locks.get(table).unwrap_or_else(|| panic!("no lock for table '{table}'"))
     }
 
     /// Whether the table exists in the lock registry.
@@ -317,10 +307,7 @@ mod tests {
     #[test]
     fn paper_names_match() {
         assert_eq!(StandardConfig::PhpColocated.paper_name(), "WsPhp-DB");
-        assert_eq!(
-            StandardConfig::ServletDedicatedSync.to_string(),
-            "Ws-Servlet-DB(sync)"
-        );
+        assert_eq!(StandardConfig::ServletDedicatedSync.to_string(), "Ws-Servlet-DB(sync)");
         assert_eq!(StandardConfig::EjbFourTier.paper_name(), "Ws-Servlet-EJB-DB");
     }
 
@@ -332,10 +319,7 @@ mod tests {
             Architecture::Servlet { sync: true }
         );
         assert!(StandardConfig::ServletDedicatedSync.logic_style().is_sync());
-        assert_eq!(
-            StandardConfig::EjbFourTier.logic_style(),
-            LogicStyle::EntityBean
-        );
+        assert_eq!(StandardConfig::EjbFourTier.logic_style(), LogicStyle::EntityBean);
     }
 
     #[test]

@@ -57,11 +57,7 @@ impl std::fmt::Debug for EntityManager<'_, '_> {
 
 impl<'c, 'a> EntityManager<'c, 'a> {
     fn new(ctx: &'c mut RequestCtx<'a>) -> Self {
-        EntityManager {
-            ctx,
-            beans: Vec::new(),
-            transferred: 0,
-        }
+        EntityManager { ctx, beans: Vec::new(), transferred: 0 }
     }
 
     /// Container bookkeeping charged per bean operation, on the EJB
@@ -93,7 +89,7 @@ impl<'c, 'a> EntityManager<'c, 'a> {
         self.bean_overhead();
         let pk_col = self.pk_col_of(table)?;
         let sql = format!("SELECT * FROM {table} WHERE {pk_col} = ?");
-        let r = self.ctx.query(&sql, &[pk.clone()])?;
+        let r = self.ctx.query(&sql, std::slice::from_ref(&pk))?;
         let Some(row) = r.rows.into_iter().next() else {
             return Ok(None);
         };
@@ -112,7 +108,12 @@ impl<'c, 'a> EntityManager<'c, 'a> {
     /// Container-generated finder: primary keys of rows where
     /// `col = value`. The caller activates each entity individually with
     /// [`find`](Self::find) (CMP's N+1 pattern).
-    pub fn find_pks_where(&mut self, table: &str, col: &str, value: Value) -> AppResult<Vec<Value>> {
+    pub fn find_pks_where(
+        &mut self,
+        table: &str,
+        col: &str,
+        value: Value,
+    ) -> AppResult<Vec<Value>> {
         self.find_pks_query(table, &format!("WHERE {col} = ?"), &[value])
     }
 
@@ -146,7 +147,12 @@ impl<'c, 'a> EntityManager<'c, 'a> {
         self.find_pks_query(table, tail, params)
     }
 
-    fn find_pks_query(&mut self, table: &str, tail: &str, params: &[Value]) -> AppResult<Vec<Value>> {
+    fn find_pks_query(
+        &mut self,
+        table: &str,
+        tail: &str,
+        params: &[Value],
+    ) -> AppResult<Vec<Value>> {
         self.bean_overhead();
         let pk_col = self.pk_col_of(table)?;
         let sql = format!("SELECT {pk_col} FROM {table} {tail}");
@@ -208,25 +214,18 @@ impl<'c, 'a> EntityManager<'c, 'a> {
         self.bean_overhead();
         let cols: Vec<&str> = fields.iter().map(|(c, _)| *c).collect();
         let marks = vec!["?"; fields.len()].join(", ");
-        let sql = format!(
-            "INSERT INTO {table} ({}) VALUES ({marks})",
-            cols.join(", ")
-        );
+        let sql = format!("INSERT INTO {table} ({}) VALUES ({marks})", cols.join(", "));
         let params: Vec<Value> = fields.iter().map(|(_, v)| v.clone()).collect();
         let r = self.ctx.query(&sql, &params)?;
         if let Some(id) = r.last_insert_id {
             return Ok(Value::Int(id));
         }
         let pk_col = self.pk_col_of(table)?;
-        fields
-            .iter()
-            .find(|(c, _)| *c == pk_col)
-            .map(|(_, v)| v.clone())
-            .ok_or_else(|| {
-                AppError::Sql(SqlError::Constraint(format!(
-                    "create on '{table}' without a primary key value"
-                )))
-            })
+        fields.iter().find(|(c, _)| *c == pk_col).map(|(_, v)| v.clone()).ok_or_else(|| {
+            AppError::Sql(SqlError::Constraint(format!(
+                "create on '{table}' without a primary key value"
+            )))
+        })
     }
 
     /// Removes an entity (container-generated DELETE).
@@ -262,12 +261,8 @@ impl<'c, 'a> EntityManager<'c, 'a> {
                 .filter(|(_, d)| **d)
                 .map(|(c, _)| format!("{c} = ?"))
                 .collect();
-            let sql = format!(
-                "UPDATE {} SET {} WHERE {} = ?",
-                bean.table,
-                sets.join(", "),
-                bean.pk_col
-            );
+            let sql =
+                format!("UPDATE {} SET {} WHERE {} = ?", bean.table, sets.join(", "), bean.pk_col);
             let mut params: Vec<Value> = bean
                 .values
                 .iter()
@@ -398,11 +393,7 @@ mod tests {
         (sim, db, dep, CostModel::default())
     }
 
-    fn ctx<'a>(
-        db: &'a mut Database,
-        dep: &'a Deployment,
-        costs: &'a CostModel,
-    ) -> RequestCtx<'a> {
+    fn ctx<'a>(db: &'a mut Database, dep: &'a Deployment, costs: &'a CostModel) -> RequestCtx<'a> {
         RequestCtx::new(db, dep, costs, LogicStyle::EntityBean, false)
     }
 
@@ -420,9 +411,7 @@ mod tests {
             .unwrap();
         assert_eq!(qty, 5);
         // The flush really updated the database.
-        let r = c
-            .query("SELECT qty FROM items WHERE id = 1", &[])
-            .unwrap();
+        let r = c.query("SELECT qty FROM items WHERE id = 1", &[]).unwrap();
         assert_eq!(r.rows[0][0], Value::Int(4));
         assert_eq!(c.stats.facade_calls, 1);
         // find + flush = 2 bean accesses.
@@ -468,9 +457,7 @@ mod tests {
             })
             .unwrap();
         assert_eq!(pk, Value::Int(4));
-        let removed = c
-            .facade("ItemFacade.remove", |em| em.remove("items", pk.clone()))
-            .unwrap();
+        let removed = c.facade("ItemFacade.remove", |em| em.remove("items", pk.clone())).unwrap();
         assert_eq!(removed, 1);
     }
 

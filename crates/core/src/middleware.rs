@@ -118,10 +118,7 @@ impl Middleware {
                 });
             }
             Architecture::Servlet { .. } | Architecture::Ejb => {
-                ctx.push(Op::Cpu {
-                    machine: m.web,
-                    micros: self.costs.ajp.send_micros(req_bytes),
-                });
+                ctx.push(Op::Cpu { machine: m.web, micros: self.costs.ajp.send_micros(req_bytes) });
                 // Loopback when co-located (Net from==to is free; the CPU
                 // costs above/below model the local IPC).
                 ctx.push(Op::Net { from: m.web, to: generator, bytes: req_bytes });
@@ -153,15 +150,9 @@ impl Middleware {
         match arch {
             Architecture::Php => {}
             Architecture::Servlet { .. } | Architecture::Ejb => {
-                ctx.push(Op::Cpu {
-                    machine: generator,
-                    micros: self.costs.ajp.send_micros(body),
-                });
+                ctx.push(Op::Cpu { machine: generator, micros: self.costs.ajp.send_micros(body) });
                 ctx.push(Op::Net { from: generator, to: m.web, bytes: body });
-                ctx.push(Op::Cpu {
-                    machine: m.web,
-                    micros: self.costs.ajp.recv_micros(body),
-                });
+                ctx.push(Op::Cpu { machine: m.web, micros: self.costs.ajp.recv_micros(body) });
             }
         }
         let wire = body + RESPONSE_OVERHEAD_BYTES;
@@ -174,11 +165,7 @@ impl Middleware {
         // --- Embedded static assets over the same connection ------------
         let assets: Vec<_> = ctx.assets().to_vec();
         for asset in assets {
-            ctx.push(Op::Net {
-                from: m.client,
-                to: m.web,
-                bytes: REQUEST_OVERHEAD_BYTES,
-            });
+            ctx.push(Op::Net { from: m.client, to: m.web, bytes: REQUEST_OVERHEAD_BYTES });
             ctx.push(Op::Cpu {
                 machine: m.web,
                 micros: self.costs.web.static_service_micros(asset),
@@ -255,12 +242,18 @@ mod tests {
                     match ctx.style() {
                         LogicStyle::ExplicitSql { sync: false } => {
                             ctx.query("LOCK TABLES stock WRITE", &[])?;
-                            ctx.query("UPDATE stock SET qty = qty - 1 WHERE id = ?", &[Value::Int(1)])?;
+                            ctx.query(
+                                "UPDATE stock SET qty = qty - 1 WHERE id = ?",
+                                &[Value::Int(1)],
+                            )?;
                             ctx.query("UNLOCK TABLES", &[])?;
                         }
                         LogicStyle::ExplicitSql { sync: true } => {
                             ctx.app_lock("stock", 1);
-                            ctx.query("UPDATE stock SET qty = qty - 1 WHERE id = ?", &[Value::Int(1)])?;
+                            ctx.query(
+                                "UPDATE stock SET qty = qty - 1 WHERE id = ?",
+                                &[Value::Int(1)],
+                            )?;
                             ctx.app_unlock("stock", 1);
                         }
                         LogicStyle::EntityBean => {
@@ -291,8 +284,7 @@ mod tests {
                 .unwrap(),
         )
         .unwrap();
-        db.execute("INSERT INTO stock (id, qty) VALUES (1, 100)", &[])
-            .unwrap();
+        db.execute("INSERT INTO stock (id, qty) VALUES (1, 100)", &[]).unwrap();
         db
     }
 
@@ -310,8 +302,7 @@ mod tests {
             let mut session = SessionData::new(0);
             let mut rng = SimRng::new(1);
             for id in [0usize, 1] {
-                let prep =
-                    mw.run_interaction(&mut db, &ToyApp, id, &mut session, &mut rng, true);
+                let prep = mw.run_interaction(&mut db, &ToyApp, id, &mut session, &mut rng, true);
                 assert!(prep.is_ok(), "{config}: {:?}", prep.error);
                 assert!(prep.trace.check_balanced().is_ok(), "{config}");
                 sim.submit(prep.trace, id as u64);
@@ -319,9 +310,7 @@ mod tests {
             sim.run(SimTime::from_micros(60_000_000), &mut NullDriver);
             assert_eq!(sim.stats().completed, 2, "{config}");
             // Both interactions really hit the database.
-            let qty = db
-                .execute("SELECT qty FROM stock WHERE id = 1", &[])
-                .unwrap();
+            let qty = db.execute("SELECT qty FROM stock WHERE id = 1", &[]).unwrap();
             assert_eq!(qty.rows[0][0], Value::Int(99), "{config}");
         }
     }
@@ -384,12 +373,8 @@ mod tests {
         // Trace contains a lock on an app stripe; the UPDATE still takes
         // its implicit statement lock, but no LOCK TABLES span exists.
         // (Count lock ops: app lock + statement lock = 2.)
-        let locks = prep
-            .trace
-            .ops()
-            .iter()
-            .filter(|op| matches!(op, dynamid_sim::Op::Lock { .. }))
-            .count();
+        let locks =
+            prep.trace.ops().iter().filter(|op| matches!(op, dynamid_sim::Op::Lock { .. })).count();
         assert_eq!(locks, 2);
     }
 
@@ -401,16 +386,10 @@ mod tests {
         let prep = mw.run_interaction(&mut db, &ToyApp, 1, &mut session, &mut rng, false);
         assert!(prep.is_ok());
         let m = mw.deployment().machines();
-        for (name, machine) in [
-            ("web", m.web),
-            ("servlet", m.servlet.unwrap()),
-            ("ejb", m.ejb.unwrap()),
-            ("db", m.db),
-        ] {
-            assert!(
-                prep.trace.cpu_demand(machine) > 0,
-                "no CPU charged on {name}"
-            );
+        for (name, machine) in
+            [("web", m.web), ("servlet", m.servlet.unwrap()), ("ejb", m.ejb.unwrap()), ("db", m.db)]
+        {
+            assert!(prep.trace.cpu_demand(machine) > 0, "no CPU charged on {name}");
         }
         assert!(prep.stats.facade_calls == 1);
         assert!(prep.stats.bean_accesses >= 2);

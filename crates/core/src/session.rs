@@ -27,10 +27,7 @@ pub struct SessionData {
 impl SessionData {
     /// Creates an empty session for client `client`.
     pub fn new(client: u64) -> Self {
-        SessionData {
-            client,
-            values: HashMap::new(),
-        }
+        SessionData { client, values: HashMap::new() }
     }
 
     /// The owning client's id.

@@ -1,0 +1,249 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this workspace vendors
+//! the subset of criterion's API the `dynamid-bench` targets use:
+//! [`Criterion::benchmark_group`], `sample_size` / `measurement_time` /
+//! `warm_up_time`, [`BenchmarkGroup::bench_function`], [`Bencher::iter`] and
+//! [`Bencher::iter_batched`], plus the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Methodology: each `bench_function` runs a short warm-up, auto-scales the
+//! per-sample iteration count to the configured measurement budget, takes
+//! `sample_size` samples, and prints minimum / median / mean nanoseconds per
+//! iteration. No plots, no statistical regression testing — just honest
+//! wall-clock numbers suitable for before/after comparisons in one
+//! environment.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation
+/// (re-export of [`std::hint::black_box`]).
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// How batched inputs are grouped; accepted for API compatibility (the
+/// shim times each batch element individually either way).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+/// A group of benchmarks sharing measurement settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up budget per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs one benchmark and prints its timing summary.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            mode: Mode::WarmUp,
+            budget: self.warm_up_time,
+            samples: Vec::new(),
+            iters_per_sample: 1,
+            sample_target: self.sample_size,
+            warm_est: 1.0,
+        };
+        f(&mut b);
+        // Scale iterations so one sample is ~ budget / sample_size.
+        let per_iter = b.warm_est.max(1.0);
+        let per_sample_ns = self.measurement_time.as_nanos() as f64 / self.sample_size as f64;
+        b.iters_per_sample = ((per_sample_ns / per_iter) as u64).clamp(1, 1_000_000_000);
+        b.mode = Mode::Measure;
+        b.budget = self.measurement_time;
+        b.samples.clear();
+        f(&mut b);
+        report(&self.name, &id, &b.samples, b.iters_per_sample);
+        self
+    }
+
+    /// Ends the group (printing is immediate; provided for API parity).
+    pub fn finish(&mut self) {}
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    WarmUp,
+    Measure,
+}
+
+/// Runs the benchmarked closure and records timings.
+#[derive(Debug)]
+pub struct Bencher {
+    mode: Mode,
+    budget: Duration,
+    samples: Vec<f64>, // ns per iteration, one entry per sample
+    iters_per_sample: u64,
+    sample_target: usize,
+    warm_est: f64, // estimated ns/iter from the warm-up pass
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match self.mode {
+            Mode::WarmUp => {
+                let start = Instant::now();
+                let mut n = 0u64;
+                while start.elapsed() < self.budget || n == 0 {
+                    std_black_box(routine());
+                    n += 1;
+                    if n >= 1_000_000 {
+                        break;
+                    }
+                }
+                self.warm_est = start.elapsed().as_nanos() as f64 / n as f64;
+            }
+            Mode::Measure => {
+                for _ in 0..self.sample_target {
+                    let start = Instant::now();
+                    for _ in 0..self.iters_per_sample {
+                        std_black_box(routine());
+                    }
+                    self.samples
+                        .push(start.elapsed().as_nanos() as f64 / self.iters_per_sample as f64);
+                }
+            }
+        }
+    }
+
+    /// Times `routine` over inputs produced by `setup`; only the routine is
+    /// measured.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        match self.mode {
+            Mode::WarmUp => {
+                let mut spent = Duration::ZERO;
+                let mut n = 0u64;
+                while spent < self.budget || n == 0 {
+                    let input = setup();
+                    let start = Instant::now();
+                    std_black_box(routine(input));
+                    spent += start.elapsed();
+                    n += 1;
+                    if n >= 1_000_000 {
+                        break;
+                    }
+                }
+                self.warm_est = spent.as_nanos() as f64 / n as f64;
+            }
+            Mode::Measure => {
+                for _ in 0..self.sample_target {
+                    let mut spent = Duration::ZERO;
+                    for _ in 0..self.iters_per_sample {
+                        let input = setup();
+                        let start = Instant::now();
+                        std_black_box(routine(input));
+                        spent += start.elapsed();
+                    }
+                    self.samples.push(spent.as_nanos() as f64 / self.iters_per_sample as f64);
+                }
+            }
+        }
+    }
+}
+
+fn report(group: &str, id: &str, samples: &[f64], iters: u64) {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let median = sorted[sorted.len() / 2];
+    let min = sorted.first().copied().unwrap_or(0.0);
+    let mean = sorted.iter().sum::<f64>() / sorted.len().max(1) as f64;
+    println!(
+        "{group}/{id}: min {} median {} mean {}  ({} samples x {} iters)",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(mean),
+        sorted.len(),
+        iters,
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1_000_000_000.0 {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    } else if ns >= 1_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else if ns >= 1_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Declares a group of benchmark functions (API parity with criterion).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -11,6 +11,8 @@
 //!   --clients a,b,c   explicit client sweep
 //!   --measure <secs>  measurement window length
 //!   --seed <n>        master seed
+//!   --jobs <n>        sweep worker threads (0 = all cores; results are
+//!                     identical for any value)
 //!   --out <dir>       output directory (default results/)
 //!   --quiet           suppress progress
 //! ```
@@ -24,8 +26,7 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut cfg = HarnessConfig::default();
-    cfg.verbose = true;
+    let mut cfg = HarnessConfig { verbose: true, ..HarnessConfig::default() };
     let mut targets: Vec<String> = Vec::new();
     let mut out_dir = PathBuf::from("results");
 
@@ -50,6 +51,13 @@ fn main() -> ExitCode {
                 cfg.seed = match args.get(i).and_then(|v| v.parse().ok()) {
                     Some(v) => v,
                     None => return usage("--seed needs an integer"),
+                };
+            }
+            "--jobs" => {
+                i += 1;
+                cfg.jobs = match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(v) => v,
+                    None => return usage("--jobs needs an integer (0 = all cores)"),
                 };
             }
             "--measure" => {
@@ -154,6 +162,6 @@ fn run_and_emit(key: &str, cfg: &HarnessConfig, out_dir: &std::path::Path) {
 fn usage(err: &str) -> ExitCode {
     eprintln!("error: {err}\n");
     eprintln!("usage: repro [options] <fig05|..|fig13|bookstore-shopping|..|all|summary>");
-    eprintln!("options: --fast --quiet --scale <f> --clients a,b,c --measure <secs> --seed <n> --out <dir> --policy fifo|writer");
+    eprintln!("options: --fast --quiet --scale <f> --clients a,b,c --measure <secs> --seed <n> --jobs <n> --out <dir> --policy fifo|writer");
     ExitCode::FAILURE
 }

@@ -6,9 +6,9 @@ use dynamid_auction::{Auction, AuctionScale};
 use dynamid_bookstore::{Bookstore, BookstoreScale};
 use dynamid_core::{Application, CostModel, StandardConfig};
 use dynamid_sqldb::Database;
-use dynamid_workload::{
-    run_experiment_with_policy, ExperimentResult, Mix, WorkloadConfig,
-};
+use dynamid_workload::{run_experiment_with_policy, ExperimentResult, Mix, WorkloadConfig};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Which benchmark application a figure uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -91,7 +91,7 @@ pub fn find_figure(key: &str) -> Option<FigurePair> {
 }
 
 /// One sweep point: a full experiment at one client count.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CurvePoint {
     /// Offered clients.
     pub clients: usize,
@@ -143,7 +143,7 @@ impl CurvePoint {
 }
 
 /// The sweep of one deployment configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ConfigCurve {
     /// The deployment.
     pub config: StandardConfig,
@@ -162,7 +162,7 @@ impl ConfigCurve {
 }
 
 /// A fully executed figure pair.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FigureData {
     /// Which figure this is.
     pub pair: FigurePair,
@@ -198,69 +198,134 @@ pub fn default_clients(benchmark: Benchmark) -> Vec<usize> {
     }
 }
 
-/// Runs the full sweep for one figure pair.
-pub fn run_figure(pair: FigurePair, cfg: &HarnessConfig) -> FigureData {
-    let clients = if cfg.clients.is_empty() {
-        default_clients(pair.benchmark)
-    } else {
-        cfg.clients.clone()
-    };
-    let mix = mix_for(&pair);
-    let mut curves = Vec::new();
-    for config in &cfg.configs {
-        let (base_db, app): (Database, Box<dyn Application>) = match pair.benchmark {
-            Benchmark::Bookstore => {
-                let scale = BookstoreScale::scaled(cfg.scale);
-                (
-                    dynamid_bookstore::build_db(&scale, cfg.seed).expect("population"),
-                    Box::new(Bookstore::new(scale)),
-                )
-            }
-            Benchmark::Auction => {
-                let scale = AuctionScale::scaled(cfg.scale);
-                (
-                    dynamid_auction::build_db(&scale, cfg.seed).expect("population"),
-                    Box::new(Auction::new(scale)),
-                )
-            }
-        };
-        let mut points = Vec::new();
-        for &n in &clients {
-            let mut db = base_db.clone();
-            let workload = WorkloadConfig {
-                clients: n,
-                think_time: cfg.think_time,
-                session_time: cfg.session_time,
-                ramp_up: cfg.ramp_up,
-                measure: cfg.measure,
-                ramp_down: cfg.ramp_down,
-                seed: cfg.seed ^ n as u64,
-            };
-            let result = run_experiment_with_policy(
-                &mut db,
-                app.as_ref(),
-                &mix,
-                *config,
-                CostModel::default(),
-                workload,
-                cfg.policy,
-            );
-            if cfg.verbose {
-                eprintln!(
-                    "  {:<22} clients={:<6} ipm={:>9.0} errors={:.2}%",
-                    config.paper_name(),
-                    n,
-                    result.throughput_ipm,
-                    result.metrics.error_rate() * 100.0
-                );
-            }
-            points.push(CurvePoint::from_result(&result));
-        }
-        curves.push(ConfigCurve {
-            config: *config,
-            points,
-        });
+/// Builds a fresh application instance for one experiment point.
+///
+/// Applications hold per-run state and are not shareable across threads,
+/// but constructing one is trivial next to the seconds-long experiment it
+/// drives.
+fn make_app(benchmark: Benchmark, scale: f64) -> Box<dyn Application> {
+    match benchmark {
+        Benchmark::Bookstore => Box::new(Bookstore::new(BookstoreScale::scaled(scale))),
+        Benchmark::Auction => Box::new(Auction::new(AuctionScale::scaled(scale))),
     }
+}
+
+/// Runs one (configuration, client count) point of a sweep.
+///
+/// Each point is fully self-contained: its own clone of the populated
+/// database, its own application instance, and a seed derived only from
+/// the master seed and the client count. That independence is what makes
+/// the parallel sweep in [`run_figure`] bit-identical to the sequential
+/// one — no state flows between points, in either order of execution.
+fn run_point(
+    pair: &FigurePair,
+    cfg: &HarnessConfig,
+    base_db: &Database,
+    mix: &Mix,
+    config: StandardConfig,
+    n: usize,
+) -> CurvePoint {
+    let mut db = base_db.clone();
+    let stats_before = db.stats();
+    let app = make_app(pair.benchmark, cfg.scale);
+    let workload = WorkloadConfig {
+        clients: n,
+        think_time: cfg.think_time,
+        session_time: cfg.session_time,
+        ramp_up: cfg.ramp_up,
+        measure: cfg.measure,
+        ramp_down: cfg.ramp_down,
+        seed: cfg.seed ^ n as u64,
+    };
+    let result = run_experiment_with_policy(
+        &mut db,
+        app.as_ref(),
+        mix,
+        config,
+        CostModel::default(),
+        workload,
+        cfg.policy,
+    );
+    if cfg.verbose {
+        let s = db.stats();
+        let hits = s.plan_cache_hits - stats_before.plan_cache_hits;
+        let misses = s.plan_cache_misses - stats_before.plan_cache_misses;
+        eprintln!(
+            "  {:<22} clients={:<6} ipm={:>9.0} errors={:.2}% plan-cache {hits}/{} hits",
+            config.paper_name(),
+            n,
+            result.throughput_ipm,
+            result.metrics.error_rate() * 100.0,
+            hits + misses,
+        );
+    }
+    CurvePoint::from_result(&result)
+}
+
+/// Runs the full sweep for one figure pair.
+///
+/// The (configuration × client count) grid is executed by
+/// [`HarnessConfig::jobs`] worker threads pulling points off a shared
+/// queue; every point is independent and deterministically seeded, so the
+/// returned curves are bit-identical regardless of thread count — `--jobs
+/// 1` and `--jobs 8` produce the same [`FigureData`]. Points are returned
+/// in sweep order (configurations in `cfg.configs` order, client counts
+/// ascending as given).
+pub fn run_figure(pair: FigurePair, cfg: &HarnessConfig) -> FigureData {
+    let clients =
+        if cfg.clients.is_empty() { default_clients(pair.benchmark) } else { cfg.clients.clone() };
+    let mix = mix_for(&pair);
+
+    // The populated database depends only on benchmark, scale, and seed —
+    // never on the deployment configuration — so one build serves every
+    // point via cloning.
+    let base_db: Database = match pair.benchmark {
+        Benchmark::Bookstore => {
+            dynamid_bookstore::build_db(&BookstoreScale::scaled(cfg.scale), cfg.seed)
+                .expect("population")
+        }
+        Benchmark::Auction => dynamid_auction::build_db(&AuctionScale::scaled(cfg.scale), cfg.seed)
+            .expect("population"),
+    };
+
+    let grid: Vec<(usize, usize)> =
+        (0..cfg.configs.len()).flat_map(|ci| (0..clients.len()).map(move |ni| (ci, ni))).collect();
+    let workers = cfg.effective_jobs().min(grid.len()).max(1);
+
+    let points: Vec<CurvePoint> = if workers == 1 {
+        grid.iter()
+            .map(|&(ci, ni)| run_point(&pair, cfg, &base_db, &mix, cfg.configs[ci], clients[ni]))
+            .collect()
+    } else {
+        let slots: Mutex<Vec<Option<CurvePoint>>> = Mutex::new(vec![None; grid.len()]);
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&(ci, ni)) = grid.get(i) else { break };
+                    let point = run_point(&pair, cfg, &base_db, &mix, cfg.configs[ci], clients[ni]);
+                    slots.lock().expect("no panics hold the lock")[i] = Some(point);
+                });
+            }
+        });
+        slots
+            .into_inner()
+            .expect("workers joined")
+            .into_iter()
+            .map(|p| p.expect("every grid slot filled"))
+            .collect()
+    };
+
+    let mut points = points.into_iter();
+    let curves = cfg
+        .configs
+        .iter()
+        .map(|config| ConfigCurve {
+            config: *config,
+            points: points.by_ref().take(clients.len()).collect(),
+        })
+        .collect();
     FigureData { pair, curves }
 }
 
@@ -271,15 +336,12 @@ mod tests {
     #[test]
     fn catalog_covers_all_ten_figures() {
         assert_eq!(FIGURES.len(), 5);
-        let ids: Vec<&str> = FIGURES
-            .iter()
-            .flat_map(|f| [f.throughput_id, f.cpu_id])
-            .collect();
+        let ids: Vec<&str> = FIGURES.iter().flat_map(|f| [f.throughput_id, f.cpu_id]).collect();
         assert_eq!(
             ids,
             vec![
-                "fig05", "fig06", "fig07", "fig08", "fig09", "fig10", "fig11", "fig12",
-                "fig13", "fig14"
+                "fig05", "fig06", "fig07", "fig08", "fig09", "fig10", "fig11", "fig12", "fig13",
+                "fig14"
             ]
         );
     }
@@ -310,5 +372,19 @@ mod tests {
             }
         }
         assert!(data.curve(cfg.configs[0]).is_some());
+    }
+
+    /// A multi-threaded sweep must be bit-identical to the sequential
+    /// one: every point is independent and deterministically seeded, so
+    /// thread count only changes wall-clock time.
+    #[test]
+    fn parallel_sweep_matches_sequential() {
+        let mut cfg = HarnessConfig::smoke();
+        let pair = find_figure("fig05").unwrap();
+        cfg.jobs = 1;
+        let sequential = run_figure(pair, &cfg);
+        cfg.jobs = 4;
+        let parallel = run_figure(pair, &cfg);
+        assert_eq!(sequential, parallel);
     }
 }

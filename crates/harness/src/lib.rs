@@ -56,6 +56,11 @@ pub struct HarnessConfig {
     pub seed: u64,
     /// Print progress to stderr.
     pub verbose: bool,
+    /// Worker threads for sweep points (`0` = one per available core).
+    ///
+    /// Points are independent and deterministically seeded, so results do
+    /// not depend on this value — only wall-clock time does.
+    pub jobs: usize,
 }
 
 impl Default for HarnessConfig {
@@ -76,6 +81,7 @@ impl Default for HarnessConfig {
             policy: GrantPolicy::default(),
             seed: 42,
             verbose: false,
+            jobs: 0,
         }
     }
 }
@@ -97,10 +103,7 @@ impl HarnessConfig {
         HarnessConfig {
             scale: 0.002,
             clients: vec![5, 20],
-            configs: vec![
-                StandardConfig::PhpColocated,
-                StandardConfig::ServletDedicated,
-            ],
+            configs: vec![StandardConfig::PhpColocated, StandardConfig::ServletDedicated],
             think_time: SimDuration::from_millis(500),
             session_time: SimDuration::from_secs(60),
             ramp_up: SimDuration::from_secs(2),
@@ -109,6 +112,17 @@ impl HarnessConfig {
             policy: GrantPolicy::default(),
             seed: 7,
             verbose: false,
+            jobs: 1,
+        }
+    }
+
+    /// Resolves [`jobs`](Self::jobs): `0` means one worker per available
+    /// core.
+    pub fn effective_jobs(&self) -> usize {
+        if self.jobs == 0 {
+            std::thread::available_parallelism().map(usize::from).unwrap_or(1)
+        } else {
+            self.jobs
         }
     }
 }

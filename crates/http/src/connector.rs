@@ -50,18 +50,12 @@ impl Connector {
     /// throughput ratio lands where the paper's figures put it (see module
     /// docs).
     pub fn ajp12() -> Self {
-        Connector::Ajp(ConnectorCosts {
-            per_message: 120.0,
-            per_byte: 0.025,
-        })
+        Connector::Ajp(ConnectorCosts { per_message: 120.0, per_byte: 0.025 })
     }
 
     /// RMI with defaults reflecting Java serialization circa JDK 1.3.
     pub fn rmi() -> Self {
-        Connector::Rmi(ConnectorCosts {
-            per_message: 360.0,
-            per_byte: 0.20,
-        })
+        Connector::Rmi(ConnectorCosts { per_message: 360.0, per_byte: 0.20 })
     }
 
     /// CPU microseconds charged on the *sending* side for a crossing with

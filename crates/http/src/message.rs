@@ -75,12 +75,7 @@ pub struct Request {
 impl Request {
     /// Creates a request for `path`.
     pub fn new(method: Method, path: impl Into<String>) -> Self {
-        Request {
-            method,
-            path: path.into(),
-            params: Vec::new(),
-            secure: false,
-        }
+        Request { method, path: path.into(), params: Vec::new(), secure: false }
     }
 
     /// Adds a query/form parameter.
@@ -107,10 +102,7 @@ impl Request {
 
     /// Looks up a parameter value.
     pub fn param(&self, key: &str) -> Option<&str> {
-        self.params
-            .iter()
-            .find(|(k, _)| k == key)
-            .map(|(_, v)| v.as_str())
+        self.params.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
     }
 
     /// All parameters in insertion order.
@@ -125,11 +117,7 @@ impl Request {
 
     /// Approximate size on the wire (path + encoded params + headers).
     pub fn wire_bytes(&self) -> u64 {
-        let params: usize = self
-            .params
-            .iter()
-            .map(|(k, v)| k.len() + v.len() + 2)
-            .sum();
+        let params: usize = self.params.iter().map(|(k, v)| k.len() + v.len() + 2).sum();
         REQUEST_OVERHEAD_BYTES + self.path.len() as u64 + params as u64
     }
 }
@@ -229,9 +217,7 @@ mod more_tests {
 
     #[test]
     fn duplicate_params_keep_first_on_lookup() {
-        let r = Request::new(Method::Get, "/x")
-            .with_param("k", "1")
-            .with_param("k", "2");
+        let r = Request::new(Method::Get, "/x").with_param("k", "1").with_param("k", "2");
         assert_eq!(r.param("k"), Some("1"));
         assert_eq!(r.params().len(), 2);
     }

@@ -80,10 +80,7 @@ pub struct WebServerSpec {
 impl WebServerSpec {
     /// The paper's configuration: Apache 1.3.22, `MaxClients 512`.
     pub fn apache_like() -> Self {
-        WebServerSpec {
-            max_processes: 512,
-            costs: HttpCosts::default(),
-        }
+        WebServerSpec { max_processes: 512, costs: HttpCosts::default() }
     }
 
     /// A deliberately small pool, for experiments on process-limit
@@ -95,8 +92,8 @@ impl WebServerSpec {
 
     /// CPU microseconds to serve one static asset (excluding network).
     pub fn static_service_micros(&self, asset: StaticAsset) -> u64 {
-        (self.costs.static_per_request + self.costs.static_per_byte * asset.bytes as f64)
-            .round() as u64
+        (self.costs.static_per_request + self.costs.static_per_byte * asset.bytes as f64).round()
+            as u64
     }
 
     /// CPU microseconds of front-end work for a dynamic request that ships

@@ -1,0 +1,360 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this workspace vendors
+//! the subset of proptest's API its test suites use: the [`proptest!`]
+//! macro, `prop_assert!`/`prop_assert_eq!`, [`ProptestConfig::with_cases`],
+//! integer-range and tuple strategies, `prop::collection::vec`, `any::<bool>()`,
+//! and the two string-pattern shapes the suites need (`".{lo,hi}"` and
+//! `"[chars]{lo,hi}"`).
+//!
+//! Differences from upstream: no shrinking (a failing case panics with the
+//! generated inputs in the message instead of minimizing them) and no
+//! persisted failure seeds. Case generation is fully deterministic: inputs
+//! derive from a hash of the test name and the case number, so a failure
+//! reproduces on every run.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Runner configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases each test executes.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The deterministic generator handed to strategies.
+#[derive(Debug)]
+pub struct TestRng {
+    inner: SmallRng,
+}
+
+impl TestRng {
+    /// Uniform `u64`.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.gen::<u64>()
+    }
+
+    /// Uniform `usize` in `[0, n)`; `n` must be non-zero.
+    pub fn below(&mut self, n: usize) -> usize {
+        self.inner.gen_range(0..n)
+    }
+}
+
+/// Builds the deterministic generator for one test case. Public for the
+/// [`proptest!`] macro expansion; not part of the emulated API.
+pub fn test_rng(test_name: &str, case: u64) -> TestRng {
+    // FNV-1a over the test name, mixed with the case index.
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    TestRng { inner: SmallRng::seed_from_u64(h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)) }
+}
+
+/// A generator of random test inputs.
+pub trait Strategy {
+    /// The type of value produced.
+    type Value: std::fmt::Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.inner.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.inner.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+}
+
+/// String pattern strategy: supports exactly the two shapes the test
+/// suites use, `".{lo,hi}"` (any printable ASCII) and `"[chars]{lo,hi}"`
+/// (choose from the listed characters). Anything else panics loudly so an
+/// unsupported pattern is caught immediately.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (alphabet, rest): (Vec<char>, &str) = if let Some(stripped) = self.strip_prefix('[') {
+            let close =
+                stripped.find(']').unwrap_or_else(|| panic!("unsupported pattern {self:?}"));
+            (stripped[..close].chars().collect(), &stripped[close + 1..])
+        } else if let Some(stripped) = self.strip_prefix('.') {
+            // Printable ASCII, excluding the quote/backslash escapes that
+            // upstream would also happily generate but that add nothing to
+            // these tests.
+            ((b' '..=b'~').map(char::from).collect(), stripped)
+        } else {
+            panic!("unsupported pattern {self:?}");
+        };
+        let counts = rest
+            .strip_prefix('{')
+            .and_then(|r| r.strip_suffix('}'))
+            .unwrap_or_else(|| panic!("unsupported pattern {self:?}"));
+        let (lo, hi) = match counts.split_once(',') {
+            Some((lo, hi)) => (
+                lo.trim().parse::<usize>().expect("pattern repeat lower bound"),
+                hi.trim().parse::<usize>().expect("pattern repeat upper bound"),
+            ),
+            None => {
+                let n = counts.trim().parse::<usize>().expect("pattern repeat count");
+                (n, n)
+            }
+        };
+        assert!(lo <= hi, "unsupported pattern {self:?}");
+        assert!(!alphabet.is_empty(), "unsupported pattern {self:?}");
+        let len = lo + rng.below(hi - lo + 1);
+        (0..len).map(|_| alphabet[rng.below(alphabet.len())]).collect()
+    }
+}
+
+/// `any::<T>()` strategies for the primitives the suites use.
+pub trait Arbitrary: Sized + std::fmt::Debug {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// An arbitrary value of type `T` (mirrors `proptest::prelude::any`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Strategy combinators by module, mirroring upstream's layout.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::{Strategy, TestRng};
+
+        /// Strategy for `Vec`s with lengths drawn from `len`.
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            elem: S,
+            len: std::ops::Range<usize>,
+        }
+
+        /// A vector whose length is drawn from `len` and whose elements are
+        /// drawn from `elem`.
+        pub fn vec<S: Strategy>(elem: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+            assert!(len.start < len.end, "vec strategy: empty length range");
+            VecStrategy { elem, len }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let span = self.len.end - self.len.start;
+                let n = self.len.start + rng.below(span);
+                (0..n).map(|_| self.elem.generate(rng)).collect()
+            }
+        }
+    }
+}
+
+/// The error type a proptest case body may propagate with `?` (mirrors
+/// upstream's `TestCaseError`; this shim never constructs one itself —
+/// assertion macros panic instead — but bodies returning `Result` need the
+/// type to exist).
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Everything a test file needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{any, Arbitrary, ProptestConfig, Strategy, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Asserts a condition inside a proptest case (panics with the message on
+/// failure; this shim does not shrink).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Asserts equality inside a proptest case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($l:expr, $r:expr) => {
+        assert_eq!($l, $r);
+    };
+    ($l:expr, $r:expr, $($fmt:tt)*) => {
+        assert_eq!($l, $r, $($fmt)*);
+    };
+}
+
+/// Asserts inequality inside a proptest case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($l:expr, $r:expr) => {
+        assert_ne!($l, $r);
+    };
+    ($l:expr, $r:expr, $($fmt:tt)*) => {
+        assert_ne!($l, $r, $($fmt)*);
+    };
+}
+
+/// Declares randomized-input tests; see the crate docs for supported syntax.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_items! { cfg = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( cfg = ($cfg:expr); ) => {};
+    (
+        cfg = ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            for case in 0..config.cases as u64 {
+                let mut rng = $crate::test_rng(concat!(module_path!(), "::", stringify!($name)), case);
+                $(
+                    let $arg = $crate::Strategy::generate(&($strat), &mut rng);
+                )*
+                // Run the body in a Result context so `?` works as upstream.
+                #[allow(clippy::redundant_closure_call)]
+                ::std::result::Result::unwrap_or_else(
+                    (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })(),
+                    |e| panic!("proptest case {case} failed: {e}"),
+                );
+            }
+        }
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Ranges stay within bounds, tuples and vecs compose.
+        #[test]
+        fn strategies_compose(
+            pairs in prop::collection::vec((1u64..100, -5i64..5), 1..20),
+            flag in any::<bool>(),
+            s in "[ab_%]{0,8}",
+            t in ".{0,12}",
+        ) {
+            prop_assert!(!pairs.is_empty() && pairs.len() < 20);
+            for (a, b) in &pairs {
+                prop_assert!((1..100).contains(a));
+                prop_assert!((-5..5).contains(b));
+            }
+            prop_assert!(flag == (flag as u8 == 1));
+            prop_assert!(s.len() <= 8);
+            prop_assert!(s.chars().all(|c| "ab_%".contains(c)));
+            prop_assert!(t.len() <= 12);
+            prop_assert!(t.chars().all(|c| c.is_ascii_graphic() || c == ' '));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let strat = (1u64..1000, "[xyz]{0,6}");
+        let a: Vec<_> = (0..8).map(|c| strat.generate(&mut crate::test_rng("t", c))).collect();
+        let b: Vec<_> = (0..8).map(|c| strat.generate(&mut crate::test_rng("t", c))).collect();
+        assert_eq!(a, b);
+        // Different cases give different draws.
+        assert!(a.windows(2).any(|w| w[0] != w[1]));
+    }
+}

@@ -283,16 +283,8 @@ impl Simulation {
         );
         let id = JobId(self.next_job);
         self.next_job += 1;
-        self.jobs.insert(
-            id,
-            Job {
-                trace,
-                pc: 0,
-                net_phase: NetPhase::Idle,
-                tag,
-                submitted: self.now,
-            },
-        );
+        self.jobs
+            .insert(id, Job { trace, pc: 0, net_phase: NetPhase::Idle, tag, submitted: self.now });
         self.stats.submitted += 1;
         self.schedule(self.now, EventKind::JobStart { job: id });
         id
@@ -484,9 +476,7 @@ impl Simulation {
             match op {
                 Op::Cpu { machine, micros } => {
                     let now = self.now;
-                    self.machines[machine.0 as usize]
-                        .cpu
-                        .enqueue(now, job_id, micros as f64);
+                    self.machines[machine.0 as usize].cpu.enqueue(now, job_id, micros as f64);
                     self.refresh_ps(ResKey::Cpu(machine.0));
                     return;
                 }
@@ -497,9 +487,7 @@ impl Simulation {
                     }
                     job.net_phase = NetPhase::SenderNic;
                     let now = self.now;
-                    self.machines[from.0 as usize]
-                        .nic
-                        .enqueue(now, job_id, bytes as f64);
+                    self.machines[from.0 as usize].nic.enqueue(now, job_id, bytes as f64);
                     self.refresh_ps(ResKey::Nic(from.0));
                     return;
                 }
@@ -565,10 +553,7 @@ mod tests {
 
     impl Recorder {
         fn new() -> Self {
-            Recorder {
-                done: Vec::new(),
-                timers: Vec::new(),
-            }
+            Recorder { done: Vec::new(), timers: Vec::new() }
         }
     }
 
@@ -621,9 +606,7 @@ mod tests {
         let mut sim = Simulation::new(SimDuration::from_micros(150));
         let a = sim.add_machine("a", 1.0, 100.0); // 12.5 B/us
         let b = sim.add_machine("b", 1.0, 100.0);
-        let trace: Trace = [Op::Net { from: a, to: b, bytes: 1_250 }]
-            .into_iter()
-            .collect();
+        let trace: Trace = [Op::Net { from: a, to: b, bytes: 1_250 }].into_iter().collect();
         sim.submit(trace, 0);
         let mut rec = Recorder::new();
         sim.run(t(100_000), &mut rec);
@@ -640,12 +623,10 @@ mod tests {
         let mut sim = Simulation::new(SimDuration::from_micros(150));
         let a = sim.add_machine("a", 1.0, 100.0);
         let b = sim.add_machine("b", 1.0, 100.0);
-        let trace: Trace = [
-            Op::Net { from: a, to: a, bytes: 1_000_000 },
-            Op::Net { from: a, to: b, bytes: 0 },
-        ]
-        .into_iter()
-        .collect();
+        let trace: Trace =
+            [Op::Net { from: a, to: a, bytes: 1_000_000 }, Op::Net { from: a, to: b, bytes: 0 }]
+                .into_iter()
+                .collect();
         sim.submit(trace, 0);
         let mut rec = Recorder::new();
         sim.run(t(10_000), &mut rec);
@@ -744,10 +725,7 @@ mod tests {
         sim.set_timer(t(200), 2);
         let mut rec = Recorder::new();
         sim.run(t(1_000), &mut rec);
-        assert_eq!(
-            rec.timers,
-            vec![(t(100), 1), (t(200), 2), (t(300), 3)]
-        );
+        assert_eq!(rec.timers, vec![(t(100), 1), (t(200), 2), (t(300), 3)]);
     }
 
     #[test]
@@ -772,9 +750,7 @@ mod tests {
             self.finished += 1;
             if self.remaining > 0 {
                 self.remaining -= 1;
-                let trace: Trace = [Op::Cpu { machine: self.m, micros: 100 }]
-                    .into_iter()
-                    .collect();
+                let trace: Trace = [Op::Cpu { machine: self.m, micros: 100 }].into_iter().collect();
                 sim.submit(trace, 0);
             }
         }
@@ -831,10 +807,7 @@ mod tests {
             }
             let mut rec = Recorder::new();
             sim.run(t(1_000_000), &mut rec);
-            rec.done
-                .iter()
-                .map(|d| (d.tag, d.completed.as_micros()))
-                .collect::<Vec<_>>()
+            rec.done.iter().map(|d| (d.tag, d.completed.as_micros())).collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
     }

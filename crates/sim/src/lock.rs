@@ -121,11 +121,7 @@ pub struct LockManager {
 impl LockManager {
     /// Creates a manager with the given grant policy.
     pub fn new(policy: GrantPolicy) -> Self {
-        LockManager {
-            locks: Vec::new(),
-            sems: Vec::new(),
-            policy,
-        }
+        LockManager { locks: Vec::new(), sems: Vec::new(), policy }
     }
 
     /// The grant policy in effect.
@@ -270,12 +266,16 @@ impl LockManager {
         loop {
             // Pick the next candidate position according to the policy.
             let candidate = match policy {
-                GrantPolicy::Fifo => if st.queue.is_empty() { None } else { Some(0) },
+                GrantPolicy::Fifo => {
+                    if st.queue.is_empty() {
+                        None
+                    } else {
+                        Some(0)
+                    }
+                }
                 GrantPolicy::WriterPriority => {
-                    let writer_pos = st
-                        .queue
-                        .iter()
-                        .position(|(_, m, _)| *m == LockMode::Exclusive);
+                    let writer_pos =
+                        st.queue.iter().position(|(_, m, _)| *m == LockMode::Exclusive);
                     match writer_pos {
                         Some(p) if st.is_free() => Some(p),
                         // A writer waits but the lock is not free: nothing

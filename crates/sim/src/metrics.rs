@@ -37,12 +37,7 @@ const BUCKETS: usize = 64;
 impl LatencyHistogram {
     /// Creates an empty histogram.
     pub fn new() -> Self {
-        LatencyHistogram {
-            buckets: vec![0; BUCKETS],
-            count: 0,
-            total_micros: 0,
-            max_micros: 0,
-        }
+        LatencyHistogram { buckets: vec![0; BUCKETS], count: 0, total_micros: 0, max_micros: 0 }
     }
 
     fn bucket_of(micros: u64) -> usize {
@@ -58,7 +53,7 @@ impl LatencyHistogram {
     fn bucket_floor(idx: usize) -> u64 {
         let octave = idx / 2;
         let base = 1u64 << octave;
-        if idx % 2 == 0 {
+        if idx.is_multiple_of(2) {
             base
         } else {
             base + base / 2
@@ -150,11 +145,7 @@ pub struct WindowSnapshot {
 impl WindowSnapshot {
     /// Captures a snapshot of `stats` at time `at`.
     pub fn capture(at: SimTime, stats: PsStats) -> Self {
-        WindowSnapshot {
-            at,
-            busy_micros: stats.busy_micros,
-            work_done: stats.work_done,
-        }
+        WindowSnapshot { at, busy_micros: stats.busy_micros, work_done: stats.work_done }
     }
 
     /// Fraction of time the resource was busy between `self` and `later`

@@ -83,9 +83,7 @@ impl Trace {
 
     /// Creates an empty trace with room for `cap` ops.
     pub fn with_capacity(cap: usize) -> Self {
-        Trace {
-            ops: Vec::with_capacity(cap),
-        }
+        Trace { ops: Vec::with_capacity(cap) }
     }
 
     /// Appends an op.
@@ -182,9 +180,7 @@ impl Trace {
 
 impl FromIterator<Op> for Trace {
     fn from_iter<I: IntoIterator<Item = Op>>(iter: I) -> Self {
-        Trace {
-            ops: iter.into_iter().collect(),
-        }
+        Trace { ops: iter.into_iter().collect() }
     }
 }
 
@@ -236,9 +232,7 @@ mod tests {
     #[test]
     fn unbalanced_traces_fail() {
         let l = LockId(3);
-        let dangling: Trace = [Op::Lock { lock: l, mode: LockMode::Shared }]
-            .into_iter()
-            .collect();
+        let dangling: Trace = [Op::Lock { lock: l, mode: LockMode::Shared }].into_iter().collect();
         assert!(dangling.check_balanced().unwrap_err().contains("ends holding"));
 
         let unheld: Trace = [Op::Unlock { lock: l }].into_iter().collect();
@@ -250,10 +244,7 @@ mod tests {
         ]
         .into_iter()
         .collect();
-        assert!(reentrant
-            .check_balanced()
-            .unwrap_err()
-            .contains("re-entrant"));
+        assert!(reentrant.check_balanced().unwrap_err().contains("re-entrant"));
     }
 
     #[test]
@@ -265,9 +256,6 @@ mod tests {
         t.extend_from(u);
         assert_eq!(t.len(), 2);
         assert!(!t.is_empty());
-        assert_eq!(
-            t.ops(),
-            &[Op::Delay { micros: 5 }, Op::Delay { micros: 6 }]
-        );
+        assert_eq!(t.ops(), &[Op::Delay { micros: 5 }, Op::Delay { micros: 6 }]);
     }
 }

@@ -39,9 +39,7 @@ impl PartialOrd for VirtKey {
 
 impl Ord for VirtKey {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.finish
-            .total_cmp(&other.finish)
-            .then(self.seq.cmp(&other.seq))
+        self.finish.total_cmp(&other.finish).then(self.seq.cmp(&other.seq))
     }
 }
 
@@ -116,10 +114,7 @@ impl PsResource {
     ///
     /// Panics if `capacity` or `per_job_cap` is not finite and positive.
     pub fn with_job_cap(name: impl Into<String>, capacity: f64, per_job_cap: f64) -> Self {
-        assert!(
-            capacity.is_finite() && capacity > 0.0,
-            "PsResource capacity must be positive"
-        );
+        assert!(capacity.is_finite() && capacity > 0.0, "PsResource capacity must be positive");
         assert!(
             per_job_cap.is_finite() && per_job_cap > 0.0,
             "PsResource per-job cap must be positive"
@@ -200,15 +195,8 @@ impl PsResource {
     /// Panics if the job is already in service here.
     pub fn enqueue(&mut self, now: SimTime, job: JobId, demand: f64) {
         self.advance(now);
-        assert!(
-            !self.by_job.contains_key(&job),
-            "job {job:?} already in service on {}",
-            self.name
-        );
-        let key = VirtKey {
-            finish: self.virt + demand.max(0.0),
-            seq: self.seq,
-        };
+        assert!(!self.by_job.contains_key(&job), "job {job:?} already in service on {}", self.name);
+        let key = VirtKey { finish: self.virt + demand.max(0.0), seq: self.seq };
         self.seq += 1;
         self.active.insert(key);
         self.by_job.insert(job, key);
@@ -257,10 +245,7 @@ impl PsResource {
         while let Some(first) = self.active.iter().next().copied() {
             if first.finish <= self.virt + COMPLETION_EPS {
                 self.active.remove(&first);
-                let job = self
-                    .jobs
-                    .remove(&first.seq)
-                    .expect("active key without job");
+                let job = self.jobs.remove(&first.seq).expect("active key without job");
                 self.by_job.remove(&job);
                 self.stats.completions += 1;
                 done.push(job);
@@ -393,7 +378,7 @@ mod tests {
         let mut now = t(0);
         for (i, d) in demands.iter().enumerate() {
             r.enqueue(now, JobId(i as u64), *d);
-            now = now + SimDuration::from_micros(40);
+            now += SimDuration::from_micros(40);
         }
         let mut completed = 0;
         let mut guard = 0;

@@ -26,9 +26,7 @@ pub struct SimRng {
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
-        SimRng {
-            inner: SmallRng::seed_from_u64(seed),
-        }
+        SimRng { inner: SmallRng::seed_from_u64(seed) }
     }
 
     /// Derives an independent child generator; useful to give each client or
@@ -127,10 +125,8 @@ impl SimRng {
     /// weight).
     pub fn weighted(&mut self, weights: &[f64]) -> usize {
         assert!(!weights.is_empty(), "weighted: no weights");
-        let total: f64 = weights
-            .iter()
-            .inspect(|w| assert!(**w >= 0.0, "weighted: negative weight"))
-            .sum();
+        let total: f64 =
+            weights.iter().inspect(|w| assert!(**w >= 0.0, "weighted: negative weight")).sum();
         assert!(total > 0.0, "weighted: weights sum to zero");
         let mut target = self.unit() * total;
         for (i, w) in weights.iter().enumerate() {
@@ -145,9 +141,7 @@ impl SimRng {
     /// A random lowercase ASCII string of the given length (for synthetic
     /// names, descriptions, etc.).
     pub fn ascii_string(&mut self, len: usize) -> String {
-        (0..len)
-            .map(|_| (b'a' + self.inner.gen_range(0..26u8)) as char)
-            .collect()
+        (0..len).map(|_| (b'a' + self.inner.gen_range(0..26u8)) as char).collect()
     }
 }
 
@@ -179,14 +173,9 @@ mod tests {
         let mut rng = SimRng::new(11);
         let mean = SimDuration::from_secs(7);
         let n = 20_000;
-        let total: f64 = (0..n)
-            .map(|_| rng.exponential(mean).as_secs_f64())
-            .sum();
+        let total: f64 = (0..n).map(|_| rng.exponential(mean).as_secs_f64()).sum();
         let avg = total / n as f64;
-        assert!(
-            (avg - 7.0).abs() < 0.25,
-            "sample mean {avg} too far from 7.0"
-        );
+        assert!((avg - 7.0).abs() < 0.25, "sample mean {avg} too far from 7.0");
     }
 
     #[test]

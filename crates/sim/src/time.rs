@@ -233,10 +233,7 @@ mod tests {
             SimDuration::from_secs(2)
         );
         // saturating subtraction of durations
-        assert_eq!(
-            SimDuration::from_secs(1) - SimDuration::from_secs(3),
-            SimDuration::ZERO
-        );
+        assert_eq!(SimDuration::from_secs(1) - SimDuration::from_secs(3), SimDuration::ZERO);
         assert_eq!(SimDuration::from_millis(3) * 4, SimDuration::from_millis(12));
         assert_eq!(SimDuration::from_millis(12) / 4, SimDuration::from_millis(3));
     }
@@ -252,10 +249,7 @@ mod tests {
     #[test]
     fn ordering_and_sum() {
         assert!(SimTime::from_micros(1) < SimTime::from_micros(2));
-        let total: SimDuration = [1, 2, 3]
-            .into_iter()
-            .map(SimDuration::from_secs)
-            .sum();
+        let total: SimDuration = [1, 2, 3].into_iter().map(SimDuration::from_secs).sum();
         assert_eq!(total, SimDuration::from_secs(6));
     }
 

@@ -82,7 +82,7 @@ proptest! {
         let mut next_job = 0u64;
         let mut clock = 0u64;
 
-        let mut check = |holders: &Vec<(JobId, LockMode)>| {
+        let check = |holders: &Vec<(JobId, LockMode)>| {
             let writers = holders.iter().filter(|(_, m)| *m == LockMode::Exclusive).count();
             if writers > 0 {
                 prop_assert_eq!(holders.len(), 1, "writer must be alone: {:?}", holders);

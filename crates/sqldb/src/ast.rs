@@ -21,18 +21,12 @@ pub struct ColRef {
 impl ColRef {
     /// Unqualified reference.
     pub fn new(column: impl Into<String>) -> Self {
-        ColRef {
-            table: None,
-            column: column.into(),
-        }
+        ColRef { table: None, column: column.into() }
     }
 
     /// Qualified reference.
     pub fn qualified(table: impl Into<String>, column: impl Into<String>) -> Self {
-        ColRef {
-            table: Some(table.into()),
-            column: column.into(),
-        }
+        ColRef { table: Some(table.into()), column: column.into() }
     }
 }
 
@@ -68,10 +62,7 @@ pub enum BinOp {
 impl BinOp {
     /// `true` for the six comparison operators.
     pub fn is_comparison(self) -> bool {
-        matches!(
-            self,
-            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
-        )
+        matches!(self, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge)
     }
 }
 
@@ -156,11 +147,7 @@ pub enum Expr {
 impl Expr {
     /// Convenience constructor for binary expressions.
     pub fn binary(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
-        Expr::Binary {
-            op,
-            lhs: Box::new(lhs),
-            rhs: Box::new(rhs),
-        }
+        Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }
     }
 
     /// `true` when the expression (transitively) contains an aggregate.

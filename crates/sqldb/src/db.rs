@@ -1,9 +1,10 @@
 //! The database facade: catalog, statement cache, execution entry point.
 
 use crate::ast::Stmt;
+use crate::compile::{compile, exec_compiled, CompiledStmt};
 use crate::cost::{DbCostModel, QueryCounters};
 use crate::error::{SqlError, SqlResult};
-use crate::exec::{execute_stmt, QueryResult};
+use crate::exec::QueryResult;
 use crate::parser::parse;
 use crate::schema::TableSchema;
 use crate::table::Table;
@@ -20,6 +21,12 @@ pub struct DbStats {
     pub cache_hits: u64,
     /// Statements that returned an error.
     pub errors: u64,
+    /// Executions served by a cached compiled plan.
+    pub plan_cache_hits: u64,
+    /// Executions that had to compile (or recompile) a plan.
+    pub plan_cache_misses: u64,
+    /// Cached plans discarded because DDL changed the schema version.
+    pub plan_invalidations: u64,
 }
 
 /// An in-memory relational database: tables, a parsed-statement cache, and
@@ -52,6 +59,8 @@ pub struct Database {
     by_name: HashMap<String, usize>,
     cost: DbCostModel,
     stmt_cache: HashMap<String, Arc<Stmt>>,
+    plan_cache: HashMap<String, Arc<CompiledStmt>>,
+    schema_version: u64,
     stats: DbStats,
 }
 
@@ -68,6 +77,8 @@ impl Database {
             by_name: HashMap::new(),
             cost,
             stmt_cache: HashMap::new(),
+            plan_cache: HashMap::new(),
+            schema_version: 0,
             stats: DbStats::default(),
         }
     }
@@ -94,7 +105,41 @@ impl Database {
         }
         self.by_name.insert(name, self.tables.len());
         self.tables.push(Table::new(schema));
+        // DDL invalidates every compiled plan: column positions, table
+        // ids, and name resolution may all have changed.
+        self.schema_version += 1;
         Ok(())
+    }
+
+    /// Drops both the parsed-statement cache and the compiled-plan cache.
+    ///
+    /// Every subsequent statement pays the full parse + compile cost once
+    /// again; useful for cold-cache benchmarking and cache-equivalence
+    /// tests. Table data and cumulative statistics are untouched.
+    pub fn clear_caches(&mut self) {
+        self.stmt_cache.clear();
+        self.plan_cache.clear();
+    }
+
+    /// Current schema version (bumped by every DDL statement).
+    pub(crate) fn schema_version(&self) -> u64 {
+        self.schema_version
+    }
+
+    /// Catalog id of a table, for compiled plans.
+    pub(crate) fn table_id(&self, name: &str) -> SqlResult<usize> {
+        self.by_name.get(name).copied().ok_or_else(|| SqlError::UnknownTable(name.to_string()))
+    }
+
+    /// Table by catalog id (ids come from [`table_id`](Self::table_id) and
+    /// stay valid for one schema version).
+    pub(crate) fn table_at(&self, id: usize) -> &Table {
+        &self.tables[id]
+    }
+
+    /// Mutable table by catalog id.
+    pub(crate) fn table_at_mut(&mut self, id: usize) -> &mut Table {
+        &mut self.tables[id]
     }
 
     /// Names of all tables, in creation order.
@@ -128,14 +173,42 @@ impl Database {
 
     /// Executes one SQL statement with positional `?` parameters.
     ///
-    /// Parsed statements are cached by SQL text, so the parameterized query
-    /// style the benchmark applications use amortizes parsing.
+    /// Statements are compiled once per SQL text and schema version: the
+    /// first execution parses, resolves names, and selects an access-path
+    /// shape; repeat executions bind parameters into the cached
+    /// [`CompiledStmt`] and run directly. DDL bumps the schema version,
+    /// which lazily invalidates stale plans. The parsed-statement (AST)
+    /// cache survives plan invalidation, so recompilation after DDL skips
+    /// the parser.
     ///
     /// # Errors
     ///
-    /// Any parse, resolution, type, or constraint error.
+    /// Any parse, resolution, type, or constraint error. Failed parses and
+    /// failed compilations are never cached.
     pub fn execute(&mut self, sql: &str, params: &[Value]) -> SqlResult<QueryResult> {
         self.stats.statements += 1;
+
+        match self.plan_cache.get(sql) {
+            Some(plan) if plan.version == self.schema_version => {
+                self.stats.cache_hits += 1;
+                self.stats.plan_cache_hits += 1;
+                let plan = Arc::clone(plan);
+                return match exec_compiled(self, &plan, params) {
+                    Ok(r) => Ok(r),
+                    Err(e) => {
+                        self.stats.errors += 1;
+                        Err(e)
+                    }
+                };
+            }
+            Some(_) => {
+                self.plan_cache.remove(sql);
+                self.stats.plan_invalidations += 1;
+            }
+            None => {}
+        }
+        self.stats.plan_cache_misses += 1;
+
         let stmt = match self.stmt_cache.get(sql) {
             Some(s) => {
                 self.stats.cache_hits += 1;
@@ -153,7 +226,15 @@ impl Database {
                 parsed
             }
         };
-        match execute_stmt(self, &stmt, params) {
+        let plan = match compile(self, &stmt) {
+            Ok(p) => Arc::new(p),
+            Err(e) => {
+                self.stats.errors += 1;
+                return Err(e);
+            }
+        };
+        self.plan_cache.insert(sql.to_string(), Arc::clone(&plan));
+        match exec_compiled(self, &plan, params) {
             Ok(r) => Ok(r),
             Err(e) => {
                 self.stats.errors += 1;
@@ -196,12 +277,7 @@ mod tests {
                 .unwrap(),
         )
         .unwrap();
-        for (nick, region, rating) in [
-            ("ann", 1, 5),
-            ("bob", 1, 3),
-            ("cat", 2, 9),
-            ("dee", 3, 1),
-        ] {
+        for (nick, region, rating) in [("ann", 1, 5), ("bob", 1, 3), ("cat", 2, 9), ("dee", 3, 1)] {
             db.execute(
                 "INSERT INTO users (id, nickname, region, rating) VALUES (NULL, ?, ?, ?)",
                 &[Value::str(nick), Value::Int(region), Value::Int(rating)],
@@ -214,9 +290,8 @@ mod tests {
     #[test]
     fn create_insert_select_roundtrip() {
         let mut db = db_with_users();
-        let r = db
-            .execute("SELECT nickname FROM users WHERE region = ?", &[Value::Int(1)])
-            .unwrap();
+        let r =
+            db.execute("SELECT nickname FROM users WHERE region = ?", &[Value::Int(1)]).unwrap();
         let mut names: Vec<&str> = r.rows.iter().map(|r| r[0].as_str().unwrap()).collect();
         names.sort_unstable();
         assert_eq!(names, vec!["ann", "bob"]);
@@ -232,10 +307,7 @@ mod tests {
         let mut db = db_with_users();
         let err = db
             .create_table(
-                TableSchema::builder("users")
-                    .column("id", ColumnType::Int)
-                    .build()
-                    .unwrap(),
+                TableSchema::builder("users").column("id", ColumnType::Int).build().unwrap(),
             )
             .unwrap_err();
         assert!(matches!(err, SqlError::TableExists(_)));
@@ -244,17 +316,10 @@ mod tests {
     #[test]
     fn update_and_delete_affect_counts() {
         let mut db = db_with_users();
-        let r = db
-            .execute(
-                "UPDATE users SET rating = rating + 1 WHERE region = 1",
-                &[],
-            )
-            .unwrap();
+        let r = db.execute("UPDATE users SET rating = rating + 1 WHERE region = 1", &[]).unwrap();
         assert_eq!(r.affected, 2);
         assert_eq!(r.write_tables, vec!["users"]);
-        let r = db
-            .execute("SELECT rating FROM users WHERE nickname = 'ann'", &[])
-            .unwrap();
+        let r = db.execute("SELECT rating FROM users WHERE nickname = 'ann'", &[]).unwrap();
         assert_eq!(r.rows[0][0], Value::Int(6));
         // Ratings now: ann=6, bob=4, cat=9, dee=1.
         let r = db.execute("DELETE FROM users WHERE rating < 4", &[]).unwrap();
@@ -280,8 +345,7 @@ mod tests {
         let mut db = db_with_users();
         let before = db.stats();
         for i in 0..5 {
-            db.execute("SELECT * FROM users WHERE id = ?", &[Value::Int(i + 1)])
-                .unwrap();
+            db.execute("SELECT * FROM users WHERE id = ?", &[Value::Int(i + 1)]).unwrap();
         }
         let after = db.stats();
         assert_eq!(after.statements - before.statements, 5);
@@ -309,9 +373,7 @@ mod tests {
         let mut db = db_with_users();
         assert!(db.execute("SELEKT * FROM users", &[]).is_err());
         assert!(db.execute("SELECT * FROM missing", &[]).is_err());
-        assert!(db
-            .execute("SELECT * FROM users WHERE id = ?", &[])
-            .is_err());
+        assert!(db.execute("SELECT * FROM users WHERE id = ?", &[]).is_err());
         assert_eq!(db.stats().errors, 3);
     }
 

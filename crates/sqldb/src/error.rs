@@ -75,10 +75,7 @@ mod tests {
     fn display_is_lowercase_and_informative() {
         let e = SqlError::UnknownTable("itemz".into());
         assert_eq!(e.to_string(), "unknown table 'itemz'");
-        let e = SqlError::Parse {
-            message: "expected FROM".into(),
-            offset: 12,
-        };
+        let e = SqlError::Parse { message: "expected FROM".into(), offset: 12 };
         assert!(e.to_string().contains("byte 12"));
     }
 

@@ -47,7 +47,7 @@ pub struct QueryResult {
 }
 
 impl QueryResult {
-    fn empty(kind: StatementKind) -> Self {
+    pub(crate) fn empty(kind: StatementKind) -> Self {
         QueryResult {
             columns: Vec::new(),
             rows: Vec::new(),
@@ -120,11 +120,7 @@ impl<'a> Scope<'a> {
     fn add(&mut self, alias: &str, table: &'a Table) {
         let offset = self.width;
         self.width += table.schema().columns().len();
-        self.entries.push(ScopeEntry {
-            alias: alias.to_string(),
-            table,
-            offset,
-        });
+        self.entries.push(ScopeEntry { alias: alias.to_string(), table, offset });
     }
 
     fn resolve(&self, col: &ColRef) -> SqlResult<usize> {
@@ -182,7 +178,7 @@ struct RowEnv<'a> {
 }
 
 /// SQL comparison: NULL operands yield NULL (filtered as false).
-fn compare(op: BinOp, l: &Value, r: &Value) -> Value {
+pub(crate) fn compare(op: BinOp, l: &Value, r: &Value) -> Value {
     if l.is_null() || r.is_null() {
         return Value::Null;
     }
@@ -202,10 +198,7 @@ fn compare(op: BinOp, l: &Value, r: &Value) -> Value {
 fn eval(expr: &Expr, env: Option<&RowEnv<'_>>, params: &[Value]) -> SqlResult<Value> {
     match expr {
         Expr::Lit(v) => Ok(v.clone()),
-        Expr::Param(i) => params
-            .get(*i)
-            .cloned()
-            .ok_or(SqlError::MissingParam(*i)),
+        Expr::Param(i) => params.get(*i).cloned().ok_or(SqlError::MissingParam(*i)),
         Expr::Col(c) => {
             let env = env.ok_or_else(|| {
                 SqlError::Unsupported(format!("column '{}' in row-free context", c.column))
@@ -309,13 +302,17 @@ fn eval(expr: &Expr, env: Option<&RowEnv<'_>>, params: &[Value]) -> SqlResult<Va
             let v = eval(expr, env, params)?;
             Ok(Value::Int((v.is_null() != *negated) as i64))
         }
-        Expr::Agg { .. } => Err(SqlError::Unsupported(
-            "aggregate outside of SELECT output".into(),
-        )),
+        Expr::Agg { .. } => Err(SqlError::Unsupported("aggregate outside of SELECT output".into())),
     }
 }
 
-/// Executes a parsed statement against the database.
+/// Executes a parsed statement by walking the AST directly.
+///
+/// `Database::execute` runs statements through the compiled-plan path in
+/// [`crate::compile`]; this interpreter is kept as the reference
+/// implementation the parity tests compare against (results and counters
+/// must be byte-identical between the two).
+#[cfg_attr(not(test), allow(dead_code))]
 pub(crate) fn execute_stmt(
     db: &mut Database,
     stmt: &Stmt,
@@ -337,7 +334,7 @@ pub(crate) fn execute_stmt(
 }
 
 /// Collects candidate row ids for one table according to an access path.
-fn candidate_rows(
+pub(crate) fn candidate_rows(
     table: &Table,
     path: &AccessPath,
     counters: &mut QueryCounters,
@@ -376,11 +373,8 @@ fn exec_select(db: &Database, s: &SelectStmt, params: &[Value]) -> SqlResult<Que
     let base_table = db.table(&s.from.name)?;
     let mut scope = Scope::new();
     scope.add(s.from.effective_alias(), base_table);
-    let join_tables: Vec<&Table> = s
-        .joins
-        .iter()
-        .map(|j| db.table(&j.table.name))
-        .collect::<SqlResult<_>>()?;
+    let join_tables: Vec<&Table> =
+        s.joins.iter().map(|j| db.table(&j.table.name)).collect::<SqlResult<_>>()?;
     for (j, t) in s.joins.iter().zip(&join_tables) {
         scope.add(j.table.effective_alias(), t);
     }
@@ -391,11 +385,8 @@ fn exec_select(db: &Database, s: &SelectStmt, params: &[Value]) -> SqlResult<Que
     let base_ids = candidate_rows(base_table, &path, &mut counters);
 
     // Materialize combined rows, joining left to right.
-    let mut combined: Vec<Vec<Value>> = base_ids
-        .iter()
-        .filter_map(|rid| base_table.get(*rid))
-        .map(|r| r.to_vec())
-        .collect();
+    let mut combined: Vec<Vec<Value>> =
+        base_ids.iter().filter_map(|rid| base_table.get(*rid)).map(|r| r.to_vec()).collect();
 
     for (jidx, (j, jt)) in s.joins.iter().zip(&join_tables).enumerate() {
         // Determine which side of ON references the joined table.
@@ -414,10 +405,7 @@ fn exec_select(db: &Database, s: &SelectStmt, params: &[Value]) -> SqlResult<Que
                 counters.index_lookups += 1;
                 jt.index_lookup(inner_col, key)
             } else {
-                jt.scan()
-                    .filter(|(_, r)| &r[inner_col] == key)
-                    .map(|(rid, _)| rid)
-                    .collect()
+                jt.scan().filter(|(_, r)| &r[inner_col] == key).map(|(rid, _)| rid).collect()
             };
             counters.rows_examined += matches.len().max(1) as u64;
             for rid in matches {
@@ -522,7 +510,7 @@ fn classify_join_cols(
 }
 
 /// Output name for an expression select item without an alias.
-fn expr_name(expr: &Expr) -> String {
+pub(crate) fn expr_name(expr: &Expr) -> String {
     match expr {
         Expr::Col(c) => c.column.clone(),
         Expr::Agg { func, col } => {
@@ -620,11 +608,7 @@ fn aggregate(
             SelectItem::Expr { expr, alias } => {
                 columns.push(alias.clone().unwrap_or_else(|| expr_name(expr)));
             }
-            _ => {
-                return Err(SqlError::Unsupported(
-                    "'*' in an aggregate SELECT".into(),
-                ))
-            }
+            _ => return Err(SqlError::Unsupported("'*' in an aggregate SELECT".into())),
         }
     }
 
@@ -633,9 +617,7 @@ fn aggregate(
         counters.rows_examined += grows.len() as u64;
         let mut orow = Vec::with_capacity(columns.len());
         for item in &s.items {
-            let SelectItem::Expr { expr, .. } = item else {
-                unreachable!("checked above")
-            };
+            let SelectItem::Expr { expr, .. } = item else { unreachable!("checked above") };
             orow.push(eval_agg_item(expr, scope, &grows, params)?);
         }
         // A global aggregate over zero rows still yields one output row
@@ -646,9 +628,7 @@ fn aggregate(
     if out.is_empty() && group_col.is_none() {
         let mut orow = Vec::with_capacity(columns.len());
         for item in &s.items {
-            let SelectItem::Expr { expr, .. } = item else {
-                unreachable!()
-            };
+            let SelectItem::Expr { expr, .. } = item else { unreachable!() };
             orow.push(eval_agg_item(expr, scope, &[], params)?);
         }
         out.push(orow);
@@ -669,10 +649,7 @@ fn eval_agg_item(
                 None => return Ok(Value::Int(rows.len() as i64)),
                 Some(c) => {
                     let idx = scope.resolve(c)?;
-                    rows.iter()
-                        .map(|r| r[idx].clone())
-                        .filter(|v| !v.is_null())
-                        .collect()
+                    rows.iter().map(|r| r[idx].clone()).filter(|v| !v.is_null()).collect()
                 }
             };
             match func {
@@ -688,14 +665,13 @@ fn eval_agg_item(
                     if all_int && *func == AggFunc::Sum {
                         let mut acc: i64 = 0;
                         for v in &values {
-                            acc = acc.checked_add(v.as_int().expect("int")).ok_or_else(
-                                || SqlError::Arithmetic("SUM overflow".into()),
-                            )?;
+                            acc = acc
+                                .checked_add(v.as_int().expect("int"))
+                                .ok_or_else(|| SqlError::Arithmetic("SUM overflow".into()))?;
                         }
                         Ok(Value::Int(acc))
                     } else {
-                        let total: f64 =
-                            values.iter().filter_map(Value::as_float).sum();
+                        let total: f64 = values.iter().filter_map(Value::as_float).sum();
                         if *func == AggFunc::Sum {
                             Ok(Value::Float(total))
                         } else {
@@ -745,10 +721,8 @@ fn sort_source_rows(
     let mut decorated: Vec<(Vec<Value>, usize)> = Vec::with_capacity(rows.len());
     for (i, row) in rows.iter().enumerate() {
         let env = RowEnv { scope, row };
-        let kv: Vec<Value> = keys
-            .iter()
-            .map(|(e, _)| eval(e, Some(&env), params))
-            .collect::<SqlResult<_>>()?;
+        let kv: Vec<Value> =
+            keys.iter().map(|(e, _)| eval(e, Some(&env), params)).collect::<SqlResult<_>>()?;
         decorated.push((kv, i));
     }
     decorated.sort_by(|(a, ai), (b, bi)| {
@@ -777,9 +751,7 @@ fn sort_output_rows(
     let mut keys: Vec<(usize, bool)> = Vec::new();
     for k in &s.order_by {
         let idx = match &k.expr {
-            Expr::Col(c) if c.table.is_none() => {
-                columns.iter().position(|n| *n == c.column)
-            }
+            Expr::Col(c) if c.table.is_none() => columns.iter().position(|n| *n == c.column),
             Expr::Agg { .. } => {
                 // Find a select item with the same expression.
                 s.items.iter().enumerate().find_map(|(i, item)| match item {
@@ -790,9 +762,7 @@ fn sort_output_rows(
             _ => None,
         };
         let idx = idx.ok_or_else(|| {
-            SqlError::Unsupported(
-                "ORDER BY in aggregate SELECT must name an output column".into(),
-            )
+            SqlError::Unsupported("ORDER BY in aggregate SELECT must name an output column".into())
         })?;
         keys.push((idx, k.desc));
     }
@@ -817,7 +787,7 @@ fn apply_permutation(rows: &mut [Vec<Value>], order: &[usize]) {
     }
 }
 
-fn apply_limit(rows: &mut Vec<Vec<Value>>, limit: Option<(u64, u64)>) {
+pub(crate) fn apply_limit<T>(rows: &mut Vec<T>, limit: Option<(u64, u64)>) {
     if let Some((offset, count)) = limit {
         let offset = offset as usize;
         if offset >= rows.len() {
@@ -831,11 +801,8 @@ fn apply_limit(rows: &mut Vec<Vec<Value>>, limit: Option<(u64, u64)>) {
 
 fn exec_insert(db: &mut Database, i: &InsertStmt, params: &[Value]) -> SqlResult<QueryResult> {
     let mut counters = QueryCounters::default();
-    let values: Vec<Value> = i
-        .values
-        .iter()
-        .map(|e| eval_row_free(e, params))
-        .collect::<SqlResult<_>>()?;
+    let values: Vec<Value> =
+        i.values.iter().map(|e| eval_row_free(e, params)).collect::<SqlResult<_>>()?;
     let table = db.table_mut(&i.table)?;
     let row = match &i.columns {
         None => {
@@ -850,9 +817,7 @@ fn exec_insert(db: &mut Database, i: &InsertStmt, params: &[Value]) -> SqlResult
         }
         Some(cols) => {
             if cols.len() != values.len() {
-                return Err(SqlError::Constraint(
-                    "INSERT column/value count mismatch".into(),
-                ));
+                return Err(SqlError::Constraint("INSERT column/value count mismatch".into()));
             }
             let mut row = vec![Value::Null; table.schema().columns().len()];
             for (c, v) in cols.iter().zip(values) {
@@ -894,10 +859,7 @@ fn exec_update(db: &mut Database, u: &UpdateStmt, params: &[Value]) -> SqlResult
         .sets
         .iter()
         .map(|(c, _)| {
-            table
-                .schema()
-                .column_index(c)
-                .ok_or_else(|| SqlError::UnknownColumn(c.clone()))
+            table.schema().column_index(c).ok_or_else(|| SqlError::UnknownColumn(c.clone()))
         })
         .collect::<SqlResult<_>>()?;
     let mut updates: Vec<(RowId, Vec<Value>)> = Vec::new();
@@ -1062,12 +1024,7 @@ mod tests {
         ] {
             db.execute(
                 "INSERT INTO bids (id, item_id, user_id, bid, qty) VALUES (NULL, ?, ?, ?, ?)",
-                &[
-                    Value::Int(item),
-                    Value::Int(user),
-                    Value::Float(bid),
-                    Value::Int(qty),
-                ],
+                &[Value::Int(item), Value::Int(user), Value::Float(bid), Value::Int(qty)],
             )
             .unwrap();
         }
@@ -1087,12 +1044,7 @@ mod tests {
         let mut pairs: Vec<(String, String)> = r
             .rows
             .iter()
-            .map(|row| {
-                (
-                    row[0].as_str().unwrap().to_string(),
-                    row[1].as_str().unwrap().to_string(),
-                )
-            })
+            .map(|row| (row[0].as_str().unwrap().to_string(), row[1].as_str().unwrap().to_string()))
             .collect();
         pairs.sort();
         assert_eq!(
@@ -1174,10 +1126,7 @@ mod tests {
     fn group_by_over_empty_set_returns_no_rows() {
         let mut db = auction_db();
         let r = db
-            .execute(
-                "SELECT item_id, COUNT(*) FROM bids WHERE bid > 1000 GROUP BY item_id",
-                &[],
-            )
+            .execute("SELECT item_id, COUNT(*) FROM bids WHERE bid > 1000 GROUP BY item_id", &[])
             .unwrap();
         assert!(r.is_empty());
     }
@@ -1185,9 +1134,7 @@ mod tests {
     #[test]
     fn avg_and_min() {
         let mut db = auction_db();
-        let r = db
-            .execute("SELECT AVG(qty), MIN(bid) FROM bids WHERE item_id = 1", &[])
-            .unwrap();
+        let r = db.execute("SELECT AVG(qty), MIN(bid) FROM bids WHERE item_id = 1", &[]).unwrap();
         let avg = r.rows[0][0].as_float().unwrap();
         assert!((avg - 4.0 / 3.0).abs() < 1e-9);
         assert_eq!(r.rows[0][1], Value::Float(20.0));
@@ -1197,10 +1144,7 @@ mod tests {
     fn order_by_alias_and_multiple_keys() {
         let mut db = auction_db();
         let r = db
-            .execute(
-                "SELECT name, category AS cat FROM items ORDER BY cat, name DESC",
-                &[],
-            )
+            .execute("SELECT name, category AS cat FROM items ORDER BY cat, name DESC", &[])
             .unwrap();
         let names: Vec<&str> = r.rows.iter().map(|r| r[0].as_str().unwrap()).collect();
         assert_eq!(names, vec!["vase", "lamp", "book", "desk"]);
@@ -1209,20 +1153,11 @@ mod tests {
     #[test]
     fn limit_and_offset() {
         let mut db = auction_db();
-        let all = db
-            .execute("SELECT id FROM items ORDER BY id", &[])
-            .unwrap();
+        let all = db.execute("SELECT id FROM items ORDER BY id", &[]).unwrap();
         assert_eq!(all.rows.len(), 4);
-        let page = db
-            .execute("SELECT id FROM items ORDER BY id LIMIT 1, 2", &[])
-            .unwrap();
-        assert_eq!(
-            page.rows,
-            vec![vec![Value::Int(2)], vec![Value::Int(3)]]
-        );
-        let beyond = db
-            .execute("SELECT id FROM items ORDER BY id LIMIT 100, 5", &[])
-            .unwrap();
+        let page = db.execute("SELECT id FROM items ORDER BY id LIMIT 1, 2", &[]).unwrap();
+        assert_eq!(page.rows, vec![vec![Value::Int(2)], vec![Value::Int(3)]]);
+        let beyond = db.execute("SELECT id FROM items ORDER BY id LIMIT 100, 5", &[]).unwrap();
         assert!(beyond.is_empty());
     }
 
@@ -1232,10 +1167,7 @@ mod tests {
         let r = db.execute("SELECT * FROM users WHERE id = 1", &[]).unwrap();
         assert_eq!(r.columns, vec!["id", "nickname", "region"]);
         let r = db
-            .execute(
-                "SELECT u.* FROM items i JOIN users u ON i.seller = u.id WHERE i.id = 1",
-                &[],
-            )
+            .execute("SELECT u.* FROM items i JOIN users u ON i.seller = u.id WHERE i.id = 1", &[])
             .unwrap();
         assert_eq!(r.columns, vec!["id", "nickname", "region"]);
         assert_eq!(r.rows[0][1], Value::str("ann"));
@@ -1258,31 +1190,22 @@ mod tests {
     #[test]
     fn like_and_in_and_null_semantics() {
         let mut db = auction_db();
-        let r = db
-            .execute("SELECT name FROM items WHERE name LIKE '%a%' ORDER BY name", &[])
-            .unwrap();
+        let r =
+            db.execute("SELECT name FROM items WHERE name LIKE '%a%' ORDER BY name", &[]).unwrap();
         let names: Vec<&str> = r.rows.iter().map(|r| r[0].as_str().unwrap()).collect();
         assert_eq!(names, vec!["lamp", "vase"]);
-        let r = db
-            .execute("SELECT name FROM items WHERE category IN (20, 30)", &[])
-            .unwrap();
+        let r = db.execute("SELECT name FROM items WHERE category IN (20, 30)", &[]).unwrap();
         assert_eq!(r.rows.len(), 1);
         // NULL never matches a comparison.
-        let r = db
-            .execute("SELECT name FROM items WHERE NULL = NULL", &[])
-            .unwrap();
+        let r = db.execute("SELECT name FROM items WHERE NULL = NULL", &[]).unwrap();
         assert!(r.is_empty());
     }
 
     #[test]
     fn ambiguous_column_is_an_error() {
         let mut db = auction_db();
-        let err = db
-            .execute(
-                "SELECT id FROM items i JOIN users u ON i.seller = u.id",
-                &[],
-            )
-            .unwrap_err();
+        let err =
+            db.execute("SELECT id FROM items i JOIN users u ON i.seller = u.id", &[]).unwrap_err();
         assert!(matches!(err, SqlError::AmbiguousColumn(_)));
     }
 
@@ -1311,18 +1234,14 @@ mod tests {
         assert_eq!(r.affected, 1);
         // Point update examined only the one row.
         assert_eq!(r.counters.rows_examined, 1);
-        let r = db
-            .execute("SELECT nb_of_bids, max_bid FROM items WHERE id = 1", &[])
-            .unwrap();
+        let r = db.execute("SELECT nb_of_bids, max_bid FROM items WHERE id = 1", &[]).unwrap();
         assert_eq!(r.rows[0], vec![Value::Int(4), Value::Float(30.0)]);
     }
 
     #[test]
     fn delete_via_secondary_index() {
         let mut db = auction_db();
-        let r = db
-            .execute("DELETE FROM bids WHERE item_id = ?", &[Value::Int(1)])
-            .unwrap();
+        let r = db.execute("DELETE FROM bids WHERE item_id = ?", &[Value::Int(1)]).unwrap();
         assert_eq!(r.affected, 3);
         let left = db.execute("SELECT COUNT(*) FROM bids", &[]).unwrap();
         assert_eq!(left.scalar(), Some(&Value::Int(3)));
@@ -1331,14 +1250,8 @@ mod tests {
     #[test]
     fn insert_without_column_list() {
         let mut db = auction_db();
-        db.execute(
-            "INSERT INTO users VALUES (99, 'zed', 7)",
-            &[],
-        )
-        .unwrap();
-        let r = db
-            .execute("SELECT nickname FROM users WHERE id = 99", &[])
-            .unwrap();
+        db.execute("INSERT INTO users VALUES (99, 'zed', 7)", &[]).unwrap();
+        let r = db.execute("SELECT nickname FROM users WHERE id = 99", &[]).unwrap();
         assert_eq!(r.rows[0][0], Value::str("zed"));
         // Arity mismatch is caught.
         assert!(db.execute("INSERT INTO users VALUES (1, 'x')", &[]).is_err());
@@ -1347,22 +1260,16 @@ mod tests {
     #[test]
     fn insert_missing_not_null_column_fails() {
         let mut db = auction_db();
-        let err = db
-            .execute("INSERT INTO users (id) VALUES (NULL)", &[])
-            .unwrap_err();
+        let err = db.execute("INSERT INTO users (id) VALUES (NULL)", &[]).unwrap_err();
         assert!(matches!(err, SqlError::Constraint(_)));
     }
 
     #[test]
     fn counters_distinguish_scan_from_lookup() {
         let mut db = auction_db();
-        let by_pk = db
-            .execute("SELECT * FROM items WHERE id = 2", &[])
-            .unwrap();
+        let by_pk = db.execute("SELECT * FROM items WHERE id = 2", &[]).unwrap();
         assert_eq!(by_pk.counters.rows_examined, 1);
-        let scan = db
-            .execute("SELECT * FROM items WHERE name = 'desk'", &[])
-            .unwrap();
+        let scan = db.execute("SELECT * FROM items WHERE name = 'desk'", &[]).unwrap();
         assert_eq!(scan.counters.rows_examined, 4);
         assert!(scan.counters.bytes_returned > 0);
     }
@@ -1370,20 +1277,17 @@ mod tests {
     #[test]
     fn sort_counters_accumulate() {
         let mut db = auction_db();
-        let r = db
-            .execute("SELECT * FROM items ORDER BY max_bid DESC", &[])
-            .unwrap();
+        let r = db.execute("SELECT * FROM items ORDER BY max_bid DESC", &[]).unwrap();
         assert_eq!(r.counters.sort_rows, 4);
     }
 
     #[test]
     fn row_free_eval() {
         assert_eq!(
-            eval_row_free(&Expr::binary(
-                BinOp::Add,
-                Expr::Lit(Value::Int(2)),
-                Expr::Param(0)
-            ), &[Value::Int(5)])
+            eval_row_free(
+                &Expr::binary(BinOp::Add, Expr::Lit(Value::Int(2)), Expr::Param(0)),
+                &[Value::Int(5)]
+            )
             .unwrap(),
             Value::Int(7)
         );
@@ -1393,9 +1297,7 @@ mod tests {
     #[test]
     fn query_result_helpers() {
         let mut db = auction_db();
-        let r = db
-            .execute("SELECT nickname, region FROM users WHERE id = 1", &[])
-            .unwrap();
+        let r = db.execute("SELECT nickname, region FROM users WHERE id = 1", &[]).unwrap();
         assert_eq!(r.col_index("region"), Some(1));
         assert_eq!(r.get(0, "nickname"), Some(&Value::str("ann")));
         assert_eq!(r.get(0, "missing"), None);

@@ -190,9 +190,7 @@ pub fn tokenize(input: &str) -> SqlResult<Vec<Token>> {
                 while end < bytes.len() {
                     match bytes[end] {
                         b'0'..=b'9' => end += 1,
-                        b'.' if !is_float
-                            && bytes.get(end + 1).is_some_and(u8::is_ascii_digit) =>
-                        {
+                        b'.' if !is_float && bytes.get(end + 1).is_some_and(u8::is_ascii_digit) => {
                             is_float = true;
                             end += 1;
                         }
@@ -202,13 +200,11 @@ pub fn tokenize(input: &str) -> SqlResult<Vec<Token>> {
                 let text = &input[i..end];
                 let kind = if is_float {
                     TokenKind::Float(
-                        text.parse()
-                            .map_err(|_| err("malformed float literal", start))?,
+                        text.parse().map_err(|_| err("malformed float literal", start))?,
                     )
                 } else {
                     TokenKind::Int(
-                        text.parse()
-                            .map_err(|_| err("integer literal out of range", start))?,
+                        text.parse().map_err(|_| err("integer literal out of range", start))?,
                     )
                 };
                 tokens.push(Token { kind, offset: start });
@@ -237,10 +233,7 @@ pub fn tokenize(input: &str) -> SqlResult<Vec<Token>> {
 }
 
 fn err(message: &str, offset: usize) -> SqlError {
-    SqlError::Parse {
-        message: message.to_string(),
-        offset,
-    }
+    SqlError::Parse { message: message.to_string(), offset }
 }
 
 #[cfg(test)]

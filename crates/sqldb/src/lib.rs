@@ -50,6 +50,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod ast;
+pub mod compile;
 pub mod cost;
 pub mod db;
 pub mod error;
@@ -61,6 +62,7 @@ pub mod schema;
 pub mod table;
 pub mod value;
 
+pub use compile::CompiledStmt;
 pub use cost::{DbCostModel, QueryCounters};
 pub use db::{Database, DbStats};
 pub use error::{SqlError, SqlResult};

@@ -7,10 +7,9 @@ use crate::value::Value;
 
 /// Words that terminate an implicit table/column alias.
 const RESERVED: &[&str] = &[
-    "select", "from", "where", "group", "order", "limit", "offset", "inner", "join", "on",
-    "and", "or", "not", "like", "between", "in", "is", "null", "as", "insert", "into",
-    "values", "update", "set", "delete", "lock", "unlock", "tables", "read", "write",
-    "asc", "desc", "by",
+    "select", "from", "where", "group", "order", "limit", "offset", "inner", "join", "on", "and",
+    "or", "not", "like", "between", "in", "is", "null", "as", "insert", "into", "values", "update",
+    "set", "delete", "lock", "unlock", "tables", "read", "write", "asc", "desc", "by",
 ];
 
 /// Parses one SQL statement (an optional trailing `;` is allowed).
@@ -26,11 +25,7 @@ const RESERVED: &[&str] = &[
 /// ```
 pub fn parse(sql: &str) -> SqlResult<Stmt> {
     let tokens = tokenize(sql)?;
-    let mut p = Parser {
-        tokens,
-        pos: 0,
-        params: 0,
-    };
+    let mut p = Parser { tokens, pos: 0, params: 0 };
     let stmt = p.statement()?;
     p.eat_if(|k| matches!(k, TokenKind::Semicolon));
     p.expect_eof()?;
@@ -40,10 +35,7 @@ pub fn parse(sql: &str) -> SqlResult<Stmt> {
 /// Number of `?` placeholders in a statement (parses the text).
 pub fn count_params(sql: &str) -> SqlResult<usize> {
     let tokens = tokenize(sql)?;
-    Ok(tokens
-        .iter()
-        .filter(|t| t.kind == TokenKind::Param)
-        .count())
+    Ok(tokens.iter().filter(|t| t.kind == TokenKind::Param).count())
 }
 
 struct Parser {
@@ -74,10 +66,7 @@ impl Parser {
     }
 
     fn err(&self, message: impl Into<String>) -> SqlError {
-        SqlError::Parse {
-            message: message.into(),
-            offset: self.offset(),
-        }
+        SqlError::Parse { message: message.into(), offset: self.offset() }
     }
 
     fn eat_kw(&mut self, word: &str) -> bool {
@@ -184,11 +173,7 @@ impl Parser {
                 break;
             }
         }
-        let where_clause = if self.eat_kw("where") {
-            Some(self.expr()?)
-        } else {
-            None
-        };
+        let where_clause = if self.eat_kw("where") { Some(self.expr()?) } else { None };
         let group_by = if self.eat_kw("group") {
             self.expect_kw("by")?;
             Some(self.col_ref()?)
@@ -227,15 +212,7 @@ impl Parser {
         } else {
             None
         };
-        Ok(SelectStmt {
-            items,
-            from,
-            joins,
-            where_clause,
-            group_by,
-            order_by,
-            limit,
-        })
+        Ok(SelectStmt { items, from, joins, where_clause, group_by, order_by, limit })
     }
 
     fn limit_number(&mut self) -> SqlResult<u64> {
@@ -310,15 +287,9 @@ impl Parser {
         if *self.peek() == TokenKind::Dot {
             self.bump();
             let column = self.ident("column after '.'")?;
-            Ok(ColRef {
-                table: Some(first),
-                column,
-            })
+            Ok(ColRef { table: Some(first), column })
         } else {
-            Ok(ColRef {
-                table: None,
-                column: first,
-            })
+            Ok(ColRef { table: None, column: first })
         }
     }
 
@@ -371,7 +342,9 @@ impl Parser {
             return Ok(Expr::binary(op, lhs, rhs));
         }
         let negated = if self.peek().is_kw("not")
-            && (self.peek2().is_kw("like") || self.peek2().is_kw("between") || self.peek2().is_kw("in"))
+            && (self.peek2().is_kw("like")
+                || self.peek2().is_kw("between")
+                || self.peek2().is_kw("in"))
         {
             self.bump();
             true
@@ -380,26 +353,14 @@ impl Parser {
         };
         if self.eat_kw("like") {
             let pattern = self.additive()?;
-            return Ok(Expr::Like {
-                expr: Box::new(lhs),
-                pattern: Box::new(pattern),
-                negated,
-            });
+            return Ok(Expr::Like { expr: Box::new(lhs), pattern: Box::new(pattern), negated });
         }
         if self.eat_kw("between") {
             let lo = self.additive()?;
             self.expect_kw("and")?;
             let hi = self.additive()?;
-            let between = Expr::Between {
-                expr: Box::new(lhs),
-                lo: Box::new(lo),
-                hi: Box::new(hi),
-            };
-            return Ok(if negated {
-                Expr::Not(Box::new(between))
-            } else {
-                between
-            });
+            let between = Expr::Between { expr: Box::new(lhs), lo: Box::new(lo), hi: Box::new(hi) };
+            return Ok(if negated { Expr::Not(Box::new(between)) } else { between });
         }
         if self.eat_kw("in") {
             self.expect(TokenKind::LParen, "'(' after IN")?;
@@ -408,15 +369,8 @@ impl Parser {
                 list.push(self.additive()?);
             }
             self.expect(TokenKind::RParen, "')' after IN list")?;
-            let inlist = Expr::InList {
-                expr: Box::new(lhs),
-                list,
-            };
-            return Ok(if negated {
-                Expr::Not(Box::new(inlist))
-            } else {
-                inlist
-            });
+            let inlist = Expr::InList { expr: Box::new(lhs), list };
+            return Ok(if negated { Expr::Not(Box::new(inlist)) } else { inlist });
         }
         if negated {
             return Err(self.err("expected LIKE, BETWEEN or IN after NOT"));
@@ -424,10 +378,7 @@ impl Parser {
         if self.eat_kw("is") {
             let negated = self.eat_kw("not");
             self.expect_kw("null")?;
-            return Ok(Expr::IsNull {
-                expr: Box::new(lhs),
-                negated,
-            });
+            return Ok(Expr::IsNull { expr: Box::new(lhs), negated });
         }
         Ok(lhs)
     }
@@ -513,14 +464,13 @@ impl Parser {
                     if *self.peek2() == TokenKind::LParen {
                         self.bump();
                         self.bump();
-                        let col = if func == AggFunc::Count
-                            && matches!(self.peek(), TokenKind::Star)
-                        {
-                            self.bump();
-                            None
-                        } else {
-                            Some(self.col_ref()?)
-                        };
+                        let col =
+                            if func == AggFunc::Count && matches!(self.peek(), TokenKind::Star) {
+                                self.bump();
+                                None
+                            } else {
+                                Some(self.col_ref()?)
+                            };
                         self.expect(TokenKind::RParen, "')' after aggregate")?;
                         return Ok(Expr::Agg { func, col });
                     }
@@ -556,11 +506,7 @@ impl Parser {
             values.push(self.additive()?);
         }
         self.expect(TokenKind::RParen, "')' after values")?;
-        Ok(InsertStmt {
-            table,
-            columns,
-            values,
-        })
+        Ok(InsertStmt { table, columns, values })
     }
 
     fn update(&mut self) -> SqlResult<UpdateStmt> {
@@ -577,31 +523,16 @@ impl Parser {
                 break;
             }
         }
-        let where_clause = if self.eat_kw("where") {
-            Some(self.expr()?)
-        } else {
-            None
-        };
-        Ok(UpdateStmt {
-            table,
-            sets,
-            where_clause,
-        })
+        let where_clause = if self.eat_kw("where") { Some(self.expr()?) } else { None };
+        Ok(UpdateStmt { table, sets, where_clause })
     }
 
     fn delete(&mut self) -> SqlResult<DeleteStmt> {
         self.expect_kw("delete")?;
         self.expect_kw("from")?;
         let table = self.ident("table name")?;
-        let where_clause = if self.eat_kw("where") {
-            Some(self.expr()?)
-        } else {
-            None
-        };
-        Ok(DeleteStmt {
-            table,
-            where_clause,
-        })
+        let where_clause = if self.eat_kw("where") { Some(self.expr()?) } else { None };
+        Ok(DeleteStmt { table, where_clause })
     }
 
     fn lock_tables(&mut self) -> SqlResult<Stmt> {
@@ -648,15 +579,13 @@ mod tests {
 
     #[test]
     fn select_with_everything() {
-        let s = sel(
-            "SELECT i.id, i.name, SUM(ol.qty) AS total \
+        let s = sel("SELECT i.id, i.name, SUM(ol.qty) AS total \
              FROM items i \
              INNER JOIN order_line ol ON ol.item_id = i.id \
              WHERE i.subject = ? AND ol.qty > 0 \
              GROUP BY i.id \
              ORDER BY total DESC, i.name \
-             LIMIT 50",
-        );
+             LIMIT 50");
         assert_eq!(s.items.len(), 3);
         assert_eq!(s.from.effective_alias(), "i");
         assert_eq!(s.joins.len(), 1);
@@ -719,9 +648,7 @@ mod tests {
     fn table_star_and_aliases() {
         let s = sel("SELECT i.*, u.nickname seller FROM items i JOIN users u ON i.seller = u.id");
         assert!(matches!(&s.items[0], SelectItem::TableStar(t) if t == "i"));
-        assert!(
-            matches!(&s.items[1], SelectItem::Expr { alias: Some(a), .. } if a == "seller")
-        );
+        assert!(matches!(&s.items[1], SelectItem::Expr { alias: Some(a), .. } if a == "seller"));
     }
 
     #[test]
@@ -733,9 +660,7 @@ mod tests {
     #[test]
     fn arithmetic_precedence() {
         let s = sel("SELECT a + b * 2 FROM t");
-        let SelectItem::Expr { expr, .. } = &s.items[0] else {
-            panic!()
-        };
+        let SelectItem::Expr { expr, .. } = &s.items[0] else { panic!() };
         // a + (b * 2)
         let Expr::Binary { op: BinOp::Add, rhs, .. } = expr else {
             panic!("expected Add at top: {expr:?}")
@@ -745,8 +670,7 @@ mod tests {
 
     #[test]
     fn insert_forms() {
-        let Stmt::Insert(i) =
-            parse("INSERT INTO users (id, nick) VALUES (NULL, 'bob')").unwrap()
+        let Stmt::Insert(i) = parse("INSERT INTO users (id, nick) VALUES (NULL, 'bob')").unwrap()
         else {
             panic!()
         };
@@ -755,9 +679,7 @@ mod tests {
         assert_eq!(i.values.len(), 2);
         assert!(matches!(i.values[0], Expr::Lit(Value::Null)));
 
-        let Stmt::Insert(i) = parse("INSERT INTO t VALUES (?, ?, 3.5)").unwrap() else {
-            panic!()
-        };
+        let Stmt::Insert(i) = parse("INSERT INTO t VALUES (?, ?, 3.5)").unwrap() else { panic!() };
         assert!(i.columns.is_none());
         assert_eq!(i.values.len(), 3);
     }
@@ -781,9 +703,7 @@ mod tests {
 
     #[test]
     fn lock_unlock() {
-        let Stmt::LockTables(l) =
-            parse("LOCK TABLES items WRITE, users READ").unwrap()
-        else {
+        let Stmt::LockTables(l) = parse("LOCK TABLES items WRITE, users READ").unwrap() else {
             panic!()
         };
         assert_eq!(
@@ -812,9 +732,7 @@ mod tests {
     #[test]
     fn error_offsets_point_at_problem() {
         let err = parse("SELECT FROM t").unwrap_err();
-        let SqlError::Parse { offset, .. } = err else {
-            panic!()
-        };
+        let SqlError::Parse { offset, .. } = err else { panic!() };
         assert_eq!(offset, 7);
     }
 

@@ -75,7 +75,7 @@ pub fn conjuncts(expr: &Expr) -> Vec<&Expr> {
 
 /// `true` when the expression can be evaluated without a row (only
 /// literals, parameters, and arithmetic over them).
-fn is_const(expr: &Expr) -> bool {
+pub(crate) fn is_const(expr: &Expr) -> bool {
     match expr {
         Expr::Lit(_) | Expr::Param(_) => true,
         Expr::Neg(e) => is_const(e),
@@ -95,7 +95,7 @@ fn eval_const(expr: &Expr, params: &[Value]) -> SqlResult<Value> {
 
 /// `true` when `col` refers to `alias` (or is unqualified) and names an
 /// existing column of `table`; returns the column position.
-fn col_on_table(col: &ColRef, alias: &str, table: &Table) -> Option<usize> {
+pub(crate) fn col_on_table(col: &ColRef, alias: &str, table: &Table) -> Option<usize> {
     if let Some(t) = &col.table {
         if t != alias {
             return None;
@@ -149,16 +149,36 @@ pub fn choose_path(
                         }
                     }
                     BinOp::Lt => {
-                        merge_range(&mut best_range, pos, OwnedBound::Unbounded, OwnedBound::Excluded(key));
+                        merge_range(
+                            &mut best_range,
+                            pos,
+                            OwnedBound::Unbounded,
+                            OwnedBound::Excluded(key),
+                        );
                     }
                     BinOp::Le => {
-                        merge_range(&mut best_range, pos, OwnedBound::Unbounded, OwnedBound::Included(key));
+                        merge_range(
+                            &mut best_range,
+                            pos,
+                            OwnedBound::Unbounded,
+                            OwnedBound::Included(key),
+                        );
                     }
                     BinOp::Gt => {
-                        merge_range(&mut best_range, pos, OwnedBound::Excluded(key), OwnedBound::Unbounded);
+                        merge_range(
+                            &mut best_range,
+                            pos,
+                            OwnedBound::Excluded(key),
+                            OwnedBound::Unbounded,
+                        );
                     }
                     BinOp::Ge => {
-                        merge_range(&mut best_range, pos, OwnedBound::Included(key), OwnedBound::Unbounded);
+                        merge_range(
+                            &mut best_range,
+                            pos,
+                            OwnedBound::Included(key),
+                            OwnedBound::Unbounded,
+                        );
                     }
                     _ => {}
                 }
@@ -217,7 +237,7 @@ fn merge_range(
     }
 }
 
-fn flip(op: BinOp) -> BinOp {
+pub(crate) fn flip(op: BinOp) -> BinOp {
     match op {
         BinOp::Lt => BinOp::Gt,
         BinOp::Le => BinOp::Ge,
@@ -230,9 +250,9 @@ fn flip(op: BinOp) -> BinOp {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ast::Stmt;
     use crate::parser::parse;
     use crate::schema::{ColumnType, TableSchema};
-    use crate::ast::Stmt;
 
     fn table() -> Table {
         let schema = TableSchema::builder("items")
@@ -272,10 +292,7 @@ mod tests {
 
     #[test]
     fn pk_equality_wins() {
-        let p = path(
-            "SELECT * FROM items WHERE category = 1 AND id = ?",
-            &[Value::Int(5)],
-        );
+        let p = path("SELECT * FROM items WHERE category = 1 AND id = ?", &[Value::Int(5)]);
         assert_eq!(p, AccessPath::IndexEq { col: 0, key: Value::Int(5) });
     }
 
@@ -306,7 +323,8 @@ mod tests {
 
     #[test]
     fn between_becomes_range() {
-        let p = path("SELECT * FROM items WHERE id BETWEEN ? AND ?", &[Value::Int(1), Value::Int(3)]);
+        let p =
+            path("SELECT * FROM items WHERE id BETWEEN ? AND ?", &[Value::Int(1), Value::Int(3)]);
         assert_eq!(
             p,
             AccessPath::IndexRange {

@@ -184,9 +184,7 @@ impl TableSchemaBuilder {
 
     fn push_column(&mut self, name: String, ty: ColumnType, nullable: bool) {
         if self.columns.iter().any(|c| c.name == name) {
-            self.error.get_or_insert(SqlError::Constraint(format!(
-                "duplicate column '{name}'"
-            )));
+            self.error.get_or_insert(SqlError::Constraint(format!("duplicate column '{name}'")));
             return;
         }
         self.columns.push(Column { name, ty, nullable });
@@ -197,8 +195,7 @@ impl TableSchemaBuilder {
         match self.columns.iter().position(|c| c.name == name) {
             Some(i) => self.primary_key = Some(i),
             None => {
-                self.error
-                    .get_or_insert(SqlError::UnknownColumn(name.to_string()));
+                self.error.get_or_insert(SqlError::UnknownColumn(name.to_string()));
             }
         }
         self
@@ -219,8 +216,7 @@ impl TableSchemaBuilder {
                 }
             }
             None => {
-                self.error
-                    .get_or_insert(SqlError::UnknownColumn(name.to_string()));
+                self.error.get_or_insert(SqlError::UnknownColumn(name.to_string()));
             }
         }
         self
@@ -238,10 +234,7 @@ impl TableSchemaBuilder {
             return Err(e);
         }
         if self.columns.is_empty() {
-            return Err(SqlError::Constraint(format!(
-                "table '{}' has no columns",
-                self.name
-            )));
+            return Err(SqlError::Constraint(format!("table '{}' has no columns", self.name)));
         }
         if self.auto_increment {
             match self.primary_key {
@@ -301,40 +294,19 @@ mod tests {
     #[test]
     fn row_validation() {
         let s = items();
-        let good = vec![
-            Value::Int(1),
-            Value::str("book"),
-            Value::Float(9.5),
-            Value::Null,
-        ];
+        let good = vec![Value::Int(1), Value::str("book"), Value::Float(9.5), Value::Null];
         assert!(s.check_row(&good).is_ok());
         // Int admitted into Float column.
-        let promo = vec![
-            Value::Int(1),
-            Value::str("book"),
-            Value::Int(9),
-            Value::Null,
-        ];
+        let promo = vec![Value::Int(1), Value::str("book"), Value::Int(9), Value::Null];
         assert!(s.check_row(&promo).is_ok());
         // Wrong arity.
         assert!(s.check_row(&good[..3]).is_err());
         // NULL into NOT NULL.
         let null_name = vec![Value::Int(1), Value::Null, Value::Float(1.0), Value::Null];
-        assert!(matches!(
-            s.check_row(&null_name),
-            Err(SqlError::Constraint(_))
-        ));
+        assert!(matches!(s.check_row(&null_name), Err(SqlError::Constraint(_))));
         // Type mismatch.
-        let bad_ty = vec![
-            Value::str("x"),
-            Value::str("book"),
-            Value::Float(1.0),
-            Value::Null,
-        ];
-        assert!(matches!(
-            s.check_row(&bad_ty),
-            Err(SqlError::TypeMismatch { .. })
-        ));
+        let bad_ty = vec![Value::str("x"), Value::str("book"), Value::Float(1.0), Value::Null];
+        assert!(matches!(s.check_row(&bad_ty), Err(SqlError::TypeMismatch { .. })));
     }
 
     #[test]

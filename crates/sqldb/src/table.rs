@@ -162,10 +162,7 @@ impl Table {
 
     /// Iterates live rows in slot order.
     pub fn scan(&self) -> impl Iterator<Item = (RowId, &[Value])> + '_ {
-        self.rows
-            .iter()
-            .enumerate()
-            .filter_map(|(rid, r)| r.as_deref().map(|row| (rid, row)))
+        self.rows.iter().enumerate().filter_map(|(rid, r)| r.as_deref().map(|row| (rid, row)))
     }
 
     /// Looks up a row by primary key.
@@ -199,20 +196,12 @@ impl Table {
     /// # Panics
     ///
     /// Panics if the column is not indexed.
-    pub fn index_range(
-        &self,
-        col: usize,
-        lo: Bound<&Value>,
-        hi: Bound<&Value>,
-    ) -> Vec<RowId> {
+    pub fn index_range(&self, col: usize, lo: Bound<&Value>, hi: Bound<&Value>) -> Vec<RowId> {
         if self.schema.primary_key() == Some(col) {
             return self.pk_index.range((lo, hi)).map(|(_, r)| *r).collect();
         }
         let slot = self.secondary_slot(col);
-        self.sec[slot]
-            .range((lo, hi))
-            .flat_map(|(_, rids)| rids.iter().copied())
-            .collect()
+        self.sec[slot].range((lo, hi)).flat_map(|(_, rids)| rids.iter().copied()).collect()
     }
 
     /// Number of distinct keys in the index on `col` (diagnostics).
@@ -289,8 +278,7 @@ mod tests {
         let (_, b) = t.insert(row("bob", 2)).unwrap();
         assert_eq!((a, b), (Some(1), Some(2)));
         // Explicit key advances the counter.
-        t.insert(vec![Value::Int(10), Value::str("cat"), Value::Int(1)])
-            .unwrap();
+        t.insert(vec![Value::Int(10), Value::str("cat"), Value::Int(1)]).unwrap();
         let (_, c) = t.insert(row("dee", 3)).unwrap();
         assert_eq!(c, Some(11));
         assert_eq!(t.row_count(), 4);
@@ -299,11 +287,8 @@ mod tests {
     #[test]
     fn duplicate_pk_rejected() {
         let mut t = users();
-        t.insert(vec![Value::Int(5), Value::str("a"), Value::Int(1)])
-            .unwrap();
-        let err = t
-            .insert(vec![Value::Int(5), Value::str("b"), Value::Int(1)])
-            .unwrap_err();
+        t.insert(vec![Value::Int(5), Value::str("a"), Value::Int(1)]).unwrap();
+        let err = t.insert(vec![Value::Int(5), Value::str("b"), Value::Int(1)]).unwrap_err();
         assert!(matches!(err, SqlError::DuplicateKey(_)));
     }
 
@@ -330,11 +315,8 @@ mod tests {
         for (n, r) in [("a", 1), ("b", 2), ("c", 3), ("d", 4)] {
             t.insert(row(n, r)).unwrap();
         }
-        let ids = t.index_range(
-            0,
-            Bound::Included(&Value::Int(2)),
-            Bound::Excluded(&Value::Int(4)),
-        );
+        let ids =
+            t.index_range(0, Bound::Included(&Value::Int(2)), Bound::Excluded(&Value::Int(4)));
         assert_eq!(ids.len(), 2);
         let regs = t.index_range(2, Bound::Excluded(&Value::Int(2)), Bound::Unbounded);
         assert_eq!(regs.len(), 2);
@@ -344,11 +326,7 @@ mod tests {
     fn update_maintains_indexes() {
         let mut t = users();
         let (rid, _) = t.insert(row("ann", 1)).unwrap();
-        t.update(
-            rid,
-            vec![Value::Int(1), Value::str("anna"), Value::Int(7)],
-        )
-        .unwrap();
+        t.update(rid, vec![Value::Int(1), Value::str("anna"), Value::Int(7)]).unwrap();
         assert!(t.index_lookup(1, &Value::str("ann")).is_empty());
         assert_eq!(t.index_lookup(1, &Value::str("anna")), vec![rid]);
         assert_eq!(t.index_lookup(2, &Value::Int(7)), vec![rid]);
@@ -360,13 +338,10 @@ mod tests {
         let mut t = users();
         let (r1, _) = t.insert(row("a", 1)).unwrap();
         t.insert(row("b", 2)).unwrap();
-        let err = t
-            .update(r1, vec![Value::Int(2), Value::str("a"), Value::Int(1)])
-            .unwrap_err();
+        let err = t.update(r1, vec![Value::Int(2), Value::str("a"), Value::Int(1)]).unwrap_err();
         assert!(matches!(err, SqlError::DuplicateKey(_)));
         // Changing to a fresh key works and remaps the pk index.
-        t.update(r1, vec![Value::Int(9), Value::str("a"), Value::Int(1)])
-            .unwrap();
+        t.update(r1, vec![Value::Int(9), Value::str("a"), Value::Int(1)]).unwrap();
         assert_eq!(t.pk_lookup(&Value::Int(9)), Some(r1));
         assert_eq!(t.pk_lookup(&Value::Int(1)), None);
     }
@@ -393,10 +368,7 @@ mod tests {
         let (r1, _) = t.insert(row("a", 1)).unwrap();
         t.insert(row("b", 2)).unwrap();
         t.delete(r1).unwrap();
-        let names: Vec<&str> = t
-            .scan()
-            .map(|(_, row)| row[1].as_str().unwrap())
-            .collect();
+        let names: Vec<&str> = t.scan().map(|(_, row)| row[1].as_str().unwrap()).collect();
         assert_eq!(names, vec!["b"]);
     }
 

@@ -354,15 +354,9 @@ mod tests {
     #[test]
     fn arithmetic_promotion() {
         assert_eq!(Value::Int(2).add(&Value::Int(3)).unwrap(), Value::Int(5));
-        assert_eq!(
-            Value::Int(2).add(&Value::Float(0.5)).unwrap(),
-            Value::Float(2.5)
-        );
+        assert_eq!(Value::Int(2).add(&Value::Float(0.5)).unwrap(), Value::Float(2.5));
         assert_eq!(Value::Int(7).div(&Value::Int(2)).unwrap(), Value::Int(3));
-        assert_eq!(
-            Value::Float(7.0).div(&Value::Int(2)).unwrap(),
-            Value::Float(3.5)
-        );
+        assert_eq!(Value::Float(7.0).div(&Value::Int(2)).unwrap(), Value::Float(3.5));
         assert!(Value::Int(1).div(&Value::Int(0)).is_err());
         assert!(Value::str("x").add(&Value::Int(1)).is_err());
         assert_eq!(Value::Null.add(&Value::Int(1)).unwrap(), Value::Null);

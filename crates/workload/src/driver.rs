@@ -81,10 +81,7 @@ impl WorkloadConfig {
 
     /// The measurement window `[start, end)`.
     pub fn window(&self) -> (SimTime, SimTime) {
-        (
-            SimTime::ZERO + self.ramp_up,
-            SimTime::ZERO + self.ramp_up + self.measure,
-        )
+        (SimTime::ZERO + self.ramp_up, SimTime::ZERO + self.ramp_up + self.measure)
     }
 }
 

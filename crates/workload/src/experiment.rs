@@ -36,20 +36,12 @@ impl ExperimentResult {
     /// CPU utilization (0..1) of the machine with the given name, if it
     /// exists in this deployment.
     pub fn cpu_of(&self, machine: &str) -> Option<f64> {
-        self.resources
-            .cpu_util
-            .iter()
-            .find(|(n, _)| n == machine)
-            .map(|(_, u)| *u)
+        self.resources.cpu_util.iter().find(|(n, _)| n == machine).map(|(_, u)| *u)
     }
 
     /// NIC throughput in Mb/s of the machine with the given name.
     pub fn nic_of(&self, machine: &str) -> Option<f64> {
-        self.resources
-            .nic_mbps
-            .iter()
-            .find(|(n, _)| n == machine)
-            .map(|(_, u)| *u)
+        self.resources.nic_mbps.iter().find(|(n, _)| n == machine).map(|(_, u)| *u)
     }
 }
 
@@ -66,15 +58,7 @@ pub fn run_experiment(
     costs: CostModel,
     workload: WorkloadConfig,
 ) -> ExperimentResult {
-    run_experiment_with_policy(
-        &mut db,
-        app,
-        mix,
-        config,
-        costs,
-        workload,
-        GrantPolicy::default(),
-    )
+    run_experiment_with_policy(&mut db, app, mix, config, costs, workload, GrantPolicy::default())
 }
 
 /// Like [`run_experiment`] but with an explicit lock grant policy and a
@@ -146,10 +130,7 @@ mod tests {
             let key = rng.uniform_i64(1, 50);
             match id {
                 0 => {
-                    let r = ctx.query(
-                        "SELECT v FROM counters WHERE id = ?",
-                        &[Value::Int(key)],
-                    )?;
+                    let r = ctx.query("SELECT v FROM counters WHERE id = ?", &[Value::Int(key)])?;
                     let v = r.rows.first().and_then(|r| r[0].as_int()).unwrap_or(0);
                     ctx.emit(&format!("<html>{v}</html>"));
                 }
@@ -200,22 +181,14 @@ mod tests {
         )
         .unwrap();
         for i in 1..=50 {
-            db.execute(
-                "INSERT INTO counters (id, v) VALUES (?, 0)",
-                &[Value::Int(i)],
-            )
-            .unwrap();
+            db.execute("INSERT INTO counters (id, v) VALUES (?, 0)", &[Value::Int(i)]).unwrap();
         }
         db
     }
 
     fn mini_mix() -> Mix {
         // 70% reads, 30% writes.
-        let m = TransitionMatrix::from_rows(vec![
-            vec![0.7, 0.3],
-            vec![0.7, 0.3],
-        ])
-        .unwrap();
+        let m = TransitionMatrix::from_rows(vec![vec![0.7, 0.3], vec![0.7, 0.3]]).unwrap();
         Mix::new("mini", m, vec![1.0, 0.0]).unwrap()
     }
 
@@ -325,9 +298,7 @@ mod tests {
             quick(10),
             GrantPolicy::default(),
         );
-        let total = db
-            .execute("SELECT SUM(v) FROM counters", &[])
-            .unwrap();
+        let total = db.execute("SELECT SUM(v) FROM counters", &[]).unwrap();
         // Some writes happened.
         assert!(total.rows[0][0].as_int().unwrap() > 0);
     }

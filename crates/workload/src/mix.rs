@@ -48,10 +48,7 @@ impl TransitionMatrix {
 
     /// The uniform matrix over `n` states (useful for tests).
     pub fn uniform(n: usize) -> Self {
-        TransitionMatrix {
-            n,
-            rows: vec![vec![1.0; n]; n],
-        }
+        TransitionMatrix { n, rows: vec![vec![1.0; n]; n] }
     }
 
     /// Number of states.
@@ -79,10 +76,7 @@ impl TransitionMatrix {
             state = self.next(state, &mut rng);
             counts[state] += 1;
         }
-        counts
-            .into_iter()
-            .map(|c| c as f64 / steps as f64)
-            .collect()
+        counts.into_iter().map(|c| c as f64 / steps as f64).collect()
     }
 }
 
@@ -117,11 +111,7 @@ impl Mix {
         if entry.iter().any(|w| *w < 0.0) || entry.iter().sum::<f64>() <= 0.0 {
             return Err("invalid entry distribution".into());
         }
-        Ok(Mix {
-            name: name.into(),
-            matrix,
-            entry,
-        })
+        Ok(Mix { name: name.into(), matrix, entry })
     }
 
     /// The mix's display name ("shopping", "bidding"...).
@@ -154,12 +144,7 @@ impl Mix {
     /// against its specified read-write ratio.
     pub fn estimate_marked_share(&self, marker: &[bool], steps: usize, seed: u64) -> f64 {
         let shares = self.estimate_visit_share(steps, seed);
-        shares
-            .iter()
-            .zip(marker)
-            .filter(|(_, m)| **m)
-            .map(|(s, _)| s)
-            .sum()
+        shares.iter().zip(marker).filter(|(_, m)| **m).map(|(s, _)| s).sum()
     }
 }
 
@@ -191,11 +176,7 @@ mod tests {
     #[test]
     fn visit_share_matches_structure() {
         // A chain that spends 80% of transitions into state 0.
-        let m = TransitionMatrix::from_rows(vec![
-            vec![0.8, 0.2],
-            vec![0.8, 0.2],
-        ])
-        .unwrap();
+        let m = TransitionMatrix::from_rows(vec![vec![0.8, 0.2], vec![0.8, 0.2]]).unwrap();
         let share = m.estimate_visit_share(50_000, 7);
         assert!((share[0] - 0.8).abs() < 0.02, "{share:?}");
     }
@@ -224,11 +205,7 @@ mod tests {
     #[test]
     fn marked_share_estimates_rw_ratio() {
         // Two states; the second is "read-write" and gets 20% of mass.
-        let m = TransitionMatrix::from_rows(vec![
-            vec![0.8, 0.2],
-            vec![0.8, 0.2],
-        ])
-        .unwrap();
+        let m = TransitionMatrix::from_rows(vec![vec![0.8, 0.2], vec![0.8, 0.2]]).unwrap();
         let mix = Mix::new("shoppingish", m, vec![1.0, 0.0]).unwrap();
         let rw = mix.estimate_marked_share(&[false, true], 50_000, 5);
         assert!((rw - 0.2).abs() < 0.02, "rw={rw}");

@@ -53,8 +53,7 @@ fn tiny_db() -> Database {
     )
     .unwrap();
     for i in 1..=20 {
-        db.execute("INSERT INTO kv (id, v) VALUES (?, 0)", &[Value::Int(i)])
-            .unwrap();
+        db.execute("INSERT INTO kv (id, v) VALUES (?, 0)", &[Value::Int(i)]).unwrap();
     }
     db
 }

@@ -17,10 +17,7 @@ fn main() {
     let mix = dynamid::auction::mixes::browsing();
     let config = StandardConfig::ServletDedicated;
 
-    println!(
-        "capacity sweep: {} on the auction browsing mix\n",
-        config.paper_name()
-    );
+    println!("capacity sweep: {} on the auction browsing mix\n", config.paper_name());
     println!(
         "{:>8} {:>10} {:>8} {:>10} {:>12}",
         "clients", "ipm", "web%", "servlet%", "web NIC Mb/s"

@@ -47,17 +47,16 @@ impl Application for Guestbook {
         match (id, ctx.style()) {
             // --- View ---------------------------------------------------
             (0, LogicStyle::ExplicitSql { .. }) => {
-                let r = ctx.query(
-                    "SELECT author, message FROM entries ORDER BY id DESC LIMIT 10",
-                    &[],
-                )?;
+                let r = ctx
+                    .query("SELECT author, message FROM entries ORDER BY id DESC LIMIT 10", &[])?;
                 for row in &r.rows {
                     ctx.emit(&format!("<p><b>{}</b>: {}</p>", row[0], row[1]));
                 }
             }
             (0, LogicStyle::EntityBean) => {
                 let entries = ctx.facade("GuestbookSession.recent", |em| {
-                    let pks = em.find_pks_query_tail("entries", "ORDER BY id DESC LIMIT 10", &[])?;
+                    let pks =
+                        em.find_pks_query_tail("entries", "ORDER BY id DESC LIMIT 10", &[])?;
                     let mut out = Vec::new();
                     for pk in pks {
                         if let Some(h) = em.find("entries", pk)? {

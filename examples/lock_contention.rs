@@ -36,10 +36,7 @@ fn main() {
         "{:<22} {:>9} {:>6} {:>16} {:>14}",
         "configuration", "ipm", "db%", "lock waits (s)", "contended acq"
     );
-    for config in [
-        StandardConfig::ServletColocated,
-        StandardConfig::ServletColocatedSync,
-    ] {
+    for config in [StandardConfig::ServletColocated, StandardConfig::ServletColocatedSync] {
         let db = build_db(&scale, 3).expect("population");
         let r = run_experiment(db, &app, &mix, config, CostModel::default(), workload.clone());
         println!(

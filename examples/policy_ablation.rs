@@ -32,14 +32,10 @@ fn main() {
     };
 
     println!("bookstore ordering mix, WsServlet-DB (plain table locking)\n");
-    println!(
-        "{:<28} {:>9} {:>9} {:>16}",
-        "grant policy", "ipm", "db%", "lock waits (s)"
-    );
-    for (name, policy) in [
-        ("writer priority (MyISAM)", GrantPolicy::WriterPriority),
-        ("FIFO", GrantPolicy::Fifo),
-    ] {
+    println!("{:<28} {:>9} {:>9} {:>16}", "grant policy", "ipm", "db%", "lock waits (s)");
+    for (name, policy) in
+        [("writer priority (MyISAM)", GrantPolicy::WriterPriority), ("FIFO", GrantPolicy::Fifo)]
+    {
         let mut db = build_db(&scale, 3).expect("population");
         let r = run_experiment_with_policy(
             &mut db,

@@ -28,10 +28,7 @@ fn main() {
     };
 
     println!("auction site, bidding mix, {} clients\n", workload.clients);
-    println!(
-        "{:<22} {:>10} {:>8} {:>8} {:>8}",
-        "configuration", "ipm", "web%", "gen%", "db%"
-    );
+    println!("{:<22} {:>10} {:>8} {:>8} {:>8}", "configuration", "ipm", "web%", "gen%", "db%");
     for config in StandardConfig::ALL {
         let db = build_db(&scale, 1).expect("population");
         let r = run_experiment(db, &app, &mix, config, CostModel::default(), workload.clone());

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dynamid-069687825fceb175.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdynamid-069687825fceb175.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libdynamid-069687825fceb175.rmeta: src/lib.rs
+
+src/lib.rs:

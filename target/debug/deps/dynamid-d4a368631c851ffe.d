@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dynamid-d4a368631c851ffe.d: src/lib.rs
+
+/root/repo/target/debug/deps/dynamid-d4a368631c851ffe: src/lib.rs
+
+src/lib.rs:

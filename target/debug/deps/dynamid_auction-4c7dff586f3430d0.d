@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dynamid_auction-4c7dff586f3430d0.d: crates/auction/src/lib.rs crates/auction/src/app.rs crates/auction/src/ejb_logic.rs crates/auction/src/mixes.rs crates/auction/src/populate.rs crates/auction/src/schema.rs crates/auction/src/sql_logic.rs
+
+/root/repo/target/debug/deps/libdynamid_auction-4c7dff586f3430d0.rlib: crates/auction/src/lib.rs crates/auction/src/app.rs crates/auction/src/ejb_logic.rs crates/auction/src/mixes.rs crates/auction/src/populate.rs crates/auction/src/schema.rs crates/auction/src/sql_logic.rs
+
+/root/repo/target/debug/deps/libdynamid_auction-4c7dff586f3430d0.rmeta: crates/auction/src/lib.rs crates/auction/src/app.rs crates/auction/src/ejb_logic.rs crates/auction/src/mixes.rs crates/auction/src/populate.rs crates/auction/src/schema.rs crates/auction/src/sql_logic.rs
+
+crates/auction/src/lib.rs:
+crates/auction/src/app.rs:
+crates/auction/src/ejb_logic.rs:
+crates/auction/src/mixes.rs:
+crates/auction/src/populate.rs:
+crates/auction/src/schema.rs:
+crates/auction/src/sql_logic.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dynamid_auction-b25780d4bbb5e16c.d: crates/auction/src/lib.rs crates/auction/src/app.rs crates/auction/src/ejb_logic.rs crates/auction/src/mixes.rs crates/auction/src/populate.rs crates/auction/src/schema.rs crates/auction/src/sql_logic.rs
+
+/root/repo/target/debug/deps/dynamid_auction-b25780d4bbb5e16c: crates/auction/src/lib.rs crates/auction/src/app.rs crates/auction/src/ejb_logic.rs crates/auction/src/mixes.rs crates/auction/src/populate.rs crates/auction/src/schema.rs crates/auction/src/sql_logic.rs
+
+crates/auction/src/lib.rs:
+crates/auction/src/app.rs:
+crates/auction/src/ejb_logic.rs:
+crates/auction/src/mixes.rs:
+crates/auction/src/populate.rs:
+crates/auction/src/schema.rs:
+crates/auction/src/sql_logic.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/dynamid_auction-f9fefdfaf90193b6.d: crates/auction/src/lib.rs crates/auction/src/app.rs crates/auction/src/ejb_logic.rs crates/auction/src/mixes.rs crates/auction/src/populate.rs crates/auction/src/schema.rs crates/auction/src/sql_logic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdynamid_auction-f9fefdfaf90193b6.rmeta: crates/auction/src/lib.rs crates/auction/src/app.rs crates/auction/src/ejb_logic.rs crates/auction/src/mixes.rs crates/auction/src/populate.rs crates/auction/src/schema.rs crates/auction/src/sql_logic.rs Cargo.toml
+
+crates/auction/src/lib.rs:
+crates/auction/src/app.rs:
+crates/auction/src/ejb_logic.rs:
+crates/auction/src/mixes.rs:
+crates/auction/src/populate.rs:
+crates/auction/src/schema.rs:
+crates/auction/src/sql_logic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dynamid_bboard-2ade3737437270f5.d: crates/bboard/src/lib.rs crates/bboard/src/app.rs crates/bboard/src/logic.rs crates/bboard/src/mixes.rs crates/bboard/src/populate.rs crates/bboard/src/schema.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdynamid_bboard-2ade3737437270f5.rmeta: crates/bboard/src/lib.rs crates/bboard/src/app.rs crates/bboard/src/logic.rs crates/bboard/src/mixes.rs crates/bboard/src/populate.rs crates/bboard/src/schema.rs Cargo.toml
+
+crates/bboard/src/lib.rs:
+crates/bboard/src/app.rs:
+crates/bboard/src/logic.rs:
+crates/bboard/src/mixes.rs:
+crates/bboard/src/populate.rs:
+crates/bboard/src/schema.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dynamid_bboard-762d898b85801c1b.d: crates/bboard/src/lib.rs crates/bboard/src/app.rs crates/bboard/src/logic.rs crates/bboard/src/mixes.rs crates/bboard/src/populate.rs crates/bboard/src/schema.rs
+
+/root/repo/target/debug/deps/libdynamid_bboard-762d898b85801c1b.rlib: crates/bboard/src/lib.rs crates/bboard/src/app.rs crates/bboard/src/logic.rs crates/bboard/src/mixes.rs crates/bboard/src/populate.rs crates/bboard/src/schema.rs
+
+/root/repo/target/debug/deps/libdynamid_bboard-762d898b85801c1b.rmeta: crates/bboard/src/lib.rs crates/bboard/src/app.rs crates/bboard/src/logic.rs crates/bboard/src/mixes.rs crates/bboard/src/populate.rs crates/bboard/src/schema.rs
+
+crates/bboard/src/lib.rs:
+crates/bboard/src/app.rs:
+crates/bboard/src/logic.rs:
+crates/bboard/src/mixes.rs:
+crates/bboard/src/populate.rs:
+crates/bboard/src/schema.rs:

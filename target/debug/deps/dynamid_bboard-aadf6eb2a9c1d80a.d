@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dynamid_bboard-aadf6eb2a9c1d80a.d: crates/bboard/src/lib.rs crates/bboard/src/app.rs crates/bboard/src/logic.rs crates/bboard/src/mixes.rs crates/bboard/src/populate.rs crates/bboard/src/schema.rs
+
+/root/repo/target/debug/deps/dynamid_bboard-aadf6eb2a9c1d80a: crates/bboard/src/lib.rs crates/bboard/src/app.rs crates/bboard/src/logic.rs crates/bboard/src/mixes.rs crates/bboard/src/populate.rs crates/bboard/src/schema.rs
+
+crates/bboard/src/lib.rs:
+crates/bboard/src/app.rs:
+crates/bboard/src/logic.rs:
+crates/bboard/src/mixes.rs:
+crates/bboard/src/populate.rs:
+crates/bboard/src/schema.rs:

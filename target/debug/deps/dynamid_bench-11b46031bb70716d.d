@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dynamid_bench-11b46031bb70716d.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/dynamid_bench-11b46031bb70716d: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dynamid_bench-3d834dcac3f6fbb0.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdynamid_bench-3d834dcac3f6fbb0.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dynamid_bench-e05e07eae8b41948.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libdynamid_bench-e05e07eae8b41948.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libdynamid_bench-e05e07eae8b41948.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/dynamid_bookstore-6274d3b2c94c5527.d: crates/bookstore/src/lib.rs crates/bookstore/src/app.rs crates/bookstore/src/ejb_logic.rs crates/bookstore/src/mixes.rs crates/bookstore/src/populate.rs crates/bookstore/src/schema.rs crates/bookstore/src/sql_logic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdynamid_bookstore-6274d3b2c94c5527.rmeta: crates/bookstore/src/lib.rs crates/bookstore/src/app.rs crates/bookstore/src/ejb_logic.rs crates/bookstore/src/mixes.rs crates/bookstore/src/populate.rs crates/bookstore/src/schema.rs crates/bookstore/src/sql_logic.rs Cargo.toml
+
+crates/bookstore/src/lib.rs:
+crates/bookstore/src/app.rs:
+crates/bookstore/src/ejb_logic.rs:
+crates/bookstore/src/mixes.rs:
+crates/bookstore/src/populate.rs:
+crates/bookstore/src/schema.rs:
+crates/bookstore/src/sql_logic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dynamid_bookstore-a33971ae7e564322.d: crates/bookstore/src/lib.rs crates/bookstore/src/app.rs crates/bookstore/src/ejb_logic.rs crates/bookstore/src/mixes.rs crates/bookstore/src/populate.rs crates/bookstore/src/schema.rs crates/bookstore/src/sql_logic.rs
+
+/root/repo/target/debug/deps/dynamid_bookstore-a33971ae7e564322: crates/bookstore/src/lib.rs crates/bookstore/src/app.rs crates/bookstore/src/ejb_logic.rs crates/bookstore/src/mixes.rs crates/bookstore/src/populate.rs crates/bookstore/src/schema.rs crates/bookstore/src/sql_logic.rs
+
+crates/bookstore/src/lib.rs:
+crates/bookstore/src/app.rs:
+crates/bookstore/src/ejb_logic.rs:
+crates/bookstore/src/mixes.rs:
+crates/bookstore/src/populate.rs:
+crates/bookstore/src/schema.rs:
+crates/bookstore/src/sql_logic.rs:

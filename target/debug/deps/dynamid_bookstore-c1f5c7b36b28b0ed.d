@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dynamid_bookstore-c1f5c7b36b28b0ed.d: crates/bookstore/src/lib.rs crates/bookstore/src/app.rs crates/bookstore/src/ejb_logic.rs crates/bookstore/src/mixes.rs crates/bookstore/src/populate.rs crates/bookstore/src/schema.rs crates/bookstore/src/sql_logic.rs
+
+/root/repo/target/debug/deps/libdynamid_bookstore-c1f5c7b36b28b0ed.rlib: crates/bookstore/src/lib.rs crates/bookstore/src/app.rs crates/bookstore/src/ejb_logic.rs crates/bookstore/src/mixes.rs crates/bookstore/src/populate.rs crates/bookstore/src/schema.rs crates/bookstore/src/sql_logic.rs
+
+/root/repo/target/debug/deps/libdynamid_bookstore-c1f5c7b36b28b0ed.rmeta: crates/bookstore/src/lib.rs crates/bookstore/src/app.rs crates/bookstore/src/ejb_logic.rs crates/bookstore/src/mixes.rs crates/bookstore/src/populate.rs crates/bookstore/src/schema.rs crates/bookstore/src/sql_logic.rs
+
+crates/bookstore/src/lib.rs:
+crates/bookstore/src/app.rs:
+crates/bookstore/src/ejb_logic.rs:
+crates/bookstore/src/mixes.rs:
+crates/bookstore/src/populate.rs:
+crates/bookstore/src/schema.rs:
+crates/bookstore/src/sql_logic.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dynamid_core-2e684158d6479652.d: crates/core/src/lib.rs crates/core/src/app.rs crates/core/src/cost.rs crates/core/src/ctx.rs crates/core/src/deploy.rs crates/core/src/ejb.rs crates/core/src/middleware.rs crates/core/src/session.rs
+
+/root/repo/target/debug/deps/dynamid_core-2e684158d6479652: crates/core/src/lib.rs crates/core/src/app.rs crates/core/src/cost.rs crates/core/src/ctx.rs crates/core/src/deploy.rs crates/core/src/ejb.rs crates/core/src/middleware.rs crates/core/src/session.rs
+
+crates/core/src/lib.rs:
+crates/core/src/app.rs:
+crates/core/src/cost.rs:
+crates/core/src/ctx.rs:
+crates/core/src/deploy.rs:
+crates/core/src/ejb.rs:
+crates/core/src/middleware.rs:
+crates/core/src/session.rs:

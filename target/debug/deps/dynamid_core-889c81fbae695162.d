@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dynamid_core-889c81fbae695162.d: crates/core/src/lib.rs crates/core/src/app.rs crates/core/src/cost.rs crates/core/src/ctx.rs crates/core/src/deploy.rs crates/core/src/ejb.rs crates/core/src/middleware.rs crates/core/src/session.rs
+
+/root/repo/target/debug/deps/libdynamid_core-889c81fbae695162.rlib: crates/core/src/lib.rs crates/core/src/app.rs crates/core/src/cost.rs crates/core/src/ctx.rs crates/core/src/deploy.rs crates/core/src/ejb.rs crates/core/src/middleware.rs crates/core/src/session.rs
+
+/root/repo/target/debug/deps/libdynamid_core-889c81fbae695162.rmeta: crates/core/src/lib.rs crates/core/src/app.rs crates/core/src/cost.rs crates/core/src/ctx.rs crates/core/src/deploy.rs crates/core/src/ejb.rs crates/core/src/middleware.rs crates/core/src/session.rs
+
+crates/core/src/lib.rs:
+crates/core/src/app.rs:
+crates/core/src/cost.rs:
+crates/core/src/ctx.rs:
+crates/core/src/deploy.rs:
+crates/core/src/ejb.rs:
+crates/core/src/middleware.rs:
+crates/core/src/session.rs:

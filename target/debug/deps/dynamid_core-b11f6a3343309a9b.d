@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/dynamid_core-b11f6a3343309a9b.d: crates/core/src/lib.rs crates/core/src/app.rs crates/core/src/cost.rs crates/core/src/ctx.rs crates/core/src/deploy.rs crates/core/src/ejb.rs crates/core/src/middleware.rs crates/core/src/session.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdynamid_core-b11f6a3343309a9b.rmeta: crates/core/src/lib.rs crates/core/src/app.rs crates/core/src/cost.rs crates/core/src/ctx.rs crates/core/src/deploy.rs crates/core/src/ejb.rs crates/core/src/middleware.rs crates/core/src/session.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/app.rs:
+crates/core/src/cost.rs:
+crates/core/src/ctx.rs:
+crates/core/src/deploy.rs:
+crates/core/src/ejb.rs:
+crates/core/src/middleware.rs:
+crates/core/src/session.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

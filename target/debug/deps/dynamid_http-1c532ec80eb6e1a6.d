@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dynamid_http-1c532ec80eb6e1a6.d: crates/http/src/lib.rs crates/http/src/connector.rs crates/http/src/message.rs crates/http/src/server.rs
+
+/root/repo/target/debug/deps/libdynamid_http-1c532ec80eb6e1a6.rlib: crates/http/src/lib.rs crates/http/src/connector.rs crates/http/src/message.rs crates/http/src/server.rs
+
+/root/repo/target/debug/deps/libdynamid_http-1c532ec80eb6e1a6.rmeta: crates/http/src/lib.rs crates/http/src/connector.rs crates/http/src/message.rs crates/http/src/server.rs
+
+crates/http/src/lib.rs:
+crates/http/src/connector.rs:
+crates/http/src/message.rs:
+crates/http/src/server.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dynamid_http-3ff0fa55fe6de430.d: crates/http/src/lib.rs crates/http/src/connector.rs crates/http/src/message.rs crates/http/src/server.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdynamid_http-3ff0fa55fe6de430.rmeta: crates/http/src/lib.rs crates/http/src/connector.rs crates/http/src/message.rs crates/http/src/server.rs Cargo.toml
+
+crates/http/src/lib.rs:
+crates/http/src/connector.rs:
+crates/http/src/message.rs:
+crates/http/src/server.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/dynamid_http-8a9c0b431e731ce7.d: crates/http/src/lib.rs crates/http/src/connector.rs crates/http/src/message.rs crates/http/src/server.rs
+
+/root/repo/target/debug/deps/dynamid_http-8a9c0b431e731ce7: crates/http/src/lib.rs crates/http/src/connector.rs crates/http/src/message.rs crates/http/src/server.rs
+
+crates/http/src/lib.rs:
+crates/http/src/connector.rs:
+crates/http/src/message.rs:
+crates/http/src/server.rs:

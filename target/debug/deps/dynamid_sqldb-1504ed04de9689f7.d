@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/dynamid_sqldb-1504ed04de9689f7.d: crates/sqldb/src/lib.rs crates/sqldb/src/ast.rs crates/sqldb/src/compile.rs crates/sqldb/src/cost.rs crates/sqldb/src/db.rs crates/sqldb/src/error.rs crates/sqldb/src/exec.rs crates/sqldb/src/lexer.rs crates/sqldb/src/parser.rs crates/sqldb/src/plan.rs crates/sqldb/src/schema.rs crates/sqldb/src/table.rs crates/sqldb/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdynamid_sqldb-1504ed04de9689f7.rmeta: crates/sqldb/src/lib.rs crates/sqldb/src/ast.rs crates/sqldb/src/compile.rs crates/sqldb/src/cost.rs crates/sqldb/src/db.rs crates/sqldb/src/error.rs crates/sqldb/src/exec.rs crates/sqldb/src/lexer.rs crates/sqldb/src/parser.rs crates/sqldb/src/plan.rs crates/sqldb/src/schema.rs crates/sqldb/src/table.rs crates/sqldb/src/value.rs Cargo.toml
+
+crates/sqldb/src/lib.rs:
+crates/sqldb/src/ast.rs:
+crates/sqldb/src/compile.rs:
+crates/sqldb/src/cost.rs:
+crates/sqldb/src/db.rs:
+crates/sqldb/src/error.rs:
+crates/sqldb/src/exec.rs:
+crates/sqldb/src/lexer.rs:
+crates/sqldb/src/parser.rs:
+crates/sqldb/src/plan.rs:
+crates/sqldb/src/schema.rs:
+crates/sqldb/src/table.rs:
+crates/sqldb/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/dynamid_sqldb-32aef006e4d8201b.d: crates/sqldb/src/lib.rs crates/sqldb/src/ast.rs crates/sqldb/src/compile.rs crates/sqldb/src/cost.rs crates/sqldb/src/db.rs crates/sqldb/src/error.rs crates/sqldb/src/exec.rs crates/sqldb/src/lexer.rs crates/sqldb/src/parser.rs crates/sqldb/src/plan.rs crates/sqldb/src/schema.rs crates/sqldb/src/table.rs crates/sqldb/src/value.rs
+
+/root/repo/target/debug/deps/dynamid_sqldb-32aef006e4d8201b: crates/sqldb/src/lib.rs crates/sqldb/src/ast.rs crates/sqldb/src/compile.rs crates/sqldb/src/cost.rs crates/sqldb/src/db.rs crates/sqldb/src/error.rs crates/sqldb/src/exec.rs crates/sqldb/src/lexer.rs crates/sqldb/src/parser.rs crates/sqldb/src/plan.rs crates/sqldb/src/schema.rs crates/sqldb/src/table.rs crates/sqldb/src/value.rs
+
+crates/sqldb/src/lib.rs:
+crates/sqldb/src/ast.rs:
+crates/sqldb/src/compile.rs:
+crates/sqldb/src/cost.rs:
+crates/sqldb/src/db.rs:
+crates/sqldb/src/error.rs:
+crates/sqldb/src/exec.rs:
+crates/sqldb/src/lexer.rs:
+crates/sqldb/src/parser.rs:
+crates/sqldb/src/plan.rs:
+crates/sqldb/src/schema.rs:
+crates/sqldb/src/table.rs:
+crates/sqldb/src/value.rs:

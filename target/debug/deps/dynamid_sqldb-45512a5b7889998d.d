@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/dynamid_sqldb-45512a5b7889998d.d: crates/sqldb/src/lib.rs crates/sqldb/src/ast.rs crates/sqldb/src/compile.rs crates/sqldb/src/cost.rs crates/sqldb/src/db.rs crates/sqldb/src/error.rs crates/sqldb/src/exec.rs crates/sqldb/src/lexer.rs crates/sqldb/src/parser.rs crates/sqldb/src/plan.rs crates/sqldb/src/schema.rs crates/sqldb/src/table.rs crates/sqldb/src/value.rs
+
+/root/repo/target/debug/deps/libdynamid_sqldb-45512a5b7889998d.rlib: crates/sqldb/src/lib.rs crates/sqldb/src/ast.rs crates/sqldb/src/compile.rs crates/sqldb/src/cost.rs crates/sqldb/src/db.rs crates/sqldb/src/error.rs crates/sqldb/src/exec.rs crates/sqldb/src/lexer.rs crates/sqldb/src/parser.rs crates/sqldb/src/plan.rs crates/sqldb/src/schema.rs crates/sqldb/src/table.rs crates/sqldb/src/value.rs
+
+/root/repo/target/debug/deps/libdynamid_sqldb-45512a5b7889998d.rmeta: crates/sqldb/src/lib.rs crates/sqldb/src/ast.rs crates/sqldb/src/compile.rs crates/sqldb/src/cost.rs crates/sqldb/src/db.rs crates/sqldb/src/error.rs crates/sqldb/src/exec.rs crates/sqldb/src/lexer.rs crates/sqldb/src/parser.rs crates/sqldb/src/plan.rs crates/sqldb/src/schema.rs crates/sqldb/src/table.rs crates/sqldb/src/value.rs
+
+crates/sqldb/src/lib.rs:
+crates/sqldb/src/ast.rs:
+crates/sqldb/src/compile.rs:
+crates/sqldb/src/cost.rs:
+crates/sqldb/src/db.rs:
+crates/sqldb/src/error.rs:
+crates/sqldb/src/exec.rs:
+crates/sqldb/src/lexer.rs:
+crates/sqldb/src/parser.rs:
+crates/sqldb/src/plan.rs:
+crates/sqldb/src/schema.rs:
+crates/sqldb/src/table.rs:
+crates/sqldb/src/value.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dynamid_workload-ef3d515ba1a20773.d: crates/workload/src/lib.rs crates/workload/src/driver.rs crates/workload/src/experiment.rs crates/workload/src/mix.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdynamid_workload-ef3d515ba1a20773.rmeta: crates/workload/src/lib.rs crates/workload/src/driver.rs crates/workload/src/experiment.rs crates/workload/src/mix.rs Cargo.toml
+
+crates/workload/src/lib.rs:
+crates/workload/src/driver.rs:
+crates/workload/src/experiment.rs:
+crates/workload/src/mix.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extension-03303682969b2e77.d: crates/bboard/tests/extension.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextension-03303682969b2e77.rmeta: crates/bboard/tests/extension.rs Cargo.toml
+
+crates/bboard/tests/extension.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

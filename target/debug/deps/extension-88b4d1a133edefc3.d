@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extension-88b4d1a133edefc3.d: crates/bboard/tests/extension.rs
+
+/root/repo/target/debug/deps/extension-88b4d1a133edefc3: crates/bboard/tests/extension.rs
+
+crates/bboard/tests/extension.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-fedfe6df0251077e.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-fedfe6df0251077e: tests/failure_injection.rs
+
+tests/failure_injection.rs:

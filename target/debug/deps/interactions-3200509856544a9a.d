@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/interactions-3200509856544a9a.d: crates/bookstore/tests/interactions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinteractions-3200509856544a9a.rmeta: crates/bookstore/tests/interactions.rs Cargo.toml
+
+crates/bookstore/tests/interactions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

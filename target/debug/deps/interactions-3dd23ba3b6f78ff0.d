@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/interactions-3dd23ba3b6f78ff0.d: crates/bookstore/tests/interactions.rs
+
+/root/repo/target/debug/deps/interactions-3dd23ba3b6f78ff0: crates/bookstore/tests/interactions.rs
+
+crates/bookstore/tests/interactions.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/interactions-3de2d5f92e18af94.d: crates/auction/tests/interactions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinteractions-3de2d5f92e18af94.rmeta: crates/auction/tests/interactions.rs Cargo.toml
+
+crates/auction/tests/interactions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/interactions-4d27b0ab0e082133.d: crates/auction/tests/interactions.rs
+
+/root/repo/target/debug/deps/interactions-4d27b0ab0e082133: crates/auction/tests/interactions.rs
+
+crates/auction/tests/interactions.rs:

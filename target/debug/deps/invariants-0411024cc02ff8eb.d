@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/invariants-0411024cc02ff8eb.d: tests/invariants.rs
+
+/root/repo/target/debug/deps/invariants-0411024cc02ff8eb: tests/invariants.rs
+
+tests/invariants.rs:

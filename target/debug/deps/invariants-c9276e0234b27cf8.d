@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/invariants-c9276e0234b27cf8.d: tests/invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinvariants-c9276e0234b27cf8.rmeta: tests/invariants.rs Cargo.toml
+
+tests/invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_shapes-8c3e751e6f4d1f6d.d: tests/paper_shapes.rs
+
+/root/repo/target/debug/deps/paper_shapes-8c3e751e6f4d1f6d: tests/paper_shapes.rs
+
+tests/paper_shapes.rs:

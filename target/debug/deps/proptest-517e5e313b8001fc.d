@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest-517e5e313b8001fc.d: crates/proptest/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-517e5e313b8001fc.rmeta: crates/proptest/src/lib.rs Cargo.toml
+
+crates/proptest/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

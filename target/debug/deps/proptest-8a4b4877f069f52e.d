@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-8a4b4877f069f52e.d: crates/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-8a4b4877f069f52e.rlib: crates/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-8a4b4877f069f52e.rmeta: crates/proptest/src/lib.rs
+
+crates/proptest/src/lib.rs:

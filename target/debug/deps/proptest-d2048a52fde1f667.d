@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-d2048a52fde1f667.d: crates/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-d2048a52fde1f667: crates/proptest/src/lib.rs
+
+crates/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-154a164a12470764.d: crates/sim/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-154a164a12470764: crates/sim/tests/proptests.rs
+
+crates/sim/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-5d182ae62a60ae23.d: crates/workload/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-5d182ae62a60ae23.rmeta: crates/workload/tests/proptests.rs Cargo.toml
+
+crates/workload/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-64bb7bffdc050fe6.d: crates/sqldb/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-64bb7bffdc050fe6: crates/sqldb/tests/proptests.rs
+
+crates/sqldb/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-8769c248597563be.d: crates/sqldb/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-8769c248597563be.rmeta: crates/sqldb/tests/proptests.rs Cargo.toml
+
+crates/sqldb/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-adc23d15efc6001a.d: crates/workload/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-adc23d15efc6001a: crates/workload/tests/proptests.rs
+
+crates/workload/tests/proptests.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-1974c7e9c4eb3691.d: crates/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-1974c7e9c4eb3691.rlib: crates/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-1974c7e9c4eb3691.rmeta: crates/rand/src/lib.rs
+
+crates/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-97af935a7ba21733.d: crates/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-97af935a7ba21733: crates/rand/src/lib.rs
+
+crates/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-26b183e9a627169b.d: crates/harness/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-26b183e9a627169b: crates/harness/src/bin/repro.rs
+
+crates/harness/src/bin/repro.rs:

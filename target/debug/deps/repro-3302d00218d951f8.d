@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repro-3302d00218d951f8.d: crates/harness/src/bin/repro.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepro-3302d00218d951f8.rmeta: crates/harness/src/bin/repro.rs Cargo.toml
+
+crates/harness/src/bin/repro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

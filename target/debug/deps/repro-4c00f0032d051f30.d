@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repro-4c00f0032d051f30.d: crates/harness/src/bin/repro.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepro-4c00f0032d051f30.rmeta: crates/harness/src/bin/repro.rs Cargo.toml
+
+crates/harness/src/bin/repro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

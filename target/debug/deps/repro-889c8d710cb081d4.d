@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-889c8d710cb081d4.d: crates/harness/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-889c8d710cb081d4: crates/harness/src/bin/repro.rs
+
+crates/harness/src/bin/repro.rs:

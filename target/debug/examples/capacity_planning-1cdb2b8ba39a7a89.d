@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/capacity_planning-1cdb2b8ba39a7a89.d: examples/capacity_planning.rs
+
+/root/repo/target/debug/examples/capacity_planning-1cdb2b8ba39a7a89: examples/capacity_planning.rs
+
+examples/capacity_planning.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_app-9b691fc5d4f536f3.d: examples/custom_app.rs
+
+/root/repo/target/debug/examples/custom_app-9b691fc5d4f536f3: examples/custom_app.rs
+
+examples/custom_app.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/lock_contention-6368a623f7ea87d2.d: examples/lock_contention.rs
+
+/root/repo/target/debug/examples/lock_contention-6368a623f7ea87d2: examples/lock_contention.rs
+
+examples/lock_contention.rs:

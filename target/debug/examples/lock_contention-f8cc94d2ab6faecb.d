@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/lock_contention-f8cc94d2ab6faecb.d: examples/lock_contention.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblock_contention-f8cc94d2ab6faecb.rmeta: examples/lock_contention.rs Cargo.toml
+
+examples/lock_contention.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

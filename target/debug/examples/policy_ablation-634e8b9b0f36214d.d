@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/policy_ablation-634e8b9b0f36214d.d: examples/policy_ablation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpolicy_ablation-634e8b9b0f36214d.rmeta: examples/policy_ablation.rs Cargo.toml
+
+examples/policy_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/policy_ablation-73da2a5f3b06e96b.d: examples/policy_ablation.rs
+
+/root/repo/target/debug/examples/policy_ablation-73da2a5f3b06e96b: examples/policy_ablation.rs
+
+examples/policy_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-75b829fdd1f6b196.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-75b829fdd1f6b196: examples/quickstart.rs
+
+examples/quickstart.rs:

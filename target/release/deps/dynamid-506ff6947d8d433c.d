@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dynamid-506ff6947d8d433c.d: src/lib.rs
+
+/root/repo/target/release/deps/libdynamid-506ff6947d8d433c.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libdynamid-506ff6947d8d433c.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/dynamid_auction-e2b2b271ea86859f.d: crates/auction/src/lib.rs crates/auction/src/app.rs crates/auction/src/ejb_logic.rs crates/auction/src/mixes.rs crates/auction/src/populate.rs crates/auction/src/schema.rs crates/auction/src/sql_logic.rs
+
+/root/repo/target/release/deps/libdynamid_auction-e2b2b271ea86859f.rlib: crates/auction/src/lib.rs crates/auction/src/app.rs crates/auction/src/ejb_logic.rs crates/auction/src/mixes.rs crates/auction/src/populate.rs crates/auction/src/schema.rs crates/auction/src/sql_logic.rs
+
+/root/repo/target/release/deps/libdynamid_auction-e2b2b271ea86859f.rmeta: crates/auction/src/lib.rs crates/auction/src/app.rs crates/auction/src/ejb_logic.rs crates/auction/src/mixes.rs crates/auction/src/populate.rs crates/auction/src/schema.rs crates/auction/src/sql_logic.rs
+
+crates/auction/src/lib.rs:
+crates/auction/src/app.rs:
+crates/auction/src/ejb_logic.rs:
+crates/auction/src/mixes.rs:
+crates/auction/src/populate.rs:
+crates/auction/src/schema.rs:
+crates/auction/src/sql_logic.rs:

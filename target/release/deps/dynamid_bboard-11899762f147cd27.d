@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/dynamid_bboard-11899762f147cd27.d: crates/bboard/src/lib.rs crates/bboard/src/app.rs crates/bboard/src/logic.rs crates/bboard/src/mixes.rs crates/bboard/src/populate.rs crates/bboard/src/schema.rs
+
+/root/repo/target/release/deps/libdynamid_bboard-11899762f147cd27.rlib: crates/bboard/src/lib.rs crates/bboard/src/app.rs crates/bboard/src/logic.rs crates/bboard/src/mixes.rs crates/bboard/src/populate.rs crates/bboard/src/schema.rs
+
+/root/repo/target/release/deps/libdynamid_bboard-11899762f147cd27.rmeta: crates/bboard/src/lib.rs crates/bboard/src/app.rs crates/bboard/src/logic.rs crates/bboard/src/mixes.rs crates/bboard/src/populate.rs crates/bboard/src/schema.rs
+
+crates/bboard/src/lib.rs:
+crates/bboard/src/app.rs:
+crates/bboard/src/logic.rs:
+crates/bboard/src/mixes.rs:
+crates/bboard/src/populate.rs:
+crates/bboard/src/schema.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dynamid_bench-18695882b2320d6d.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libdynamid_bench-18695882b2320d6d.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libdynamid_bench-18695882b2320d6d.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/dynamid_bookstore-49410d87322e9748.d: crates/bookstore/src/lib.rs crates/bookstore/src/app.rs crates/bookstore/src/ejb_logic.rs crates/bookstore/src/mixes.rs crates/bookstore/src/populate.rs crates/bookstore/src/schema.rs crates/bookstore/src/sql_logic.rs
+
+/root/repo/target/release/deps/libdynamid_bookstore-49410d87322e9748.rlib: crates/bookstore/src/lib.rs crates/bookstore/src/app.rs crates/bookstore/src/ejb_logic.rs crates/bookstore/src/mixes.rs crates/bookstore/src/populate.rs crates/bookstore/src/schema.rs crates/bookstore/src/sql_logic.rs
+
+/root/repo/target/release/deps/libdynamid_bookstore-49410d87322e9748.rmeta: crates/bookstore/src/lib.rs crates/bookstore/src/app.rs crates/bookstore/src/ejb_logic.rs crates/bookstore/src/mixes.rs crates/bookstore/src/populate.rs crates/bookstore/src/schema.rs crates/bookstore/src/sql_logic.rs
+
+crates/bookstore/src/lib.rs:
+crates/bookstore/src/app.rs:
+crates/bookstore/src/ejb_logic.rs:
+crates/bookstore/src/mixes.rs:
+crates/bookstore/src/populate.rs:
+crates/bookstore/src/schema.rs:
+crates/bookstore/src/sql_logic.rs:

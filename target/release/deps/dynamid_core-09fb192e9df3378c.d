@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/dynamid_core-09fb192e9df3378c.d: crates/core/src/lib.rs crates/core/src/app.rs crates/core/src/cost.rs crates/core/src/ctx.rs crates/core/src/deploy.rs crates/core/src/ejb.rs crates/core/src/middleware.rs crates/core/src/session.rs
+
+/root/repo/target/release/deps/libdynamid_core-09fb192e9df3378c.rlib: crates/core/src/lib.rs crates/core/src/app.rs crates/core/src/cost.rs crates/core/src/ctx.rs crates/core/src/deploy.rs crates/core/src/ejb.rs crates/core/src/middleware.rs crates/core/src/session.rs
+
+/root/repo/target/release/deps/libdynamid_core-09fb192e9df3378c.rmeta: crates/core/src/lib.rs crates/core/src/app.rs crates/core/src/cost.rs crates/core/src/ctx.rs crates/core/src/deploy.rs crates/core/src/ejb.rs crates/core/src/middleware.rs crates/core/src/session.rs
+
+crates/core/src/lib.rs:
+crates/core/src/app.rs:
+crates/core/src/cost.rs:
+crates/core/src/ctx.rs:
+crates/core/src/deploy.rs:
+crates/core/src/ejb.rs:
+crates/core/src/middleware.rs:
+crates/core/src/session.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/dynamid_http-b86c4f9da3a7c526.d: crates/http/src/lib.rs crates/http/src/connector.rs crates/http/src/message.rs crates/http/src/server.rs
+
+/root/repo/target/release/deps/libdynamid_http-b86c4f9da3a7c526.rlib: crates/http/src/lib.rs crates/http/src/connector.rs crates/http/src/message.rs crates/http/src/server.rs
+
+/root/repo/target/release/deps/libdynamid_http-b86c4f9da3a7c526.rmeta: crates/http/src/lib.rs crates/http/src/connector.rs crates/http/src/message.rs crates/http/src/server.rs
+
+crates/http/src/lib.rs:
+crates/http/src/connector.rs:
+crates/http/src/message.rs:
+crates/http/src/server.rs:

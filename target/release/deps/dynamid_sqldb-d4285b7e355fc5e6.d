@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/dynamid_sqldb-d4285b7e355fc5e6.d: crates/sqldb/src/lib.rs crates/sqldb/src/ast.rs crates/sqldb/src/compile.rs crates/sqldb/src/cost.rs crates/sqldb/src/db.rs crates/sqldb/src/error.rs crates/sqldb/src/exec.rs crates/sqldb/src/lexer.rs crates/sqldb/src/parser.rs crates/sqldb/src/plan.rs crates/sqldb/src/schema.rs crates/sqldb/src/table.rs crates/sqldb/src/value.rs
+
+/root/repo/target/release/deps/libdynamid_sqldb-d4285b7e355fc5e6.rlib: crates/sqldb/src/lib.rs crates/sqldb/src/ast.rs crates/sqldb/src/compile.rs crates/sqldb/src/cost.rs crates/sqldb/src/db.rs crates/sqldb/src/error.rs crates/sqldb/src/exec.rs crates/sqldb/src/lexer.rs crates/sqldb/src/parser.rs crates/sqldb/src/plan.rs crates/sqldb/src/schema.rs crates/sqldb/src/table.rs crates/sqldb/src/value.rs
+
+/root/repo/target/release/deps/libdynamid_sqldb-d4285b7e355fc5e6.rmeta: crates/sqldb/src/lib.rs crates/sqldb/src/ast.rs crates/sqldb/src/compile.rs crates/sqldb/src/cost.rs crates/sqldb/src/db.rs crates/sqldb/src/error.rs crates/sqldb/src/exec.rs crates/sqldb/src/lexer.rs crates/sqldb/src/parser.rs crates/sqldb/src/plan.rs crates/sqldb/src/schema.rs crates/sqldb/src/table.rs crates/sqldb/src/value.rs
+
+crates/sqldb/src/lib.rs:
+crates/sqldb/src/ast.rs:
+crates/sqldb/src/compile.rs:
+crates/sqldb/src/cost.rs:
+crates/sqldb/src/db.rs:
+crates/sqldb/src/error.rs:
+crates/sqldb/src/exec.rs:
+crates/sqldb/src/lexer.rs:
+crates/sqldb/src/parser.rs:
+crates/sqldb/src/plan.rs:
+crates/sqldb/src/schema.rs:
+crates/sqldb/src/table.rs:
+crates/sqldb/src/value.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/micro-16f9f19596a6d526.d: crates/bench/benches/micro.rs
+
+/root/repo/target/release/deps/micro-16f9f19596a6d526: crates/bench/benches/micro.rs
+
+crates/bench/benches/micro.rs:

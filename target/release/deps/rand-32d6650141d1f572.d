@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-32d6650141d1f572.d: crates/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-32d6650141d1f572.rlib: crates/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-32d6650141d1f572.rmeta: crates/rand/src/lib.rs
+
+crates/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-43975a301aca752b.d: crates/harness/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-43975a301aca752b: crates/harness/src/bin/repro.rs
+
+crates/harness/src/bin/repro.rs:

@@ -133,9 +133,7 @@ fn facade_failure_rolls_back_bean_stores() {
     let prep = mw.run_interaction(&mut db, &Saboteur, 3, &mut session, &mut rng, false);
     assert!(!prep.is_ok());
     // The dirty bean (v = 999) was not flushed.
-    let v = db
-        .execute("SELECT v FROM t WHERE id = 1", &[])
-        .unwrap();
+    let v = db.execute("SELECT v FROM t WHERE id = 1", &[]).unwrap();
     assert_eq!(v.rows[0][0], Value::Int(7));
 }
 

@@ -23,11 +23,7 @@ fn load(clients: usize, seed: u64) -> WorkloadConfig {
 }
 
 fn count(db: &mut Database, sql: &str, params: &[Value]) -> i64 {
-    db.execute(sql, params)
-        .unwrap()
-        .scalar()
-        .and_then(Value::as_int)
-        .unwrap_or(0)
+    db.execute(sql, params).unwrap().scalar().and_then(Value::as_int).unwrap_or(0)
 }
 
 #[test]
@@ -68,11 +64,7 @@ fn bookstore_order_graph_is_consistent_in_every_config() {
             assert_eq!(pays, 1, "{config}: order {oid} has {pays} payments");
         }
         // New customers always carry an address.
-        let dangling = count(
-            &mut db,
-            "SELECT COUNT(*) FROM customers c WHERE c.addr_id < 1",
-            &[],
-        );
+        let dangling = count(&mut db, "SELECT COUNT(*) FROM customers c WHERE c.addr_id < 1", &[]);
         assert_eq!(dangling, 0, "{config}: customers without address");
     }
 }
@@ -101,11 +93,8 @@ fn auction_bid_summaries_match_bids_table() {
         );
         assert!(r.metrics.completed > 0, "{config}");
         let max_pre = pre_bids; // bids are append-only with auto ids
-        let new_bids = count(
-            &mut db,
-            "SELECT COUNT(*) FROM bids WHERE id > ?",
-            &[Value::Int(max_pre)],
-        );
+        let new_bids =
+            count(&mut db, "SELECT COUNT(*) FROM bids WHERE id > ?", &[Value::Int(max_pre)]);
         assert!(new_bids > 0, "{config}: no bids stored");
         // For every item that received new bids, the denormalized summary
         // must be at least as fresh as the newest stored bid.
@@ -122,7 +111,7 @@ fn auction_bid_summaries_match_bids_table() {
             let summary = db
                 .execute(
                     "SELECT max_bid, nb_of_bids FROM items WHERE id = ?",
-                    &[item.clone()],
+                    std::slice::from_ref(&item),
                 )
                 .unwrap();
             if let Some(s) = summary.rows.first() {
@@ -138,11 +127,7 @@ fn auction_bid_summaries_match_bids_table() {
             }
         }
         // ids bookkeeping rows never decrease.
-        let users_counter = count(
-            &mut db,
-            "SELECT value FROM ids WHERE table_name = 'users'",
-            &[],
-        );
+        let users_counter = count(&mut db, "SELECT value FROM ids WHERE table_name = 'users'", &[]);
         assert!(users_counter >= scale.users as i64, "{config}");
     }
 }
@@ -169,11 +154,8 @@ fn comments_always_reference_real_users() {
         "SELECT COUNT(*) FROM comments c JOIN users u ON c.from_user_id = u.id",
         &[],
     );
-    let joined_to = count(
-        &mut db,
-        "SELECT COUNT(*) FROM comments c JOIN users u ON c.to_user_id = u.id",
-        &[],
-    );
+    let joined_to =
+        count(&mut db, "SELECT COUNT(*) FROM comments c JOIN users u ON c.to_user_id = u.id", &[]);
     assert_eq!(total, joined_from, "orphaned comment authors");
     assert_eq!(total, joined_to, "orphaned comment targets");
 }

@@ -109,17 +109,11 @@ fn sync_is_a_noop_without_write_contention() {
 #[test]
 fn bookstore_database_is_the_bottleneck() {
     let mix = dynamid::bookstore::mixes::shopping();
-    for config in [
-        StandardConfig::PhpColocated,
-        StandardConfig::ServletDedicatedSync,
-    ] {
+    for config in [StandardConfig::PhpColocated, StandardConfig::ServletDedicatedSync] {
         let r = run_bookstore(config, &mix, 120);
         let db = r.cpu_of("db").unwrap();
         let web = r.cpu_of("web").unwrap();
-        assert!(
-            db > web,
-            "{config}: db ({db:.2}) must exceed web ({web:.2})"
-        );
+        assert!(db > web, "{config}: db ({db:.2}) must exceed web ({web:.2})");
     }
 }
 
@@ -194,8 +188,8 @@ fn php_sync_extension_matches_servlet_sync_gains() {
     );
     // And it should land in the same regime as the servlet sync config.
     let servlet_sync = run_bookstore(StandardConfig::ServletColocatedSync, &mix, clients);
-    let rel = (php_sync.throughput_ipm - servlet_sync.throughput_ipm).abs()
-        / servlet_sync.throughput_ipm;
+    let rel =
+        (php_sync.throughput_ipm - servlet_sync.throughput_ipm).abs() / servlet_sync.throughput_ipm;
     assert!(
         rel < 0.35,
         "php-sync {:.0} vs servlet-sync {:.0}",
