@@ -6,6 +6,9 @@
 //! repro all                       every figure, CSVs into results/
 //! repro summary                   peak table across all figures
 //! options:
+//!   --smoke           quick perf smoke: three mini figure sweeps plus
+//!                     snapshot-fork and plan-cache probes, written to
+//!                     BENCH_repro.json (ignores targets)
 //!   --fast            scaled-down populations and short windows
 //!   --scale <f>       population scale factor (default 1.0)
 //!   --clients a,b,c   explicit client sweep
@@ -20,6 +23,7 @@
 use dynamid_harness::report::{cpu_markdown, peak_summary_line, sweep_csv, throughput_markdown};
 use dynamid_harness::{find_figure, run_figure, FigureData, HarnessConfig, FIGURES};
 use dynamid_sim::SimDuration;
+use dynamid_sqldb::Database;
 use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -29,10 +33,12 @@ fn main() -> ExitCode {
     let mut cfg = HarnessConfig { verbose: true, ..HarnessConfig::default() };
     let mut targets: Vec<String> = Vec::new();
     let mut out_dir = PathBuf::from("results");
+    let mut smoke = false;
 
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--smoke" => smoke = true,
             "--fast" => {
                 let verbose = cfg.verbose;
                 cfg = HarnessConfig::fast();
@@ -106,6 +112,9 @@ fn main() -> ExitCode {
         }
         i += 1;
     }
+    if smoke {
+        return run_smoke(cfg.verbose);
+    }
     if targets.is_empty() {
         return usage("no target given");
     }
@@ -159,9 +168,140 @@ fn run_and_emit(key: &str, cfg: &HarnessConfig, out_dir: &std::path::Path) {
     }
 }
 
+/// The perf smoke harness behind `repro --smoke`: two miniature figure
+/// sweeps timed end-to-end, a snapshot-fork probe (copy-on-write clone vs
+/// deep clone of the populated bookstore database), and a plan-cache probe
+/// (hit rate over one experiment point). Everything lands in
+/// `BENCH_repro.json` in the working directory so CI can diff wall-clock
+/// regressions; the modeled results themselves are covered by tests.
+fn run_smoke(verbose: bool) -> ExitCode {
+    use dynamid_bookstore::BookstoreScale;
+    use std::time::Instant;
+
+    // Deterministic miniature sweeps, each reproducible on any build as
+    // `repro --fast --quiet --jobs 1 --seed 42 --scale <s> --clients <c>
+    // --measure <m> <fig>`. The first two are dense low-client grids over
+    // both benchmarks; the third raises the population scale so per-point
+    // setup (snapshot forking) dominates the way it does in full-scale
+    // `repro all` runs.
+    let sweeps: [(&str, f64, &[usize], u64); 3] = [
+        ("fig05", 0.1, &[5, 10, 15, 20, 25, 30], 4),
+        ("fig11", 0.1, &[10, 20, 30, 40, 50, 60], 4),
+        ("fig05", 0.3, &[5, 10, 15], 2),
+    ];
+    let mut fig_json = Vec::new();
+    let mut total_secs = 0.0f64;
+    for (key, scale, clients, measure) in sweeps {
+        let mut cfg = HarnessConfig::fast();
+        cfg.verbose = false;
+        cfg.jobs = 1;
+        cfg.seed = 42;
+        cfg.scale = scale;
+        cfg.clients = clients.to_vec();
+        cfg.measure = SimDuration::from_secs(measure);
+        let pair = find_figure(key).expect("smoke figure exists");
+        let t0 = Instant::now();
+        let data = run_figure(pair, &cfg);
+        let secs = t0.elapsed().as_secs_f64();
+        total_secs += secs;
+        let points: usize = data.curves.iter().map(|c| c.points.len()).sum();
+        if verbose {
+            eprintln!("smoke {key}@{scale}: {points} points in {secs:.3}s");
+        }
+        let client_list = clients.iter().map(usize::to_string).collect::<Vec<_>>().join(",");
+        fig_json.push(format!(
+            "    {{\"id\": \"{key}\", \"scale\": {scale}, \"points\": {points}, \
+             \"wall_secs\": {secs:.3}, \"equivalent_flags\": \"--fast --quiet --jobs 1 \
+             --seed 42 --scale {scale} --clients {client_list} --measure {measure} {key}\"}}"
+        ));
+    }
+
+    // Snapshot forks: what every sweep point pays to get its private
+    // database. Copy-on-write makes this O(tables); the deep clone is the
+    // pre-CoW cost, kept as the comparison baseline.
+    let base = dynamid_bookstore::build_db(&BookstoreScale::scaled(0.1), 42).expect("population");
+    let t0 = Instant::now();
+    const FORKS: u32 = 200;
+    for _ in 0..FORKS {
+        std::hint::black_box(base.clone());
+    }
+    let cow_micros = t0.elapsed().as_micros() as f64 / f64::from(FORKS);
+    let t0 = Instant::now();
+    const DEEPS: u32 = 20;
+    for _ in 0..DEEPS {
+        std::hint::black_box(base.deep_clone());
+    }
+    let deep_micros = t0.elapsed().as_micros() as f64 / f64::from(DEEPS);
+
+    // Plan-cache temperature over one experiment point.
+    let mut cfg = HarnessConfig::fast();
+    cfg.verbose = false;
+    cfg.jobs = 1;
+    cfg.seed = 42;
+    cfg.clients = vec![25];
+    cfg.measure = SimDuration::from_secs(10);
+    cfg.configs.truncate(1);
+    let mut db = base.clone();
+    let before = db.stats();
+    run_smoke_point(&cfg, &mut db);
+    let after = db.stats();
+    let hits = after.plan_cache_hits - before.plan_cache_hits;
+    let misses = after.plan_cache_misses - before.plan_cache_misses;
+    let rate = if hits + misses == 0 { 0.0 } else { hits as f64 / (hits + misses) as f64 };
+
+    let json = format!(
+        "{{\n  \"generated_by\": \"repro --smoke\",\n  \"figures\": [\n{}\n  ],\n  \
+         \"total_wall_secs\": {total_secs:.3},\n  \
+         \"plan_cache\": {{\"hits\": {hits}, \"misses\": {misses}, \"hit_rate\": {rate:.4}}},\n  \
+         \"snapshot_fork\": {{\"cow_micros\": {cow_micros:.1}, \
+         \"deep_clone_micros\": {deep_micros:.1}}}\n}}\n",
+        fig_json.join(",\n"),
+    );
+    if let Err(e) = fs::write("BENCH_repro.json", &json) {
+        eprintln!("could not write BENCH_repro.json: {e}");
+        return ExitCode::FAILURE;
+    }
+    if verbose {
+        eprintln!(
+            "smoke total {total_secs:.3}s, plan-cache hit rate {rate:.4}, \
+             fork {cow_micros:.1}us vs deep clone {deep_micros:.1}us"
+        );
+        eprintln!("wrote BENCH_repro.json");
+    }
+    ExitCode::SUCCESS
+}
+
+/// Runs one experiment point against `db` so the plan-cache counters can
+/// be read back from it afterwards.
+fn run_smoke_point(cfg: &HarnessConfig, db: &mut Database) {
+    use dynamid_core::CostModel;
+    use dynamid_workload::{run_experiment_with_policy, WorkloadConfig};
+    let app =
+        dynamid_bookstore::Bookstore::new(dynamid_bookstore::BookstoreScale::scaled(cfg.scale));
+    let mix = dynamid_bookstore::mixes::browsing();
+    let workload = WorkloadConfig {
+        clients: cfg.clients[0],
+        think_time: cfg.think_time,
+        session_time: cfg.session_time,
+        ramp_up: cfg.ramp_up,
+        measure: cfg.measure,
+        ramp_down: cfg.ramp_down,
+        seed: cfg.seed ^ cfg.clients[0] as u64,
+    };
+    run_experiment_with_policy(
+        db,
+        &app,
+        &mix,
+        cfg.configs[0],
+        CostModel::default(),
+        workload,
+        cfg.policy,
+    );
+}
+
 fn usage(err: &str) -> ExitCode {
     eprintln!("error: {err}\n");
     eprintln!("usage: repro [options] <fig05|..|fig13|bookstore-shopping|..|all|summary>");
-    eprintln!("options: --fast --quiet --scale <f> --clients a,b,c --measure <secs> --seed <n> --jobs <n> --out <dir> --policy fifo|writer");
+    eprintln!("options: --smoke --fast --quiet --scale <f> --clients a,b,c --measure <secs> --seed <n> --jobs <n> --out <dir> --policy fifo|writer");
     ExitCode::FAILURE
 }

@@ -16,15 +16,22 @@
 //! * the projection list, GROUP BY column, ORDER BY keys, join columns
 //!   (and whether the inner side is indexed), output column names, and the
 //!   read/write table sets are all precomputed;
-//! * execution operates on [`RowId`] streams over borrowed rows wherever no
-//!   join forces materialization, cloning values only at projection time.
+//! * execution is **late-materializing**: the working set is a stream of
+//!   [`RowId`] tuples (one id per FROM/JOIN table), values are fetched from
+//!   the base tables through a [`RowView`], and rows are cloned only at
+//!   projection time. Equality joins run as hash joins when the probe side
+//!   is large enough to amortize the build, `ORDER BY … LIMIT` keeps a
+//!   bounded top-K heap instead of sorting everything, and GROUP BY folds
+//!   aggregate accumulators in a single hash pass.
 //!
 //! [`Database::execute`](crate::Database::execute) caches one
 //! [`CompiledStmt`] per SQL text; a plan records the schema version it was
 //! compiled against and is invalidated (recompiled) when DDL bumps the
 //! version. The executor here mirrors the AST interpreter in `exec`
 //! operation for operation, so [`QueryCounters`] — and therefore the cost
-//! model — are byte-identical between the two paths; the unit tests below
+//! model — are byte-identical between the two paths: counters keep the
+//! paper's MyISAM nested-index-loop charging no matter which physical
+//! strategy runs, so only host wall-clock changes. The unit tests below
 //! and `tests/proptests.rs` enforce that equivalence.
 
 use crate::ast::{
@@ -38,7 +45,7 @@ use crate::plan::{col_on_table, conjuncts, flip, is_const, AccessPath, OwnedBoun
 use crate::table::{RowId, Table};
 use crate::value::Value;
 use std::cmp::Ordering;
-use std::collections::BTreeMap;
+use std::collections::HashMap;
 
 /// A statement compiled against one schema version: names resolved,
 /// access-path shape selected, projection planned. Produced and cached by
@@ -127,7 +134,9 @@ struct CJoin {
     outer_col: usize,
     /// Join-key position within the joined table.
     inner_col: usize,
-    /// Whether the inner column has an index (decides probe vs scan).
+    /// Whether the inner column has an index. This decides the *modeled*
+    /// counter charging (an index probe per outer row vs a scan); the
+    /// physical executor is free to build a hash table either way.
     inner_indexed: bool,
 }
 
@@ -165,6 +174,10 @@ struct CSelect {
     limit: Option<(u64, u64)>,
     read_tables: Vec<String>,
     columns: Vec<String>,
+    /// Combined-row position → (table slot, column within that table), so
+    /// the executor can resolve any column from a tuple of row ids without
+    /// materializing the concatenated row.
+    col_map: Vec<(u32, u32)>,
 }
 
 #[derive(Debug)]
@@ -307,17 +320,43 @@ fn compile_expr(e: &Expr, scope: Option<&CScope<'_>>) -> SqlResult<CExpr> {
     })
 }
 
+/// A combined row the executor can read without materializing it: either a
+/// contiguous slice (single-table paths, UPDATE/DELETE) or a tuple of row
+/// ids resolved through the plan's column map (join paths). Copyable, so
+/// expression evaluation passes it around like the old `&[Value]`.
+#[derive(Clone, Copy)]
+enum RowView<'a> {
+    /// One table's row, columns addressed directly.
+    Slice(&'a [Value]),
+    /// A join tuple: one live row id per table slot; column `i` resolves
+    /// via `col_map[i]` to (slot, column-in-table).
+    Tuple { tables: &'a [&'a Table], col_map: &'a [(u32, u32)], rids: &'a [RowId] },
+}
+
+impl RowView<'_> {
+    fn get(&self, i: usize) -> &Value {
+        match self {
+            RowView::Slice(row) => &row[i],
+            RowView::Tuple { tables, col_map, rids } => {
+                let (slot, col) = col_map[i];
+                let slot = slot as usize;
+                &tables[slot].get(rids[slot]).expect("live row")[col as usize]
+            }
+        }
+    }
+}
+
 /// Evaluates a compiled expression; mirrors the interpreter's `eval`
 /// (including SQL NULL short-circuit semantics) with column access reduced
-/// to an index into the combined row.
-fn ceval(expr: &CExpr, row: Option<&[Value]>, params: &[Value]) -> SqlResult<Value> {
+/// to an index into the combined row view.
+fn ceval(expr: &CExpr, row: Option<RowView<'_>>, params: &[Value]) -> SqlResult<Value> {
     match expr {
         CExpr::Lit(v) => Ok(v.clone()),
         CExpr::Param(i) => params.get(*i).cloned().ok_or(SqlError::MissingParam(*i)),
         CExpr::Col(i) => {
             let row = row
                 .ok_or_else(|| SqlError::Unsupported(format!("column #{i} in row-free context")))?;
-            Ok(row[*i].clone())
+            Ok(row.get(*i).clone())
         }
         CExpr::Neg(e) => {
             let v = ceval(e, row, params)?;
@@ -677,6 +716,13 @@ fn compile_select(db: &Database, s: &SelectStmt) -> SqlResult<CSelect> {
         }
     }
 
+    let mut col_map = Vec::with_capacity(scope.width);
+    for (slot, (_, table, _)) in scope.entries.iter().enumerate() {
+        for ci in 0..table.schema().columns().len() {
+            col_map.push((slot as u32, ci as u32));
+        }
+    }
+
     Ok(CSelect {
         base,
         path,
@@ -688,6 +734,7 @@ fn compile_select(db: &Database, s: &SelectStmt) -> SqlResult<CSelect> {
         limit: s.limit,
         read_tables,
         columns,
+        col_map,
     })
 }
 
@@ -796,66 +843,195 @@ pub(crate) fn exec_compiled(
     }
 }
 
-/// The executor's working set: either a stream of row ids over one table
-/// (no-join fast path — rows stay borrowed until projection) or
-/// materialized combined rows (joins).
+/// The executor's late-materialized working set: row ids only, values stay
+/// in the base tables until projection. Join results are flat tuples of one
+/// `RowId` per table (`stride` ids per logical row), so filtering, sorting,
+/// and limiting shuffle machine words instead of cloned `Value` rows.
 enum RowSet<'a> {
-    Borrowed { table: &'a Table, ids: Vec<RowId> },
-    Owned(Vec<Vec<Value>>),
+    /// No-join fast path: a stream of row ids over one table.
+    Single { table: &'a Table, ids: Vec<RowId> },
+    /// Join result: `tuples.len() / stride` logical rows, each `stride`
+    /// consecutive row ids (one per table slot, in scope order).
+    Joined { tables: Vec<&'a Table>, col_map: &'a [(u32, u32)], stride: usize, tuples: Vec<RowId> },
 }
 
 impl RowSet<'_> {
     fn len(&self) -> usize {
         match self {
-            RowSet::Borrowed { ids, .. } => ids.len(),
-            RowSet::Owned(rows) => rows.len(),
+            RowSet::Single { ids, .. } => ids.len(),
+            RowSet::Joined { stride, tuples, .. } => tuples.len() / stride,
         }
     }
 
-    fn row(&self, i: usize) -> &[Value] {
+    fn view(&self, i: usize) -> RowView<'_> {
         match self {
-            RowSet::Borrowed { table, ids } => table.get(ids[i]).expect("live row"),
-            RowSet::Owned(rows) => &rows[i],
+            RowSet::Single { table, ids } => RowView::Slice(table.get(ids[i]).expect("live row")),
+            RowSet::Joined { tables, col_map, stride, tuples } => {
+                RowView::Tuple { tables, col_map, rids: &tuples[i * stride..(i + 1) * stride] }
+            }
         }
     }
 
     /// Keeps only the positions in `keep` (ascending).
     fn select(&mut self, keep: &[usize]) {
-        fn retain_positions<T>(v: &mut Vec<T>, keep: &[usize]) {
-            let mut i = 0;
-            let mut k = 0;
-            v.retain(|_| {
-                let keep_this = k < keep.len() && keep[k] == i;
-                if keep_this {
-                    k += 1;
-                }
-                i += 1;
-                keep_this
-            });
-        }
         match self {
-            RowSet::Borrowed { ids, .. } => retain_positions(ids, keep),
-            RowSet::Owned(rows) => retain_positions(rows, keep),
+            RowSet::Single { ids, .. } => {
+                let mut i = 0;
+                let mut k = 0;
+                ids.retain(|_| {
+                    let keep_this = k < keep.len() && keep[k] == i;
+                    if keep_this {
+                        k += 1;
+                    }
+                    i += 1;
+                    keep_this
+                });
+            }
+            RowSet::Joined { stride, tuples, .. } => {
+                let mut out = Vec::with_capacity(keep.len() * *stride);
+                for &i in keep {
+                    out.extend_from_slice(&tuples[i * *stride..(i + 1) * *stride]);
+                }
+                *tuples = out;
+            }
         }
     }
 
-    /// Reorders to `order` (a permutation of positions).
+    /// Reorders to `order` (positions into the current set; may be a strict
+    /// subset when a top-K sort already discarded rows past the window).
     fn reorder(&mut self, order: &[usize]) {
         match self {
-            RowSet::Borrowed { ids, .. } => {
+            RowSet::Single { ids, .. } => {
                 *ids = order.iter().map(|i| ids[*i]).collect();
             }
-            RowSet::Owned(rows) => {
-                *rows = order.iter().map(|i| std::mem::take(&mut rows[*i])).collect();
+            RowSet::Joined { stride, tuples, .. } => {
+                let mut out = Vec::with_capacity(order.len() * *stride);
+                for &i in order {
+                    out.extend_from_slice(&tuples[i * *stride..(i + 1) * *stride]);
+                }
+                *tuples = out;
             }
         }
     }
 
     fn limit(&mut self, limit: Option<(u64, u64)>) {
         match self {
-            RowSet::Borrowed { ids, .. } => apply_limit(ids, limit),
-            RowSet::Owned(rows) => apply_limit(rows, limit),
+            RowSet::Single { ids, .. } => apply_limit(ids, limit),
+            RowSet::Joined { stride, tuples, .. } => {
+                if let Some((offset, count)) = limit {
+                    let n = tuples.len() / *stride;
+                    let offset = usize::try_from(offset).unwrap_or(usize::MAX);
+                    let count = usize::try_from(count).unwrap_or(usize::MAX);
+                    if offset >= n {
+                        tuples.clear();
+                        return;
+                    }
+                    tuples.truncate(offset.saturating_add(count).min(n) * *stride);
+                    if offset > 0 {
+                        *tuples = tuples.split_off(offset * *stride);
+                    }
+                }
+            }
         }
+    }
+}
+
+/// The physical inner side of one equality join. All variants produce the
+/// same matches in the same order, and the caller charges the modeled
+/// counters identically for each — the variants differ only in host cost.
+enum JoinProbe<'a> {
+    /// B-tree probe per outer row; cheapest when the outer side is tiny.
+    Index { jt: &'a Table, col: usize },
+    /// Hash table snapshotted from the index in one pass (preserves the
+    /// index's per-key row-id order, so results match `Index` exactly).
+    HashIdx(HashMap<&'a Value, &'a [RowId]>),
+    /// Hash table built from a scan of an unindexed inner (per-key ids in
+    /// scan order, matching what a scan per outer row would find).
+    HashScan(HashMap<&'a Value, Vec<RowId>>),
+    /// Single scan of an unindexed inner; only worth it for one outer row.
+    Scan { jt: &'a Table, col: usize },
+}
+
+impl<'a> JoinProbe<'a> {
+    fn build(
+        jt: &'a Table,
+        inner_col: usize,
+        inner_indexed: bool,
+        n_outer: usize,
+    ) -> JoinProbe<'a> {
+        if inner_indexed {
+            // Building costs one pass over the index's keys; probing the
+            // B-tree costs O(log keys) per outer row. Build only when the
+            // probe side is large enough to amortize it.
+            if n_outer >= 32 && n_outer.saturating_mul(8) >= jt.index_cardinality(inner_col) {
+                JoinProbe::HashIdx(jt.index_groups(inner_col).collect())
+            } else {
+                JoinProbe::Index { jt, col: inner_col }
+            }
+        } else if n_outer > 1 {
+            let mut map: HashMap<&'a Value, Vec<RowId>> = HashMap::new();
+            for (rid, row) in jt.scan() {
+                map.entry(&row[inner_col]).or_default().push(rid);
+            }
+            JoinProbe::HashScan(map)
+        } else {
+            JoinProbe::Scan { jt, col: inner_col }
+        }
+    }
+}
+
+/// Pushes into a bounded binary max-heap (array form, `heap[0]` largest)
+/// keeping the `k` smallest items under `cmp`, which must be a total order.
+/// After feeding all n items and sorting the survivors, the result is
+/// exactly the first `k` rows a full stable sort would produce, in
+/// O(n log k) with only `k` decorated rows alive.
+fn heap_push<T>(heap: &mut Vec<T>, item: T, k: usize, cmp: &impl Fn(&T, &T) -> Ordering) {
+    if k == 0 {
+        return;
+    }
+    if heap.len() < k {
+        heap.push(item);
+        let mut i = heap.len() - 1;
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if cmp(&heap[i], &heap[parent]) == Ordering::Greater {
+                heap.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    } else if cmp(&item, &heap[0]) == Ordering::Less {
+        heap[0] = item;
+        let mut i = 0;
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut m = i;
+            if l < heap.len() && cmp(&heap[l], &heap[m]) == Ordering::Greater {
+                m = l;
+            }
+            if r < heap.len() && cmp(&heap[r], &heap[m]) == Ordering::Greater {
+                m = r;
+            }
+            if m == i {
+                break;
+            }
+            heap.swap(i, m);
+            i = m;
+        }
+    }
+}
+
+/// The number of leading sorted rows the LIMIT window can expose:
+/// `offset + count` saturating, capped at `n`. `None` means all rows.
+fn limit_window(limit: Option<(u64, u64)>, n: usize) -> usize {
+    match limit {
+        Some((offset, count)) => {
+            let offset = usize::try_from(offset).unwrap_or(usize::MAX);
+            let count = usize::try_from(count).unwrap_or(usize::MAX);
+            offset.saturating_add(count).min(n)
+        }
+        None => n,
     }
 }
 
@@ -866,40 +1042,62 @@ fn exec_cselect(db: &Database, c: &CSelect, params: &[Value]) -> SqlResult<Query
     let base_ids = candidate_rows(base_table, &path, &mut counters);
 
     let mut rows = if c.joins.is_empty() {
-        RowSet::Borrowed { table: base_table, ids: base_ids }
+        RowSet::Single { table: base_table, ids: base_ids }
     } else {
-        let mut combined: Vec<Vec<Value>> =
-            base_ids.iter().filter_map(|rid| base_table.get(*rid)).map(|r| r.to_vec()).collect();
+        // Late-materialized joins: grow flat RowId tuples one table at a
+        // time. The counters are charged per outer row with the modeled
+        // nested-index-loop formula regardless of the probe strategy.
+        let mut tables: Vec<&Table> = Vec::with_capacity(1 + c.joins.len());
+        tables.push(base_table);
+        let mut tuples: Vec<RowId> = base_ids;
+        let mut stride = 1usize;
         for cj in &c.joins {
             let jt = db.table_at(cj.table);
-            let mut next: Vec<Vec<Value>> = Vec::new();
-            for row in &combined {
-                let key = &row[cj.outer_col];
-                let matches: Vec<RowId> = if cj.inner_indexed {
-                    counters.index_lookups += 1;
-                    jt.index_lookup(cj.inner_col, key)
-                } else {
-                    jt.scan().filter(|(_, r)| &r[cj.inner_col] == key).map(|(rid, _)| rid).collect()
-                };
-                counters.rows_examined += matches.len().max(1) as u64;
-                for rid in matches {
-                    if let Some(jrow) = jt.get(rid) {
-                        let mut out = row.clone();
-                        out.extend_from_slice(jrow);
-                        next.push(out);
+            let (oslot, ocol) = c.col_map[cj.outer_col];
+            let (oslot, ocol) = (oslot as usize, ocol as usize);
+            let n_outer = tuples.len() / stride;
+            let probe = JoinProbe::build(jt, cj.inner_col, cj.inner_indexed, n_outer);
+            let mut next: Vec<RowId> = Vec::with_capacity(tuples.len() + n_outer);
+            for tuple in tuples.chunks_exact(stride) {
+                let key = &tables[oslot].get(tuple[oslot]).expect("live row")[ocol];
+                let scratch: Vec<RowId>;
+                let matches: &[RowId] = match &probe {
+                    JoinProbe::Index { jt, col } => {
+                        scratch = jt.index_lookup(*col, key);
+                        &scratch
                     }
+                    JoinProbe::HashIdx(map) => map.get(key).copied().unwrap_or(&[]),
+                    JoinProbe::HashScan(map) => map.get(key).map(Vec::as_slice).unwrap_or(&[]),
+                    JoinProbe::Scan { jt, col } => {
+                        scratch = jt
+                            .scan()
+                            .filter(|(_, r)| &r[*col] == key)
+                            .map(|(rid, _)| rid)
+                            .collect();
+                        &scratch
+                    }
+                };
+                if cj.inner_indexed {
+                    counters.index_lookups += 1;
+                }
+                counters.rows_examined += matches.len().max(1) as u64;
+                for &rid in matches {
+                    next.extend_from_slice(tuple);
+                    next.push(rid);
                 }
             }
-            combined = next;
+            tables.push(jt);
+            tuples = next;
+            stride += 1;
         }
-        RowSet::Owned(combined)
+        RowSet::Joined { tables, col_map: &c.col_map, stride, tuples }
     };
 
     // Residual filter.
     if let Some(f) = &c.filter {
         let mut keep = Vec::with_capacity(rows.len());
         for i in 0..rows.len() {
-            if ceval(f, Some(rows.row(i)), params)?.is_truthy() {
+            if ceval(f, Some(rows.view(i)), params)?.is_truthy() {
                 keep.push(i);
             }
         }
@@ -908,80 +1106,119 @@ fn exec_cselect(db: &Database, c: &CSelect, params: &[Value]) -> SqlResult<Query
 
     let out_rows = match &c.proj {
         CProjKind::Agg { items, group_by } => {
-            // Group positions (BTreeMap gives deterministic group order).
-            let mut groups: BTreeMap<Value, Vec<usize>> = BTreeMap::new();
+            // Single-pass hash aggregation: one walk over the source rows
+            // folds every accumulator; groups are then emitted in ascending
+            // key order, matching the interpreter's BTreeMap grouping.
+            // Every source row lands in exactly one group, so the total
+            // charged to rows_examined is unchanged.
+            counters.rows_examined += rows.len() as u64;
+            let mut out: Vec<Vec<Value>>;
             match group_by {
                 Some(gc) => {
+                    let mut groups: HashMap<Value, GroupAcc> = HashMap::new();
                     for i in 0..rows.len() {
-                        groups.entry(rows.row(i)[*gc].clone()).or_default().push(i);
+                        let row = rows.view(i);
+                        let key = row.get(*gc).clone();
+                        groups
+                            .entry(key)
+                            .or_insert_with(|| GroupAcc::new(items, i))
+                            .fold(items, row);
+                    }
+                    let mut entries: Vec<(Value, GroupAcc)> = groups.into_iter().collect();
+                    // Keys are unique, so the unstable sort is deterministic.
+                    entries.sort_unstable_by(|(a, _), (b, _)| a.cmp(b));
+                    out = Vec::with_capacity(entries.len());
+                    for (_, g) in &entries {
+                        out.push(g.finalize(items, &rows, params)?);
                     }
                 }
                 None => {
-                    groups.insert(Value::Int(0), (0..rows.len()).collect());
+                    // A global aggregate always yields one row, even over
+                    // zero input rows (COUNT(*) = 0).
+                    let mut g = GroupAcc::new(items, 0);
+                    for i in 0..rows.len() {
+                        g.fold(items, rows.view(i));
+                    }
+                    out = vec![g.finalize(items, &rows, params)?];
                 }
-            }
-            let mut out = Vec::with_capacity(groups.len());
-            for (_, gidx) in groups {
-                counters.rows_examined += gidx.len() as u64;
-                let mut orow = Vec::with_capacity(c.columns.len());
-                for item in items {
-                    orow.push(eval_agg_citem(item, &rows, &gidx, params)?);
-                }
-                out.push(orow);
             }
             if !c.order_output.is_empty() {
                 counters.sort_rows += out.len() as u64;
-                out.sort_by(|a, b| {
+                let n = out.len();
+                let k = limit_window(c.limit, n);
+                let cmp = |a: &(Vec<Value>, usize), b: &(Vec<Value>, usize)| {
                     for (idx, desc) in &c.order_output {
-                        let ord = a[*idx].cmp(&b[*idx]);
+                        let ord = a.0[*idx].cmp(&b.0[*idx]);
                         let ord = if *desc { ord.reverse() } else { ord };
                         if ord != Ordering::Equal {
                             return ord;
                         }
                     }
-                    Ordering::Equal
-                });
+                    // Position tie-break = the stable sort the interpreter
+                    // runs, preserving ascending-group-key order among ties.
+                    a.1.cmp(&b.1)
+                };
+                let mut decorated: Vec<(Vec<Value>, usize)> =
+                    Vec::with_capacity(k.min(n).saturating_add(1));
+                for (i, row) in out.into_iter().enumerate() {
+                    if k >= n {
+                        decorated.push((row, i));
+                    } else {
+                        heap_push(&mut decorated, (row, i), k, &cmp);
+                    }
+                }
+                decorated.sort_by(|a, b| cmp(a, b));
+                out = decorated.into_iter().map(|(row, _)| row).collect();
             }
             apply_limit(&mut out, c.limit);
             out
         }
         CProjKind::Plain(plan) => {
             if !c.order_source.is_empty() {
+                // The full input is charged to the sort counter — the model
+                // sorts everything — but physically only the LIMIT window's
+                // rows are kept in the top-K heap.
                 counters.sort_rows += rows.len() as u64;
-                // Precompute sort keys, stable tie-break on position.
-                let mut decorated: Vec<(Vec<Value>, usize)> = Vec::with_capacity(rows.len());
-                for i in 0..rows.len() {
-                    let row = rows.row(i);
-                    let kv: Vec<Value> = c
-                        .order_source
-                        .iter()
-                        .map(|(e, _)| ceval(e, Some(row), params))
-                        .collect::<SqlResult<_>>()?;
-                    decorated.push((kv, i));
-                }
-                decorated.sort_by(|(a, ai), (b, bi)| {
-                    for ((av, bv), (_, desc)) in a.iter().zip(b).zip(&c.order_source) {
+                let n = rows.len();
+                let k = limit_window(c.limit, n);
+                let cmp = |a: &(Vec<Value>, usize), b: &(Vec<Value>, usize)| {
+                    for ((av, bv), (_, desc)) in a.0.iter().zip(&b.0).zip(&c.order_source) {
                         let ord = av.cmp(bv);
                         let ord = if *desc { ord.reverse() } else { ord };
                         if ord != Ordering::Equal {
                             return ord;
                         }
                     }
-                    ai.cmp(bi)
-                });
+                    a.1.cmp(&b.1) // stable tie-break on position
+                };
+                let mut decorated: Vec<(Vec<Value>, usize)> =
+                    Vec::with_capacity(k.min(n).saturating_add(1));
+                for i in 0..n {
+                    let row = rows.view(i);
+                    let kv: Vec<Value> = c
+                        .order_source
+                        .iter()
+                        .map(|(e, _)| ceval(e, Some(row), params))
+                        .collect::<SqlResult<_>>()?;
+                    if k >= n {
+                        decorated.push((kv, i));
+                    } else {
+                        heap_push(&mut decorated, (kv, i), k, &cmp);
+                    }
+                }
+                decorated.sort_by(|a, b| cmp(a, b));
                 let order: Vec<usize> = decorated.into_iter().map(|(_, i)| i).collect();
                 rows.reorder(&order);
             }
             rows.limit(c.limit);
-            // Projection: the only point values are cloned on the no-join
-            // path.
+            // Projection: the only point values are cloned.
             let mut out = Vec::with_capacity(rows.len());
             for i in 0..rows.len() {
-                let row = rows.row(i);
+                let row = rows.view(i);
                 let mut o = Vec::with_capacity(c.columns.len());
                 for p in plan {
                     match p {
-                        CProj::Cols(cols) => o.extend(cols.iter().map(|ci| row[*ci].clone())),
+                        CProj::Cols(cols) => o.extend(cols.iter().map(|ci| row.get(*ci).clone())),
                         CProj::Expr(e) => o.push(ceval(e, Some(row), params)?),
                     }
                 }
@@ -1009,58 +1246,150 @@ fn exec_cselect(db: &Database, c: &CSelect, params: &[Value]) -> SqlResult<Query
     })
 }
 
-/// Evaluates one aggregate select item over a group; mirrors the
-/// interpreter's `eval_agg_item`.
-fn eval_agg_citem(
-    item: &CAggItem,
-    rows: &RowSet<'_>,
-    gidx: &[usize],
-    params: &[Value],
-) -> SqlResult<Value> {
-    use crate::ast::AggFunc;
-    match item {
-        CAggItem::Agg { func, col } => {
-            let values: Vec<Value> = match col {
-                None => return Ok(Value::Int(gidx.len() as i64)),
-                Some(idx) => gidx
-                    .iter()
-                    .map(|i| rows.row(*i)[*idx].clone())
-                    .filter(|v| !v.is_null())
-                    .collect(),
-            };
-            match func {
-                AggFunc::Count => Ok(Value::Int(values.len() as i64)),
-                AggFunc::Max => Ok(values.into_iter().max().unwrap_or(Value::Null)),
-                AggFunc::Min => Ok(values.into_iter().min().unwrap_or(Value::Null)),
-                AggFunc::Sum | AggFunc::Avg => {
-                    if values.is_empty() {
-                        return Ok(Value::Null);
+/// One aggregate accumulator, folded in a single pass over a group's rows.
+/// Tie-breaking and overflow semantics replicate the interpreter's
+/// collect-then-fold implementation exactly: MAX keeps the *last* of equal
+/// maxima and MIN the *first* of equal minima (observable when an Int and a
+/// Float compare equal), and SUM raises the integer-overflow error only
+/// when every input value is an Int.
+enum Acc {
+    /// COUNT(*) — answered from the group's row count.
+    CountStar,
+    /// COUNT(col): non-null values seen.
+    Count(i64),
+    Max(Option<Value>),
+    Min(Option<Value>),
+    /// SUM/AVG: non-null count, all-int flag, checked integer total (None
+    /// after overflow), and the float total over numeric values.
+    Sum {
+        n: u64,
+        all_int: bool,
+        int: Option<i64>,
+        float: f64,
+    },
+    /// Non-aggregate item — evaluated on the group's first row at the end.
+    Scalar,
+}
+
+impl Acc {
+    fn new(item: &CAggItem) -> Acc {
+        use crate::ast::AggFunc;
+        match item {
+            CAggItem::Scalar(_) => Acc::Scalar,
+            // Any aggregate over `*` counts the group's rows.
+            CAggItem::Agg { col: None, .. } => Acc::CountStar,
+            CAggItem::Agg { func: AggFunc::Count, .. } => Acc::Count(0),
+            CAggItem::Agg { func: AggFunc::Max, .. } => Acc::Max(None),
+            CAggItem::Agg { func: AggFunc::Min, .. } => Acc::Min(None),
+            CAggItem::Agg { func: AggFunc::Sum | AggFunc::Avg, .. } => {
+                Acc::Sum { n: 0, all_int: true, int: Some(0), float: 0.0 }
+            }
+        }
+    }
+}
+
+/// All accumulators for one group, plus the first row (for scalar items).
+struct GroupAcc {
+    first: usize,
+    rows: u64,
+    accs: Vec<Acc>,
+}
+
+impl GroupAcc {
+    fn new(items: &[CAggItem], first: usize) -> GroupAcc {
+        GroupAcc { first, rows: 0, accs: items.iter().map(Acc::new).collect() }
+    }
+
+    fn fold(&mut self, items: &[CAggItem], row: RowView<'_>) {
+        self.rows += 1;
+        for (acc, item) in self.accs.iter_mut().zip(items) {
+            let CAggItem::Agg { col: Some(cidx), .. } = item else { continue };
+            let v = row.get(*cidx);
+            if v.is_null() {
+                continue;
+            }
+            match acc {
+                Acc::Count(n) => *n += 1,
+                Acc::Max(cur) => {
+                    let better = match cur {
+                        None => true,
+                        Some(c) => v >= c,
+                    };
+                    if better {
+                        *cur = Some(v.clone());
                     }
-                    let n = values.len();
-                    let all_int = values.iter().all(|v| matches!(v, Value::Int(_)));
-                    if all_int && *func == AggFunc::Sum {
-                        let mut acc: i64 = 0;
-                        for v in &values {
-                            acc = acc
-                                .checked_add(v.as_int().expect("int"))
-                                .ok_or_else(|| SqlError::Arithmetic("SUM overflow".into()))?;
-                        }
-                        Ok(Value::Int(acc))
+                }
+                Acc::Min(cur) => {
+                    let better = match cur {
+                        None => true,
+                        Some(c) => v < c,
+                    };
+                    if better {
+                        *cur = Some(v.clone());
+                    }
+                }
+                Acc::Sum { n, all_int, int, float } => {
+                    *n += 1;
+                    if let Some(f) = v.as_float() {
+                        *float += f;
+                    }
+                    match v {
+                        Value::Int(i) => *int = int.and_then(|acc| acc.checked_add(*i)),
+                        _ => *all_int = false,
+                    }
+                }
+                Acc::CountStar | Acc::Scalar => {}
+            }
+        }
+    }
+
+    fn finalize(
+        &self,
+        items: &[CAggItem],
+        rows: &RowSet<'_>,
+        params: &[Value],
+    ) -> SqlResult<Vec<Value>> {
+        use crate::ast::AggFunc;
+        let mut orow = Vec::with_capacity(items.len());
+        for (acc, item) in self.accs.iter().zip(items) {
+            orow.push(match acc {
+                Acc::CountStar => Value::Int(self.rows as i64),
+                Acc::Count(n) => Value::Int(*n),
+                Acc::Max(cur) | Acc::Min(cur) => cur.clone().unwrap_or(Value::Null),
+                Acc::Sum { n, all_int, int, float } => {
+                    if *n == 0 {
+                        Value::Null
                     } else {
-                        let total: f64 = values.iter().filter_map(Value::as_float).sum();
-                        if *func == AggFunc::Sum {
-                            Ok(Value::Float(total))
+                        let CAggItem::Agg { func, .. } = item else {
+                            unreachable!("sum acc comes from an agg item")
+                        };
+                        if *all_int && *func == AggFunc::Sum {
+                            match int {
+                                Some(total) => Value::Int(*total),
+                                None => {
+                                    return Err(SqlError::Arithmetic("SUM overflow".into()));
+                                }
+                            }
+                        } else if *func == AggFunc::Sum {
+                            Value::Float(*float)
                         } else {
-                            Ok(Value::Float(total / n as f64))
+                            Value::Float(*float / *n as f64)
                         }
                     }
                 }
-            }
+                Acc::Scalar => {
+                    let CAggItem::Scalar(e) = item else {
+                        unreachable!("scalar acc comes from a scalar item")
+                    };
+                    if self.rows == 0 {
+                        Value::Null
+                    } else {
+                        ceval(e, Some(rows.view(self.first)), params)?
+                    }
+                }
+            });
         }
-        CAggItem::Scalar(e) => match gidx.first() {
-            Some(i) => ceval(e, Some(rows.row(*i)), params),
-            None => Ok(Value::Null),
-        },
+        Ok(orow)
     }
 }
 
@@ -1106,13 +1435,13 @@ fn exec_cupdate(db: &mut Database, u: &CUpdate, params: &[Value]) -> SqlResult<Q
     for rid in candidates {
         let Some(row) = table.get(rid) else { continue };
         if let Some(f) = &u.filter {
-            if !ceval(f, Some(row), params)?.is_truthy() {
+            if !ceval(f, Some(RowView::Slice(row)), params)?.is_truthy() {
                 continue;
             }
         }
         let mut new_row = row.to_vec();
         for (idx, e) in &u.sets {
-            new_row[*idx] = ceval(e, Some(row), params)?;
+            new_row[*idx] = ceval(e, Some(RowView::Slice(row)), params)?;
         }
         updates.push((rid, new_row));
     }
@@ -1144,7 +1473,7 @@ fn exec_cdelete(db: &mut Database, d: &CDelete, params: &[Value]) -> SqlResult<Q
     for rid in candidates {
         let Some(row) = table.get(rid) else { continue };
         if let Some(f) = &d.filter {
-            if !ceval(f, Some(row), params)?.is_truthy() {
+            if !ceval(f, Some(RowView::Slice(row)), params)?.is_truthy() {
                 continue;
             }
         }
@@ -1303,6 +1632,33 @@ mod tests {
             ("SELECT name FROM items WHERE name LIKE '%a%' ORDER BY name", vec![]),
             ("SELECT name FROM items WHERE category IN (20, 30)", vec![]),
             ("SELECT name FROM items WHERE NULL = NULL", vec![]),
+            (
+                "SELECT i.name, b.bid FROM items i JOIN bids b ON i.id = b.item_id \
+                 ORDER BY b.bid LIMIT 2, 3",
+                vec![],
+            ),
+            ("SELECT id FROM items ORDER BY id LIMIT 2, 0", vec![]),
+            ("SELECT id FROM items ORDER BY id LIMIT 9, 4", vec![]),
+            (
+                "SELECT item_id, COUNT(*) AS n FROM bids GROUP BY item_id \
+                 ORDER BY n DESC LIMIT 1, 1",
+                vec![],
+            ),
+            (
+                "SELECT user_id, MIN(bid), AVG(qty) FROM bids GROUP BY user_id \
+                 ORDER BY user_id LIMIT 2",
+                vec![],
+            ),
+            (
+                "SELECT i.name, b.qty FROM items i JOIN bids b ON i.nb_of_bids = b.qty \
+                 ORDER BY i.id, b.id",
+                vec![],
+            ),
+            (
+                "SELECT i.name, b.qty FROM items i JOIN bids b ON i.nb_of_bids = b.qty \
+                 WHERE i.id = 1",
+                vec![],
+            ),
             (
                 "UPDATE items SET nb_of_bids = nb_of_bids + 1, max_bid = ? WHERE id = ?",
                 vec![Value::Float(30.0), Value::Int(1)],

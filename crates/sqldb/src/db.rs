@@ -55,7 +55,11 @@ pub struct DbStats {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Database {
-    tables: Vec<Table>,
+    /// Tables are `Arc`-shared between clones: `Database::clone` is an
+    /// O(tables) copy-on-write snapshot fork, and the first write to a table
+    /// in either copy un-shares just that table (`Arc::make_mut`). The
+    /// harness leans on this to fork a populated database per sweep point.
+    tables: Vec<Arc<Table>>,
     by_name: HashMap<String, usize>,
     cost: DbCostModel,
     stmt_cache: HashMap<String, Arc<Stmt>>,
@@ -104,7 +108,7 @@ impl Database {
             return Err(SqlError::TableExists(name));
         }
         self.by_name.insert(name, self.tables.len());
-        self.tables.push(Table::new(schema));
+        self.tables.push(Arc::new(Table::new(schema)));
         // DDL invalidates every compiled plan: column positions, table
         // ids, and name resolution may all have changed.
         self.schema_version += 1;
@@ -137,9 +141,9 @@ impl Database {
         &self.tables[id]
     }
 
-    /// Mutable table by catalog id.
+    /// Mutable table by catalog id, un-sharing it from any snapshot first.
     pub(crate) fn table_at_mut(&mut self, id: usize) -> &mut Table {
-        &mut self.tables[id]
+        Arc::make_mut(&mut self.tables[id])
     }
 
     /// Names of all tables, in creation order.
@@ -155,7 +159,7 @@ impl Database {
     pub fn table(&self, name: &str) -> SqlResult<&Table> {
         self.by_name
             .get(name)
-            .map(|i| &self.tables[*i])
+            .map(|i| self.tables[*i].as_ref())
             .ok_or_else(|| SqlError::UnknownTable(name.to_string()))
     }
 
@@ -166,9 +170,38 @@ impl Database {
     /// Fails when the table does not exist.
     pub fn table_mut(&mut self, name: &str) -> SqlResult<&mut Table> {
         match self.by_name.get(name) {
-            Some(i) => Ok(&mut self.tables[*i]),
+            Some(i) => Ok(Arc::make_mut(&mut self.tables[*i])),
             None => Err(SqlError::UnknownTable(name.to_string())),
         }
+    }
+
+    /// A fully materialized copy: every table's rows and indexes are
+    /// duplicated up front instead of shared copy-on-write. Only useful as
+    /// the baseline in snapshot benchmarks; `Database::clone` is the cheap
+    /// O(tables) fork every caller should prefer.
+    pub fn deep_clone(&self) -> Database {
+        let mut copy = self.clone();
+        for t in &mut copy.tables {
+            *t = Arc::new((**t).clone());
+        }
+        copy
+    }
+
+    /// Executes a statement through the retained AST interpreter instead of
+    /// the compiled-plan path.
+    ///
+    /// The interpreter is the reference implementation the executor-parity
+    /// tests compare against: results and counters must be byte-identical
+    /// to [`execute`](Self::execute). It re-parses on every call and
+    /// bypasses both caches and the [`DbStats`] accounting, so it is slow
+    /// on purpose — use it only as an oracle.
+    ///
+    /// # Errors
+    ///
+    /// Same error surface as [`execute`](Self::execute).
+    pub fn execute_interpreted(&mut self, sql: &str, params: &[Value]) -> SqlResult<QueryResult> {
+        let stmt = parse(sql)?;
+        crate::exec::execute_stmt(self, &stmt, params)
     }
 
     /// Executes one SQL statement with positional `?` parameters.
@@ -381,6 +414,46 @@ mod tests {
     fn table_names_in_order() {
         let db = db_with_users();
         assert_eq!(db.table_names(), vec!["users"]);
+    }
+
+    #[test]
+    fn cow_snapshots_isolate_writes() {
+        let base = db_with_users();
+        let mut fork_a = base.clone();
+        let mut fork_b = base.clone();
+        fork_a.execute("UPDATE users SET rating = 100 WHERE nickname = 'ann'", &[]).unwrap();
+        fork_b.execute("DELETE FROM users WHERE nickname = 'bob'", &[]).unwrap();
+        // Each fork sees only its own write; the shared base sees neither.
+        let rating = |db: &mut Database| {
+            db.execute("SELECT rating FROM users WHERE nickname = 'ann'", &[])
+                .unwrap()
+                .scalar()
+                .cloned()
+        };
+        assert_eq!(rating(&mut fork_a), Some(Value::Int(100)));
+        assert_eq!(rating(&mut fork_b), Some(Value::Int(5)));
+        assert_eq!(rating(&mut base.clone()), Some(Value::Int(5)));
+        assert_eq!(fork_a.table("users").unwrap().row_count(), 4);
+        assert_eq!(fork_b.table("users").unwrap().row_count(), 3);
+        assert_eq!(base.table("users").unwrap().row_count(), 4);
+    }
+
+    #[test]
+    fn deep_clone_matches_cow_fork() {
+        let base = db_with_users();
+        let mut deep = base.deep_clone();
+        let mut cow = base.clone();
+        let q = "SELECT id, nickname, region, rating FROM users ORDER BY id";
+        assert_eq!(deep.execute(q, &[]).unwrap(), cow.execute(q, &[]).unwrap());
+    }
+
+    #[test]
+    fn interpreter_oracle_agrees_with_compiled_path() {
+        let mut db = db_with_users();
+        let q = "SELECT region, COUNT(*) AS n FROM users GROUP BY region ORDER BY n DESC";
+        let compiled = db.execute(q, &[]).unwrap();
+        let interpreted = db.execute_interpreted(q, &[]).unwrap();
+        assert_eq!(compiled, interpreted);
     }
 
     #[test]

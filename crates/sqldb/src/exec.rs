@@ -311,8 +311,8 @@ fn eval(expr: &Expr, env: Option<&RowEnv<'_>>, params: &[Value]) -> SqlResult<Va
 /// `Database::execute` runs statements through the compiled-plan path in
 /// [`crate::compile`]; this interpreter is kept as the reference
 /// implementation the parity tests compare against (results and counters
-/// must be byte-identical between the two).
-#[cfg_attr(not(test), allow(dead_code))]
+/// must be byte-identical between the two). Exposed to callers through
+/// `Database::execute_interpreted`.
 pub(crate) fn execute_stmt(
     db: &mut Database,
     stmt: &Stmt,
@@ -787,14 +787,22 @@ fn apply_permutation(rows: &mut [Vec<Value>], order: &[usize]) {
     }
 }
 
+/// Applies `LIMIT offset, count` in place. Truncating to the window's end
+/// first means `split_off` moves only the kept rows (at most `count`),
+/// instead of `drain(..offset)` shifting the entire tail across the gap.
+/// Offsets past the end clear the vector; `offset + count` saturates rather
+/// than overflowing.
 pub(crate) fn apply_limit<T>(rows: &mut Vec<T>, limit: Option<(u64, u64)>) {
     if let Some((offset, count)) = limit {
-        let offset = offset as usize;
+        let offset = usize::try_from(offset).unwrap_or(usize::MAX);
+        let count = usize::try_from(count).unwrap_or(usize::MAX);
         if offset >= rows.len() {
             rows.clear();
-        } else {
-            rows.drain(..offset);
-            rows.truncate(count as usize);
+            return;
+        }
+        rows.truncate(offset.saturating_add(count).min(rows.len()));
+        if offset > 0 {
+            *rows = rows.split_off(offset);
         }
     }
 }
@@ -1159,6 +1167,36 @@ mod tests {
         assert_eq!(page.rows, vec![vec![Value::Int(2)], vec![Value::Int(3)]]);
         let beyond = db.execute("SELECT id FROM items ORDER BY id LIMIT 100, 5", &[]).unwrap();
         assert!(beyond.is_empty());
+    }
+
+    #[test]
+    fn apply_limit_window_edges() {
+        // Offset past the end clears.
+        let mut v: Vec<i32> = (0..5).collect();
+        apply_limit(&mut v, Some((5, 3)));
+        assert!(v.is_empty());
+        let mut v: Vec<i32> = (0..5).collect();
+        apply_limit(&mut v, Some((100, 3)));
+        assert!(v.is_empty());
+        // offset + count saturates instead of overflowing.
+        let mut v: Vec<i32> = (0..5).collect();
+        apply_limit(&mut v, Some((2, u64::MAX)));
+        assert_eq!(v, vec![2, 3, 4]);
+        let mut v: Vec<i32> = (0..5).collect();
+        apply_limit(&mut v, Some((u64::MAX, u64::MAX)));
+        assert!(v.is_empty());
+        // Zero-count window is empty even with a valid offset.
+        let mut v: Vec<i32> = (0..5).collect();
+        apply_limit(&mut v, Some((2, 0)));
+        assert!(v.is_empty());
+        // Interior window.
+        let mut v: Vec<i32> = (0..10).collect();
+        apply_limit(&mut v, Some((3, 4)));
+        assert_eq!(v, vec![3, 4, 5, 6]);
+        // No limit leaves rows alone.
+        let mut v: Vec<i32> = (0..3).collect();
+        apply_limit(&mut v, None);
+        assert_eq!(v, vec![0, 1, 2]);
     }
 
     #[test]

@@ -204,6 +204,25 @@ impl Table {
         self.sec[slot].range((lo, hi)).flat_map(|(_, rids)| rids.iter().copied()).collect()
     }
 
+    /// Iterates the distinct keys of the index on `col` with their row ids,
+    /// in key order. Primary-key entries yield one-element slices; secondary
+    /// entries yield ids in insertion order, exactly as
+    /// [`index_lookup`](Self::index_lookup) would return them. The hash-join
+    /// build side uses this to snapshot an index in one pass instead of one
+    /// B-tree probe per outer row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column is not indexed.
+    pub fn index_groups(&self, col: usize) -> Box<dyn Iterator<Item = (&Value, &[RowId])> + '_> {
+        if self.schema.primary_key() == Some(col) {
+            Box::new(self.pk_index.iter().map(|(k, rid)| (k, std::slice::from_ref(rid))))
+        } else {
+            let slot = self.secondary_slot(col);
+            Box::new(self.sec[slot].iter().map(|(k, rids)| (k, rids.as_slice())))
+        }
+    }
+
     /// Number of distinct keys in the index on `col` (diagnostics).
     pub fn index_cardinality(&self, col: usize) -> usize {
         if self.schema.primary_key() == Some(col) {
@@ -370,6 +389,20 @@ mod tests {
         t.delete(r1).unwrap();
         let names: Vec<&str> = t.scan().map(|(_, row)| row[1].as_str().unwrap()).collect();
         assert_eq!(names, vec!["b"]);
+    }
+
+    #[test]
+    fn index_groups_matches_index_lookup() {
+        let mut t = users();
+        t.insert(row("x", 1)).unwrap();
+        t.insert(row("x", 2)).unwrap();
+        t.insert(row("y", 2)).unwrap();
+        for col in [0, 1, 2] {
+            for (key, rids) in t.index_groups(col) {
+                assert_eq!(rids, t.index_lookup(col, key).as_slice());
+            }
+            assert_eq!(t.index_groups(col).count(), t.index_cardinality(col));
+        }
     }
 
     #[test]

@@ -235,7 +235,16 @@ impl Ord for Value {
             (Float(a), Float(b)) => a.total_cmp(b),
             (Int(a), Float(b)) => (*a as f64).total_cmp(b),
             (Float(a), Int(b)) => a.total_cmp(&(*b as f64)),
-            (Str(a), Str(b)) => a.cmp(b),
+            // Cloned rows share the same `Arc<str>` allocation, so string
+            // comparisons on join keys and group keys are usually a pointer
+            // check, never a byte scan.
+            (Str(a), Str(b)) => {
+                if Arc::ptr_eq(a, b) {
+                    Ordering::Equal
+                } else {
+                    a.cmp(b)
+                }
+            }
             (Str(_), _) => Ordering::Greater,
             (_, Str(_)) => Ordering::Less,
         }
@@ -349,6 +358,20 @@ mod tests {
             s.finish()
         };
         assert_eq!(h(&Value::Int(2)), h(&Value::Float(2.0)));
+    }
+
+    #[test]
+    fn str_clone_is_a_pointer_bump() {
+        let row = vec![Value::str("science fiction"), Value::Int(42)];
+        let copy = row.clone();
+        match (&row[0], &copy[0]) {
+            (Value::Str(a), Value::Str(b)) => assert!(Arc::ptr_eq(a, b)),
+            other => panic!("expected strings, got {other:?}"),
+        }
+        // Shared-allocation comparison takes the pointer fast path but must
+        // agree with the byte comparison.
+        assert_eq!(row[0], copy[0]);
+        assert_eq!(row[0].cmp(&copy[0]), Ordering::Equal);
     }
 
     #[test]

@@ -17,4 +17,7 @@ cargo test -q
 echo "== workspace tests"
 cargo test -q --workspace
 
+echo "== perf smoke (writes BENCH_repro.json)"
+cargo run --release -q -p dynamid-harness --bin repro -- --smoke
+
 echo "All checks passed."

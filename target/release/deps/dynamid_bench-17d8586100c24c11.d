@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dynamid_bench-17d8586100c24c11.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/dynamid_bench-17d8586100c24c11: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-0b61babbc958e773.d: crates/bench/benches/figures.rs
+
+/root/repo/target/release/deps/figures-0b61babbc958e773: crates/bench/benches/figures.rs
+
+crates/bench/benches/figures.rs:
