@@ -29,7 +29,7 @@ fn every_interaction_in_every_config() {
                 sim.submit(prep.trace, id as u64);
             }
         }
-        sim.run(SimTime::from_micros(600_000_000), &mut NullDriver);
+        sim.run(SimTime::from_micros(600_000_000), &mut NullDriver).unwrap();
         assert_eq!(
             sim.stats().completed,
             INTERACTIONS.len() as u64 * 2,

@@ -28,7 +28,7 @@ fn every_interaction_in_every_config() {
                 sim.submit(prep.trace, id as u64);
             }
         }
-        sim.run(SimTime::from_micros(600_000_000), &mut NullDriver);
+        sim.run(SimTime::from_micros(600_000_000), &mut NullDriver).unwrap();
         assert_eq!(sim.stats().completed, INTERACTIONS.len() as u64 * 2, "{config}");
     }
 }
@@ -73,6 +73,7 @@ fn bulletin_board_behaves_like_the_auction_site() {
         measure: SimDuration::from_secs(15),
         ramp_down: SimDuration::from_secs(1),
         seed: 3,
+        resilience: Default::default(),
     };
     let run = |config: StandardConfig| {
         let db = build_db(&scale, 2).unwrap();

@@ -288,7 +288,7 @@ fn bench_sim_kernel(c: &mut Criterion) {
                 sim
             },
             |mut sim| {
-                sim.run(SimTime::from_micros(u64::MAX / 2), &mut NullDriver);
+                sim.run(SimTime::from_micros(u64::MAX / 2), &mut NullDriver).unwrap();
                 black_box(sim.stats().completed)
             },
             BatchSize::SmallInput,

@@ -38,7 +38,7 @@ fn every_interaction_in_every_config() {
             }
         }
         let completed_target = INTERACTIONS.len() as u64 * 3;
-        sim.run(SimTime::from_micros(600_000_000), &mut NullDriver);
+        sim.run(SimTime::from_micros(600_000_000), &mut NullDriver).unwrap();
         assert_eq!(sim.stats().completed, completed_target, "{config}: traces did not drain");
     }
 }

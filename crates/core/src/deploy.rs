@@ -133,6 +133,37 @@ impl fmt::Display for StandardConfig {
     }
 }
 
+/// Optional admission-control limits for one deployment.
+///
+/// All limits default to `None` (disabled), which reproduces the paper's
+/// setup exactly: the web process pool queues arrivals without bound and no
+/// connection pool sits in front of the database. Enabling a limit turns the
+/// corresponding semaphore into a bounded-queue one: an arrival that finds
+/// the queue full is *rejected* (fast failure) instead of waiting, which is
+/// the overload-shedding behaviour the resilience layer measures.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdmissionControl {
+    /// Maximum number of requests allowed to wait for a web-server process.
+    /// `None` = unbounded accept queue (paper behaviour).
+    pub web_accept_queue: Option<u32>,
+    /// Size of the database connection pool. `None` = no pool (every
+    /// request reaches the database directly, as in the paper).
+    pub db_connections: Option<u32>,
+    /// Maximum number of requests allowed to wait for a pooled database
+    /// connection. Only meaningful when [`db_connections`] is set; `None` =
+    /// wait without bound.
+    ///
+    /// [`db_connections`]: AdmissionControl::db_connections
+    pub db_accept_queue: Option<u32>,
+}
+
+impl AdmissionControl {
+    /// `true` when every limit is disabled (the paper's configuration).
+    pub fn is_disabled(&self) -> bool {
+        self.web_accept_queue.is_none() && self.db_connections.is_none()
+    }
+}
+
 /// The machines of one installed deployment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MachineSet {
@@ -166,18 +197,33 @@ pub struct Deployment {
     table_locks: HashMap<String, LockId>,
     app_locks: HashMap<String, Vec<LockId>>,
     web_pool: SemaphoreId,
+    db_pool: Option<SemaphoreId>,
 }
 
 impl Deployment {
-    /// Installs `config` into `sim`: creates the machines, one lock per
-    /// database table, the application lock groups, and the web-server
-    /// process-pool semaphore.
+    /// Installs `config` into `sim` with admission control disabled — the
+    /// paper's setup. See [`Deployment::install_with`].
     pub fn install(
         sim: &mut Simulation,
         config: StandardConfig,
         db: &Database,
         app: &dyn Application,
         web_processes: u32,
+    ) -> Deployment {
+        Self::install_with(sim, config, db, app, web_processes, AdmissionControl::default())
+    }
+
+    /// Installs `config` into `sim`: creates the machines, one lock per
+    /// database table, the application lock groups, the web-server
+    /// process-pool semaphore, and (when `admission` enables them) the
+    /// bounded accept queue and database connection pool.
+    pub fn install_with(
+        sim: &mut Simulation,
+        config: StandardConfig,
+        db: &Database,
+        app: &dyn Application,
+        web_processes: u32,
+        admission: AdmissionControl,
     ) -> Deployment {
         let client = sim.add_machine("clients", CLIENT_CORES, CLIENT_NIC_MBPS);
         let web = sim.add_machine("web", MACHINE_CORES, MACHINE_NIC_MBPS);
@@ -205,7 +251,14 @@ impl Deployment {
                 (0..stripes).map(|i| sim.register_lock(format!("app:{group}#{i}"))).collect();
             app_locks.insert(group, ids);
         }
-        let web_pool = sim.register_semaphore("web-pool", web_processes);
+        let web_pool = match admission.web_accept_queue {
+            Some(q) => sim.register_semaphore_bounded("web-pool", web_processes, q),
+            None => sim.register_semaphore("web-pool", web_processes),
+        };
+        let db_pool = admission.db_connections.map(|cap| match admission.db_accept_queue {
+            Some(q) => sim.register_semaphore_bounded("db-pool", cap, q),
+            None => sim.register_semaphore("db-pool", cap),
+        });
 
         Deployment {
             config,
@@ -213,6 +266,7 @@ impl Deployment {
             table_locks,
             app_locks,
             web_pool,
+            db_pool,
         }
     }
 
@@ -257,6 +311,12 @@ impl Deployment {
     /// The web-server process-pool semaphore.
     pub fn web_pool(&self) -> SemaphoreId {
         self.web_pool
+    }
+
+    /// The database connection-pool semaphore, when admission control
+    /// enabled one.
+    pub fn db_pool(&self) -> Option<SemaphoreId> {
+        self.db_pool
     }
 }
 
@@ -376,6 +436,34 @@ mod tests {
         let db = small_db();
         let d = Deployment::install(&mut sim, StandardConfig::PhpColocated, &db, &NoApp, 512);
         d.app_lock("nope", 0);
+    }
+
+    #[test]
+    fn admission_control_defaults_to_disabled() {
+        let ac = AdmissionControl::default();
+        assert!(ac.is_disabled());
+        let mut sim = Simulation::new(SimDuration::from_micros(100));
+        let db = small_db();
+        let d = Deployment::install(&mut sim, StandardConfig::PhpColocated, &db, &NoApp, 512);
+        assert!(d.db_pool().is_none());
+    }
+
+    #[test]
+    fn admission_control_installs_bounded_pools() {
+        let mut sim = Simulation::new(SimDuration::from_micros(100));
+        let db = small_db();
+        let ac = AdmissionControl {
+            web_accept_queue: Some(16),
+            db_connections: Some(8),
+            db_accept_queue: Some(4),
+        };
+        assert!(!ac.is_disabled());
+        let d =
+            Deployment::install_with(&mut sim, StandardConfig::PhpColocated, &db, &NoApp, 32, ac);
+        let pool = d.db_pool().expect("db pool registered");
+        assert_ne!(pool, d.web_pool());
+        let stats = sim.semaphore_stats(pool);
+        assert_eq!(stats.rejected, 0);
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub mod session;
 pub use app::{AppError, AppLockSpec, AppResult, Application, InteractionSpec, LogicStyle};
 pub use cost::{CostModel, EjbCosts, GeneratorCosts};
 pub use ctx::{RequestCtx, RequestStats};
-pub use deploy::{Architecture, Deployment, MachineSet, StandardConfig};
+pub use deploy::{AdmissionControl, Architecture, Deployment, MachineSet, StandardConfig};
 pub use ejb::{BeanHandle, EntityManager};
 pub use middleware::{Middleware, PreparedRequest};
 pub use session::SessionData;

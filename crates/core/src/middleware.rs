@@ -4,7 +4,7 @@
 use crate::app::{AppError, Application};
 use crate::cost::CostModel;
 use crate::ctx::{RequestCtx, RequestStats};
-use crate::deploy::{Architecture, Deployment, StandardConfig};
+use crate::deploy::{AdmissionControl, Architecture, Deployment, StandardConfig};
 use dynamid_http::message::{REQUEST_OVERHEAD_BYTES, RESPONSE_OVERHEAD_BYTES};
 use dynamid_http::{Response, Status};
 use dynamid_sim::{Op, SimRng, Simulation, Trace};
@@ -49,7 +49,8 @@ pub struct Middleware {
 }
 
 impl Middleware {
-    /// Installs `config` into the simulation and wires the cost model.
+    /// Installs `config` into the simulation and wires the cost model, with
+    /// admission control disabled (the paper's setup).
     pub fn install(
         sim: &mut Simulation,
         config: StandardConfig,
@@ -57,8 +58,22 @@ impl Middleware {
         app: &dyn Application,
         costs: CostModel,
     ) -> Middleware {
+        Self::install_with_admission(sim, config, db, app, costs, AdmissionControl::default())
+    }
+
+    /// Installs `config` with explicit admission-control limits: a bounded
+    /// web accept queue sheds overload at the front door, and a database
+    /// connection pool caps handler concurrency at the database tier.
+    pub fn install_with_admission(
+        sim: &mut Simulation,
+        config: StandardConfig,
+        db: &Database,
+        app: &dyn Application,
+        costs: CostModel,
+        admission: AdmissionControl,
+    ) -> Middleware {
         let web_processes = costs.web.max_processes;
-        let deployment = Deployment::install(sim, config, db, app, web_processes);
+        let deployment = Deployment::install_with(sim, config, db, app, web_processes, admission);
         Middleware { deployment, costs }
     }
 
@@ -132,6 +147,12 @@ impl Middleware {
         ctx.push(Op::Cpu { machine: generator, micros: gen_dispatch });
 
         // --- Handler ---------------------------------------------------
+        // With a connection pool installed, the handler's database work is
+        // bracketed by a pool checkout: a full pool queues (or rejects) the
+        // request before any query executes.
+        if let Some(pool) = self.deployment.db_pool() {
+            ctx.push(Op::SemAcquire { sem: pool });
+        }
         let result = app.handle(id, &mut ctx, session, rng);
         let error = result.err();
         if error.is_some() {
@@ -141,6 +162,9 @@ impl Middleware {
             }
         }
         ctx.force_release();
+        if let Some(pool) = self.deployment.db_pool() {
+            ctx.push(Op::SemRelease { sem: pool });
+        }
 
         // --- Response path ---------------------------------------------
         let body = ctx.output_bytes();
@@ -307,7 +331,7 @@ mod tests {
                 assert!(prep.trace.check_balanced().is_ok(), "{config}");
                 sim.submit(prep.trace, id as u64);
             }
-            sim.run(SimTime::from_micros(60_000_000), &mut NullDriver);
+            sim.run(SimTime::from_micros(60_000_000), &mut NullDriver).unwrap();
             assert_eq!(sim.stats().completed, 2, "{config}");
             // Both interactions really hit the database.
             let qty = db.execute("SELECT qty FROM stock WHERE id = 1", &[]).unwrap();
@@ -451,8 +475,68 @@ mod tests {
         assert_eq!(prep.stats.forced_unlocks, 1);
         // The trace still runs to completion in the simulator.
         sim.submit(prep.trace, 0);
-        sim.run(SimTime::from_micros(10_000_000), &mut NullDriver);
+        sim.run(SimTime::from_micros(10_000_000), &mut NullDriver).unwrap();
         assert_eq!(sim.stats().completed, 1);
+    }
+
+    #[test]
+    fn db_pool_brackets_handler_and_sheds_overload() {
+        use dynamid_sim::AbortReason;
+
+        let db = toy_db();
+        let mut sim = Simulation::new(SimDuration::from_micros(100));
+        // One DB connection, no waiting allowed: with two concurrent
+        // requests, the second must be rejected at the pool.
+        let mw = Middleware::install_with_admission(
+            &mut sim,
+            StandardConfig::PhpColocated,
+            &db,
+            &ToyApp,
+            CostModel::default(),
+            crate::deploy::AdmissionControl {
+                web_accept_queue: None,
+                db_connections: Some(1),
+                db_accept_queue: Some(0),
+            },
+        );
+        let mut db = db;
+        let mut session = SessionData::new(0);
+        let mut rng = SimRng::new(1);
+        let pool = mw.deployment().db_pool().unwrap();
+        for tag in 0..2u64 {
+            let prep = mw.run_interaction(&mut db, &ToyApp, 1, &mut session, &mut rng, false);
+            assert!(prep.is_ok());
+            // The trace checks out: acquire and release of the pool bracket
+            // the handler's ops.
+            let acq = prep
+                .trace
+                .ops()
+                .iter()
+                .position(|op| matches!(op, Op::SemAcquire { sem } if *sem == pool));
+            let rel = prep
+                .trace
+                .ops()
+                .iter()
+                .position(|op| matches!(op, Op::SemRelease { sem } if *sem == pool));
+            assert!(acq.unwrap() < rel.unwrap());
+            sim.submit(prep.trace, tag);
+        }
+        struct Recorder(Vec<(u64, AbortReason)>);
+        impl dynamid_sim::Driver for Recorder {
+            fn on_job_complete(&mut self, _s: &mut Simulation, _d: dynamid_sim::JobDone) {}
+            fn on_timer(&mut self, _s: &mut Simulation, _t: u64) {}
+            fn on_job_aborted(&mut self, _s: &mut Simulation, info: dynamid_sim::JobAborted) {
+                self.0.push((info.tag, info.reason));
+            }
+        }
+        let mut rec = Recorder(Vec::new());
+        sim.run(SimTime::from_micros(60_000_000), &mut rec).unwrap();
+        let stats = sim.stats();
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(rec.0, vec![(1, AbortReason::Rejected)]);
+        // The rejected request released nothing it did not hold.
+        assert!(sim.leak_report().is_none());
     }
 
     #[test]

@@ -1,0 +1,333 @@
+//! The availability sweep: goodput, tail latency, and failure taxonomy
+//! versus fault intensity.
+//!
+//! The paper's figures ask "how fast is each architecture when everything
+//! works"; this family asks the complementary robustness question: as the
+//! environment degrades — transient faults, machine crash/restart cycles,
+//! CPU/NIC brownouts — how gracefully does each architecture shed load?
+//! More tiers mean more machines that can fail (the four-tier EJB
+//! deployment exposes twice the crash surface of co-located PHP), but also
+//! more places to reject early before work is wasted.
+//!
+//! Every point runs with the same client-side resilience policy (deadline,
+//! two retries with capped exponential backoff) and the same server-side
+//! admission limits, so the curves isolate the architecture, not the
+//! policy. Fault schedules compile deterministically from the sweep seed:
+//! the whole sweep is bit-reproducible.
+
+use crate::HarnessConfig;
+use dynamid_bookstore::{Bookstore, BookstoreScale};
+use dynamid_core::{AdmissionControl, CostModel, StandardConfig};
+use dynamid_sim::SimDuration;
+use dynamid_workload::{
+    run_experiment_chaos, ChaosOptions, FaultSpec, ResilienceConfig, WorkloadConfig,
+};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The three architectures the sweep compares, one per paper family:
+/// C1 `WsPhp-DB` (2 machines), C4 `Ws-Servlet-DB` (3 machines), and
+/// C6 `Ws-Servlet-EJB-DB` (4 machines).
+pub const AVAILABILITY_CONFIGS: [StandardConfig; 3] =
+    [StandardConfig::PhpColocated, StandardConfig::ServletDedicated, StandardConfig::EjbFourTier];
+
+/// The default fault-intensity ladder (see [`FaultSpec::at_intensity`]).
+pub const DEFAULT_INTENSITIES: [f64; 5] = [0.0, 0.25, 0.5, 0.75, 1.0];
+
+/// The client-side policy every sweep point runs under.
+pub fn sweep_resilience() -> ResilienceConfig {
+    ResilienceConfig {
+        request_timeout: Some(SimDuration::from_secs(5)),
+        max_retries: 2,
+        backoff_base: SimDuration::from_millis(250),
+        backoff_cap: SimDuration::from_secs(2),
+    }
+}
+
+/// The server-side admission limits every sweep point runs under.
+pub fn sweep_admission() -> AdmissionControl {
+    AdmissionControl {
+        web_accept_queue: Some(128),
+        db_connections: Some(48),
+        db_accept_queue: Some(64),
+    }
+}
+
+/// One (configuration, fault intensity) measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AvailabilityPoint {
+    /// The deployment measured.
+    pub config: StandardConfig,
+    /// Fault intensity in `[0, 1]`.
+    pub intensity: f64,
+    /// Attempts per minute the clients offered inside the window.
+    pub offered_ipm: f64,
+    /// Completions per minute inside the window.
+    pub throughput_ipm: f64,
+    /// Good (error-free) completions per minute inside the window.
+    pub goodput_ipm: f64,
+    /// 99th-percentile response time (ms) of window completions.
+    pub latency_p99_ms: f64,
+    /// Deadline expirations inside the window.
+    pub timeouts: u64,
+    /// Admission rejections inside the window.
+    pub rejects: u64,
+    /// Fault-killed attempts inside the window.
+    pub aborts: u64,
+    /// Retries issued inside the window.
+    pub retries: u64,
+    /// Interactions abandoned after the retry budget inside the window.
+    pub abandoned: u64,
+}
+
+impl AvailabilityPoint {
+    /// Total failed attempts inside the window.
+    pub fn failed(&self) -> u64 {
+        self.timeouts + self.rejects + self.aborts
+    }
+}
+
+/// A complete availability sweep: configurations × intensities, in grid
+/// order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AvailabilityData {
+    /// The intensity ladder used.
+    pub intensities: Vec<f64>,
+    /// Points grouped by configuration (outer order =
+    /// [`AVAILABILITY_CONFIGS`] order), intensities ascending within.
+    pub points: Vec<AvailabilityPoint>,
+}
+
+/// Runs one sweep point. Self-contained and deterministically seeded, so
+/// points can run in any order or in parallel without changing results.
+fn run_avail_point(
+    cfg: &HarnessConfig,
+    base_db: &dynamid_sqldb::Database,
+    config: StandardConfig,
+    intensity: f64,
+) -> AvailabilityPoint {
+    let mut db = base_db.clone();
+    let app = Bookstore::new(BookstoreScale::scaled(cfg.scale));
+    let mix = dynamid_bookstore::mixes::shopping();
+    let clients = cfg.clients.first().copied().unwrap_or(100);
+    let workload = WorkloadConfig {
+        clients,
+        think_time: cfg.think_time,
+        session_time: cfg.session_time,
+        ramp_up: cfg.ramp_up,
+        measure: cfg.measure,
+        ramp_down: cfg.ramp_down,
+        seed: cfg.seed ^ clients as u64,
+        resilience: sweep_resilience(),
+    };
+    // The fault seed folds in the intensity rank so ladder points draw
+    // independent schedules, but nothing about the configuration: the same
+    // storm hits every architecture.
+    let fault_seed = cfg.seed ^ ((intensity * 1_000.0).round() as u64).wrapping_mul(0x9E37);
+    let chaos = ChaosOptions {
+        faults: Some(FaultSpec::at_intensity(fault_seed, intensity)),
+        admission: sweep_admission(),
+    };
+    let r = run_experiment_chaos(
+        &mut db,
+        &app,
+        &mix,
+        config,
+        CostModel::default(),
+        workload,
+        cfg.policy,
+        chaos,
+    );
+    if cfg.verbose {
+        eprintln!(
+            "  {:<22} intensity={:<5} goodput={:>8.0} ipm p99={:>7.1} ms \
+             t/o={} rej={} abort={}",
+            config.paper_name(),
+            intensity,
+            r.goodput_ipm,
+            r.latency_p99.as_micros() as f64 / 1_000.0,
+            r.errors.timeouts,
+            r.errors.rejects,
+            r.errors.aborts,
+        );
+    }
+    AvailabilityPoint {
+        config,
+        intensity,
+        offered_ipm: r.offered_ipm,
+        throughput_ipm: r.throughput_ipm,
+        goodput_ipm: r.goodput_ipm,
+        latency_p99_ms: r.latency_p99.as_micros() as f64 / 1_000.0,
+        timeouts: r.errors.timeouts,
+        rejects: r.errors.rejects,
+        aborts: r.errors.aborts,
+        retries: r.errors.retries,
+        abandoned: r.errors.abandoned,
+    }
+}
+
+/// Runs the full availability sweep over [`AVAILABILITY_CONFIGS`] ×
+/// `intensities`, using the same worker-pool pattern as the figure sweeps
+/// (results are bit-identical for any `--jobs` value).
+pub fn run_availability(cfg: &HarnessConfig, intensities: &[f64]) -> AvailabilityData {
+    let base_db = dynamid_bookstore::build_db(&BookstoreScale::scaled(cfg.scale), cfg.seed)
+        .expect("population");
+    let grid: Vec<(usize, usize)> = (0..AVAILABILITY_CONFIGS.len())
+        .flat_map(|ci| (0..intensities.len()).map(move |ii| (ci, ii)))
+        .collect();
+    let workers = cfg.effective_jobs().min(grid.len()).max(1);
+
+    let points: Vec<AvailabilityPoint> = if workers == 1 {
+        grid.iter()
+            .map(|&(ci, ii)| {
+                run_avail_point(cfg, &base_db, AVAILABILITY_CONFIGS[ci], intensities[ii])
+            })
+            .collect()
+    } else {
+        let slots: Mutex<Vec<Option<AvailabilityPoint>>> = Mutex::new(vec![None; grid.len()]);
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&(ci, ii)) = grid.get(i) else { break };
+                    let point =
+                        run_avail_point(cfg, &base_db, AVAILABILITY_CONFIGS[ci], intensities[ii]);
+                    slots.lock().expect("no panics hold the lock")[i] = Some(point);
+                });
+            }
+        });
+        slots
+            .into_inner()
+            .expect("workers joined")
+            .into_iter()
+            .map(|p| p.expect("every grid slot filled"))
+            .collect()
+    };
+
+    AvailabilityData { intensities: intensities.to_vec(), points }
+}
+
+/// Renders the sweep as CSV (stable column order; used by `repro avail`
+/// and the chaos smoke probe).
+pub fn availability_csv(data: &AvailabilityData) -> String {
+    let mut out = String::from(
+        "config,intensity,offered_ipm,throughput_ipm,goodput_ipm,latency_p99_ms,\
+         timeouts,rejects,aborts,retries,abandoned\n",
+    );
+    for p in &data.points {
+        out.push_str(&format!(
+            "{},{},{:.1},{:.1},{:.1},{:.3},{},{},{},{},{}\n",
+            p.config.paper_name(),
+            p.intensity,
+            p.offered_ipm,
+            p.throughput_ipm,
+            p.goodput_ipm,
+            p.latency_p99_ms,
+            p.timeouts,
+            p.rejects,
+            p.aborts,
+            p.retries,
+            p.abandoned,
+        ));
+    }
+    out
+}
+
+/// Renders a compact markdown table: goodput (and failure counts) per
+/// configuration per intensity.
+pub fn availability_markdown(data: &AvailabilityData) -> String {
+    let mut out = String::from("# Availability sweep: goodput (ipm) vs fault intensity\n\n");
+    out.push_str("| config |");
+    for i in &data.intensities {
+        out.push_str(&format!(" i={i} |"));
+    }
+    out.push_str("\n|---|");
+    for _ in &data.intensities {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for config in AVAILABILITY_CONFIGS {
+        out.push_str(&format!("| {} |", config.paper_name()));
+        for p in data.points.iter().filter(|p| p.config == config) {
+            out.push_str(&format!(" {:.0} |", p.goodput_ipm));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> HarnessConfig {
+        let mut cfg = HarnessConfig::smoke();
+        cfg.clients = vec![15];
+        cfg.jobs = 1;
+        cfg
+    }
+
+    #[test]
+    fn sweep_covers_grid_and_zero_intensity_is_clean() {
+        let data = run_availability(&tiny(), &[0.0, 1.0]);
+        assert_eq!(data.points.len(), AVAILABILITY_CONFIGS.len() * 2);
+        for config in AVAILABILITY_CONFIGS {
+            let clean = data
+                .points
+                .iter()
+                .find(|p| p.config == config && p.intensity == 0.0)
+                .expect("zero point");
+            assert!(clean.goodput_ipm > 0.0, "{config}: no goodput");
+            // No fault state is installed at intensity 0: nothing can be
+            // fault-aborted, and this light load cannot fill the admission
+            // queues. (Client timeouts can still fire on a slow-but-healthy
+            // deployment — that is the resilience policy, not a fault.)
+            assert_eq!(clean.aborts, 0, "{config}: fault aborts at intensity 0");
+            assert_eq!(clean.rejects, 0, "{config}: admission rejects at intensity 0");
+        }
+        // Full intensity hurts someone: at least one failure recorded
+        // somewhere in the hostile column.
+        let hostile: u64 = data
+            .points
+            .iter()
+            .filter(|p| p.intensity == 1.0)
+            .map(|p| p.timeouts + p.rejects + p.aborts)
+            .sum();
+        assert!(hostile > 0, "full intensity produced zero failures");
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        let a = run_availability(&tiny(), &[0.0, 0.75]);
+        let b = run_availability(&tiny(), &[0.0, 0.75]);
+        assert_eq!(a, b);
+        assert_eq!(availability_csv(&a), availability_csv(&b));
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let data = AvailabilityData {
+            intensities: vec![0.0],
+            points: vec![AvailabilityPoint {
+                config: StandardConfig::PhpColocated,
+                intensity: 0.0,
+                offered_ipm: 100.0,
+                throughput_ipm: 99.0,
+                goodput_ipm: 98.0,
+                latency_p99_ms: 12.5,
+                timeouts: 1,
+                rejects: 2,
+                aborts: 3,
+                retries: 4,
+                abandoned: 5,
+            }],
+        };
+        let csv = availability_csv(&data);
+        let mut lines = csv.lines();
+        assert!(lines.next().unwrap().starts_with("config,intensity,offered_ipm"));
+        assert_eq!(lines.next().unwrap(), "WsPhp-DB,0,100.0,99.0,98.0,12.500,1,2,3,4,5");
+        let md = availability_markdown(&data);
+        assert!(md.contains("WsPhp-DB"));
+    }
+}

@@ -5,10 +5,15 @@
 //! repro bookstore-shopping        same, by benchmark-mix name
 //! repro all                       every figure, CSVs into results/
 //! repro summary                   peak table across all figures
+//! repro avail                     availability sweep: goodput/p99/error
+//!                                 taxonomy vs fault intensity for three
+//!                                 architectures, results/avail.csv
 //! options:
 //!   --smoke           quick perf smoke: three mini figure sweeps plus
 //!                     snapshot-fork and plan-cache probes, written to
 //!                     BENCH_repro.json (ignores targets)
+//!   --chaos           with --smoke: also run a miniature availability
+//!                     sweep (fault injection + resilience) and record it
 //!   --fast            scaled-down populations and short windows
 //!   --scale <f>       population scale factor (default 1.0)
 //!   --clients a,b,c   explicit client sweep
@@ -34,11 +39,13 @@ fn main() -> ExitCode {
     let mut targets: Vec<String> = Vec::new();
     let mut out_dir = PathBuf::from("results");
     let mut smoke = false;
+    let mut chaos = false;
 
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--smoke" => smoke = true,
+            "--chaos" => chaos = true,
             "--fast" => {
                 let verbose = cfg.verbose;
                 cfg = HarnessConfig::fast();
@@ -113,7 +120,7 @@ fn main() -> ExitCode {
         i += 1;
     }
     if smoke {
-        return run_smoke(cfg.verbose);
+        return run_smoke(cfg.verbose, chaos);
     }
     if targets.is_empty() {
         return usage("no target given");
@@ -129,6 +136,20 @@ fn main() -> ExitCode {
             "all" => {
                 for pair in FIGURES {
                     run_and_emit(pair.throughput_id, &cfg, &out_dir);
+                }
+            }
+            "avail" => {
+                use dynamid_harness::{
+                    availability_csv, availability_markdown, run_availability, DEFAULT_INTENSITIES,
+                };
+                eprintln!("== Availability sweep (goodput vs fault intensity)");
+                let data = run_availability(&cfg, &DEFAULT_INTENSITIES);
+                println!("{}", availability_markdown(&data));
+                let csv_path = out_dir.join("avail.csv");
+                if let Err(e) = fs::write(&csv_path, availability_csv(&data)) {
+                    eprintln!("could not write {}: {e}", csv_path.display());
+                } else {
+                    eprintln!("wrote {}", csv_path.display());
                 }
             }
             "summary" => {
@@ -171,10 +192,12 @@ fn run_and_emit(key: &str, cfg: &HarnessConfig, out_dir: &std::path::Path) {
 /// The perf smoke harness behind `repro --smoke`: two miniature figure
 /// sweeps timed end-to-end, a snapshot-fork probe (copy-on-write clone vs
 /// deep clone of the populated bookstore database), and a plan-cache probe
-/// (hit rate over one experiment point). Everything lands in
+/// (hit rate over one experiment point). With `--chaos`, a miniature
+/// availability sweep (fault injection + client resilience + admission
+/// control) is timed and summarized too. Everything lands in
 /// `BENCH_repro.json` in the working directory so CI can diff wall-clock
 /// regressions; the modeled results themselves are covered by tests.
-fn run_smoke(verbose: bool) -> ExitCode {
+fn run_smoke(verbose: bool, chaos: bool) -> ExitCode {
     use dynamid_bookstore::BookstoreScale;
     use std::time::Instant;
 
@@ -249,12 +272,53 @@ fn run_smoke(verbose: bool) -> ExitCode {
     let misses = after.plan_cache_misses - before.plan_cache_misses;
     let rate = if hits + misses == 0 { 0.0 } else { hits as f64 / (hits + misses) as f64 };
 
+    // Chaos probe: a miniature availability sweep exercising the fault
+    // plan, client retries/timeouts, and admission control end to end.
+    let chaos_json = if chaos {
+        use dynamid_harness::run_availability;
+        let mut ccfg = HarnessConfig::fast();
+        ccfg.verbose = false;
+        ccfg.jobs = 1;
+        ccfg.seed = 42;
+        ccfg.scale = 0.05;
+        ccfg.clients = vec![25];
+        ccfg.measure = SimDuration::from_secs(6);
+        ccfg.ramp_up = SimDuration::from_secs(2);
+        ccfg.ramp_down = SimDuration::from_secs(1);
+        let intensities = [0.0, 0.5, 1.0];
+        let t0 = Instant::now();
+        let data = run_availability(&ccfg, &intensities);
+        let secs = t0.elapsed().as_secs_f64();
+        let goodput_clean: f64 =
+            data.points.iter().filter(|p| p.intensity == 0.0).map(|p| p.goodput_ipm).sum();
+        let failed_hostile: u64 =
+            data.points.iter().filter(|p| p.intensity == 1.0).map(|p| p.failed()).sum();
+        let retries: u64 = data.points.iter().map(|p| p.retries).sum();
+        if verbose {
+            eprintln!(
+                "smoke chaos: {} points in {secs:.3}s, hostile failures {failed_hostile}, \
+                 retries {retries}",
+                data.points.len()
+            );
+        }
+        format!(
+            ",\n  \"chaos\": {{\"points\": {}, \"wall_secs\": {secs:.3}, \
+             \"clean_goodput_ipm\": {goodput_clean:.1}, \
+             \"hostile_failed_attempts\": {failed_hostile}, \"retries\": {retries}, \
+             \"equivalent_flags\": \"avail with seed 42, scale 0.05, clients 25, \
+             intensities 0,0.5,1\"}}",
+            data.points.len()
+        )
+    } else {
+        String::new()
+    };
+
     let json = format!(
         "{{\n  \"generated_by\": \"repro --smoke\",\n  \"figures\": [\n{}\n  ],\n  \
          \"total_wall_secs\": {total_secs:.3},\n  \
          \"plan_cache\": {{\"hits\": {hits}, \"misses\": {misses}, \"hit_rate\": {rate:.4}}},\n  \
          \"snapshot_fork\": {{\"cow_micros\": {cow_micros:.1}, \
-         \"deep_clone_micros\": {deep_micros:.1}}}\n}}\n",
+         \"deep_clone_micros\": {deep_micros:.1}}}{chaos_json}\n}}\n",
         fig_json.join(",\n"),
     );
     if let Err(e) = fs::write("BENCH_repro.json", &json) {
@@ -287,6 +351,7 @@ fn run_smoke_point(cfg: &HarnessConfig, db: &mut Database) {
         measure: cfg.measure,
         ramp_down: cfg.ramp_down,
         seed: cfg.seed ^ cfg.clients[0] as u64,
+        resilience: Default::default(),
     };
     run_experiment_with_policy(
         db,
@@ -301,7 +366,7 @@ fn run_smoke_point(cfg: &HarnessConfig, db: &mut Database) {
 
 fn usage(err: &str) -> ExitCode {
     eprintln!("error: {err}\n");
-    eprintln!("usage: repro [options] <fig05|..|fig13|bookstore-shopping|..|all|summary>");
-    eprintln!("options: --smoke --fast --quiet --scale <f> --clients a,b,c --measure <secs> --seed <n> --jobs <n> --out <dir> --policy fifo|writer");
+    eprintln!("usage: repro [options] <fig05|..|fig13|bookstore-shopping|..|all|summary|avail>");
+    eprintln!("options: --smoke --chaos --fast --quiet --scale <f> --clients a,b,c --measure <secs> --seed <n> --jobs <n> --out <dir> --policy fifo|writer");
     ExitCode::FAILURE
 }

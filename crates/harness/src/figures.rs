@@ -236,6 +236,7 @@ fn run_point(
         measure: cfg.measure,
         ramp_down: cfg.ramp_down,
         seed: cfg.seed ^ n as u64,
+        resilience: Default::default(),
     };
     let result = run_experiment_with_policy(
         &mut db,

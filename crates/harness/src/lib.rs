@@ -20,9 +20,14 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod availability;
 pub mod figures;
 pub mod report;
 
+pub use availability::{
+    availability_csv, availability_markdown, run_availability, AvailabilityData, AvailabilityPoint,
+    AVAILABILITY_CONFIGS, DEFAULT_INTENSITIES,
+};
 pub use figures::{
     default_clients, find_figure, run_figure, Benchmark, ConfigCurve, CurvePoint, FigureData,
     FigurePair, FIGURES,

@@ -32,7 +32,7 @@
 //!     Op::Net { from: db, to: web, bytes: 2_048 },
 //! ].into_iter().collect();
 //! sim.submit(trace, 0);
-//! sim.run(SimTime::from_micros(1_000_000), &mut NullDriver);
+//! sim.run(SimTime::from_micros(1_000_000), &mut NullDriver).unwrap();
 //! assert_eq!(sim.stats().completed, 1);
 //! ```
 
@@ -40,6 +40,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod engine;
+pub mod fault;
 pub mod lock;
 pub mod metrics;
 pub mod op;
@@ -47,9 +48,13 @@ pub mod ps;
 pub mod rng;
 pub mod time;
 
-pub use engine::{Driver, EngineStats, JobDone, JobId, MachineId, Simulation};
-pub use lock::{GrantPolicy, LockId, LockManager, LockMode, LockStats, SemaphoreId};
-pub use metrics::{LatencyHistogram, WindowSnapshot};
+pub use engine::{
+    AbortReason, Driver, EngineStats, JobAborted, JobDone, JobId, MachineId, SimError,
+    SimErrorKind, Simulation,
+};
+pub use fault::{CrashWindow, Degradation, FaultPlan};
+pub use lock::{GrantPolicy, LockId, LockManager, LockMode, LockStats, SemGrant, SemaphoreId};
+pub use metrics::{ErrorCounters, LatencyHistogram, WindowSnapshot};
 pub use op::{Op, Trace};
 pub use ps::{PsResource, PsStats};
 pub use rng::SimRng;

@@ -51,6 +51,20 @@ pub enum GrantPolicy {
     WriterPriority,
 }
 
+/// Outcome of a semaphore acquisition attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SemGrant {
+    /// A unit was granted immediately.
+    Granted,
+    /// No unit was free; the job is queued and will be handed one by a
+    /// later [`LockManager::sem_release`].
+    Queued,
+    /// The semaphore is bounded and its wait queue is full: the request is
+    /// refused outright (admission control sheds the job instead of letting
+    /// the queue grow without bound).
+    Rejected,
+}
+
 /// Cumulative per-lock statistics.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct LockStats {
@@ -58,6 +72,9 @@ pub struct LockStats {
     pub immediate_grants: u64,
     /// Requests that had to wait.
     pub contended: u64,
+    /// Requests refused because a bounded wait queue was full (semaphores
+    /// with an admission bound only).
+    pub rejected: u64,
     /// Total microseconds spent waiting, summed over jobs.
     pub wait_micros: u64,
     /// Total microseconds locks were held, summed over holders.
@@ -95,6 +112,9 @@ struct Semaphore {
     name: String,
     capacity: u32,
     in_use: u32,
+    /// Admission bound: when `Some(n)`, at most `n` jobs may wait; further
+    /// acquisitions are rejected instead of queued.
+    max_waiters: Option<u32>,
     queue: VecDeque<(JobId, SimTime)>,
     stats: LockStats,
 }
@@ -149,12 +169,39 @@ impl LockManager {
     ///
     /// Panics if `capacity` is zero.
     pub fn register_semaphore(&mut self, name: impl Into<String>, capacity: u32) -> SemaphoreId {
+        self.register_sem_inner(name.into(), capacity, None)
+    }
+
+    /// Registers a counting semaphore whose wait queue is bounded: when
+    /// `max_waiters` jobs are already queued, further acquisitions are
+    /// [`SemGrant::Rejected`] instead of queued. This is the admission-control
+    /// primitive behind per-tier accept queues.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn register_semaphore_bounded(
+        &mut self,
+        name: impl Into<String>,
+        capacity: u32,
+        max_waiters: u32,
+    ) -> SemaphoreId {
+        self.register_sem_inner(name.into(), capacity, Some(max_waiters))
+    }
+
+    fn register_sem_inner(
+        &mut self,
+        name: String,
+        capacity: u32,
+        max_waiters: Option<u32>,
+    ) -> SemaphoreId {
         assert!(capacity > 0, "semaphore capacity must be positive");
         let id = SemaphoreId(self.sems.len() as u32);
         self.sems.push(Semaphore {
-            name: name.into(),
+            name,
             capacity,
             in_use: 0,
+            max_waiters,
             queue: VecDeque::new(),
             stats: LockStats::default(),
         });
@@ -326,19 +373,23 @@ impl LockManager {
         self.locks[lock.0 as usize].queue.len()
     }
 
-    /// Requests one unit of `sem` for `job`. Returns `true` when granted
-    /// immediately; otherwise the job queues.
-    pub fn sem_acquire(&mut self, now: SimTime, sem: SemaphoreId, job: JobId) -> bool {
+    /// Requests one unit of `sem` for `job`. The job queues when no unit is
+    /// free, unless the semaphore is bounded and its queue is full, in which
+    /// case the request is rejected outright.
+    pub fn sem_acquire(&mut self, now: SimTime, sem: SemaphoreId, job: JobId) -> SemGrant {
         let s = &mut self.sems[sem.0 as usize];
         if s.in_use < s.capacity {
             s.in_use += 1;
             s.stats.immediate_grants += 1;
-            true
+            SemGrant::Granted
+        } else if s.max_waiters.is_some_and(|max| s.queue.len() >= max as usize) {
+            s.stats.rejected += 1;
+            SemGrant::Rejected
         } else {
             s.queue.push_back((job, now));
             s.stats.contended += 1;
             s.stats.max_queue = s.stats.max_queue.max(s.queue.len());
-            false
+            SemGrant::Queued
         }
     }
 
@@ -364,6 +415,91 @@ impl LockManager {
     /// Units of the semaphore currently in use.
     pub fn sem_in_use(&self, sem: SemaphoreId) -> u32 {
         self.sems[sem.0 as usize].in_use
+    }
+
+    /// `true` if `job` currently holds `lock` (as reader or writer).
+    pub fn holds(&self, lock: LockId, job: JobId) -> bool {
+        let st = &self.locks[lock.0 as usize];
+        st.writer == Some(job) || st.readers.contains(&job)
+    }
+
+    /// `true` if `job` holds `lock` or is queued waiting for it.
+    pub fn is_holder_or_waiter(&self, lock: LockId, job: JobId) -> bool {
+        self.holds(lock, job) || self.locks[lock.0 as usize].queue.iter().any(|(j, _, _)| *j == job)
+    }
+
+    /// Removes `job` from `lock`'s wait queue (abort path). Removing a
+    /// waiter can make the lock grantable to jobs queued behind it (e.g., a
+    /// cancelled writer was blocking readers), so this runs the grant pass
+    /// and returns any jobs granted as a result. Returns an empty vec when
+    /// the job was not waiting.
+    pub fn cancel_waiting(&mut self, now: SimTime, lock: LockId, job: JobId) -> Vec<JobId> {
+        let policy = self.policy;
+        let st = &mut self.locks[lock.0 as usize];
+        let Some(pos) = st.queue.iter().position(|(j, _, _)| *j == job) else {
+            return Vec::new();
+        };
+        st.queue.remove(pos);
+        Self::grant_waiters(st, policy, now)
+    }
+
+    /// Removes `job` from `sem`'s wait queue (abort path). Returns `true`
+    /// if the job was waiting. Removing a waiter never grants anyone (units
+    /// are handed out on release only).
+    pub fn sem_cancel_waiting(&mut self, sem: SemaphoreId, job: JobId) -> bool {
+        let s = &mut self.sems[sem.0 as usize];
+        if let Some(pos) = s.queue.iter().position(|(j, _)| *j == job) {
+            s.queue.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// `true` if releasing one unit of `sem` is currently legal (at least
+    /// one unit is in use). Used by the engine to surface a structured error
+    /// instead of panicking on a malformed trace.
+    pub fn sem_can_release(&self, sem: SemaphoreId) -> bool {
+        self.sems[sem.0 as usize].in_use > 0
+    }
+
+    /// Describes any lock or semaphore state that should not survive a
+    /// drained simulation — a held lock, a queued waiter, or a semaphore
+    /// unit still in use. Returns `None` when everything is quiescent.
+    /// Aborted jobs must leave no trace here.
+    pub fn leak_report(&self) -> Option<String> {
+        for st in &self.locks {
+            if !st.is_free() {
+                return Some(format!(
+                    "lock {} still held (writer {:?}, {} readers)",
+                    st.name,
+                    st.writer,
+                    st.readers.len()
+                ));
+            }
+            if !st.queue.is_empty() {
+                return Some(format!("lock {} has {} stranded waiters", st.name, st.queue.len()));
+            }
+        }
+        for s in &self.sems {
+            if s.in_use > 0 {
+                return Some(format!("semaphore {} has {} leaked units", s.name, s.in_use));
+            }
+            if !s.queue.is_empty() {
+                return Some(format!(
+                    "semaphore {} has {} stranded waiters",
+                    s.name,
+                    s.queue.len()
+                ));
+            }
+        }
+        None
+    }
+
+    /// `true` when no lock is held or waited on and no semaphore unit is in
+    /// use — the expected state after a drained run with aborts.
+    pub fn is_quiescent(&self) -> bool {
+        self.leak_report().is_none()
     }
 }
 
@@ -483,9 +619,9 @@ mod tests {
     fn semaphore_caps_concurrency() {
         let mut lm = LockManager::default();
         let s = lm.register_semaphore("httpd", 2);
-        assert!(lm.sem_acquire(t(0), s, JobId(1)));
-        assert!(lm.sem_acquire(t(0), s, JobId(2)));
-        assert!(!lm.sem_acquire(t(1), s, JobId(3)));
+        assert_eq!(lm.sem_acquire(t(0), s, JobId(1)), SemGrant::Granted);
+        assert_eq!(lm.sem_acquire(t(0), s, JobId(2)), SemGrant::Granted);
+        assert_eq!(lm.sem_acquire(t(1), s, JobId(3)), SemGrant::Queued);
         assert_eq!(lm.sem_in_use(s), 2);
         // Releasing hands the unit to the waiter directly.
         assert_eq!(lm.sem_release(t(5), s), Some(JobId(3)));
@@ -494,6 +630,83 @@ mod tests {
         assert_eq!(lm.sem_release(t(7), s), None);
         assert_eq!(lm.sem_in_use(s), 0);
         assert_eq!(lm.semaphore_stats(s).wait_micros, 4);
+    }
+
+    #[test]
+    fn bounded_semaphore_rejects_when_queue_full() {
+        let mut lm = LockManager::default();
+        let s = lm.register_semaphore_bounded("accept", 1, 1);
+        assert_eq!(lm.sem_acquire(t(0), s, JobId(1)), SemGrant::Granted);
+        assert_eq!(lm.sem_acquire(t(0), s, JobId(2)), SemGrant::Queued);
+        // Queue bound of 1 is reached: the third request is shed.
+        assert_eq!(lm.sem_acquire(t(1), s, JobId(3)), SemGrant::Rejected);
+        assert_eq!(lm.semaphore_stats(s).rejected, 1);
+        // A rejection leaves no state behind: release hands the unit to the
+        // one legitimate waiter, then the pool drains clean.
+        assert_eq!(lm.sem_release(t(5), s), Some(JobId(2)));
+        assert_eq!(lm.sem_release(t(6), s), None);
+        assert!(lm.is_quiescent());
+    }
+
+    #[test]
+    fn zero_queue_bound_rejects_any_overflow() {
+        let mut lm = LockManager::default();
+        let s = lm.register_semaphore_bounded("accept", 1, 0);
+        assert_eq!(lm.sem_acquire(t(0), s, JobId(1)), SemGrant::Granted);
+        assert_eq!(lm.sem_acquire(t(0), s, JobId(2)), SemGrant::Rejected);
+    }
+
+    #[test]
+    fn cancel_waiting_writer_unblocks_readers() {
+        let mut lm = LockManager::new(GrantPolicy::WriterPriority);
+        let l = lm.register_lock("t");
+        assert!(lm.acquire(t(0), l, LockMode::Shared, JobId(1)));
+        // A waiting writer blocks new readers under writer priority.
+        assert!(!lm.acquire(t(1), l, LockMode::Exclusive, JobId(2)));
+        assert!(!lm.acquire(t(2), l, LockMode::Shared, JobId(3)));
+        // Aborting the writer must re-run the grant pass so the stranded
+        // reader joins the current read crowd immediately.
+        assert_eq!(lm.cancel_waiting(t(3), l, JobId(2)), vec![JobId(3)]);
+        assert!(lm.holds(l, JobId(3)));
+        lm.release(t(4), l, JobId(1));
+        lm.release(t(5), l, JobId(3));
+        assert!(lm.is_quiescent());
+    }
+
+    #[test]
+    fn cancel_waiting_absent_job_is_noop() {
+        let mut lm = LockManager::default();
+        let l = lm.register_lock("t");
+        assert!(lm.cancel_waiting(t(0), l, JobId(9)).is_empty());
+        let s = lm.register_semaphore("p", 1);
+        assert!(!lm.sem_cancel_waiting(s, JobId(9)));
+    }
+
+    #[test]
+    fn holder_and_waiter_queries() {
+        let mut lm = LockManager::default();
+        let l = lm.register_lock("t");
+        assert!(lm.acquire(t(0), l, LockMode::Exclusive, JobId(1)));
+        assert!(!lm.acquire(t(1), l, LockMode::Shared, JobId(2)));
+        assert!(lm.holds(l, JobId(1)));
+        assert!(!lm.holds(l, JobId(2)));
+        assert!(lm.is_holder_or_waiter(l, JobId(2)));
+        assert!(!lm.is_holder_or_waiter(l, JobId(3)));
+    }
+
+    #[test]
+    fn leak_report_flags_held_state() {
+        let mut lm = LockManager::default();
+        let l = lm.register_lock("t");
+        assert!(lm.is_quiescent());
+        assert!(lm.acquire(t(0), l, LockMode::Exclusive, JobId(1)));
+        assert!(lm.leak_report().unwrap().contains("still held"));
+        lm.release(t(1), l, JobId(1));
+        let s = lm.register_semaphore("p", 1);
+        assert_eq!(lm.sem_acquire(t(2), s, JobId(1)), SemGrant::Granted);
+        assert!(lm.leak_report().unwrap().contains("leaked units"));
+        lm.sem_release(t(3), s);
+        assert!(lm.is_quiescent());
     }
 
     #[test]

@@ -23,7 +23,7 @@ use crate::time::{SimDuration, SimTime};
 /// assert_eq!(h.count(), 5);
 /// assert!(h.quantile(0.5) <= h.quantile(0.99));
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LatencyHistogram {
     buckets: Vec<u64>,
     count: u64,
@@ -127,6 +127,46 @@ impl LatencyHistogram {
 impl Default for LatencyHistogram {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+/// Error taxonomy over a measurement window: every way a request can fail
+/// to produce a good response, each counted exactly once per attempt.
+///
+/// The classes are disjoint by construction — a request the server rejects
+/// at admission is counted under `rejects` and *not* again under `timeouts`
+/// when the client's deadline would have fired (the engine drops the stale
+/// deadline event once the job is gone). `retries` counts re-submissions
+/// (attempts beyond the first), and `abandoned` counts requests given up
+/// after exhausting the retry budget; both overlap the failure classes by
+/// design (an abandoned request was also counted once per failed attempt).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ErrorCounters {
+    /// Attempts that exceeded the client's request deadline.
+    pub timeouts: u64,
+    /// Attempts shed by admission control (bounded accept queue full).
+    pub rejects: u64,
+    /// Attempts killed by a fault (machine crash or transient failure).
+    pub aborts: u64,
+    /// Re-submissions after a failed attempt (attempt number >= 2).
+    pub retries: u64,
+    /// Requests abandoned after the retry budget ran out.
+    pub abandoned: u64,
+}
+
+impl ErrorCounters {
+    /// Total failed attempts (timeouts + rejects + aborts).
+    pub fn failed_attempts(&self) -> u64 {
+        self.timeouts + self.rejects + self.aborts
+    }
+
+    /// Accumulates another window's counters into this one.
+    pub fn merge(&mut self, other: &ErrorCounters) {
+        self.timeouts += other.timeouts;
+        self.rejects += other.rejects;
+        self.aborts += other.aborts;
+        self.retries += other.retries;
+        self.abandoned += other.abandoned;
     }
 }
 

@@ -149,6 +149,13 @@ impl PsResource {
         self.active.len()
     }
 
+    /// The jobs currently in service, in virtual-finish order. The order is
+    /// deterministic, which matters when a machine crash aborts all of them:
+    /// the abort sequence must be identical across runs.
+    pub fn active_jobs(&self) -> Vec<JobId> {
+        self.active.iter().map(|k| self.jobs[&k.seq]).collect()
+    }
+
     /// Current epoch; bumped whenever the completion schedule may change.
     pub fn epoch(&self) -> u64 {
         self.epoch

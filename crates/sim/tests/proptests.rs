@@ -1,12 +1,12 @@
 //! Property-based tests for the simulation kernel: work conservation and
 //! ordering in the processor-sharing resource, mutual exclusion and
-//! liveness in the lock manager, and end-to-end conservation in the
-//! engine.
+//! liveness in the lock manager, end-to-end conservation in the engine,
+//! and determinism/leak-freedom under random fault plans.
 
-use dynamid_sim::engine::{Driver, JobDone, NullDriver};
+use dynamid_sim::engine::{Driver, JobAborted, JobDone, NullDriver};
 use dynamid_sim::{
-    GrantPolicy, JobId, LockManager, LockMode, Op, PsResource, SimDuration, SimTime, Simulation,
-    Trace,
+    CrashWindow, Degradation, EngineStats, FaultPlan, GrantPolicy, JobId, LatencyHistogram,
+    LockManager, LockMode, Op, PsResource, SimDuration, SimTime, Simulation, Trace,
 };
 use proptest::prelude::*;
 
@@ -166,9 +166,103 @@ proptest! {
             prop_assert!(t.check_balanced().is_ok());
             sim.submit(t, i as u64);
         }
-        sim.run_until_idle(&mut NullDriver);
+        sim.run_until_idle(&mut NullDriver).unwrap();
         prop_assert_eq!(sim.stats().completed, specs.len() as u64);
         prop_assert_eq!(sim.jobs_in_flight(), 0);
+    }
+
+    /// Chaos battery: a random `FaultPlan` over a random small workload
+    /// must (a) be bit-identically reproducible from the same seed — same
+    /// `EngineStats`, same latency histogram, same abort sequence — (b)
+    /// leave no lock/semaphore/PS state behind once drained (aborted jobs
+    /// release everything), and (c) balance
+    /// completed + aborted + rejected == submitted.
+    #[test]
+    fn fault_plans_are_deterministic_and_leak_free(
+        specs in prop::collection::vec((1u64..2_000, 0u64..3, any::<bool>(), 0u64..4), 1..40),
+        seed in any::<u64>(),
+        fail_millis in 0u32..150,
+        crash_at in 100u64..5_000,
+        crash_len in 100u64..5_000,
+        crash_web in any::<bool>(),
+        degrade_pct in 100u32..350,
+    ) {
+        struct Collect {
+            hist: LatencyHistogram,
+            aborted: Vec<(u64, dynamid_sim::AbortReason)>,
+        }
+        impl Driver for Collect {
+            fn on_job_complete(&mut self, _s: &mut Simulation, d: JobDone) {
+                self.hist.record(d.latency());
+            }
+            fn on_timer(&mut self, _s: &mut Simulation, _t: u64) {}
+            fn on_job_aborted(&mut self, _s: &mut Simulation, info: JobAborted) {
+                self.aborted.push((info.tag, info.reason));
+            }
+        }
+        type RunOutcome = (LatencyHistogram, Vec<(u64, dynamid_sim::AbortReason)>, EngineStats);
+        let run = || -> Result<RunOutcome, TestCaseError> {
+            let mut sim = Simulation::new(SimDuration::from_micros(50));
+            let a = sim.add_machine("a", 1.0, 100.0);
+            let b = sim.add_machine("b", 1.0, 100.0);
+            let l = sim.register_lock("t");
+            let s = sim.register_semaphore_bounded("pool", 2, 4);
+            sim.install_faults(FaultPlan {
+                seed,
+                transient_fail_prob: f64::from(fail_millis) / 1_000.0,
+                crashes: vec![CrashWindow {
+                    machine: if crash_web { a } else { b },
+                    at: SimTime::from_micros(crash_at),
+                    restart: SimTime::from_micros(crash_at + crash_len),
+                }],
+                degradations: vec![Degradation {
+                    machine: a,
+                    from: SimTime::from_micros(crash_at / 2),
+                    until: SimTime::from_micros(crash_at + 2 * crash_len),
+                    cpu_factor: f64::from(degrade_pct) / 100.0,
+                    nic_factor: 1.0 + f64::from(degrade_pct) / 400.0,
+                }],
+            });
+            for (i, (cpu, hops, lock, deadline)) in specs.iter().enumerate() {
+                let mut t = Trace::new();
+                t.push(Op::SemAcquire { sem: s });
+                if *lock {
+                    t.push(Op::Lock { lock: l, mode: LockMode::Exclusive });
+                }
+                t.push(Op::Cpu { machine: a, micros: *cpu });
+                for _ in 0..*hops {
+                    t.push(Op::Net { from: a, to: b, bytes: 100 + *cpu });
+                    t.push(Op::Cpu { machine: b, micros: *cpu / 2 + 1 });
+                    t.push(Op::Net { from: b, to: a, bytes: 64 });
+                }
+                if *lock {
+                    t.push(Op::Unlock { lock: l });
+                }
+                t.push(Op::SemRelease { sem: s });
+                if *deadline > 0 {
+                    sim.submit_with_deadline(
+                        t,
+                        i as u64,
+                        SimDuration::from_micros(*deadline * 1_500),
+                    );
+                } else {
+                    sim.submit(t, i as u64);
+                }
+            }
+            let mut c = Collect { hist: LatencyHistogram::new(), aborted: Vec::new() };
+            sim.run_until_idle(&mut c).expect("well-formed traces");
+            let st = sim.stats();
+            // (c) conservation: every submission is accounted exactly once.
+            prop_assert_eq!(st.submitted, specs.len() as u64);
+            prop_assert_eq!(st.completed + st.aborted + st.rejected, st.submitted);
+            prop_assert_eq!(sim.jobs_in_flight(), 0);
+            // (b) aborted jobs released every lock, semaphore unit, and PS
+            // share.
+            prop_assert!(sim.leak_report().is_none(), "leak: {:?}", sim.leak_report());
+            Ok((c.hist, c.aborted, st))
+        };
+        // (a) bit-identical replay from the same seed and plan.
+        prop_assert_eq!(run()?, run()?);
     }
 
     /// Latency sanity: a job's completion is never before its submission
@@ -191,7 +285,7 @@ proptest! {
             expect.push(*d);
         }
         let mut c = Collect(Vec::new());
-        sim.run_until_idle(&mut c);
+        sim.run_until_idle(&mut c).unwrap();
         prop_assert_eq!(c.0.len(), demands.len());
         for d in &c.0 {
             let own = expect[d.tag as usize];

@@ -8,10 +8,12 @@
 //! Measurements are taken only inside the measurement window, bracketed by
 //! ramp-up and ramp-down phases.
 
+use crate::fault::ResilienceConfig;
 use crate::mix::Mix;
 use dynamid_core::{Application, Middleware, SessionData};
 use dynamid_sim::{
-    Driver, JobDone, LatencyHistogram, SimDuration, SimRng, SimTime, Simulation, WindowSnapshot,
+    AbortReason, Driver, ErrorCounters, JobAborted, JobDone, LatencyHistogram, SimDuration, SimRng,
+    SimTime, Simulation, WindowSnapshot,
 };
 use dynamid_sqldb::Database;
 
@@ -37,6 +39,9 @@ pub struct WorkloadConfig {
     pub ramp_down: SimDuration,
     /// Master seed; every client derives an independent stream.
     pub seed: u64,
+    /// Client-side timeout/retry policy (disabled by default, matching the
+    /// paper's patient clients).
+    pub resilience: ResilienceConfig,
 }
 
 impl WorkloadConfig {
@@ -52,6 +57,7 @@ impl WorkloadConfig {
             measure: SimDuration::from_secs(120),
             ramp_down: SimDuration::from_secs(10),
             seed: 42,
+            resilience: ResilienceConfig::disabled(),
         }
     }
 
@@ -101,6 +107,12 @@ pub struct WorkloadMetrics {
     pub submitted_total: u64,
     /// Sessions started over the whole run.
     pub sessions: u64,
+    /// Attempts submitted inside the window (offered load, including
+    /// retries).
+    pub offered: u64,
+    /// Failure taxonomy over the window: timeouts, admission rejects,
+    /// fault aborts, retries, abandons — each attempt counted exactly once.
+    pub errors_detail: ErrorCounters,
 }
 
 impl WorkloadMetrics {
@@ -112,6 +124,8 @@ impl WorkloadMetrics {
             latency: LatencyHistogram::new(),
             submitted_total: 0,
             sessions: 0,
+            offered: 0,
+            errors_detail: ErrorCounters::default(),
         }
     }
 
@@ -130,6 +144,23 @@ impl WorkloadMetrics {
         } else {
             self.errors as f64 / self.completed as f64
         }
+    }
+
+    /// Goodput in interactions per minute: window completions that neither
+    /// errored at the application level nor failed in transit.
+    pub fn goodput_ipm(&self, measure: SimDuration) -> f64 {
+        if measure.is_zero() {
+            return 0.0;
+        }
+        self.completed.saturating_sub(self.errors) as f64 * 60.0 / measure.as_secs_f64()
+    }
+
+    /// Offered load in attempts per minute over the window.
+    pub fn offered_ipm(&self, measure: SimDuration) -> f64 {
+        if measure.is_zero() {
+            return 0.0;
+        }
+        self.offered as f64 * 60.0 / measure.as_secs_f64()
     }
 }
 
@@ -150,6 +181,11 @@ struct ClientState {
     session_end: SimTime,
     /// Outcome of the interaction currently in flight.
     pending_error: bool,
+    /// Which attempt the in-flight interaction is on (0 = first send).
+    attempt: u32,
+    /// Set while a backoff timer is pending; the next wake re-sends the
+    /// current interaction instead of advancing the session.
+    retry_pending: bool,
 }
 
 /// The [`Driver`] implementation that emulates the client population.
@@ -203,6 +239,8 @@ impl<'a> WorkloadDriver<'a> {
                 current: None,
                 session_end: SimTime::ZERO, // set at first wake
                 pending_error: false,
+                attempt: 0,
+                retry_pending: false,
             });
         }
         // Stagger client starts uniformly over the ramp-up phase.
@@ -262,17 +300,38 @@ impl<'a> WorkloadDriver<'a> {
             Some(cur) => self.mix.next(cur, &mut client.rng),
         };
         client.current = Some(next);
+        client.attempt = 0;
+        self.submit_attempt(sim, client_id, next);
+    }
+
+    /// Compiles and submits one attempt of interaction `id` for the client,
+    /// with a deadline when the resilience policy sets one.
+    fn submit_attempt(&mut self, sim: &mut Simulation, client_id: usize, id: usize) {
+        let now = sim.now();
+        let client = &mut self.clients[client_id];
         let prep = self.middleware.run_interaction(
             self.db,
             self.app,
-            next,
+            id,
             &mut client.session,
             &mut client.rng,
             false,
         );
         client.pending_error = !prep.is_ok();
+        client.retry_pending = false;
         self.metrics.submitted_total += 1;
-        sim.submit(prep.trace, client_id as u64);
+        let (w0, w1) = self.window;
+        if now >= w0 && now < w1 {
+            self.metrics.offered += 1;
+        }
+        match self.cfg.resilience.request_timeout {
+            Some(deadline) => {
+                sim.submit_with_deadline(prep.trace, client_id as u64, deadline);
+            }
+            None => {
+                sim.submit(prep.trace, client_id as u64);
+            }
+        }
     }
 
     fn snapshot(&mut self, sim: &mut Simulation, end: bool) {
@@ -339,6 +398,8 @@ impl Driver for WorkloadDriver<'_> {
         // Think, then next interaction.
         let think = {
             let client = &mut self.clients[client_id];
+            client.attempt = 0;
+            client.retry_pending = false;
             client.rng.exponential(self.cfg.think_time)
         };
         sim.set_timer_after(think, client_id as u64);
@@ -348,7 +409,54 @@ impl Driver for WorkloadDriver<'_> {
         match token {
             TOKEN_WINDOW_START => self.snapshot(sim, false),
             TOKEN_WINDOW_END => self.snapshot(sim, true),
-            client_id => self.begin_interaction(sim, client_id as usize),
+            client_id => {
+                let client_id = client_id as usize;
+                let retry = self.clients[client_id].retry_pending;
+                match (retry, self.clients[client_id].current) {
+                    (true, Some(id)) => self.submit_attempt(sim, client_id, id),
+                    _ => self.begin_interaction(sim, client_id),
+                }
+            }
+        }
+    }
+
+    fn on_job_aborted(&mut self, sim: &mut Simulation, info: JobAborted) {
+        let client_id = info.tag as usize;
+        let (w0, w1) = self.window;
+        let in_window = info.aborted >= w0 && info.aborted < w1;
+        if in_window {
+            match info.reason {
+                AbortReason::DeadlineExpired => self.metrics.errors_detail.timeouts += 1,
+                AbortReason::Rejected => self.metrics.errors_detail.rejects += 1,
+                AbortReason::MachineCrash
+                | AbortReason::TransientFault
+                | AbortReason::Cancelled => self.metrics.errors_detail.aborts += 1,
+            }
+        }
+        let resilience = self.cfg.resilience;
+        let client = &mut self.clients[client_id];
+        if client.attempt < resilience.max_retries {
+            client.attempt += 1;
+            client.retry_pending = true;
+            if in_window {
+                self.metrics.errors_detail.retries += 1;
+            }
+            // Capped exponential backoff with deterministic jitter in
+            // [0.5, 1.0) of the nominal delay, drawn from the client's own
+            // stream so runs replay bit-identically.
+            let nominal = resilience.backoff_for(client.attempt).as_micros();
+            let jittered = (nominal as f64 * (0.5 + 0.5 * client.rng.unit())).round() as u64;
+            sim.set_timer_after(SimDuration::from_micros(jittered.max(1)), client_id as u64);
+        } else {
+            // Retry budget exhausted (or retries disabled): give up on this
+            // interaction, think, move on with the session.
+            client.attempt = 0;
+            client.retry_pending = false;
+            if in_window {
+                self.metrics.errors_detail.abandoned += 1;
+            }
+            let think = client.rng.exponential(self.cfg.think_time);
+            sim.set_timer_after(think, client_id as u64);
         }
     }
 }

@@ -2,9 +2,12 @@
 //! population through its phases, and report the paper's metrics.
 
 use crate::driver::{ResourceWindow, WorkloadConfig, WorkloadDriver, WorkloadMetrics};
+use crate::fault::ChaosOptions;
 use crate::mix::Mix;
 use dynamid_core::{Application, CostModel, Middleware, StandardConfig};
-use dynamid_sim::{GrantPolicy, LockStats, SimDuration, SimTime, Simulation};
+use dynamid_sim::{
+    EngineStats, ErrorCounters, GrantPolicy, LockStats, SimDuration, SimTime, Simulation,
+};
 use dynamid_sqldb::Database;
 
 /// One-way LAN latency between the paper's machines (switched 100 Mb/s
@@ -30,6 +33,17 @@ pub struct ExperimentResult {
     pub lock_stats: LockStats,
     /// Simulator event count (run cost diagnostics).
     pub events: u64,
+    /// Engine-level job accounting over the whole run (submitted ==
+    /// completed + aborted + rejected once drained).
+    pub engine: EngineStats,
+    /// Window failure taxonomy (all zero on a healthy run).
+    pub errors: ErrorCounters,
+    /// Offered load in attempts per minute over the window.
+    pub offered_ipm: f64,
+    /// Goodput in good responses per minute over the window.
+    pub goodput_ipm: f64,
+    /// 99th-percentile latency of window completions.
+    pub latency_p99: SimDuration,
 }
 
 impl ExperimentResult {
@@ -72,17 +86,62 @@ pub fn run_experiment_with_policy(
     workload: WorkloadConfig,
     policy: GrantPolicy,
 ) -> ExperimentResult {
+    run_experiment_chaos(db, app, mix, config, costs, workload, policy, ChaosOptions::default())
+}
+
+/// Like [`run_experiment_with_policy`] but with fault injection and
+/// admission control: compiles `chaos.faults` against the deployment's
+/// server machines over the run's horizon, installs the admission limits,
+/// and reports the failure taxonomy alongside the paper's metrics.
+///
+/// With `ChaosOptions::default()` (and a default-resilience workload) the
+/// event stream is bit-identical to [`run_experiment_with_policy`]: no
+/// fault state is installed and no deadline events are scheduled.
+#[allow(clippy::too_many_arguments)]
+pub fn run_experiment_chaos(
+    db: &mut Database,
+    app: &dyn Application,
+    mix: &Mix,
+    config: StandardConfig,
+    costs: CostModel,
+    workload: WorkloadConfig,
+    policy: GrantPolicy,
+    chaos: ChaosOptions,
+) -> ExperimentResult {
     let mut sim = Simulation::with_policy(LAN_LATENCY, policy);
-    let middleware = Middleware::install(&mut sim, config, db, app, costs);
+    let middleware =
+        Middleware::install_with_admission(&mut sim, config, db, app, costs, chaos.admission);
     let total = workload.total();
+    if let Some(spec) = chaos.faults {
+        if !spec.is_trivial() {
+            let m = *middleware.deployment().machines();
+            let mut servers = vec![m.web];
+            if let Some(s) = m.servlet {
+                if s != m.web {
+                    servers.push(s);
+                }
+            }
+            if let Some(e) = m.ejb {
+                servers.push(e);
+            }
+            servers.push(m.db);
+            sim.install_faults(spec.compile(&servers, total));
+        }
+    }
     let measure = workload.measure;
     let clients = workload.clients;
     let mut driver = WorkloadDriver::start(&mut sim, app, mix, &middleware, db, workload);
-    sim.run(SimTime::ZERO + total, &mut driver);
+    sim.run(SimTime::ZERO + total, &mut driver).unwrap_or_else(|e| {
+        panic!("simulation failed ({config}, {clients} clients): {e}");
+    });
 
     let metrics = driver.metrics().clone();
     let resources = driver.resources().clone();
     let throughput_ipm = metrics.throughput_ipm(measure);
+    let offered_ipm = metrics.offered_ipm(measure);
+    let goodput_ipm = metrics.goodput_ipm(measure);
+    let latency_p99 = metrics.latency.quantile(0.99);
+    let errors = metrics.errors_detail;
     ExperimentResult {
         config,
         clients,
@@ -91,6 +150,11 @@ pub fn run_experiment_with_policy(
         resources,
         lock_stats: sim.total_lock_stats(),
         events: sim.stats().events,
+        engine: sim.stats(),
+        errors,
+        offered_ipm,
+        goodput_ipm,
+        latency_p99,
     }
 }
 
@@ -201,6 +265,7 @@ mod tests {
             measure: SimDuration::from_secs(10),
             ramp_down: SimDuration::from_secs(1),
             seed: 7,
+            resilience: crate::fault::ResilienceConfig::disabled(),
         }
     }
 
@@ -301,6 +366,149 @@ mod tests {
         let total = db.execute("SELECT SUM(v) FROM counters", &[]).unwrap();
         // Some writes happened.
         assert!(total.rows[0][0].as_int().unwrap() > 0);
+    }
+
+    #[test]
+    fn chaos_run_is_deterministic_and_balanced() {
+        use crate::fault::{ChaosOptions, FaultSpec, ResilienceConfig};
+        use dynamid_core::AdmissionControl;
+
+        let run = || {
+            let mut db = mini_db();
+            let mut cfg = quick(25);
+            cfg.resilience = ResilienceConfig {
+                request_timeout: Some(SimDuration::from_secs(2)),
+                max_retries: 2,
+                backoff_base: SimDuration::from_millis(100),
+                backoff_cap: SimDuration::from_secs(1),
+            };
+            let chaos = ChaosOptions {
+                faults: Some(FaultSpec::at_intensity(13, 0.8)),
+                admission: AdmissionControl {
+                    web_accept_queue: Some(8),
+                    db_connections: Some(4),
+                    db_accept_queue: Some(2),
+                },
+            };
+            run_experiment_chaos(
+                &mut db,
+                &MiniApp,
+                &mini_mix(),
+                StandardConfig::ServletDedicated,
+                CostModel::default(),
+                cfg,
+                GrantPolicy::default(),
+                chaos,
+            )
+        };
+        let a = run();
+        // Conservation: every submission is accounted once. Jobs still in
+        // flight at the horizon are the remainder.
+        let e = a.engine;
+        assert!(e.completed + e.aborted + e.rejected <= e.submitted);
+        assert_eq!(e.submitted, a.metrics.submitted_total);
+        // The environment was hostile enough to actually exercise the
+        // resilience machinery.
+        assert!(
+            a.errors.failed_attempts() > 0,
+            "0.8 intensity produced no failures: {:?}",
+            a.errors
+        );
+        assert!(a.metrics.offered > 0);
+        assert!(a.goodput_ipm <= a.throughput_ipm + 1e-9);
+        // Determinism: the identical spec replays bit-identically.
+        let b = run();
+        assert_eq!(a.engine, b.engine);
+        assert_eq!(a.errors, b.errors);
+        assert_eq!(a.metrics.completed, b.metrics.completed);
+        assert_eq!(a.metrics.latency, b.metrics.latency);
+        assert_eq!(a.throughput_ipm, b.throughput_ipm);
+        assert_eq!(a.latency_p99, b.latency_p99);
+    }
+
+    #[test]
+    fn healthy_chaos_options_match_plain_run() {
+        let mut db1 = mini_db();
+        let plain = run_experiment_with_policy(
+            &mut db1,
+            &MiniApp,
+            &mini_mix(),
+            StandardConfig::PhpColocated,
+            CostModel::default(),
+            quick(10),
+            GrantPolicy::default(),
+        );
+        let mut db2 = mini_db();
+        let chaos = run_experiment_chaos(
+            &mut db2,
+            &MiniApp,
+            &mini_mix(),
+            StandardConfig::PhpColocated,
+            CostModel::default(),
+            quick(10),
+            GrantPolicy::default(),
+            crate::fault::ChaosOptions::default(),
+        );
+        assert_eq!(plain.events, chaos.events, "trivial chaos must not perturb the event stream");
+        assert_eq!(plain.metrics.completed, chaos.metrics.completed);
+        assert_eq!(plain.throughput_ipm, chaos.throughput_ipm);
+        assert_eq!(chaos.errors, dynamid_sim::ErrorCounters::default());
+        assert_eq!(chaos.engine.rejected, 0);
+        assert_eq!(chaos.engine.aborted, 0);
+    }
+
+    #[test]
+    fn rejected_attempt_is_counted_once_not_as_timeout() {
+        use crate::fault::{ChaosOptions, ResilienceConfig};
+        use dynamid_core::AdmissionControl;
+
+        // A single DB connection with a zero-length wait queue under many
+        // clients forces admission rejects; every client also carries a
+        // deadline, so a double-counting bug would tally the same attempt
+        // under both `rejects` and `timeouts`.
+        let mut db = mini_db();
+        let mut cfg = quick(40);
+        cfg.resilience = ResilienceConfig {
+            request_timeout: Some(SimDuration::from_secs(5)),
+            max_retries: 0,
+            backoff_base: SimDuration::from_millis(100),
+            backoff_cap: SimDuration::from_secs(1),
+        };
+        let r = run_experiment_chaos(
+            &mut db,
+            &MiniApp,
+            &mini_mix(),
+            StandardConfig::PhpColocated,
+            CostModel::default(),
+            cfg,
+            GrantPolicy::default(),
+            ChaosOptions {
+                faults: None,
+                admission: AdmissionControl {
+                    web_accept_queue: None,
+                    db_connections: Some(1),
+                    db_accept_queue: Some(0),
+                },
+            },
+        );
+        assert!(r.errors.rejects > 0, "overload never tripped admission control: {:?}", r.errors);
+        // Every attempt resolves exactly once: good completion or exactly
+        // one failure class. Attempts in flight across the window edges can
+        // shift counts by at most the client population (40); a
+        // double-counting bug (reject also tallied as timeout when the
+        // stale deadline fires) would blow past the upper bound.
+        let resolved = r.metrics.completed + r.errors.failed_attempts();
+        assert!(
+            resolved <= r.metrics.offered + 40 && resolved + 40 >= r.metrics.offered,
+            "attempts not counted exactly once: completed={} failed={:?} offered={}",
+            r.metrics.completed,
+            r.errors,
+            r.metrics.offered
+        );
+        // The engine agrees with the window taxonomy direction: rejects in
+        // the window cannot exceed engine-level rejects.
+        assert!(r.errors.rejects <= r.engine.rejected);
+        assert!(r.errors.timeouts <= r.engine.aborted);
     }
 
     #[test]

@@ -16,8 +16,12 @@
 
 pub mod driver;
 pub mod experiment;
+pub mod fault;
 pub mod mix;
 
 pub use driver::{ResourceWindow, WorkloadConfig, WorkloadDriver, WorkloadMetrics};
-pub use experiment::{run_experiment, run_experiment_with_policy, ExperimentResult, LAN_LATENCY};
+pub use experiment::{
+    run_experiment, run_experiment_chaos, run_experiment_with_policy, ExperimentResult, LAN_LATENCY,
+};
+pub use fault::{ChaosOptions, FaultSpec, ResilienceConfig};
 pub use mix::{Mix, TransitionMatrix};

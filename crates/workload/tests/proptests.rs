@@ -102,6 +102,7 @@ proptest! {
             measure: SimDuration::from_secs(5),
             ramp_down: SimDuration::from_secs(1),
             seed,
+            resilience: Default::default(),
         };
         let r = run_experiment(
             tiny_db(),
@@ -134,6 +135,7 @@ proptest! {
             measure: SimDuration::from_secs(measure),
             ramp_down: SimDuration::from_secs(down),
             seed: 0,
+            resilience: Default::default(),
         };
         let (w0, w1) = cfg.window();
         prop_assert_eq!(w0.as_micros(), up * 1_000_000);

@@ -34,6 +34,7 @@ fn main() {
             measure: SimDuration::from_secs(25),
             ramp_down: SimDuration::from_secs(2),
             seed: 42,
+            resilience: Default::default(),
         };
         let r = run_experiment(db, &app, &mix, config, CostModel::default(), workload);
         println!(

@@ -29,6 +29,7 @@ fn main() {
         measure: SimDuration::from_secs(40),
         ramp_down: SimDuration::from_secs(2),
         seed: 7,
+        resilience: Default::default(),
     };
 
     println!("bookstore, ordering mix (50/50), {} clients\n", workload.clients);

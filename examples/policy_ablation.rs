@@ -29,6 +29,7 @@ fn main() {
         measure: SimDuration::from_secs(40),
         ramp_down: SimDuration::from_secs(2),
         seed: 11,
+        resilience: Default::default(),
     };
 
     println!("bookstore ordering mix, WsServlet-DB (plain table locking)\n");

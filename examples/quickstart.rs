@@ -25,6 +25,7 @@ fn main() {
         measure: SimDuration::from_secs(30),
         ramp_down: SimDuration::from_secs(2),
         seed: 42,
+        resilience: Default::default(),
     };
 
     println!("auction site, bidding mix, {} clients\n", workload.clients);

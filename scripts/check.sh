@@ -17,7 +17,18 @@ cargo test -q
 echo "== workspace tests"
 cargo test -q --workspace
 
-echo "== perf smoke (writes BENCH_repro.json)"
-cargo run --release -q -p dynamid-harness --bin repro -- --smoke
+echo "== perf + chaos smoke (writes BENCH_repro.json)"
+cargo run --release -q -p dynamid-harness --bin repro -- --smoke --chaos
+
+echo "== healthy-path figures are byte-identical to results/golden"
+golden_tmp="$(mktemp -d)"
+trap 'rm -rf "$golden_tmp"' EXIT
+cargo run --release -q -p dynamid-harness --bin repro -- \
+  --fast --quiet --jobs 4 --seed 42 --scale 0.1 \
+  --clients 5,10,15 --measure 4 --out "$golden_tmp" fig05 fig11
+for fig in fig05 fig11; do
+  cmp "results/golden/$fig.csv" "$golden_tmp/$fig.csv" \
+    || { echo "FAIL: $fig.csv drifted from results/golden/$fig.csv" >&2; exit 1; }
+done
 
 echo "All checks passed."

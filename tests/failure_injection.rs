@@ -89,7 +89,7 @@ fn db_with_t() -> Database {
 
 #[test]
 fn failed_requests_produce_balanced_runnable_traces() {
-    for config in [StandardConfig::PhpColocated, StandardConfig::EjbFourTier] {
+    for config in StandardConfig::ALL {
         let mut db = db_with_t();
         let mut sim = Simulation::new(SimDuration::from_micros(100));
         let mw = Middleware::install(&mut sim, config, &db, &Saboteur, CostModel::default());
@@ -108,11 +108,16 @@ fn failed_requests_produce_balanced_runnable_traces() {
             );
             sim.submit(prep.trace, id as u64);
         }
-        sim.run(SimTime::from_micros(120_000_000), &mut NullDriver);
+        sim.run(SimTime::from_micros(120_000_000), &mut NullDriver).unwrap();
         assert_eq!(
             sim.stats().completed,
             ids.len() as u64,
             "{config}: failed-request traces must still drain"
+        );
+        assert!(
+            sim.leak_report().is_none(),
+            "{config}: leaked state after failures: {:?}",
+            sim.leak_report()
         );
     }
 }
@@ -192,7 +197,7 @@ fn session_survives_a_string_of_failures() {
         sim.submit(bad.trace, 0);
         sim.submit(good.trace, 1);
     }
-    sim.run(SimTime::from_micros(120_000_000), &mut NullDriver);
+    sim.run(SimTime::from_micros(120_000_000), &mut NullDriver).unwrap();
     assert_eq!(sim.stats().completed, 10);
     let v = db.execute("SELECT v FROM t WHERE id = 1", &[]).unwrap();
     assert_eq!(v.rows[0][0], Value::Int(12)); // 7 + 5 successful updates

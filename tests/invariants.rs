@@ -19,6 +19,7 @@ fn load(clients: usize, seed: u64) -> WorkloadConfig {
         measure: SimDuration::from_secs(12),
         ramp_down: SimDuration::from_secs(1),
         seed,
+        resilience: Default::default(),
     }
 }
 

@@ -17,6 +17,7 @@ fn quick_load(clients: usize) -> WorkloadConfig {
         measure: SimDuration::from_secs(16),
         ramp_down: SimDuration::from_secs(1),
         seed: 1234,
+        resilience: Default::default(),
     }
 }
 
