@@ -1,7 +1,8 @@
-/root/repo/target/debug/deps/dynamid_harness-2a3f59bbe560d139.d: crates/harness/src/lib.rs crates/harness/src/figures.rs crates/harness/src/report.rs
+/root/repo/target/debug/deps/dynamid_harness-2a3f59bbe560d139.d: crates/harness/src/lib.rs crates/harness/src/availability.rs crates/harness/src/figures.rs crates/harness/src/report.rs
 
-/root/repo/target/debug/deps/dynamid_harness-2a3f59bbe560d139: crates/harness/src/lib.rs crates/harness/src/figures.rs crates/harness/src/report.rs
+/root/repo/target/debug/deps/dynamid_harness-2a3f59bbe560d139: crates/harness/src/lib.rs crates/harness/src/availability.rs crates/harness/src/figures.rs crates/harness/src/report.rs
 
 crates/harness/src/lib.rs:
+crates/harness/src/availability.rs:
 crates/harness/src/figures.rs:
 crates/harness/src/report.rs:

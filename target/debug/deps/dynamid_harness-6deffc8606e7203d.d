@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/dynamid_harness-6deffc8606e7203d.d: crates/harness/src/lib.rs crates/harness/src/figures.rs crates/harness/src/report.rs Cargo.toml
+/root/repo/target/debug/deps/dynamid_harness-6deffc8606e7203d.d: crates/harness/src/lib.rs crates/harness/src/availability.rs crates/harness/src/figures.rs crates/harness/src/report.rs Cargo.toml
 
-/root/repo/target/debug/deps/libdynamid_harness-6deffc8606e7203d.rmeta: crates/harness/src/lib.rs crates/harness/src/figures.rs crates/harness/src/report.rs Cargo.toml
+/root/repo/target/debug/deps/libdynamid_harness-6deffc8606e7203d.rmeta: crates/harness/src/lib.rs crates/harness/src/availability.rs crates/harness/src/figures.rs crates/harness/src/report.rs Cargo.toml
 
 crates/harness/src/lib.rs:
+crates/harness/src/availability.rs:
 crates/harness/src/figures.rs:
 crates/harness/src/report.rs:
 Cargo.toml:

@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/dynamid_harness-9ad245877c460046.d: crates/harness/src/lib.rs crates/harness/src/figures.rs crates/harness/src/report.rs
+/root/repo/target/debug/deps/dynamid_harness-9ad245877c460046.d: crates/harness/src/lib.rs crates/harness/src/availability.rs crates/harness/src/figures.rs crates/harness/src/report.rs
 
-/root/repo/target/debug/deps/libdynamid_harness-9ad245877c460046.rlib: crates/harness/src/lib.rs crates/harness/src/figures.rs crates/harness/src/report.rs
+/root/repo/target/debug/deps/libdynamid_harness-9ad245877c460046.rlib: crates/harness/src/lib.rs crates/harness/src/availability.rs crates/harness/src/figures.rs crates/harness/src/report.rs
 
-/root/repo/target/debug/deps/libdynamid_harness-9ad245877c460046.rmeta: crates/harness/src/lib.rs crates/harness/src/figures.rs crates/harness/src/report.rs
+/root/repo/target/debug/deps/libdynamid_harness-9ad245877c460046.rmeta: crates/harness/src/lib.rs crates/harness/src/availability.rs crates/harness/src/figures.rs crates/harness/src/report.rs
 
 crates/harness/src/lib.rs:
+crates/harness/src/availability.rs:
 crates/harness/src/figures.rs:
 crates/harness/src/report.rs:

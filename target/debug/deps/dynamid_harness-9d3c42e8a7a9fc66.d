@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/dynamid_harness-9d3c42e8a7a9fc66.d: crates/harness/src/lib.rs crates/harness/src/figures.rs crates/harness/src/report.rs Cargo.toml
+/root/repo/target/debug/deps/dynamid_harness-9d3c42e8a7a9fc66.d: crates/harness/src/lib.rs crates/harness/src/availability.rs crates/harness/src/figures.rs crates/harness/src/report.rs Cargo.toml
 
-/root/repo/target/debug/deps/libdynamid_harness-9d3c42e8a7a9fc66.rmeta: crates/harness/src/lib.rs crates/harness/src/figures.rs crates/harness/src/report.rs Cargo.toml
+/root/repo/target/debug/deps/libdynamid_harness-9d3c42e8a7a9fc66.rmeta: crates/harness/src/lib.rs crates/harness/src/availability.rs crates/harness/src/figures.rs crates/harness/src/report.rs Cargo.toml
 
 crates/harness/src/lib.rs:
+crates/harness/src/availability.rs:
 crates/harness/src/figures.rs:
 crates/harness/src/report.rs:
 Cargo.toml:

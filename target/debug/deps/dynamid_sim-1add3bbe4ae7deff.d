@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/dynamid_sim-1add3bbe4ae7deff.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/lock.rs crates/sim/src/metrics.rs crates/sim/src/op.rs crates/sim/src/ps.rs crates/sim/src/rng.rs crates/sim/src/time.rs
+/root/repo/target/debug/deps/dynamid_sim-1add3bbe4ae7deff.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/fault.rs crates/sim/src/lock.rs crates/sim/src/metrics.rs crates/sim/src/op.rs crates/sim/src/ps.rs crates/sim/src/rng.rs crates/sim/src/time.rs
 
-/root/repo/target/debug/deps/dynamid_sim-1add3bbe4ae7deff: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/lock.rs crates/sim/src/metrics.rs crates/sim/src/op.rs crates/sim/src/ps.rs crates/sim/src/rng.rs crates/sim/src/time.rs
+/root/repo/target/debug/deps/dynamid_sim-1add3bbe4ae7deff: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/fault.rs crates/sim/src/lock.rs crates/sim/src/metrics.rs crates/sim/src/op.rs crates/sim/src/ps.rs crates/sim/src/rng.rs crates/sim/src/time.rs
 
 crates/sim/src/lib.rs:
 crates/sim/src/engine.rs:
+crates/sim/src/fault.rs:
 crates/sim/src/lock.rs:
 crates/sim/src/metrics.rs:
 crates/sim/src/op.rs:

@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/dynamid_sim-23e15ce1c6211390.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/lock.rs crates/sim/src/metrics.rs crates/sim/src/op.rs crates/sim/src/ps.rs crates/sim/src/rng.rs crates/sim/src/time.rs
+/root/repo/target/debug/deps/dynamid_sim-23e15ce1c6211390.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/fault.rs crates/sim/src/lock.rs crates/sim/src/metrics.rs crates/sim/src/op.rs crates/sim/src/ps.rs crates/sim/src/rng.rs crates/sim/src/time.rs
 
-/root/repo/target/debug/deps/libdynamid_sim-23e15ce1c6211390.rlib: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/lock.rs crates/sim/src/metrics.rs crates/sim/src/op.rs crates/sim/src/ps.rs crates/sim/src/rng.rs crates/sim/src/time.rs
+/root/repo/target/debug/deps/libdynamid_sim-23e15ce1c6211390.rlib: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/fault.rs crates/sim/src/lock.rs crates/sim/src/metrics.rs crates/sim/src/op.rs crates/sim/src/ps.rs crates/sim/src/rng.rs crates/sim/src/time.rs
 
-/root/repo/target/debug/deps/libdynamid_sim-23e15ce1c6211390.rmeta: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/lock.rs crates/sim/src/metrics.rs crates/sim/src/op.rs crates/sim/src/ps.rs crates/sim/src/rng.rs crates/sim/src/time.rs
+/root/repo/target/debug/deps/libdynamid_sim-23e15ce1c6211390.rmeta: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/fault.rs crates/sim/src/lock.rs crates/sim/src/metrics.rs crates/sim/src/op.rs crates/sim/src/ps.rs crates/sim/src/rng.rs crates/sim/src/time.rs
 
 crates/sim/src/lib.rs:
 crates/sim/src/engine.rs:
+crates/sim/src/fault.rs:
 crates/sim/src/lock.rs:
 crates/sim/src/metrics.rs:
 crates/sim/src/op.rs:

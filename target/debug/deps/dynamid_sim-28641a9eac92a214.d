@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/dynamid_sim-28641a9eac92a214.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/lock.rs crates/sim/src/metrics.rs crates/sim/src/op.rs crates/sim/src/ps.rs crates/sim/src/rng.rs crates/sim/src/time.rs Cargo.toml
+/root/repo/target/debug/deps/dynamid_sim-28641a9eac92a214.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/fault.rs crates/sim/src/lock.rs crates/sim/src/metrics.rs crates/sim/src/op.rs crates/sim/src/ps.rs crates/sim/src/rng.rs crates/sim/src/time.rs Cargo.toml
 
-/root/repo/target/debug/deps/libdynamid_sim-28641a9eac92a214.rmeta: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/lock.rs crates/sim/src/metrics.rs crates/sim/src/op.rs crates/sim/src/ps.rs crates/sim/src/rng.rs crates/sim/src/time.rs Cargo.toml
+/root/repo/target/debug/deps/libdynamid_sim-28641a9eac92a214.rmeta: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/fault.rs crates/sim/src/lock.rs crates/sim/src/metrics.rs crates/sim/src/op.rs crates/sim/src/ps.rs crates/sim/src/rng.rs crates/sim/src/time.rs Cargo.toml
 
 crates/sim/src/lib.rs:
 crates/sim/src/engine.rs:
+crates/sim/src/fault.rs:
 crates/sim/src/lock.rs:
 crates/sim/src/metrics.rs:
 crates/sim/src/op.rs:

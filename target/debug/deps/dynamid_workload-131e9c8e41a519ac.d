@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/dynamid_workload-131e9c8e41a519ac.d: crates/workload/src/lib.rs crates/workload/src/driver.rs crates/workload/src/experiment.rs crates/workload/src/mix.rs
+/root/repo/target/debug/deps/dynamid_workload-131e9c8e41a519ac.d: crates/workload/src/lib.rs crates/workload/src/driver.rs crates/workload/src/experiment.rs crates/workload/src/fault.rs crates/workload/src/mix.rs
 
-/root/repo/target/debug/deps/libdynamid_workload-131e9c8e41a519ac.rlib: crates/workload/src/lib.rs crates/workload/src/driver.rs crates/workload/src/experiment.rs crates/workload/src/mix.rs
+/root/repo/target/debug/deps/libdynamid_workload-131e9c8e41a519ac.rlib: crates/workload/src/lib.rs crates/workload/src/driver.rs crates/workload/src/experiment.rs crates/workload/src/fault.rs crates/workload/src/mix.rs
 
-/root/repo/target/debug/deps/libdynamid_workload-131e9c8e41a519ac.rmeta: crates/workload/src/lib.rs crates/workload/src/driver.rs crates/workload/src/experiment.rs crates/workload/src/mix.rs
+/root/repo/target/debug/deps/libdynamid_workload-131e9c8e41a519ac.rmeta: crates/workload/src/lib.rs crates/workload/src/driver.rs crates/workload/src/experiment.rs crates/workload/src/fault.rs crates/workload/src/mix.rs
 
 crates/workload/src/lib.rs:
 crates/workload/src/driver.rs:
 crates/workload/src/experiment.rs:
+crates/workload/src/fault.rs:
 crates/workload/src/mix.rs:

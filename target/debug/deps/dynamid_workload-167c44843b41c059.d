@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/dynamid_workload-167c44843b41c059.d: crates/workload/src/lib.rs crates/workload/src/driver.rs crates/workload/src/experiment.rs crates/workload/src/mix.rs Cargo.toml
+/root/repo/target/debug/deps/dynamid_workload-167c44843b41c059.d: crates/workload/src/lib.rs crates/workload/src/driver.rs crates/workload/src/experiment.rs crates/workload/src/fault.rs crates/workload/src/mix.rs Cargo.toml
 
-/root/repo/target/debug/deps/libdynamid_workload-167c44843b41c059.rmeta: crates/workload/src/lib.rs crates/workload/src/driver.rs crates/workload/src/experiment.rs crates/workload/src/mix.rs Cargo.toml
+/root/repo/target/debug/deps/libdynamid_workload-167c44843b41c059.rmeta: crates/workload/src/lib.rs crates/workload/src/driver.rs crates/workload/src/experiment.rs crates/workload/src/fault.rs crates/workload/src/mix.rs Cargo.toml
 
 crates/workload/src/lib.rs:
 crates/workload/src/driver.rs:
 crates/workload/src/experiment.rs:
+crates/workload/src/fault.rs:
 crates/workload/src/mix.rs:
 Cargo.toml:
 

@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/dynamid_workload-8c1e2e16d69cc7e2.d: crates/workload/src/lib.rs crates/workload/src/driver.rs crates/workload/src/experiment.rs crates/workload/src/mix.rs
+/root/repo/target/debug/deps/dynamid_workload-8c1e2e16d69cc7e2.d: crates/workload/src/lib.rs crates/workload/src/driver.rs crates/workload/src/experiment.rs crates/workload/src/fault.rs crates/workload/src/mix.rs
 
-/root/repo/target/debug/deps/dynamid_workload-8c1e2e16d69cc7e2: crates/workload/src/lib.rs crates/workload/src/driver.rs crates/workload/src/experiment.rs crates/workload/src/mix.rs
+/root/repo/target/debug/deps/dynamid_workload-8c1e2e16d69cc7e2: crates/workload/src/lib.rs crates/workload/src/driver.rs crates/workload/src/experiment.rs crates/workload/src/fault.rs crates/workload/src/mix.rs
 
 crates/workload/src/lib.rs:
 crates/workload/src/driver.rs:
 crates/workload/src/experiment.rs:
+crates/workload/src/fault.rs:
 crates/workload/src/mix.rs:

@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/dynamid_workload-ef3d515ba1a20773.d: crates/workload/src/lib.rs crates/workload/src/driver.rs crates/workload/src/experiment.rs crates/workload/src/mix.rs Cargo.toml
+/root/repo/target/debug/deps/dynamid_workload-ef3d515ba1a20773.d: crates/workload/src/lib.rs crates/workload/src/driver.rs crates/workload/src/experiment.rs crates/workload/src/fault.rs crates/workload/src/mix.rs Cargo.toml
 
-/root/repo/target/debug/deps/libdynamid_workload-ef3d515ba1a20773.rmeta: crates/workload/src/lib.rs crates/workload/src/driver.rs crates/workload/src/experiment.rs crates/workload/src/mix.rs Cargo.toml
+/root/repo/target/debug/deps/libdynamid_workload-ef3d515ba1a20773.rmeta: crates/workload/src/lib.rs crates/workload/src/driver.rs crates/workload/src/experiment.rs crates/workload/src/fault.rs crates/workload/src/mix.rs Cargo.toml
 
 crates/workload/src/lib.rs:
 crates/workload/src/driver.rs:
 crates/workload/src/experiment.rs:
+crates/workload/src/fault.rs:
 crates/workload/src/mix.rs:
 Cargo.toml:
 

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-5565a27dee34ece5.d: crates/bench/benches/figures.rs
+
+/root/repo/target/debug/deps/figures-5565a27dee34ece5: crates/bench/benches/figures.rs
+
+crates/bench/benches/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/micro-56df0ccc3ede8e0d.d: crates/bench/benches/micro.rs
+
+/root/repo/target/debug/deps/micro-56df0ccc3ede8e0d: crates/bench/benches/micro.rs
+
+crates/bench/benches/micro.rs:

@@ -1,9 +1,10 @@
-/root/repo/target/release/deps/dynamid_harness-8303572eddaadc8b.d: crates/harness/src/lib.rs crates/harness/src/figures.rs crates/harness/src/report.rs
+/root/repo/target/release/deps/dynamid_harness-8303572eddaadc8b.d: crates/harness/src/lib.rs crates/harness/src/availability.rs crates/harness/src/figures.rs crates/harness/src/report.rs
 
-/root/repo/target/release/deps/libdynamid_harness-8303572eddaadc8b.rlib: crates/harness/src/lib.rs crates/harness/src/figures.rs crates/harness/src/report.rs
+/root/repo/target/release/deps/libdynamid_harness-8303572eddaadc8b.rlib: crates/harness/src/lib.rs crates/harness/src/availability.rs crates/harness/src/figures.rs crates/harness/src/report.rs
 
-/root/repo/target/release/deps/libdynamid_harness-8303572eddaadc8b.rmeta: crates/harness/src/lib.rs crates/harness/src/figures.rs crates/harness/src/report.rs
+/root/repo/target/release/deps/libdynamid_harness-8303572eddaadc8b.rmeta: crates/harness/src/lib.rs crates/harness/src/availability.rs crates/harness/src/figures.rs crates/harness/src/report.rs
 
 crates/harness/src/lib.rs:
+crates/harness/src/availability.rs:
 crates/harness/src/figures.rs:
 crates/harness/src/report.rs:

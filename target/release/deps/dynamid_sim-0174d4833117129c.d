@@ -1,11 +1,12 @@
-/root/repo/target/release/deps/dynamid_sim-0174d4833117129c.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/lock.rs crates/sim/src/metrics.rs crates/sim/src/op.rs crates/sim/src/ps.rs crates/sim/src/rng.rs crates/sim/src/time.rs
+/root/repo/target/release/deps/dynamid_sim-0174d4833117129c.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/fault.rs crates/sim/src/lock.rs crates/sim/src/metrics.rs crates/sim/src/op.rs crates/sim/src/ps.rs crates/sim/src/rng.rs crates/sim/src/time.rs
 
-/root/repo/target/release/deps/libdynamid_sim-0174d4833117129c.rlib: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/lock.rs crates/sim/src/metrics.rs crates/sim/src/op.rs crates/sim/src/ps.rs crates/sim/src/rng.rs crates/sim/src/time.rs
+/root/repo/target/release/deps/libdynamid_sim-0174d4833117129c.rlib: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/fault.rs crates/sim/src/lock.rs crates/sim/src/metrics.rs crates/sim/src/op.rs crates/sim/src/ps.rs crates/sim/src/rng.rs crates/sim/src/time.rs
 
-/root/repo/target/release/deps/libdynamid_sim-0174d4833117129c.rmeta: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/lock.rs crates/sim/src/metrics.rs crates/sim/src/op.rs crates/sim/src/ps.rs crates/sim/src/rng.rs crates/sim/src/time.rs
+/root/repo/target/release/deps/libdynamid_sim-0174d4833117129c.rmeta: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/fault.rs crates/sim/src/lock.rs crates/sim/src/metrics.rs crates/sim/src/op.rs crates/sim/src/ps.rs crates/sim/src/rng.rs crates/sim/src/time.rs
 
 crates/sim/src/lib.rs:
 crates/sim/src/engine.rs:
+crates/sim/src/fault.rs:
 crates/sim/src/lock.rs:
 crates/sim/src/metrics.rs:
 crates/sim/src/op.rs:

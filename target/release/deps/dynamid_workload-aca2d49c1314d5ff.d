@@ -1,10 +1,11 @@
-/root/repo/target/release/deps/dynamid_workload-aca2d49c1314d5ff.d: crates/workload/src/lib.rs crates/workload/src/driver.rs crates/workload/src/experiment.rs crates/workload/src/mix.rs
+/root/repo/target/release/deps/dynamid_workload-aca2d49c1314d5ff.d: crates/workload/src/lib.rs crates/workload/src/driver.rs crates/workload/src/experiment.rs crates/workload/src/fault.rs crates/workload/src/mix.rs
 
-/root/repo/target/release/deps/libdynamid_workload-aca2d49c1314d5ff.rlib: crates/workload/src/lib.rs crates/workload/src/driver.rs crates/workload/src/experiment.rs crates/workload/src/mix.rs
+/root/repo/target/release/deps/libdynamid_workload-aca2d49c1314d5ff.rlib: crates/workload/src/lib.rs crates/workload/src/driver.rs crates/workload/src/experiment.rs crates/workload/src/fault.rs crates/workload/src/mix.rs
 
-/root/repo/target/release/deps/libdynamid_workload-aca2d49c1314d5ff.rmeta: crates/workload/src/lib.rs crates/workload/src/driver.rs crates/workload/src/experiment.rs crates/workload/src/mix.rs
+/root/repo/target/release/deps/libdynamid_workload-aca2d49c1314d5ff.rmeta: crates/workload/src/lib.rs crates/workload/src/driver.rs crates/workload/src/experiment.rs crates/workload/src/fault.rs crates/workload/src/mix.rs
 
 crates/workload/src/lib.rs:
 crates/workload/src/driver.rs:
 crates/workload/src/experiment.rs:
+crates/workload/src/fault.rs:
 crates/workload/src/mix.rs:
