@@ -200,6 +200,20 @@ impl<'a> RequestCtx<'a> {
                 self.push_db_execution(db_machine, cost);
                 self.push(Op::Net { from: db_machine, to: gen, bytes: 64 });
             }
+            StatementKind::Begin | StatementKind::Commit | StatementKind::Rollback => {
+                // Transaction control round-trip: driver CPU and the wire
+                // exchange, no locks and (by construction) zero database
+                // counters. The paper apps never issue these over SQL — the
+                // middleware brackets every interaction host-side, which
+                // costs nothing — but a handler that does gets the plain
+                // statement cost.
+                self.push(Op::Cpu { machine: gen, micros: g.per_query.round() as u64 });
+                self.push(Op::Net { from: gen, to: db_machine, bytes: req_bytes });
+                let cost = self.db.statement_cost(&result.counters);
+                self.stats.db_micros += cost;
+                self.push_db_execution(db_machine, cost);
+                self.push(Op::Net { from: db_machine, to: gen, bytes: 64 });
+            }
             StatementKind::Read | StatementKind::Write => {
                 // Implicit per-statement locks for tables not already
                 // covered by LOCK TABLES.

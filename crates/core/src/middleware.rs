@@ -27,6 +27,12 @@ pub struct PreparedRequest {
     pub error: Option<AppError>,
     /// The interaction id that was executed.
     pub interaction: usize,
+    /// Undo log of the interaction's transaction: every request executes
+    /// its database work inside `BEGIN … COMMIT`, and this is the commit
+    /// receipt. The driver keeps it while the simulated job is in flight so
+    /// an abort (deadline, crash, fault, deadlock) can roll the writes back
+    /// via `Database::apply_rollback`; a completion drops it (commit).
+    pub txn: dynamid_sqldb::TxnLog,
 }
 
 impl PreparedRequest {
@@ -153,6 +159,11 @@ impl Middleware {
         if let Some(pool) = self.deployment.db_pool() {
             ctx.push(Op::SemAcquire { sem: pool });
         }
+        // Every interaction runs inside a transaction. The handler executes
+        // eagerly here, so the undo log is complete by the time the trace is
+        // handed to the simulator; transaction control itself is free (no
+        // trace ops, no DbStats), keeping healthy-path figures unchanged.
+        ctx.db.begin_txn().expect("request started with a transaction already open");
         let result = app.handle(id, &mut ctx, session, rng);
         let error = result.err();
         if error.is_some() {
@@ -161,6 +172,10 @@ impl Middleware {
                 ctx.emit("<html><body>error</body></html>");
             }
         }
+        // Handler errors are page-level failures, not database rollbacks
+        // (MyISAM has no statement atomicity either): take the receipt
+        // regardless and let the driver decide commit vs. unwind.
+        let txn = ctx.db.commit_txn().unwrap_or_default();
         ctx.force_release();
         if let Some(pool) = self.deployment.db_pool() {
             ctx.push(Op::SemRelease { sem: pool });
@@ -216,6 +231,7 @@ impl Middleware {
             html,
             error,
             interaction: id,
+            txn,
         }
     }
 }

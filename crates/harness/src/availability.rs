@@ -78,12 +78,14 @@ pub struct AvailabilityPoint {
     pub retries: u64,
     /// Interactions abandoned after the retry budget inside the window.
     pub abandoned: u64,
+    /// Attempts aborted as deadlock victims inside the window.
+    pub deadlocks: u64,
 }
 
 impl AvailabilityPoint {
     /// Total failed attempts inside the window.
     pub fn failed(&self) -> u64 {
-        self.timeouts + self.rejects + self.aborts
+        self.timeouts + self.rejects + self.aborts + self.deadlocks
     }
 }
 
@@ -138,6 +140,11 @@ fn run_avail_point(
         cfg.policy,
         chaos,
     );
+    // Every sweep point ends with a consistency audit: after the driver's
+    // crash-consistent unwind the surviving database must be exactly
+    // "baseline + committed transactions", whatever the faults did.
+    crate::audit::audit_bookstore(base_db, &db, &r.ledger)
+        .assert_clean(&format!("{} at intensity {intensity}", config.paper_name()));
     if cfg.verbose {
         eprintln!(
             "  {:<22} intensity={:<5} goodput={:>8.0} ipm p99={:>7.1} ms \
@@ -163,6 +170,7 @@ fn run_avail_point(
         aborts: r.errors.aborts,
         retries: r.errors.retries,
         abandoned: r.errors.abandoned,
+        deadlocks: r.errors.deadlocks,
     }
 }
 
@@ -213,11 +221,11 @@ pub fn run_availability(cfg: &HarnessConfig, intensities: &[f64]) -> Availabilit
 pub fn availability_csv(data: &AvailabilityData) -> String {
     let mut out = String::from(
         "config,intensity,offered_ipm,throughput_ipm,goodput_ipm,latency_p99_ms,\
-         timeouts,rejects,aborts,retries,abandoned\n",
+         timeouts,rejects,aborts,retries,abandoned,deadlocks\n",
     );
     for p in &data.points {
         out.push_str(&format!(
-            "{},{},{:.1},{:.1},{:.1},{:.3},{},{},{},{},{}\n",
+            "{},{},{:.1},{:.1},{:.1},{:.3},{},{},{},{},{},{}\n",
             p.config.paper_name(),
             p.intensity,
             p.offered_ipm,
@@ -229,6 +237,7 @@ pub fn availability_csv(data: &AvailabilityData) -> String {
             p.aborts,
             p.retries,
             p.abandoned,
+            p.deadlocks,
         ));
     }
     out
@@ -306,6 +315,21 @@ mod tests {
     }
 
     #[test]
+    fn sweep_is_bit_identical_for_any_job_count() {
+        let mut serial = tiny();
+        serial.seed = 42;
+        let mut parallel = serial.clone();
+        parallel.jobs = 4;
+        let a = run_availability(&serial, &[0.0, 0.5, 1.0]);
+        let b = run_availability(&parallel, &[0.0, 0.5, 1.0]);
+        assert_eq!(a, b, "--jobs changed sweep results");
+        assert_eq!(availability_csv(&a), availability_csv(&b));
+        // And a repeat at the same seed replays bit-identically.
+        let c = run_availability(&parallel, &[0.0, 0.5, 1.0]);
+        assert_eq!(availability_csv(&b), availability_csv(&c));
+    }
+
+    #[test]
     fn csv_has_header_and_rows() {
         let data = AvailabilityData {
             intensities: vec![0.0],
@@ -321,12 +345,13 @@ mod tests {
                 aborts: 3,
                 retries: 4,
                 abandoned: 5,
+                deadlocks: 6,
             }],
         };
         let csv = availability_csv(&data);
         let mut lines = csv.lines();
         assert!(lines.next().unwrap().starts_with("config,intensity,offered_ipm"));
-        assert_eq!(lines.next().unwrap(), "WsPhp-DB,0,100.0,99.0,98.0,12.500,1,2,3,4,5");
+        assert_eq!(lines.next().unwrap(), "WsPhp-DB,0,100.0,99.0,98.0,12.500,1,2,3,4,5,6");
         let md = availability_markdown(&data);
         assert!(md.contains("WsPhp-DB"));
     }

@@ -294,10 +294,13 @@ fn run_smoke(verbose: bool, chaos: bool) -> ExitCode {
         let failed_hostile: u64 =
             data.points.iter().filter(|p| p.intensity == 1.0).map(|p| p.failed()).sum();
         let retries: u64 = data.points.iter().map(|p| p.retries).sum();
+        let deadlocks: u64 = data.points.iter().map(|p| p.deadlocks).sum();
+        // Every sweep point runs the post-run consistency audit and panics
+        // on any violation; reaching this line means all points were clean.
         if verbose {
             eprintln!(
                 "smoke chaos: {} points in {secs:.3}s, hostile failures {failed_hostile}, \
-                 retries {retries}",
+                 retries {retries}, deadlocks {deadlocks}, audit clean",
                 data.points.len()
             );
         }
@@ -305,8 +308,11 @@ fn run_smoke(verbose: bool, chaos: bool) -> ExitCode {
             ",\n  \"chaos\": {{\"points\": {}, \"wall_secs\": {secs:.3}, \
              \"clean_goodput_ipm\": {goodput_clean:.1}, \
              \"hostile_failed_attempts\": {failed_hostile}, \"retries\": {retries}, \
+             \"deadlocks\": {deadlocks}, \"consistency_audit\": \"clean\", \
+             \"audited_points\": {}, \
              \"equivalent_flags\": \"avail with seed 42, scale 0.05, clients 25, \
              intensities 0,0.5,1\"}}",
+            data.points.len(),
             data.points.len()
         )
     } else {

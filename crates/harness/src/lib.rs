@@ -20,10 +20,12 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod audit;
 pub mod availability;
 pub mod figures;
 pub mod report;
 
+pub use audit::{audit_auction, audit_bookstore, AuditReport};
 pub use availability::{
     availability_csv, availability_markdown, run_availability, AvailabilityData, AvailabilityPoint,
     AVAILABILITY_CONFIGS, DEFAULT_INTENSITIES,

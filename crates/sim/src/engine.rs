@@ -18,7 +18,7 @@ use crate::ps::{PsResource, PsStats};
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::fmt;
 
 /// Identifies a simulated machine.
@@ -63,6 +63,10 @@ pub enum AbortReason {
     /// Admission control refused the job (a bounded semaphore's wait queue
     /// was full). Counted under [`EngineStats::rejected`], not `aborted`.
     Rejected,
+    /// The job was chosen as the victim of a lock wait-for cycle. The
+    /// engine detects cycles when a lock request parks and deterministically
+    /// aborts the youngest (highest [`JobId`]) job in the cycle.
+    Deadlock,
 }
 
 /// Details handed to [`Driver::on_job_aborted`].
@@ -225,6 +229,9 @@ pub struct EngineStats {
     pub aborted: u64,
     /// Jobs refused by admission control (bounded semaphore queue full).
     pub rejected: u64,
+    /// Lock wait-for cycles broken by aborting a victim. Victims are also
+    /// counted under `aborted`.
+    pub deadlocks: u64,
     /// Calendar events processed (including stale ones).
     pub events: u64,
 }
@@ -832,7 +839,13 @@ impl Simulation {
                         continue;
                     }
                     // Parked; the pc stays at the Lock op and is advanced by
-                    // the grant path below.
+                    // the grant path below. A new wait-for edge exists only
+                    // at this point, so this is the one place a cycle can
+                    // appear.
+                    if let Some(victim) = self.find_deadlock_victim(job_id) {
+                        self.stats.deadlocks += 1;
+                        self.abort_in_step(victim, AbortReason::Deadlock, driver);
+                    }
                     return Ok(());
                 }
                 Op::Unlock { lock } => {
@@ -956,6 +969,52 @@ impl Simulation {
             aborted: self.now,
             reason,
         })
+    }
+
+    /// Looks for a lock wait-for cycle through the freshly parked `start`
+    /// and returns the victim to abort: the youngest (highest [`JobId`]) job
+    /// on the cycle. Edges run from a parked waiter to every current holder
+    /// of the lock it wants; since each job waits on at most one lock, any
+    /// cycle created by this park must pass through `start`, so a reachability
+    /// search from `start` back to itself is complete. Holders that are
+    /// running (not parked on a lock) are dead ends. Returns `None` — at no
+    /// cost beyond one queue scan — when there is no cycle, which is every
+    /// park in the healthy figure runs (the paper apps order their locks
+    /// globally).
+    fn find_deadlock_victim(&self, start: JobId) -> Option<JobId> {
+        let mut path = vec![start];
+        let mut visited: HashSet<JobId> = HashSet::new();
+        visited.insert(start);
+        if self.deadlock_dfs(start, start, &mut path, &mut visited) {
+            path.into_iter().max()
+        } else {
+            None
+        }
+    }
+
+    fn deadlock_dfs(
+        &self,
+        node: JobId,
+        start: JobId,
+        path: &mut Vec<JobId>,
+        visited: &mut HashSet<JobId>,
+    ) -> bool {
+        let Some(lock) = self.locks.waiting_on(node) else {
+            return false;
+        };
+        for h in self.locks.holders(lock) {
+            if h == start {
+                return true;
+            }
+            if visited.insert(h) {
+                path.push(h);
+                if self.deadlock_dfs(h, start, path, visited) {
+                    return true;
+                }
+                path.pop();
+            }
+        }
+        false
     }
 
     /// A job granted a lock/semaphore by an aborting holder: advance it past
@@ -1125,6 +1184,99 @@ mod tests {
         let ls = sim.lock_stats(l);
         assert_eq!(ls.immediate_grants + ls.contended, 3);
         assert_eq!(ls.contended, 2);
+    }
+
+    #[test]
+    fn deadlock_aborts_youngest_and_lets_the_other_finish() {
+        let mut sim = Simulation::new(SimDuration::ZERO);
+        let m = sim.add_machine("db", 2.0, 100.0);
+        let a = sim.register_lock("a");
+        let b = sim.register_lock("b");
+        // Two jobs take the locks in opposite orders; the CPU op between
+        // the acquisitions lets both grab their first lock before either
+        // requests its second — a guaranteed cycle.
+        let mk = |first: LockId, second: LockId| -> Trace {
+            [
+                Op::Lock { lock: first, mode: LockMode::Exclusive },
+                Op::Cpu { machine: m, micros: 500 },
+                Op::Lock { lock: second, mode: LockMode::Exclusive },
+                Op::Cpu { machine: m, micros: 500 },
+                Op::Unlock { lock: second },
+                Op::Unlock { lock: first },
+            ]
+            .into_iter()
+            .collect()
+        };
+        let j1 = sim.submit(mk(a, b), 1);
+        let j2 = sim.submit(mk(b, a), 2);
+        let mut rec = Recorder::new();
+        sim.run(t(100_000), &mut rec).unwrap();
+        // The youngest job in the cycle is the victim; the survivor finishes.
+        assert_eq!(rec.aborted.len(), 1);
+        assert_eq!(rec.aborted[0].id, j2.max(j1));
+        assert_eq!(rec.aborted[0].reason, AbortReason::Deadlock);
+        assert_eq!(rec.done.len(), 1);
+        assert_eq!(rec.done[0].id, j1.min(j2));
+        assert_eq!(sim.stats().deadlocks, 1);
+        assert_eq!(sim.stats().aborted, 1);
+        assert_eq!(sim.stats().completed, 1);
+        assert_eq!(sim.leak_report(), None);
+    }
+
+    #[test]
+    fn deadlock_detection_handles_three_job_cycles() {
+        let mut sim = Simulation::new(SimDuration::ZERO);
+        let m = sim.add_machine("db", 4.0, 100.0);
+        let locks: Vec<LockId> = ["a", "b", "c"].iter().map(|n| sim.register_lock(*n)).collect();
+        // Job i holds lock i and then wants lock (i+1) % 3.
+        for i in 0..3u64 {
+            let first = locks[i as usize];
+            let second = locks[(i as usize + 1) % 3];
+            let trace: Trace = [
+                Op::Lock { lock: first, mode: LockMode::Exclusive },
+                Op::Cpu { machine: m, micros: 500 },
+                Op::Lock { lock: second, mode: LockMode::Exclusive },
+                Op::Unlock { lock: second },
+                Op::Unlock { lock: first },
+            ]
+            .into_iter()
+            .collect();
+            sim.submit(trace, i);
+        }
+        let mut rec = Recorder::new();
+        sim.run(t(100_000), &mut rec).unwrap();
+        // One victim breaks the 3-cycle; the other two finish.
+        assert_eq!(rec.aborted.len(), 1);
+        assert_eq!(rec.aborted[0].reason, AbortReason::Deadlock);
+        assert_eq!(rec.done.len(), 2);
+        assert_eq!(sim.stats().deadlocks, 1);
+        assert_eq!(sim.leak_report(), None);
+    }
+
+    #[test]
+    fn uncontended_and_ordered_locking_never_reports_deadlock() {
+        let mut sim = Simulation::new(SimDuration::ZERO);
+        let m = sim.add_machine("db", 1.0, 100.0);
+        let a = sim.register_lock("a");
+        let b = sim.register_lock("b");
+        // Same global order in both jobs: contention but no cycle.
+        for i in 0..2 {
+            let trace: Trace = [
+                Op::Lock { lock: a, mode: LockMode::Exclusive },
+                Op::Lock { lock: b, mode: LockMode::Exclusive },
+                Op::Cpu { machine: m, micros: 300 },
+                Op::Unlock { lock: b },
+                Op::Unlock { lock: a },
+            ]
+            .into_iter()
+            .collect();
+            sim.submit(trace, i);
+        }
+        let mut rec = Recorder::new();
+        sim.run(t(100_000), &mut rec).unwrap();
+        assert_eq!(rec.done.len(), 2);
+        assert!(rec.aborted.is_empty());
+        assert_eq!(sim.stats().deadlocks, 0);
     }
 
     #[test]

@@ -423,6 +423,22 @@ impl LockManager {
         st.writer == Some(job) || st.readers.contains(&job)
     }
 
+    /// Every current holder of `lock`: the writer, or the readers in
+    /// acquisition order. Deterministic — deadlock detection walks these
+    /// edges and its victim choice must not depend on hash order.
+    pub fn holders(&self, lock: LockId) -> Vec<JobId> {
+        let st = &self.locks[lock.0 as usize];
+        st.writer.into_iter().chain(st.readers.iter().copied()).collect()
+    }
+
+    /// The lock `job` is currently queued on, if any. A job waits on at
+    /// most one lock at a time (traces are linear).
+    pub fn waiting_on(&self, job: JobId) -> Option<LockId> {
+        self.locks.iter().enumerate().find_map(|(i, st)| {
+            st.queue.iter().any(|(j, _, _)| *j == job).then_some(LockId(i as u32))
+        })
+    }
+
     /// `true` if `job` holds `lock` or is queued waiting for it.
     pub fn is_holder_or_waiter(&self, lock: LockId, job: JobId) -> bool {
         self.holds(lock, job) || self.locks[lock.0 as usize].queue.iter().any(|(j, _, _)| *j == job)

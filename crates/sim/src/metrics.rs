@@ -152,12 +152,16 @@ pub struct ErrorCounters {
     pub retries: u64,
     /// Requests abandoned after the retry budget ran out.
     pub abandoned: u64,
+    /// Attempts aborted as a deadlock victim (also retried like other
+    /// aborts). Tracked separately from `aborts` so availability sweeps can
+    /// distinguish lock cycles from fault-induced kills.
+    pub deadlocks: u64,
 }
 
 impl ErrorCounters {
-    /// Total failed attempts (timeouts + rejects + aborts).
+    /// Total failed attempts (timeouts + rejects + aborts + deadlocks).
     pub fn failed_attempts(&self) -> u64 {
-        self.timeouts + self.rejects + self.aborts
+        self.timeouts + self.rejects + self.aborts + self.deadlocks
     }
 
     /// Accumulates another window's counters into this one.
@@ -167,6 +171,7 @@ impl ErrorCounters {
         self.aborts += other.aborts;
         self.retries += other.retries;
         self.abandoned += other.abandoned;
+        self.deadlocks += other.deadlocks;
     }
 }
 

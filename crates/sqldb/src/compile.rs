@@ -67,6 +67,9 @@ enum CStmt {
     Delete(CDelete),
     LockTables(Vec<(String, TableLockKind)>),
     UnlockTables,
+    Begin,
+    Commit,
+    Rollback,
 }
 
 /// An expression with column references resolved to positions in the
@@ -580,6 +583,9 @@ pub(crate) fn compile(db: &Database, stmt: &Stmt) -> SqlResult<CompiledStmt> {
             CStmt::LockTables(locks.clone())
         }
         Stmt::UnlockTables => CStmt::UnlockTables,
+        Stmt::Begin => CStmt::Begin,
+        Stmt::Commit => CStmt::Commit,
+        Stmt::Rollback => CStmt::Rollback,
     };
     Ok(CompiledStmt { version: db.schema_version(), kind })
 }
@@ -840,6 +846,9 @@ pub(crate) fn exec_compiled(
             Ok(QueryResult::empty(StatementKind::LockTables(locks.clone())))
         }
         CStmt::UnlockTables => Ok(QueryResult::empty(StatementKind::UnlockTables)),
+        CStmt::Begin => db.exec_txn_control(StatementKind::Begin),
+        CStmt::Commit => db.exec_txn_control(StatementKind::Commit),
+        CStmt::Rollback => db.exec_txn_control(StatementKind::Rollback),
     }
 }
 
@@ -1407,10 +1416,10 @@ fn exec_cinsert(db: &mut Database, i: &CInsert, params: &[Value]) -> SqlResult<Q
             row
         }
     };
-    let table = db.table_at_mut(i.table);
-    let (_, assigned) = table.insert(row)?;
+    let n_indexes = db.table_at(i.table).schema().indexes().len() as u64;
+    let (_, assigned) = db.insert_into(i.table, row)?;
     counters.rows_written += 1;
-    counters.index_lookups += 1 + table.schema().indexes().len() as u64;
+    counters.index_lookups += 1 + n_indexes;
     Ok(QueryResult {
         columns: Vec::new(),
         rows: Vec::new(),
@@ -1446,9 +1455,8 @@ fn exec_cupdate(db: &mut Database, u: &CUpdate, params: &[Value]) -> SqlResult<Q
         updates.push((rid, new_row));
     }
     let affected = updates.len() as u64;
-    let table = db.table_at_mut(u.table);
     for (rid, new_row) in updates {
-        table.update(rid, new_row)?;
+        db.update_row(u.table, rid, new_row)?;
         counters.rows_written += 1;
     }
     Ok(QueryResult {
@@ -1480,9 +1488,8 @@ fn exec_cdelete(db: &mut Database, d: &CDelete, params: &[Value]) -> SqlResult<Q
         doomed.push(rid);
     }
     let affected = doomed.len() as u64;
-    let table = db.table_at_mut(d.table);
     for rid in doomed {
-        table.delete(rid)?;
+        db.delete_row(d.table, rid)?;
         counters.rows_written += 1;
     }
     Ok(QueryResult {

@@ -4,10 +4,11 @@ use crate::ast::Stmt;
 use crate::compile::{compile, exec_compiled, CompiledStmt};
 use crate::cost::{DbCostModel, QueryCounters};
 use crate::error::{SqlError, SqlResult};
-use crate::exec::QueryResult;
+use crate::exec::{QueryResult, StatementKind};
 use crate::parser::parse;
 use crate::schema::TableSchema;
-use crate::table::Table;
+use crate::table::{RowId, Table};
+use crate::txn::{TxnLog, UndoOp};
 use crate::value::Value;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -32,10 +33,15 @@ pub struct DbStats {
 /// An in-memory relational database: tables, a parsed-statement cache, and
 /// a cost model.
 ///
-/// Modeled on MySQL 3.23 with MyISAM tables, as used in the paper: no
-/// transactions, table-level locking (enforced by the middleware layer via
-/// the lock metadata each [`QueryResult`] carries), `LOCK TABLES` /
-/// `UNLOCK TABLES` statements, and auto-increment keys.
+/// Modeled on MySQL 3.23 with MyISAM tables, as used in the paper:
+/// table-level locking (enforced by the middleware layer via the lock
+/// metadata each [`QueryResult`] carries), `LOCK TABLES` / `UNLOCK TABLES`
+/// statements, and auto-increment keys. On top of that base the engine
+/// supports undo-logged transactions (`BEGIN` / `COMMIT` / `ROLLBACK`, or
+/// the host-side [`begin_txn`](Self::begin_txn) family): bare statements
+/// auto-commit exactly as before, while statements inside a transaction
+/// record per-row undo entries so rollback restores the pre-transaction
+/// state byte-for-byte.
 ///
 /// ```
 /// use dynamid_sqldb::{Database, TableSchema, ColumnType, Value};
@@ -66,6 +72,8 @@ pub struct Database {
     plan_cache: HashMap<String, Arc<CompiledStmt>>,
     schema_version: u64,
     stats: DbStats,
+    /// Undo log of the open transaction, if any. `None` = auto-commit mode.
+    txn: Option<TxnLog>,
 }
 
 impl Database {
@@ -84,6 +92,7 @@ impl Database {
             plan_cache: HashMap::new(),
             schema_version: 0,
             stats: DbStats::default(),
+            txn: None,
         }
     }
 
@@ -141,11 +150,6 @@ impl Database {
         &self.tables[id]
     }
 
-    /// Mutable table by catalog id, un-sharing it from any snapshot first.
-    pub(crate) fn table_at_mut(&mut self, id: usize) -> &mut Table {
-        Arc::make_mut(&mut self.tables[id])
-    }
-
     /// Names of all tables, in creation order.
     pub fn table_names(&self) -> Vec<&str> {
         self.tables.iter().map(|t| t.schema().name()).collect()
@@ -173,6 +177,143 @@ impl Database {
             Some(i) => Ok(Arc::make_mut(&mut self.tables[*i])),
             None => Err(SqlError::UnknownTable(name.to_string())),
         }
+    }
+
+    /// Opens a transaction. Subsequent statements record undo entries until
+    /// [`commit_txn`](Self::commit_txn) or [`rollback_txn`](Self::rollback_txn).
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`SqlError::Transaction`] when a transaction is already
+    /// open — the engine does not nest transactions.
+    pub fn begin_txn(&mut self) -> SqlResult<()> {
+        if self.txn.is_some() {
+            return Err(SqlError::Transaction("BEGIN while a transaction is open".into()));
+        }
+        self.txn = Some(TxnLog::default());
+        Ok(())
+    }
+
+    /// `true` while a transaction is open.
+    pub fn in_txn(&self) -> bool {
+        self.txn.is_some()
+    }
+
+    /// Commits the open transaction, keeping its writes, and returns the
+    /// undo log as the transaction's write receipt (`None` when no
+    /// transaction was open — a bare `COMMIT` is a no-op, as in MySQL).
+    pub fn commit_txn(&mut self) -> Option<TxnLog> {
+        self.txn.take()
+    }
+
+    /// Rolls back the open transaction, restoring the exact pre-`BEGIN`
+    /// state. A bare `ROLLBACK` with no open transaction is a no-op.
+    pub fn rollback_txn(&mut self) {
+        if let Some(log) = self.txn.take() {
+            self.apply_rollback(log);
+        }
+    }
+
+    /// Applies an undo log in reverse against the current tables. Used by
+    /// [`rollback_txn`](Self::rollback_txn) and by hosts that unwind a
+    /// transaction whose log was already taken (e.g. an aborted in-flight
+    /// request whose receipt travelled with the request).
+    pub fn apply_rollback(&mut self, log: TxnLog) {
+        for op in log.into_ops().into_iter().rev() {
+            match op {
+                UndoOp::Insert { table, rid, new_slot, prev_next_auto, post_next_auto } => {
+                    Arc::make_mut(&mut self.tables[table]).undo_insert(
+                        rid,
+                        new_slot,
+                        prev_next_auto,
+                        post_next_auto,
+                    );
+                }
+                UndoOp::Update { table, rid, old_row, new_row, sec_pos } => {
+                    Arc::make_mut(&mut self.tables[table])
+                        .undo_update(rid, old_row, new_row, &sec_pos);
+                }
+                UndoOp::Delete { table, rid, old_row, sec_pos } => {
+                    Arc::make_mut(&mut self.tables[table]).undo_delete(rid, old_row, &sec_pos);
+                }
+            }
+        }
+    }
+
+    /// `true` when both databases hold byte-identical table data (schemas,
+    /// rows, slot layout, free lists, indexes, and auto-increment counters).
+    /// Caches and statistics are ignored — this is the rollback oracle:
+    /// after `BEGIN … ROLLBACK` the database must compare equal to a
+    /// [`deep_clone`](Self::deep_clone) taken at `BEGIN`.
+    pub fn same_data(&self, other: &Database) -> bool {
+        self.by_name == other.by_name
+            && self.tables.len() == other.tables.len()
+            && self.tables.iter().zip(&other.tables).all(|(a, b)| **a == **b)
+    }
+
+    /// Inserts a row into table `id`, recording undo information when a
+    /// transaction is open. All executor insert paths go through here.
+    pub(crate) fn insert_into(
+        &mut self,
+        id: usize,
+        row: Vec<Value>,
+    ) -> SqlResult<(RowId, Option<i64>)> {
+        let table = Arc::make_mut(&mut self.tables[id]);
+        if self.txn.is_none() {
+            return table.insert(row);
+        }
+        let prev_next_auto = table.next_auto();
+        let len_before = table.slot_count();
+        let (rid, assigned) = table.insert(row)?;
+        let post_next_auto = table.next_auto();
+        if let Some(txn) = self.txn.as_mut() {
+            txn.record(UndoOp::Insert {
+                table: id,
+                rid,
+                new_slot: rid == len_before,
+                prev_next_auto,
+                post_next_auto,
+            });
+        }
+        Ok((rid, assigned))
+    }
+
+    /// Replaces the row at `rid` in table `id`, recording the pre-image
+    /// when a transaction is open. All executor update paths go through
+    /// here.
+    pub(crate) fn update_row(
+        &mut self,
+        id: usize,
+        rid: RowId,
+        new_row: Vec<Value>,
+    ) -> SqlResult<()> {
+        let table = Arc::make_mut(&mut self.tables[id]);
+        if self.txn.is_none() {
+            return table.update(rid, new_row);
+        }
+        let old_row = table.get(rid).map(<[Value]>::to_vec);
+        let sec_pos = if old_row.is_some() { table.sec_positions(rid) } else { Vec::new() };
+        let post_image = new_row.clone();
+        table.update(rid, new_row)?;
+        if let (Some(old_row), Some(txn)) = (old_row, self.txn.as_mut()) {
+            txn.record(UndoOp::Update { table: id, rid, old_row, new_row: post_image, sec_pos });
+        }
+        Ok(())
+    }
+
+    /// Deletes the row at `rid` in table `id`, recording the pre-image when
+    /// a transaction is open. All executor delete paths go through here.
+    pub(crate) fn delete_row(&mut self, id: usize, rid: RowId) -> SqlResult<Vec<Value>> {
+        let table = Arc::make_mut(&mut self.tables[id]);
+        if self.txn.is_none() {
+            return table.delete(rid);
+        }
+        let sec_pos = if table.get(rid).is_some() { table.sec_positions(rid) } else { Vec::new() };
+        let old_row = table.delete(rid)?;
+        if let Some(txn) = self.txn.as_mut() {
+            txn.record(UndoOp::Delete { table: id, rid, old_row: old_row.clone(), sec_pos });
+        }
+        Ok(old_row)
     }
 
     /// A fully materialized copy: every table's rows and indexes are
@@ -219,6 +360,13 @@ impl Database {
     /// Any parse, resolution, type, or constraint error. Failed parses and
     /// failed compilations are never cached.
     pub fn execute(&mut self, sql: &str, params: &[Value]) -> SqlResult<QueryResult> {
+        // Transaction control is free: it neither touches the caches nor
+        // counts against any [`DbStats`] counter, so wrapping a statement
+        // sequence in BEGIN/COMMIT leaves the statistics byte-identical to
+        // running it in auto-commit mode.
+        if let Some(kind) = txn_control(sql) {
+            return self.exec_txn_control(kind);
+        }
         self.stats.statements += 1;
 
         match self.plan_cache.get(sql) {
@@ -281,6 +429,42 @@ impl Database {
     pub fn statement_cost(&self, counters: &QueryCounters) -> u64 {
         self.cost.cost_micros(counters)
     }
+
+    pub(crate) fn exec_txn_control(&mut self, kind: StatementKind) -> SqlResult<QueryResult> {
+        match kind {
+            StatementKind::Begin => self.begin_txn()?,
+            StatementKind::Commit => {
+                self.commit_txn();
+            }
+            StatementKind::Rollback => self.rollback_txn(),
+            _ => unreachable!("not a transaction-control kind"),
+        }
+        Ok(QueryResult::empty(kind))
+    }
+}
+
+/// Recognizes `BEGIN` / `START TRANSACTION` / `COMMIT` / `ROLLBACK` without
+/// going through the parser, so `execute` can dispatch transaction control
+/// before any statistics or cache accounting.
+fn txn_control(sql: &str) -> Option<StatementKind> {
+    let t = sql.trim().trim_end_matches(';').trim_end();
+    if t.eq_ignore_ascii_case("begin") {
+        return Some(StatementKind::Begin);
+    }
+    if t.eq_ignore_ascii_case("commit") {
+        return Some(StatementKind::Commit);
+    }
+    if t.eq_ignore_ascii_case("rollback") {
+        return Some(StatementKind::Rollback);
+    }
+    let mut words = t.split_whitespace();
+    if words.next().is_some_and(|w| w.eq_ignore_ascii_case("start"))
+        && words.next().is_some_and(|w| w.eq_ignore_ascii_case("transaction"))
+        && words.next().is_none()
+    {
+        return Some(StatementKind::Begin);
+    }
+    None
 }
 
 impl Default for Database {
@@ -454,6 +638,114 @@ mod tests {
         let compiled = db.execute(q, &[]).unwrap();
         let interpreted = db.execute_interpreted(q, &[]).unwrap();
         assert_eq!(compiled, interpreted);
+    }
+
+    #[test]
+    fn rollback_restores_exact_pre_begin_state() {
+        let mut db = db_with_users();
+        let baseline = db.deep_clone();
+        db.execute("BEGIN", &[]).unwrap();
+        assert!(db.in_txn());
+        db.execute(
+            "INSERT INTO users (id, nickname, region, rating) VALUES (NULL, 'eve', 2, 2)",
+            &[],
+        )
+        .unwrap();
+        db.execute("UPDATE users SET rating = rating + 10 WHERE region = 1", &[]).unwrap();
+        db.execute("DELETE FROM users WHERE nickname = 'cat'", &[]).unwrap();
+        assert!(!db.same_data(&baseline));
+        db.execute("ROLLBACK", &[]).unwrap();
+        assert!(!db.in_txn());
+        assert!(db.same_data(&baseline));
+        // The next auto-increment id is also restored.
+        let r = db
+            .execute(
+                "INSERT INTO users (id, nickname, region, rating) VALUES (NULL, 'fay', 3, 1)",
+                &[],
+            )
+            .unwrap();
+        assert_eq!(r.last_insert_id, Some(5));
+    }
+
+    #[test]
+    fn txn_control_is_stats_and_cache_neutral() {
+        let mut db = db_with_users();
+        let before = db.stats();
+        db.execute("BEGIN", &[]).unwrap();
+        db.execute("COMMIT", &[]).unwrap();
+        db.execute("start transaction", &[]).unwrap();
+        db.execute("ROLLBACK;", &[]).unwrap();
+        db.execute("rollback", &[]).unwrap(); // bare ROLLBACK is a no-op
+        db.execute("commit", &[]).unwrap(); // bare COMMIT too
+        assert_eq!(db.stats(), before);
+    }
+
+    #[test]
+    fn nested_begin_is_rejected() {
+        let mut db = db_with_users();
+        db.execute("BEGIN", &[]).unwrap();
+        let err = db.execute("BEGIN", &[]).unwrap_err();
+        assert!(matches!(err, SqlError::Transaction(_)));
+        db.execute("ROLLBACK", &[]).unwrap();
+    }
+
+    #[test]
+    fn commit_keeps_writes_and_returns_receipt() {
+        let mut db = db_with_users();
+        db.begin_txn().unwrap();
+        db.execute(
+            "INSERT INTO users (id, nickname, region, rating) VALUES (NULL, 'eve', 2, 2)",
+            &[],
+        )
+        .unwrap();
+        let log = db.commit_txn().expect("open transaction");
+        assert_eq!(log.len(), 1);
+        let users = db.table_id("users").unwrap();
+        assert_eq!(log.row_deltas(), vec![(users, 1)]);
+        let r = db.execute("SELECT COUNT(*) FROM users", &[]).unwrap();
+        assert_eq!(r.scalar(), Some(&Value::Int(5)));
+    }
+
+    #[test]
+    fn deferred_rollback_never_reuses_observed_auto_ids() {
+        let mut db = db_with_users();
+        db.begin_txn().unwrap();
+        db.execute(
+            "INSERT INTO users (id, nickname, region, rating) VALUES (NULL, 'eve', 2, 2)",
+            &[],
+        )
+        .unwrap();
+        let log = db.commit_txn().expect("open transaction");
+        // Another client inserts (auto-commit) before the first transaction
+        // is unwound — its id must not be reissued after the rollback.
+        let r = db
+            .execute(
+                "INSERT INTO users (id, nickname, region, rating) VALUES (NULL, 'fay', 3, 1)",
+                &[],
+            )
+            .unwrap();
+        assert_eq!(r.last_insert_id, Some(6));
+        db.apply_rollback(log);
+        assert_eq!(db.table("users").unwrap().row_count(), 5);
+        let r = db
+            .execute(
+                "INSERT INTO users (id, nickname, region, rating) VALUES (NULL, 'gil', 1, 4)",
+                &[],
+            )
+            .unwrap();
+        assert_eq!(r.last_insert_id, Some(7));
+    }
+
+    #[test]
+    fn interpreter_handles_txn_control_like_execute() {
+        let mut db = db_with_users();
+        let baseline = db.deep_clone();
+        db.execute_interpreted("BEGIN", &[]).unwrap();
+        db.execute_interpreted("DELETE FROM users WHERE region = 1", &[]).unwrap();
+        db.execute_interpreted("ROLLBACK", &[]).unwrap();
+        assert!(db.same_data(&baseline));
+        let r = db.execute_interpreted("COMMIT", &[]).unwrap();
+        assert_eq!(r.kind, StatementKind::Commit);
     }
 
     #[test]

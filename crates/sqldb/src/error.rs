@@ -38,6 +38,9 @@ pub enum SqlError {
     Unsupported(String),
     /// Division by zero or a similar arithmetic failure.
     Arithmetic(String),
+    /// Invalid transaction control, e.g. `BEGIN` while a transaction is
+    /// already open.
+    Transaction(String),
 }
 
 impl fmt::Display for SqlError {
@@ -58,6 +61,7 @@ impl fmt::Display for SqlError {
             SqlError::Constraint(m) => write!(f, "constraint violation: {m}"),
             SqlError::Unsupported(m) => write!(f, "unsupported: {m}"),
             SqlError::Arithmetic(m) => write!(f, "arithmetic error: {m}"),
+            SqlError::Transaction(m) => write!(f, "transaction error: {m}"),
         }
     }
 }

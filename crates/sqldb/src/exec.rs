@@ -23,6 +23,12 @@ pub enum StatementKind {
     LockTables(Vec<(String, TableLockKind)>),
     /// `UNLOCK TABLES` — no data effect; session locks must be dropped.
     UnlockTables,
+    /// `BEGIN` / `START TRANSACTION` — no data effect; opens a transaction.
+    Begin,
+    /// `COMMIT` — no data effect; keeps the open transaction's writes.
+    Commit,
+    /// `ROLLBACK` — undoes the open transaction's writes.
+    Rollback,
 }
 
 /// The outcome of executing one statement.
@@ -330,6 +336,9 @@ pub(crate) fn execute_stmt(
             Ok(QueryResult::empty(StatementKind::LockTables(locks.clone())))
         }
         Stmt::UnlockTables => Ok(QueryResult::empty(StatementKind::UnlockTables)),
+        Stmt::Begin => db.exec_txn_control(StatementKind::Begin),
+        Stmt::Commit => db.exec_txn_control(StatementKind::Commit),
+        Stmt::Rollback => db.exec_txn_control(StatementKind::Rollback),
     }
 }
 
@@ -811,7 +820,8 @@ fn exec_insert(db: &mut Database, i: &InsertStmt, params: &[Value]) -> SqlResult
     let mut counters = QueryCounters::default();
     let values: Vec<Value> =
         i.values.iter().map(|e| eval_row_free(e, params)).collect::<SqlResult<_>>()?;
-    let table = db.table_mut(&i.table)?;
+    let tid = db.table_id(&i.table)?;
+    let table = db.table_at(tid);
     let row = match &i.columns {
         None => {
             if values.len() != table.schema().columns().len() {
@@ -838,9 +848,10 @@ fn exec_insert(db: &mut Database, i: &InsertStmt, params: &[Value]) -> SqlResult
             row
         }
     };
-    let (_, assigned) = table.insert(row)?;
+    let n_indexes = table.schema().indexes().len() as u64;
+    let (_, assigned) = db.insert_into(tid, row)?;
     counters.rows_written += 1;
-    counters.index_lookups += 1 + table.schema().indexes().len() as u64;
+    counters.index_lookups += 1 + n_indexes;
     Ok(QueryResult {
         columns: Vec::new(),
         rows: Vec::new(),
@@ -855,7 +866,8 @@ fn exec_insert(db: &mut Database, i: &InsertStmt, params: &[Value]) -> SqlResult
 
 fn exec_update(db: &mut Database, u: &UpdateStmt, params: &[Value]) -> SqlResult<QueryResult> {
     let mut counters = QueryCounters::default();
-    let table = db.table(&u.table)?;
+    let tid = db.table_id(&u.table)?;
+    let table = db.table_at(tid);
     let conj: Vec<&Expr> = u.where_clause.as_ref().map(|w| conjuncts(w)).unwrap_or_default();
     let path = choose_path(table, &u.table, &conj, params)?;
     let candidates = candidate_rows(table, &path, &mut counters);
@@ -888,9 +900,8 @@ fn exec_update(db: &mut Database, u: &UpdateStmt, params: &[Value]) -> SqlResult
     }
     drop(scope);
     let affected = updates.len() as u64;
-    let table = db.table_mut(&u.table)?;
     for (rid, new_row) in updates {
-        table.update(rid, new_row)?;
+        db.update_row(tid, rid, new_row)?;
         counters.rows_written += 1;
     }
     Ok(QueryResult {
@@ -907,7 +918,8 @@ fn exec_update(db: &mut Database, u: &UpdateStmt, params: &[Value]) -> SqlResult
 
 fn exec_delete(db: &mut Database, d: &DeleteStmt, params: &[Value]) -> SqlResult<QueryResult> {
     let mut counters = QueryCounters::default();
-    let table = db.table(&d.table)?;
+    let tid = db.table_id(&d.table)?;
+    let table = db.table_at(tid);
     let conj: Vec<&Expr> = d.where_clause.as_ref().map(|w| conjuncts(w)).unwrap_or_default();
     let path = choose_path(table, &d.table, &conj, params)?;
     let candidates = candidate_rows(table, &path, &mut counters);
@@ -927,9 +939,8 @@ fn exec_delete(db: &mut Database, d: &DeleteStmt, params: &[Value]) -> SqlResult
     }
     drop(scope);
     let affected = doomed.len() as u64;
-    let table = db.table_mut(&d.table)?;
     for rid in doomed {
-        table.delete(rid)?;
+        db.delete_row(tid, rid)?;
         counters.rows_written += 1;
     }
     Ok(QueryResult {

@@ -60,6 +60,7 @@ pub mod parser;
 pub mod plan;
 pub mod schema;
 pub mod table;
+pub mod txn;
 pub mod value;
 
 pub use compile::CompiledStmt;
@@ -70,4 +71,5 @@ pub use exec::{QueryResult, StatementKind};
 pub use parser::{count_params, parse};
 pub use schema::{Column, ColumnType, TableSchema};
 pub use table::{RowId, Table};
+pub use txn::TxnLog;
 pub use value::Value;

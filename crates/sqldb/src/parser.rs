@@ -142,8 +142,24 @@ impl Parser {
             self.bump();
             self.expect_kw("tables")?;
             Ok(Stmt::UnlockTables)
+        } else if self.peek().is_kw("begin") {
+            self.bump();
+            Ok(Stmt::Begin)
+        } else if self.peek().is_kw("start") {
+            self.bump();
+            self.expect_kw("transaction")?;
+            Ok(Stmt::Begin)
+        } else if self.peek().is_kw("commit") {
+            self.bump();
+            Ok(Stmt::Commit)
+        } else if self.peek().is_kw("rollback") {
+            self.bump();
+            Ok(Stmt::Rollback)
         } else {
-            Err(self.err("expected SELECT, INSERT, UPDATE, DELETE, LOCK or UNLOCK"))
+            Err(self.err(
+                "expected SELECT, INSERT, UPDATE, DELETE, LOCK, UNLOCK, \
+                 BEGIN, START, COMMIT or ROLLBACK",
+            ))
         }
     }
 

@@ -27,7 +27,7 @@ pub type RowId = usize;
 /// assert_eq!(id, Some(1));
 /// assert_eq!(t.get(rid).unwrap()[1], Value::str("bob"));
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table {
     schema: TableSchema,
     rows: Vec<Option<Vec<Value>>>,
@@ -229,6 +229,146 @@ impl Table {
             self.pk_index.len()
         } else {
             self.sec[self.secondary_slot(col)].len()
+        }
+    }
+
+    /// Current auto-increment counter (undo-log bookkeeping).
+    pub(crate) fn next_auto(&self) -> i64 {
+        self.next_auto
+    }
+
+    /// Number of row slots, live or tombstoned (undo-log bookkeeping).
+    pub(crate) fn slot_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Position of `rid` within each secondary-index entry, parallel to
+    /// `schema.indexes()`. Captured before an update/delete so undo can
+    /// re-insert the id at the same position instead of appending.
+    pub(crate) fn sec_positions(&self, rid: RowId) -> Vec<usize> {
+        let row = self.rows[rid].as_ref().expect("live row");
+        self.schema
+            .indexes()
+            .iter()
+            .enumerate()
+            .map(|(slot, col)| {
+                self.sec[slot]
+                    .get(&row[*col])
+                    .and_then(|rids| rids.iter().position(|r| *r == rid))
+                    .expect("indexed live row")
+            })
+            .collect()
+    }
+
+    /// Reverses an insert: removes the row and restores the slot vector,
+    /// free list, and (if no later insert advanced it) the auto-increment
+    /// counter to their pre-insert state.
+    pub(crate) fn undo_insert(
+        &mut self,
+        rid: RowId,
+        new_slot: bool,
+        prev_next_auto: i64,
+        post_next_auto: i64,
+    ) {
+        if self.rows.get(rid).is_some_and(Option::is_some) {
+            self.index_remove(rid);
+            self.rows[rid] = None;
+            self.live -= 1;
+            if new_slot && rid + 1 == self.rows.len() {
+                self.rows.pop();
+            } else {
+                // The slot came off the top of the free stack; put it back.
+                self.free.push(rid);
+            }
+        }
+        // Never reuse ids another (committed) insert may have observed:
+        // only rewind when the counter is exactly where this insert left it.
+        if self.next_auto == post_next_auto {
+            self.next_auto = prev_next_auto;
+        }
+    }
+
+    /// Reverses an update: restores the pre-image row and re-inserts its
+    /// index entries at their original positions.
+    ///
+    /// Integer columns are compensated (`current + (old - new)`) instead of
+    /// restored, so counter-style writes from transactions that committed
+    /// after this one (`stock = stock - ?`) survive the unwind; with no
+    /// interleaving `current == new` and the result is the exact pre-image.
+    ///
+    /// Concurrent in-flight transactions also unwind in abort order, not
+    /// reverse begin order, so the slot may meanwhile have been tombstoned
+    /// (or even popped) by another transaction's insert-undo; restoring the
+    /// pre-image then resurrects it as a live row.
+    pub(crate) fn undo_update(
+        &mut self,
+        rid: RowId,
+        old_row: Vec<Value>,
+        new_row: Vec<Value>,
+        sec_pos: &[usize],
+    ) {
+        if rid >= self.rows.len() {
+            self.rows.resize_with(rid + 1, || None);
+        }
+        let restored = match &self.rows[rid] {
+            Some(current) => old_row
+                .into_iter()
+                .zip(new_row)
+                .zip(current.iter())
+                .map(|((old, new), cur)| match (&old, &new, cur) {
+                    (Value::Int(o), Value::Int(n), Value::Int(c)) => {
+                        Value::Int(c.wrapping_add(o.wrapping_sub(*n)))
+                    }
+                    _ => old,
+                })
+                .collect(),
+            None => old_row,
+        };
+        if self.rows[rid].is_some() {
+            self.index_remove(rid);
+        } else {
+            if let Some(pos) = self.free.iter().rposition(|r| *r == rid) {
+                self.free.remove(pos);
+            }
+            self.live += 1;
+        }
+        self.rows[rid] = Some(restored);
+        self.index_insert_at(rid, sec_pos);
+    }
+
+    /// Reverses a delete: un-tombstones the slot, removes it from the free
+    /// list, and re-inserts its index entries at their original positions.
+    /// Tolerates a slot already restored or popped by an interleaved
+    /// rollback (see [`undo_update`](Self::undo_update)).
+    pub(crate) fn undo_delete(&mut self, rid: RowId, old_row: Vec<Value>, sec_pos: &[usize]) {
+        if rid >= self.rows.len() {
+            self.rows.resize_with(rid + 1, || None);
+        }
+        if let Some(pos) = self.free.iter().rposition(|r| *r == rid) {
+            self.free.remove(pos);
+        }
+        if self.rows[rid].is_some() {
+            self.index_remove(rid);
+        } else {
+            self.live += 1;
+        }
+        self.rows[rid] = Some(old_row);
+        self.index_insert_at(rid, sec_pos);
+    }
+
+    /// Like `index_insert`, but places the row id at a recorded position
+    /// within each secondary-index entry instead of appending, so undo
+    /// restores the exact pre-mutation index layout.
+    fn index_insert_at(&mut self, rid: RowId, sec_pos: &[usize]) {
+        let row = self.rows[rid].as_ref().expect("live row");
+        if let Some(pk) = self.schema.primary_key() {
+            self.pk_index.insert(row[pk].clone(), rid);
+        }
+        for (slot, col) in self.schema.indexes().to_vec().into_iter().enumerate() {
+            let key = self.rows[rid].as_ref().expect("live row")[col].clone();
+            let rids = self.sec[slot].entry(key).or_default();
+            let pos = sec_pos.get(slot).copied().unwrap_or(rids.len()).min(rids.len());
+            rids.insert(pos, rid);
         }
     }
 

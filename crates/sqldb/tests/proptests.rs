@@ -473,3 +473,69 @@ proptest! {
         }
     }
 }
+
+/// Runs one randomized write statement against `db` (errors are fine —
+/// both sides of a comparison fail identically).
+fn txn_write(db: &mut Database, kind: usize, a: i64, b: i64) {
+    let _ = match kind {
+        0 => db.execute("INSERT INTO fast (id, k) VALUES (NULL, ?)", &[Value::Int(a)]),
+        1 => db.execute("UPDATE fast SET k = k + ? WHERE k = ?", &[Value::Int(a), Value::Int(b)]),
+        2 => db.execute("DELETE FROM fast WHERE k = ?", &[Value::Int(a)]),
+        _ => db.execute("SELECT COUNT(*) FROM fast WHERE k >= ?", &[Value::Int(a)]),
+    };
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// BEGIN … writes … ROLLBACK leaves the database exactly as if the
+    /// transaction never ran: rows, tombstoned slots, free-list order,
+    /// secondary-index entry positions, and the auto-increment counter all
+    /// match a snapshot taken at BEGIN.
+    #[test]
+    fn rollback_equals_never_ran(
+        rows in prop::collection::vec((1i64..200, -20i64..20), 0..40),
+        ops in prop::collection::vec((0usize..4, -20i64..20, -20i64..20), 0..25),
+    ) {
+        let mut seen = std::collections::HashSet::new();
+        let rows: Vec<(i64, i64)> =
+            rows.into_iter().filter(|(id, _)| seen.insert(*id)).collect();
+        let mut db = twin_tables(&rows);
+        let oracle = db.deep_clone();
+        db.execute("BEGIN", &[]).unwrap();
+        for (kind, a, b) in &ops {
+            txn_write(&mut db, *kind, *a, *b);
+        }
+        db.execute("ROLLBACK", &[]).unwrap();
+        prop_assert!(db.same_data(&oracle), "rollback diverged from the pre-BEGIN snapshot");
+        // And the rolled-back database keeps working like the snapshot.
+        let a = db.execute("SELECT id, k FROM fast ORDER BY k, id", &[]).unwrap();
+        let mut oracle = oracle;
+        let b = oracle.execute("SELECT id, k FROM fast ORDER BY k, id", &[]).unwrap();
+        prop_assert_eq!(a.rows, b.rows);
+    }
+
+    /// A committed transaction is indistinguishable from the same
+    /// statements run in auto-commit: same data AND same cumulative engine
+    /// statistics — transaction control is free in the modeled cost, so
+    /// wrapping every interaction in BEGIN/COMMIT cannot move any figure.
+    #[test]
+    fn commit_equals_autocommit(
+        rows in prop::collection::vec((1i64..200, -20i64..20), 0..40),
+        ops in prop::collection::vec((0usize..4, -20i64..20, -20i64..20), 0..25),
+    ) {
+        let mut seen = std::collections::HashSet::new();
+        let rows: Vec<(i64, i64)> =
+            rows.into_iter().filter(|(id, _)| seen.insert(*id)).collect();
+        let mut tx = twin_tables(&rows);
+        let mut auto = twin_tables(&rows);
+        tx.execute("BEGIN", &[]).unwrap();
+        for (kind, a, b) in &ops {
+            txn_write(&mut tx, *kind, *a, *b);
+            txn_write(&mut auto, *kind, *a, *b);
+        }
+        tx.execute("COMMIT", &[]).unwrap();
+        prop_assert!(tx.same_data(&auto), "committed writes diverged from auto-commit");
+        prop_assert_eq!(tx.stats(), auto.stats());
+    }
+}

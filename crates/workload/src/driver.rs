@@ -15,7 +15,8 @@ use dynamid_sim::{
     AbortReason, Driver, ErrorCounters, JobAborted, JobDone, LatencyHistogram, SimDuration, SimRng,
     SimTime, Simulation, WindowSnapshot,
 };
-use dynamid_sqldb::Database;
+use dynamid_sqldb::{Database, TxnLog};
+use std::collections::BTreeMap;
 
 /// Timer token marking the start of the measurement window.
 const TOKEN_WINDOW_START: u64 = u64::MAX;
@@ -164,6 +165,45 @@ impl WorkloadMetrics {
     }
 }
 
+/// The committed-transaction ledger: one entry of bookkeeping per
+/// interaction whose simulated job ran to completion (= commit). Aborted
+/// jobs roll their transaction back instead and count under
+/// [`rolled_back`](Self::rolled_back), so at end of run the database equals
+/// "initial state + exactly the committed transactions" — the invariant the
+/// harness's consistency auditor replays this ledger to check.
+#[derive(Debug, Clone, Default)]
+pub struct CommitLedger {
+    /// Transactions committed (simulated job completed).
+    pub committed: u64,
+    /// Transactions rolled back (aborted in flight, or still in flight when
+    /// the run ended).
+    pub rolled_back: u64,
+    /// Committed transactions per interaction id.
+    pub per_interaction: Vec<u64>,
+    /// Net committed live-row delta per table catalog id.
+    pub row_deltas: BTreeMap<usize, i64>,
+}
+
+impl CommitLedger {
+    fn record_commit(&mut self, interaction: Option<usize>, log: &TxnLog) {
+        self.committed += 1;
+        if let Some(id) = interaction {
+            if id >= self.per_interaction.len() {
+                self.per_interaction.resize(id + 1, 0);
+            }
+            self.per_interaction[id] += 1;
+        }
+        for (table, delta) in log.row_deltas() {
+            *self.row_deltas.entry(table).or_default() += delta;
+        }
+    }
+
+    /// Net committed row delta for table catalog id `table`.
+    pub fn delta(&self, table: usize) -> i64 {
+        self.row_deltas.get(&table).copied().unwrap_or(0)
+    }
+}
+
 /// Per-machine resource usage over the measurement window.
 #[derive(Debug, Clone, Default)]
 pub struct ResourceWindow {
@@ -186,6 +226,10 @@ struct ClientState {
     /// Set while a backoff timer is pending; the next wake re-sends the
     /// current interaction instead of advancing the session.
     retry_pending: bool,
+    /// Undo log of the in-flight interaction's transaction, tagged with a
+    /// global begin-sequence number. Completion commits (drops) it; an
+    /// abort applies it back; end-of-run unwinds survivors newest-first.
+    pending_txn: Option<(u64, TxnLog)>,
 }
 
 /// The [`Driver`] implementation that emulates the client population.
@@ -201,6 +245,9 @@ pub struct WorkloadDriver<'a> {
     cpu_snaps: Vec<(u32, WindowSnapshot, WindowSnapshot)>,
     nic_snaps: Vec<(u32, WindowSnapshot, WindowSnapshot)>,
     resources: ResourceWindow,
+    /// Global transaction begin-sequence counter (orders end-of-run unwind).
+    txn_seq: u64,
+    ledger: CommitLedger,
 }
 
 impl std::fmt::Debug for WorkloadDriver<'_> {
@@ -241,6 +288,7 @@ impl<'a> WorkloadDriver<'a> {
                 pending_error: false,
                 attempt: 0,
                 retry_pending: false,
+                pending_txn: None,
             });
         }
         // Stagger client starts uniformly over the ramp-up phase.
@@ -265,6 +313,8 @@ impl<'a> WorkloadDriver<'a> {
             cpu_snaps: Vec::new(),
             nic_snaps: Vec::new(),
             resources: ResourceWindow::default(),
+            txn_seq: 0,
+            ledger: CommitLedger::default(),
         }
     }
 
@@ -282,6 +332,29 @@ impl<'a> WorkloadDriver<'a> {
     /// The measurement window.
     pub fn window(&self) -> (SimTime, SimTime) {
         self.window
+    }
+
+    /// The committed-transaction ledger (valid after the run; in-flight
+    /// transactions should be unwound first via
+    /// [`rollback_in_flight`](Self::rollback_in_flight)).
+    pub fn ledger(&self) -> &CommitLedger {
+        &self.ledger
+    }
+
+    /// Rolls back every transaction still in flight when the simulation
+    /// stopped (crash-consistent unwind), newest-first so interleaved
+    /// writes peel off in reverse begin order. Returns how many were
+    /// unwound.
+    pub fn rollback_in_flight(&mut self) -> u64 {
+        let mut pending: Vec<(u64, TxnLog)> =
+            self.clients.iter_mut().filter_map(|c| c.pending_txn.take()).collect();
+        pending.sort_by_key(|(seq, _)| std::cmp::Reverse(*seq));
+        let n = pending.len() as u64;
+        for (_, log) in pending {
+            self.db.apply_rollback(log);
+            self.ledger.rolled_back += 1;
+        }
+        n
     }
 
     fn begin_interaction(&mut self, sim: &mut Simulation, client_id: usize) {
@@ -308,6 +381,8 @@ impl<'a> WorkloadDriver<'a> {
     /// with a deadline when the resilience policy sets one.
     fn submit_attempt(&mut self, sim: &mut Simulation, client_id: usize, id: usize) {
         let now = sim.now();
+        let seq = self.txn_seq;
+        self.txn_seq += 1;
         let client = &mut self.clients[client_id];
         let prep = self.middleware.run_interaction(
             self.db,
@@ -319,6 +394,7 @@ impl<'a> WorkloadDriver<'a> {
         );
         client.pending_error = !prep.is_ok();
         client.retry_pending = false;
+        client.pending_txn = Some((seq, prep.txn));
         self.metrics.submitted_total += 1;
         let (w0, w1) = self.window;
         if now >= w0 && now < w1 {
@@ -384,6 +460,11 @@ impl<'a> WorkloadDriver<'a> {
 impl Driver for WorkloadDriver<'_> {
     fn on_job_complete(&mut self, sim: &mut Simulation, done: JobDone) {
         let client_id = done.tag as usize;
+        // Job completion is the commit point: record the receipt in the
+        // ledger and drop the undo log.
+        if let Some((_, log)) = self.clients[client_id].pending_txn.take() {
+            self.ledger.record_commit(self.clients[client_id].current, &log);
+        }
         let (w0, w1) = self.window;
         if done.completed >= w0 && done.completed < w1 {
             self.metrics.completed += 1;
@@ -422,12 +503,20 @@ impl Driver for WorkloadDriver<'_> {
 
     fn on_job_aborted(&mut self, sim: &mut Simulation, info: JobAborted) {
         let client_id = info.tag as usize;
+        // An aborted job never completed, so its eagerly-executed writes
+        // must not survive: roll the transaction back before anything else
+        // (in particular before a retry re-executes the interaction).
+        if let Some((_, log)) = self.clients[client_id].pending_txn.take() {
+            self.db.apply_rollback(log);
+            self.ledger.rolled_back += 1;
+        }
         let (w0, w1) = self.window;
         let in_window = info.aborted >= w0 && info.aborted < w1;
         if in_window {
             match info.reason {
                 AbortReason::DeadlineExpired => self.metrics.errors_detail.timeouts += 1,
                 AbortReason::Rejected => self.metrics.errors_detail.rejects += 1,
+                AbortReason::Deadlock => self.metrics.errors_detail.deadlocks += 1,
                 AbortReason::MachineCrash
                 | AbortReason::TransientFault
                 | AbortReason::Cancelled => self.metrics.errors_detail.aborts += 1,

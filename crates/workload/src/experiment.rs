@@ -1,7 +1,9 @@
 //! One-call experiment execution: install a deployment, run the client
 //! population through its phases, and report the paper's metrics.
 
-use crate::driver::{ResourceWindow, WorkloadConfig, WorkloadDriver, WorkloadMetrics};
+use crate::driver::{
+    CommitLedger, ResourceWindow, WorkloadConfig, WorkloadDriver, WorkloadMetrics,
+};
 use crate::fault::ChaosOptions;
 use crate::mix::Mix;
 use dynamid_core::{Application, CostModel, Middleware, StandardConfig};
@@ -44,6 +46,10 @@ pub struct ExperimentResult {
     pub goodput_ipm: f64,
     /// 99th-percentile latency of window completions.
     pub latency_p99: SimDuration,
+    /// Committed-transaction receipts over the whole run; transactions
+    /// still in flight at the horizon were rolled back before this was
+    /// taken, so the final database equals "initial + committed".
+    pub ledger: CommitLedger,
 }
 
 impl ExperimentResult {
@@ -135,6 +141,10 @@ pub fn run_experiment_chaos(
         panic!("simulation failed ({config}, {clients} clients): {e}");
     });
 
+    // Crash-consistent unwind: jobs still in flight at the horizon never
+    // completed, so their transactions roll back (newest-first).
+    driver.rollback_in_flight();
+    let ledger = driver.ledger().clone();
     let metrics = driver.metrics().clone();
     let resources = driver.resources().clone();
     let throughput_ipm = metrics.throughput_ipm(measure);
@@ -155,6 +165,7 @@ pub fn run_experiment_chaos(
         offered_ipm,
         goodput_ipm,
         latency_p99,
+        ledger,
     }
 }
 
@@ -424,6 +435,65 @@ mod tests {
         assert_eq!(a.metrics.latency, b.metrics.latency);
         assert_eq!(a.throughput_ipm, b.throughput_ipm);
         assert_eq!(a.latency_p99, b.latency_p99);
+    }
+
+    #[test]
+    fn aborted_transactions_leave_db_equal_to_committed_ledger_replay() {
+        use crate::fault::{ChaosOptions, FaultSpec, ResilienceConfig};
+        use dynamid_core::AdmissionControl;
+
+        // A hostile run: crashes, transient faults, deadlines, and a tight
+        // DB admission queue guarantee plenty of mid-transaction aborts.
+        let mut db = mini_db();
+        let mut cfg = quick(25);
+        cfg.resilience = ResilienceConfig {
+            request_timeout: Some(SimDuration::from_secs(2)),
+            max_retries: 2,
+            backoff_base: SimDuration::from_millis(100),
+            backoff_cap: SimDuration::from_secs(1),
+        };
+        let chaos = ChaosOptions {
+            faults: Some(FaultSpec::at_intensity(13, 0.8)),
+            admission: AdmissionControl {
+                web_accept_queue: Some(8),
+                db_connections: Some(4),
+                db_accept_queue: Some(2),
+            },
+        };
+        let r = run_experiment_chaos(
+            &mut db,
+            &MiniApp,
+            &mini_mix(),
+            StandardConfig::ServletDedicated,
+            CostModel::default(),
+            cfg,
+            GrantPolicy::default(),
+            chaos,
+        );
+        assert!(r.engine.aborted > 0, "no aborts — the property would be vacuous");
+        assert!(r.ledger.rolled_back > 0, "aborted jobs must roll back");
+        assert!(r.ledger.committed > 0, "some jobs must still commit");
+        // Every transaction is accounted exactly once over the whole run.
+        assert_eq!(
+            r.ledger.committed + r.ledger.rolled_back,
+            r.metrics.submitted_total,
+            "ledger does not cover every submitted attempt"
+        );
+        // The crash-consistency oracle: each committed Write interaction
+        // incremented exactly one counter by one; every aborted or in-flight
+        // one was rolled back. The surviving database must equal a replay of
+        // only the committed ledger.
+        let committed_writes = r.ledger.per_interaction.get(1).copied().unwrap_or(0);
+        let total = db.execute("SELECT SUM(v) FROM counters", &[]).unwrap();
+        assert_eq!(
+            total.rows[0][0].as_int().unwrap_or(0),
+            committed_writes as i64,
+            "SUM(v) diverged from the committed-interaction ledger"
+        );
+        // Updates are row-count neutral and no rows were created/destroyed.
+        let count = db.execute("SELECT COUNT(*) FROM counters", &[]).unwrap();
+        assert_eq!(count.rows[0][0].as_int().unwrap(), 50);
+        assert!(r.ledger.row_deltas.values().all(|d| *d == 0));
     }
 
     #[test]

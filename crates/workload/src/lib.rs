@@ -19,7 +19,7 @@ pub mod experiment;
 pub mod fault;
 pub mod mix;
 
-pub use driver::{ResourceWindow, WorkloadConfig, WorkloadDriver, WorkloadMetrics};
+pub use driver::{CommitLedger, ResourceWindow, WorkloadConfig, WorkloadDriver, WorkloadMetrics};
 pub use experiment::{
     run_experiment, run_experiment_chaos, run_experiment_with_policy, ExperimentResult, LAN_LATENCY,
 };

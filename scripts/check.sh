@@ -31,4 +31,13 @@ for fig in fig05 fig11; do
     || { echo "FAIL: $fig.csv drifted from results/golden/$fig.csv" >&2; exit 1; }
 done
 
+echo "== availability sweep is byte-identical to results/golden (audit runs inside)"
+# Every sweep point ends with the post-run consistency audit; a violation
+# panics the run, so a zero exit here also certifies a clean audit.
+cargo run --release -q -p dynamid-harness --bin repro -- \
+  --fast --quiet --jobs 4 --seed 42 --scale 0.1 \
+  --clients 15 --measure 4 --out "$golden_tmp" avail >/dev/null
+cmp "results/golden/avail.csv" "$golden_tmp/avail.csv" \
+  || { echo "FAIL: avail.csv drifted from results/golden/avail.csv" >&2; exit 1; }
+
 echo "All checks passed."
