@@ -7,7 +7,7 @@ use dynamid_bboard::{build_db, BboardScale, BulletinBoard, INTERACTIONS};
 use dynamid_core::{CostModel, Middleware, SessionData, StandardConfig};
 use dynamid_sim::engine::NullDriver;
 use dynamid_sim::{SimDuration, SimRng, SimTime, Simulation};
-use dynamid_workload::{run_experiment, WorkloadConfig};
+use dynamid_workload::{ExperimentSpec, WorkloadConfig};
 
 #[test]
 fn every_interaction_in_every_config() {
@@ -76,8 +76,8 @@ fn bulletin_board_behaves_like_the_auction_site() {
         resilience: Default::default(),
     };
     let run = |config: StandardConfig| {
-        let db = build_db(&scale, 2).unwrap();
-        run_experiment(db, &app, &mix, config, CostModel::default(), load.clone())
+        let mut db = build_db(&scale, 2).unwrap();
+        ExperimentSpec::for_config(config).mix(&mix).workload(load.clone()).run(&mut db, &app)
     };
     let php = run(StandardConfig::PhpColocated);
     let colocated = run(StandardConfig::ServletColocated);

@@ -23,6 +23,7 @@ use dynamid_http::{StaticAsset, Status};
 use dynamid_sim::{LockId, LockMode, MachineId, Op, Trace};
 use dynamid_sqldb::ast::TableLockKind;
 use dynamid_sqldb::{Database, QueryResult, SqlError, StatementKind, Value};
+use dynamid_trace::{SpanDef, SpanKind, SpanRecorder};
 
 /// Per-request accounting, reported alongside the compiled trace.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -71,6 +72,9 @@ pub struct RequestCtx<'a> {
     assets: Vec<StaticAsset>,
     status: Status,
     pub(crate) stats: RequestStats,
+    /// Span recorder, present only when the middleware was installed with
+    /// tracing enabled; every recording helper is a no-op when `None`.
+    pub(crate) spans: Option<SpanRecorder>,
 }
 
 impl std::fmt::Debug for RequestCtx<'_> {
@@ -107,7 +111,47 @@ impl<'a> RequestCtx<'a> {
             assets: Vec::new(),
             status: Status::Ok,
             stats: RequestStats::default(),
+            spans: None,
         }
+    }
+
+    /// Opens a span covering the trace ops pushed from here until the
+    /// matching [`span_close`](Self::span_close). Returns the span index
+    /// for later annotation, or `None` when tracing is off.
+    pub(crate) fn span_open(&mut self, kind: SpanKind, label: &str) -> Option<usize> {
+        let at = self.trace.len();
+        self.spans.as_mut().map(|s| s.open(kind, label, at))
+    }
+
+    /// Closes the innermost open span at the current op position.
+    pub(crate) fn span_close(&mut self) {
+        let at = self.trace.len();
+        if let Some(s) = &mut self.spans {
+            s.close(at);
+        }
+    }
+
+    /// Attaches a plan-cache outcome and/or a modeled cost to `span`.
+    pub(crate) fn span_annotate(
+        &mut self,
+        span: Option<usize>,
+        cache_hit: Option<bool>,
+        cost_micros: Option<u64>,
+    ) {
+        if let (Some(s), Some(idx)) = (&mut self.spans, span) {
+            s.annotate(idx, cache_hit, cost_micros);
+        }
+    }
+
+    /// Consumes the recorder, returning the finished span list (empty when
+    /// tracing is off).
+    ///
+    /// # Panics
+    ///
+    /// Panics when a span is still open — span brackets are a middleware
+    /// invariant, so an unbalanced pair is a bug.
+    pub(crate) fn take_spans(&mut self) -> Vec<SpanDef> {
+        self.spans.take().map(SpanRecorder::finish).unwrap_or_default()
     }
 
     /// The implementation style the handler must use.
@@ -150,14 +194,39 @@ impl<'a> RequestCtx<'a> {
     /// Database errors, plus a constraint error when a statement touches a
     /// table not covered by a held `LOCK TABLES` set (MySQL semantics).
     pub fn query(&mut self, sql: &str, params: &[Value]) -> AppResult<QueryResult> {
+        // Snapshot the plan-cache counters only when tracing: the diff
+        // around `execute` yields this statement's hit/miss outcome.
+        let plan_before = self.spans.is_some().then(|| self.db.stats());
         let result = self.db.execute(sql, params).map_err(AppError::Sql)?;
+
+        self.stats.queries += 1;
+
+        let span = self.span_open(SpanKind::SqlStatement, statement_label(&result.kind));
+        let db_before = self.stats.db_micros;
+        let emitted = self.emit_statement(&result, sql, params);
+        if let Some(before) = plan_before {
+            let outcome = self.db.stats().plan_outcome_since(&before);
+            let cost = self.stats.db_micros - db_before;
+            self.span_annotate(span, outcome, Some(cost));
+            self.span_close();
+        }
+        emitted?;
+        Ok(result)
+    }
+
+    /// Compiles one executed statement into resource ops: driver CPU, wire
+    /// transfers, table locks, and database CPU.
+    fn emit_statement(
+        &mut self,
+        result: &QueryResult,
+        sql: &str,
+        params: &[Value],
+    ) -> AppResult<()> {
         let gen = self.current_machine();
         let db_machine = self.deployment.machines().db;
         let g = *self.gen_costs();
         let param_bytes: u64 = params.iter().map(Value::wire_size).sum();
         let req_bytes = CostModel::query_wire_bytes(sql.len(), param_bytes);
-
-        self.stats.queries += 1;
 
         match &result.kind {
             StatementKind::LockTables(list) => {
@@ -248,7 +317,7 @@ impl<'a> RequestCtx<'a> {
                 }
             }
         }
-        Ok(result)
+        Ok(())
     }
 
     /// Validates MyISAM's locking discipline for one table touched by a
@@ -399,6 +468,19 @@ impl<'a> RequestCtx<'a> {
         }
         self.stats.forced_unlocks += forced;
         forced
+    }
+}
+
+/// Kebab-case span label for a statement kind.
+fn statement_label(kind: &StatementKind) -> &'static str {
+    match kind {
+        StatementKind::LockTables(_) => "lock-tables",
+        StatementKind::UnlockTables => "unlock-tables",
+        StatementKind::Begin => "begin",
+        StatementKind::Commit => "commit",
+        StatementKind::Rollback => "rollback",
+        StatementKind::Read => "read",
+        StatementKind::Write => "write",
     }
 }
 

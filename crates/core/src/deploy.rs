@@ -80,6 +80,27 @@ impl StandardConfig {
         }
     }
 
+    /// The short paper code: `C1`–`C6` in [`ALL`](Self::ALL) order; the
+    /// sync-PHP extension is `C1s`.
+    pub fn code(self) -> &'static str {
+        match self {
+            StandardConfig::PhpColocated => "C1",
+            StandardConfig::ServletColocated => "C2",
+            StandardConfig::ServletColocatedSync => "C3",
+            StandardConfig::ServletDedicated => "C4",
+            StandardConfig::ServletDedicatedSync => "C5",
+            StandardConfig::EjbFourTier => "C6",
+            StandardConfig::PhpColocatedSync => "C1s",
+        }
+    }
+
+    /// Parses a configuration from its short code (`C1`–`C6`, `C1s`,
+    /// case-insensitive) or its exact paper label (`Ws-Servlet-EJB-DB`).
+    pub fn parse(key: &str) -> Option<StandardConfig> {
+        let all_plus = StandardConfig::ALL.iter().chain(&[StandardConfig::PhpColocatedSync]);
+        all_plus.copied().find(|c| c.code().eq_ignore_ascii_case(key) || c.paper_name() == key)
+    }
+
     /// The architecture this configuration runs.
     pub fn architecture(self) -> Architecture {
         match self {
@@ -202,7 +223,8 @@ pub struct Deployment {
 
 impl Deployment {
     /// Installs `config` into `sim` with admission control disabled — the
-    /// paper's setup. See [`Deployment::install_with`].
+    /// paper's setup. Admission control and tracing are configured through
+    /// [`Middleware::install_opts`](crate::middleware::Middleware::install_opts).
     pub fn install(
         sim: &mut Simulation,
         config: StandardConfig,
@@ -210,14 +232,31 @@ impl Deployment {
         app: &dyn Application,
         web_processes: u32,
     ) -> Deployment {
-        Self::install_with(sim, config, db, app, web_processes, AdmissionControl::default())
+        Self::install_impl(sim, config, db, app, web_processes, AdmissionControl::default())
+    }
+
+    /// Installs `config` into `sim` with explicit admission-control limits.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build the deployment through `Middleware::install_opts` (or \
+                `ExperimentSpec` in dynamid-workload) instead"
+    )]
+    pub fn install_with(
+        sim: &mut Simulation,
+        config: StandardConfig,
+        db: &Database,
+        app: &dyn Application,
+        web_processes: u32,
+        admission: AdmissionControl,
+    ) -> Deployment {
+        Self::install_impl(sim, config, db, app, web_processes, admission)
     }
 
     /// Installs `config` into `sim`: creates the machines, one lock per
     /// database table, the application lock groups, the web-server
     /// process-pool semaphore, and (when `admission` enables them) the
     /// bounded accept queue and database connection pool.
-    pub fn install_with(
+    pub(crate) fn install_impl(
         sim: &mut Simulation,
         config: StandardConfig,
         db: &Database,
@@ -459,7 +498,7 @@ mod tests {
         };
         assert!(!ac.is_disabled());
         let d =
-            Deployment::install_with(&mut sim, StandardConfig::PhpColocated, &db, &NoApp, 32, ac);
+            Deployment::install_impl(&mut sim, StandardConfig::PhpColocated, &db, &NoApp, 32, ac);
         let pool = d.db_pool().expect("db pool registered");
         assert_ne!(pool, d.web_pool());
         let stats = sim.semaphore_stats(pool);

@@ -21,6 +21,7 @@ use crate::app::{AppError, AppResult, LogicStyle};
 use crate::ctx::{RequestCtx, Tier};
 use dynamid_sim::Op;
 use dynamid_sqldb::{SqlError, Value};
+use dynamid_trace::SpanKind;
 
 /// Handle to an entity bean activated within the current façade call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -86,6 +87,13 @@ impl<'c, 'a> EntityManager<'c, 'a> {
     ///
     /// Database errors; missing primary key on the entity table.
     pub fn find(&mut self, table: &str, pk: Value) -> AppResult<Option<BeanHandle>> {
+        self.ctx.span_open(SpanKind::CmpAccess, "find");
+        let out = self.find_impl(table, pk);
+        self.ctx.span_close();
+        out
+    }
+
+    fn find_impl(&mut self, table: &str, pk: Value) -> AppResult<Option<BeanHandle>> {
         self.bean_overhead();
         let pk_col = self.pk_col_of(table)?;
         let sql = format!("SELECT * FROM {table} WHERE {pk_col} = ?");
@@ -153,6 +161,18 @@ impl<'c, 'a> EntityManager<'c, 'a> {
         tail: &str,
         params: &[Value],
     ) -> AppResult<Vec<Value>> {
+        self.ctx.span_open(SpanKind::CmpAccess, "finder");
+        let out = self.find_pks_query_impl(table, tail, params);
+        self.ctx.span_close();
+        out
+    }
+
+    fn find_pks_query_impl(
+        &mut self,
+        table: &str,
+        tail: &str,
+        params: &[Value],
+    ) -> AppResult<Vec<Value>> {
         self.bean_overhead();
         let pk_col = self.pk_col_of(table)?;
         let sql = format!("SELECT {pk_col} FROM {table} {tail}");
@@ -211,6 +231,13 @@ impl<'c, 'a> EntityManager<'c, 'a> {
     ///
     /// Database errors (duplicate key, constraint violations).
     pub fn create(&mut self, table: &str, fields: &[(&str, Value)]) -> AppResult<Value> {
+        self.ctx.span_open(SpanKind::CmpAccess, "create");
+        let out = self.create_impl(table, fields);
+        self.ctx.span_close();
+        out
+    }
+
+    fn create_impl(&mut self, table: &str, fields: &[(&str, Value)]) -> AppResult<Value> {
         self.bean_overhead();
         let cols: Vec<&str> = fields.iter().map(|(c, _)| *c).collect();
         let marks = vec!["?"; fields.len()].join(", ");
@@ -234,6 +261,13 @@ impl<'c, 'a> EntityManager<'c, 'a> {
     ///
     /// Database errors; missing primary key on the entity table.
     pub fn remove(&mut self, table: &str, pk: Value) -> AppResult<u64> {
+        self.ctx.span_open(SpanKind::CmpAccess, "remove");
+        let out = self.remove_impl(table, pk);
+        self.ctx.span_close();
+        out
+    }
+
+    fn remove_impl(&mut self, table: &str, pk: Value) -> AppResult<u64> {
         self.bean_overhead();
         let pk_col = self.pk_col_of(table)?;
         let sql = format!("DELETE FROM {table} WHERE {pk_col} = ?");
@@ -252,29 +286,37 @@ impl<'c, 'a> EntityManager<'c, 'a> {
             .map(|(i, _)| i)
             .collect();
         for i in dirty {
-            self.bean_overhead();
-            let bean = &self.beans[i];
-            let sets: Vec<String> = bean
-                .columns
-                .iter()
-                .zip(&bean.dirty)
-                .filter(|(_, d)| **d)
-                .map(|(c, _)| format!("{c} = ?"))
-                .collect();
-            let sql =
-                format!("UPDATE {} SET {} WHERE {} = ?", bean.table, sets.join(", "), bean.pk_col);
-            let mut params: Vec<Value> = bean
-                .values
-                .iter()
-                .zip(&bean.dirty)
-                .filter(|(_, d)| **d)
-                .map(|(v, _)| v.clone())
-                .collect();
-            params.push(bean.pk.clone());
-            let (sql, params) = (sql, params);
-            self.ctx.query(&sql, &params)?;
-            self.beans[i].dirty.iter_mut().for_each(|d| *d = false);
+            self.ctx.span_open(SpanKind::CmpAccess, "store");
+            let r = self.store_bean(i);
+            self.ctx.span_close();
+            r?;
         }
+        Ok(())
+    }
+
+    /// Stores one dirty bean with a container-generated single-row UPDATE.
+    fn store_bean(&mut self, i: usize) -> AppResult<()> {
+        self.bean_overhead();
+        let bean = &self.beans[i];
+        let sets: Vec<String> = bean
+            .columns
+            .iter()
+            .zip(&bean.dirty)
+            .filter(|(_, d)| **d)
+            .map(|(c, _)| format!("{c} = ?"))
+            .collect();
+        let sql =
+            format!("UPDATE {} SET {} WHERE {} = ?", bean.table, sets.join(", "), bean.pk_col);
+        let mut params: Vec<Value> = bean
+            .values
+            .iter()
+            .zip(&bean.dirty)
+            .filter(|(_, d)| **d)
+            .map(|(v, _)| v.clone())
+            .collect();
+        params.push(bean.pk.clone());
+        self.ctx.query(&sql, &params)?;
+        self.beans[i].dirty.iter_mut().for_each(|d| *d = false);
         Ok(())
     }
 }
@@ -294,10 +336,11 @@ impl RequestCtx<'_> {
     /// called `facade` under a non-EJB configuration).
     pub fn facade<R>(
         &mut self,
-        _name: &str,
+        name: &str,
         f: impl FnOnce(&mut EntityManager<'_, '_>) -> AppResult<R>,
     ) -> AppResult<R> {
         debug_assert_eq!(self.style(), LogicStyle::EntityBean, "facade outside EJB style");
+        self.span_open(SpanKind::FacadeCall, name);
         let machines = *self.deployment.machines();
         let servlet = machines.generator();
         let ejb = machines.ejb.expect("facade call without an EJB machine");
@@ -330,6 +373,7 @@ impl RequestCtx<'_> {
         self.push(Op::Net { from: ejb, to: servlet, bytes: reply_bytes });
         self.push(Op::Cpu { machine: servlet, micros: rmi.recv_micros(reply_bytes) });
         self.tier = Tier::Generator;
+        self.span_close();
         out
     }
 }

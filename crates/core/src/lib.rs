@@ -43,5 +43,5 @@ pub use cost::{CostModel, EjbCosts, GeneratorCosts};
 pub use ctx::{RequestCtx, RequestStats};
 pub use deploy::{AdmissionControl, Architecture, Deployment, MachineSet, StandardConfig};
 pub use ejb::{BeanHandle, EntityManager};
-pub use middleware::{Middleware, PreparedRequest};
+pub use middleware::{InstallOptions, Middleware, PreparedRequest};
 pub use session::SessionData;

@@ -9,6 +9,7 @@ use dynamid_http::message::{REQUEST_OVERHEAD_BYTES, RESPONSE_OVERHEAD_BYTES};
 use dynamid_http::{Response, Status};
 use dynamid_sim::{Op, SimRng, Simulation, Trace};
 use dynamid_sqldb::Database;
+use dynamid_trace::{SpanDef, SpanKind, SpanRecorder};
 
 /// A fully compiled interaction: the resource trace to submit to the
 /// simulation plus the application-level outcome.
@@ -33,6 +34,9 @@ pub struct PreparedRequest {
     /// an abort (deadline, crash, fault, deadlock) can roll the writes back
     /// via `Database::apply_rollback`; a completion drops it (commit).
     pub txn: dynamid_sqldb::TxnLog,
+    /// The request's hierarchical span tree over the trace's op indices.
+    /// Empty unless the middleware was installed with tracing enabled.
+    pub spans: Vec<SpanDef>,
 }
 
 impl PreparedRequest {
@@ -52,6 +56,21 @@ impl PreparedRequest {
 pub struct Middleware {
     deployment: Deployment,
     costs: CostModel,
+    tracing: bool,
+}
+
+/// Options controlling how a middleware stack is installed.
+///
+/// The default reproduces the paper's setup exactly: no admission control
+/// and no tracing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InstallOptions {
+    /// Admission-control limits (all disabled by default).
+    pub admission: AdmissionControl,
+    /// Record a hierarchical span tree for every interaction. Off by
+    /// default; recording is purely observational, so the compiled traces
+    /// and everything downstream are bit-identical either way.
+    pub tracing: bool,
 }
 
 impl Middleware {
@@ -64,12 +83,33 @@ impl Middleware {
         app: &dyn Application,
         costs: CostModel,
     ) -> Middleware {
-        Self::install_with_admission(sim, config, db, app, costs, AdmissionControl::default())
+        Self::install_opts(sim, config, db, app, costs, InstallOptions::default())
     }
 
-    /// Installs `config` with explicit admission-control limits: a bounded
-    /// web accept queue sheds overload at the front door, and a database
-    /// connection pool caps handler concurrency at the database tier.
+    /// Installs `config` with explicit [`InstallOptions`]: admission
+    /// control (a bounded web accept queue sheds overload at the front
+    /// door, a database connection pool caps handler concurrency at the
+    /// database tier) and span tracing.
+    pub fn install_opts(
+        sim: &mut Simulation,
+        config: StandardConfig,
+        db: &Database,
+        app: &dyn Application,
+        costs: CostModel,
+        opts: InstallOptions,
+    ) -> Middleware {
+        let web_processes = costs.web.max_processes;
+        let deployment =
+            Deployment::install_impl(sim, config, db, app, web_processes, opts.admission);
+        Middleware { deployment, costs, tracing: opts.tracing }
+    }
+
+    /// Installs `config` with explicit admission-control limits.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Middleware::install_opts` with `InstallOptions` (or \
+                `ExperimentSpec` in dynamid-workload)"
+    )]
     pub fn install_with_admission(
         sim: &mut Simulation,
         config: StandardConfig,
@@ -78,9 +118,19 @@ impl Middleware {
         costs: CostModel,
         admission: AdmissionControl,
     ) -> Middleware {
-        let web_processes = costs.web.max_processes;
-        let deployment = Deployment::install_with(sim, config, db, app, web_processes, admission);
-        Middleware { deployment, costs }
+        Self::install_opts(
+            sim,
+            config,
+            db,
+            app,
+            costs,
+            InstallOptions { admission, tracing: false },
+        )
+    }
+
+    /// Whether span tracing was enabled at install time.
+    pub fn tracing(&self) -> bool {
+        self.tracing
     }
 
     /// The installed deployment.
@@ -118,10 +168,15 @@ impl Middleware {
         let web_costs = self.costs.web.costs;
 
         let mut ctx = RequestCtx::new(db, &self.deployment, &self.costs, style, capture_html);
+        if self.tracing {
+            ctx.spans = Some(SpanRecorder::new());
+        }
+        ctx.span_open(SpanKind::Request, spec.name);
 
         // --- Request path ---------------------------------------------
         let req_bytes = REQUEST_OVERHEAD_BYTES + 64;
         ctx.push(Op::Net { from: m.client, to: m.web, bytes: req_bytes });
+        ctx.span_open(SpanKind::WebServe, "web-front");
         ctx.push(Op::SemAcquire { sem: self.deployment.web_pool() });
         let mut front = web_costs.per_request;
         if spec.secure {
@@ -137,8 +192,11 @@ impl Middleware {
                     machine: m.web,
                     micros: self.costs.php_connector.send_micros(req_bytes),
                 });
+                ctx.span_close(); // web-front (includes the in-process connector)
             }
             Architecture::Servlet { .. } | Architecture::Ejb => {
+                ctx.span_close(); // web-front
+                ctx.span_open(SpanKind::IpcHop, "ajp-request");
                 ctx.push(Op::Cpu { machine: m.web, micros: self.costs.ajp.send_micros(req_bytes) });
                 // Loopback when co-located (Net from==to is free; the CPU
                 // costs above/below model the local IPC).
@@ -147,8 +205,10 @@ impl Middleware {
                     machine: generator,
                     micros: self.costs.ajp.recv_micros(req_bytes),
                 });
+                ctx.span_close(); // ajp-request
             }
         }
+        ctx.span_open(SpanKind::Invoke, "handler");
         let gen_dispatch = ctx.gen_costs().per_request.round() as u64;
         ctx.push(Op::Cpu { machine: generator, micros: gen_dispatch });
 
@@ -180,8 +240,10 @@ impl Middleware {
         if let Some(pool) = self.deployment.db_pool() {
             ctx.push(Op::SemRelease { sem: pool });
         }
+        ctx.span_close(); // handler
 
         // --- Response path ---------------------------------------------
+        ctx.span_open(SpanKind::Response, "response");
         let body = ctx.output_bytes();
         let render = (ctx.gen_costs().per_output_byte * body as f64).round() as u64;
         ctx.push(Op::Cpu { machine: generator, micros: render });
@@ -189,9 +251,11 @@ impl Middleware {
         match arch {
             Architecture::Php => {}
             Architecture::Servlet { .. } | Architecture::Ejb => {
+                ctx.span_open(SpanKind::IpcHop, "ajp-reply");
                 ctx.push(Op::Cpu { machine: generator, micros: self.costs.ajp.send_micros(body) });
                 ctx.push(Op::Net { from: generator, to: m.web, bytes: body });
                 ctx.push(Op::Cpu { machine: m.web, micros: self.costs.ajp.recv_micros(body) });
+                ctx.span_close(); // ajp-reply
             }
         }
         let wire = body + RESPONSE_OVERHEAD_BYTES;
@@ -200,9 +264,14 @@ impl Middleware {
             micros: (web_costs.per_response_byte * wire as f64).round() as u64,
         });
         ctx.push(Op::Net { from: m.web, to: m.client, bytes: wire });
+        ctx.span_close(); // response
 
         // --- Embedded static assets over the same connection ------------
         let assets: Vec<_> = ctx.assets().to_vec();
+        if !assets.is_empty() {
+            ctx.span_open(SpanKind::StaticAssets, "assets");
+        }
+        let had_assets = !assets.is_empty();
         for asset in assets {
             ctx.push(Op::Net { from: m.client, to: m.web, bytes: REQUEST_OVERHEAD_BYTES });
             ctx.push(Op::Cpu {
@@ -215,12 +284,17 @@ impl Middleware {
                 bytes: asset.bytes + RESPONSE_OVERHEAD_BYTES,
             });
         }
+        if had_assets {
+            ctx.span_close(); // assets
+        }
         ctx.push(Op::SemRelease { sem: self.deployment.web_pool() });
+        ctx.span_close(); // request root
 
         let status = ctx.status();
         let html = ctx.captured_html().map(str::to_string);
         let mut stats = ctx.stats;
         stats.output_bytes = body;
+        let spans = ctx.take_spans();
         let trace = ctx.trace;
         debug_assert!(trace.check_balanced().is_ok(), "unbalanced request trace");
 
@@ -232,6 +306,7 @@ impl Middleware {
             error,
             interaction: id,
             txn,
+            spans,
         }
     }
 }
@@ -503,16 +578,19 @@ mod tests {
         let mut sim = Simulation::new(SimDuration::from_micros(100));
         // One DB connection, no waiting allowed: with two concurrent
         // requests, the second must be rejected at the pool.
-        let mw = Middleware::install_with_admission(
+        let mw = Middleware::install_opts(
             &mut sim,
             StandardConfig::PhpColocated,
             &db,
             &ToyApp,
             CostModel::default(),
-            crate::deploy::AdmissionControl {
-                web_accept_queue: None,
-                db_connections: Some(1),
-                db_accept_queue: Some(0),
+            InstallOptions {
+                admission: crate::deploy::AdmissionControl {
+                    web_accept_queue: None,
+                    db_connections: Some(1),
+                    db_accept_queue: Some(0),
+                },
+                tracing: false,
             },
         );
         let mut db = db;
@@ -553,6 +631,60 @@ mod tests {
         assert_eq!(rec.0, vec![(1, AbortReason::Rejected)]);
         // The rejected request released nothing it did not hold.
         assert!(sim.leak_report().is_none());
+    }
+
+    #[test]
+    fn tracing_records_balanced_span_trees() {
+        for config in [StandardConfig::PhpColocated, StandardConfig::EjbFourTier] {
+            let db = toy_db();
+            let mut sim = Simulation::new(SimDuration::from_micros(100));
+            let mw = Middleware::install_opts(
+                &mut sim,
+                config,
+                &db,
+                &ToyApp,
+                CostModel::default(),
+                InstallOptions { tracing: true, ..InstallOptions::default() },
+            );
+            assert!(mw.tracing());
+            let mut db = db;
+            let mut session = SessionData::new(0);
+            let mut rng = SimRng::new(1);
+            for id in 0..2 {
+                let prep = mw.run_interaction(&mut db, &ToyApp, id, &mut session, &mut rng, false);
+                let root = &prep.spans[0];
+                assert_eq!(root.kind, SpanKind::Request);
+                assert_eq!((root.start_op, root.end_op), (0, prep.trace.len()));
+                for (i, s) in prep.spans.iter().enumerate() {
+                    assert!(s.start_op <= s.end_op && s.end_op <= prep.trace.len());
+                    if let Some(p) = s.parent {
+                        assert!(p < i, "parents precede children");
+                        let parent = &prep.spans[p];
+                        assert!(parent.start_op <= s.start_op && s.end_op <= parent.end_op);
+                    }
+                }
+                // Every SQL statement span carries a modeled cost.
+                let sql: Vec<_> =
+                    prep.spans.iter().filter(|s| s.kind == SpanKind::SqlStatement).collect();
+                assert!(!sql.is_empty());
+                assert!(sql.iter().all(|s| s.cost_micros.is_some()));
+            }
+            // The EJB config exercises facade + CMP spans on the write path.
+            if config == StandardConfig::EjbFourTier {
+                let prep = mw.run_interaction(&mut db, &ToyApp, 1, &mut session, &mut rng, false);
+                assert!(prep.spans.iter().any(|s| s.kind == SpanKind::FacadeCall));
+                assert!(prep.spans.iter().any(|s| s.kind == SpanKind::CmpAccess));
+            }
+        }
+    }
+
+    #[test]
+    fn tracing_off_records_no_spans() {
+        let (_sim, mut db, mw) = run_config(StandardConfig::ServletDedicated);
+        let mut session = SessionData::new(0);
+        let mut rng = SimRng::new(1);
+        let prep = mw.run_interaction(&mut db, &ToyApp, 0, &mut session, &mut rng, false);
+        assert!(prep.spans.is_empty());
     }
 
     #[test]

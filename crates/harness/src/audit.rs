@@ -280,9 +280,9 @@ mod tests {
     #[test]
     fn auction_bidding_run_passes_bid_monotonicity_audit() {
         use dynamid_auction::{Auction, AuctionScale};
-        use dynamid_core::{CostModel, StandardConfig};
-        use dynamid_sim::{GrantPolicy, SimDuration};
-        use dynamid_workload::{run_experiment_with_policy, ResilienceConfig, WorkloadConfig};
+        use dynamid_core::StandardConfig;
+        use dynamid_sim::SimDuration;
+        use dynamid_workload::{ExperimentSpec, ResilienceConfig, WorkloadConfig};
 
         let scale = AuctionScale::scaled(0.002);
         let baseline = dynamid_auction::build_db(&scale, 7).expect("population");
@@ -299,15 +299,10 @@ mod tests {
             resilience: ResilienceConfig::disabled(),
         };
         let mut db = baseline.clone();
-        let r = run_experiment_with_policy(
-            &mut db,
-            &app,
-            &mix,
-            StandardConfig::PhpColocated,
-            CostModel::default(),
-            workload,
-            GrantPolicy::default(),
-        );
+        let r = ExperimentSpec::for_config(StandardConfig::PhpColocated)
+            .mix(&mix)
+            .workload(workload)
+            .run(&mut db, &app);
         assert!(r.ledger.committed > 0, "no commits — the audit would be vacuous");
         let report = audit_auction(&baseline, &db, &r.ledger);
         report.assert_clean("auction bidding unit run");

@@ -19,9 +19,7 @@ use crate::HarnessConfig;
 use dynamid_bookstore::{Bookstore, BookstoreScale};
 use dynamid_core::{AdmissionControl, CostModel, StandardConfig};
 use dynamid_sim::SimDuration;
-use dynamid_workload::{
-    run_experiment_chaos, ChaosOptions, FaultSpec, ResilienceConfig, WorkloadConfig,
-};
+use dynamid_workload::{ChaosOptions, ExperimentSpec, FaultSpec, ResilienceConfig, WorkloadConfig};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -130,16 +128,13 @@ fn run_avail_point(
         faults: Some(FaultSpec::at_intensity(fault_seed, intensity)),
         admission: sweep_admission(),
     };
-    let r = run_experiment_chaos(
-        &mut db,
-        &app,
-        &mix,
-        config,
-        CostModel::default(),
-        workload,
-        cfg.policy,
-        chaos,
-    );
+    let r = ExperimentSpec::for_config(config)
+        .mix(&mix)
+        .costs(CostModel::default())
+        .workload(workload)
+        .policy(cfg.policy)
+        .chaos(chaos)
+        .run(&mut db, &app);
     // Every sweep point ends with a consistency audit: after the driver's
     // crash-consistent unwind the surviving database must be exactly
     // "baseline + committed transactions", whatever the faults did.

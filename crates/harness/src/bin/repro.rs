@@ -8,30 +8,79 @@
 //! repro avail                     availability sweep: goodput/p99/error
 //!                                 taxonomy vs fault intensity for three
 //!                                 architectures, results/avail.csv
-//! options:
-//!   --smoke           quick perf smoke: three mini figure sweeps plus
-//!                     snapshot-fork and plan-cache probes, written to
-//!                     BENCH_repro.json (ignores targets)
-//!   --chaos           with --smoke: also run a miniature availability
-//!                     sweep (fault injection + resilience) and record it
-//!   --fast            scaled-down populations and short windows
-//!   --scale <f>       population scale factor (default 1.0)
-//!   --clients a,b,c   explicit client sweep
-//!   --measure <secs>  measurement window length
-//!   --seed <n>        master seed
-//!   --jobs <n>        sweep worker threads (0 = all cores; results are
-//!                     identical for any value)
-//!   --out <dir>       output directory (default results/)
-//!   --quiet           suppress progress
+//! repro trace <figure>            one traced point: span capture,
+//!                                 Chrome-trace JSON + bottleneck-report
+//!                                 CSV into results/, cross-checked
+//!                                 against the PS CPU counters (pick the
+//!                                 deployment with --config C1..C6)
 //! ```
+//!
+//! Flags are listed in [`FLAGS`]; unknown flags and unknown subcommands
+//! exit nonzero with a usage message.
 
+use dynamid_core::StandardConfig;
 use dynamid_harness::report::{cpu_markdown, peak_summary_line, sweep_csv, throughput_markdown};
-use dynamid_harness::{find_figure, run_figure, FigureData, HarnessConfig, FIGURES};
+use dynamid_harness::{find_figure, run_figure, run_traced, FigureData, HarnessConfig, FIGURES};
 use dynamid_sim::SimDuration;
 use dynamid_sqldb::Database;
 use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
+
+/// One command-line flag: name, value placeholder (`None` for boolean
+/// switches), and help text. The parser and the usage message are both
+/// driven by this table, so they cannot drift apart.
+struct Flag {
+    name: &'static str,
+    value: Option<&'static str>,
+    help: &'static str,
+}
+
+/// Every flag `repro` accepts.
+const FLAGS: &[Flag] = &[
+    Flag {
+        name: "--smoke",
+        value: None,
+        help: "quick perf smoke: mini sweeps + snapshot-fork and plan-cache probes \
+               -> BENCH_repro.json (ignores targets)",
+    },
+    Flag {
+        name: "--chaos",
+        value: None,
+        help: "with --smoke: also run a miniature availability sweep",
+    },
+    Flag { name: "--fast", value: None, help: "scaled-down populations and short windows" },
+    Flag { name: "--quiet", value: None, help: "suppress progress" },
+    Flag { name: "--scale", value: Some("<f>"), help: "population scale factor (default 1.0)" },
+    Flag { name: "--clients", value: Some("a,b,c"), help: "explicit client sweep" },
+    Flag { name: "--measure", value: Some("<secs>"), help: "measurement window length" },
+    Flag { name: "--seed", value: Some("<n>"), help: "master seed" },
+    Flag {
+        name: "--jobs",
+        value: Some("<n>"),
+        help: "sweep worker threads (0 = all cores; results identical for any value)",
+    },
+    Flag { name: "--out", value: Some("<dir>"), help: "output directory (default results/)" },
+    Flag {
+        name: "--policy",
+        value: Some("fifo|writer"),
+        help: "lock grant policy (MyISAM default: writer priority)",
+    },
+    Flag {
+        name: "--config",
+        value: Some("C1..C6"),
+        help: "restrict to one or more deployment configurations (comma-separated codes)",
+    },
+];
+
+/// The subcommands, for the usage message.
+const COMMANDS: &[(&str, &str)] = &[
+    ("<figure>", "one figure pair, by id (fig05..fig14) or <benchmark>-<mix> name"),
+    ("all", "every figure pair, CSVs into the output directory"),
+    ("summary", "peak-throughput table across all figures"),
+    ("avail", "availability sweep (goodput vs fault intensity), avail.csv"),
+    ("trace <figure>", "one traced point: Chrome-trace JSON + bottleneck CSV"),
+];
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -43,79 +92,92 @@ fn main() -> ExitCode {
 
     let mut i = 0;
     while i < args.len() {
-        match args[i].as_str() {
-            "--smoke" => smoke = true,
-            "--chaos" => chaos = true,
-            "--fast" => {
-                let verbose = cfg.verbose;
-                cfg = HarnessConfig::fast();
-                cfg.verbose = verbose;
-            }
-            "--quiet" => cfg.verbose = false,
-            "--scale" => {
-                i += 1;
-                cfg.scale = match args.get(i).and_then(|v| v.parse().ok()) {
-                    Some(v) => v,
-                    None => return usage("--scale needs a number"),
-                };
-            }
-            "--seed" => {
-                i += 1;
-                cfg.seed = match args.get(i).and_then(|v| v.parse().ok()) {
-                    Some(v) => v,
-                    None => return usage("--seed needs an integer"),
-                };
-            }
-            "--jobs" => {
-                i += 1;
-                cfg.jobs = match args.get(i).and_then(|v| v.parse().ok()) {
-                    Some(v) => v,
-                    None => return usage("--jobs needs an integer (0 = all cores)"),
-                };
-            }
-            "--measure" => {
-                i += 1;
-                cfg.measure = match args.get(i).and_then(|v| v.parse::<u64>().ok()) {
-                    Some(v) => SimDuration::from_secs(v),
-                    None => return usage("--measure needs seconds"),
-                };
-            }
-            "--clients" => {
-                i += 1;
-                let Some(list) = args.get(i) else {
-                    return usage("--clients needs a list");
-                };
-                match list
-                    .split(',')
-                    .map(|s| s.trim().parse::<usize>())
-                    .collect::<Result<Vec<_>, _>>()
-                {
-                    Ok(v) if !v.is_empty() => cfg.clients = v,
-                    _ => return usage("--clients needs comma-separated integers"),
+        let arg = args[i].as_str();
+        let value = |i: &mut usize| -> Option<&String> {
+            *i += 1;
+            args.get(*i)
+        };
+        if arg.starts_with("--") {
+            let Some(flag) = FLAGS.iter().find(|f| f.name == arg) else {
+                return usage(&format!("unknown option {arg}"));
+            };
+            match flag.name {
+                "--smoke" => smoke = true,
+                "--chaos" => chaos = true,
+                "--fast" => {
+                    let verbose = cfg.verbose;
+                    cfg = HarnessConfig::fast();
+                    cfg.verbose = verbose;
                 }
-            }
-            "--out" => {
-                i += 1;
-                match args.get(i) {
+                "--quiet" => cfg.verbose = false,
+                "--scale" => {
+                    cfg.scale = match value(&mut i).and_then(|v| v.parse().ok()) {
+                        Some(v) => v,
+                        None => return usage("--scale needs a number"),
+                    };
+                }
+                "--seed" => {
+                    cfg.seed = match value(&mut i).and_then(|v| v.parse().ok()) {
+                        Some(v) => v,
+                        None => return usage("--seed needs an integer"),
+                    };
+                }
+                "--jobs" => {
+                    cfg.jobs = match value(&mut i).and_then(|v| v.parse().ok()) {
+                        Some(v) => v,
+                        None => return usage("--jobs needs an integer (0 = all cores)"),
+                    };
+                }
+                "--measure" => {
+                    cfg.measure = match value(&mut i).and_then(|v| v.parse::<u64>().ok()) {
+                        Some(v) => SimDuration::from_secs(v),
+                        None => return usage("--measure needs seconds"),
+                    };
+                }
+                "--clients" => {
+                    let Some(list) = value(&mut i) else {
+                        return usage("--clients needs a list");
+                    };
+                    match list
+                        .split(',')
+                        .map(|s| s.trim().parse::<usize>())
+                        .collect::<Result<Vec<_>, _>>()
+                    {
+                        Ok(v) if !v.is_empty() => cfg.clients = v,
+                        _ => return usage("--clients needs comma-separated integers"),
+                    }
+                }
+                "--out" => match value(&mut i) {
                     Some(d) => out_dir = PathBuf::from(d),
                     None => return usage("--out needs a directory"),
+                },
+                "--policy" => {
+                    // Ablation: MyISAM grants writers priority; FIFO shows
+                    // how much of the bookstore contention collapse that
+                    // policy choice causes.
+                    cfg.policy = match value(&mut i).map(String::as_str) {
+                        Some("fifo") => dynamid_sim::GrantPolicy::Fifo,
+                        Some("writer") => dynamid_sim::GrantPolicy::WriterPriority,
+                        _ => return usage("--policy needs 'fifo' or 'writer'"),
+                    };
                 }
+                "--config" => {
+                    let Some(list) = value(&mut i) else {
+                        return usage("--config needs C1..C6 codes");
+                    };
+                    match list
+                        .split(',')
+                        .map(|s| StandardConfig::parse(s.trim()))
+                        .collect::<Option<Vec<_>>>()
+                    {
+                        Some(v) if !v.is_empty() => cfg.configs = v,
+                        _ => return usage("--config needs comma-separated C1..C6 codes"),
+                    }
+                }
+                other => unreachable!("flag {other} listed but not handled"),
             }
-            "--policy" => {
-                // Ablation: MyISAM grants writers priority; FIFO shows how
-                // much of the bookstore contention collapse that policy
-                // choice causes.
-                i += 1;
-                cfg.policy = match args.get(i).map(String::as_str) {
-                    Some("fifo") => dynamid_sim::GrantPolicy::Fifo,
-                    Some("writer") => dynamid_sim::GrantPolicy::WriterPriority,
-                    _ => return usage("--policy needs 'fifo' or 'writer'"),
-                };
-            }
-            flag if flag.starts_with("--") => {
-                return usage(&format!("unknown option {flag}"));
-            }
-            target => targets.push(target.to_string()),
+        } else {
+            targets.push(arg.to_string());
         }
         i += 1;
     }
@@ -129,6 +191,16 @@ fn main() -> ExitCode {
     if let Err(e) = fs::create_dir_all(&out_dir) {
         eprintln!("cannot create {}: {e}", out_dir.display());
         return ExitCode::FAILURE;
+    }
+
+    if targets[0] == "trace" {
+        let [_, figure] = targets.as_slice() else {
+            return usage("trace needs exactly one figure, e.g. 'trace fig05 --config C1'");
+        };
+        if find_figure(figure).is_none() {
+            return usage(&format!("unknown figure '{figure}'"));
+        }
+        return run_trace(figure, &cfg, &out_dir);
     }
 
     for target in &targets {
@@ -187,6 +259,44 @@ fn run_and_emit(key: &str, cfg: &HarnessConfig, out_dir: &std::path::Path) {
     } else {
         eprintln!("wrote {}", csv_path.display());
     }
+}
+
+/// `repro trace <figure>`: one traced point per selected configuration.
+/// Writes `trace_<fig>_<code>.json` (Chrome trace) and
+/// `bottleneck_<fig>_<code>.csv` per configuration, prints the report
+/// summary, and fails if the span trees are malformed or the
+/// trace-derived CPU utilizations drift more than 1% from the PS
+/// counters.
+fn run_trace(figure: &str, cfg: &HarnessConfig, out_dir: &std::path::Path) -> ExitCode {
+    let pair = find_figure(figure).expect("validated by caller");
+    for &config in &cfg.configs {
+        eprintln!("== trace {} {} ({})", pair.throughput_id, config.code(), config.paper_name());
+        let traced = run_traced(pair, config, cfg);
+        if let Err(e) = traced.cross_check() {
+            eprintln!("trace cross-check failed for {}: {e}", config.paper_name());
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "## {} {} at {} clients\n\n{}",
+            pair.throughput_id,
+            config.code(),
+            traced.clients,
+            traced.report.to_markdown()
+        );
+        let stem = format!("{}_{}", pair.throughput_id, config.code());
+        let json_path = out_dir.join(format!("trace_{stem}.json"));
+        let csv_path = out_dir.join(format!("bottleneck_{stem}.csv"));
+        for (path, contents) in
+            [(&json_path, traced.chrome_json()), (&csv_path, traced.bottleneck_csv())]
+        {
+            if let Err(e) = fs::write(path, contents) {
+                eprintln!("could not write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {}", path.display());
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 /// The perf smoke harness behind `repro --smoke`: two miniature figure
@@ -345,7 +455,7 @@ fn run_smoke(verbose: bool, chaos: bool) -> ExitCode {
 /// be read back from it afterwards.
 fn run_smoke_point(cfg: &HarnessConfig, db: &mut Database) {
     use dynamid_core::CostModel;
-    use dynamid_workload::{run_experiment_with_policy, WorkloadConfig};
+    use dynamid_workload::{ExperimentSpec, WorkloadConfig};
     let app =
         dynamid_bookstore::Bookstore::new(dynamid_bookstore::BookstoreScale::scaled(cfg.scale));
     let mix = dynamid_bookstore::mixes::browsing();
@@ -359,20 +469,27 @@ fn run_smoke_point(cfg: &HarnessConfig, db: &mut Database) {
         seed: cfg.seed ^ cfg.clients[0] as u64,
         resilience: Default::default(),
     };
-    run_experiment_with_policy(
-        db,
-        &app,
-        &mix,
-        cfg.configs[0],
-        CostModel::default(),
-        workload,
-        cfg.policy,
-    );
+    ExperimentSpec::for_config(cfg.configs[0])
+        .mix(&mix)
+        .costs(CostModel::default())
+        .workload(workload)
+        .policy(cfg.policy)
+        .run(db, &app);
 }
 
 fn usage(err: &str) -> ExitCode {
     eprintln!("error: {err}\n");
-    eprintln!("usage: repro [options] <fig05|..|fig13|bookstore-shopping|..|all|summary|avail>");
-    eprintln!("options: --smoke --chaos --fast --quiet --scale <f> --clients a,b,c --measure <secs> --seed <n> --jobs <n> --out <dir> --policy fifo|writer");
+    eprintln!("usage: repro [options] <command>\n\ncommands:");
+    for (cmd, help) in COMMANDS {
+        eprintln!("  {cmd:<16} {help}");
+    }
+    eprintln!("\noptions:");
+    for f in FLAGS {
+        let head = match f.value {
+            Some(v) => format!("{} {v}", f.name),
+            None => f.name.to_string(),
+        };
+        eprintln!("  {head:<20} {}", f.help);
+    }
     ExitCode::FAILURE
 }

@@ -6,7 +6,7 @@ use dynamid_auction::{Auction, AuctionScale};
 use dynamid_bookstore::{Bookstore, BookstoreScale};
 use dynamid_core::{Application, CostModel, StandardConfig};
 use dynamid_sqldb::Database;
-use dynamid_workload::{run_experiment_with_policy, ExperimentResult, Mix, WorkloadConfig};
+use dynamid_workload::{ExperimentResult, ExperimentSpec, Mix, WorkloadConfig};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -177,7 +177,7 @@ impl FigureData {
     }
 }
 
-fn mix_for(pair: &FigurePair) -> Mix {
+pub(crate) fn mix_for(pair: &FigurePair) -> Mix {
     match (pair.benchmark, pair.mix) {
         (Benchmark::Bookstore, "browsing") => dynamid_bookstore::mixes::browsing(),
         (Benchmark::Bookstore, "shopping") => dynamid_bookstore::mixes::shopping(),
@@ -203,10 +203,25 @@ pub fn default_clients(benchmark: Benchmark) -> Vec<usize> {
 /// Applications hold per-run state and are not shareable across threads,
 /// but constructing one is trivial next to the seconds-long experiment it
 /// drives.
-fn make_app(benchmark: Benchmark, scale: f64) -> Box<dyn Application> {
+pub(crate) fn make_app(benchmark: Benchmark, scale: f64) -> Box<dyn Application> {
     match benchmark {
         Benchmark::Bookstore => Box::new(Bookstore::new(BookstoreScale::scaled(scale))),
         Benchmark::Auction => Box::new(Auction::new(AuctionScale::scaled(scale))),
+    }
+}
+
+/// The workload phases for one sweep point: harness phase lengths with
+/// the point seed derived only from the master seed and the client count.
+pub(crate) fn sweep_workload(cfg: &HarnessConfig, clients: usize) -> WorkloadConfig {
+    WorkloadConfig {
+        clients,
+        think_time: cfg.think_time,
+        session_time: cfg.session_time,
+        ramp_up: cfg.ramp_up,
+        measure: cfg.measure,
+        ramp_down: cfg.ramp_down,
+        seed: cfg.seed ^ clients as u64,
+        resilience: Default::default(),
     }
 }
 
@@ -228,25 +243,12 @@ fn run_point(
     let mut db = base_db.clone();
     let stats_before = db.stats();
     let app = make_app(pair.benchmark, cfg.scale);
-    let workload = WorkloadConfig {
-        clients: n,
-        think_time: cfg.think_time,
-        session_time: cfg.session_time,
-        ramp_up: cfg.ramp_up,
-        measure: cfg.measure,
-        ramp_down: cfg.ramp_down,
-        seed: cfg.seed ^ n as u64,
-        resilience: Default::default(),
-    };
-    let result = run_experiment_with_policy(
-        &mut db,
-        app.as_ref(),
-        mix,
-        config,
-        CostModel::default(),
-        workload,
-        cfg.policy,
-    );
+    let result = ExperimentSpec::for_config(config)
+        .mix(mix)
+        .costs(CostModel::default())
+        .workload(sweep_workload(cfg, n))
+        .policy(cfg.policy)
+        .run(&mut db, app.as_ref());
     if cfg.verbose {
         let s = db.stats();
         let hits = s.plan_cache_hits - stats_before.plan_cache_hits;

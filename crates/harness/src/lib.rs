@@ -10,11 +10,12 @@
 //! The `repro` binary is the command-line entry point:
 //!
 //! ```text
-//! repro fig05            # one figure pair (table + CPU breakdown)
-//! repro auction-bidding  # same thing, by name
-//! repro all              # the whole evaluation, writes results/*.csv
-//! repro summary          # peak throughput of every config on every mix
-//! repro --fast all       # scaled-down populations and short windows
+//! repro fig05                   # one figure pair (table + CPU breakdown)
+//! repro auction-bidding         # same thing, by name
+//! repro all                     # the whole evaluation, writes results/*.csv
+//! repro summary                 # peak throughput of every config on every mix
+//! repro trace fig05 --config C1 # traced point: Chrome trace + bottleneck CSV
+//! repro --fast all              # scaled-down populations and short windows
 //! ```
 
 #![warn(missing_docs)]
@@ -24,6 +25,7 @@ pub mod audit;
 pub mod availability;
 pub mod figures;
 pub mod report;
+pub mod trace_run;
 
 pub use audit::{audit_auction, audit_bookstore, AuditReport};
 pub use availability::{
@@ -34,6 +36,7 @@ pub use figures::{
     default_clients, find_figure, run_figure, Benchmark, ConfigCurve, CurvePoint, FigureData,
     FigurePair, FIGURES,
 };
+pub use trace_run::{default_trace_clients, run_traced, TracedRun, CPU_SHARE_TOLERANCE};
 
 use dynamid_core::StandardConfig;
 use dynamid_sim::{GrantPolicy, SimDuration};

@@ -17,6 +17,7 @@ use crate::op::{Op, Trace};
 use crate::ps::{PsResource, PsStats};
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
+use crate::trace::{Activity, OpInterval, TraceRecorder};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::fmt;
@@ -269,6 +270,7 @@ pub struct Simulation {
     link_latency: SimDuration,
     stats: EngineStats,
     faults: Option<FaultState>,
+    trace: Option<TraceRecorder>,
 }
 
 impl Simulation {
@@ -292,7 +294,38 @@ impl Simulation {
             link_latency,
             stats: EngineStats::default(),
             faults: None,
+            trace: None,
         }
+    }
+
+    /// Arms the op-interval recorder: from now on every CPU service, NIC
+    /// transfer, delay, lock wait, and semaphore wait is captured as an
+    /// [`OpInterval`]. Recording is purely observational — it never schedules
+    /// events or consumes randomness — so the event stream is bit-identical
+    /// to an untraced run.
+    pub fn enable_tracing(&mut self) {
+        self.trace = Some(TraceRecorder::new());
+    }
+
+    /// `true` once [`enable_tracing`](Self::enable_tracing) has been called.
+    pub fn tracing_enabled(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Takes every finished op interval recorded so far, in the engine's
+    /// deterministic end order. Empty when tracing is off.
+    pub fn take_op_intervals(&mut self) -> Vec<OpInterval> {
+        self.trace.as_mut().map(TraceRecorder::drain).unwrap_or_default()
+    }
+
+    /// A lock's registered name (e.g. `table:items`).
+    pub fn lock_name(&self, lock: LockId) -> &str {
+        self.locks.lock_name(lock)
+    }
+
+    /// A semaphore's registered name (e.g. `web-pool`).
+    pub fn semaphore_name(&self, sem: SemaphoreId) -> &str {
+        self.locks.semaphore_name(sem)
     }
 
     /// Installs a [`FaultPlan`]: schedules its crash/restart windows on the
@@ -652,6 +685,10 @@ impl Simulation {
         let job = self.jobs.get_mut(&job_id).expect("service for unknown job");
         match res {
             ResKey::Cpu(_) => {
+                if let Some(t) = &mut self.trace {
+                    t.end(job_id, self.now);
+                }
+                let job = self.jobs.get_mut(&job_id).expect("service for unknown job");
                 job.pc += 1;
                 work.push(job_id);
             }
@@ -668,6 +705,9 @@ impl Simulation {
                 NetPhase::ReceiverNic => {
                     job.net_phase = NetPhase::Idle;
                     job.pc += 1;
+                    if let Some(t) = &mut self.trace {
+                        t.end(job_id, self.now);
+                    }
                     work.push(job_id);
                 }
                 other => panic!("NIC completion in phase {other:?}"),
@@ -715,6 +755,9 @@ impl Simulation {
             NetPhase::Latency => self.enter_receiver_nic(job_id, work, driver),
             NetPhase::Idle => {
                 job.pc += 1;
+                if let Some(t) = &mut self.trace {
+                    t.end(job_id, self.now);
+                }
                 work.push(job_id);
             }
             other => panic!("delay completion in phase {other:?}"),
@@ -792,6 +835,9 @@ impl Simulation {
                         demand *= f.plan.cpu_factor(machine, self.now);
                     }
                     let now = self.now;
+                    if let Some(t) = &mut self.trace {
+                        t.begin(job_id, pc, Activity::Cpu { machine, demand_micros: micros }, now);
+                    }
                     self.machines[machine.0 as usize].cpu.enqueue(now, job_id, demand);
                     self.refresh_ps(ResKey::Cpu(machine.0));
                     return Ok(());
@@ -816,11 +862,17 @@ impl Simulation {
                         demand *= f.plan.nic_factor(from, self.now);
                     }
                     let now = self.now;
+                    if let Some(t) = &mut self.trace {
+                        t.begin(job_id, pc, Activity::Net { from, to, bytes }, now);
+                    }
                     self.machines[from.0 as usize].nic.enqueue(now, job_id, demand);
                     self.refresh_ps(ResKey::Nic(from.0));
                     return Ok(());
                 }
                 Op::Delay { micros } => {
+                    if let Some(t) = &mut self.trace {
+                        t.begin(job_id, pc, Activity::Delay, self.now);
+                    }
                     let at = self.now + SimDuration::from_micros(micros);
                     self.schedule(at, EventKind::DelayDone { job: job_id });
                     return Ok(());
@@ -842,6 +894,9 @@ impl Simulation {
                     // the grant path below. A new wait-for edge exists only
                     // at this point, so this is the one place a cycle can
                     // appear.
+                    if let Some(t) = &mut self.trace {
+                        t.begin(job_id, pc, Activity::LockWait { lock }, self.now);
+                    }
                     if let Some(victim) = self.find_deadlock_victim(job_id) {
                         self.stats.deadlocks += 1;
                         self.abort_in_step(victim, AbortReason::Deadlock, driver);
@@ -859,6 +914,9 @@ impl Simulation {
                     let granted = self.locks.release(self.now, lock, job_id);
                     for g in granted {
                         // The granted job was parked at its Lock op.
+                        if let Some(t) = &mut self.trace {
+                            t.end(g, self.now);
+                        }
                         let gj = self.jobs.get_mut(&g).expect("granted unknown job");
                         gj.pc += 1;
                         queue.push(g);
@@ -873,7 +931,12 @@ impl Simulation {
                         job.pc += 1;
                         continue;
                     }
-                    SemGrant::Queued => return Ok(()),
+                    SemGrant::Queued => {
+                        if let Some(t) = &mut self.trace {
+                            t.begin(job_id, pc, Activity::SemWait { sem }, self.now);
+                        }
+                        return Ok(());
+                    }
                     SemGrant::Rejected => {
                         self.abort_in_step(job_id, AbortReason::Rejected, driver);
                         return Ok(());
@@ -888,6 +951,9 @@ impl Simulation {
                         });
                     }
                     if let Some(g) = self.locks.sem_release(self.now, sem) {
+                        if let Some(t) = &mut self.trace {
+                            t.end(g, self.now);
+                        }
                         let gj = self.jobs.get_mut(&g).expect("granted unknown job");
                         gj.pc += 1;
                         queue.push(g);
@@ -907,6 +973,10 @@ impl Simulation {
     /// the job is unknown (stale deadline, double cancel).
     fn abort_job(&mut self, job_id: JobId, reason: AbortReason) -> Option<JobAborted> {
         let job = self.jobs.remove(&job_id)?;
+        // A half-finished op interval is unattributable: drop it.
+        if let Some(t) = &mut self.trace {
+            t.discard(job_id);
+        }
         // 1. Detach from the resource or wait queue the job is parked in.
         if job.pc < job.trace.len() {
             let now = self.now;
@@ -1020,6 +1090,9 @@ impl Simulation {
     /// A job granted a lock/semaphore by an aborting holder: advance it past
     /// its acquire op and schedule a zero-delay resume event.
     fn resume_granted(&mut self, g: JobId) {
+        if let Some(t) = &mut self.trace {
+            t.end(g, self.now);
+        }
         let gj = self.jobs.get_mut(&g).expect("granted unknown job");
         gj.pc += 1;
         self.schedule(self.now, EventKind::JobStart { job: g });

@@ -47,6 +47,7 @@ pub mod op;
 pub mod ps;
 pub mod rng;
 pub mod time;
+pub mod trace;
 
 pub use engine::{
     AbortReason, Driver, EngineStats, JobAborted, JobDone, JobId, MachineId, SimError,
@@ -59,3 +60,4 @@ pub use op::{Op, Trace};
 pub use ps::{PsResource, PsStats};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};
+pub use trace::{Activity, OpInterval, TraceRecorder};

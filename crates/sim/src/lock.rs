@@ -223,6 +223,11 @@ impl LockManager {
         self.locks[lock.0 as usize].stats
     }
 
+    /// The display name of a semaphore.
+    pub fn semaphore_name(&self, sem: SemaphoreId) -> &str {
+        &self.sems[sem.0 as usize].name
+    }
+
     /// Statistics for a semaphore.
     pub fn semaphore_stats(&self, sem: SemaphoreId) -> LockStats {
         self.sems[sem.0 as usize].stats

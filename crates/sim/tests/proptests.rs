@@ -265,6 +265,37 @@ proptest! {
         prop_assert_eq!(run()?, run()?);
     }
 
+    /// `LatencyHistogram::merge` is commutative and associative, so the
+    /// trace-side and PS-side aggregation paths (which merge per-worker
+    /// partials in different orders) can never drift apart.
+    #[test]
+    fn histogram_merge_is_associative_and_commutative(
+        xs in prop::collection::vec(0u64..10_000_000, 0..50),
+        ys in prop::collection::vec(0u64..10_000_000, 0..50),
+        zs in prop::collection::vec(0u64..10_000_000, 0..50),
+    ) {
+        let build = |v: &Vec<u64>| {
+            let mut h = LatencyHistogram::new();
+            for us in v {
+                h.record(SimDuration::from_micros(*us));
+            }
+            h
+        };
+        let (a, b, c) = (build(&xs), build(&ys), build(&zs));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ab, &ba);
+        let mut ab_c = ab.clone();
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        prop_assert_eq!(ab_c, a_bc);
+    }
+
     /// Latency sanity: a job's completion is never before its submission
     /// plus its own uncontended demand.
     #[test]

@@ -30,6 +30,25 @@ pub struct DbStats {
     pub plan_invalidations: u64,
 }
 
+impl DbStats {
+    /// Classifies the plan-cache outcome of the statements executed between
+    /// the `before` snapshot and this one: `Some(true)` when every execution
+    /// hit a cached plan, `Some(false)` when at least one compiled, and
+    /// `None` when nothing touched the plan cache (e.g. transaction-control
+    /// statements, which bypass it).
+    pub fn plan_outcome_since(&self, before: &DbStats) -> Option<bool> {
+        let hits = self.plan_cache_hits - before.plan_cache_hits;
+        let misses = self.plan_cache_misses - before.plan_cache_misses;
+        if misses > 0 {
+            Some(false)
+        } else if hits > 0 {
+            Some(true)
+        } else {
+            None
+        }
+    }
+}
+
 /// An in-memory relational database: tables, a parsed-statement cache, and
 /// a cost model.
 ///

@@ -12,11 +12,12 @@ use crate::fault::ResilienceConfig;
 use crate::mix::Mix;
 use dynamid_core::{Application, Middleware, SessionData};
 use dynamid_sim::{
-    AbortReason, Driver, ErrorCounters, JobAborted, JobDone, LatencyHistogram, SimDuration, SimRng,
-    SimTime, Simulation, WindowSnapshot,
+    AbortReason, Activity, Driver, ErrorCounters, JobAborted, JobDone, JobId, LatencyHistogram,
+    SimDuration, SimRng, SimTime, Simulation, WindowSnapshot,
 };
 use dynamid_sqldb::{Database, TxnLog};
-use std::collections::BTreeMap;
+use dynamid_trace::{IntervalKind, JobRecord, RawInterval, SpanDef, TraceCapture};
+use std::collections::{BTreeMap, HashMap};
 
 /// Timer token marking the start of the measurement window.
 const TOKEN_WINDOW_START: u64 = u64::MAX;
@@ -232,6 +233,22 @@ struct ClientState {
     pending_txn: Option<(u64, TxnLog)>,
 }
 
+/// Span bookkeeping for traced runs: the span trees of jobs still in
+/// flight, and the completed-job records in completion order (which is
+/// engine event order, hence deterministic).
+#[derive(Debug, Default)]
+struct TraceState {
+    pending: HashMap<JobId, PendingSpans>,
+    jobs: Vec<JobRecord>,
+}
+
+#[derive(Debug)]
+struct PendingSpans {
+    client: u64,
+    interaction: usize,
+    spans: Vec<SpanDef>,
+}
+
 /// The [`Driver`] implementation that emulates the client population.
 pub struct WorkloadDriver<'a> {
     app: &'a dyn Application,
@@ -248,6 +265,8 @@ pub struct WorkloadDriver<'a> {
     /// Global transaction begin-sequence counter (orders end-of-run unwind).
     txn_seq: u64,
     ledger: CommitLedger,
+    /// Present only when the middleware was installed with tracing on.
+    trace: Option<TraceState>,
 }
 
 impl std::fmt::Debug for WorkloadDriver<'_> {
@@ -315,6 +334,7 @@ impl<'a> WorkloadDriver<'a> {
             resources: ResourceWindow::default(),
             txn_seq: 0,
             ledger: CommitLedger::default(),
+            trace: middleware.tracing().then(TraceState::default),
         }
     }
 
@@ -339,6 +359,53 @@ impl<'a> WorkloadDriver<'a> {
     /// [`rollback_in_flight`](Self::rollback_in_flight)).
     pub fn ledger(&self) -> &CommitLedger {
         &self.ledger
+    }
+
+    /// Assembles the run's [`TraceCapture`] (traced runs only, else
+    /// `None`): drains the engine's op intervals, resolves machine and
+    /// lock/semaphore names so the capture is self-contained, and pairs the
+    /// intervals with the completed requests' span trees.
+    pub fn take_trace(&mut self, sim: &mut Simulation) -> Option<TraceCapture> {
+        let ts = self.trace.take()?;
+        let machines: Vec<String> = (0..sim.machine_count() as u32)
+            .map(|i| sim.machine_name(dynamid_sim::MachineId(i)).to_string())
+            .collect();
+        let interactions: Vec<String> =
+            self.app.interactions().iter().map(|s| s.name.to_string()).collect();
+        let intervals: Vec<RawInterval> = sim
+            .take_op_intervals()
+            .into_iter()
+            .map(|iv| RawInterval {
+                job: iv.job.0,
+                op_index: iv.op_index,
+                kind: match iv.activity {
+                    Activity::Cpu { machine, demand_micros } => {
+                        IntervalKind::Cpu { machine: machine.0, demand_micros }
+                    }
+                    Activity::Net { from, to, bytes } => {
+                        IntervalKind::Net { from: from.0, to: to.0, bytes }
+                    }
+                    Activity::Delay => IntervalKind::Delay,
+                    Activity::LockWait { lock } => {
+                        IntervalKind::LockWait { name: sim.lock_name(lock).to_string() }
+                    }
+                    Activity::SemWait { sem } => {
+                        IntervalKind::SemWait { name: sim.semaphore_name(sem).to_string() }
+                    }
+                },
+                start_us: iv.start.as_micros(),
+                end_us: iv.end.as_micros(),
+            })
+            .collect();
+        let (w0, w1) = self.window;
+        Some(TraceCapture {
+            machines,
+            interactions,
+            window_start_us: w0.as_micros(),
+            window_end_us: w1.as_micros(),
+            jobs: ts.jobs,
+            intervals,
+        })
     }
 
     /// Rolls back every transaction still in flight when the simulation
@@ -400,13 +467,15 @@ impl<'a> WorkloadDriver<'a> {
         if now >= w0 && now < w1 {
             self.metrics.offered += 1;
         }
-        match self.cfg.resilience.request_timeout {
-            Some(deadline) => {
-                sim.submit_with_deadline(prep.trace, client_id as u64, deadline);
-            }
-            None => {
-                sim.submit(prep.trace, client_id as u64);
-            }
+        let job = match self.cfg.resilience.request_timeout {
+            Some(deadline) => sim.submit_with_deadline(prep.trace, client_id as u64, deadline),
+            None => sim.submit(prep.trace, client_id as u64),
+        };
+        if let Some(ts) = &mut self.trace {
+            ts.pending.insert(
+                job,
+                PendingSpans { client: client_id as u64, interaction: id, spans: prep.spans },
+            );
         }
     }
 
@@ -465,6 +534,18 @@ impl Driver for WorkloadDriver<'_> {
         if let Some((_, log)) = self.clients[client_id].pending_txn.take() {
             self.ledger.record_commit(self.clients[client_id].current, &log);
         }
+        if let Some(ts) = &mut self.trace {
+            if let Some(p) = ts.pending.remove(&done.id) {
+                ts.jobs.push(JobRecord {
+                    job: done.id.0,
+                    client: p.client,
+                    interaction: p.interaction,
+                    submitted_us: done.submitted.as_micros(),
+                    completed_us: done.completed.as_micros(),
+                    spans: p.spans,
+                });
+            }
+        }
         let (w0, w1) = self.window;
         if done.completed >= w0 && done.completed < w1 {
             self.metrics.completed += 1;
@@ -509,6 +590,12 @@ impl Driver for WorkloadDriver<'_> {
         if let Some((_, log)) = self.clients[client_id].pending_txn.take() {
             self.db.apply_rollback(log);
             self.ledger.rolled_back += 1;
+        }
+        // An aborted request never completed: its span tree is dropped (the
+        // engine likewise discards its half-open interval), though its
+        // finished intervals still count toward machine load.
+        if let Some(ts) = &mut self.trace {
+            ts.pending.remove(&info.id);
         }
         let (w0, w1) = self.window;
         let in_window = info.aborted >= w0 && info.aborted < w1;

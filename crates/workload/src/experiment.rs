@@ -4,13 +4,16 @@
 use crate::driver::{
     CommitLedger, ResourceWindow, WorkloadConfig, WorkloadDriver, WorkloadMetrics,
 };
-use crate::fault::ChaosOptions;
+use crate::fault::{ChaosOptions, FaultSpec, ResilienceConfig};
 use crate::mix::Mix;
-use dynamid_core::{Application, CostModel, Middleware, StandardConfig};
+use dynamid_core::{
+    AdmissionControl, Application, CostModel, InstallOptions, Middleware, StandardConfig,
+};
 use dynamid_sim::{
     EngineStats, ErrorCounters, GrantPolicy, LockStats, SimDuration, SimTime, Simulation,
 };
 use dynamid_sqldb::Database;
+use dynamid_trace::TraceCapture;
 
 /// One-way LAN latency between the paper's machines (switched 100 Mb/s
 /// Ethernet).
@@ -50,6 +53,8 @@ pub struct ExperimentResult {
     /// still in flight at the horizon were rolled back before this was
     /// taken, so the final database equals "initial + committed".
     pub ledger: CommitLedger,
+    /// Span trace of the run, present only when the spec enabled tracing.
+    pub trace: Option<TraceCapture>,
 }
 
 impl ExperimentResult {
@@ -65,11 +70,188 @@ impl ExperimentResult {
     }
 }
 
+/// Builder for one experiment run — the single entry point subsuming the
+/// old `run_experiment` / `run_experiment_with_policy` /
+/// `run_experiment_chaos` family and the middleware `install` duality.
+///
+/// Defaults reproduce the paper's setup: default cost model, default lock
+/// grant policy, no faults, no admission control, patient clients, and no
+/// tracing. Every knob is an orthogonal builder method:
+///
+/// ```ignore
+/// let result = ExperimentSpec::for_config(StandardConfig::EjbFourTier)
+///     .mix(&mix)
+///     .workload(WorkloadConfig::new(100))
+///     .tracing(true)
+///     .run(&mut db, &app);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ExperimentSpec<'a> {
+    config: StandardConfig,
+    costs: CostModel,
+    mix: Option<&'a Mix>,
+    workload: WorkloadConfig,
+    policy: GrantPolicy,
+    chaos: ChaosOptions,
+    tracing: bool,
+}
+
+impl<'a> ExperimentSpec<'a> {
+    /// Starts a spec for one deployment configuration with paper defaults
+    /// (10 clients until [`workload`](Self::workload) overrides it).
+    pub fn for_config(config: StandardConfig) -> Self {
+        ExperimentSpec {
+            config,
+            costs: CostModel::default(),
+            mix: None,
+            workload: WorkloadConfig::new(10),
+            policy: GrantPolicy::default(),
+            chaos: ChaosOptions::default(),
+            tracing: false,
+        }
+    }
+
+    /// The interaction mix clients draw from (required before `run`).
+    pub fn mix(mut self, mix: &'a Mix) -> Self {
+        self.mix = Some(mix);
+        self
+    }
+
+    /// Overrides the cost model.
+    pub fn costs(mut self, costs: CostModel) -> Self {
+        self.costs = costs;
+        self
+    }
+
+    /// Client population and phase structure.
+    pub fn workload(mut self, workload: WorkloadConfig) -> Self {
+        self.workload = workload;
+        self
+    }
+
+    /// Lock grant policy for the simulation.
+    pub fn policy(mut self, policy: GrantPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Client-side timeout/retry policy (overrides the workload's).
+    pub fn resilience(mut self, resilience: ResilienceConfig) -> Self {
+        self.workload.resilience = resilience;
+        self
+    }
+
+    /// Fault injection compiled against the deployment's server machines.
+    pub fn faults(mut self, faults: FaultSpec) -> Self {
+        self.chaos.faults = Some(faults);
+        self
+    }
+
+    /// Admission-control limits (bounded accept queue, DB connection pool).
+    pub fn admission(mut self, admission: AdmissionControl) -> Self {
+        self.chaos.admission = admission;
+        self
+    }
+
+    /// Both chaos knobs at once (faults + admission).
+    pub fn chaos(mut self, chaos: ChaosOptions) -> Self {
+        self.chaos = chaos;
+        self
+    }
+
+    /// Record span traces: the result's [`trace`](ExperimentResult::trace)
+    /// is populated with every completed request's span tree and the
+    /// engine's timed op intervals. Recording is purely observational — the
+    /// event stream, metrics, and figures are bit-identical either way.
+    pub fn tracing(mut self, on: bool) -> Self {
+        self.tracing = on;
+        self
+    }
+
+    /// Runs the experiment: installs the deployment, runs the client
+    /// population through its phases, unwinds in-flight transactions, and
+    /// reports the paper's metrics (plus the trace, when enabled).
+    ///
+    /// # Panics
+    ///
+    /// Panics when no mix was set or the simulation fails.
+    pub fn run(&self, db: &mut Database, app: &dyn Application) -> ExperimentResult {
+        let mix = self.mix.expect("ExperimentSpec::mix must be set before run()");
+        let config = self.config;
+        let workload = self.workload.clone();
+        let mut sim = Simulation::with_policy(LAN_LATENCY, self.policy);
+        if self.tracing {
+            sim.enable_tracing();
+        }
+        let middleware = Middleware::install_opts(
+            &mut sim,
+            config,
+            db,
+            app,
+            self.costs.clone(),
+            InstallOptions { admission: self.chaos.admission, tracing: self.tracing },
+        );
+        let total = workload.total();
+        if let Some(spec) = self.chaos.faults {
+            if !spec.is_trivial() {
+                let m = *middleware.deployment().machines();
+                let mut servers = vec![m.web];
+                if let Some(s) = m.servlet {
+                    if s != m.web {
+                        servers.push(s);
+                    }
+                }
+                if let Some(e) = m.ejb {
+                    servers.push(e);
+                }
+                servers.push(m.db);
+                sim.install_faults(spec.compile(&servers, total));
+            }
+        }
+        let measure = workload.measure;
+        let clients = workload.clients;
+        let mut driver = WorkloadDriver::start(&mut sim, app, mix, &middleware, db, workload);
+        sim.run(SimTime::ZERO + total, &mut driver).unwrap_or_else(|e| {
+            panic!("simulation failed ({config}, {clients} clients): {e}");
+        });
+
+        // Crash-consistent unwind: jobs still in flight at the horizon never
+        // completed, so their transactions roll back (newest-first).
+        driver.rollback_in_flight();
+        let trace = driver.take_trace(&mut sim);
+        let ledger = driver.ledger().clone();
+        let metrics = driver.metrics().clone();
+        let resources = driver.resources().clone();
+        let throughput_ipm = metrics.throughput_ipm(measure);
+        let offered_ipm = metrics.offered_ipm(measure);
+        let goodput_ipm = metrics.goodput_ipm(measure);
+        let latency_p99 = metrics.latency.quantile(0.99);
+        let errors = metrics.errors_detail;
+        ExperimentResult {
+            config,
+            clients,
+            throughput_ipm,
+            metrics,
+            resources,
+            lock_stats: sim.total_lock_stats(),
+            events: sim.stats().events,
+            engine: sim.stats(),
+            errors,
+            offered_ipm,
+            goodput_ipm,
+            latency_p99,
+            ledger,
+            trace,
+        }
+    }
+}
+
 /// Runs one experiment: a fresh `db`, the given application and mix, one
 /// deployment configuration, and one client population.
 ///
 /// The database is consumed because the run mutates it (this mirrors the
 /// paper's procedure of reloading the database between runs).
+#[deprecated(since = "0.2.0", note = "use `ExperimentSpec::for_config(..).mix(..).run(..)`")]
 pub fn run_experiment(
     mut db: Database,
     app: &dyn Application,
@@ -78,11 +260,12 @@ pub fn run_experiment(
     costs: CostModel,
     workload: WorkloadConfig,
 ) -> ExperimentResult {
-    run_experiment_with_policy(&mut db, app, mix, config, costs, workload, GrantPolicy::default())
+    ExperimentSpec::for_config(config).mix(mix).costs(costs).workload(workload).run(&mut db, app)
 }
 
-/// Like [`run_experiment`] but with an explicit lock grant policy and a
+/// Like `run_experiment` but with an explicit lock grant policy and a
 /// borrowed database (inspectable afterwards).
+#[deprecated(since = "0.2.0", note = "use `ExperimentSpec::for_config(..).policy(..).run(..)`")]
 pub fn run_experiment_with_policy(
     db: &mut Database,
     app: &dyn Application,
@@ -92,17 +275,17 @@ pub fn run_experiment_with_policy(
     workload: WorkloadConfig,
     policy: GrantPolicy,
 ) -> ExperimentResult {
-    run_experiment_chaos(db, app, mix, config, costs, workload, policy, ChaosOptions::default())
+    ExperimentSpec::for_config(config)
+        .mix(mix)
+        .costs(costs)
+        .workload(workload)
+        .policy(policy)
+        .run(db, app)
 }
 
-/// Like [`run_experiment_with_policy`] but with fault injection and
-/// admission control: compiles `chaos.faults` against the deployment's
-/// server machines over the run's horizon, installs the admission limits,
-/// and reports the failure taxonomy alongside the paper's metrics.
-///
-/// With `ChaosOptions::default()` (and a default-resilience workload) the
-/// event stream is bit-identical to [`run_experiment_with_policy`]: no
-/// fault state is installed and no deadline events are scheduled.
+/// Like `run_experiment_with_policy` but with fault injection and
+/// admission control.
+#[deprecated(since = "0.2.0", note = "use `ExperimentSpec::for_config(..).chaos(..).run(..)`")]
 #[allow(clippy::too_many_arguments)]
 pub fn run_experiment_chaos(
     db: &mut Database,
@@ -114,59 +297,13 @@ pub fn run_experiment_chaos(
     policy: GrantPolicy,
     chaos: ChaosOptions,
 ) -> ExperimentResult {
-    let mut sim = Simulation::with_policy(LAN_LATENCY, policy);
-    let middleware =
-        Middleware::install_with_admission(&mut sim, config, db, app, costs, chaos.admission);
-    let total = workload.total();
-    if let Some(spec) = chaos.faults {
-        if !spec.is_trivial() {
-            let m = *middleware.deployment().machines();
-            let mut servers = vec![m.web];
-            if let Some(s) = m.servlet {
-                if s != m.web {
-                    servers.push(s);
-                }
-            }
-            if let Some(e) = m.ejb {
-                servers.push(e);
-            }
-            servers.push(m.db);
-            sim.install_faults(spec.compile(&servers, total));
-        }
-    }
-    let measure = workload.measure;
-    let clients = workload.clients;
-    let mut driver = WorkloadDriver::start(&mut sim, app, mix, &middleware, db, workload);
-    sim.run(SimTime::ZERO + total, &mut driver).unwrap_or_else(|e| {
-        panic!("simulation failed ({config}, {clients} clients): {e}");
-    });
-
-    // Crash-consistent unwind: jobs still in flight at the horizon never
-    // completed, so their transactions roll back (newest-first).
-    driver.rollback_in_flight();
-    let ledger = driver.ledger().clone();
-    let metrics = driver.metrics().clone();
-    let resources = driver.resources().clone();
-    let throughput_ipm = metrics.throughput_ipm(measure);
-    let offered_ipm = metrics.offered_ipm(measure);
-    let goodput_ipm = metrics.goodput_ipm(measure);
-    let latency_p99 = metrics.latency.quantile(0.99);
-    let errors = metrics.errors_detail;
-    ExperimentResult {
-        config,
-        clients,
-        throughput_ipm,
-        metrics,
-        resources,
-        lock_stats: sim.total_lock_stats(),
-        events: sim.stats().events,
-        engine: sim.stats(),
-        errors,
-        offered_ipm,
-        goodput_ipm,
-        latency_p99,
-        ledger,
-    }
+    ExperimentSpec::for_config(config)
+        .mix(mix)
+        .costs(costs)
+        .workload(workload)
+        .policy(policy)
+        .chaos(chaos)
+        .run(db, app)
 }
 
 #[cfg(test)]
@@ -282,14 +419,12 @@ mod tests {
 
     #[test]
     fn experiment_produces_throughput_and_utilization() {
-        let r = run_experiment(
-            mini_db(),
-            &MiniApp,
-            &mini_mix(),
-            StandardConfig::PhpColocated,
-            CostModel::default(),
-            quick(20),
-        );
+        let mix = mini_mix();
+        let mut db = mini_db();
+        let r = ExperimentSpec::for_config(StandardConfig::PhpColocated)
+            .mix(&mix)
+            .workload(quick(20))
+            .run(&mut db, &MiniApp);
         assert!(r.throughput_ipm > 0.0, "no throughput: {r:?}");
         assert!(r.metrics.completed > 0);
         assert_eq!(r.metrics.error_rate(), 0.0);
@@ -303,15 +438,13 @@ mod tests {
 
     #[test]
     fn all_configs_run_the_mini_app() {
+        let mix = mini_mix();
         for config in StandardConfig::ALL {
-            let r = run_experiment(
-                mini_db(),
-                &MiniApp,
-                &mini_mix(),
-                config,
-                CostModel::default(),
-                quick(10),
-            );
+            let mut db = mini_db();
+            let r = ExperimentSpec::for_config(config)
+                .mix(&mix)
+                .workload(quick(10))
+                .run(&mut db, &MiniApp);
             assert!(r.throughput_ipm > 0.0, "{config} produced nothing");
             assert_eq!(r.metrics.error_rate(), 0.0, "{config} errored");
         }
@@ -319,15 +452,13 @@ mod tests {
 
     #[test]
     fn determinism_same_seed_same_result() {
+        let mix = mini_mix();
         let run = || {
-            run_experiment(
-                mini_db(),
-                &MiniApp,
-                &mini_mix(),
-                StandardConfig::ServletColocated,
-                CostModel::default(),
-                quick(10),
-            )
+            let mut db = mini_db();
+            ExperimentSpec::for_config(StandardConfig::ServletColocated)
+                .mix(&mix)
+                .workload(quick(10))
+                .run(&mut db, &MiniApp)
         };
         let a = run();
         let b = run();
@@ -338,22 +469,16 @@ mod tests {
 
     #[test]
     fn more_clients_more_throughput_until_saturation() {
-        let few = run_experiment(
-            mini_db(),
-            &MiniApp,
-            &mini_mix(),
-            StandardConfig::PhpColocated,
-            CostModel::default(),
-            quick(5),
-        );
-        let many = run_experiment(
-            mini_db(),
-            &MiniApp,
-            &mini_mix(),
-            StandardConfig::PhpColocated,
-            CostModel::default(),
-            quick(50),
-        );
+        let mix = mini_mix();
+        let at = |clients: usize| {
+            let mut db = mini_db();
+            ExperimentSpec::for_config(StandardConfig::PhpColocated)
+                .mix(&mix)
+                .workload(quick(clients))
+                .run(&mut db, &MiniApp)
+        };
+        let few = at(5);
+        let many = at(50);
         assert!(
             many.throughput_ipm > few.throughput_ipm * 2.0,
             "few={} many={}",
@@ -364,16 +489,12 @@ mod tests {
 
     #[test]
     fn database_state_reflects_the_run() {
+        let mix = mini_mix();
         let mut db = mini_db();
-        let _ = run_experiment_with_policy(
-            &mut db,
-            &MiniApp,
-            &mini_mix(),
-            StandardConfig::PhpColocated,
-            CostModel::default(),
-            quick(10),
-            GrantPolicy::default(),
-        );
+        let _ = ExperimentSpec::for_config(StandardConfig::PhpColocated)
+            .mix(&mix)
+            .workload(quick(10))
+            .run(&mut db, &MiniApp);
         let total = db.execute("SELECT SUM(v) FROM counters", &[]).unwrap();
         // Some writes happened.
         assert!(total.rows[0][0].as_int().unwrap() > 0);
@@ -381,36 +502,28 @@ mod tests {
 
     #[test]
     fn chaos_run_is_deterministic_and_balanced() {
-        use crate::fault::{ChaosOptions, FaultSpec, ResilienceConfig};
+        use crate::fault::FaultSpec;
         use dynamid_core::AdmissionControl;
 
+        let mix = mini_mix();
         let run = || {
             let mut db = mini_db();
-            let mut cfg = quick(25);
-            cfg.resilience = ResilienceConfig {
-                request_timeout: Some(SimDuration::from_secs(2)),
-                max_retries: 2,
-                backoff_base: SimDuration::from_millis(100),
-                backoff_cap: SimDuration::from_secs(1),
-            };
-            let chaos = ChaosOptions {
-                faults: Some(FaultSpec::at_intensity(13, 0.8)),
-                admission: AdmissionControl {
+            ExperimentSpec::for_config(StandardConfig::ServletDedicated)
+                .mix(&mix)
+                .workload(quick(25))
+                .resilience(ResilienceConfig {
+                    request_timeout: Some(SimDuration::from_secs(2)),
+                    max_retries: 2,
+                    backoff_base: SimDuration::from_millis(100),
+                    backoff_cap: SimDuration::from_secs(1),
+                })
+                .faults(FaultSpec::at_intensity(13, 0.8))
+                .admission(AdmissionControl {
                     web_accept_queue: Some(8),
                     db_connections: Some(4),
                     db_accept_queue: Some(2),
-                },
-            };
-            run_experiment_chaos(
-                &mut db,
-                &MiniApp,
-                &mini_mix(),
-                StandardConfig::ServletDedicated,
-                CostModel::default(),
-                cfg,
-                GrantPolicy::default(),
-                chaos,
-            )
+                })
+                .run(&mut db, &MiniApp)
         };
         let a = run();
         // Conservation: every submission is accounted once. Jobs still in
@@ -439,37 +552,29 @@ mod tests {
 
     #[test]
     fn aborted_transactions_leave_db_equal_to_committed_ledger_replay() {
-        use crate::fault::{ChaosOptions, FaultSpec, ResilienceConfig};
+        use crate::fault::FaultSpec;
         use dynamid_core::AdmissionControl;
 
         // A hostile run: crashes, transient faults, deadlines, and a tight
         // DB admission queue guarantee plenty of mid-transaction aborts.
+        let mix = mini_mix();
         let mut db = mini_db();
-        let mut cfg = quick(25);
-        cfg.resilience = ResilienceConfig {
-            request_timeout: Some(SimDuration::from_secs(2)),
-            max_retries: 2,
-            backoff_base: SimDuration::from_millis(100),
-            backoff_cap: SimDuration::from_secs(1),
-        };
-        let chaos = ChaosOptions {
-            faults: Some(FaultSpec::at_intensity(13, 0.8)),
-            admission: AdmissionControl {
+        let r = ExperimentSpec::for_config(StandardConfig::ServletDedicated)
+            .mix(&mix)
+            .workload(quick(25))
+            .resilience(ResilienceConfig {
+                request_timeout: Some(SimDuration::from_secs(2)),
+                max_retries: 2,
+                backoff_base: SimDuration::from_millis(100),
+                backoff_cap: SimDuration::from_secs(1),
+            })
+            .faults(FaultSpec::at_intensity(13, 0.8))
+            .admission(AdmissionControl {
                 web_accept_queue: Some(8),
                 db_connections: Some(4),
                 db_accept_queue: Some(2),
-            },
-        };
-        let r = run_experiment_chaos(
-            &mut db,
-            &MiniApp,
-            &mini_mix(),
-            StandardConfig::ServletDedicated,
-            CostModel::default(),
-            cfg,
-            GrantPolicy::default(),
-            chaos,
-        );
+            })
+            .run(&mut db, &MiniApp);
         assert!(r.engine.aborted > 0, "no aborts — the property would be vacuous");
         assert!(r.ledger.rolled_back > 0, "aborted jobs must roll back");
         assert!(r.ledger.committed > 0, "some jobs must still commit");
@@ -498,27 +603,18 @@ mod tests {
 
     #[test]
     fn healthy_chaos_options_match_plain_run() {
+        let mix = mini_mix();
         let mut db1 = mini_db();
-        let plain = run_experiment_with_policy(
-            &mut db1,
-            &MiniApp,
-            &mini_mix(),
-            StandardConfig::PhpColocated,
-            CostModel::default(),
-            quick(10),
-            GrantPolicy::default(),
-        );
+        let plain = ExperimentSpec::for_config(StandardConfig::PhpColocated)
+            .mix(&mix)
+            .workload(quick(10))
+            .run(&mut db1, &MiniApp);
         let mut db2 = mini_db();
-        let chaos = run_experiment_chaos(
-            &mut db2,
-            &MiniApp,
-            &mini_mix(),
-            StandardConfig::PhpColocated,
-            CostModel::default(),
-            quick(10),
-            GrantPolicy::default(),
-            crate::fault::ChaosOptions::default(),
-        );
+        let chaos = ExperimentSpec::for_config(StandardConfig::PhpColocated)
+            .mix(&mix)
+            .workload(quick(10))
+            .chaos(crate::fault::ChaosOptions::default())
+            .run(&mut db2, &MiniApp);
         assert_eq!(plain.events, chaos.events, "trivial chaos must not perturb the event stream");
         assert_eq!(plain.metrics.completed, chaos.metrics.completed);
         assert_eq!(plain.throughput_ipm, chaos.throughput_ipm);
@@ -527,40 +623,106 @@ mod tests {
         assert_eq!(chaos.engine.aborted, 0);
     }
 
+    /// The deprecated `run_experiment*` wrappers must stay bit-identical to
+    /// the [`ExperimentSpec`] path they delegate to.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_spec() {
+        let mix = mini_mix();
+        let mut db1 = mini_db();
+        let via_spec = ExperimentSpec::for_config(StandardConfig::ServletColocated)
+            .mix(&mix)
+            .workload(quick(10))
+            .run(&mut db1, &MiniApp);
+        let via_consuming = run_experiment(
+            mini_db(),
+            &MiniApp,
+            &mix,
+            StandardConfig::ServletColocated,
+            CostModel::default(),
+            quick(10),
+        );
+        let mut db3 = mini_db();
+        let via_policy = run_experiment_with_policy(
+            &mut db3,
+            &MiniApp,
+            &mix,
+            StandardConfig::ServletColocated,
+            CostModel::default(),
+            quick(10),
+            GrantPolicy::default(),
+        );
+        let mut db4 = mini_db();
+        let via_chaos = run_experiment_chaos(
+            &mut db4,
+            &MiniApp,
+            &mix,
+            StandardConfig::ServletColocated,
+            CostModel::default(),
+            quick(10),
+            GrantPolicy::default(),
+            crate::fault::ChaosOptions::default(),
+        );
+        for other in [&via_consuming, &via_policy, &via_chaos] {
+            assert_eq!(via_spec.events, other.events);
+            assert_eq!(via_spec.metrics.completed, other.metrics.completed);
+            assert_eq!(via_spec.metrics.latency, other.metrics.latency);
+            assert_eq!(via_spec.throughput_ipm, other.throughput_ipm);
+            assert_eq!(via_spec.engine, other.engine);
+        }
+    }
+
+    #[test]
+    fn tracing_captures_spans_without_perturbing_the_run() {
+        let mix = mini_mix();
+        let mut db1 = mini_db();
+        let plain = ExperimentSpec::for_config(StandardConfig::ServletDedicated)
+            .mix(&mix)
+            .workload(quick(10))
+            .run(&mut db1, &MiniApp);
+        let mut db2 = mini_db();
+        let traced = ExperimentSpec::for_config(StandardConfig::ServletDedicated)
+            .mix(&mix)
+            .workload(quick(10))
+            .tracing(true)
+            .run(&mut db2, &MiniApp);
+        // Observational: the event stream and metrics are bit-identical.
+        assert_eq!(plain.events, traced.events);
+        assert_eq!(plain.metrics.completed, traced.metrics.completed);
+        assert_eq!(plain.metrics.latency, traced.metrics.latency);
+        assert_eq!(plain.throughput_ipm, traced.throughput_ipm);
+        assert!(plain.trace.is_none());
+        let cap = traced.trace.expect("trace captured");
+        assert_eq!(cap.jobs.len() as u64, traced.engine.completed);
+        assert!(!cap.intervals.is_empty());
+        dynamid_trace::verify_capture(&cap).expect("well-formed capture");
+    }
+
     #[test]
     fn rejected_attempt_is_counted_once_not_as_timeout() {
-        use crate::fault::{ChaosOptions, ResilienceConfig};
         use dynamid_core::AdmissionControl;
 
         // A single DB connection with a zero-length wait queue under many
         // clients forces admission rejects; every client also carries a
         // deadline, so a double-counting bug would tally the same attempt
         // under both `rejects` and `timeouts`.
+        let mix = mini_mix();
         let mut db = mini_db();
-        let mut cfg = quick(40);
-        cfg.resilience = ResilienceConfig {
-            request_timeout: Some(SimDuration::from_secs(5)),
-            max_retries: 0,
-            backoff_base: SimDuration::from_millis(100),
-            backoff_cap: SimDuration::from_secs(1),
-        };
-        let r = run_experiment_chaos(
-            &mut db,
-            &MiniApp,
-            &mini_mix(),
-            StandardConfig::PhpColocated,
-            CostModel::default(),
-            cfg,
-            GrantPolicy::default(),
-            ChaosOptions {
-                faults: None,
-                admission: AdmissionControl {
-                    web_accept_queue: None,
-                    db_connections: Some(1),
-                    db_accept_queue: Some(0),
-                },
-            },
-        );
+        let r = ExperimentSpec::for_config(StandardConfig::PhpColocated)
+            .mix(&mix)
+            .workload(quick(40))
+            .resilience(ResilienceConfig {
+                request_timeout: Some(SimDuration::from_secs(5)),
+                max_retries: 0,
+                backoff_base: SimDuration::from_millis(100),
+                backoff_cap: SimDuration::from_secs(1),
+            })
+            .admission(AdmissionControl {
+                web_accept_queue: None,
+                db_connections: Some(1),
+                db_accept_queue: Some(0),
+            })
+            .run(&mut db, &MiniApp);
         assert!(r.errors.rejects > 0, "overload never tripped admission control: {:?}", r.errors);
         // Every attempt resolves exactly once: good completion or exactly
         // one failure class. Attempts in flight across the window edges can
@@ -584,16 +746,14 @@ mod tests {
     #[test]
     fn window_metrics_exclude_rampdown_only_runs() {
         // With a measurement window of zero length nothing is counted.
+        let mix = mini_mix();
         let mut cfg = quick(5);
         cfg.measure = SimDuration::ZERO;
-        let r = run_experiment(
-            mini_db(),
-            &MiniApp,
-            &mini_mix(),
-            StandardConfig::PhpColocated,
-            CostModel::default(),
-            cfg,
-        );
+        let mut db = mini_db();
+        let r = ExperimentSpec::for_config(StandardConfig::PhpColocated)
+            .mix(&mix)
+            .workload(cfg)
+            .run(&mut db, &MiniApp);
         assert_eq!(r.metrics.completed, 0);
         assert_eq!(r.throughput_ipm, 0.0);
         assert!(r.metrics.submitted_total > 0);

@@ -8,8 +8,10 @@
 //! interactions per minute with per-machine CPU utilization over the
 //! measurement window.
 //!
-//! [`run_experiment`] is the one-call entry point the figure harness and
-//! the examples build on.
+//! [`ExperimentSpec`] is the one-call entry point the figure harness and
+//! the examples build on: a builder covering configuration, cost model,
+//! workload phases, lock policy, fault injection, admission control, and
+//! span tracing.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -20,8 +22,8 @@ pub mod fault;
 pub mod mix;
 
 pub use driver::{CommitLedger, ResourceWindow, WorkloadConfig, WorkloadDriver, WorkloadMetrics};
-pub use experiment::{
-    run_experiment, run_experiment_chaos, run_experiment_with_policy, ExperimentResult, LAN_LATENCY,
-};
+#[allow(deprecated)]
+pub use experiment::{run_experiment, run_experiment_chaos, run_experiment_with_policy};
+pub use experiment::{ExperimentResult, ExperimentSpec, LAN_LATENCY};
 pub use fault::{ChaosOptions, FaultSpec, ResilienceConfig};
 pub use mix::{Mix, TransitionMatrix};

@@ -3,11 +3,11 @@
 //! mixes.
 
 use dynamid_core::{
-    AppResult, Application, CostModel, InteractionSpec, RequestCtx, SessionData, StandardConfig,
+    AppResult, Application, InteractionSpec, RequestCtx, SessionData, StandardConfig,
 };
 use dynamid_sim::{SimDuration, SimRng};
 use dynamid_sqldb::{ColumnType, Database, TableSchema, Value};
-use dynamid_workload::{run_experiment, Mix, TransitionMatrix, WorkloadConfig};
+use dynamid_workload::{ExperimentSpec, Mix, TransitionMatrix, WorkloadConfig};
 use proptest::prelude::*;
 
 /// A two-interaction application with a cheap read and a cheap write.
@@ -104,14 +104,10 @@ proptest! {
             seed,
             resilience: Default::default(),
         };
-        let r = run_experiment(
-            tiny_db(),
-            &TinyApp,
-            &mix,
-            StandardConfig::ServletColocated,
-            CostModel::default(),
-            workload,
-        );
+        let r = ExperimentSpec::for_config(StandardConfig::ServletColocated)
+            .mix(&mix)
+            .workload(workload)
+            .run(&mut tiny_db(), &TinyApp);
         prop_assert!(r.metrics.completed <= r.metrics.submitted_total);
         prop_assert_eq!(r.metrics.error_rate(), 0.0);
         for (name, u) in &r.resources.cpu_util {

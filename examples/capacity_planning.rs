@@ -7,9 +7,9 @@
 //! ```
 
 use dynamid::auction::{build_db, Auction, AuctionScale};
-use dynamid::core::{CostModel, StandardConfig};
+use dynamid::core::StandardConfig;
 use dynamid::sim::SimDuration;
-use dynamid::workload::{run_experiment, WorkloadConfig};
+use dynamid::workload::{ExperimentSpec, WorkloadConfig};
 
 fn main() {
     let scale = AuctionScale::scaled(0.02);
@@ -25,7 +25,7 @@ fn main() {
 
     let mut last_ipm = 0.0;
     for clients in [25, 50, 100, 200, 400, 800] {
-        let db = build_db(&scale, 9).expect("population");
+        let mut db = build_db(&scale, 9).expect("population");
         let workload = WorkloadConfig {
             clients,
             think_time: SimDuration::from_secs(1),
@@ -36,7 +36,7 @@ fn main() {
             seed: 42,
             resilience: Default::default(),
         };
-        let r = run_experiment(db, &app, &mix, config, CostModel::default(), workload);
+        let r = ExperimentSpec::for_config(config).mix(&mix).workload(workload).run(&mut db, &app);
         println!(
             "{:>8} {:>10.0} {:>7.0}% {:>9.0}% {:>12.1}",
             clients,

@@ -12,9 +12,9 @@
 //! ```
 
 use dynamid::bookstore::{build_db, Bookstore, BookstoreScale};
-use dynamid::core::{CostModel, StandardConfig};
+use dynamid::core::StandardConfig;
 use dynamid::sim::SimDuration;
-use dynamid::workload::{run_experiment, WorkloadConfig};
+use dynamid::workload::{ExperimentSpec, WorkloadConfig};
 
 fn main() {
     let scale = BookstoreScale::scaled(0.05);
@@ -38,8 +38,11 @@ fn main() {
         "configuration", "ipm", "db%", "lock waits (s)", "contended acq"
     );
     for config in [StandardConfig::ServletColocated, StandardConfig::ServletColocatedSync] {
-        let db = build_db(&scale, 3).expect("population");
-        let r = run_experiment(db, &app, &mix, config, CostModel::default(), workload.clone());
+        let mut db = build_db(&scale, 3).expect("population");
+        let r = ExperimentSpec::for_config(config)
+            .mix(&mix)
+            .workload(workload.clone())
+            .run(&mut db, &app);
         println!(
             "{:<22} {:>9.0} {:>5.0}% {:>16.1} {:>14}",
             config.paper_name(),

@@ -13,9 +13,9 @@
 //! ```
 
 use dynamid::bookstore::{build_db, Bookstore, BookstoreScale};
-use dynamid::core::{CostModel, StandardConfig};
+use dynamid::core::StandardConfig;
 use dynamid::sim::{GrantPolicy, SimDuration};
-use dynamid::workload::{run_experiment_with_policy, WorkloadConfig};
+use dynamid::workload::{ExperimentSpec, WorkloadConfig};
 
 fn main() {
     let scale = BookstoreScale::scaled(0.05);
@@ -38,15 +38,11 @@ fn main() {
         [("writer priority (MyISAM)", GrantPolicy::WriterPriority), ("FIFO", GrantPolicy::Fifo)]
     {
         let mut db = build_db(&scale, 3).expect("population");
-        let r = run_experiment_with_policy(
-            &mut db,
-            &app,
-            &mix,
-            StandardConfig::ServletColocated,
-            CostModel::default(),
-            workload.clone(),
-            policy,
-        );
+        let r = ExperimentSpec::for_config(StandardConfig::ServletColocated)
+            .mix(&mix)
+            .workload(workload.clone())
+            .policy(policy)
+            .run(&mut db, &app);
         println!(
             "{:<28} {:>9.0} {:>8.0}% {:>16.1}",
             name,

@@ -6,9 +6,9 @@
 //! ```
 
 use dynamid::auction::{build_db, Auction, AuctionScale};
-use dynamid::core::{CostModel, StandardConfig};
+use dynamid::core::StandardConfig;
 use dynamid::sim::SimDuration;
-use dynamid::workload::{run_experiment, WorkloadConfig};
+use dynamid::workload::{ExperimentSpec, WorkloadConfig};
 
 fn main() {
     // A small population so the example finishes in seconds; the harness
@@ -31,8 +31,11 @@ fn main() {
     println!("auction site, bidding mix, {} clients\n", workload.clients);
     println!("{:<22} {:>10} {:>8} {:>8} {:>8}", "configuration", "ipm", "web%", "gen%", "db%");
     for config in StandardConfig::ALL {
-        let db = build_db(&scale, 1).expect("population");
-        let r = run_experiment(db, &app, &mix, config, CostModel::default(), workload.clone());
+        let mut db = build_db(&scale, 1).expect("population");
+        let r = ExperimentSpec::for_config(config)
+            .mix(&mix)
+            .workload(workload.clone())
+            .run(&mut db, &app);
         // "gen" is the generator machine: the servlet or EJB box when
         // dedicated, otherwise the web machine itself.
         let gen = r

@@ -31,6 +31,17 @@ for fig in fig05 fig11; do
     || { echo "FAIL: $fig.csv drifted from results/golden/$fig.csv" >&2; exit 1; }
 done
 
+echo "== traced runs: bottleneck reports byte-identical to results/golden"
+# `repro trace` also cross-checks trace-derived CPU utilization against the
+# PS counters (1% gate) and fails nonzero on any span-tree violation.
+cargo run --release -q -p dynamid-harness --bin repro -- \
+  --fast --quiet --jobs 4 --seed 42 --scale 0.1 \
+  --clients 15 --measure 4 --out "$golden_tmp" trace fig05 --config C1,C6 >/dev/null
+for config in C1 C6; do
+  cmp "results/golden/bottleneck_fig05_$config.csv" "$golden_tmp/bottleneck_fig05_$config.csv" \
+    || { echo "FAIL: bottleneck_fig05_$config.csv drifted from results/golden/" >&2; exit 1; }
+done
+
 echo "== availability sweep is byte-identical to results/golden (audit runs inside)"
 # Every sweep point ends with the post-run consistency audit; a violation
 # panics the run, so a zero exit here also certifies a clean audit.

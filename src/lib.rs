@@ -19,7 +19,10 @@
 //! * [`http`] — web-server front-end model (Apache-like process pool,
 //!   static assets, AJP/RMI connectors).
 //! * [`core`] — the middleware tiers under test and the six deployments.
-//! * [`workload`] — the client emulator and experiment runner.
+//! * [`trace`] — span-level request tracing: Chrome-trace export and the
+//!   aggregated bottleneck report.
+//! * [`workload`] — the client emulator and experiment runner
+//!   ([`ExperimentSpec`](workload::ExperimentSpec)).
 //! * [`bookstore`] / [`auction`] — the two benchmark applications.
 //! * [`bboard`] — the bulletin-board benchmark the paper's §7 predicts
 //!   results for but does not measure (extension).
@@ -30,28 +33,24 @@
 //!
 //! ```
 //! use dynamid::bookstore::{build_db, Bookstore, BookstoreScale};
-//! use dynamid::core::{CostModel, StandardConfig};
-//! use dynamid::workload::{run_experiment, WorkloadConfig};
+//! use dynamid::core::StandardConfig;
+//! use dynamid::workload::{ExperimentSpec, WorkloadConfig};
 //!
 //! let scale = BookstoreScale::small();
-//! let db = build_db(&scale, 42)?;
+//! let mut db = build_db(&scale, 42)?;
 //! let app = Bookstore::new(scale);
 //! let mix = dynamid::bookstore::mixes::shopping();
-//! let result = run_experiment(
-//!     db,
-//!     &app,
-//!     &mix,
-//!     StandardConfig::PhpColocated,
-//!     CostModel::default(),
-//!     WorkloadConfig {
+//! let result = ExperimentSpec::for_config(StandardConfig::PhpColocated)
+//!     .mix(&mix)
+//!     .workload(WorkloadConfig {
 //!         clients: 10,
 //!         ramp_up: dynamid::sim::SimDuration::from_secs(2),
 //!         measure: dynamid::sim::SimDuration::from_secs(10),
 //!         ramp_down: dynamid::sim::SimDuration::from_secs(1),
 //!         think_time: dynamid::sim::SimDuration::from_millis(500),
 //!         ..WorkloadConfig::new(10)
-//!     },
-//! );
+//!     })
+//!     .run(&mut db, &app);
 //! assert!(result.throughput_ipm > 0.0);
 //! # Ok::<(), dynamid::sqldb::SqlError>(())
 //! ```
@@ -66,4 +65,5 @@ pub use dynamid_harness as harness;
 pub use dynamid_http as http;
 pub use dynamid_sim as sim;
 pub use dynamid_sqldb as sqldb;
+pub use dynamid_trace as trace;
 pub use dynamid_workload as workload;

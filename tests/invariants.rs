@@ -5,10 +5,10 @@
 
 use dynamid::auction::{Auction, AuctionScale};
 use dynamid::bookstore::{Bookstore, BookstoreScale};
-use dynamid::core::{CostModel, StandardConfig};
-use dynamid::sim::{GrantPolicy, SimDuration};
+use dynamid::core::StandardConfig;
+use dynamid::sim::SimDuration;
 use dynamid::sqldb::{Database, Value};
-use dynamid::workload::{run_experiment_with_policy, WorkloadConfig};
+use dynamid::workload::{ExperimentSpec, WorkloadConfig};
 
 fn load(clients: usize, seed: u64) -> WorkloadConfig {
     WorkloadConfig {
@@ -35,15 +35,8 @@ fn bookstore_order_graph_is_consistent_in_every_config() {
     for config in StandardConfig::ALL {
         let mut db = dynamid::bookstore::build_db(&scale, 77).unwrap();
         let before = db.table("orders").unwrap().row_count() as i64;
-        let r = run_experiment_with_policy(
-            &mut db,
-            &app,
-            &mix,
-            config,
-            CostModel::default(),
-            load(60, 99),
-            GrantPolicy::default(),
-        );
+        let r =
+            ExperimentSpec::for_config(config).mix(&mix).workload(load(60, 99)).run(&mut db, &app);
         assert!(r.metrics.completed > 0, "{config}: nothing ran");
         let orders = count(&mut db, "SELECT COUNT(*) FROM orders", &[]);
         assert!(orders > before, "{config}: no orders placed");
@@ -83,15 +76,8 @@ fn auction_bid_summaries_match_bids_table() {
         let mut db = dynamid::auction::build_db(&scale, 31).unwrap();
         // Record pre-existing bid counts (population already skews them).
         let pre_bids = db.table("bids").unwrap().row_count() as i64;
-        let r = run_experiment_with_policy(
-            &mut db,
-            &app,
-            &mix,
-            config,
-            CostModel::default(),
-            load(80, 5),
-            GrantPolicy::default(),
-        );
+        let r =
+            ExperimentSpec::for_config(config).mix(&mix).workload(load(80, 5)).run(&mut db, &app);
         assert!(r.metrics.completed > 0, "{config}");
         let max_pre = pre_bids; // bids are append-only with auto ids
         let new_bids =
@@ -139,15 +125,10 @@ fn comments_always_reference_real_users() {
     let app = Auction::new(scale);
     let mix = dynamid::auction::mixes::bidding();
     let mut db = dynamid::auction::build_db(&scale, 13).unwrap();
-    let _ = run_experiment_with_policy(
-        &mut db,
-        &app,
-        &mix,
-        StandardConfig::ServletColocated,
-        CostModel::default(),
-        load(60, 21),
-        GrantPolicy::default(),
-    );
+    let _ = ExperimentSpec::for_config(StandardConfig::ServletColocated)
+        .mix(&mix)
+        .workload(load(60, 21))
+        .run(&mut db, &app);
     // Join the comments table to users on both endpoints: no orphans.
     let total = count(&mut db, "SELECT COUNT(*) FROM comments", &[]);
     let joined_from = count(

@@ -4,9 +4,9 @@
 
 use dynamid::auction::{Auction, AuctionScale};
 use dynamid::bookstore::{Bookstore, BookstoreScale};
-use dynamid::core::{CostModel, StandardConfig};
+use dynamid::core::StandardConfig;
 use dynamid::sim::SimDuration;
-use dynamid::workload::{run_experiment, ExperimentResult, Mix, WorkloadConfig};
+use dynamid::workload::{ExperimentResult, ExperimentSpec, Mix, WorkloadConfig};
 
 fn quick_load(clients: usize) -> WorkloadConfig {
     WorkloadConfig {
@@ -23,16 +23,16 @@ fn quick_load(clients: usize) -> WorkloadConfig {
 
 fn run_auction(config: StandardConfig, mix: &Mix, clients: usize) -> ExperimentResult {
     let scale = AuctionScale::scaled(0.01);
-    let db = dynamid::auction::build_db(&scale, 5).expect("population");
+    let mut db = dynamid::auction::build_db(&scale, 5).expect("population");
     let app = Auction::new(scale);
-    run_experiment(db, &app, mix, config, CostModel::default(), quick_load(clients))
+    ExperimentSpec::for_config(config).mix(mix).workload(quick_load(clients)).run(&mut db, &app)
 }
 
 fn run_bookstore(config: StandardConfig, mix: &Mix, clients: usize) -> ExperimentResult {
     let scale = BookstoreScale::scaled(0.01);
-    let db = dynamid::bookstore::build_db(&scale, 5).expect("population");
+    let mut db = dynamid::bookstore::build_db(&scale, 5).expect("population");
     let app = Bookstore::new(scale);
-    run_experiment(db, &app, mix, config, CostModel::default(), quick_load(clients))
+    ExperimentSpec::for_config(config).mix(mix).workload(quick_load(clients)).run(&mut db, &app)
 }
 
 /// §6.1: on the auction bidding mix, the front end binds — PHP beats the

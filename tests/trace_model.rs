@@ -1,0 +1,79 @@
+//! Integration tests for the span-tracing model (E17): well-formed span
+//! trees over real benchmark runs, trace-derived CPU attribution agreeing
+//! with the processor-sharing counters within 1% for every configuration,
+//! and byte-identical trace artifacts regardless of repetition or worker
+//! count.
+
+use dynamid::core::StandardConfig;
+use dynamid::harness::{find_figure, run_traced, HarnessConfig};
+use dynamid::trace::verify_capture;
+
+fn trace_cfg(clients: usize) -> HarnessConfig {
+    let mut cfg = HarnessConfig::smoke();
+    cfg.clients = vec![clients];
+    cfg
+}
+
+/// Every one of the paper's six configurations: the span trees of a real
+/// bookstore run are well-formed (balanced, nested in op ranges and wall
+/// clock, CPU demand bounded by wall time), and the per-machine CPU
+/// utilization derived from the trace matches the processor-sharing
+/// counters within 1% absolute — at a load high enough to saturate the
+/// bottleneck tier.
+#[test]
+fn all_configs_pass_span_wellformedness_and_cpu_cross_check() {
+    let pair = find_figure("fig05").unwrap();
+    // 40 clients at 500 ms think time saturates the generator tier at
+    // smoke scale — "peak" in miniature.
+    let cfg = trace_cfg(40);
+    for config in StandardConfig::ALL {
+        let traced = run_traced(pair, config, &cfg);
+        assert!(traced.result.metrics.completed > 0, "{config}: nothing completed");
+        verify_capture(traced.capture()).unwrap_or_else(|e| panic!("{config}: {e}"));
+        traced
+            .report
+            .check_cpu_shares(&traced.result.resources.cpu_util, 0.01)
+            .unwrap_or_else(|e| panic!("{config}: trace vs PS drifted: {e}"));
+    }
+}
+
+/// The trace artifacts are byte-stable: repeated runs at the same seed
+/// and runs under different harness worker counts produce identical
+/// Chrome-trace JSON and bottleneck CSV.
+#[test]
+fn trace_artifacts_are_byte_identical_across_repeats_and_jobs() {
+    let pair = find_figure("fig11").unwrap();
+    let mut cfg = trace_cfg(25);
+    cfg.jobs = 1;
+    let a = run_traced(pair, StandardConfig::ServletDedicated, &cfg);
+    let b = run_traced(pair, StandardConfig::ServletDedicated, &cfg);
+    cfg.jobs = 4;
+    let c = run_traced(pair, StandardConfig::ServletDedicated, &cfg);
+    for (label, other) in [("repeat", &b), ("jobs=4", &c)] {
+        assert_eq!(a.chrome_json(), other.chrome_json(), "{label}: chrome trace drifted");
+        assert_eq!(a.bottleneck_csv(), other.bottleneck_csv(), "{label}: bottleneck CSV drifted");
+    }
+}
+
+/// Tracing is observational: the figure-facing metrics of a traced run
+/// are bit-identical to the untraced run at the same seed, and the
+/// capture's aggregates are self-consistent (every job's intervals lie
+/// inside the run, the report covers every machine).
+#[test]
+fn tracing_is_observational_and_report_covers_every_machine() {
+    let pair = find_figure("fig05").unwrap();
+    let cfg = trace_cfg(20);
+    let traced = run_traced(pair, StandardConfig::EjbFourTier, &cfg);
+    let cap = traced.capture();
+    assert_eq!(cap.machines.len(), traced.report.machines.len());
+    assert_eq!(cap.jobs.len() as u64, traced.result.engine.completed);
+    // The untraced sweep point at the same seed reports the same numbers.
+    let data = dynamid::harness::run_figure(
+        pair,
+        &HarnessConfig { configs: vec![StandardConfig::EjbFourTier], ..cfg },
+    );
+    let p = &data.curves[0].points[0];
+    assert_eq!(p.ipm, traced.result.throughput_ipm);
+    assert_eq!(p.cpu, traced.result.resources.cpu_util);
+    assert_eq!(p.nic, traced.result.resources.nic_mbps);
+}
