@@ -9,7 +9,8 @@ use dynamid_sim::engine::NullDriver;
 use dynamid_sim::{
     GrantPolicy, LockManager, LockMode, Op, PsResource, SimDuration, SimTime, Simulation, Trace,
 };
-use dynamid_sqldb::{parse, ColumnType, Database, TableSchema, Value};
+use dynamid_sqldb::{parse, ColumnType, Database, Table, TableSchema, Value};
+use std::collections::HashMap;
 use std::hint::black_box;
 use std::time::Duration;
 
@@ -183,6 +184,95 @@ fn bench_exec(c: &mut Criterion) {
     g.finish();
 }
 
+/// The sim-core overhaul's two row-level host-cost wins, each measured
+/// against the path it replaced. Join probes keyed on string values hit
+/// the FNV hash cached in [`Value::str`] at construction — one `u64`
+/// through the hasher — where the old path re-scanned every byte of the
+/// key on every probe. Projections read rows as slices borrowed straight
+/// from the table's cell arena and clone only the projected cells, where
+/// the old executor materialized a full `Vec<Value>` per row first.
+fn bench_hot_row_paths(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hot_row_paths");
+    g.measurement_time(Duration::from_secs(2)).sample_size(30);
+
+    // Keys shaped like the TPC-W join columns that dominate the book
+    // searches: longish titles, unique tails.
+    let keys: Vec<String> =
+        (0..512).map(|i| format!("the remarkably verbose catalog title of item {i:08}")).collect();
+
+    let build: HashMap<Value, usize> =
+        keys.iter().enumerate().map(|(i, k)| (Value::str(k), i)).collect();
+    let probes: Vec<Value> = keys.iter().map(Value::str).collect();
+    g.bench_function("join_probe_interned_hash", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for p in &probes {
+                hits += build.get(black_box(p)).copied().unwrap_or(0);
+            }
+            black_box(hits)
+        })
+    });
+
+    // The pre-overhaul probe: the hasher walks the full key bytes on
+    // every lookup (a `String`-keyed map makes std do exactly that).
+    let build_raw: HashMap<String, usize> =
+        keys.iter().enumerate().map(|(i, k)| (k.clone(), i)).collect();
+    g.bench_function("join_probe_string_rehash", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for p in &keys {
+                hits += build_raw.get(black_box(p.as_str())).copied().unwrap_or(0);
+            }
+            black_box(hits)
+        })
+    });
+
+    // A 6-column table, project 2 columns from every live row.
+    let mut t = Table::new(
+        TableSchema::builder("wide")
+            .column("id", ColumnType::Int)
+            .column("a", ColumnType::Int)
+            .column("b", ColumnType::Float)
+            .column("title", ColumnType::Str)
+            .column("c", ColumnType::Int)
+            .column("d", ColumnType::Float)
+            .primary_key("id")
+            .build()
+            .unwrap(),
+    );
+    for i in 0..2_000i64 {
+        t.insert(vec![
+            Value::Int(i),
+            Value::Int(i % 97),
+            Value::Float(i as f64 * 0.5),
+            Value::str(format!("row title {i}")),
+            Value::Int(i % 7),
+            Value::Float(i as f64),
+        ])
+        .unwrap();
+    }
+    g.bench_function("projection_arena_slice", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(2_000);
+            for (_, row) in t.scan() {
+                out.push((row[0].clone(), row[3].clone()));
+            }
+            black_box(out)
+        })
+    });
+    g.bench_function("projection_row_clone", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(2_000);
+            for (_, row) in t.scan() {
+                let owned: Vec<Value> = row.to_vec();
+                out.push((owned[0].clone(), owned[3].clone()));
+            }
+            black_box(out)
+        })
+    });
+    g.finish();
+}
+
 /// What compile-once buys on the hot path: the same indexed point SELECT
 /// served from a cached plan vs recompiled from scratch (parse + name
 /// resolution + access-path selection) on every call. The warm path is the
@@ -319,6 +409,7 @@ criterion_group!(
     benches,
     bench_sql,
     bench_exec,
+    bench_hot_row_paths,
     bench_plan_cache,
     bench_figure_sweep,
     bench_sim_kernel,

@@ -323,7 +323,9 @@ fn run_smoke(verbose: bool, chaos: bool) -> ExitCode {
         ("fig05", 0.3, &[5, 10, 15], 2),
     ];
     let mut fig_json = Vec::new();
+    let mut profile_json = Vec::new();
     let mut total_secs = 0.0f64;
+    let (mut all_events, mut all_stale, mut all_peak) = (0u64, 0u64, 0u64);
     for (key, scale, clients, measure) in sweeps {
         let mut cfg = HarnessConfig::fast();
         cfg.verbose = false;
@@ -338,14 +340,32 @@ fn run_smoke(verbose: bool, chaos: bool) -> ExitCode {
         let secs = t0.elapsed().as_secs_f64();
         total_secs += secs;
         let points: usize = data.curves.iter().map(|c| c.points.len()).sum();
+        // Host-cost accounting: calendar traffic across every point of the
+        // sweep, and the largest calendar any single point ever held.
+        let pts = || data.curves.iter().flat_map(|c| c.points.iter());
+        let events: u64 = pts().map(|p| p.engine.events).sum();
+        let stale: u64 = pts().map(|p| p.engine.stale_events).sum();
+        let peak: u64 = pts().map(|p| p.engine.peak_calendar).max().unwrap_or(0);
+        all_events += events;
+        all_stale += stale;
+        all_peak = all_peak.max(peak);
         if verbose {
-            eprintln!("smoke {key}@{scale}: {points} points in {secs:.3}s");
+            eprintln!(
+                "smoke {key}@{scale}: {points} points in {secs:.3}s \
+                 ({events} events, {stale} stale, peak calendar {peak})"
+            );
         }
         let client_list = clients.iter().map(usize::to_string).collect::<Vec<_>>().join(",");
         fig_json.push(format!(
             "    {{\"id\": \"{key}\", \"scale\": {scale}, \"points\": {points}, \
              \"wall_secs\": {secs:.3}, \"equivalent_flags\": \"--fast --quiet --jobs 1 \
              --seed 42 --scale {scale} --clients {client_list} --measure {measure} {key}\"}}"
+        ));
+        profile_json.push(format!(
+            "      {{\"id\": \"{key}\", \"scale\": {scale}, \"wall_secs\": {secs:.3}, \
+             \"events\": {events}, \"stale_events\": {stale}, \
+             \"stale_ratio\": {:.4}, \"peak_calendar\": {peak}}}",
+            stale as f64 / events.max(1) as f64
         ));
     }
 
@@ -429,9 +449,62 @@ fn run_smoke(verbose: bool, chaos: bool) -> ExitCode {
         String::new()
     };
 
+    // Host execution profile: what the simulator costs the *host*, as
+    // opposed to the modeled results above (which tests pin down). The
+    // recorded per-PR history lives in results/bench_history.json; when it
+    // is readable, the current run is compared against the first
+    // (baseline) and latest recorded entries — check.sh turns the latter
+    // comparison into a regression gate. Looked up relative to the
+    // current directory first (how check.sh runs), then relative to the
+    // source tree so a smoke run from any directory still gets the
+    // comparison.
+    let history = fs::read_to_string("results/bench_history.json")
+        .or_else(|_| {
+            fs::read_to_string(concat!(
+                env!("CARGO_MANIFEST_DIR"),
+                "/../../results/bench_history.json"
+            ))
+        })
+        .ok();
+    let history_totals: Vec<f64> = history
+        .as_deref()
+        .map(|h| {
+            h.split("\"total_wall_secs\":")
+                .skip(1)
+                .filter_map(|rest| {
+                    rest.trim_start()
+                        .split(|c: char| !(c.is_ascii_digit() || c == '.'))
+                        .next()?
+                        .parse()
+                        .ok()
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    let num_or_null = |v: Option<f64>| match v {
+        Some(v) => format!("{v:.3}"),
+        None => "null".to_string(),
+    };
+    let baseline = history_totals.first().copied();
+    let latest = history_totals.last().copied();
+    let profile = format!(
+        "  \"host_profile\": {{\n    \"events\": {all_events}, \"stale_events\": {all_stale}, \
+         \"stale_ratio\": {:.4}, \"peak_calendar\": {all_peak},\n    \"figures\": [\n{}\n    ],\n    \
+         \"baseline_total_wall_secs\": {}, \"speedup_vs_baseline\": {},\n    \
+         \"latest_recorded_total_wall_secs\": {}, \"speedup_vs_latest_recorded\": {},\n    \
+         \"history\": {}\n  }}",
+        all_stale as f64 / all_events.max(1) as f64,
+        profile_json.join(",\n"),
+        num_or_null(baseline),
+        num_or_null(baseline.map(|b| b / total_secs)),
+        num_or_null(latest),
+        num_or_null(latest.map(|l| l / total_secs)),
+        history.as_deref().map(str::trim).unwrap_or("[]"),
+    );
+
     let json = format!(
         "{{\n  \"generated_by\": \"repro --smoke\",\n  \"figures\": [\n{}\n  ],\n  \
-         \"total_wall_secs\": {total_secs:.3},\n  \
+         \"total_wall_secs\": {total_secs:.3},\n{profile},\n  \
          \"plan_cache\": {{\"hits\": {hits}, \"misses\": {misses}, \"hit_rate\": {rate:.4}}},\n  \
          \"snapshot_fork\": {{\"cow_micros\": {cow_micros:.1}, \
          \"deep_clone_micros\": {deep_micros:.1}}}{chaos_json}\n}}\n",

@@ -5,6 +5,7 @@ use crate::HarnessConfig;
 use dynamid_auction::{Auction, AuctionScale};
 use dynamid_bookstore::{Bookstore, BookstoreScale};
 use dynamid_core::{Application, CostModel, StandardConfig};
+use dynamid_sim::EngineStats;
 use dynamid_sqldb::Database;
 use dynamid_workload::{ExperimentResult, ExperimentSpec, Mix, WorkloadConfig};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -110,6 +111,10 @@ pub struct CurvePoint {
     pub latency_p50_ms: f64,
     /// 90th-percentile response time (ms).
     pub latency_p90_ms: f64,
+    /// Engine-level event accounting for the run behind this point
+    /// (host-cost diagnostics: calendar traffic, stale-event ratio,
+    /// calendar high-water mark). Not part of any figure CSV.
+    pub engine: EngineStats,
 }
 
 impl CurvePoint {
@@ -128,6 +133,7 @@ impl CurvePoint {
             lock_wait_ms_per_interaction: lock_wait_ms,
             latency_p50_ms: r.metrics.latency.quantile(0.5).as_micros() as f64 / 1000.0,
             latency_p90_ms: r.metrics.latency.quantile(0.9).as_micros() as f64 / 1000.0,
+            engine: r.engine,
         }
     }
 
@@ -227,20 +233,22 @@ pub(crate) fn sweep_workload(cfg: &HarnessConfig, clients: usize) -> WorkloadCon
 
 /// Runs one (configuration, client count) point of a sweep.
 ///
-/// Each point is fully self-contained: its own clone of the populated
-/// database, its own application instance, and a seed derived only from
-/// the master seed and the client count. That independence is what makes
-/// the parallel sweep in [`run_figure`] bit-identical to the sequential
-/// one — no state flows between points, in either order of execution.
+/// Each point is fully self-contained: it starts from the pristine
+/// populated database (the worker rewinds its fork between points), builds
+/// its own application instance, and derives its seed only from the master
+/// seed and the client count. That independence is what makes the parallel
+/// sweep in [`run_figure`] bit-identical to the sequential one — no state
+/// flows between points, in either order of execution. (Statement and plan
+/// caches do stay warm across points within a worker, but statement cost
+/// is a pure function of per-query counters, never of cache warmth.)
 fn run_point(
     pair: &FigurePair,
     cfg: &HarnessConfig,
-    base_db: &Database,
+    db: &mut Database,
     mix: &Mix,
     config: StandardConfig,
     n: usize,
 ) -> CurvePoint {
-    let mut db = base_db.clone();
     let stats_before = db.stats();
     let app = make_app(pair.benchmark, cfg.scale);
     let result = ExperimentSpec::for_config(config)
@@ -248,7 +256,8 @@ fn run_point(
         .costs(CostModel::default())
         .workload(sweep_workload(cfg, n))
         .policy(cfg.policy)
-        .run(&mut db, app.as_ref());
+        .defer_unwind(true)
+        .run(db, app.as_ref());
     if cfg.verbose {
         let s = db.stats();
         let hits = s.plan_cache_hits - stats_before.plan_cache_hits;
@@ -295,30 +304,50 @@ pub fn run_figure(pair: FigurePair, cfg: &HarnessConfig) -> FigureData {
         (0..cfg.configs.len()).flat_map(|ci| (0..clients.len()).map(move |ni| (ci, ni))).collect();
     let workers = cfg.effective_jobs().min(grid.len()).max(1);
 
-    let points: Vec<CurvePoint> = if workers == 1 {
-        grid.iter()
-            .map(|&(ci, ni)| run_point(&pair, cfg, &base_db, &mix, cfg.configs[ci], clients[ni]))
-            .collect()
+    // Each worker holds ONE copy-on-write fork of the base database for its
+    // whole lifetime and rewinds it to pristine between points, so the
+    // per-point cost is proportional to the rows the point touched instead
+    // of a full table un-share (and drop) per point. A point whose run
+    // performed a mutation the rewind journal cannot exactly reverse (an
+    // in-flight abort's rollback) poisons the journal; the worker then
+    // discards the fork and re-clones — correctness never depends on
+    // approximate unwinding.
+    let run_worker = |next: &AtomicUsize, slots: &Mutex<Vec<Option<CurvePoint>>>| {
+        let mut db = base_db.clone();
+        db.begin_rewind();
+        loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            let Some(&(ci, ni)) = grid.get(i) else { break };
+            let point = run_point(&pair, cfg, &mut db, &mix, cfg.configs[ci], clients[ni]);
+            if !db.rewind() {
+                db = base_db.clone();
+                db.begin_rewind();
+            }
+            debug_assert!(
+                db.same_data(&base_db),
+                "rewind must restore the pristine populated database"
+            );
+            slots.lock().expect("no panics hold the lock")[i] = Some(point);
+        }
+    };
+
+    let slots: Mutex<Vec<Option<CurvePoint>>> = Mutex::new(vec![None; grid.len()]);
+    let next = AtomicUsize::new(0);
+    if workers == 1 {
+        run_worker(&next, &slots);
     } else {
-        let slots: Mutex<Vec<Option<CurvePoint>>> = Mutex::new(vec![None; grid.len()]);
-        let next = AtomicUsize::new(0);
         std::thread::scope(|s| {
             for _ in 0..workers {
-                s.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(&(ci, ni)) = grid.get(i) else { break };
-                    let point = run_point(&pair, cfg, &base_db, &mix, cfg.configs[ci], clients[ni]);
-                    slots.lock().expect("no panics hold the lock")[i] = Some(point);
-                });
+                s.spawn(|| run_worker(&next, &slots));
             }
         });
-        slots
-            .into_inner()
-            .expect("workers joined")
-            .into_iter()
-            .map(|p| p.expect("every grid slot filled"))
-            .collect()
-    };
+    }
+    let points: Vec<CurvePoint> = slots
+        .into_inner()
+        .expect("workers joined")
+        .into_iter()
+        .map(|p| p.expect("every grid slot filled"))
+        .collect();
 
     let mut points = points.into_iter();
     let curves = cfg

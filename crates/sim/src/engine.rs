@@ -11,15 +11,15 @@
 //! produce identical event orders (ties are broken by a monotone sequence
 //! number).
 
+use crate::calendar::{CalendarQueue, EventId};
 use crate::fault::FaultPlan;
 use crate::lock::{GrantPolicy, LockId, LockManager, LockStats, SemGrant, SemaphoreId};
 use crate::op::{Op, Trace};
 use crate::ps::{PsResource, PsStats};
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
-use crate::trace::{Activity, OpInterval, TraceRecorder};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use crate::trace::{Activity, IntervalColumns, TraceRecorder};
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 /// Identifies a simulated machine.
@@ -171,25 +171,6 @@ enum EventKind {
     Restart { machine: u32 },
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Scheduled {
-    at: SimTime,
-    seq: u64,
-    kind: EventKind,
-}
-
-impl PartialOrd for Scheduled {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for Scheduled {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.at.cmp(&other.at).then(self.seq.cmp(&other.seq))
-    }
-}
-
 /// Progress of a `Net` op within a job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum NetPhase {
@@ -206,6 +187,9 @@ struct Job {
     net_phase: NetPhase,
     tag: u64,
     submitted: SimTime,
+    /// Pending deadline event, cancelled eagerly when the job ends so the
+    /// calendar never carries deadlines for finished jobs.
+    deadline_ev: Option<EventId>,
 }
 
 #[derive(Debug)]
@@ -215,6 +199,10 @@ struct Machine {
     nic: PsResource,
     /// Set while the machine is inside a [`FaultPlan`] crash window.
     down: bool,
+    /// Live completion predictions; superseded ones are cancelled on the
+    /// calendar instead of lingering as stale events.
+    cpu_ev: Option<EventId>,
+    nic_ev: Option<EventId>,
 }
 
 /// Counters maintained by the engine itself. Always balanced:
@@ -233,8 +221,15 @@ pub struct EngineStats {
     /// Lock wait-for cycles broken by aborting a victim. Victims are also
     /// counted under `aborted`.
     pub deadlocks: u64,
-    /// Calendar events processed (including stale ones).
+    /// Calendar events dispatched.
     pub events: u64,
+    /// Events that were dead on arrival: cancelled calendar entries
+    /// (superseded PS predictions, retired deadlines) plus lazily detected
+    /// stale dispatches (epoch mismatches, delays/deadlines of jobs that
+    /// already ended). High values mean the calendar is mostly garbage.
+    pub stale_events: u64,
+    /// High-water mark of pending events on the calendar.
+    pub peak_calendar: u64,
 }
 
 /// Fault-injection state: the plan plus its private random stream, present
@@ -261,8 +256,7 @@ struct FaultState {
 #[derive(Debug)]
 pub struct Simulation {
     now: SimTime,
-    queue: BinaryHeap<Reverse<Scheduled>>,
-    seq: u64,
+    queue: CalendarQueue<EventKind>,
     machines: Vec<Machine>,
     locks: LockManager,
     jobs: HashMap<JobId, Job>,
@@ -285,8 +279,7 @@ impl Simulation {
     pub fn with_policy(link_latency: SimDuration, policy: GrantPolicy) -> Self {
         Simulation {
             now: SimTime::ZERO,
-            queue: BinaryHeap::new(),
-            seq: 0,
+            queue: CalendarQueue::new(),
             machines: Vec::new(),
             locks: LockManager::new(policy),
             jobs: HashMap::new(),
@@ -300,7 +293,8 @@ impl Simulation {
 
     /// Arms the op-interval recorder: from now on every CPU service, NIC
     /// transfer, delay, lock wait, and semaphore wait is captured as an
-    /// [`OpInterval`]. Recording is purely observational — it never schedules
+    /// [`OpInterval`](crate::trace::OpInterval) row in the recorder's column
+    /// store. Recording is purely observational — it never schedules
     /// events or consumes randomness — so the event stream is bit-identical
     /// to an untraced run.
     pub fn enable_tracing(&mut self) {
@@ -312,9 +306,9 @@ impl Simulation {
         self.trace.is_some()
     }
 
-    /// Takes every finished op interval recorded so far, in the engine's
-    /// deterministic end order. Empty when tracing is off.
-    pub fn take_op_intervals(&mut self) -> Vec<OpInterval> {
+    /// Takes every finished op interval recorded so far as column buffers,
+    /// in the engine's deterministic end order. Empty when tracing is off.
+    pub fn take_op_intervals(&mut self) -> IntervalColumns {
         self.trace.as_mut().map(TraceRecorder::drain).unwrap_or_default()
     }
 
@@ -375,9 +369,13 @@ impl Simulation {
         self.now
     }
 
-    /// Engine-level counters.
+    /// Engine-level counters, folding in the calendar's tombstone count
+    /// and high-water mark.
     pub fn stats(&self) -> EngineStats {
-        self.stats
+        let mut s = self.stats;
+        s.stale_events += self.queue.stale_popped();
+        s.peak_calendar = self.queue.peak_len() as u64;
+        s
     }
 
     /// Jobs currently in flight (submitted but not completed).
@@ -401,6 +399,8 @@ impl Simulation {
             nic: PsResource::new(format!("{name}.nic"), nic_mbps / 8.0),
             name,
             down: false,
+            cpu_ev: None,
+            nic_ev: None,
         });
         id
     }
@@ -506,8 +506,23 @@ impl Simulation {
     pub fn submit(&mut self, trace: Trace, tag: u64) -> JobId {
         let id = JobId(self.next_job);
         self.next_job += 1;
-        self.jobs
-            .insert(id, Job { trace, pc: 0, net_phase: NetPhase::Idle, tag, submitted: self.now });
+        if let Some(t) = &mut self.trace {
+            // Each op closes at most one interval, so the op count bounds
+            // what this job can append — reserving here keeps the record
+            // path free of mid-run reallocations.
+            t.reserve(trace.len());
+        }
+        self.jobs.insert(
+            id,
+            Job {
+                trace,
+                pc: 0,
+                net_phase: NetPhase::Idle,
+                tag,
+                submitted: self.now,
+                deadline_ev: None,
+            },
+        );
         self.stats.submitted += 1;
         self.schedule(self.now, EventKind::JobStart { job: id });
         id
@@ -521,7 +536,8 @@ impl Simulation {
     /// is ignored — it is never counted twice.
     pub fn submit_with_deadline(&mut self, trace: Trace, tag: u64, deadline: SimDuration) -> JobId {
         let id = self.submit(trace, tag);
-        self.schedule(self.now + deadline, EventKind::Deadline { job: id });
+        let ev = self.schedule(self.now + deadline, EventKind::Deadline { job: id });
+        self.jobs.get_mut(&id).expect("just submitted").deadline_ev = Some(ev);
         id
     }
 
@@ -550,10 +566,8 @@ impl Simulation {
         self.set_timer(self.now + delay, token);
     }
 
-    fn schedule(&mut self, at: SimTime, kind: EventKind) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.queue.push(Reverse(Scheduled { at, seq, kind }));
+    fn schedule(&mut self, at: SimTime, kind: EventKind) -> EventId {
+        self.queue.schedule(at, kind)
     }
 
     /// Runs the calendar until `until` (inclusive), advancing all resource
@@ -566,15 +580,15 @@ impl Simulation {
     /// semaphore over-release). The simulation should be discarded after an
     /// error: partial state of the offending job is not unwound.
     pub fn run<D: Driver>(&mut self, until: SimTime, driver: &mut D) -> Result<(), SimError> {
-        while let Some(Reverse(ev)) = self.queue.peek().copied() {
-            if ev.at > until {
+        while let Some(at) = self.queue.peek_at() {
+            if at > until {
                 break;
             }
-            self.queue.pop();
-            debug_assert!(ev.at >= self.now, "event in the past");
-            self.now = ev.at;
+            let (at, kind) = self.queue.pop().expect("peeked event is poppable");
+            debug_assert!(at >= self.now, "event in the past");
+            self.now = at;
             self.stats.events += 1;
-            self.dispatch(ev.kind, driver)?;
+            self.dispatch(kind, driver)?;
         }
         self.now = until;
         for m in &mut self.machines {
@@ -591,11 +605,10 @@ impl Simulation {
     ///
     /// Same contract as [`run`](Self::run).
     pub fn run_until_idle<D: Driver>(&mut self, driver: &mut D) -> Result<SimTime, SimError> {
-        while let Some(Reverse(ev)) = self.queue.peek().copied() {
-            self.queue.pop();
-            self.now = ev.at;
+        while let Some((at, kind)) = self.queue.pop() {
+            self.now = at;
             self.stats.events += 1;
-            self.dispatch(ev.kind, driver)?;
+            self.dispatch(kind, driver)?;
         }
         Ok(self.now)
     }
@@ -605,6 +618,9 @@ impl Simulation {
             EventKind::Ps { res, epoch } => {
                 let resource = self.resource_mut(res);
                 if resource.epoch() != epoch {
+                    // Predictions are cancelled eagerly in `refresh_ps`, so an
+                    // epoch mismatch here is a backstop, not the common path.
+                    self.stats.stale_events += 1;
                     return Ok(()); // stale prediction
                 }
                 let now = self.now;
@@ -630,9 +646,13 @@ impl Simulation {
             }
             EventKind::Deadline { job } => {
                 // Stale when the job already completed, aborted, or was
-                // rejected: abort_job returns None and nothing is counted.
+                // rejected: deadline events are cancelled eagerly when a job
+                // leaves the table, so reaching here for a dead job means the
+                // cancel was missed — count it.
                 if let Some(info) = self.abort_job(job, AbortReason::DeadlineExpired) {
                     driver.on_job_aborted(self, info);
+                } else {
+                    self.stats.stale_events += 1;
                 }
                 Ok(())
             }
@@ -664,13 +684,31 @@ impl Simulation {
     }
 
     /// (Re)schedules the completion prediction for a resource.
+    ///
+    /// The previous prediction (if any) is cancelled in the calendar so stale
+    /// `Ps` events almost never surface; the epoch check in `dispatch` remains
+    /// as a counted backstop.
     fn refresh_ps(&mut self, res: ResKey) {
         let now = self.now;
         let resource = self.resource_mut(res);
-        if let Some(at) = resource.next_completion(now) {
-            let epoch = resource.epoch();
-            self.schedule(at, EventKind::Ps { res, epoch });
+        let next = resource.next_completion(now).map(|at| (at, resource.epoch()));
+        let machine = match res {
+            ResKey::Cpu(i) | ResKey::Nic(i) => i as usize,
+        };
+        let slot = match res {
+            ResKey::Cpu(_) => &mut self.machines[machine].cpu_ev,
+            ResKey::Nic(_) => &mut self.machines[machine].nic_ev,
+        };
+        let old = slot.take();
+        let new = next.map(|(at, epoch)| self.queue.schedule(at, EventKind::Ps { res, epoch }));
+        if let Some(id) = old {
+            self.queue.cancel(id);
         }
+        let slot = match res {
+            ResKey::Cpu(_) => &mut self.machines[machine].cpu_ev,
+            ResKey::Nic(_) => &mut self.machines[machine].nic_ev,
+        };
+        *slot = new;
     }
 
     /// A job finished service on a CPU or NIC: advance its program state and
@@ -749,6 +787,7 @@ impl Simulation {
         // Stale when the job aborted while its delay (or the latency leg of
         // its transfer) was pending.
         let Some(job) = self.jobs.get_mut(&job_id) else {
+            self.stats.stale_events += 1;
             return;
         };
         match job.net_phase {
@@ -813,7 +852,11 @@ impl Simulation {
                     submitted: job.submitted,
                     completed: self.now,
                 };
+                let deadline_ev = job.deadline_ev;
                 self.jobs.remove(&job_id);
+                if let Some(ev) = deadline_ev {
+                    self.queue.cancel(ev);
+                }
                 self.stats.completed += 1;
                 driver.on_job_complete(self, done);
                 return Ok(());
@@ -973,6 +1016,9 @@ impl Simulation {
     /// the job is unknown (stale deadline, double cancel).
     fn abort_job(&mut self, job_id: JobId, reason: AbortReason) -> Option<JobAborted> {
         let job = self.jobs.remove(&job_id)?;
+        if let Some(ev) = job.deadline_ev {
+            self.queue.cancel(ev);
+        }
         // A half-finished op interval is unattributable: drop it.
         if let Some(t) = &mut self.trace {
             t.discard(job_id);

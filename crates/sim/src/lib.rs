@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod calendar;
 pub mod engine;
 pub mod fault;
 pub mod lock;
@@ -60,4 +61,4 @@ pub use op::{Op, Trace};
 pub use ps::{PsResource, PsStats};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};
-pub use trace::{Activity, OpInterval, TraceRecorder};
+pub use trace::{Activity, IntervalColumns, OpInterval, TraceRecorder};

@@ -248,9 +248,28 @@ impl PsResource {
     /// finish order.
     pub fn pop_completed(&mut self, now: SimTime) -> Vec<JobId> {
         self.advance(now);
+        // Completions are scheduled by `next_completion`, which rounds the
+        // remaining service up to a whole microsecond — so by the time a
+        // valid completion event fires, the virtual clock can have run past
+        // the job's finish tag by less than one microsecond's worth of
+        // service. The rate during that window is at most `per_job_cap`
+        // (arrivals inside the window can shrink the sharing rate at pop
+        // time below the rate the overshoot accrued at, so the cap — the
+        // fastest any single job is ever served — is the sound bound).
+        // Anything larger means a completion event was dispatched late (a
+        // stale prediction leaked through), which would silently inflate
+        // the busy/work integrals.
+        let overshoot_bound = self.per_job_cap * 1.0 + COMPLETION_EPS;
         let mut done = Vec::new();
         while let Some(first) = self.active.iter().next().copied() {
             if first.finish <= self.virt + COMPLETION_EPS {
+                debug_assert!(
+                    self.virt - first.finish <= overshoot_bound,
+                    "{}: completion overshoot {} exceeds one microsecond of service ({})",
+                    self.name,
+                    self.virt - first.finish,
+                    overshoot_bound,
+                );
                 self.active.remove(&first);
                 let job = self.jobs.remove(&first.seq).expect("active key without job");
                 self.by_job.remove(&job);
@@ -399,7 +418,9 @@ mod tests {
         let s = r.stats();
         let total: f64 = demands.iter().sum();
         // Completion events are rounded up to integer microseconds, so the
-        // busy/work integrals may overshoot by up to 1us per completion.
+        // busy/work integrals may overshoot by up to 1us per completion —
+        // `pop_completed` debug-asserts exactly that per-completion bound,
+        // and this end-to-end check covers the accumulated total.
         assert!(
             (s.work_done - total).abs() < demands.len() as f64,
             "work {} != demand {total}",

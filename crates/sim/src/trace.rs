@@ -13,8 +13,17 @@
 //! no-op transfers (loopback or zero bytes) record nothing: there is no wait
 //! to attribute. Each job executes its ops sequentially, so at most one
 //! interval per job is open at a time; intervals land in [`TraceRecorder`]'s
-//! finished list in *end order*, which is the engine's deterministic event
+//! finished store in *end order*, which is the engine's deterministic event
 //! order — draining it yields a byte-stable sequence for a fixed seed.
+//!
+//! Finished intervals are stored column-wise ([`IntervalColumns`]): one
+//! buffer per field instead of a `Vec` of structs. A traced run at 60
+//! clients closes hundreds of thousands of intervals, and every consumer
+//! (the Chrome-trace renderer, the bottleneck aggregator) scans one or two
+//! fields of every interval — columnar layout keeps those scans dense and
+//! lets the engine reserve all buffers up front (see
+//! [`TraceRecorder::reserve`]) so the record path never reallocates
+//! mid-run. [`OpInterval`] survives as the assembled row view.
 
 use crate::engine::{JobId, MachineId};
 use crate::lock::{LockId, SemaphoreId};
@@ -72,18 +81,99 @@ pub struct OpInterval {
     pub end: SimTime,
 }
 
-/// Collects [`OpInterval`]s as the engine executes. At most one interval per
-/// job is open at any time because a job's ops run sequentially.
+/// Finished intervals in struct-of-arrays layout: five parallel column
+/// buffers, row `i` of each describing the same interval. Rows are in end
+/// order (the engine's deterministic event order). Consumers that only need
+/// one or two fields iterate the columns directly; [`get`](Self::get) and
+/// [`iter`](Self::iter) assemble [`OpInterval`] row views when the whole
+/// record is wanted.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IntervalColumns {
+    /// Owning job of each interval.
+    pub job: Vec<JobId>,
+    /// Op index within the owning job's trace (traces are short; `u32`).
+    pub op_index: Vec<u32>,
+    /// What the job was doing.
+    pub activity: Vec<Activity>,
+    /// Interval start times.
+    pub start: Vec<SimTime>,
+    /// Interval end times.
+    pub end: Vec<SimTime>,
+}
+
+impl IntervalColumns {
+    /// Number of finished intervals.
+    pub fn len(&self) -> usize {
+        self.job.len()
+    }
+
+    /// `true` when no interval has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.job.is_empty()
+    }
+
+    /// Grows every column so at least `additional` more rows fit without
+    /// reallocating.
+    pub fn reserve(&mut self, additional: usize) {
+        self.job.reserve(additional);
+        self.op_index.reserve(additional);
+        self.activity.reserve(additional);
+        self.start.reserve(additional);
+        self.end.reserve(additional);
+    }
+
+    /// Appends one row.
+    pub fn push(&mut self, iv: OpInterval) {
+        self.job.push(iv.job);
+        self.op_index.push(iv.op_index as u32);
+        self.activity.push(iv.activity);
+        self.start.push(iv.start);
+        self.end.push(iv.end);
+    }
+
+    /// Assembles row `i` as an [`OpInterval`] view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn get(&self, i: usize) -> OpInterval {
+        OpInterval {
+            job: self.job[i],
+            op_index: self.op_index[i] as usize,
+            activity: self.activity[i],
+            start: self.start[i],
+            end: self.end[i],
+        }
+    }
+
+    /// Iterates the rows as assembled [`OpInterval`] views, in end order.
+    pub fn iter(&self) -> impl Iterator<Item = OpInterval> + '_ {
+        (0..self.len()).map(|i| self.get(i))
+    }
+}
+
+/// Collects intervals column-wise as the engine executes. At most one
+/// interval per job is open at any time because a job's ops run
+/// sequentially.
 #[derive(Debug, Default)]
 pub struct TraceRecorder {
     open: HashMap<JobId, (usize, Activity, SimTime)>,
-    finished: Vec<OpInterval>,
+    finished: IntervalColumns,
 }
 
 impl TraceRecorder {
     /// Creates an empty recorder.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Pre-sizes the finished store for `additional` more intervals. The
+    /// engine calls this on job submission with the job's op count (an
+    /// upper bound — each op closes at most one interval), so the hot
+    /// record path appends into reserved capacity instead of spilling into
+    /// a reallocation mid-run.
+    pub fn reserve(&mut self, additional: usize) {
+        self.finished.reserve(additional);
     }
 
     /// Marks the start of an interval for `job`.
@@ -107,7 +197,7 @@ impl TraceRecorder {
     }
 
     /// Takes every finished interval recorded so far, in end order.
-    pub fn drain(&mut self) -> Vec<OpInterval> {
+    pub fn drain(&mut self) -> IntervalColumns {
         std::mem::take(&mut self.finished)
     }
 
@@ -137,10 +227,10 @@ mod tests {
         r.end(a, SimTime::from_micros(30));
         let got = r.drain();
         assert_eq!(got.len(), 2);
-        assert_eq!(got[0].job, b);
-        assert_eq!(got[0].op_index, 3);
-        assert_eq!(got[1].job, a);
-        assert_eq!(got[1].end, SimTime::from_micros(30));
+        assert_eq!(got.get(0).job, b);
+        assert_eq!(got.get(0).op_index, 3);
+        assert_eq!(got.get(1).job, a);
+        assert_eq!(got.get(1).end, SimTime::from_micros(30));
         assert!(r.drain().is_empty());
     }
 
@@ -156,5 +246,27 @@ mod tests {
         assert_eq!(r.open_count(), 0);
         r.end(j, SimTime::from_micros(9));
         assert!(r.drain().is_empty());
+    }
+
+    #[test]
+    fn columns_stay_parallel_and_views_round_trip() {
+        let mut r = TraceRecorder::new();
+        r.reserve(3);
+        let j = JobId(9);
+        for (i, t) in [(0usize, 100u64), (1, 200), (2, 300)] {
+            r.begin(j, i, Activity::Delay, SimTime::from_micros(t));
+            r.end(j, SimTime::from_micros(t + 50));
+        }
+        let cols = r.drain();
+        assert_eq!(cols.len(), 3);
+        assert_eq!(cols.job.len(), 3);
+        assert_eq!(cols.op_index, vec![0, 1, 2]);
+        assert_eq!(cols.start.len(), 3);
+        assert_eq!(cols.end.len(), 3);
+        assert_eq!(cols.activity.len(), 3);
+        let rows: Vec<OpInterval> = cols.iter().collect();
+        assert_eq!(rows[2].start, SimTime::from_micros(300));
+        assert_eq!(rows[2].end, SimTime::from_micros(350));
+        assert_eq!(cols.get(1), rows[1]);
     }
 }

@@ -1,0 +1,172 @@
+//! Oracle tests for the two-level calendar queue.
+//!
+//! The engine's correctness rests on the calendar popping events in
+//! exactly the order the original `BinaryHeap<Reverse<(time, seq)>>`
+//! produced — ascending time, schedule order within an instant — while
+//! cancellation makes superseded entries vanish instead of piling up.
+//! These tests drive [`CalendarQueue`] and a retained ordered-set oracle
+//! through the same randomized schedule/cancel/pop workloads and demand
+//! bit-identical pop sequences, then pin the stale-event ratio at a
+//! 60-client contention level so tombstone skipping can't silently
+//! regress into starvation.
+
+use dynamid_sim::calendar::{CalendarQueue, EventId};
+use dynamid_sim::engine::NullDriver;
+use dynamid_sim::{LockMode, Op, SimDuration, SimTime, Simulation, Trace};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// Offsets are drawn from three bands so every level gets traffic: the
+/// current level-0 window (0..2048 µs), level 1 (..≈4.3 s), and the
+/// overflow `BTreeMap` beyond it. Small offsets dominate, matching the
+/// engine's mix of near-term completions and far-off deadlines.
+fn offset(raw: u64) -> u64 {
+    match raw % 8 {
+        0..=4 => raw % 64,    // same-bucket churn, frequent same-instant collisions
+        5 => raw % 2_048,     // spans the whole level-0 window
+        6 => raw % 4_000_000, // lands in level 1
+        _ => 4_200_000 + raw % 8_000, // past L1_SPAN: overflow
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The calendar and a `BTreeSet<(time, seq)>` oracle — the exact
+    /// order a binary heap keyed on `(time, sequence)` yields — agree on
+    /// every pop and on emptiness, under random interleavings of
+    /// schedules (all three levels), O(1) cancels, and pops. Each step is
+    /// `(action, raw, pick)`: `raw` picks a schedule offset, `pick`
+    /// selects a cancel target.
+    #[test]
+    fn matches_ordered_oracle(
+        steps in prop::collection::vec((0u8..8, any::<u64>(), 0u16..u16::MAX), 1..300)
+    ) {
+        let mut q: CalendarQueue<u32> = CalendarQueue::new();
+        let mut oracle: BTreeSet<(u64, u32)> = BTreeSet::new();
+        // Live handles mirrored on both sides, plus handles already dead
+        // (popped or cancelled) to probe stale-cancel behavior.
+        let mut live: Vec<(EventId, u64, u32)> = Vec::new();
+        let mut dead: Vec<EventId> = Vec::new();
+        let mut now = 0u64;
+        let mut seq = 0u32;
+
+        for (action, raw, pick) in steps {
+            match action % 4 {
+                // Schedule twice as often as the other actions so the
+                // structure actually fills up.
+                0 | 1 => {
+                    let at = now + offset(raw);
+                    let id = q.schedule(SimTime::from_micros(at), seq);
+                    oracle.insert((at, seq));
+                    live.push((id, at, seq));
+                    seq += 1;
+                }
+                2 => {
+                    let (at_q, got) = match q.pop() {
+                        Some((t, p)) => (t, p),
+                        None => {
+                            prop_assert!(oracle.is_empty(), "calendar empty, oracle not");
+                            continue;
+                        }
+                    };
+                    let (at_o, seq_o) = oracle.pop_first().expect("oracle empty, calendar not");
+                    prop_assert_eq!(at_q.as_micros(), at_o, "pop time diverged");
+                    prop_assert_eq!(got, seq_o, "same-instant order diverged");
+                    now = at_o;
+                    let idx = live.iter().position(|(_, _, s)| *s == got).expect("live");
+                    dead.push(live.swap_remove(idx).0);
+                }
+                _ => {
+                    if live.is_empty() || (pick as usize).is_multiple_of(3) {
+                        // Stale cancel: must refuse and must not disturb
+                        // whatever reused the slot.
+                        if let Some(id) = dead.get(pick as usize % dead.len().max(1)) {
+                            prop_assert!(!q.cancel(*id), "stale handle cancelled something");
+                        }
+                    } else {
+                        let (id, at, s) = live.swap_remove(pick as usize % live.len());
+                        prop_assert!(q.cancel(id), "live handle must cancel");
+                        prop_assert!(oracle.remove(&(at, s)));
+                        dead.push(id);
+                    }
+                }
+            }
+            prop_assert_eq!(q.len(), oracle.len(), "live counts diverged");
+        }
+
+        // Drain: the tail must come out in oracle order too, across
+        // whatever level transfers remain.
+        while let Some((at_o, seq_o)) = oracle.pop_first() {
+            let peek = q.peek_at().expect("peek on non-empty");
+            prop_assert_eq!(peek.as_micros(), at_o, "peek diverged from oracle min");
+            let (at_q, got) = q.pop().expect("calendar drained early");
+            prop_assert_eq!(at_q.as_micros(), at_o);
+            prop_assert_eq!(got, seq_o);
+        }
+        prop_assert!(q.pop().is_none());
+        prop_assert!(q.is_empty());
+    }
+}
+
+/// Starvation regression at the paper's highest smoke load (60 clients,
+/// fig 11's right edge), compressed into its worst shape: every client
+/// arrives at t=0 and hammers both machines' PS resources, so nearly
+/// every completion prediction gets superseded. Two invariants guard
+/// against eager-cancel regressing into the old heap's pile-up:
+///
+/// * the live calendar length peaks at O(clients) — cancelled
+///   predictions leave only tombstones, so they never count as live
+///   (the heap's length scaled with total event traffic instead);
+/// * stale pops stay a bounded fraction of calendar traffic even here
+///   (~50% in this adversarial shape; the real smoke figures sit near
+///   18% on the worst sweep), because each tombstone is skipped in O(1)
+///   at the bucket front rather than percolated through a heap.
+#[test]
+fn stale_ratio_bounded_at_60_clients() {
+    let mut sim = Simulation::new(SimDuration::from_micros(50));
+    let web = sim.add_machine("web", 1.0, 100.0);
+    let db = sim.add_machine("db", 1.0, 100.0);
+    let l = sim.register_lock("t");
+    let s = sim.register_semaphore("pool", 8);
+    for client in 0..60u64 {
+        let mut t = Trace::new();
+        t.push(Op::SemAcquire { sem: s });
+        // A handful of web<->db round trips per client keeps both PS
+        // resources churning: every arrival cancels and re-issues the
+        // resource's pending completion prediction.
+        for hop in 0..6 {
+            t.push(Op::Cpu { machine: web, micros: 120 + client % 17 });
+            t.push(Op::Net { from: web, to: db, bytes: 400 + hop * 32 });
+            if hop == 2 {
+                t.push(Op::Lock { lock: l, mode: LockMode::Exclusive });
+                t.push(Op::Cpu { machine: db, micros: 40 });
+                t.push(Op::Unlock { lock: l });
+            }
+            t.push(Op::Cpu { machine: db, micros: 80 + client % 11 });
+            t.push(Op::Net { from: db, to: web, bytes: 1_200 });
+        }
+        t.push(Op::SemRelease { sem: s });
+        sim.submit(t, client);
+    }
+    sim.run_until_idle(&mut NullDriver).unwrap();
+    let st = sim.stats();
+    assert_eq!(st.completed, 60);
+    assert!(st.events > 0);
+    // 60 submission events at t=0 plus at most one pending prediction
+    // per PS resource (2 machines x cpu+nic) and a little slack.
+    assert!(
+        st.peak_calendar <= 72,
+        "calendar peaked at {} live events for 60 clients — stale \
+         predictions are being carried as live entries again",
+        st.peak_calendar,
+    );
+    let ratio = st.stale_events as f64 / st.events as f64;
+    assert!(
+        ratio < 0.60,
+        "stale-pop ratio {ratio:.3} ({} of {} events) — cancelled predictions \
+         are piling up in the calendar again",
+        st.stale_events,
+        st.events,
+    );
+}

@@ -93,6 +93,16 @@ pub struct Database {
     stats: DbStats,
     /// Undo log of the open transaction, if any. `None` = auto-commit mode.
     txn: Option<TxnLog>,
+    /// Rewind journal: when armed (see [`begin_rewind`](Self::begin_rewind)),
+    /// every surviving row mutation — auto-commit writes directly, committed
+    /// transactions at commit — is appended in host execution order, so
+    /// [`rewind`](Self::rewind) can restore the armed-at state byte-exactly
+    /// by applying the journal in reverse.
+    journal: Option<TxnLog>,
+    /// Set when a mutation the journal cannot exactly reverse happened (an
+    /// [`apply_rollback`](Self::apply_rollback) of an already-journaled
+    /// receipt). `rewind` then refuses and the caller must re-fork.
+    journal_dirty: bool,
 }
 
 impl Database {
@@ -112,6 +122,8 @@ impl Database {
             schema_version: 0,
             stats: DbStats::default(),
             txn: None,
+            journal: None,
+            journal_dirty: false,
         }
     }
 
@@ -221,15 +233,27 @@ impl Database {
     /// Commits the open transaction, keeping its writes, and returns the
     /// undo log as the transaction's write receipt (`None` when no
     /// transaction was open — a bare `COMMIT` is a no-op, as in MySQL).
+    ///
+    /// With the rewind journal armed, the committed ops are also absorbed
+    /// into the journal. Host-side mutation is strictly sequential (one
+    /// transaction open at a time, executed eagerly), so absorbing at
+    /// commit keeps the journal in exact execution order.
     pub fn commit_txn(&mut self) -> Option<TxnLog> {
-        self.txn.take()
+        let log = self.txn.take()?;
+        if let Some(journal) = self.journal.as_mut() {
+            journal.extend_cloned(&log);
+        }
+        Some(log)
     }
 
     /// Rolls back the open transaction, restoring the exact pre-`BEGIN`
     /// state. A bare `ROLLBACK` with no open transaction is a no-op.
+    ///
+    /// Journal-neutral: an open transaction's ops were never absorbed into
+    /// the rewind journal, so undoing them here nets out to zero.
     pub fn rollback_txn(&mut self) {
         if let Some(log) = self.txn.take() {
-            self.apply_rollback(log);
+            self.apply_undo_log(log);
         }
     }
 
@@ -237,7 +261,71 @@ impl Database {
     /// [`rollback_txn`](Self::rollback_txn) and by hosts that unwind a
     /// transaction whose log was already taken (e.g. an aborted in-flight
     /// request whose receipt travelled with the request).
+    ///
+    /// When the rewind journal is armed, the receipt being unwound here was
+    /// already absorbed at commit, and undo application is not exactly
+    /// invertible out of order (free-list and slot-vector layout can
+    /// diverge), so this poisons the journal: the next
+    /// [`rewind`](Self::rewind) reports the database unrecoverable and the
+    /// caller re-forks.
     pub fn apply_rollback(&mut self, log: TxnLog) {
+        if self.journal.is_some() {
+            self.journal_dirty = true;
+        }
+        self.apply_undo_log(log);
+    }
+
+    /// Arms the rewind journal: from this point on, every surviving row
+    /// mutation is recorded so [`rewind`](Self::rewind) can restore the
+    /// current table state byte-exactly. Re-arming resets the journal.
+    ///
+    /// The harness uses this to reuse one database fork across many sweep
+    /// points instead of paying a full copy-on-write table clone (and drop)
+    /// per point.
+    pub fn begin_rewind(&mut self) {
+        self.journal = Some(TxnLog::default());
+        self.journal_dirty = false;
+    }
+
+    /// Disarms the rewind journal without restoring anything.
+    pub fn end_rewind(&mut self) {
+        self.journal = None;
+        self.journal_dirty = false;
+    }
+
+    /// Restores the table state captured by the last
+    /// [`begin_rewind`](Self::begin_rewind) by applying the journal in
+    /// reverse, then re-arms the journal. Returns `false` (leaving the
+    /// database untouched) when an un-journalable mutation poisoned the
+    /// journal — the caller must discard this instance and re-fork.
+    ///
+    /// Caches and statistics are deliberately left alone: statement cost is
+    /// a pure function of per-query counters, never of cache warmth, so a
+    /// rewound database drives byte-identical experiments while keeping its
+    /// warm plan cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a transaction is still open.
+    pub fn rewind(&mut self) -> bool {
+        assert!(self.txn.is_none(), "rewind with a transaction open");
+        if self.journal_dirty {
+            return false;
+        }
+        if let Some(log) = self.journal.take() {
+            self.apply_undo_log(log);
+            self.journal = Some(TxnLog::default());
+        }
+        true
+    }
+
+    /// Number of row mutations currently recorded in the rewind journal
+    /// (diagnostics).
+    pub fn rewind_journal_len(&self) -> usize {
+        self.journal.as_ref().map_or(0, TxnLog::len)
+    }
+
+    fn apply_undo_log(&mut self, log: TxnLog) {
         for op in log.into_ops().into_iter().rev() {
             match op {
                 UndoOp::Insert { table, rid, new_slot, prev_next_auto, post_next_auto } => {
@@ -277,24 +365,36 @@ impl Database {
         id: usize,
         row: Vec<Value>,
     ) -> SqlResult<(RowId, Option<i64>)> {
+        let recording = self.txn.is_some() || self.journal.is_some();
         let table = Arc::make_mut(&mut self.tables[id]);
-        if self.txn.is_none() {
+        if !recording {
             return table.insert(row);
         }
         let prev_next_auto = table.next_auto();
         let len_before = table.slot_count();
         let (rid, assigned) = table.insert(row)?;
         let post_next_auto = table.next_auto();
-        if let Some(txn) = self.txn.as_mut() {
-            txn.record(UndoOp::Insert {
-                table: id,
-                rid,
-                new_slot: rid == len_before,
-                prev_next_auto,
-                post_next_auto,
-            });
-        }
+        self.record_undo(UndoOp::Insert {
+            table: id,
+            rid,
+            new_slot: rid == len_before,
+            prev_next_auto,
+            post_next_auto,
+        });
         Ok((rid, assigned))
+    }
+
+    /// Routes one undo record to the open transaction's log, or — for
+    /// auto-commit writes — straight into the armed rewind journal.
+    fn record_undo(&mut self, op: UndoOp) {
+        match self.txn.as_mut() {
+            Some(txn) => txn.record(op),
+            None => {
+                if let Some(journal) = self.journal.as_mut() {
+                    journal.record(op);
+                }
+            }
+        }
     }
 
     /// Replaces the row at `rid` in table `id`, recording the pre-image
@@ -306,16 +406,23 @@ impl Database {
         rid: RowId,
         new_row: Vec<Value>,
     ) -> SqlResult<()> {
+        let recording = self.txn.is_some() || self.journal.is_some();
         let table = Arc::make_mut(&mut self.tables[id]);
-        if self.txn.is_none() {
+        if !recording {
             return table.update(rid, new_row);
         }
         let old_row = table.get(rid).map(<[Value]>::to_vec);
         let sec_pos = if old_row.is_some() { table.sec_positions(rid) } else { Vec::new() };
         let post_image = new_row.clone();
         table.update(rid, new_row)?;
-        if let (Some(old_row), Some(txn)) = (old_row, self.txn.as_mut()) {
-            txn.record(UndoOp::Update { table: id, rid, old_row, new_row: post_image, sec_pos });
+        if let Some(old_row) = old_row {
+            self.record_undo(UndoOp::Update {
+                table: id,
+                rid,
+                old_row,
+                new_row: post_image,
+                sec_pos,
+            });
         }
         Ok(())
     }
@@ -323,15 +430,14 @@ impl Database {
     /// Deletes the row at `rid` in table `id`, recording the pre-image when
     /// a transaction is open. All executor delete paths go through here.
     pub(crate) fn delete_row(&mut self, id: usize, rid: RowId) -> SqlResult<Vec<Value>> {
+        let recording = self.txn.is_some() || self.journal.is_some();
         let table = Arc::make_mut(&mut self.tables[id]);
-        if self.txn.is_none() {
+        if !recording {
             return table.delete(rid);
         }
         let sec_pos = if table.get(rid).is_some() { table.sec_positions(rid) } else { Vec::new() };
         let old_row = table.delete(rid)?;
-        if let Some(txn) = self.txn.as_mut() {
-            txn.record(UndoOp::Delete { table: id, rid, old_row: old_row.clone(), sec_pos });
-        }
+        self.record_undo(UndoOp::Delete { table: id, rid, old_row: old_row.clone(), sec_pos });
         Ok(old_row)
     }
 

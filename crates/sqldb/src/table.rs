@@ -2,15 +2,295 @@
 
 use crate::error::{SqlError, SqlResult};
 use crate::schema::TableSchema;
-use crate::value::Value;
-use std::collections::BTreeMap;
+use crate::value::{Istr, Value};
+use std::collections::hash_map::Entry;
+use std::collections::{BTreeMap, HashMap};
 use std::ops::Bound;
+use std::sync::Arc;
 
 /// Identifies a row slot within one table. Stable for the row's lifetime;
 /// slots of deleted rows are reused.
 pub type RowId = usize;
 
+/// Per-table string interner: one canonical `Arc<Istr>` per distinct byte
+/// string, bucketed by the cached FNV-1a hash. Interning at insert/update
+/// time means equal strings across rows share one allocation, so the
+/// `Arc::ptr_eq` fast paths in `Value::cmp`/`Value::eq` fire on index
+/// probes and join keys instead of falling back to byte scans.
+///
+/// Buckets are keyed by the cached hash directly (rather than wrapping a
+/// `HashMap<Arc<Istr>, _>`) because lookups start from an already-hashed
+/// `Istr`; no hasher runs during interning.
+#[derive(Debug, Default)]
+struct StrInterner {
+    buckets: HashMap<u64, Arc<Istr>>,
+}
+
+/// The interner is a sharing cache, not table state (`PartialEq` for
+/// `Table` already ignores it), and for a populated table its bucket map
+/// is as big as an index. Cloning it would make the copy-on-write table
+/// fork — the hot path under per-point experiment forks — pay for a
+/// structure the clone can rebuild lazily, so a cloned interner starts
+/// empty. Existing rows keep their shared `Arc`s; only post-clone inserts
+/// re-establish sharing as they go.
+impl Clone for StrInterner {
+    fn clone(&self) -> StrInterner {
+        StrInterner::default()
+    }
+}
+
+impl StrInterner {
+    /// Canonicalizes a string value in place; non-strings pass through.
+    ///
+    /// One canonical entry per 64-bit hash: on the (astronomically rare)
+    /// collision of two distinct strings, the later one simply keeps its
+    /// own allocation — interning is best-effort sharing, never identity,
+    /// so correctness only ever rests on `Value`'s byte-level equality.
+    fn intern(&mut self, v: &mut Value) {
+        let Value::Str(s) = v else { return };
+        match self.buckets.entry(s.cached_hash()) {
+            Entry::Occupied(e) => {
+                if e.get().as_str() == s.as_str() {
+                    *s = Arc::clone(e.get());
+                }
+            }
+            Entry::Vacant(e) => {
+                e.insert(Arc::clone(s));
+            }
+        }
+    }
+}
+
+/// Sentinel for an unoccupied dense primary-key slot.
+const PK_NONE: RowId = RowId::MAX;
+
+/// The primary-key index.
+///
+/// Every benchmark table keys on a dense auto-increment integer, so the
+/// default representation is a direct-map vector (`slots[key - base]` is
+/// the row id): O(1) probes instead of a B-tree descent, and — what the
+/// copy-on-write table fork cares about — a clone that is one `memcpy`
+/// instead of a node-by-node tree rebuild. String keys, or integer keys
+/// that go sparse (span > 4·len + 1024), demote the index to a `BTreeMap`
+/// permanently.
+///
+/// Ordering-sensitive callers (`range`, `pairs`) see the exact sequence
+/// the B-tree would produce: dense keys are all `Value::Int`, and
+/// ascending offset IS ascending `Value::cmp` order; range bounds are
+/// resolved by binary search with `Value::cmp` itself, so cross-type
+/// bounds (floats, strings) behave identically in both representations.
+#[derive(Debug, Clone)]
+enum PkIndex {
+    /// `slots[k - base]` holds the row id for integer key `k`.
+    Dense {
+        base: i64,
+        slots: Vec<RowId>,
+        len: usize,
+    },
+    Sparse(BTreeMap<Value, RowId>),
+}
+
+impl Default for PkIndex {
+    fn default() -> Self {
+        PkIndex::Dense { base: 0, slots: Vec::new(), len: 0 }
+    }
+}
+
+impl PkIndex {
+    fn len(&self) -> usize {
+        match self {
+            PkIndex::Dense { len, .. } => *len,
+            PkIndex::Sparse(m) => m.len(),
+        }
+    }
+
+    fn get(&self, key: &Value) -> Option<RowId> {
+        match self {
+            PkIndex::Dense { base, slots, .. } => {
+                let k = key.as_int()?;
+                let off = usize::try_from(k.checked_sub(*base)?).ok()?;
+                match slots.get(off) {
+                    Some(&rid) if rid != PK_NONE => Some(rid),
+                    _ => None,
+                }
+            }
+            PkIndex::Sparse(m) => m.get(key).copied(),
+        }
+    }
+
+    fn contains(&self, key: &Value) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// `true` when a dense vector spanning `span` slots for `n` keys is
+    /// still an acceptable trade of memory for probe speed.
+    fn density_ok(span: usize, n: usize) -> bool {
+        span <= n.saturating_mul(4) + 1024
+    }
+
+    /// Inserts `key -> rid`. The caller has already rejected duplicates.
+    fn insert(&mut self, key: Value, rid: RowId) {
+        if let PkIndex::Dense { base, slots, len } = self {
+            let Some(k) = key.as_int() else {
+                self.demote().insert(key, rid);
+                return;
+            };
+            if slots.is_empty() {
+                *base = k;
+                slots.push(rid);
+                *len = 1;
+                return;
+            }
+            match k.checked_sub(*base) {
+                Some(off) if off >= 0 => {
+                    let off = off as usize;
+                    if off < slots.len() {
+                        debug_assert_eq!(slots[off], PK_NONE, "duplicate pk slot");
+                        slots[off] = rid;
+                        *len += 1;
+                    } else if Self::density_ok(off + 1, *len + 1) {
+                        slots.resize(off + 1, PK_NONE);
+                        slots[off] = rid;
+                        *len += 1;
+                    } else {
+                        self.demote().insert(Value::Int(k), rid);
+                    }
+                }
+                Some(neg_off) => {
+                    // Key below the base: shift the map down (rare — keys
+                    // from auto-increment only ever ascend).
+                    let shift = neg_off.unsigned_abs() as usize;
+                    if Self::density_ok(slots.len() + shift, *len + 1) {
+                        slots.splice(0..0, std::iter::repeat_n(PK_NONE, shift));
+                        slots[0] = rid;
+                        *base = k;
+                        *len += 1;
+                    } else {
+                        self.demote().insert(Value::Int(k), rid);
+                    }
+                }
+                None => {
+                    self.demote().insert(Value::Int(k), rid);
+                }
+            }
+            return;
+        }
+        let PkIndex::Sparse(m) = self else { unreachable!() };
+        m.insert(key, rid);
+    }
+
+    fn remove(&mut self, key: &Value) {
+        match self {
+            PkIndex::Dense { base, slots, len } => {
+                let Some(off) = key
+                    .as_int()
+                    .and_then(|k| k.checked_sub(*base))
+                    .and_then(|o| usize::try_from(o).ok())
+                else {
+                    return;
+                };
+                if let Some(slot) = slots.get_mut(off) {
+                    if *slot != PK_NONE {
+                        *slot = PK_NONE;
+                        *len -= 1;
+                    }
+                }
+            }
+            PkIndex::Sparse(m) => {
+                m.remove(key);
+            }
+        }
+    }
+
+    /// Rebuilds as a B-tree and returns it for the pending insert.
+    fn demote(&mut self) -> &mut Self {
+        if let PkIndex::Dense { base, slots, .. } = self {
+            let map: BTreeMap<Value, RowId> = slots
+                .iter()
+                .enumerate()
+                .filter(|(_, rid)| **rid != PK_NONE)
+                .map(|(off, rid)| (Value::Int(*base + off as i64), *rid))
+                .collect();
+            *self = PkIndex::Sparse(map);
+        }
+        self
+    }
+
+    /// First dense offset whose key satisfies `keep` (a monotone predicate
+    /// under `Value::cmp`, which ascending offsets follow).
+    fn dense_boundary(base: i64, n: usize, keep: impl Fn(&Value) -> bool) -> usize {
+        let (mut lo, mut hi) = (0usize, n);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if keep(&Value::Int(base + mid as i64)) {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        lo
+    }
+
+    /// Row ids with keys inside the bounds, in ascending key order —
+    /// byte-identical to what `BTreeMap::range` over the same pairs yields.
+    fn range(&self, lo: Bound<&Value>, hi: Bound<&Value>) -> Vec<RowId> {
+        match self {
+            PkIndex::Dense { base, slots, .. } => {
+                let start = match lo {
+                    Bound::Unbounded => 0,
+                    Bound::Included(b) => {
+                        Self::dense_boundary(*base, slots.len(), |k| k.cmp(b).is_ge())
+                    }
+                    Bound::Excluded(b) => {
+                        Self::dense_boundary(*base, slots.len(), |k| k.cmp(b).is_gt())
+                    }
+                };
+                let end = match hi {
+                    Bound::Unbounded => slots.len(),
+                    Bound::Included(b) => {
+                        Self::dense_boundary(*base, slots.len(), |k| k.cmp(b).is_gt())
+                    }
+                    Bound::Excluded(b) => {
+                        Self::dense_boundary(*base, slots.len(), |k| k.cmp(b).is_ge())
+                    }
+                };
+                slots[start..end.max(start)].iter().copied().filter(|r| *r != PK_NONE).collect()
+            }
+            PkIndex::Sparse(m) => m.range((lo, hi)).map(|(_, r)| *r).collect(),
+        }
+    }
+
+    /// `(key, rid)` pairs in ascending key order (equality and diagnostics;
+    /// dense keys are synthesized, sparse keys cloned).
+    fn pairs(&self) -> Box<dyn Iterator<Item = (Value, RowId)> + '_> {
+        match self {
+            PkIndex::Dense { base, slots, .. } => Box::new(
+                slots
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, rid)| **rid != PK_NONE)
+                    .map(move |(off, rid)| (Value::Int(*base + off as i64), *rid)),
+            ),
+            PkIndex::Sparse(m) => Box::new(m.iter().map(|(k, r)| (k.clone(), *r))),
+        }
+    }
+}
+
+/// Representation-independent equality: the same key→rid mapping compares
+/// equal whether it lives in a dense vector or a demoted B-tree.
+impl PartialEq for PkIndex {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.pairs().eq(other.pairs())
+    }
+}
+
 /// A stored table: schema, row slots, and indexes.
+///
+/// Rows live in a single flat cell arena (`cells`, stride = column count)
+/// with a parallel liveness mask, rather than one `Vec<Value>` allocation
+/// per row. Inserting into a reused slot overwrites cells in place, and
+/// reading a row is a slice borrow — no per-row boxing anywhere on the
+/// scan, lookup, or undo paths.
 ///
 /// ```
 /// use dynamid_sqldb::{Table, TableSchema, ColumnType, Value};
@@ -27,30 +307,63 @@ pub type RowId = usize;
 /// assert_eq!(id, Some(1));
 /// assert_eq!(t.get(rid).unwrap()[1], Value::str("bob"));
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Table {
     schema: TableSchema,
-    rows: Vec<Option<Vec<Value>>>,
+    /// Row cells, `width` per slot. Dead slots keep their last values
+    /// (excluded from equality) until the slot is reused.
+    cells: Vec<Value>,
+    /// Cells per row (= number of schema columns).
+    width: usize,
+    /// Parallel to slots: `true` while the slot holds a live row.
+    live_mask: Vec<bool>,
     live: usize,
     free: Vec<RowId>,
-    pk_index: BTreeMap<Value, RowId>,
+    pk_index: PkIndex,
     /// Parallel to `schema.indexes()`: one B-tree per secondary index.
     sec: Vec<BTreeMap<Value, Vec<RowId>>>,
     next_auto: i64,
+    interner: StrInterner,
+}
+
+/// Equality compares logical content: schema, slot layout, live rows,
+/// free list, indexes, and the auto counter. The interner and the garbage
+/// cells of dead slots are deliberately excluded — they are caches whose
+/// contents depend on mutation history, not on the data.
+impl PartialEq for Table {
+    fn eq(&self, other: &Self) -> bool {
+        self.schema == other.schema
+            && self.live == other.live
+            && self.next_auto == other.next_auto
+            && self.live_mask == other.live_mask
+            && self.free == other.free
+            && self.pk_index == other.pk_index
+            && self.sec == other.sec
+            && self
+                .live_mask
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| **l)
+                .all(|(rid, _)| self.get(rid) == other.get(rid))
+    }
 }
 
 impl Table {
     /// Creates an empty table for the schema.
     pub fn new(schema: TableSchema) -> Self {
         let sec = schema.indexes().iter().map(|_| BTreeMap::new()).collect();
+        let width = schema.columns().len();
         Table {
             schema,
-            rows: Vec::new(),
+            cells: Vec::new(),
+            width,
+            live_mask: Vec::new(),
             live: 0,
             free: Vec::new(),
-            pk_index: BTreeMap::new(),
+            pk_index: PkIndex::default(),
             sec,
             next_auto: 1,
+            interner: StrInterner::default(),
         }
     }
 
@@ -62,6 +375,15 @@ impl Table {
     /// Number of live rows.
     pub fn row_count(&self) -> usize {
         self.live
+    }
+
+    /// Pre-sizes the cell arena and liveness mask for `additional` upcoming
+    /// inserts. Purely an allocation hint — bulk loaders (benchmark
+    /// population) use it to skip doubling-growth copies of a
+    /// multi-megabyte arena.
+    pub fn reserve(&mut self, additional: usize) {
+        self.cells.reserve(additional * self.width.max(1));
+        self.live_mask.reserve(additional);
     }
 
     /// Inserts a row (values in schema column order). For an auto-increment
@@ -84,7 +406,7 @@ impl Table {
         }
         self.schema.check_row(&row)?;
         if let Some(pk) = self.schema.primary_key() {
-            if self.pk_index.contains_key(&row[pk]) {
+            if self.pk_index.contains(&row[pk]) {
                 return Err(SqlError::DuplicateKey(format!(
                     "{}={}",
                     self.schema.columns()[pk].name(),
@@ -98,14 +420,21 @@ impl Table {
                 }
             }
         }
+        for v in &mut row {
+            self.interner.intern(v);
+        }
         let rid = match self.free.pop() {
             Some(slot) => {
-                self.rows[slot] = Some(row);
+                for (cell, v) in self.cells[slot * self.width..].iter_mut().zip(row) {
+                    *cell = v;
+                }
+                self.live_mask[slot] = true;
                 slot
             }
             None => {
-                self.rows.push(Some(row));
-                self.rows.len() - 1
+                self.cells.extend(row);
+                self.live_mask.push(true);
+                self.live_mask.len() - 1
             }
         };
         self.live += 1;
@@ -115,7 +444,10 @@ impl Table {
 
     /// The row at `rid`, if live.
     pub fn get(&self, rid: RowId) -> Option<&[Value]> {
-        self.rows.get(rid)?.as_deref()
+        if !self.live_mask.get(rid).copied().unwrap_or(false) {
+            return None;
+        }
+        Some(&self.cells[rid * self.width..(rid + 1) * self.width])
     }
 
     /// Replaces the row at `rid`, maintaining all indexes.
@@ -124,13 +456,13 @@ impl Table {
     ///
     /// Fails if the row id is dead, the new row violates the schema, or the
     /// new primary key duplicates another row's.
-    pub fn update(&mut self, rid: RowId, new_row: Vec<Value>) -> SqlResult<()> {
+    pub fn update(&mut self, rid: RowId, mut new_row: Vec<Value>) -> SqlResult<()> {
         self.schema.check_row(&new_row)?;
-        let Some(Some(old)) = self.rows.get(rid) else {
+        let Some(old) = self.get(rid) else {
             return Err(SqlError::Constraint(format!("no row {rid}")));
         };
         if let Some(pk) = self.schema.primary_key() {
-            if old[pk] != new_row[pk] && self.pk_index.contains_key(&new_row[pk]) {
+            if old[pk] != new_row[pk] && self.pk_index.contains(&new_row[pk]) {
                 return Err(SqlError::DuplicateKey(format!(
                     "{}={}",
                     self.schema.columns()[pk].name(),
@@ -138,8 +470,13 @@ impl Table {
                 )));
             }
         }
+        for v in &mut new_row {
+            self.interner.intern(v);
+        }
         self.index_remove(rid);
-        self.rows[rid] = Some(new_row);
+        for (cell, v) in self.cells[rid * self.width..].iter_mut().zip(new_row) {
+            *cell = v;
+        }
         self.index_insert(rid);
         Ok(())
     }
@@ -154,7 +491,11 @@ impl Table {
             return Err(SqlError::Constraint(format!("no row {rid}")));
         }
         self.index_remove(rid);
-        let row = self.rows[rid].take().expect("checked live");
+        let row = self.cells[rid * self.width..(rid + 1) * self.width]
+            .iter_mut()
+            .map(|cell| std::mem::replace(cell, Value::Null))
+            .collect();
+        self.live_mask[rid] = false;
         self.free.push(rid);
         self.live -= 1;
         Ok(row)
@@ -162,12 +503,16 @@ impl Table {
 
     /// Iterates live rows in slot order.
     pub fn scan(&self) -> impl Iterator<Item = (RowId, &[Value])> + '_ {
-        self.rows.iter().enumerate().filter_map(|(rid, r)| r.as_deref().map(|row| (rid, row)))
+        self.live_mask
+            .iter()
+            .enumerate()
+            .filter(|(_, live)| **live)
+            .map(move |(rid, _)| (rid, &self.cells[rid * self.width..(rid + 1) * self.width]))
     }
 
     /// Looks up a row by primary key.
     pub fn pk_lookup(&self, key: &Value) -> Option<RowId> {
-        self.pk_index.get(key).copied()
+        self.pk_index.get(key)
     }
 
     /// `true` when lookups on this column can use an index (primary or
@@ -198,7 +543,7 @@ impl Table {
     /// Panics if the column is not indexed.
     pub fn index_range(&self, col: usize, lo: Bound<&Value>, hi: Bound<&Value>) -> Vec<RowId> {
         if self.schema.primary_key() == Some(col) {
-            return self.pk_index.range((lo, hi)).map(|(_, r)| *r).collect();
+            return self.pk_index.range(lo, hi);
         }
         let slot = self.secondary_slot(col);
         self.sec[slot].range((lo, hi)).flat_map(|(_, rids)| rids.iter().copied()).collect()
@@ -216,7 +561,18 @@ impl Table {
     /// Panics if the column is not indexed.
     pub fn index_groups(&self, col: usize) -> Box<dyn Iterator<Item = (&Value, &[RowId])> + '_> {
         if self.schema.primary_key() == Some(col) {
-            Box::new(self.pk_index.iter().map(|(k, rid)| (k, std::slice::from_ref(rid))))
+            match &self.pk_index {
+                // Ascending offset is ascending key order; the key `Value`
+                // is borrowed from the row's own pk cell.
+                PkIndex::Dense { slots, .. } => {
+                    Box::new(slots.iter().filter(|rid| **rid != PK_NONE).map(move |rid| {
+                        (&self.cells[*rid * self.width + col], std::slice::from_ref(rid))
+                    }))
+                }
+                PkIndex::Sparse(m) => {
+                    Box::new(m.iter().map(|(k, rid)| (k, std::slice::from_ref(rid))))
+                }
+            }
         } else {
             let slot = self.secondary_slot(col);
             Box::new(self.sec[slot].iter().map(|(k, rids)| (k, rids.as_slice())))
@@ -239,14 +595,14 @@ impl Table {
 
     /// Number of row slots, live or tombstoned (undo-log bookkeeping).
     pub(crate) fn slot_count(&self) -> usize {
-        self.rows.len()
+        self.live_mask.len()
     }
 
     /// Position of `rid` within each secondary-index entry, parallel to
     /// `schema.indexes()`. Captured before an update/delete so undo can
     /// re-insert the id at the same position instead of appending.
     pub(crate) fn sec_positions(&self, rid: RowId) -> Vec<usize> {
-        let row = self.rows[rid].as_ref().expect("live row");
+        let row = self.get(rid).expect("live row");
         self.schema
             .indexes()
             .iter()
@@ -260,7 +616,7 @@ impl Table {
             .collect()
     }
 
-    /// Reverses an insert: removes the row and restores the slot vector,
+    /// Reverses an insert: removes the row and restores the slot arena,
     /// free list, and (if no later insert advanced it) the auto-increment
     /// counter to their pre-insert state.
     pub(crate) fn undo_insert(
@@ -270,12 +626,13 @@ impl Table {
         prev_next_auto: i64,
         post_next_auto: i64,
     ) {
-        if self.rows.get(rid).is_some_and(Option::is_some) {
+        if self.live_mask.get(rid).copied().unwrap_or(false) {
             self.index_remove(rid);
-            self.rows[rid] = None;
+            self.live_mask[rid] = false;
             self.live -= 1;
-            if new_slot && rid + 1 == self.rows.len() {
-                self.rows.pop();
+            if new_slot && rid + 1 == self.live_mask.len() {
+                self.live_mask.pop();
+                self.cells.truncate(rid * self.width);
             } else {
                 // The slot came off the top of the free stack; put it back.
                 self.free.push(rid);
@@ -307,10 +664,8 @@ impl Table {
         new_row: Vec<Value>,
         sec_pos: &[usize],
     ) {
-        if rid >= self.rows.len() {
-            self.rows.resize_with(rid + 1, || None);
-        }
-        let restored = match &self.rows[rid] {
+        self.grow_to(rid);
+        let restored: Vec<Value> = match self.get(rid) {
             Some(current) => old_row
                 .into_iter()
                 .zip(new_row)
@@ -324,15 +679,18 @@ impl Table {
                 .collect(),
             None => old_row,
         };
-        if self.rows[rid].is_some() {
+        if self.live_mask[rid] {
             self.index_remove(rid);
         } else {
             if let Some(pos) = self.free.iter().rposition(|r| *r == rid) {
                 self.free.remove(pos);
             }
             self.live += 1;
+            self.live_mask[rid] = true;
         }
-        self.rows[rid] = Some(restored);
+        for (cell, v) in self.cells[rid * self.width..].iter_mut().zip(restored) {
+            *cell = v;
+        }
         self.index_insert_at(rid, sec_pos);
     }
 
@@ -341,32 +699,42 @@ impl Table {
     /// Tolerates a slot already restored or popped by an interleaved
     /// rollback (see [`undo_update`](Self::undo_update)).
     pub(crate) fn undo_delete(&mut self, rid: RowId, old_row: Vec<Value>, sec_pos: &[usize]) {
-        if rid >= self.rows.len() {
-            self.rows.resize_with(rid + 1, || None);
-        }
+        self.grow_to(rid);
         if let Some(pos) = self.free.iter().rposition(|r| *r == rid) {
             self.free.remove(pos);
         }
-        if self.rows[rid].is_some() {
+        if self.live_mask[rid] {
             self.index_remove(rid);
         } else {
             self.live += 1;
+            self.live_mask[rid] = true;
         }
-        self.rows[rid] = Some(old_row);
+        for (cell, v) in self.cells[rid * self.width..].iter_mut().zip(old_row) {
+            *cell = v;
+        }
         self.index_insert_at(rid, sec_pos);
+    }
+
+    /// Ensures slot `rid` exists (as a dead slot) so an undo can restore a
+    /// row whose slot was popped by an interleaved insert-undo.
+    fn grow_to(&mut self, rid: RowId) {
+        if rid >= self.live_mask.len() {
+            self.live_mask.resize(rid + 1, false);
+            self.cells.resize((rid + 1) * self.width, Value::Null);
+        }
     }
 
     /// Like `index_insert`, but places the row id at a recorded position
     /// within each secondary-index entry instead of appending, so undo
     /// restores the exact pre-mutation index layout.
     fn index_insert_at(&mut self, rid: RowId, sec_pos: &[usize]) {
-        let row = self.rows[rid].as_ref().expect("live row");
-        if let Some(pk) = self.schema.primary_key() {
-            self.pk_index.insert(row[pk].clone(), rid);
+        let Table { schema, cells, width, pk_index, sec, .. } = self;
+        let row = &cells[rid * *width..(rid + 1) * *width];
+        if let Some(pk) = schema.primary_key() {
+            pk_index.insert(row[pk].clone(), rid);
         }
-        for (slot, col) in self.schema.indexes().to_vec().into_iter().enumerate() {
-            let key = self.rows[rid].as_ref().expect("live row")[col].clone();
-            let rids = self.sec[slot].entry(key).or_default();
+        for (slot, col) in schema.indexes().iter().enumerate() {
+            let rids = sec[slot].entry(row[*col].clone()).or_default();
             let pos = sec_pos.get(slot).copied().unwrap_or(rids.len()).min(rids.len());
             rids.insert(pos, rid);
         }
@@ -381,26 +749,27 @@ impl Table {
     }
 
     fn index_insert(&mut self, rid: RowId) {
-        let row = self.rows[rid].as_ref().expect("live row");
-        if let Some(pk) = self.schema.primary_key() {
-            self.pk_index.insert(row[pk].clone(), rid);
+        let Table { schema, cells, width, pk_index, sec, .. } = self;
+        let row = &cells[rid * *width..(rid + 1) * *width];
+        if let Some(pk) = schema.primary_key() {
+            pk_index.insert(row[pk].clone(), rid);
         }
-        for (slot, col) in self.schema.indexes().to_vec().into_iter().enumerate() {
-            let key = row[col].clone();
-            self.sec[slot].entry(key).or_default().push(rid);
+        for (slot, col) in schema.indexes().iter().enumerate() {
+            sec[slot].entry(row[*col].clone()).or_default().push(rid);
         }
     }
 
     fn index_remove(&mut self, rid: RowId) {
-        let row = self.rows[rid].as_ref().expect("live row").clone();
-        if let Some(pk) = self.schema.primary_key() {
-            self.pk_index.remove(&row[pk]);
+        let Table { schema, cells, width, pk_index, sec, .. } = self;
+        let row = &cells[rid * *width..(rid + 1) * *width];
+        if let Some(pk) = schema.primary_key() {
+            pk_index.remove(&row[pk]);
         }
-        for (slot, col) in self.schema.indexes().to_vec().into_iter().enumerate() {
-            if let Some(rids) = self.sec[slot].get_mut(&row[col]) {
+        for (slot, col) in schema.indexes().iter().enumerate() {
+            if let Some(rids) = sec[slot].get_mut(&row[*col]) {
                 rids.retain(|r| *r != rid);
                 if rids.is_empty() {
-                    self.sec[slot].remove(&row[col]);
+                    sec[slot].remove(&row[*col]);
                 }
             }
         }
@@ -554,5 +923,32 @@ mod tests {
         assert_eq!(t.index_cardinality(0), 3);
         assert_eq!(t.index_cardinality(1), 2);
         assert_eq!(t.index_cardinality(2), 2);
+    }
+
+    #[test]
+    fn interner_shares_equal_strings_across_rows() {
+        let mut t = users();
+        let (r1, _) = t.insert(row("bob", 1)).unwrap();
+        let (r2, _) = t.insert(row("bob", 2)).unwrap();
+        match (&t.get(r1).unwrap()[1], &t.get(r2).unwrap()[1]) {
+            (Value::Str(a), Value::Str(b)) => assert!(Arc::ptr_eq(a, b)),
+            other => panic!("expected strings, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn equality_ignores_interner_history() {
+        let mut a = users();
+        let mut b = users();
+        // Same logical content, different mutation history: each table has
+        // interned a string the other never saw, and each carries a dead
+        // slot. Equality must look only at live data.
+        let (dead_a, _) = a.insert(row("ghost", 9)).unwrap();
+        a.insert(row("ann", 1)).unwrap();
+        a.delete(dead_a).unwrap();
+        let (dead_b, _) = b.insert(row("other", 3)).unwrap();
+        b.insert(row("ann", 1)).unwrap();
+        b.delete(dead_b).unwrap();
+        assert_eq!(a, b);
     }
 }

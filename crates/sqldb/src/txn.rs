@@ -91,6 +91,12 @@ impl TxnLog {
         self.ops.push(op);
     }
 
+    /// Appends a copy of `other`'s ops, preserving their order. Used by the
+    /// rewind journal to absorb a committed transaction's receipt.
+    pub(crate) fn extend_cloned(&mut self, other: &TxnLog) {
+        self.ops.extend(other.ops.iter().cloned());
+    }
+
     pub(crate) fn into_ops(self) -> Vec<UndoOp> {
         self.ops
     }

@@ -6,11 +6,85 @@ use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
+/// A hash-cached string payload: the deterministic FNV-1a hash of the
+/// bytes is computed once at construction, so hash joins, hash
+/// aggregation, and hash-map probes over string values never re-scan the
+/// bytes. Equality still compares bytes (the hash is a fast-path filter)
+/// and ordering is plain byte ordering, so B-tree index layouts are
+/// unaffected.
+#[derive(Debug)]
+pub struct Istr {
+    hash: u64,
+    s: Box<str>,
+}
+
+impl Istr {
+    fn new(s: &str) -> Istr {
+        Istr { hash: fnv1a(s.as_bytes()), s: s.into() }
+    }
+
+    /// The string slice.
+    pub fn as_str(&self) -> &str {
+        &self.s
+    }
+
+    /// The cached FNV-1a hash of the bytes.
+    pub(crate) fn cached_hash(&self) -> u64 {
+        self.hash
+    }
+}
+
+impl std::ops::Deref for Istr {
+    type Target = str;
+    fn deref(&self) -> &str {
+        &self.s
+    }
+}
+
+impl PartialEq for Istr {
+    fn eq(&self, other: &Self) -> bool {
+        self.hash == other.hash && self.s == other.s
+    }
+}
+
+impl Eq for Istr {}
+
+impl PartialOrd for Istr {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Istr {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.s.cmp(&other.s)
+    }
+}
+
+impl fmt::Display for Istr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.s)
+    }
+}
+
+/// Deterministic 64-bit FNV-1a. Chosen over the std `RandomState` hasher
+/// because the cached hash participates in `Hash for Value` and must be
+/// identical across processes and runs for reproducibility.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 /// A single SQL value.
 ///
 /// Strings are reference-counted so result rows and index keys can be cloned
-/// cheaply. The total order is `NULL < numbers (Int and Float compared
-/// numerically) < strings`, which is what the B-tree indexes use.
+/// cheaply, and carry a cached hash (see [`Istr`]). The total order is
+/// `NULL < numbers (Int and Float compared numerically) < strings`, which
+/// is what the B-tree indexes use.
 ///
 /// ```
 /// use dynamid_sqldb::Value;
@@ -27,13 +101,13 @@ pub enum Value {
     /// Double-precision float (prices, rates).
     Float(f64),
     /// UTF-8 string.
-    Str(Arc<str>),
+    Str(Arc<Istr>),
 }
 
 impl Value {
     /// Creates a string value.
     pub fn str(s: impl AsRef<str>) -> Value {
-        Value::Str(Arc::from(s.as_ref()))
+        Value::Str(Arc::new(Istr::new(s.as_ref())))
     }
 
     /// `true` if the value is NULL.
@@ -212,7 +286,13 @@ fn like_match(text: &str, pattern: &str) -> bool {
 
 impl PartialEq for Value {
     fn eq(&self, other: &Self) -> bool {
-        self.cmp(other) == Ordering::Equal
+        // Equality agrees with `cmp`, but the string arm short-circuits on
+        // the shared allocation and then the cached hash before ever
+        // touching bytes.
+        match (self, other) {
+            (Value::Str(a), Value::Str(b)) => Arc::ptr_eq(a, b) || a == b,
+            _ => self.cmp(other) == Ordering::Equal,
+        }
     }
 }
 
@@ -266,8 +346,11 @@ impl Hash for Value {
                 f.to_bits().hash(state);
             }
             Value::Str(s) => {
+                // The byte hash was computed once at construction; reusing it
+                // here makes hash-join probes and GROUP BY keys O(1) in the
+                // string length.
                 2u8.hash(state);
-                s.hash(state);
+                state.write_u64(s.cached_hash());
             }
         }
     }
@@ -316,7 +399,7 @@ impl From<&str> for Value {
 
 impl From<String> for Value {
     fn from(v: String) -> Value {
-        Value::Str(Arc::from(v.as_str()))
+        Value::str(v)
     }
 }
 

@@ -16,7 +16,10 @@
 //!   no timestamps exist yet at that point;
 //! * the simulation records **op intervals** with sim-timestamps as the
 //!   trace executes (`dynamid_sim::TraceRecorder`), which the experiment
-//!   runner converts into [`RawInterval`]s with resolved machine/lock names.
+//!   runner loads into an [`IntervalTable`] — columnar (struct-of-arrays)
+//!   storage with lock/semaphore names interned once per name instead of
+//!   allocated per interval. The renderers and the bottleneck aggregator
+//!   below scan the table's column buffers directly.
 //!
 //! Joining the two on (job, op index) yields wall-clock span trees
 //! ([`TraceCapture`]) that can be exported as Chrome-trace JSON
@@ -177,10 +180,16 @@ impl SpanRecorder {
     }
 }
 
-/// What a job was doing during one timed interval, with machine and
-/// lock/semaphore names resolved at capture time so the capture is
+/// Index into an [`IntervalTable`]'s interned name list — lock and
+/// semaphore names are stored once and referenced by id, keeping
+/// [`IntervalKind`] `Copy` and the kind column allocation-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NameId(pub u32);
+
+/// What a job was doing during one timed interval, with machine ids and
+/// interned lock/semaphore names resolved at capture time so the capture is
 /// self-contained.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum IntervalKind {
     /// CPU service. `demand_micros` is the op's base demand.
     Cpu {
@@ -202,29 +211,100 @@ pub enum IntervalKind {
     Delay,
     /// Parked waiting for a read/write lock.
     LockWait {
-        /// The lock's registered name (e.g. `table:items`).
-        name: String,
+        /// The lock's registered name (e.g. `table:items`), interned.
+        name: NameId,
     },
     /// Queued for a semaphore unit (process/connection pool).
     SemWait {
-        /// The semaphore's registered name (e.g. `web-pool`).
-        name: String,
+        /// The semaphore's registered name (e.g. `web-pool`), interned.
+        name: NameId,
     },
 }
 
-/// One closed interval of job `job` executing the op at `op_index`.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct RawInterval {
-    /// Engine job id.
-    pub job: u64,
-    /// Op index within the job's trace.
-    pub op_index: usize,
+/// Timed intervals in struct-of-arrays layout: five parallel column
+/// buffers, row `i` of each describing one closed interval of job
+/// `job[i]` executing the op at `op_index[i]`. Rows are in engine end
+/// order. Lock/semaphore names live once in `names` and are referenced by
+/// [`NameId`] from the kind column.
+///
+/// Consumers address the columns directly: the Chrome-trace renderer scans
+/// `kind`/`start_us`/`end_us`, the bottleneck aggregator additionally
+/// groups row indices by `job`. A traced 60-client run holds hundreds of
+/// thousands of rows, so the columnar layout (and the per-name rather than
+/// per-row strings) is what keeps report generation cheap.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct IntervalTable {
+    /// Interned lock/semaphore names, indexed by [`NameId`].
+    pub names: Vec<String>,
+    /// Engine job id of each row.
+    pub job: Vec<u64>,
+    /// Op index within the owning job's trace.
+    pub op_index: Vec<u32>,
     /// What the job was doing.
-    pub kind: IntervalKind,
-    /// Interval start, sim microseconds.
-    pub start_us: u64,
-    /// Interval end, sim microseconds.
-    pub end_us: u64,
+    pub kind: Vec<IntervalKind>,
+    /// Interval starts, sim microseconds.
+    pub start_us: Vec<u64>,
+    /// Interval ends, sim microseconds.
+    pub end_us: Vec<u64>,
+}
+
+impl IntervalTable {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.job.len()
+    }
+
+    /// `true` when the table holds no intervals.
+    pub fn is_empty(&self) -> bool {
+        self.job.is_empty()
+    }
+
+    /// Grows every column so at least `additional` more rows fit without
+    /// reallocating.
+    pub fn reserve(&mut self, additional: usize) {
+        self.job.reserve(additional);
+        self.op_index.reserve(additional);
+        self.kind.reserve(additional);
+        self.start_us.reserve(additional);
+        self.end_us.reserve(additional);
+    }
+
+    /// Interns `name`, returning the id of the existing entry when the name
+    /// was seen before. The name population is small (one per lock or
+    /// semaphore), so a linear probe beats a map.
+    pub fn intern(&mut self, name: &str) -> NameId {
+        if let Some(i) = self.names.iter().position(|n| n == name) {
+            return NameId(i as u32);
+        }
+        self.names.push(name.to_string());
+        NameId((self.names.len() - 1) as u32)
+    }
+
+    /// Resolves an interned name id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this table's
+    /// [`intern`](Self::intern).
+    pub fn name(&self, id: NameId) -> &str {
+        &self.names[id.0 as usize]
+    }
+
+    /// Appends one row.
+    pub fn push(
+        &mut self,
+        job: u64,
+        op_index: usize,
+        kind: IntervalKind,
+        start_us: u64,
+        end_us: u64,
+    ) {
+        self.job.push(job);
+        self.op_index.push(op_index as u32);
+        self.kind.push(kind);
+        self.start_us.push(start_us);
+        self.end_us.push(end_us);
+    }
 }
 
 /// One completed request: identity, timing, and its span tree.
@@ -258,25 +338,29 @@ pub struct TraceCapture {
     pub window_end_us: u64,
     /// Completed requests, in completion order.
     pub jobs: Vec<JobRecord>,
-    /// Timed intervals, in engine end order.
-    pub intervals: Vec<RawInterval>,
+    /// Timed intervals, columnar, in engine end order.
+    pub intervals: IntervalTable,
 }
 
 impl TraceCapture {
     /// Wall-clock `(start_us, end_us)` for each span of `job`, derived by
-    /// joining the span's op range against the job's intervals. The root
-    /// span is pinned to `[submitted, completed]`; a span whose ops all
-    /// recorded nothing (immediate grants, loopback transfers) collapses to
-    /// a zero-length span at its parent's start.
-    pub fn span_times(&self, job: &JobRecord, intervals: &[&RawInterval]) -> Vec<(u64, u64)> {
+    /// joining the span's op range against the job's interval rows (indices
+    /// into [`TraceCapture::intervals`]). The root span is pinned to
+    /// `[submitted, completed]`; a span whose ops all recorded nothing
+    /// (immediate grants, loopback transfers) collapses to a zero-length
+    /// span at its parent's start.
+    pub fn span_times(&self, job: &JobRecord, rows: &[u32]) -> Vec<(u64, u64)> {
+        let tab = &self.intervals;
         let mut times: Vec<Option<(u64, u64)>> = vec![None; job.spans.len()];
         for (i, s) in job.spans.iter().enumerate() {
             let mut lo = u64::MAX;
             let mut hi = 0u64;
-            for iv in intervals {
-                if iv.op_index >= s.start_op && iv.op_index < s.end_op {
-                    lo = lo.min(iv.start_us);
-                    hi = hi.max(iv.end_us);
+            for &r in rows {
+                let r = r as usize;
+                let op = tab.op_index[r] as usize;
+                if op >= s.start_op && op < s.end_op {
+                    lo = lo.min(tab.start_us[r]);
+                    hi = hi.max(tab.end_us[r]);
                 }
             }
             if lo <= hi && lo != u64::MAX {
@@ -299,11 +383,12 @@ impl TraceCapture {
             .collect()
     }
 
-    /// Groups intervals by job id (jobs in first-seen order).
-    fn intervals_by_job(&self) -> BTreeMap<u64, Vec<&RawInterval>> {
-        let mut by_job: BTreeMap<u64, Vec<&RawInterval>> = BTreeMap::new();
-        for iv in &self.intervals {
-            by_job.entry(iv.job).or_default().push(iv);
+    /// Groups interval row indices by job id (jobs in id order, rows in end
+    /// order).
+    fn intervals_by_job(&self) -> BTreeMap<u64, Vec<u32>> {
+        let mut by_job: BTreeMap<u64, Vec<u32>> = BTreeMap::new();
+        for (r, &job) in self.intervals.job.iter().enumerate() {
+            by_job.entry(job).or_default().push(r as u32);
         }
         by_job
     }
@@ -370,11 +455,12 @@ pub fn chrome_trace_json(cap: &TraceCapture) -> String {
             ),
         );
     }
+    let tab = &cap.intervals;
     let by_job = cap.intervals_by_job();
-    let empty: Vec<&RawInterval> = Vec::new();
+    let empty: Vec<u32> = Vec::new();
     for job in &cap.jobs {
-        let ivs = by_job.get(&job.job).unwrap_or(&empty);
-        let times = cap.span_times(job, ivs);
+        let rows = by_job.get(&job.job).unwrap_or(&empty);
+        let times = cap.span_times(job, rows);
         let interaction = cap.interactions.get(job.interaction).map(String::as_str).unwrap_or("?");
         for (s, (start, end)) in job.spans.iter().zip(&times) {
             let mut args =
@@ -399,9 +485,10 @@ pub fn chrome_trace_json(cap: &TraceCapture) -> String {
                 ),
             );
         }
-        for iv in ivs {
-            if let IntervalKind::LockWait { name } | IntervalKind::SemWait { name } = &iv.kind {
-                let cat = match &iv.kind {
+        for &r in rows {
+            let r = r as usize;
+            if let IntervalKind::LockWait { name } | IntervalKind::SemWait { name } = tab.kind[r] {
+                let cat = match tab.kind[r] {
                     IntervalKind::LockWait { .. } => "lock-wait",
                     _ => "sem-wait",
                 };
@@ -411,9 +498,9 @@ pub fn chrome_trace_json(cap: &TraceCapture) -> String {
                     format!(
                         "{{\"name\":\"{}\",\"cat\":\"{cat}\",\"ph\":\"X\",\"ts\":{},\
                          \"dur\":{},\"pid\":1,\"tid\":{},\"args\":{{\"job\":{}}}}}",
-                        json_escape(name),
-                        iv.start_us,
-                        iv.end_us - iv.start_us,
+                        json_escape(tab.name(name)),
+                        tab.start_us[r],
+                        tab.end_us[r] - tab.start_us[r],
                         job.client,
                         job.job,
                     ),
@@ -421,17 +508,17 @@ pub fn chrome_trace_json(cap: &TraceCapture) -> String {
             }
         }
     }
-    for iv in &cap.intervals {
-        match &iv.kind {
+    for (r, kind) in tab.kind.iter().enumerate() {
+        match *kind {
             IntervalKind::Cpu { machine, demand_micros } => push(
                 &mut out,
                 &mut first,
                 format!(
                     "{{\"name\":\"cpu\",\"cat\":\"cpu\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
                      \"pid\":2,\"tid\":{machine},\"args\":{{\"job\":{},\"demand_us\":{}}}}}",
-                    iv.start_us,
-                    iv.end_us - iv.start_us,
-                    iv.job,
+                    tab.start_us[r],
+                    tab.end_us[r] - tab.start_us[r],
+                    tab.job[r],
                     demand_micros,
                 ),
             ),
@@ -442,9 +529,9 @@ pub fn chrome_trace_json(cap: &TraceCapture) -> String {
                     "{{\"name\":\"net\",\"cat\":\"net\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
                      \"pid\":2,\"tid\":{from},\"args\":{{\"job\":{},\"to\":{to},\
                      \"bytes\":{}}}}}",
-                    iv.start_us,
-                    iv.end_us - iv.start_us,
-                    iv.job,
+                    tab.start_us[r],
+                    tab.end_us[r] - tab.start_us[r],
+                    tab.job[r],
                     bytes,
                 ),
             ),
@@ -543,30 +630,33 @@ impl BottleneckReport {
         let (w0, w1) = (cap.window_start_us, cap.window_end_us);
         let window_us = w1.saturating_sub(w0);
         let n_mach = cap.machines.len();
+        let tab = &cap.intervals;
         let mut cpu_busy = vec![0.0f64; n_mach];
         let mut nic_bytes = vec![0.0f64; n_mach];
         let mut waits: BTreeMap<(String, &'static str), (u64, f64)> = BTreeMap::new();
-        for iv in &cap.intervals {
-            let f = window_fraction(iv.start_us, iv.end_us, w0, w1);
+        for (r, kind) in tab.kind.iter().enumerate() {
+            let (start, end) = (tab.start_us[r], tab.end_us[r]);
+            let f = window_fraction(start, end, w0, w1);
             if f <= 0.0 {
                 continue;
             }
-            match &iv.kind {
+            match *kind {
                 IntervalKind::Cpu { machine, demand_micros } => {
-                    cpu_busy[*machine as usize] += *demand_micros as f64 * f;
+                    cpu_busy[machine as usize] += demand_micros as f64 * f;
                 }
                 IntervalKind::Net { to, bytes, .. } => {
-                    nic_bytes[*to as usize] += *bytes as f64 * f;
+                    nic_bytes[to as usize] += bytes as f64 * f;
                 }
                 IntervalKind::LockWait { name } => {
-                    let e = waits.entry((name.clone(), "lock")).or_insert((0, 0.0));
+                    let e = waits.entry((tab.name(name).to_string(), "lock")).or_insert((0, 0.0));
                     e.0 += 1;
-                    e.1 += (iv.end_us - iv.start_us) as f64 * f;
+                    e.1 += (end - start) as f64 * f;
                 }
                 IntervalKind::SemWait { name } => {
-                    let e = waits.entry((name.clone(), "semaphore")).or_insert((0, 0.0));
+                    let e =
+                        waits.entry((tab.name(name).to_string(), "semaphore")).or_insert((0, 0.0));
                     e.0 += 1;
-                    e.1 += (iv.end_us - iv.start_us) as f64 * f;
+                    e.1 += (end - start) as f64 * f;
                 }
                 IntervalKind::Delay => {}
             }
@@ -586,7 +676,7 @@ impl BottleneckReport {
             .collect();
 
         let by_job = cap.intervals_by_job();
-        let empty: Vec<&RawInterval> = Vec::new();
+        let empty: Vec<u32> = Vec::new();
         struct Acc {
             hist: LatencyHistogram,
             tier_cpu_us: Vec<f64>,
@@ -607,11 +697,12 @@ impl BottleneckReport {
                 net_us: 0.0,
             });
             acc.hist.record(SimDuration::from_micros(job.completed_us - job.submitted_us));
-            for iv in by_job.get(&job.job).unwrap_or(&empty) {
-                let len = (iv.end_us - iv.start_us) as f64;
-                match &iv.kind {
+            for &r in by_job.get(&job.job).unwrap_or(&empty) {
+                let r = r as usize;
+                let len = (tab.end_us[r] - tab.start_us[r]) as f64;
+                match tab.kind[r] {
                     IntervalKind::Cpu { machine, demand_micros } => {
-                        acc.tier_cpu_us[*machine as usize] += *demand_micros as f64;
+                        acc.tier_cpu_us[machine as usize] += demand_micros as f64;
                     }
                     IntervalKind::Net { .. } => acc.net_us += len,
                     IntervalKind::LockWait { .. } => acc.lock_us += len,
@@ -762,17 +853,18 @@ impl BottleneckReport {
 ///
 /// Returns a description of the first violated invariant.
 pub fn verify_capture(cap: &TraceCapture) -> Result<(), String> {
-    let by_job: BTreeMap<u64, Vec<&RawInterval>> = {
-        let mut m: BTreeMap<u64, Vec<&RawInterval>> = BTreeMap::new();
-        for iv in &cap.intervals {
-            m.entry(iv.job).or_default().push(iv);
+    let tab = &cap.intervals;
+    let by_job: BTreeMap<u64, Vec<u32>> = {
+        let mut m: BTreeMap<u64, Vec<u32>> = BTreeMap::new();
+        for (r, &j) in tab.job.iter().enumerate() {
+            m.entry(j).or_default().push(r as u32);
         }
         m
     };
-    let empty: Vec<&RawInterval> = Vec::new();
+    let empty: Vec<u32> = Vec::new();
     for job in &cap.jobs {
-        let ivs = by_job.get(&job.job).unwrap_or(&empty);
-        let times = cap.span_times(job, ivs);
+        let rows = by_job.get(&job.job).unwrap_or(&empty);
+        let times = cap.span_times(job, rows);
         for (i, s) in job.spans.iter().enumerate() {
             if s.end_op < s.start_op {
                 return Err(format!("job {}: span {i} has end_op < start_op", job.job));
@@ -800,9 +892,11 @@ pub fn verify_capture(cap: &TraceCapture) -> Result<(), String> {
             let (ss, se) = times[i];
             let mut demand = 0u64;
             let mut n = 0u64;
-            for iv in ivs {
-                if iv.op_index >= s.start_op && iv.op_index < s.end_op {
-                    if let IntervalKind::Cpu { demand_micros, .. } = iv.kind {
+            for &r in rows {
+                let r = r as usize;
+                let op = tab.op_index[r] as usize;
+                if op >= s.start_op && op < s.end_op {
+                    if let IntervalKind::Cpu { demand_micros, .. } = tab.kind[r] {
                         demand += demand_micros;
                         n += 1;
                     }
@@ -837,6 +931,15 @@ mod tests {
         rec.close(5);
         let _ = root;
         let spans = rec.finish();
+        let mut intervals = IntervalTable::default();
+        intervals.reserve(5);
+        let pool = intervals.intern("web-pool");
+        let items = intervals.intern("table:items");
+        intervals.push(0, 0, IntervalKind::Cpu { machine: 1, demand_micros: 400 }, 100, 500);
+        intervals.push(0, 1, IntervalKind::SemWait { name: pool }, 500, 900);
+        intervals.push(0, 2, IntervalKind::LockWait { name: items }, 900, 1_900);
+        intervals.push(0, 3, IntervalKind::Cpu { machine: 2, demand_micros: 950 }, 1_900, 3_000);
+        intervals.push(0, 4, IntervalKind::Net { from: 2, to: 0, bytes: 2_048 }, 3_000, 4_100);
         TraceCapture {
             machines: vec!["client".into(), "web".into(), "db".into()],
             interactions: vec!["buy".into()],
@@ -850,43 +953,7 @@ mod tests {
                 completed_us: 4_100,
                 spans,
             }],
-            intervals: vec![
-                RawInterval {
-                    job: 0,
-                    op_index: 0,
-                    kind: IntervalKind::Cpu { machine: 1, demand_micros: 400 },
-                    start_us: 100,
-                    end_us: 500,
-                },
-                RawInterval {
-                    job: 0,
-                    op_index: 1,
-                    kind: IntervalKind::SemWait { name: "web-pool".into() },
-                    start_us: 500,
-                    end_us: 900,
-                },
-                RawInterval {
-                    job: 0,
-                    op_index: 2,
-                    kind: IntervalKind::LockWait { name: "table:items".into() },
-                    start_us: 900,
-                    end_us: 1_900,
-                },
-                RawInterval {
-                    job: 0,
-                    op_index: 3,
-                    kind: IntervalKind::Cpu { machine: 2, demand_micros: 950 },
-                    start_us: 1_900,
-                    end_us: 3_000,
-                },
-                RawInterval {
-                    job: 0,
-                    op_index: 4,
-                    kind: IntervalKind::Net { from: 2, to: 0, bytes: 2_048 },
-                    start_us: 3_000,
-                    end_us: 4_100,
-                },
-            ],
+            intervals,
         }
     }
 
@@ -927,14 +994,20 @@ mod tests {
     #[test]
     fn cpu_over_wall_is_caught() {
         let mut cap = sample_capture();
-        cap.intervals[3] = RawInterval {
-            job: 0,
-            op_index: 3,
-            kind: IntervalKind::Cpu { machine: 2, demand_micros: 5_000 },
-            start_us: 1_900,
-            end_us: 3_000,
-        };
+        cap.intervals.kind[3] = IntervalKind::Cpu { machine: 2, demand_micros: 5_000 };
         assert!(verify_capture(&cap).is_err());
+    }
+
+    #[test]
+    fn interning_deduplicates_names() {
+        let mut tab = IntervalTable::default();
+        let a = tab.intern("table:items");
+        let b = tab.intern("web-pool");
+        let c = tab.intern("table:items");
+        assert_eq!(a, c);
+        assert_ne!(a, b);
+        assert_eq!(tab.names.len(), 2);
+        assert_eq!(tab.name(b), "web-pool");
     }
 
     #[test]

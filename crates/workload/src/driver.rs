@@ -16,7 +16,7 @@ use dynamid_sim::{
     SimDuration, SimRng, SimTime, Simulation, WindowSnapshot,
 };
 use dynamid_sqldb::{Database, TxnLog};
-use dynamid_trace::{IntervalKind, JobRecord, RawInterval, SpanDef, TraceCapture};
+use dynamid_trace::{IntervalKind, IntervalTable, JobRecord, SpanDef, TraceCapture};
 use std::collections::{BTreeMap, HashMap};
 
 /// Timer token marking the start of the measurement window.
@@ -372,31 +372,29 @@ impl<'a> WorkloadDriver<'a> {
             .collect();
         let interactions: Vec<String> =
             self.app.interactions().iter().map(|s| s.name.to_string()).collect();
-        let intervals: Vec<RawInterval> = sim
-            .take_op_intervals()
-            .into_iter()
-            .map(|iv| RawInterval {
-                job: iv.job.0,
-                op_index: iv.op_index,
-                kind: match iv.activity {
-                    Activity::Cpu { machine, demand_micros } => {
-                        IntervalKind::Cpu { machine: machine.0, demand_micros }
-                    }
-                    Activity::Net { from, to, bytes } => {
-                        IntervalKind::Net { from: from.0, to: to.0, bytes }
-                    }
-                    Activity::Delay => IntervalKind::Delay,
-                    Activity::LockWait { lock } => {
-                        IntervalKind::LockWait { name: sim.lock_name(lock).to_string() }
-                    }
-                    Activity::SemWait { sem } => {
-                        IntervalKind::SemWait { name: sim.semaphore_name(sem).to_string() }
-                    }
-                },
-                start_us: iv.start.as_micros(),
-                end_us: iv.end.as_micros(),
-            })
-            .collect();
+        let cols = sim.take_op_intervals();
+        let mut intervals = IntervalTable::default();
+        intervals.reserve(cols.len());
+        for iv in cols.iter() {
+            let kind = match iv.activity {
+                Activity::Cpu { machine, demand_micros } => {
+                    IntervalKind::Cpu { machine: machine.0, demand_micros }
+                }
+                Activity::Net { from, to, bytes } => {
+                    IntervalKind::Net { from: from.0, to: to.0, bytes }
+                }
+                Activity::Delay => IntervalKind::Delay,
+                // Names are interned: one stored string per lock/semaphore
+                // for the whole capture, not one per wait interval.
+                Activity::LockWait { lock } => {
+                    IntervalKind::LockWait { name: intervals.intern(sim.lock_name(lock)) }
+                }
+                Activity::SemWait { sem } => {
+                    IntervalKind::SemWait { name: intervals.intern(sim.semaphore_name(sem)) }
+                }
+            };
+            intervals.push(iv.job.0, iv.op_index, kind, iv.start.as_micros(), iv.end.as_micros());
+        }
         let (w0, w1) = self.window;
         Some(TraceCapture {
             machines,
@@ -420,6 +418,23 @@ impl<'a> WorkloadDriver<'a> {
         for (_, log) in pending {
             self.db.apply_rollback(log);
             self.ledger.rolled_back += 1;
+        }
+        n
+    }
+
+    /// Like [`rollback_in_flight`](Self::rollback_in_flight) for ledger
+    /// accounting — every surviving in-flight transaction counts as rolled
+    /// back — but the undo logs are dropped without touching the database.
+    /// Only valid when the caller restores the database wholesale afterwards
+    /// (the sweep harness rewinds to the pristine base between points, which
+    /// erases in-flight writes along with everything else).
+    pub fn discard_in_flight(&mut self) -> u64 {
+        let mut n = 0;
+        for c in &mut self.clients {
+            if c.pending_txn.take().is_some() {
+                self.ledger.rolled_back += 1;
+                n += 1;
+            }
         }
         n
     }

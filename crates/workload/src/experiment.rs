@@ -70,9 +70,9 @@ impl ExperimentResult {
     }
 }
 
-/// Builder for one experiment run — the single entry point subsuming the
-/// old `run_experiment` / `run_experiment_with_policy` /
-/// `run_experiment_chaos` family and the middleware `install` duality.
+/// Builder for one experiment run — the single entry point for every
+/// combination of configuration, cost model, lock policy, chaos options,
+/// and tracing.
 ///
 /// Defaults reproduce the paper's setup: default cost model, default lock
 /// grant policy, no faults, no admission control, patient clients, and no
@@ -94,6 +94,7 @@ pub struct ExperimentSpec<'a> {
     policy: GrantPolicy,
     chaos: ChaosOptions,
     tracing: bool,
+    defer_unwind: bool,
 }
 
 impl<'a> ExperimentSpec<'a> {
@@ -108,6 +109,7 @@ impl<'a> ExperimentSpec<'a> {
             policy: GrantPolicy::default(),
             chaos: ChaosOptions::default(),
             tracing: false,
+            defer_unwind: false,
         }
     }
 
@@ -168,6 +170,18 @@ impl<'a> ExperimentSpec<'a> {
         self
     }
 
+    /// Skip the end-of-run database unwind of in-flight transactions,
+    /// leaving their writes in place (ledger accounting is unchanged: they
+    /// still count as rolled back). Only correct when the caller restores
+    /// the database wholesale after the run — the sweep harness rewinds to
+    /// the pristine base between points, which makes the per-transaction
+    /// unwind redundant work. Every reported metric is bit-identical either
+    /// way; only the post-run table state differs.
+    pub fn defer_unwind(mut self, on: bool) -> Self {
+        self.defer_unwind = on;
+        self
+    }
+
     /// Runs the experiment: installs the deployment, runs the client
     /// population through its phases, unwinds in-flight transactions, and
     /// reports the paper's metrics (plus the trace, when enabled).
@@ -216,8 +230,13 @@ impl<'a> ExperimentSpec<'a> {
         });
 
         // Crash-consistent unwind: jobs still in flight at the horizon never
-        // completed, so their transactions roll back (newest-first).
-        driver.rollback_in_flight();
+        // completed, so their transactions roll back (newest-first) — unless
+        // the caller rewinds the whole database afterwards anyway.
+        if self.defer_unwind {
+            driver.discard_in_flight();
+        } else {
+            driver.rollback_in_flight();
+        }
         let trace = driver.take_trace(&mut sim);
         let ledger = driver.ledger().clone();
         let metrics = driver.metrics().clone();
@@ -244,66 +263,6 @@ impl<'a> ExperimentSpec<'a> {
             trace,
         }
     }
-}
-
-/// Runs one experiment: a fresh `db`, the given application and mix, one
-/// deployment configuration, and one client population.
-///
-/// The database is consumed because the run mutates it (this mirrors the
-/// paper's procedure of reloading the database between runs).
-#[deprecated(since = "0.2.0", note = "use `ExperimentSpec::for_config(..).mix(..).run(..)`")]
-pub fn run_experiment(
-    mut db: Database,
-    app: &dyn Application,
-    mix: &Mix,
-    config: StandardConfig,
-    costs: CostModel,
-    workload: WorkloadConfig,
-) -> ExperimentResult {
-    ExperimentSpec::for_config(config).mix(mix).costs(costs).workload(workload).run(&mut db, app)
-}
-
-/// Like `run_experiment` but with an explicit lock grant policy and a
-/// borrowed database (inspectable afterwards).
-#[deprecated(since = "0.2.0", note = "use `ExperimentSpec::for_config(..).policy(..).run(..)`")]
-pub fn run_experiment_with_policy(
-    db: &mut Database,
-    app: &dyn Application,
-    mix: &Mix,
-    config: StandardConfig,
-    costs: CostModel,
-    workload: WorkloadConfig,
-    policy: GrantPolicy,
-) -> ExperimentResult {
-    ExperimentSpec::for_config(config)
-        .mix(mix)
-        .costs(costs)
-        .workload(workload)
-        .policy(policy)
-        .run(db, app)
-}
-
-/// Like `run_experiment_with_policy` but with fault injection and
-/// admission control.
-#[deprecated(since = "0.2.0", note = "use `ExperimentSpec::for_config(..).chaos(..).run(..)`")]
-#[allow(clippy::too_many_arguments)]
-pub fn run_experiment_chaos(
-    db: &mut Database,
-    app: &dyn Application,
-    mix: &Mix,
-    config: StandardConfig,
-    costs: CostModel,
-    workload: WorkloadConfig,
-    policy: GrantPolicy,
-    chaos: ChaosOptions,
-) -> ExperimentResult {
-    ExperimentSpec::for_config(config)
-        .mix(mix)
-        .costs(costs)
-        .workload(workload)
-        .policy(policy)
-        .chaos(chaos)
-        .run(db, app)
 }
 
 #[cfg(test)]
@@ -621,55 +580,6 @@ mod tests {
         assert_eq!(chaos.errors, dynamid_sim::ErrorCounters::default());
         assert_eq!(chaos.engine.rejected, 0);
         assert_eq!(chaos.engine.aborted, 0);
-    }
-
-    /// The deprecated `run_experiment*` wrappers must stay bit-identical to
-    /// the [`ExperimentSpec`] path they delegate to.
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_match_spec() {
-        let mix = mini_mix();
-        let mut db1 = mini_db();
-        let via_spec = ExperimentSpec::for_config(StandardConfig::ServletColocated)
-            .mix(&mix)
-            .workload(quick(10))
-            .run(&mut db1, &MiniApp);
-        let via_consuming = run_experiment(
-            mini_db(),
-            &MiniApp,
-            &mix,
-            StandardConfig::ServletColocated,
-            CostModel::default(),
-            quick(10),
-        );
-        let mut db3 = mini_db();
-        let via_policy = run_experiment_with_policy(
-            &mut db3,
-            &MiniApp,
-            &mix,
-            StandardConfig::ServletColocated,
-            CostModel::default(),
-            quick(10),
-            GrantPolicy::default(),
-        );
-        let mut db4 = mini_db();
-        let via_chaos = run_experiment_chaos(
-            &mut db4,
-            &MiniApp,
-            &mix,
-            StandardConfig::ServletColocated,
-            CostModel::default(),
-            quick(10),
-            GrantPolicy::default(),
-            crate::fault::ChaosOptions::default(),
-        );
-        for other in [&via_consuming, &via_policy, &via_chaos] {
-            assert_eq!(via_spec.events, other.events);
-            assert_eq!(via_spec.metrics.completed, other.metrics.completed);
-            assert_eq!(via_spec.metrics.latency, other.metrics.latency);
-            assert_eq!(via_spec.throughput_ipm, other.throughput_ipm);
-            assert_eq!(via_spec.engine, other.engine);
-        }
     }
 
     #[test]

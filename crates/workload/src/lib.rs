@@ -22,8 +22,6 @@ pub mod fault;
 pub mod mix;
 
 pub use driver::{CommitLedger, ResourceWindow, WorkloadConfig, WorkloadDriver, WorkloadMetrics};
-#[allow(deprecated)]
-pub use experiment::{run_experiment, run_experiment_chaos, run_experiment_with_policy};
 pub use experiment::{ExperimentResult, ExperimentSpec, LAN_LATENCY};
 pub use fault::{ChaosOptions, FaultSpec, ResilienceConfig};
 pub use mix::{Mix, TransitionMatrix};

@@ -20,6 +20,31 @@ cargo test -q --workspace
 echo "== perf + chaos smoke (writes BENCH_repro.json)"
 cargo run --release -q -p dynamid-harness --bin repro -- --smoke --chaos
 
+echo "== perf gate: smoke wall-clock vs results/bench_history.json"
+# Fail when total_wall_secs regresses more than PERF_BUDGET_PCT (default
+# 20%) over the latest recorded history entry. Wall-clock is noisy, so an
+# over-budget first run gets up to two re-runs and the minimum counts.
+budget_pct="${PERF_BUDGET_PCT:-20}"
+recorded="$(grep -o '"total_wall_secs": [0-9.]*' results/bench_history.json \
+  | tail -1 | awk '{print $2}')"
+best="$(grep -o '"total_wall_secs": [0-9.]*' BENCH_repro.json | head -1 | awk '{print $2}')"
+for retry in 1 2; do
+  over="$(awk -v c="$best" -v r="$recorded" -v b="$budget_pct" \
+    'BEGIN { print (c > r * (1 + b / 100)) ? 1 : 0 }')"
+  [ "$over" = 1 ] || break
+  echo "   smoke ${best}s over budget (recorded ${recorded}s + ${budget_pct}%), re-run $retry"
+  cargo run --release -q -p dynamid-harness --bin repro -- --smoke --quiet
+  cur="$(grep -o '"total_wall_secs": [0-9.]*' BENCH_repro.json | head -1 | awk '{print $2}')"
+  best="$(awk -v a="$best" -v b="$cur" 'BEGIN { print (b < a) ? b : a }')"
+done
+if [ "$(awk -v c="$best" -v r="$recorded" -v b="$budget_pct" \
+    'BEGIN { print (c > r * (1 + b / 100)) ? 1 : 0 }')" = 1 ]; then
+  echo "FAIL: smoke total_wall_secs ${best}s exceeds recorded ${recorded}s by >${budget_pct}%" >&2
+  echo "      (if the slowdown is intended, append a new entry to results/bench_history.json)" >&2
+  exit 1
+fi
+echo "   smoke ${best}s within ${budget_pct}% of recorded ${recorded}s"
+
 echo "== healthy-path figures are byte-identical to results/golden"
 golden_tmp="$(mktemp -d)"
 trap 'rm -rf "$golden_tmp"' EXIT

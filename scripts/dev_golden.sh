@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Dev loop: rebuild, regenerate every gated golden artifact into a temp
+# dir, byte-compare against results/golden at --jobs 1 and --jobs 4, and
+# time the smoke. Not part of check.sh — a fast inner loop for perf work.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --workspace -q
+R=target/release/repro
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+for jobs in 1 4; do
+  $R --fast --quiet --jobs "$jobs" --seed 42 --scale 0.1 \
+    --clients 5,10,15 --measure 4 --out "$tmp" fig05 fig11 >/dev/null
+  for fig in fig05 fig11; do
+    cmp "results/golden/$fig.csv" "$tmp/$fig.csv" \
+      || { echo "FAIL: $fig.csv (--jobs $jobs)"; exit 1; }
+  done
+  echo "ok: figures byte-identical (--jobs $jobs)"
+done
+
+$R --fast --quiet --jobs 4 --seed 42 --scale 0.1 \
+  --clients 15 --measure 4 --out "$tmp" trace fig05 --config C1,C6 >/dev/null
+for config in C1 C6; do
+  cmp "results/golden/bottleneck_fig05_$config.csv" "$tmp/bottleneck_fig05_$config.csv" \
+    || { echo "FAIL: bottleneck_fig05_$config.csv"; exit 1; }
+done
+echo "ok: traced bottleneck reports byte-identical"
+
+$R --fast --quiet --jobs 4 --seed 42 --scale 0.1 \
+  --clients 15 --measure 4 --out "$tmp" avail >/dev/null
+cmp "results/golden/avail.csv" "$tmp/avail.csv" || { echo "FAIL: avail.csv"; exit 1; }
+echo "ok: avail.csv byte-identical"
+
+( cd "$tmp" && "$OLDPWD/$R" --smoke --quiet )
+grep -o '"total_wall_secs": [0-9.]*' "$tmp/BENCH_repro.json"
