@@ -9,6 +9,13 @@
 //! methods return primary keys and each entity is activated individually —
 //! the N+1 access pattern responsible for the paper's "many short queries"
 //! observation.
+//!
+//! Read-only browsing façades go through [`RequestCtx::facade_cached`],
+//! keyed by their request parameters: with no method cache installed this
+//! is plain `facade`, while the caching tier turns repeat invocations into
+//! a single container-tier cache hit that skips the RMI hop, the façade
+//! and bean accesses, and the container-generated SQL. Façades that write
+//! (cart, order placement, registration, admin) always execute.
 
 use crate::app::{cart, Bookstore, Interaction};
 use crate::populate::{BASE_DATE, DAY};
@@ -78,7 +85,7 @@ fn login(
         return Ok(id);
     }
     let uname = app.random_uname(rng);
-    let id = ctx.facade("CustomerSession.login", |em| {
+    let id = ctx.facade_cached("CustomerSession.login", &[Value::str(&uname)], |em| {
         let pks = em.find_pks_where("customers", "uname", Value::str(&uname))?;
         let pk = pks
             .into_iter()
@@ -107,7 +114,7 @@ fn home(
         login(app, ctx, session, rng)?;
     }
     let anchor = app.random_item(rng);
-    let titles = ctx.facade("PromoSession.promos", |em| {
+    let titles = ctx.facade_cached("PromoSession.promos", &[Value::Int(anchor)], |em| {
         let mut titles = Vec::new();
         let Some(a) = em.find("items", Value::Int(anchor))? else {
             return Ok(titles);
@@ -132,7 +139,7 @@ fn home(
 fn new_products(app: &Bookstore, ctx: &mut RequestCtx<'_>, rng: &mut SimRng) -> AppResult<()> {
     page_header(ctx, "New Products");
     let subject = app.random_subject(rng);
-    let rows = ctx.facade("CatalogSession.newProducts", |em| {
+    let rows = ctx.facade_cached("CatalogSession.newProducts", &[Value::str(&subject)], |em| {
         let pks =
             em.find_pks_ordered("items", "subject", Value::str(&subject), "pub_date", true, 50)?;
         let mut out = Vec::new();
@@ -160,7 +167,7 @@ fn new_products(app: &Bookstore, ctx: &mut RequestCtx<'_>, rng: &mut SimRng) -> 
 fn best_sellers(app: &Bookstore, ctx: &mut RequestCtx<'_>, rng: &mut SimRng) -> AppResult<()> {
     page_header(ctx, "Best Sellers");
     let subject = app.random_subject(rng);
-    let rows = ctx.facade("CatalogSession.bestSellers", |em| {
+    let rows = ctx.facade_cached("CatalogSession.bestSellers", &[Value::str(&subject)], |em| {
         // Window: line pks above the horizon, capped by the finder limit.
         let max_order = em.find_pks_query_tail("orders", "ORDER BY id DESC LIMIT 1", &[])?;
         let horizon = max_order
@@ -218,7 +225,7 @@ fn product_detail(
 ) -> AppResult<()> {
     page_header(ctx, "Product Detail");
     let item = app.random_item(rng);
-    let detail = ctx.facade("CatalogSession.detail", |em| {
+    let detail = ctx.facade_cached("CatalogSession.detail", &[Value::Int(item)], |em| {
         let Some(h) = em.find("items", Value::Int(item))? else {
             return Ok(None);
         };
@@ -250,7 +257,7 @@ fn product_detail(
 fn search_request(app: &Bookstore, ctx: &mut RequestCtx<'_>, rng: &mut SimRng) -> AppResult<()> {
     page_header(ctx, "Search");
     let anchor = app.random_item(rng);
-    ctx.facade("PromoSession.strip", |em| {
+    ctx.facade_cached("PromoSession.strip", &[Value::Int(anchor)], |em| {
         if let Some(a) = em.find("items", Value::Int(anchor))? {
             for rel in ["related1", "related2"] {
                 let pk = em.get(a, rel)?;
@@ -270,7 +277,7 @@ fn search_request(app: &Bookstore, ctx: &mut RequestCtx<'_>, rng: &mut SimRng) -
 fn search_results(app: &Bookstore, ctx: &mut RequestCtx<'_>, rng: &mut SimRng) -> AppResult<()> {
     page_header(ctx, "Search Results");
     let subject = app.random_subject(rng);
-    let titles = ctx.facade("CatalogSession.search", |em| {
+    let titles = ctx.facade_cached("CatalogSession.search", &[Value::str(&subject)], |em| {
         let pks =
             em.find_pks_ordered("items", "subject", Value::str(&subject), "title", false, 50)?;
         let mut out = Vec::new();
@@ -333,11 +340,11 @@ fn customer_registration(
     page_header(ctx, "Customer Registration");
     if rng.chance(0.2) {
         let id = login(app, ctx, session, rng)?;
-        let name = ctx.facade("CustomerSession.reload", |em| {
-            match em.find("customers", Value::Int(id))? {
-                Some(h) => Ok(format!("{} {}", em.get(h, "fname")?, em.get(h, "lname")?)),
-                None => Ok(String::from("unknown")),
-            }
+        let name = ctx.facade_cached("CustomerSession.reload", &[Value::Int(id)], |em| match em
+            .find("customers", Value::Int(id))?
+        {
+            Some(h) => Ok(format!("{} {}", em.get(h, "fname")?, em.get(h, "lname")?)),
+            None => Ok(String::from("unknown")),
         })?;
         ctx.emit(&format!("<p>Welcome back {name} (#{id})</p>"));
         page_footer(ctx);
@@ -523,11 +530,12 @@ fn order_inquiry(
 ) -> AppResult<()> {
     page_header(ctx, "Order Inquiry");
     let cid = login(app, ctx, session, rng)?;
-    let uname =
-        ctx.facade("CustomerSession.uname", |em| match em.find("customers", Value::Int(cid))? {
+    let uname = ctx.facade_cached("CustomerSession.uname", &[Value::Int(cid)], |em| {
+        match em.find("customers", Value::Int(cid))? {
             Some(h) => Ok(em.get(h, "uname")?.to_string()),
             None => Ok(String::new()),
-        })?;
+        }
+    })?;
     ctx.emit(&format!("<form><input name=\"customer\" value=\"{uname}\"></form>"));
     page_footer(ctx);
     Ok(())

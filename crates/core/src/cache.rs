@@ -1,0 +1,242 @@
+//! Transactional session-façade method caching, and the experiment-facing
+//! cache policy types.
+//!
+//! The method cache is the middleware half of the caching tier (the other
+//! half is the result cache inside `dynamid-sqldb`): it memoizes the
+//! return values of read-only session-façade invocations keyed by `(method
+//! name, arguments)`, following the transactional method caching of
+//! Pfeifer & Lockemann. A hit skips the whole modeled RMI + container +
+//! CMP chain — the per-interaction overhead that makes the paper's EJB
+//! configurations lose to servlets — and charges a single cache-probe cost
+//! instead.
+//!
+//! Coherence mirrors the result cache exactly:
+//!
+//! * every SQL statement a façade executes reports its read tables into a
+//!   [`ReadLog`](crate::ctx::RequestCtx); the entry's dependency set is
+//!   those table ids, and a façade that *wrote* anything is never cached;
+//! * a lookup inside a transaction that already wrote one of the entry's
+//!   tables is bypassed (the cached value reflects committed state the
+//!   transaction has since changed);
+//! * at host-side COMMIT the middleware drops every entry depending on a
+//!   written table — method results aggregate many rows, so invalidation
+//!   is per table, with no per-row refinement;
+//! * an aborted receipt purges dependent entries without counting an
+//!   invalidation.
+//!
+//! Under [`CacheInvalidation::Ttl`] commit-driven invalidation is replaced
+//! by simulated-time expiry and hits may be stale — the consistency
+//! auditor is the oracle that prices that staleness.
+
+pub use dynamid_sqldb::CacheInvalidation;
+use dynamid_sqldb::CacheKey;
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Which layers of the caching tier an experiment enables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheScope {
+    /// Only the sqldb read-query result cache.
+    QueryResults,
+    /// Only the middleware session-façade method cache (EJB configurations
+    /// only; a no-op elsewhere).
+    Methods,
+    /// Both layers.
+    Both,
+}
+
+/// The experiment-facing cache policy, surfaced through
+/// `ExperimentSpec::caching` in `dynamid-workload`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CachePolicy {
+    /// Entry capacity per enabled layer (LRU beyond it).
+    pub capacity: usize,
+    /// Which layers to enable.
+    pub scope: CacheScope,
+    /// Invalidation protocol shared by both layers.
+    pub invalidation: CacheInvalidation,
+}
+
+/// Configuration of the middleware method cache, carried by
+/// [`InstallOptions`](crate::InstallOptions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MethodCacheConfig {
+    /// Maximum number of cached method results (LRU beyond it).
+    pub capacity: usize,
+    /// Invalidation protocol.
+    pub invalidation: CacheInvalidation,
+}
+
+/// Cumulative method-cache counters, snapshot via
+/// [`Middleware::method_cache_stats`](crate::Middleware::method_cache_stats).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MethodCacheStats {
+    /// Façade invocations answered from the cache.
+    pub hits: u64,
+    /// Cacheable invocations that missed (including TTL expiry).
+    pub misses: u64,
+    /// Entries dropped by commit-driven invalidation.
+    pub invalidations: u64,
+    /// Lookups skipped because the open transaction had written one of the
+    /// entry's dependency tables.
+    pub bypasses: u64,
+}
+
+struct MEntry {
+    /// The memoized return value (an `Arc<R>` behind `dyn Any`).
+    value: Arc<dyn Any>,
+    /// Catalog ids of every table the façade's statements read.
+    tables: Vec<usize>,
+    /// Cache-clock micros at store time (TTL freshness).
+    stored_at: u64,
+    /// Monotonic LRU tick, refreshed on every hit.
+    tick: u64,
+}
+
+/// Outcome of a cache lookup, consumed by `RequestCtx::facade_cached`.
+pub(crate) enum Lookup {
+    /// Serve this memoized value (already counted as a hit).
+    Hit(Arc<dyn Any>),
+    /// Run the façade but do not store: the open transaction wrote one of
+    /// the entry's dependency tables.
+    Bypass,
+    /// Run the façade and (when clean) store the result.
+    Miss,
+}
+
+/// The session-façade method cache. Owned by
+/// [`Middleware`](crate::Middleware) behind a `RefCell` — each experiment
+/// worker drives one middleware single-threaded.
+pub(crate) struct MethodCache {
+    cfg: MethodCacheConfig,
+    map: HashMap<(String, CacheKey), MEntry>,
+    clock: u64,
+    next_tick: u64,
+    stats: MethodCacheStats,
+}
+
+impl std::fmt::Debug for MethodCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MethodCache")
+            .field("cfg", &self.cfg)
+            .field("entries", &self.map.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl MethodCache {
+    pub(crate) fn new(cfg: MethodCacheConfig) -> MethodCache {
+        MethodCache {
+            cfg,
+            map: HashMap::new(),
+            clock: 0,
+            next_tick: 0,
+            stats: MethodCacheStats::default(),
+        }
+    }
+
+    pub(crate) fn stats(&self) -> MethodCacheStats {
+        self.stats
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub(crate) fn set_clock(&mut self, micros: u64) {
+        self.clock = micros;
+    }
+
+    fn fresh(&self, e: &MEntry) -> bool {
+        match self.cfg.invalidation {
+            CacheInvalidation::Transactional => true,
+            CacheInvalidation::Ttl(d) => self.clock.saturating_sub(e.stored_at) < d,
+        }
+    }
+
+    /// Looks up a memoized result, counting the outcome. `txn_touched`
+    /// reports whether the open transaction wrote any of the given tables
+    /// (the bypass predicate, evaluated against the entry's dependencies).
+    pub(crate) fn lookup(
+        &mut self,
+        name: &str,
+        key: &CacheKey,
+        txn_touched: &dyn Fn(&[usize]) -> bool,
+    ) -> Lookup {
+        let map_key = (name.to_string(), key.clone());
+        match self.map.get(&map_key) {
+            Some(e) if !self.fresh(e) => {
+                self.map.remove(&map_key);
+                self.stats.misses += 1;
+                Lookup::Miss
+            }
+            Some(e) if txn_touched(&e.tables) => {
+                self.stats.bypasses += 1;
+                Lookup::Bypass
+            }
+            Some(_) => {
+                self.stats.hits += 1;
+                let e = self.map.get_mut(&map_key).expect("entry present");
+                e.tick = self.next_tick;
+                self.next_tick += 1;
+                Lookup::Hit(Arc::clone(&e.value))
+            }
+            None => {
+                self.stats.misses += 1;
+                Lookup::Miss
+            }
+        }
+    }
+
+    /// Stores a memoized result with its table dependencies, evicting the
+    /// least-recently-used entry when over capacity.
+    pub(crate) fn store(
+        &mut self,
+        name: &str,
+        key: CacheKey,
+        value: Arc<dyn Any>,
+        tables: Vec<usize>,
+    ) {
+        if self.cfg.capacity == 0 {
+            return;
+        }
+        let tick = self.next_tick;
+        self.next_tick += 1;
+        self.map
+            .insert((name.to_string(), key), MEntry { value, tables, stored_at: self.clock, tick });
+        while self.map.len() > self.cfg.capacity {
+            // Ticks are unique: deterministic victim despite hash order.
+            let victim = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.tick)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty over-capacity cache");
+            self.map.remove(&victim);
+        }
+    }
+
+    /// Commit-driven invalidation: drops every entry depending on one of
+    /// the written tables and counts the removals. A no-op under TTL
+    /// invalidation (staleness is the experiment).
+    pub(crate) fn invalidate_commit(&mut self, written: &[usize]) {
+        if self.cfg.invalidation != CacheInvalidation::Transactional {
+            return;
+        }
+        let before = self.map.len();
+        self.purge_tables(written);
+        self.stats.invalidations += (before - self.map.len()) as u64;
+    }
+
+    /// Coherence flush for aborts: drops dependent entries *without*
+    /// counting invalidations, and regardless of the invalidation mode (the
+    /// unwound writes are disappearing, not being published).
+    pub(crate) fn purge_tables(&mut self, written: &[usize]) {
+        if written.is_empty() || self.map.is_empty() {
+            return;
+        }
+        self.map.retain(|_, e| !e.tables.iter().any(|t| written.contains(t)));
+    }
+}

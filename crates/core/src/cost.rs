@@ -45,6 +45,10 @@ pub struct EjbCosts {
     /// Activating / reading / writing one entity-bean instance (pool
     /// lookup, state synchronization bookkeeping).
     pub per_bean_access: f64,
+    /// Answering a façade invocation from the method cache: key hash and
+    /// map probe on the EJB client (servlet) side, skipping the RMI round
+    /// trip, container interception, and every CMP access.
+    pub per_cache_hit: f64,
 }
 
 /// The full cost model shared by every deployment in one experiment.
@@ -84,7 +88,7 @@ impl Default for CostModel {
                 per_query: 150.0,
                 per_result_byte: 0.08,
             },
-            ejb: EjbCosts { per_facade_call: 480.0, per_bean_access: 200.0 },
+            ejb: EjbCosts { per_facade_call: 480.0, per_bean_access: 200.0, per_cache_hit: 35.0 },
             db: DbCostModel::default(),
             ajp: Connector::ajp12(),
             rmi: Connector::rmi(),

@@ -75,6 +75,23 @@ pub struct RequestCtx<'a> {
     /// Span recorder, present only when the middleware was installed with
     /// tracing enabled; every recording helper is a no-op when `None`.
     pub(crate) spans: Option<SpanRecorder>,
+    /// The middleware's method cache, when installed with one (EJB
+    /// configurations with the caching tier enabled).
+    pub(crate) mcache: Option<&'a std::cell::RefCell<crate::cache::MethodCache>>,
+    /// Armed by `facade_cached` around a missing façade run: collects the
+    /// catalog ids of every table its statements read (the cache entry's
+    /// dependency set) and whether anything was written (never cached).
+    pub(crate) read_log: Option<ReadLog>,
+}
+
+/// Table-dependency log of one façade invocation (see
+/// [`RequestCtx::facade_cached`]).
+#[derive(Debug, Default)]
+pub(crate) struct ReadLog {
+    /// Catalog ids of tables read, deduplicated, in first-read order.
+    pub(crate) tables: Vec<usize>,
+    /// `true` when any statement wrote a table.
+    pub(crate) wrote: bool,
 }
 
 impl std::fmt::Debug for RequestCtx<'_> {
@@ -112,6 +129,8 @@ impl<'a> RequestCtx<'a> {
             status: Status::Ok,
             stats: RequestStats::default(),
             spans: None,
+            mcache: None,
+            read_log: None,
         }
     }
 
@@ -195,17 +214,39 @@ impl<'a> RequestCtx<'a> {
     /// table not covered by a held `LOCK TABLES` set (MySQL semantics).
     pub fn query(&mut self, sql: &str, params: &[Value]) -> AppResult<QueryResult> {
         // Snapshot the plan-cache counters only when tracing: the diff
-        // around `execute` yields this statement's hit/miss outcome.
+        // around `execute` yields this statement's hit/miss outcome. The
+        // result-cache counter is snapshot whenever that cache is enabled —
+        // a hit switches the modeled cost to the cache-probe path.
         let plan_before = self.spans.is_some().then(|| self.db.stats());
+        let rc_before = self.db.result_cache_enabled().then(|| self.db.stats().result_cache_hits);
         let result = self.db.execute(sql, params).map_err(AppError::Sql)?;
+        let rc_hit = rc_before.is_some_and(|before| self.db.stats().result_cache_hits > before);
 
         self.stats.queries += 1;
+        if let Some(log) = self.read_log.as_mut() {
+            if !result.write_tables.is_empty() {
+                log.wrote = true;
+            }
+            let db = &*self.db;
+            for t in &result.read_tables {
+                if let Some(id) = db.table_index(t) {
+                    if !log.tables.contains(&id) {
+                        log.tables.push(id);
+                    }
+                }
+            }
+        }
 
-        let span = self.span_open(SpanKind::SqlStatement, statement_label(&result.kind));
+        let span = if rc_hit {
+            self.span_open(SpanKind::Cache, "result-cache")
+        } else {
+            self.span_open(SpanKind::SqlStatement, statement_label(&result.kind))
+        };
         let db_before = self.stats.db_micros;
-        let emitted = self.emit_statement(&result, sql, params);
+        let emitted = self.emit_statement(&result, sql, params, rc_hit);
         if let Some(before) = plan_before {
-            let outcome = self.db.stats().plan_outcome_since(&before);
+            let outcome =
+                if rc_hit { Some(true) } else { self.db.stats().plan_outcome_since(&before) };
             let cost = self.stats.db_micros - db_before;
             self.span_annotate(span, outcome, Some(cost));
             self.span_close();
@@ -216,17 +257,41 @@ impl<'a> RequestCtx<'a> {
 
     /// Compiles one executed statement into resource ops: driver CPU, wire
     /// transfers, table locks, and database CPU.
+    ///
+    /// `result_cache_hit` switches a read to the cache-probe cost path:
+    /// like MySQL's query cache, the answer is produced before the lock
+    /// manager or the executor is consulted, so the statement charges only
+    /// the driver round trip plus a flat probe cost — no table locks, no
+    /// per-counter execution cost.
     fn emit_statement(
         &mut self,
         result: &QueryResult,
         sql: &str,
         params: &[Value],
+        result_cache_hit: bool,
     ) -> AppResult<()> {
         let gen = self.current_machine();
         let db_machine = self.deployment.machines().db;
         let g = *self.gen_costs();
         let param_bytes: u64 = params.iter().map(Value::wire_size).sum();
         let req_bytes = CostModel::query_wire_bytes(sql.len(), param_bytes);
+
+        if result_cache_hit {
+            debug_assert_eq!(result.kind, StatementKind::Read, "only reads are cached");
+            let resp_bytes = result.counters.bytes_returned + 64;
+            let cost = self.db.cost_model().result_cache_hit_micros.max(1.0).round() as u64;
+            self.stats.db_micros += cost;
+            self.stats.rows_returned += result.counters.rows_returned;
+            self.push(Op::Cpu { machine: gen, micros: g.per_query.round() as u64 });
+            self.push(Op::Net { from: gen, to: db_machine, bytes: req_bytes });
+            self.push_db_execution(db_machine, cost);
+            self.push(Op::Net { from: db_machine, to: gen, bytes: resp_bytes });
+            let decode = (g.per_result_byte * resp_bytes as f64).round() as u64;
+            if decode > 0 {
+                self.push(Op::Cpu { machine: gen, micros: decode });
+            }
+            return Ok(());
+        }
 
         match &result.kind {
             StatementKind::LockTables(list) => {

@@ -18,10 +18,12 @@
 //! ~2,000 small packets/second between EJB server and database).
 
 use crate::app::{AppError, AppResult, LogicStyle};
-use crate::ctx::{RequestCtx, Tier};
+use crate::cache::Lookup;
+use crate::ctx::{ReadLog, RequestCtx, Tier};
 use dynamid_sim::Op;
-use dynamid_sqldb::{SqlError, Value};
+use dynamid_sqldb::{CacheKey, SqlError, Value};
 use dynamid_trace::SpanKind;
+use std::sync::Arc;
 
 /// Handle to an entity bean activated within the current façade call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -375,6 +377,71 @@ impl RequestCtx<'_> {
         self.tier = Tier::Generator;
         self.span_close();
         out
+    }
+
+    /// Invokes a session façade through the method cache (when the
+    /// middleware was installed with one; otherwise identical to
+    /// [`facade`](Self::facade)).
+    ///
+    /// `key` identifies the invocation: `(name, key)` is the cache key, so
+    /// it must capture every argument the façade's result depends on. A
+    /// hit skips the RMI crossing, the container interception, and every
+    /// CMP access, charging a single probe cost on the EJB client side. A
+    /// miss runs the façade with a read log armed and memoizes the result
+    /// with its table dependencies — unless the façade wrote something or
+    /// the open transaction had already written one of the read tables.
+    ///
+    /// Only read-only façades should be invoked through this; a façade
+    /// that writes is never cached (each invocation runs), but its writes
+    /// then invalidate at commit like any other.
+    ///
+    /// # Errors
+    ///
+    /// Whatever `f` returns, or a commit (flush) failure.
+    ///
+    /// # Panics
+    ///
+    /// As [`facade`](Self::facade); additionally if two call sites reuse
+    /// one façade name with different result types (the memoized value is
+    /// downcast by name).
+    pub fn facade_cached<R>(
+        &mut self,
+        name: &str,
+        key: &[Value],
+        f: impl FnOnce(&mut EntityManager<'_, '_>) -> AppResult<R>,
+    ) -> AppResult<R>
+    where
+        R: Clone + 'static,
+    {
+        let Some(mcache) = self.mcache else { return self.facade(name, f) };
+        let ck = CacheKey::from_values(key);
+        let outcome = {
+            let db = &*self.db;
+            mcache.borrow_mut().lookup(name, &ck, &|tables| db.txn_touches(tables))
+        };
+        match outcome {
+            Lookup::Hit(value) => {
+                let micros = self.costs.ejb.per_cache_hit.max(1.0).round() as u64;
+                let span = self.span_open(SpanKind::Cache, name);
+                self.cpu(micros);
+                self.span_annotate(span, Some(true), Some(micros));
+                self.span_close();
+                let value = value.downcast_ref::<R>().expect("method cache result type mismatch");
+                Ok(value.clone())
+            }
+            Lookup::Bypass => self.facade(name, f),
+            Lookup::Miss => {
+                let prev = self.read_log.replace(ReadLog::default());
+                let out = self.facade(name, f);
+                let log = std::mem::replace(&mut self.read_log, prev).unwrap_or_default();
+                if let Ok(v) = &out {
+                    if !log.wrote && !self.db.txn_touches(&log.tables) {
+                        mcache.borrow_mut().store(name, ck, Arc::new(v.clone()), log.tables);
+                    }
+                }
+                out
+            }
+        }
     }
 }
 

@@ -31,6 +31,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod app;
+pub mod cache;
 pub mod cost;
 pub mod ctx;
 pub mod deploy;
@@ -39,6 +40,7 @@ pub mod middleware;
 pub mod session;
 
 pub use app::{AppError, AppLockSpec, AppResult, Application, InteractionSpec, LogicStyle};
+pub use cache::{CacheInvalidation, CachePolicy, CacheScope, MethodCacheConfig, MethodCacheStats};
 pub use cost::{CostModel, EjbCosts, GeneratorCosts};
 pub use ctx::{RequestCtx, RequestStats};
 pub use deploy::{AdmissionControl, Architecture, Deployment, MachineSet, StandardConfig};

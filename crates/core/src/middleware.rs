@@ -2,6 +2,7 @@
 //! generator (→ EJB) → database and back, plus embedded static content.
 
 use crate::app::{AppError, Application};
+use crate::cache::{MethodCache, MethodCacheConfig, MethodCacheStats};
 use crate::cost::CostModel;
 use crate::ctx::{RequestCtx, RequestStats};
 use crate::deploy::{AdmissionControl, Architecture, Deployment, StandardConfig};
@@ -10,6 +11,7 @@ use dynamid_http::{Response, Status};
 use dynamid_sim::{Op, SimRng, Simulation, Trace};
 use dynamid_sqldb::Database;
 use dynamid_trace::{SpanDef, SpanKind, SpanRecorder};
+use std::cell::RefCell;
 
 /// A fully compiled interaction: the resource trace to submit to the
 /// simulation plus the application-level outcome.
@@ -57,6 +59,10 @@ pub struct Middleware {
     deployment: Deployment,
     costs: CostModel,
     tracing: bool,
+    /// The session-façade method cache, present when installed with one.
+    /// `RefCell` because `run_interaction` takes `&self` (one middleware is
+    /// driven single-threaded per experiment worker).
+    method_cache: Option<RefCell<MethodCache>>,
 }
 
 /// Options controlling how a middleware stack is installed.
@@ -71,6 +77,11 @@ pub struct InstallOptions {
     /// default; recording is purely observational, so the compiled traces
     /// and everything downstream are bit-identical either way.
     pub tracing: bool,
+    /// Enable the session-façade method cache (see [`crate::cache`]). Off
+    /// by default — and only EJB-style handlers that call
+    /// [`RequestCtx::facade_cached`](crate::RequestCtx::facade_cached) are
+    /// affected, so every other configuration is bit-identical either way.
+    pub method_cache: Option<MethodCacheConfig>,
 }
 
 impl Middleware {
@@ -101,7 +112,8 @@ impl Middleware {
         let web_processes = costs.web.max_processes;
         let deployment =
             Deployment::install_impl(sim, config, db, app, web_processes, opts.admission);
-        Middleware { deployment, costs, tracing: opts.tracing }
+        let method_cache = opts.method_cache.map(|cfg| RefCell::new(MethodCache::new(cfg)));
+        Middleware { deployment, costs, tracing: opts.tracing, method_cache }
     }
 
     /// Installs `config` with explicit admission-control limits.
@@ -124,7 +136,7 @@ impl Middleware {
             db,
             app,
             costs,
-            InstallOptions { admission, tracing: false },
+            InstallOptions { admission, ..InstallOptions::default() },
         )
     }
 
@@ -141,6 +153,39 @@ impl Middleware {
     /// The cost model in effect.
     pub fn costs(&self) -> &CostModel {
         &self.costs
+    }
+
+    /// Cumulative method-cache counters, or `None` when installed without a
+    /// method cache.
+    pub fn method_cache_stats(&self) -> Option<MethodCacheStats> {
+        self.method_cache.as_ref().map(|mc| mc.borrow().stats())
+    }
+
+    /// Number of entries currently memoized in the method cache (0 when
+    /// installed without one).
+    pub fn method_cache_len(&self) -> usize {
+        self.method_cache.as_ref().map_or(0, |mc| mc.borrow().len())
+    }
+
+    /// Advances the method cache's notion of simulated time, which drives
+    /// TTL expiry. The driver calls this with `sim.now()` before each
+    /// interaction; a no-op without a method cache or under transactional
+    /// invalidation.
+    pub fn set_cache_clock(&self, micros: u64) {
+        if let Some(mc) = &self.method_cache {
+            mc.borrow_mut().set_clock(micros);
+        }
+    }
+
+    /// Coherence flush for an aborted receipt: drops every method-cache
+    /// entry depending on one of the given tables, without counting
+    /// invalidations. The driver calls this (with the receipt's
+    /// [`touched_tables`](dynamid_sqldb::TxnLog::touched_tables)) before
+    /// `Database::apply_rollback`.
+    pub fn purge_method_tables(&self, tables: &[usize]) {
+        if let Some(mc) = &self.method_cache {
+            mc.borrow_mut().purge_tables(tables);
+        }
     }
 
     /// Executes interaction `id` of `app` against `db` and compiles the
@@ -168,6 +213,7 @@ impl Middleware {
         let web_costs = self.costs.web.costs;
 
         let mut ctx = RequestCtx::new(db, &self.deployment, &self.costs, style, capture_html);
+        ctx.mcache = self.method_cache.as_ref();
         if self.tracing {
             ctx.spans = Some(SpanRecorder::new());
         }
@@ -236,6 +282,15 @@ impl Middleware {
         // (MyISAM has no statement atomicity either): take the receipt
         // regardless and let the driver decide commit vs. unwind.
         let txn = ctx.db.commit_txn().unwrap_or_default();
+        // The host-side database state is now the committed state the next
+        // interaction reads, so published writes invalidate the method
+        // cache here (the receipt only unwinds on the rare abort path,
+        // where the driver purges conservatively instead).
+        if let Some(mc) = &self.method_cache {
+            if !txn.is_empty() {
+                mc.borrow_mut().invalidate_commit(&txn.touched_tables());
+            }
+        }
         ctx.force_release();
         if let Some(pool) = self.deployment.db_pool() {
             ctx.push(Op::SemRelease { sem: pool });
@@ -590,7 +645,7 @@ mod tests {
                     db_connections: Some(1),
                     db_accept_queue: Some(0),
                 },
-                tracing: false,
+                ..InstallOptions::default()
             },
         );
         let mut db = db;
@@ -685,6 +740,198 @@ mod tests {
         let mut rng = SimRng::new(1);
         let prep = mw.run_interaction(&mut db, &ToyApp, 0, &mut session, &mut rng, false);
         assert!(prep.spans.is_empty());
+    }
+
+    /// An EJB-style app whose read interaction goes through the method
+    /// cache and whose write interaction invalidates it.
+    struct CachedApp;
+
+    impl Application for CachedApp {
+        fn name(&self) -> &str {
+            "cached"
+        }
+        fn interactions(&self) -> &[InteractionSpec] {
+            &[
+                InteractionSpec { name: "View", read_only: true, secure: false },
+                InteractionSpec { name: "Buy", read_only: false, secure: false },
+                InteractionSpec { name: "BuyThenView", read_only: false, secure: false },
+            ]
+        }
+        fn handle(
+            &self,
+            id: usize,
+            ctx: &mut RequestCtx<'_>,
+            _session: &mut SessionData,
+            _rng: &mut SimRng,
+        ) -> crate::app::AppResult<()> {
+            let view = |ctx: &mut RequestCtx<'_>| {
+                ctx.facade_cached("Stock.view", &[Value::Int(1)], |em| {
+                    let h = em.find("stock", Value::Int(1))?.unwrap();
+                    em.get(h, "qty")
+                })
+            };
+            let buy = |ctx: &mut RequestCtx<'_>| {
+                ctx.facade("Stock.buy", |em| {
+                    let h = em.find("stock", Value::Int(1))?.unwrap();
+                    let qty = em.get(h, "qty")?.as_int().unwrap();
+                    em.set(h, "qty", Value::Int(qty - 1))?;
+                    Ok(())
+                })
+            };
+            match id {
+                0 => {
+                    let qty = view(ctx)?;
+                    ctx.emit(&format!("<html>qty={}</html>", qty.as_int().unwrap()));
+                }
+                1 => {
+                    buy(ctx)?;
+                    ctx.emit("<html>bought</html>");
+                }
+                2 => {
+                    // Write first, then read the same table inside the same
+                    // transaction: the cached (committed-state) value must
+                    // not be served, and the uncommitted read must not be
+                    // stored either.
+                    buy(ctx)?;
+                    let qty = view(ctx)?;
+                    ctx.emit(&format!("<html>qty={}</html>", qty.as_int().unwrap()));
+                }
+                _ => unreachable!(),
+            }
+            Ok(())
+        }
+    }
+
+    fn cached_mw(invalidation: crate::cache::CacheInvalidation) -> (Database, Middleware) {
+        let db = toy_db();
+        let mut sim = Simulation::new(SimDuration::from_micros(100));
+        let mw = Middleware::install_opts(
+            &mut sim,
+            StandardConfig::EjbFourTier,
+            &db,
+            &CachedApp,
+            CostModel::default(),
+            InstallOptions {
+                method_cache: Some(MethodCacheConfig { capacity: 16, invalidation }),
+                ..InstallOptions::default()
+            },
+        );
+        (db, mw)
+    }
+
+    #[test]
+    fn method_cache_hit_skips_facade_and_cmp_chain() {
+        let (mut db, mw) = cached_mw(crate::cache::CacheInvalidation::Transactional);
+        let mut session = SessionData::new(0);
+        let mut rng = SimRng::new(1);
+        let miss = mw.run_interaction(&mut db, &CachedApp, 0, &mut session, &mut rng, true);
+        let hit = mw.run_interaction(&mut db, &CachedApp, 0, &mut session, &mut rng, true);
+        assert!(miss.is_ok() && hit.is_ok());
+        assert_eq!(miss.html, hit.html);
+        let stats = mw.method_cache_stats().unwrap();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert_eq!(mw.method_cache_len(), 1);
+        // The hit never crossed RMI: no façade, no beans, no EJB-machine
+        // CPU, no SQL — a strictly shorter trace.
+        assert_eq!(hit.stats.facade_calls, 0);
+        assert_eq!(hit.stats.bean_accesses, 0);
+        assert_eq!(hit.stats.queries, 0);
+        let ejb = mw.deployment().machines().ejb.unwrap();
+        assert!(miss.trace.cpu_demand(ejb) > 0);
+        assert_eq!(hit.trace.cpu_demand(ejb), 0);
+        assert!(hit.trace.len() < miss.trace.len());
+    }
+
+    #[test]
+    fn method_cache_invalidated_by_committed_write() {
+        let (mut db, mw) = cached_mw(crate::cache::CacheInvalidation::Transactional);
+        let mut session = SessionData::new(0);
+        let mut rng = SimRng::new(1);
+        mw.run_interaction(&mut db, &CachedApp, 0, &mut session, &mut rng, false);
+        let buy = mw.run_interaction(&mut db, &CachedApp, 1, &mut session, &mut rng, false);
+        assert!(buy.is_ok());
+        let stats = mw.method_cache_stats().unwrap();
+        assert_eq!(stats.invalidations, 1);
+        assert_eq!(mw.method_cache_len(), 0);
+        // The next view misses and sees the committed write.
+        let after = mw.run_interaction(&mut db, &CachedApp, 0, &mut session, &mut rng, true);
+        assert_eq!(after.html.as_deref(), Some("<html>qty=99</html>"));
+        let stats = mw.method_cache_stats().unwrap();
+        assert_eq!((stats.hits, stats.misses), (0, 2));
+    }
+
+    #[test]
+    fn method_cache_bypassed_inside_writing_transaction() {
+        let (mut db, mw) = cached_mw(crate::cache::CacheInvalidation::Transactional);
+        let mut session = SessionData::new(0);
+        let mut rng = SimRng::new(1);
+        // Warm the cache with the committed value.
+        mw.run_interaction(&mut db, &CachedApp, 0, &mut session, &mut rng, false);
+        // Buy-then-view inside one transaction: the view must bypass the
+        // warm entry and read its own uncommitted write.
+        let combo = mw.run_interaction(&mut db, &CachedApp, 2, &mut session, &mut rng, true);
+        assert!(combo.is_ok());
+        assert_eq!(combo.html.as_deref(), Some("<html>qty=99</html>"));
+        let stats = mw.method_cache_stats().unwrap();
+        assert_eq!(stats.bypasses, 1);
+        assert_eq!(stats.hits, 0);
+    }
+
+    #[test]
+    fn method_cache_ttl_expires_by_clock_and_ignores_commits() {
+        let (mut db, mw) = cached_mw(crate::cache::CacheInvalidation::Ttl(1_000));
+        let mut session = SessionData::new(0);
+        let mut rng = SimRng::new(1);
+        mw.set_cache_clock(0);
+        mw.run_interaction(&mut db, &CachedApp, 0, &mut session, &mut rng, true);
+        // A committed write does NOT invalidate under TTL…
+        mw.run_interaction(&mut db, &CachedApp, 1, &mut session, &mut rng, false);
+        assert_eq!(mw.method_cache_stats().unwrap().invalidations, 0);
+        // …so the next view within the TTL serves the stale value.
+        let stale = mw.run_interaction(&mut db, &CachedApp, 0, &mut session, &mut rng, true);
+        assert_eq!(stale.html.as_deref(), Some("<html>qty=100</html>"));
+        assert_eq!(mw.method_cache_stats().unwrap().hits, 1);
+        // Past the TTL the entry expires and the fresh value is read.
+        mw.set_cache_clock(1_000);
+        let fresh = mw.run_interaction(&mut db, &CachedApp, 0, &mut session, &mut rng, true);
+        assert_eq!(fresh.html.as_deref(), Some("<html>qty=99</html>"));
+        assert_eq!(mw.method_cache_stats().unwrap().misses, 2);
+    }
+
+    #[test]
+    fn purge_method_tables_flushes_without_counting() {
+        let (mut db, mw) = cached_mw(crate::cache::CacheInvalidation::Transactional);
+        let mut session = SessionData::new(0);
+        let mut rng = SimRng::new(1);
+        mw.run_interaction(&mut db, &CachedApp, 0, &mut session, &mut rng, false);
+        assert_eq!(mw.method_cache_len(), 1);
+        let stock = db.table_index("stock").unwrap();
+        mw.purge_method_tables(&[stock]);
+        assert_eq!(mw.method_cache_len(), 0);
+        assert_eq!(mw.method_cache_stats().unwrap().invalidations, 0);
+    }
+
+    #[test]
+    fn facade_cached_without_cache_behaves_like_facade() {
+        let db = toy_db();
+        let mut sim = Simulation::new(SimDuration::from_micros(100));
+        let mw = Middleware::install(
+            &mut sim,
+            StandardConfig::EjbFourTier,
+            &db,
+            &CachedApp,
+            CostModel::default(),
+        );
+        assert!(mw.method_cache_stats().is_none());
+        let mut db = db;
+        let mut session = SessionData::new(0);
+        let mut rng = SimRng::new(1);
+        let a = mw.run_interaction(&mut db, &CachedApp, 0, &mut session, &mut rng, true);
+        let b = mw.run_interaction(&mut db, &CachedApp, 0, &mut session, &mut rng, true);
+        assert!(a.is_ok() && b.is_ok());
+        assert_eq!(a.stats.facade_calls, 1);
+        assert_eq!(b.stats.facade_calls, 1);
+        assert_eq!(a.trace.len(), b.trace.len());
     }
 
     #[test]

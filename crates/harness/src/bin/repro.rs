@@ -13,6 +13,10 @@
 //!                                 CSV into results/, cross-checked
 //!                                 against the PS CPU counters (pick the
 //!                                 deployment with --config C1..C6)
+//! repro cache                     cache-ablation sweep: browsing-mix
+//!                                 throughput with the caching tier off,
+//!                                 TTL, and transactional, audited at
+//!                                 every point, results/cache.csv
 //! ```
 //!
 //! Flags are listed in [`FLAGS`]; unknown flags and unknown subcommands
@@ -80,6 +84,11 @@ const COMMANDS: &[(&str, &str)] = &[
     ("summary", "peak-throughput table across all figures"),
     ("avail", "availability sweep (goodput vs fault intensity), avail.csv"),
     ("trace <figure>", "one traced point: Chrome-trace JSON + bottleneck CSV"),
+    (
+        "cache",
+        "cache-ablation sweep (off/TTL/transactional on the browsing mix), cache.csv; \
+         with --smoke: the pinned deterministic grid check.sh compares to the golden",
+    ),
 ];
 
 fn main() -> ExitCode {
@@ -182,6 +191,11 @@ fn main() -> ExitCode {
         i += 1;
     }
     if smoke {
+        // `repro cache --smoke` is its own pinned grid (check.sh's golden
+        // gate); every other target combination defers to the perf smoke.
+        if targets.iter().any(|t| t == "cache") {
+            return run_cache_smoke(cfg.jobs, &out_dir, cfg.verbose);
+        }
         return run_smoke(cfg.verbose, chaos);
     }
     if targets.is_empty() {
@@ -219,6 +233,20 @@ fn main() -> ExitCode {
                 println!("{}", availability_markdown(&data));
                 let csv_path = out_dir.join("avail.csv");
                 if let Err(e) = fs::write(&csv_path, availability_csv(&data)) {
+                    eprintln!("could not write {}: {e}", csv_path.display());
+                } else {
+                    eprintln!("wrote {}", csv_path.display());
+                }
+            }
+            "cache" => {
+                use dynamid_harness::{
+                    cache_csv, cache_markdown, run_cache_sweep, DEFAULT_CACHE_CAPACITIES,
+                };
+                eprintln!("== Cache-ablation sweep (browsing mix, off/TTL/transactional)");
+                let data = run_cache_sweep(&cfg, &DEFAULT_CACHE_CAPACITIES);
+                println!("{}", cache_markdown(&data));
+                let csv_path = out_dir.join("cache.csv");
+                if let Err(e) = fs::write(&csv_path, cache_csv(&data)) {
                     eprintln!("could not write {}: {e}", csv_path.display());
                 } else {
                     eprintln!("wrote {}", csv_path.display());
@@ -295,6 +323,79 @@ fn run_trace(figure: &str, cfg: &HarnessConfig, out_dir: &std::path::Path) -> Ex
             }
             eprintln!("wrote {}", path.display());
         }
+    }
+    ExitCode::SUCCESS
+}
+
+/// The pinned deterministic cache-ablation grid behind `repro cache
+/// --smoke` — check.sh byte-compares its CSV against
+/// `results/golden/cache.csv`.
+///
+/// Every knob except `--jobs` (which never changes results) and `--out`
+/// is pinned here rather than taken from the command line: the golden is
+/// only meaningful for one exact grid. The load is deliberately harsher
+/// than the figure smokes — 500 ms think time instead of 7 s — so the
+/// EJB four-tier configuration is actually saturated at the top client
+/// count and the sweep exercises the regime where caching moves
+/// throughput, not just latency. The run fails unless transactional
+/// caching lifts EJB browsing throughput at the top client count by at
+/// least 30% — the headline this tier exists to demonstrate — so the
+/// check.sh gate certifies the result, not just byte stability.
+fn run_cache_smoke(jobs: usize, out_dir: &std::path::Path, verbose: bool) -> ExitCode {
+    use dynamid_harness::{cache_csv, cache_markdown, run_cache_sweep, CacheMode};
+    use std::time::Instant;
+
+    let mut cfg = HarnessConfig::fast();
+    cfg.verbose = false;
+    cfg.jobs = jobs;
+    cfg.seed = 42;
+    cfg.scale = 0.1;
+    cfg.clients = vec![20, 100];
+    cfg.think_time = SimDuration::from_millis(500);
+    cfg.measure = SimDuration::from_secs(8);
+    cfg.ramp_up = SimDuration::from_secs(2);
+    cfg.ramp_down = SimDuration::from_secs(1);
+
+    let t0 = Instant::now();
+    let data = run_cache_sweep(&cfg, &[1024]);
+    let secs = t0.elapsed().as_secs_f64();
+    // Reaching this line means every cache-off and transactional point
+    // passed the consistency audit (run_cache_sweep panics otherwise).
+    println!("{}", cache_markdown(&data));
+
+    let ejb = StandardConfig::EjbFourTier;
+    let off = data.best_at_peak_clients(ejb, CacheMode::Off).unwrap_or(0.0);
+    let txn = data.best_at_peak_clients(ejb, CacheMode::Transactional).unwrap_or(0.0);
+    let uplift = if off > 0.0 { txn / off - 1.0 } else { 0.0 };
+    if verbose {
+        eprintln!(
+            "cache smoke: {} points in {secs:.3}s; EJB browsing at {} clients \
+             {off:.0} -> {txn:.0} ipm with transactional caching ({:+.1}%)",
+            data.points.len(),
+            data.clients.last().copied().unwrap_or(0),
+            uplift * 100.0,
+        );
+    }
+    if uplift < 0.30 {
+        eprintln!(
+            "cache smoke FAILED: transactional caching lifted EJB browsing throughput \
+             by only {:.1}% (< 30%) at the top client count",
+            uplift * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
+
+    if let Err(e) = fs::create_dir_all(out_dir) {
+        eprintln!("cannot create {}: {e}", out_dir.display());
+        return ExitCode::FAILURE;
+    }
+    let csv_path = out_dir.join("cache.csv");
+    if let Err(e) = fs::write(&csv_path, cache_csv(&data)) {
+        eprintln!("could not write {}: {e}", csv_path.display());
+        return ExitCode::FAILURE;
+    }
+    if verbose {
+        eprintln!("wrote {}", csv_path.display());
     }
     ExitCode::SUCCESS
 }
@@ -449,6 +550,72 @@ fn run_smoke(verbose: bool, chaos: bool) -> ExitCode {
         String::new()
     };
 
+    // Cache probe: the EJB four-tier configuration on the browsing mix,
+    // cache off versus the transactional two-layer cache, under the same
+    // saturating 500 ms think time the `repro cache --smoke` golden uses.
+    // Records hit/miss/invalidation counters and the throughput uplift so
+    // the perf history tracks the caching tier alongside raw wall clock.
+    let cache_json = {
+        use dynamid_harness::{run_cache_sweep, CacheMode};
+        let mut ccfg = HarnessConfig::fast();
+        ccfg.verbose = false;
+        ccfg.jobs = 1;
+        ccfg.seed = 42;
+        ccfg.scale = 0.1;
+        ccfg.clients = vec![40];
+        ccfg.think_time = SimDuration::from_millis(500);
+        ccfg.measure = SimDuration::from_secs(6);
+        ccfg.ramp_up = SimDuration::from_secs(2);
+        ccfg.ramp_down = SimDuration::from_secs(1);
+        ccfg.configs = vec![StandardConfig::EjbFourTier];
+        let t0 = Instant::now();
+        let data = run_cache_sweep(&ccfg, &[1024]);
+        let secs = t0.elapsed().as_secs_f64();
+        let ejb = StandardConfig::EjbFourTier;
+        let off = data.point(ejb, CacheMode::Off, 0, 40).expect("off point");
+        let txn = data.point(ejb, CacheMode::Transactional, 1024, 40).expect("txn point");
+        let uplift = if off.throughput_ipm > 0.0 {
+            txn.throughput_ipm / off.throughput_ipm - 1.0
+        } else {
+            0.0
+        };
+        // Both points passed the consistency audit or run_cache_sweep
+        // would have panicked before returning.
+        if verbose {
+            eprintln!(
+                "smoke cache: EJB browsing {:.0} -> {:.0} ipm with transactional caching \
+                 ({:+.1}%) in {secs:.3}s, q-hit {:.3} m-hit {:.3}, audit clean",
+                off.throughput_ipm,
+                txn.throughput_ipm,
+                uplift * 100.0,
+                txn.cache.query_hit_rate(),
+                txn.cache.method_hit_rate(),
+            );
+        }
+        format!(
+            ",\n  \"cache\": {{\"wall_secs\": {secs:.3}, \
+             \"off_ipm\": {:.1}, \"txn_ipm\": {:.1}, \"uplift\": {uplift:.4},\n    \
+             \"query\": {{\"hits\": {}, \"misses\": {}, \"invalidations\": {}, \
+             \"bypasses\": {}, \"hit_rate\": {:.4}}},\n    \
+             \"method\": {{\"hits\": {}, \"misses\": {}, \"invalidations\": {}, \
+             \"bypasses\": {}, \"hit_rate\": {:.4}}},\n    \
+             \"consistency_audit\": \"clean\", \
+             \"equivalent_flags\": \"cache --smoke restricted to C6, clients 40\"}}",
+            off.throughput_ipm,
+            txn.throughput_ipm,
+            txn.cache.query_hits,
+            txn.cache.query_misses,
+            txn.cache.query_invalidations,
+            txn.cache.query_bypasses,
+            txn.cache.query_hit_rate(),
+            txn.cache.method.hits,
+            txn.cache.method.misses,
+            txn.cache.method.invalidations,
+            txn.cache.method.bypasses,
+            txn.cache.method_hit_rate(),
+        )
+    };
+
     // Host execution profile: what the simulator costs the *host*, as
     // opposed to the modeled results above (which tests pin down). The
     // recorded per-PR history lives in results/bench_history.json; when it
@@ -507,11 +674,16 @@ fn run_smoke(verbose: bool, chaos: bool) -> ExitCode {
          \"total_wall_secs\": {total_secs:.3},\n{profile},\n  \
          \"plan_cache\": {{\"hits\": {hits}, \"misses\": {misses}, \"hit_rate\": {rate:.4}}},\n  \
          \"snapshot_fork\": {{\"cow_micros\": {cow_micros:.1}, \
-         \"deep_clone_micros\": {deep_micros:.1}}}{chaos_json}\n}}\n",
+         \"deep_clone_micros\": {deep_micros:.1}}}{cache_json}{chaos_json}\n}}\n",
         fig_json.join(",\n"),
     );
-    if let Err(e) = fs::write("BENCH_repro.json", &json) {
+    // Written atomically (temp file + rename) so an interrupted run can
+    // never leave a torn or half-stale BENCH_repro.json behind — the perf
+    // gate's speedup baseline either updates completely or not at all.
+    let tmp = "BENCH_repro.json.tmp";
+    if let Err(e) = fs::write(tmp, &json).and_then(|()| fs::rename(tmp, "BENCH_repro.json")) {
         eprintln!("could not write BENCH_repro.json: {e}");
+        let _ = fs::remove_file(tmp);
         return ExitCode::FAILURE;
     }
     if verbose {

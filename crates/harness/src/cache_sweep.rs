@@ -1,0 +1,426 @@
+//! The cache-ablation sweep: throughput versus caching policy across the
+//! deployment configurations.
+//!
+//! The paper's headline is that the EJB configurations lose to PHP and
+//! servlets largely on per-interaction middleware cost — exactly the cost
+//! a transaction-consistent cache amortizes away (Pfeifer & Lockemann's
+//! transactional method caching). This sweep quantifies that: every
+//! configuration × {cache off, TTL, transactional} × cache capacity, on
+//! the read-heavy browsing mix where the recipe has the most to gain.
+//!
+//! Every point ends with the post-run consistency audit. Points running
+//! with the cache **off** or under **transactional** invalidation must be
+//! audit-clean — commit-driven invalidation guarantees coherent hits, so a
+//! violation means the caching tier corrupted a run and the sweep panics.
+//! **TTL** points are allowed to be stale by construction; their violation
+//! counts are *recorded* in the CSV instead, making the auditor the
+//! pricing oracle for TTL staleness.
+
+use crate::HarnessConfig;
+use dynamid_bookstore::{Bookstore, BookstoreScale};
+use dynamid_core::{CacheInvalidation, CachePolicy, CacheScope, CostModel, StandardConfig};
+use dynamid_workload::{CacheStats, ExperimentSpec};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The caching policies the sweep ablates over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheMode {
+    /// No caching tier installed: the baseline every figure golden uses.
+    Off,
+    /// Both layers with time-to-live expiry ([`CACHE_TTL_MICROS`]); commits
+    /// do not invalidate, so hits may be stale.
+    Ttl,
+    /// Both layers with commit-driven (transactional) invalidation; hits
+    /// are always coherent with committed state.
+    Transactional,
+}
+
+/// Sweep order: baseline first, then the two cached policies.
+pub const CACHE_MODES: [CacheMode; 3] = [CacheMode::Off, CacheMode::Ttl, CacheMode::Transactional];
+
+/// TTL for [`CacheMode::Ttl`] points, in simulated microseconds (2 s —
+/// long enough to serve stale reads across commits, short enough that the
+/// working set keeps turning over).
+pub const CACHE_TTL_MICROS: u64 = 2_000_000;
+
+/// Cache capacities the cached modes sweep over: a constrained cache that
+/// churns under the browsing working set, and an ample one.
+pub const DEFAULT_CACHE_CAPACITIES: [usize; 2] = [256, 4096];
+
+impl CacheMode {
+    /// CSV / display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            CacheMode::Off => "off",
+            CacheMode::Ttl => "ttl",
+            CacheMode::Transactional => "txn",
+        }
+    }
+
+    /// The experiment policy for this mode at `capacity`; `None` for
+    /// [`CacheMode::Off`].
+    pub fn policy(self, capacity: usize) -> Option<CachePolicy> {
+        let invalidation = match self {
+            CacheMode::Off => return None,
+            CacheMode::Ttl => CacheInvalidation::Ttl(CACHE_TTL_MICROS),
+            CacheMode::Transactional => CacheInvalidation::Transactional,
+        };
+        Some(CachePolicy { capacity, scope: CacheScope::Both, invalidation })
+    }
+
+    /// Whether the consistency auditor must be clean at this mode's points.
+    /// TTL trades coherence for hit rate on purpose; everything else has no
+    /// excuse.
+    pub fn must_audit_clean(self) -> bool {
+        !matches!(self, CacheMode::Ttl)
+    }
+}
+
+/// One (configuration, mode, capacity, client count) measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachePoint {
+    /// The deployment measured.
+    pub config: StandardConfig,
+    /// Caching policy.
+    pub mode: CacheMode,
+    /// Cache capacity per layer (0 for [`CacheMode::Off`]).
+    pub capacity: usize,
+    /// Offered clients.
+    pub clients: usize,
+    /// Measured throughput (interactions per minute).
+    pub throughput_ipm: f64,
+    /// 90th-percentile response time (ms) of window completions.
+    pub latency_p90_ms: f64,
+    /// Cache counters for the run (all zero for [`CacheMode::Off`]).
+    pub cache: CacheStats,
+    /// Invariant checks the post-run consistency audit performed.
+    pub audit_checks: u64,
+    /// Invariants the audit found violated. Always 0 for off/transactional
+    /// points (the sweep panics otherwise); TTL points record their
+    /// staleness damage here.
+    pub audit_violations: u64,
+}
+
+/// A complete cache-ablation sweep, points in grid order: configurations
+/// in `cfg.configs` order, then (mode, capacity) in [`CACHE_MODES`] ×
+/// capacity order, then client counts ascending.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheSweepData {
+    /// The (mode, capacity) arms each configuration ran (capacity 0 = off).
+    pub arms: Vec<(CacheMode, usize)>,
+    /// The client ladder.
+    pub clients: Vec<usize>,
+    /// All measured points.
+    pub points: Vec<CachePoint>,
+}
+
+impl CacheSweepData {
+    /// The point for an exact (config, mode, capacity, clients) tuple.
+    pub fn point(
+        &self,
+        config: StandardConfig,
+        mode: CacheMode,
+        capacity: usize,
+        clients: usize,
+    ) -> Option<&CachePoint> {
+        self.points.iter().find(|p| {
+            p.config == config && p.mode == mode && p.capacity == capacity && p.clients == clients
+        })
+    }
+
+    /// Best throughput any arm of `mode` reaches for `config` at the
+    /// largest client count.
+    pub fn best_at_peak_clients(&self, config: StandardConfig, mode: CacheMode) -> Option<f64> {
+        let &peak = self.clients.last()?;
+        self.points
+            .iter()
+            .filter(|p| p.config == config && p.mode == mode && p.clients == peak)
+            .map(|p| p.throughput_ipm)
+            .max_by(f64::total_cmp)
+    }
+}
+
+/// Runs one sweep point: fresh database fork, one experiment under the
+/// arm's cache policy, then the consistency audit. Self-contained and
+/// deterministically seeded, so points can run in any order or in parallel
+/// without changing results.
+fn run_cache_point(
+    cfg: &HarnessConfig,
+    base_db: &dynamid_sqldb::Database,
+    config: StandardConfig,
+    mode: CacheMode,
+    capacity: usize,
+    clients: usize,
+) -> CachePoint {
+    let mut db = base_db.clone();
+    let app = Bookstore::new(BookstoreScale::scaled(cfg.scale));
+    let mix = dynamid_bookstore::mixes::browsing();
+    let mut spec = ExperimentSpec::for_config(config)
+        .mix(&mix)
+        .costs(CostModel::default())
+        .workload(crate::figures::sweep_workload(cfg, clients))
+        .policy(cfg.policy);
+    if let Some(policy) = mode.policy(capacity) {
+        spec = spec.caching(policy);
+    }
+    let r = spec.run(&mut db, &app);
+    let report = crate::audit::audit_bookstore(base_db, &db, &r.ledger);
+    if mode.must_audit_clean() {
+        report.assert_clean(&format!(
+            "{} cache={} capacity={capacity} clients={clients}",
+            config.paper_name(),
+            mode.label()
+        ));
+    }
+    let cache = r.cache_stats.unwrap_or_default();
+    if cfg.verbose {
+        eprintln!(
+            "  {:<22} cache={:<4} cap={:<5} clients={:<5} ipm={:>9.0} \
+             q-hit={:.2} m-hit={:.2} audit {}/{}",
+            config.paper_name(),
+            mode.label(),
+            capacity,
+            clients,
+            r.throughput_ipm,
+            cache.query_hit_rate(),
+            cache.method_hit_rate(),
+            report.violations.len(),
+            report.checks,
+        );
+    }
+    CachePoint {
+        config,
+        mode,
+        capacity,
+        clients,
+        throughput_ipm: r.throughput_ipm,
+        latency_p90_ms: r.metrics.latency.quantile(0.9).as_micros() as f64 / 1_000.0,
+        cache,
+        audit_checks: report.checks,
+        audit_violations: report.violations.len() as u64,
+    }
+}
+
+/// Runs the full cache-ablation sweep over `cfg.configs` ×
+/// ([`CacheMode::Off`] + cached modes × `capacities`) × the client ladder,
+/// on the bookstore browsing mix, using the same worker-pool pattern as
+/// the figure sweeps (results are bit-identical for any `--jobs` value).
+///
+/// # Panics
+///
+/// Panics when the consistency audit finds a violation at a point whose
+/// mode demands coherence (off or transactional) — see the module docs.
+pub fn run_cache_sweep(cfg: &HarnessConfig, capacities: &[usize]) -> CacheSweepData {
+    let clients = if cfg.clients.is_empty() {
+        crate::figures::default_clients(crate::Benchmark::Bookstore)
+    } else {
+        cfg.clients.clone()
+    };
+    let mut arms: Vec<(CacheMode, usize)> = vec![(CacheMode::Off, 0)];
+    for mode in [CacheMode::Ttl, CacheMode::Transactional] {
+        arms.extend(capacities.iter().map(|&c| (mode, c)));
+    }
+    let base_db = dynamid_bookstore::build_db(&BookstoreScale::scaled(cfg.scale), cfg.seed)
+        .expect("population");
+
+    let grid: Vec<(usize, usize, usize)> = (0..cfg.configs.len())
+        .flat_map(|ci| {
+            let n = clients.len();
+            (0..arms.len()).flat_map(move |ai| (0..n).map(move |ni| (ci, ai, ni)))
+        })
+        .collect();
+    let workers = cfg.effective_jobs().min(grid.len()).max(1);
+
+    let run = |i: usize| {
+        let (ci, ai, ni) = grid[i];
+        let (mode, capacity) = arms[ai];
+        run_cache_point(cfg, &base_db, cfg.configs[ci], mode, capacity, clients[ni])
+    };
+    let points: Vec<CachePoint> = if workers == 1 {
+        (0..grid.len()).map(run).collect()
+    } else {
+        let slots: Mutex<Vec<Option<CachePoint>>> = Mutex::new(vec![None; grid.len()]);
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= grid.len() {
+                        break;
+                    }
+                    let point = run(i);
+                    slots.lock().expect("no panics hold the lock")[i] = Some(point);
+                });
+            }
+        });
+        slots
+            .into_inner()
+            .expect("workers joined")
+            .into_iter()
+            .map(|p| p.expect("every grid slot filled"))
+            .collect()
+    };
+
+    CacheSweepData { arms, clients, points }
+}
+
+/// Renders the sweep as CSV (stable column order; used by `repro cache`
+/// and byte-compared against `results/golden/cache.csv` by check.sh).
+pub fn cache_csv(data: &CacheSweepData) -> String {
+    let mut out = String::from(
+        "config,mode,capacity,clients,throughput_ipm,latency_p90_ms,\
+         query_hits,query_misses,query_invalidations,query_bypasses,\
+         method_hits,method_misses,method_invalidations,method_bypasses,\
+         audit_checks,audit_violations\n",
+    );
+    for p in &data.points {
+        out.push_str(&format!(
+            "{},{},{},{},{:.1},{:.3},{},{},{},{},{},{},{},{},{},{}\n",
+            p.config.paper_name(),
+            p.mode.label(),
+            p.capacity,
+            p.clients,
+            p.throughput_ipm,
+            p.latency_p90_ms,
+            p.cache.query_hits,
+            p.cache.query_misses,
+            p.cache.query_invalidations,
+            p.cache.query_bypasses,
+            p.cache.method.hits,
+            p.cache.method.misses,
+            p.cache.method.invalidations,
+            p.cache.method.bypasses,
+            p.audit_checks,
+            p.audit_violations,
+        ));
+    }
+    out
+}
+
+/// Renders the headline comparison as markdown: per configuration, the
+/// browsing-mix throughput at the largest client count for each arm, the
+/// uplift of the best transactional arm over cache-off, and the EJB+cache
+/// versus best-servlet gap the sweep exists to quantify.
+pub fn cache_markdown(data: &CacheSweepData) -> String {
+    let mut out = String::from(
+        "# Cache ablation: browsing-mix throughput (ipm) at the largest client count\n\n",
+    );
+    let Some(&peak) = data.clients.last() else { return out };
+    out.push_str(&format!("At {peak} clients:\n\n| config |"));
+    for (mode, cap) in &data.arms {
+        match mode {
+            CacheMode::Off => out.push_str(" off |"),
+            _ => out.push_str(&format!(" {}@{cap} |", mode.label())),
+        }
+    }
+    out.push_str(" txn uplift |\n|---|");
+    for _ in &data.arms {
+        out.push_str("---|");
+    }
+    out.push_str("---|\n");
+    let mut configs: Vec<StandardConfig> = Vec::new();
+    for p in &data.points {
+        if !configs.contains(&p.config) {
+            configs.push(p.config);
+        }
+    }
+    for &config in &configs {
+        out.push_str(&format!("| {} |", config.paper_name()));
+        for &(mode, cap) in &data.arms {
+            match data.point(config, mode, cap, peak) {
+                Some(p) => out.push_str(&format!(" {:.0} |", p.throughput_ipm)),
+                None => out.push_str(" - |"),
+            }
+        }
+        let off = data.best_at_peak_clients(config, CacheMode::Off).unwrap_or(0.0);
+        let txn = data.best_at_peak_clients(config, CacheMode::Transactional).unwrap_or(0.0);
+        if off > 0.0 {
+            out.push_str(&format!(" {:+.0}% |\n", (txn / off - 1.0) * 100.0));
+        } else {
+            out.push_str(" - |\n");
+        }
+    }
+    // The headline: does transactional caching close the EJB-vs-servlet
+    // gap the paper measured?
+    let ejb = StandardConfig::EjbFourTier;
+    let servlet_best = configs
+        .iter()
+        .filter(|c| !matches!(c, StandardConfig::EjbFourTier))
+        .filter_map(|&c| data.best_at_peak_clients(c, CacheMode::Off).map(|t| (c, t)))
+        .max_by(|a, b| a.1.total_cmp(&b.1));
+    if let (Some(off), Some(txn), Some((sc, st))) = (
+        data.best_at_peak_clients(ejb, CacheMode::Off),
+        data.best_at_peak_clients(ejb, CacheMode::Transactional),
+        servlet_best,
+    ) {
+        out.push_str(&format!(
+            "\nEJB four-tier at {peak} clients: {off:.0} ipm uncached vs {txn:.0} ipm with \
+             transactional caching ({:+.0}%); best non-EJB config uncached ({}) reaches \
+             {st:.0} ipm — the cached EJB stack runs at {:.0}% of it (uncached: {:.0}%).\n",
+            (txn / off - 1.0) * 100.0,
+            sc.paper_name(),
+            txn / st * 100.0,
+            off / st * 100.0,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> HarnessConfig {
+        let mut cfg = HarnessConfig::smoke();
+        cfg.configs = vec![StandardConfig::PhpColocated, StandardConfig::EjbFourTier];
+        cfg.clients = vec![10];
+        cfg.jobs = 1;
+        cfg
+    }
+
+    #[test]
+    fn sweep_covers_grid_and_caches_actually_hit() {
+        let data = run_cache_sweep(&tiny(), &[1024]);
+        // 2 configs × (off + 2 modes × 1 capacity) × 1 client count.
+        assert_eq!(data.points.len(), 2 * 3);
+        for p in &data.points {
+            assert!(p.throughput_ipm > 0.0, "{} produced no throughput", p.config);
+            match p.mode {
+                CacheMode::Off => assert_eq!(p.cache, CacheStats::default()),
+                _ => assert!(
+                    p.cache.query_hits > 0,
+                    "{} {}: query cache never hit",
+                    p.config,
+                    p.mode.label()
+                ),
+            }
+            // Off and transactional points reached us, so they audited
+            // clean (assert_clean panics otherwise) — the recorded count
+            // must agree.
+            if p.mode.must_audit_clean() {
+                assert_eq!(p.audit_violations, 0);
+            }
+            assert!(p.audit_checks > 0, "audit ran no checks");
+        }
+        // The EJB configuration's method cache participates.
+        let ejb_txn = data
+            .point(StandardConfig::EjbFourTier, CacheMode::Transactional, 1024, 10)
+            .expect("grid point");
+        assert!(ejb_txn.cache.method.hits > 0, "method cache never hit on the EJB config");
+        let csv = cache_csv(&data);
+        assert_eq!(csv.lines().count(), 1 + data.points.len());
+        assert!(cache_markdown(&data).contains("EJB four-tier"));
+    }
+
+    #[test]
+    fn sweep_is_bit_identical_for_any_job_count() {
+        let serial = tiny();
+        let mut parallel = serial.clone();
+        parallel.jobs = 4;
+        let a = run_cache_sweep(&serial, &[256]);
+        let b = run_cache_sweep(&parallel, &[256]);
+        assert_eq!(a, b, "--jobs changed cache sweep results");
+        assert_eq!(cache_csv(&a), cache_csv(&b));
+    }
+}

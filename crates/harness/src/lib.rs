@@ -23,6 +23,7 @@
 
 pub mod audit;
 pub mod availability;
+pub mod cache_sweep;
 pub mod figures;
 pub mod report;
 pub mod trace_run;
@@ -31,6 +32,10 @@ pub use audit::{audit_auction, audit_bookstore, AuditReport};
 pub use availability::{
     availability_csv, availability_markdown, run_availability, AvailabilityData, AvailabilityPoint,
     AVAILABILITY_CONFIGS, DEFAULT_INTENSITIES,
+};
+pub use cache_sweep::{
+    cache_csv, cache_markdown, run_cache_sweep, CacheMode, CachePoint, CacheSweepData, CACHE_MODES,
+    DEFAULT_CACHE_CAPACITIES,
 };
 pub use figures::{
     default_clients, find_figure, run_figure, Benchmark, ConfigCurve, CurvePoint, FigureData,

@@ -22,7 +22,10 @@
 //! bucket reference behind as a tombstone that the pop path skips (and
 //! counts, see [`CalendarQueue::stale_popped`]). The engine uses this to
 //! retire superseded PS completion predictions instead of letting them
-//! pile up.
+//! pile up. When the superseded prediction still sits at its bucket tail
+//! — the common case, since predictions are re-issued right after being
+//! scheduled — [`CalendarQueue::reschedule`] moves it in O(1) and leaves
+//! no tombstone at all.
 //!
 //! **Ordering contract**: pops come out in exactly the order the old
 //! binary heap produced — ascending `(time, schedule-sequence)`. Within a
@@ -205,6 +208,69 @@ impl<T> CalendarQueue<T> {
             }
             _ => false,
         }
+    }
+
+    /// Moves a live event to `at` with a new payload, keeping `id` valid
+    /// and leaving no tombstone, when doing so is indistinguishable from
+    /// [`cancel`](Self::cancel) + [`schedule`](Self::schedule): the
+    /// reference must be the **tail of its bucket**, so it can be removed
+    /// in O(1) and re-placed at the target bucket's tail — exactly where a
+    /// fresh schedule would append it. Returns `false` — touching nothing
+    /// — for a mid-bucket reference or a stale handle; the caller falls
+    /// back to cancel + schedule.
+    ///
+    /// `at` obeys the same contract as [`schedule`](Self::schedule): it
+    /// must not precede the time of the last popped event.
+    ///
+    /// This is the hot path for processor-sharing completion predictions,
+    /// which are superseded on every enqueue to the same resource — being
+    /// the most recent schedule they usually sit at their bucket tail, and
+    /// would otherwise each leave a tombstone behind (see
+    /// [`stale_popped`](Self::stale_popped)).
+    pub fn reschedule(&mut self, id: EventId, at: SimTime, payload: T) -> bool {
+        let t = at.as_micros();
+        let old = match self.slots.get(id.idx as usize) {
+            Some(slot) if slot.gen == id.gen => slot.at,
+            _ => return false,
+        };
+        let r: Ref = (id.idx, id.gen);
+        // Route `old` exactly as `place` did. Live references never move
+        // between containers except by scattering, which empties the source,
+        // so the current window positions locate the ref correctly.
+        if old < self.l0_start + L0_SPAN {
+            let b = (old - self.l0_start) as usize;
+            if self.l0[b].back() != Some(&r) {
+                return false;
+            }
+            self.l0[b].pop_back();
+            if self.l0[b].is_empty() {
+                bit_clear(&mut self.l0_occ, b);
+            }
+        } else if old < self.l1_start + L1_SPAN {
+            let s = ((old - self.l1_start) / L1_SLOT) as usize;
+            if self.l1[s].last() != Some(&r) {
+                return false;
+            }
+            self.l1[s].pop();
+            if self.l1[s].is_empty() {
+                bit_clear(&mut self.l1_occ, s);
+            }
+        } else {
+            match self.overflow.get_mut(&old) {
+                Some(refs) if refs.last() == Some(&r) => {
+                    refs.pop();
+                    if refs.is_empty() {
+                        self.overflow.remove(&old);
+                    }
+                }
+                _ => return false,
+            }
+        }
+        let slot = &mut self.slots[id.idx as usize];
+        slot.at = t;
+        slot.payload = Some(payload);
+        self.place(r, t);
+        true
     }
 
     /// The time of the earliest live event, without disturbing window
@@ -442,6 +508,78 @@ mod tests {
         q.pop().unwrap();
         assert_eq!(q.len(), 3);
         assert_eq!(q.peak_len(), 5);
+    }
+
+    #[test]
+    fn reschedule_moves_tail_refs_without_tombstones() {
+        let mut q = CalendarQueue::new();
+        // Same-instant payload swap at a level-0 bucket tail.
+        let a = q.schedule(t(5), "old");
+        assert!(q.reschedule(a, t(5), "new"));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap(), (t(5), "new"));
+        assert_eq!(q.stale_popped(), 0);
+
+        // Across level-0 buckets, across levels, and out to overflow: the
+        // handle stays valid the whole way and nothing goes stale.
+        let b = q.schedule(t(6), "roams");
+        assert!(q.reschedule(b, t(40), "roams"));
+        assert!(q.reschedule(b, t(L0_SPAN * 5 + 1), "roams"));
+        assert!(q.reschedule(b, t(L1_SPAN + 9), "roams"));
+        assert!(q.reschedule(b, t(7), "landed"));
+        assert_eq!(q.pop().unwrap(), (t(7), "landed"));
+        assert_eq!(q.len(), 0);
+
+        // Moving within one level-1 slot keeps FIFO order against other
+        // events in the slot through the scatter into level 0.
+        let base = L0_SPAN + 100;
+        q.schedule(t(base), "first");
+        let c = q.schedule(t(base + 3), "moves");
+        assert!(q.reschedule(c, t(base + 1), "moved"));
+        assert_eq!(q.pop().unwrap(), (t(base), "first"));
+        assert_eq!(q.pop().unwrap(), (t(base + 1), "moved"));
+        assert_eq!(q.stale_popped(), 0);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn reschedule_lands_at_target_bucket_tail() {
+        let mut q = CalendarQueue::new();
+        // The moved event must pop after events already in its new bucket,
+        // exactly like a fresh schedule would.
+        let a = q.schedule(t(9), "early");
+        q.schedule(t(5), "sits");
+        assert!(q.reschedule(a, t(5), "joins"));
+        assert_eq!(q.pop().unwrap(), (t(5), "sits"));
+        assert_eq!(q.pop().unwrap(), (t(5), "joins"));
+        assert_eq!(q.stale_popped(), 0);
+    }
+
+    #[test]
+    fn reschedule_refuses_mid_bucket_and_stale_refs() {
+        let mut q = CalendarQueue::new();
+        // Not the bucket tail: a later schedule shares the instant.
+        let a = q.schedule(t(5), "a");
+        q.schedule(t(5), "b");
+        assert!(!q.reschedule(a, t(7), "a2"));
+
+        // Not the level-1 slot tail.
+        let c = q.schedule(t(L0_SPAN + 2), "c");
+        q.schedule(t(L0_SPAN + 9), "d");
+        assert!(!q.reschedule(c, t(L0_SPAN + 4), "c2"));
+
+        // Not the overflow vec tail (same instant, scheduled first).
+        let e = q.schedule(t(L1_SPAN + 50), "e");
+        q.schedule(t(L1_SPAN + 50), "f");
+        assert!(!q.reschedule(e, t(L1_SPAN + 60), "e2"));
+
+        // Stale handles are refused.
+        let g = q.schedule(t(1), "g");
+        q.cancel(g);
+        assert!(!q.reschedule(g, t(1), "g2"));
+
+        let popped: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(popped, vec!["a", "b", "c", "d", "e", "f"]);
     }
 
     #[test]

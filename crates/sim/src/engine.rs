@@ -685,9 +685,11 @@ impl Simulation {
 
     /// (Re)schedules the completion prediction for a resource.
     ///
-    /// The previous prediction (if any) is cancelled in the calendar so stale
-    /// `Ps` events almost never surface; the epoch check in `dispatch` remains
-    /// as a counted backstop.
+    /// When the new prediction lands in the calendar bucket the old one
+    /// already occupies, the event is updated in place and no tombstone is
+    /// created; otherwise the previous prediction is cancelled so stale
+    /// `Ps` events almost never surface. The epoch check in `dispatch`
+    /// remains as a counted backstop either way.
     fn refresh_ps(&mut self, res: ResKey) {
         let now = self.now;
         let resource = self.resource_mut(res);
@@ -699,11 +701,25 @@ impl Simulation {
             ResKey::Cpu(_) => &mut self.machines[machine].cpu_ev,
             ResKey::Nic(_) => &mut self.machines[machine].nic_ev,
         };
-        let old = slot.take();
-        let new = next.map(|(at, epoch)| self.queue.schedule(at, EventKind::Ps { res, epoch }));
-        if let Some(id) = old {
-            self.queue.cancel(id);
-        }
+        let new = match (slot.take(), next) {
+            (None, None) => None,
+            (None, Some((at, epoch))) => {
+                Some(self.queue.schedule(at, EventKind::Ps { res, epoch }))
+            }
+            (Some(id), None) => {
+                self.queue.cancel(id);
+                None
+            }
+            (Some(id), Some((at, epoch))) => {
+                if self.queue.reschedule(id, at, EventKind::Ps { res, epoch }) {
+                    Some(id)
+                } else {
+                    let new = self.queue.schedule(at, EventKind::Ps { res, epoch });
+                    self.queue.cancel(id);
+                    Some(new)
+                }
+            }
+        };
         let slot = match res {
             ResKey::Cpu(_) => &mut self.machines[machine].cpu_ev,
             ResKey::Nic(_) => &mut self.machines[machine].nic_ev,

@@ -1,0 +1,315 @@
+//! Transactional read-query result caching.
+//!
+//! An opt-in cache over `Database::execute` for SELECT statements, modeled
+//! on the transactional method/result caching of Pfeifer & Lockemann
+//! ("Theory and Practice of Transactional Method Caching"): entries are
+//! keyed by *invocation* — the compiled plan's id plus the bound parameter
+//! values — and invalidated by the write-sets of committing transactions.
+//!
+//! Coherence protocol (host side — the engine executes strictly
+//! sequentially, one transaction open at a time):
+//!
+//! * **Bypass**: a statement executed inside an open transaction that has
+//!   already written one of the statement's read tables must not be served
+//!   from (or stored into) the cache — the transaction would otherwise not
+//!   see its own uncommitted writes. Reads of untouched tables still hit:
+//!   their content equals the committed state.
+//! * **Invalidation at COMMIT**: when a transaction commits (or an
+//!   auto-commit statement writes), the write-set extracted from its undo
+//!   log drops every dependent entry. Single-table primary-key point reads
+//!   are invalidated per row; everything else per table.
+//! * **Rollback purge**: unwinding an already-committed receipt
+//!   (`Database::apply_rollback`) silently purges dependent entries — the
+//!   data they were computed from is being reverted. This is a coherence
+//!   flush, not an invalidation: aborts feed no invalidation keys.
+//!
+//! Under [`CacheInvalidation::Transactional`] these three rules make every
+//! cache hit byte-identical to a fresh execution, so enabling the cache is
+//! observable only through host wall-clock and the modeled cache-hit cost
+//! path. [`CacheInvalidation::Ttl`] replaces commit-driven invalidation
+//! with simulated-time expiry and *may serve stale rows* — that is the
+//! point of the cache-ablation experiment, and the consistency auditor is
+//! the staleness oracle. A TTL of zero expires every entry instantly and
+//! is therefore equivalent to running with the cache off.
+
+use crate::exec::QueryResult;
+use crate::value::Value;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// How cached entries are invalidated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheInvalidation {
+    /// Commit-driven: the write-set of every committing transaction drops
+    /// the dependent entries. Hits are always coherent with the committed
+    /// database state.
+    Transactional,
+    /// Time-to-live in simulated microseconds: entries older than the TTL
+    /// (against the clock fed by [`Database::set_cache_clock`]) miss.
+    /// Commits do *not* invalidate, so hits may be stale. `Ttl(0)` never
+    /// hits — equivalent to the cache being off.
+    ///
+    /// [`Database::set_cache_clock`]: crate::Database::set_cache_clock
+    Ttl(u64),
+}
+
+/// Configuration of the read-query result cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResultCacheConfig {
+    /// Maximum number of cached result sets; least-recently-used entries
+    /// are evicted beyond it.
+    pub capacity: usize,
+    /// Invalidation protocol.
+    pub invalidation: CacheInvalidation,
+}
+
+/// A hashable, equality-comparable key built from SQL parameter values.
+///
+/// [`Value`] itself is deliberately not `Hash`/`Eq` (floats), so cache keys
+/// canonicalize: floats key by bit pattern, strings by their cached
+/// deterministic FNV-1a hash with byte equality as the tie-breaker.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey(Vec<KeyPart>);
+
+#[derive(Debug, Clone)]
+enum KeyPart {
+    Null,
+    Int(i64),
+    Float(u64),
+    Str(Arc<crate::value::Istr>),
+}
+
+impl PartialEq for KeyPart {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (KeyPart::Null, KeyPart::Null) => true,
+            (KeyPart::Int(a), KeyPart::Int(b)) => a == b,
+            (KeyPart::Float(a), KeyPart::Float(b)) => a == b,
+            (KeyPart::Str(a), KeyPart::Str(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for KeyPart {}
+
+impl std::hash::Hash for KeyPart {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            KeyPart::Null => state.write_u8(0),
+            KeyPart::Int(i) => {
+                state.write_u8(1);
+                state.write_i64(*i);
+            }
+            KeyPart::Float(bits) => {
+                state.write_u8(2);
+                state.write_u64(*bits);
+            }
+            KeyPart::Str(s) => {
+                state.write_u8(3);
+                state.write_u64(s.cached_hash());
+            }
+        }
+    }
+}
+
+impl CacheKey {
+    /// Builds a key from parameter values.
+    pub fn from_values(values: &[Value]) -> CacheKey {
+        CacheKey(
+            values
+                .iter()
+                .map(|v| match v {
+                    Value::Null => KeyPart::Null,
+                    Value::Int(i) => KeyPart::Int(*i),
+                    Value::Float(f) => KeyPart::Float(f.to_bits()),
+                    Value::Str(s) => KeyPart::Str(Arc::clone(s)),
+                })
+                .collect(),
+        )
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    result: QueryResult,
+    /// Catalog ids of every table the plan reads.
+    tables: Vec<usize>,
+    /// `Some((table, key))` when the entry is a single-table primary-key
+    /// point read: only writes touching that exact row (or wildcard writes
+    /// to the table) invalidate it.
+    pk: Option<(usize, KeyPart)>,
+    /// Cache-clock micros at store time (TTL freshness).
+    stored_at: u64,
+    /// Monotonic LRU tick, refreshed on every hit.
+    tick: u64,
+}
+
+/// One table's contribution to a committing transaction's write-set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableWrites {
+    /// Catalog id of the written table.
+    pub table: usize,
+    /// Primary-key values of the touched rows, when every write to this
+    /// table is attributable to a row key; `None` is a wildcard (no primary
+    /// key, or unattributable writes) that invalidates every dependent
+    /// entry.
+    pub rows: Option<Vec<Value>>,
+}
+
+/// The result cache proper. Owned by [`Database`](crate::Database); all
+/// coherence decisions and hit/miss/invalidation counting are driven from
+/// `Database::execute`, `commit_txn`, and `apply_rollback` — the cache
+/// itself only stores, looks up, and drops entries.
+#[derive(Debug, Clone)]
+pub(crate) struct ResultCache {
+    cfg: ResultCacheConfig,
+    map: HashMap<(u64, CacheKey), Entry>,
+    clock: u64,
+    next_tick: u64,
+}
+
+impl ResultCache {
+    pub(crate) fn new(cfg: ResultCacheConfig) -> ResultCache {
+        ResultCache { cfg, map: HashMap::new(), clock: 0, next_tick: 0 }
+    }
+
+    pub(crate) fn set_clock(&mut self, micros: u64) {
+        self.clock = micros;
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    fn fresh(&self, e: &Entry) -> bool {
+        match self.cfg.invalidation {
+            CacheInvalidation::Transactional => true,
+            CacheInvalidation::Ttl(d) => self.clock.saturating_sub(e.stored_at) < d,
+        }
+    }
+
+    /// Looks up a cached result, refreshing its LRU tick. A TTL-expired
+    /// entry is dropped and misses.
+    pub(crate) fn lookup(&mut self, plan_id: u64, key: &CacheKey) -> Option<QueryResult> {
+        let lookup_key = (plan_id, key.clone());
+        match self.map.get(&lookup_key).map(|e| self.fresh(e)) {
+            Some(true) => {
+                let e = self.map.get_mut(&lookup_key).expect("entry present");
+                e.tick = self.next_tick;
+                self.next_tick += 1;
+                Some(e.result.clone())
+            }
+            Some(false) => {
+                self.map.remove(&lookup_key);
+                None
+            }
+            None => None,
+        }
+    }
+
+    /// Stores a result, evicting the least-recently-used entry when over
+    /// capacity. `pk` marks single-table primary-key point reads for
+    /// per-row invalidation.
+    pub(crate) fn store(
+        &mut self,
+        plan_id: u64,
+        key: CacheKey,
+        result: QueryResult,
+        tables: Vec<usize>,
+        pk: Option<(usize, Value)>,
+    ) {
+        if self.cfg.capacity == 0 {
+            return;
+        }
+        let pk = pk.map(|(t, v)| {
+            let CacheKey(mut parts) = CacheKey::from_values(std::slice::from_ref(&v));
+            (t, parts.remove(0))
+        });
+        let tick = self.next_tick;
+        self.next_tick += 1;
+        self.map.insert((plan_id, key), Entry { result, tables, pk, stored_at: self.clock, tick });
+        while self.map.len() > self.cfg.capacity {
+            // Ticks are unique, so the minimum is well defined and the
+            // eviction deterministic regardless of hash-map iteration order.
+            let victim = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.tick)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty over-capacity cache");
+            self.map.remove(&victim);
+        }
+    }
+
+    /// Drops every entry dependent on the committed write-set, returning
+    /// the number removed (the caller counts them as invalidations). Under
+    /// TTL invalidation commits do not invalidate — staleness is the
+    /// experiment — and this returns 0 without touching the cache.
+    pub(crate) fn invalidate_commit(&mut self, writes: &[TableWrites]) -> u64 {
+        if self.cfg.invalidation != CacheInvalidation::Transactional {
+            return 0;
+        }
+        let before = self.map.len();
+        self.purge(writes);
+        (before - self.map.len()) as u64
+    }
+
+    /// Drops dependent entries *without* counting invalidations: the
+    /// write-set of a rolled-back receipt is a coherence flush, not a
+    /// commit.
+    pub(crate) fn purge(&mut self, writes: &[TableWrites]) {
+        if writes.is_empty() || self.map.is_empty() {
+            return;
+        }
+        let keys: Vec<(usize, Vec<KeyPart>)> = writes
+            .iter()
+            .filter_map(|w| {
+                w.rows.as_ref().map(|rows| {
+                    let parts = rows
+                        .iter()
+                        .map(|v| {
+                            let CacheKey(mut p) = CacheKey::from_values(std::slice::from_ref(v));
+                            p.remove(0)
+                        })
+                        .collect();
+                    (w.table, parts)
+                })
+            })
+            .collect();
+        let wildcard: Vec<usize> =
+            writes.iter().filter(|w| w.rows.is_none()).map(|w| w.table).collect();
+        self.map.retain(|_, e| {
+            for w in writes {
+                if !e.tables.contains(&w.table) {
+                    continue;
+                }
+                // Wildcard write to a dependency: drop.
+                if wildcard.contains(&w.table) {
+                    return false;
+                }
+                match &e.pk {
+                    // A point read survives writes to *other* rows of its
+                    // own table.
+                    Some((pt, pkey)) if *pt == w.table => {
+                        if let Some((_, parts)) = keys.iter().find(|(t, _)| t == pt) {
+                            if parts.iter().any(|p| p == pkey) {
+                                return false;
+                            }
+                        }
+                    }
+                    // Any other dependent entry is dropped by any write to
+                    // the table.
+                    _ => return false,
+                }
+            }
+            true
+        });
+    }
+
+    /// Empties the cache (rewind, cold-cache benchmarking). Counters are
+    /// untouched.
+    pub(crate) fn clear(&mut self) {
+        self.map.clear();
+    }
+}

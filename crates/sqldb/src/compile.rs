@@ -56,7 +56,41 @@ pub struct CompiledStmt {
     /// Schema version the plan was compiled against; a mismatch with the
     /// database's current version invalidates the plan.
     pub(crate) version: u64,
+    /// Unique id minted by the database when the plan enters the plan
+    /// cache; `(id, parameter values)` keys the result cache. `compile`
+    /// leaves it 0 (uncached plans never reach the result cache).
+    pub(crate) id: u64,
     kind: CStmt,
+}
+
+impl CompiledStmt {
+    /// Catalog ids of every table a SELECT plan reads (base first, then
+    /// joins, deduplicated); `None` for non-SELECT statements.
+    pub(crate) fn read_table_ids(&self) -> Option<Vec<usize>> {
+        let CStmt::Select(s) = &self.kind else { return None };
+        let mut ids = vec![s.base];
+        for j in &s.joins {
+            if !ids.contains(&j.table) {
+                ids.push(j.table);
+            }
+        }
+        Some(ids)
+    }
+
+    /// `Some((table, key))` when the plan is a join-free SELECT whose access
+    /// path is an index-equality probe on the base table's primary key —
+    /// the shape the result cache invalidates per row instead of per table.
+    pub(crate) fn pk_point(&self, db: &Database, params: &[Value]) -> Option<(usize, Value)> {
+        let CStmt::Select(s) = &self.kind else { return None };
+        if !s.joins.is_empty() {
+            return None;
+        }
+        let CPath::IndexEq { col, key } = &s.path else { return None };
+        if db.table_at(s.base).schema().primary_key() != Some(*col) {
+            return None;
+        }
+        ceval(key, None, params).ok().map(|v| (s.base, v))
+    }
 }
 
 #[derive(Debug)]
@@ -587,7 +621,7 @@ pub(crate) fn compile(db: &Database, stmt: &Stmt) -> SqlResult<CompiledStmt> {
         Stmt::Commit => CStmt::Commit,
         Stmt::Rollback => CStmt::Rollback,
     };
-    Ok(CompiledStmt { version: db.schema_version(), kind })
+    Ok(CompiledStmt { version: db.schema_version(), id: 0, kind })
 }
 
 fn compile_select(db: &Database, s: &SelectStmt) -> SqlResult<CSelect> {

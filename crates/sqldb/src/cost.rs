@@ -57,6 +57,11 @@ pub struct DbCostModel {
     pub per_row_written: f64,
     /// Multiplier for `n * log2(n)` sorting work.
     pub sort_factor: f64,
+    /// Flat charge for a read answered from the result cache: key hash and
+    /// lookup only — no parse, no lock manager, no row access. Modeled on
+    /// the MySQL query cache, which answers before the lock manager is
+    /// consulted.
+    pub result_cache_hit_micros: f64,
 }
 
 impl Default for DbCostModel {
@@ -72,6 +77,7 @@ impl Default for DbCostModel {
             per_index_lookup: 6.0,
             per_row_written: 300.0,
             sort_factor: 0.4,
+            result_cache_hit_micros: 20.0,
         }
     }
 }
@@ -150,6 +156,7 @@ mod tests {
             per_index_lookup: 0.0,
             per_row_written: 0.0,
             sort_factor: 0.0,
+            result_cache_hit_micros: 0.0,
         };
         assert_eq!(m.cost_micros(&QueryCounters::default()), 1);
     }

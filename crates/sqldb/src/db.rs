@@ -1,6 +1,7 @@
 //! The database facade: catalog, statement cache, execution entry point.
 
 use crate::ast::Stmt;
+use crate::cache::{CacheKey, ResultCache, ResultCacheConfig, TableWrites};
 use crate::compile::{compile, exec_compiled, CompiledStmt};
 use crate::cost::{DbCostModel, QueryCounters};
 use crate::error::{SqlError, SqlResult};
@@ -28,6 +29,15 @@ pub struct DbStats {
     pub plan_cache_misses: u64,
     /// Cached plans discarded because DDL changed the schema version.
     pub plan_invalidations: u64,
+    /// Read statements answered from the result cache without executing.
+    pub result_cache_hits: u64,
+    /// Cacheable read statements that missed the result cache.
+    pub result_cache_misses: u64,
+    /// Result-cache entries dropped by commit-driven invalidation.
+    pub result_cache_invalidations: u64,
+    /// Cacheable reads that skipped the result cache because the open
+    /// transaction had written one of their tables.
+    pub result_cache_bypasses: u64,
 }
 
 impl DbStats {
@@ -103,6 +113,11 @@ pub struct Database {
     /// [`apply_rollback`](Self::apply_rollback) of an already-journaled
     /// receipt). `rewind` then refuses and the caller must re-fork.
     journal_dirty: bool,
+    /// Opt-in transactional read-query result cache (see [`crate::cache`]).
+    result_cache: Option<ResultCache>,
+    /// Id source for plans entering the plan cache; `(plan id, parameters)`
+    /// keys the result cache.
+    next_plan_id: u64,
 }
 
 impl Database {
@@ -124,6 +139,8 @@ impl Database {
             txn: None,
             journal: None,
             journal_dirty: false,
+            result_cache: None,
+            next_plan_id: 0,
         }
     }
 
@@ -163,6 +180,39 @@ impl Database {
     pub fn clear_caches(&mut self) {
         self.stmt_cache.clear();
         self.plan_cache.clear();
+        if let Some(cache) = self.result_cache.as_mut() {
+            cache.clear();
+        }
+    }
+
+    /// Enables the read-query result cache with the given configuration,
+    /// replacing (and emptying) any previous one. See [`crate::cache`] for
+    /// the coherence protocol.
+    pub fn enable_result_cache(&mut self, cfg: ResultCacheConfig) {
+        self.result_cache = Some(ResultCache::new(cfg));
+    }
+
+    /// Disables and drops the result cache. Cumulative statistics remain.
+    pub fn disable_result_cache(&mut self) {
+        self.result_cache = None;
+    }
+
+    /// `true` while the result cache is enabled.
+    pub fn result_cache_enabled(&self) -> bool {
+        self.result_cache.is_some()
+    }
+
+    /// Number of result sets currently cached (diagnostics).
+    pub fn result_cache_len(&self) -> usize {
+        self.result_cache.as_ref().map_or(0, ResultCache::len)
+    }
+
+    /// Feeds the simulated-time clock used by TTL invalidation. A no-op
+    /// while the cache is disabled or under transactional invalidation.
+    pub fn set_cache_clock(&mut self, micros: u64) {
+        if let Some(cache) = self.result_cache.as_mut() {
+            cache.set_clock(micros);
+        }
     }
 
     /// Current schema version (bumped by every DDL statement).
@@ -179,6 +229,73 @@ impl Database {
     /// stay valid for one schema version).
     pub(crate) fn table_at(&self, id: usize) -> &Table {
         &self.tables[id]
+    }
+
+    /// Catalog id of a table by name, if it exists. Ids stay valid for one
+    /// schema version; the middleware method cache uses them as dependency
+    /// keys.
+    pub fn table_index(&self, name: &str) -> Option<usize> {
+        self.by_name.get(name).copied()
+    }
+
+    /// `true` when a transaction is open and has written any of the given
+    /// tables (by catalog id) — the bypass predicate shared by the result
+    /// cache and the middleware method cache.
+    pub fn txn_touches(&self, tables: &[usize]) -> bool {
+        self.txn.as_ref().is_some_and(|t| t.touches(tables))
+    }
+
+    /// Extracts the per-table invalidation write-set from a transaction's
+    /// undo log, against the *current* (post-commit) table state.
+    ///
+    /// Each written table maps to the primary-key values of its touched
+    /// rows when they are attributable — update and delete ops carry their
+    /// pre-image (and post-image), and an insert's key is read from the
+    /// live row, with any later same-transaction mutation of that row
+    /// contributing the key through its own op. A table without a primary
+    /// key yields a wildcard (`rows: None`) that invalidates every
+    /// dependent entry.
+    pub fn write_set(&self, log: &TxnLog) -> Vec<TableWrites> {
+        let mut per: std::collections::BTreeMap<usize, Option<Vec<Value>>> =
+            std::collections::BTreeMap::new();
+        let mut add = |table: usize, keys: &mut dyn Iterator<Item = Value>| {
+            let entry = per.entry(table).or_insert_with(|| Some(Vec::new()));
+            match (self.tables[table].schema().primary_key(), entry.as_mut()) {
+                (Some(_), Some(rows)) => rows.extend(keys),
+                (None, _) => *entry = None,
+                (Some(_), None) => {}
+            }
+        };
+        for op in log.ops() {
+            match op {
+                UndoOp::Insert { table, rid, .. } => {
+                    let pk = self.tables[*table].schema().primary_key();
+                    let key =
+                        pk.and_then(|pk| self.tables[*table].get(*rid).map(|row| row[pk].clone()));
+                    add(*table, &mut key.into_iter());
+                }
+                UndoOp::Update { table, old_row, new_row, .. } => {
+                    let pk = self.tables[*table].schema().primary_key();
+                    let keys = pk.map(|pk| {
+                        let old = old_row[pk].clone();
+                        let renamed = (old_row[pk] != new_row[pk]).then(|| new_row[pk].clone());
+                        (old, renamed)
+                    });
+                    match keys {
+                        Some((old, renamed)) => {
+                            add(*table, &mut std::iter::once(old).chain(renamed))
+                        }
+                        None => add(*table, &mut std::iter::empty()),
+                    }
+                }
+                UndoOp::Delete { table, old_row, .. } => {
+                    let pk = self.tables[*table].schema().primary_key();
+                    let key = pk.map(|pk| old_row[pk].clone());
+                    add(*table, &mut key.into_iter());
+                }
+            }
+        }
+        per.into_iter().map(|(table, rows)| TableWrites { table, rows }).collect()
     }
 
     /// Names of all tables, in creation order.
@@ -243,6 +360,16 @@ impl Database {
         if let Some(journal) = self.journal.as_mut() {
             journal.extend_cloned(&log);
         }
+        // The commit publishes the transaction's writes: drop every result
+        // cache entry its write-set invalidates.
+        if self.result_cache.is_some() && !log.is_empty() {
+            let writes = self.write_set(&log);
+            let mut removed = 0;
+            if let Some(cache) = self.result_cache.as_mut() {
+                removed = cache.invalidate_commit(&writes);
+            }
+            self.stats.result_cache_invalidations += removed;
+        }
         Some(log)
     }
 
@@ -271,6 +398,21 @@ impl Database {
     pub fn apply_rollback(&mut self, log: TxnLog) {
         if self.journal.is_some() {
             self.journal_dirty = true;
+        }
+        // Unwinding reverts the data the dependent cache entries were
+        // computed from: purge them. A coherence flush, not an
+        // invalidation — aborts are deliberately not counted (and, unlike
+        // commits, flush even under TTL invalidation: the receipt's writes
+        // are disappearing, not being published).
+        if let Some(cache) = self.result_cache.as_mut() {
+            if !log.is_empty() {
+                let mut tables: Vec<usize> = log.ops().iter().map(UndoOp::table).collect();
+                tables.sort_unstable();
+                tables.dedup();
+                let writes: Vec<TableWrites> =
+                    tables.into_iter().map(|table| TableWrites { table, rows: None }).collect();
+                cache.purge(&writes);
+            }
         }
         self.apply_undo_log(log);
     }
@@ -315,6 +457,11 @@ impl Database {
         if let Some(log) = self.journal.take() {
             self.apply_undo_log(log);
             self.journal = Some(TxnLog::default());
+        }
+        // Rewinding reverts the data wholesale; cached result sets computed
+        // since the journal was armed would be stale against it.
+        if let Some(cache) = self.result_cache.as_mut() {
+            cache.clear();
         }
         true
     }
@@ -499,13 +646,7 @@ impl Database {
                 self.stats.cache_hits += 1;
                 self.stats.plan_cache_hits += 1;
                 let plan = Arc::clone(plan);
-                return match exec_compiled(self, &plan, params) {
-                    Ok(r) => Ok(r),
-                    Err(e) => {
-                        self.stats.errors += 1;
-                        Err(e)
-                    }
-                };
+                return self.run_plan(&plan, params);
             }
             Some(_) => {
                 self.plan_cache.remove(sql);
@@ -532,21 +673,88 @@ impl Database {
                 parsed
             }
         };
-        let plan = match compile(self, &stmt) {
-            Ok(p) => Arc::new(p),
+        let mut plan = match compile(self, &stmt) {
+            Ok(p) => p,
             Err(e) => {
                 self.stats.errors += 1;
                 return Err(e);
             }
         };
+        // Mint the plan's result-cache id as it enters the plan cache; a
+        // recompiled (DDL-invalidated) plan gets a fresh id, orphaning any
+        // entries of the old one until LRU ages them out.
+        self.next_plan_id += 1;
+        plan.id = self.next_plan_id;
+        let plan = Arc::new(plan);
         self.plan_cache.insert(sql.to_string(), Arc::clone(&plan));
-        match exec_compiled(self, &plan, params) {
-            Ok(r) => Ok(r),
-            Err(e) => {
-                self.stats.errors += 1;
-                Err(e)
+        self.run_plan(&plan, params)
+    }
+
+    /// Executes a cached plan, consulting the result cache for SELECTs.
+    ///
+    /// The cache sits *after* all statement/plan-cache bookkeeping and
+    /// stores the complete [`QueryResult`] (rows and modeled
+    /// [`QueryCounters`] alike), so with transactional invalidation every
+    /// counter visible to the cost model and the legacy [`DbStats`] fields
+    /// stays byte-identical to running with the cache off.
+    fn run_plan(&mut self, plan: &Arc<CompiledStmt>, params: &[Value]) -> SqlResult<QueryResult> {
+        let mut store: Option<(CacheKey, Vec<usize>)> = None;
+        if self.result_cache.is_some() && plan.id != 0 {
+            if let Some(ids) = plan.read_table_ids() {
+                if self.txn.as_ref().is_some_and(|t| t.touches(&ids)) {
+                    // The open transaction wrote one of the read tables: a
+                    // cached (committed-state) result would hide its own
+                    // uncommitted writes. Skip both lookup and store.
+                    self.stats.result_cache_bypasses += 1;
+                } else {
+                    let key = CacheKey::from_values(params);
+                    let hit =
+                        self.result_cache.as_mut().and_then(|cache| cache.lookup(plan.id, &key));
+                    if let Some(hit) = hit {
+                        self.stats.result_cache_hits += 1;
+                        return Ok(hit);
+                    }
+                    self.stats.result_cache_misses += 1;
+                    store = Some((key, ids));
+                }
             }
         }
+        let result = match exec_compiled(self, plan, params) {
+            Ok(r) => r,
+            Err(e) => {
+                self.stats.errors += 1;
+                return Err(e);
+            }
+        };
+        if let Some((key, ids)) = store {
+            let pk = plan.pk_point(self, params);
+            if let Some(cache) = self.result_cache.as_mut() {
+                cache.store(plan.id, key, result.clone(), ids, pk);
+            }
+        } else if result.kind == StatementKind::Write && self.txn.is_none() {
+            // An auto-commit write is an immediate commit. There is no undo
+            // log to attribute rows from, so invalidate coarsely by table.
+            self.autocommit_invalidate(&result.write_tables);
+        }
+        Ok(result)
+    }
+
+    /// Commit-time invalidation for auto-commit writes: wildcard per
+    /// written table name.
+    fn autocommit_invalidate(&mut self, write_tables: &[String]) {
+        if self.result_cache.is_none() || write_tables.is_empty() {
+            return;
+        }
+        let writes: Vec<TableWrites> = write_tables
+            .iter()
+            .filter_map(|n| self.by_name.get(n).copied())
+            .map(|table| TableWrites { table, rows: None })
+            .collect();
+        let mut removed = 0;
+        if let Some(cache) = self.result_cache.as_mut() {
+            removed = cache.invalidate_commit(&writes);
+        }
+        self.stats.result_cache_invalidations += removed;
     }
 
     /// CPU microseconds the database machine should be charged for a
@@ -871,6 +1079,227 @@ mod tests {
         assert!(db.same_data(&baseline));
         let r = db.execute_interpreted("COMMIT", &[]).unwrap();
         assert_eq!(r.kind, StatementKind::Commit);
+    }
+
+    fn txn_cache() -> crate::cache::ResultCacheConfig {
+        crate::cache::ResultCacheConfig {
+            capacity: 64,
+            invalidation: crate::cache::CacheInvalidation::Transactional,
+        }
+    }
+
+    /// Two-table fixture: `users` (as in [`db_with_users`]) plus a `tags`
+    /// table, both populated before any plan is compiled so DDL does not
+    /// invalidate cached plans mid-test.
+    fn db_with_users_and_tags() -> Database {
+        let mut db = db_with_users();
+        db.create_table(
+            TableSchema::builder("tags")
+                .column("id", ColumnType::Int)
+                .column("label", ColumnType::Str)
+                .primary_key("id")
+                .auto_increment()
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        for label in ["new", "used"] {
+            db.execute("INSERT INTO tags (id, label) VALUES (NULL, ?)", &[Value::str(label)])
+                .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn result_cache_hit_returns_identical_result() {
+        let mut db = db_with_users();
+        db.enable_result_cache(txn_cache());
+        let sql = "SELECT nickname FROM users WHERE region = ?";
+        let first = db.execute(sql, &[Value::Int(1)]).unwrap();
+        let second = db.execute(sql, &[Value::Int(1)]).unwrap();
+        // The hit is the complete stored result — rows AND counters.
+        assert_eq!(first, second);
+        let s = db.stats();
+        assert_eq!((s.result_cache_hits, s.result_cache_misses), (1, 1));
+        assert_eq!(db.result_cache_len(), 1);
+        // Different parameters are a different key.
+        let other = db.execute(sql, &[Value::Int(2)]).unwrap();
+        assert_eq!(other.rows.len(), 1);
+        assert_eq!(db.stats().result_cache_misses, 2);
+    }
+
+    #[test]
+    fn result_cache_bypassed_only_for_touched_tables() {
+        let mut db = db_with_users_and_tags();
+        db.enable_result_cache(txn_cache());
+        db.begin_txn().unwrap();
+        db.execute("UPDATE users SET rating = 0 WHERE id = 1", &[]).unwrap();
+        // Read of the table this transaction wrote: bypassed, not cached.
+        db.execute("SELECT rating FROM users WHERE id = 1", &[]).unwrap();
+        assert_eq!(db.stats().result_cache_bypasses, 1);
+        assert_eq!(db.result_cache_len(), 0);
+        // Read of an untouched table: served from / stored into the cache.
+        db.execute("SELECT label FROM tags WHERE id = 1", &[]).unwrap();
+        db.execute("SELECT label FROM tags WHERE id = 1", &[]).unwrap();
+        let s = db.stats();
+        assert_eq!((s.result_cache_hits, s.result_cache_misses), (1, 1));
+        db.commit_txn();
+    }
+
+    #[test]
+    fn commit_invalidates_dependent_entries() {
+        let mut db = db_with_users();
+        db.enable_result_cache(txn_cache());
+        let sql = "SELECT rating FROM users WHERE region = ?";
+        db.execute(sql, &[Value::Int(1)]).unwrap();
+        assert_eq!(db.result_cache_len(), 1);
+        db.begin_txn().unwrap();
+        db.execute("UPDATE users SET rating = 99 WHERE id = 1", &[]).unwrap();
+        // Uncommitted writes invalidate nothing.
+        assert_eq!(db.stats().result_cache_invalidations, 0);
+        db.commit_txn().unwrap();
+        assert_eq!(db.stats().result_cache_invalidations, 1);
+        let fresh = db.execute(sql, &[Value::Int(1)]).unwrap();
+        assert!(fresh.rows.iter().any(|r| r[0] == Value::Int(99)));
+        assert_eq!(db.stats().result_cache_hits, 0);
+    }
+
+    #[test]
+    fn pk_point_entries_survive_writes_to_other_rows() {
+        let mut db = db_with_users();
+        db.enable_result_cache(txn_cache());
+        let sql = "SELECT nickname FROM users WHERE id = ?";
+        db.execute(sql, &[Value::Int(1)]).unwrap();
+        db.execute(sql, &[Value::Int(2)]).unwrap();
+        db.begin_txn().unwrap();
+        db.execute("UPDATE users SET nickname = 'rob' WHERE id = 2", &[]).unwrap();
+        db.commit_txn().unwrap();
+        // Only the row-2 entry is invalidated; row 1 still hits.
+        assert_eq!(db.stats().result_cache_invalidations, 1);
+        db.execute(sql, &[Value::Int(1)]).unwrap();
+        assert_eq!(db.stats().result_cache_hits, 1);
+        let r = db.execute(sql, &[Value::Int(2)]).unwrap();
+        assert_eq!(r.rows[0][0], Value::str("rob"));
+        assert_eq!(db.stats().result_cache_hits, 1);
+    }
+
+    #[test]
+    fn rollback_leaves_cache_coherent_and_uncounted() {
+        let mut db = db_with_users();
+        db.enable_result_cache(txn_cache());
+        let sql = "SELECT rating FROM users WHERE id = ?";
+        let before = db.execute(sql, &[Value::Int(1)]).unwrap();
+        db.begin_txn().unwrap();
+        db.execute("UPDATE users SET rating = 99 WHERE id = 1", &[]).unwrap();
+        db.rollback_txn();
+        // The write never committed: no invalidation, and the cached entry
+        // still matches the (restored) table state.
+        assert_eq!(db.stats().result_cache_invalidations, 0);
+        let after = db.execute(sql, &[Value::Int(1)]).unwrap();
+        assert_eq!(before, after);
+        assert_eq!(db.stats().result_cache_hits, 1);
+    }
+
+    #[test]
+    fn apply_rollback_purges_without_counting() {
+        let mut db = db_with_users();
+        db.enable_result_cache(txn_cache());
+        let sql = "SELECT rating FROM users WHERE id = ?";
+        db.begin_txn().unwrap();
+        db.execute("UPDATE users SET rating = 99 WHERE id = 1", &[]).unwrap();
+        let receipt = db.commit_txn().unwrap();
+        // Cached against the committed (rating = 99) state.
+        db.execute(sql, &[Value::Int(1)]).unwrap();
+        assert_eq!(db.result_cache_len(), 1);
+        let counted = db.stats().result_cache_invalidations;
+        db.apply_rollback(receipt);
+        // The entry is purged (its data reverted) but the abort is not an
+        // invalidation event.
+        assert_eq!(db.result_cache_len(), 0);
+        assert_eq!(db.stats().result_cache_invalidations, counted);
+        let r = db.execute(sql, &[Value::Int(1)]).unwrap();
+        assert_eq!(r.rows[0][0], Value::Int(5));
+    }
+
+    #[test]
+    fn ttl_expires_by_cache_clock_and_ignores_commits() {
+        let mut db = db_with_users();
+        db.enable_result_cache(crate::cache::ResultCacheConfig {
+            capacity: 64,
+            invalidation: crate::cache::CacheInvalidation::Ttl(1_000),
+        });
+        let sql = "SELECT rating FROM users WHERE id = ?";
+        db.execute(sql, &[Value::Int(1)]).unwrap();
+        // Within the TTL a commit does NOT invalidate: the hit is stale.
+        db.begin_txn().unwrap();
+        db.execute("UPDATE users SET rating = 99 WHERE id = 1", &[]).unwrap();
+        db.commit_txn().unwrap();
+        db.set_cache_clock(500);
+        let stale = db.execute(sql, &[Value::Int(1)]).unwrap();
+        assert_eq!(stale.rows[0][0], Value::Int(5));
+        assert_eq!(db.stats().result_cache_invalidations, 0);
+        // Past the TTL the entry expires and the fresh value is read.
+        db.set_cache_clock(2_000);
+        let fresh = db.execute(sql, &[Value::Int(1)]).unwrap();
+        assert_eq!(fresh.rows[0][0], Value::Int(99));
+    }
+
+    #[test]
+    fn ttl_zero_is_equivalent_to_cache_off() {
+        let mut db = db_with_users();
+        db.enable_result_cache(crate::cache::ResultCacheConfig {
+            capacity: 64,
+            invalidation: crate::cache::CacheInvalidation::Ttl(0),
+        });
+        let sql = "SELECT rating FROM users WHERE id = ?";
+        db.execute(sql, &[Value::Int(1)]).unwrap();
+        db.execute(sql, &[Value::Int(1)]).unwrap();
+        assert_eq!(db.stats().result_cache_hits, 0);
+        assert_eq!(db.stats().result_cache_misses, 2);
+    }
+
+    #[test]
+    fn auto_commit_write_invalidates_immediately() {
+        let mut db = db_with_users();
+        db.enable_result_cache(txn_cache());
+        let sql = "SELECT rating FROM users WHERE region = ?";
+        db.execute(sql, &[Value::Int(1)]).unwrap();
+        assert_eq!(db.result_cache_len(), 1);
+        // A bare write is its own commit: coarse per-table invalidation.
+        db.execute("UPDATE users SET rating = 7 WHERE id = 3", &[]).unwrap();
+        assert_eq!(db.stats().result_cache_invalidations, 1);
+        assert_eq!(db.result_cache_len(), 0);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut db = db_with_users();
+        db.enable_result_cache(crate::cache::ResultCacheConfig {
+            capacity: 2,
+            invalidation: crate::cache::CacheInvalidation::Transactional,
+        });
+        let sql = "SELECT nickname FROM users WHERE id = ?";
+        db.execute(sql, &[Value::Int(1)]).unwrap();
+        db.execute(sql, &[Value::Int(2)]).unwrap();
+        // Refresh entry 1, then insert a third: entry 2 is the LRU victim.
+        db.execute(sql, &[Value::Int(1)]).unwrap();
+        db.execute(sql, &[Value::Int(3)]).unwrap();
+        assert_eq!(db.result_cache_len(), 2);
+        db.execute(sql, &[Value::Int(1)]).unwrap();
+        assert_eq!(db.stats().result_cache_hits, 2);
+        db.execute(sql, &[Value::Int(2)]).unwrap();
+        assert_eq!(db.stats().result_cache_hits, 2); // evicted → miss
+    }
+
+    #[test]
+    fn rewind_clears_result_cache() {
+        let mut db = db_with_users();
+        db.enable_result_cache(txn_cache());
+        db.begin_rewind();
+        db.execute("SELECT nickname FROM users WHERE id = 1", &[]).unwrap();
+        assert_eq!(db.result_cache_len(), 1);
+        assert!(db.rewind());
+        assert_eq!(db.result_cache_len(), 0);
     }
 
     #[test]

@@ -50,6 +50,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod ast;
+pub mod cache;
 pub mod compile;
 pub mod cost;
 pub mod db;
@@ -63,6 +64,7 @@ pub mod table;
 pub mod txn;
 pub mod value;
 
+pub use cache::{CacheInvalidation, CacheKey, ResultCacheConfig, TableWrites};
 pub use compile::CompiledStmt;
 pub use cost::{DbCostModel, QueryCounters};
 pub use db::{Database, DbStats};

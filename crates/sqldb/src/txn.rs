@@ -63,6 +63,17 @@ pub(crate) enum UndoOp {
     },
 }
 
+impl UndoOp {
+    /// Catalog id of the mutated table.
+    pub(crate) fn table(&self) -> usize {
+        match self {
+            UndoOp::Insert { table, .. }
+            | UndoOp::Update { table, .. }
+            | UndoOp::Delete { table, .. } => *table,
+        }
+    }
+}
+
 /// The undo log of one transaction: every successful row mutation since
 /// `BEGIN`, in execution order.
 ///
@@ -99,6 +110,27 @@ impl TxnLog {
 
     pub(crate) fn into_ops(self) -> Vec<UndoOp> {
         self.ops
+    }
+
+    pub(crate) fn ops(&self) -> &[UndoOp] {
+        &self.ops
+    }
+
+    /// `true` when the log mutated any of the given table ids. Drives the
+    /// result-cache bypass rule: a transaction that wrote a table must not
+    /// be served cached (committed-state) reads of it.
+    pub(crate) fn touches(&self, tables: &[usize]) -> bool {
+        self.ops.iter().any(|op| tables.contains(&op.table()))
+    }
+
+    /// Catalog ids of every table the transaction mutated, sorted and
+    /// deduplicated. This is the invalidation key set the middleware feeds
+    /// to its method cache when the receipt commits.
+    pub fn touched_tables(&self) -> Vec<usize> {
+        let mut tables: Vec<usize> = self.ops.iter().map(UndoOp::table).collect();
+        tables.sort_unstable();
+        tables.dedup();
+        tables
     }
 
     /// Net live-row delta per table id: inserts count +1, deletes −1,

@@ -5,7 +5,9 @@
 //! reference implementation, and the LIKE matcher agrees with a naive
 //! backtracking oracle.
 
-use dynamid_sqldb::{ColumnType, Database, TableSchema, Value};
+use dynamid_sqldb::{
+    CacheInvalidation, ColumnType, Database, ResultCacheConfig, TableSchema, Value,
+};
 use proptest::prelude::*;
 
 /// Builds two tables with identical content; `fast` has a secondary index
@@ -537,5 +539,100 @@ proptest! {
         tx.execute("COMMIT", &[]).unwrap();
         prop_assert!(tx.same_data(&auto), "committed writes diverged from auto-commit");
         prop_assert_eq!(tx.stats(), auto.stats());
+    }
+}
+
+/// Zeroes the result-cache counters of a stats snapshot so the remaining
+/// (legacy) fields can be compared against a cache-off run.
+fn legacy_stats(mut s: dynamid_sqldb::DbStats) -> dynamid_sqldb::DbStats {
+    s.result_cache_hits = 0;
+    s.result_cache_misses = 0;
+    s.result_cache_invalidations = 0;
+    s.result_cache_bypasses = 0;
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The transactional result cache is *invisible*: over random
+    /// interleaved schedules of reads, writes, and transaction boundaries
+    /// (COMMIT and ROLLBACK alike), a cached database returns exactly the
+    /// rows and counters of a cache-off twin, ends with the same data, and
+    /// accumulates identical legacy statistics. The same must hold for
+    /// `Ttl(0)`, where every entry expires before it can be served.
+    #[test]
+    fn cached_schedule_equals_cache_off(
+        rows in prop::collection::vec((1i64..200, -20i64..20), 0..40),
+        script in prop::collection::vec((0usize..10, -25i64..25, 0i64..30), 1..40),
+        ttl_zero in any::<bool>(),
+    ) {
+        let mut seen = std::collections::HashSet::new();
+        let rows: Vec<(i64, i64)> =
+            rows.into_iter().filter(|(id, _)| seen.insert(*id)).collect();
+        let mut plain = twin_tables(&rows);
+        let mut cached = twin_tables(&rows);
+        cached.enable_result_cache(ResultCacheConfig {
+            capacity: 32,
+            invalidation: if ttl_zero {
+                CacheInvalidation::Ttl(0)
+            } else {
+                CacheInvalidation::Transactional
+            },
+        });
+        let mut in_txn = false;
+        for (op, a, w) in &script {
+            match op {
+                0..=5 => {
+                    let (sql, nparams) = READ_TEMPLATES[*op];
+                    let params = [Value::Int(*a), Value::Int(*a + *w)];
+                    let params = &params[..nparams];
+                    let c = cached.execute(sql, params).unwrap();
+                    let p = plain.execute(sql, params).unwrap();
+                    prop_assert_eq!(c, p, "read diverged on {} (txn={})", sql, in_txn);
+                }
+                6 | 7 => {
+                    let kind = a.rem_euclid(3) as usize;
+                    txn_write(&mut cached, kind, *a, *w);
+                    txn_write(&mut plain, kind, *a, *w);
+                }
+                8 if !in_txn => {
+                    cached.execute("BEGIN", &[]).unwrap();
+                    plain.execute("BEGIN", &[]).unwrap();
+                    in_txn = true;
+                }
+                _ if in_txn => {
+                    // Odd offsets roll back, even ones commit — the cache
+                    // must stay coherent through both.
+                    let stmt = if *a % 2 == 0 { "COMMIT" } else { "ROLLBACK" };
+                    cached.execute(stmt, &[]).unwrap();
+                    plain.execute(stmt, &[]).unwrap();
+                    in_txn = false;
+                }
+                _ => {}
+            }
+        }
+        if in_txn {
+            cached.execute("COMMIT", &[]).unwrap();
+            plain.execute("COMMIT", &[]).unwrap();
+        }
+        // Same final data and identical legacy statistics — the cache only
+        // adds its own four counters on top.
+        prop_assert!(cached.same_data(&plain), "cached schedule diverged from cache-off twin");
+        prop_assert_eq!(legacy_stats(cached.stats()), legacy_stats(plain.stats()));
+        if ttl_zero {
+            // A zero TTL can never serve: strict equivalence includes the
+            // hit counter itself.
+            prop_assert_eq!(cached.stats().result_cache_hits, 0);
+        }
+        // One final read pass compares every template end-state to be sure
+        // surviving cache entries (if any) are coherent.
+        for (sql, nparams) in READ_TEMPLATES {
+            let params = [Value::Int(3), Value::Int(9)];
+            let params = &params[..nparams];
+            let c = cached.execute(sql, params).unwrap();
+            let p = plain.execute(sql, params).unwrap();
+            prop_assert_eq!(c, p, "post-schedule read diverged on {}", sql);
+        }
     }
 }

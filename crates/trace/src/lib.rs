@@ -64,6 +64,10 @@ pub enum SpanKind {
     StaticAssets,
     /// Response rendering and delivery back through the web tier.
     Response,
+    /// A result- or method-cache hit replacing the stage it short-circuits
+    /// (the SQL execution chain or the facade/CMP chain). Only emitted when
+    /// the caching tier is enabled and hits.
+    Cache,
 }
 
 impl SpanKind {
@@ -79,6 +83,7 @@ impl SpanKind {
             SpanKind::SqlStatement => "sql-statement",
             SpanKind::StaticAssets => "static-assets",
             SpanKind::Response => "response",
+            SpanKind::Cache => "cache",
         }
     }
 }
@@ -593,6 +598,18 @@ pub struct WaitRow {
     pub total_ms: f64,
 }
 
+/// Cache-hit attribution for one cache site (label of its [`SpanKind::Cache`]
+/// spans), over the jobs counted by the latency rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheRow {
+    /// Cache span label (e.g. `result-cache`, or the cached facade method).
+    pub name: String,
+    /// Hits inside the window.
+    pub hits: u64,
+    /// Total modeled cost charged by the hit path, milliseconds.
+    pub cost_ms: f64,
+}
+
 /// The aggregated bottleneck report: per-tier CPU shares (the trace-side
 /// analogue of the paper's Figures 12/14), interactions ranked by p99 with
 /// per-tier breakdowns, and lock/queue wait attribution.
@@ -604,6 +621,9 @@ pub struct BottleneckReport {
     pub interactions: Vec<InteractionRow>,
     /// Lock/semaphore waits, sorted by name.
     pub waits: Vec<WaitRow>,
+    /// Cache-hit counts per cache site; empty when the caching tier is off,
+    /// so reports (and their CSVs) are unchanged for uncached runs.
+    pub cache: Vec<CacheRow>,
     /// Window length, microseconds.
     pub window_us: u64,
 }
@@ -685,9 +705,17 @@ impl BottleneckReport {
             net_us: f64,
         }
         let mut per_int: BTreeMap<usize, Acc> = BTreeMap::new();
+        let mut cache_sites: BTreeMap<String, (u64, f64)> = BTreeMap::new();
         for job in &cap.jobs {
             if job.submitted_us < w0 || job.completed_us > w1 {
                 continue;
+            }
+            for s in &job.spans {
+                if s.kind == SpanKind::Cache {
+                    let e = cache_sites.entry(s.label.clone()).or_insert((0, 0.0));
+                    e.0 += 1;
+                    e.1 += s.cost_micros.unwrap_or(0) as f64 / 1_000.0;
+                }
             }
             let acc = per_int.entry(job.interaction).or_insert_with(|| Acc {
                 hist: LatencyHistogram::new(),
@@ -746,7 +774,11 @@ impl BottleneckReport {
                 total_ms: us / 1_000.0,
             })
             .collect();
-        BottleneckReport { machines, interactions, waits, window_us }
+        let cache = cache_sites
+            .into_iter()
+            .map(|(name, (hits, cost_ms))| CacheRow { name, hits, cost_ms })
+            .collect();
+        BottleneckReport { machines, interactions, waits, cache, window_us }
     }
 
     /// Renders the report as a `section,name,metric,value` CSV with fixed
@@ -774,6 +806,12 @@ impl BottleneckReport {
             let _ = writeln!(out, "wait,{},category,{}", w.name, w.category);
             let _ = writeln!(out, "wait,{},count,{}", w.name, w.count);
             let _ = writeln!(out, "wait,{},total_ms,{:.3}", w.name, w.total_ms);
+        }
+        // Cache rows only exist when the caching tier was enabled, keeping
+        // uncached CSVs byte-identical to pre-cache builds.
+        for c in &self.cache {
+            let _ = writeln!(out, "cache,{},hits,{}", c.name, c.hits);
+            let _ = writeln!(out, "cache,{},cost_ms,{:.3}", c.name, c.cost_ms);
         }
         out
     }

@@ -183,10 +183,19 @@ pub struct CommitLedger {
     pub per_interaction: Vec<u64>,
     /// Net committed live-row delta per table catalog id.
     pub row_deltas: BTreeMap<usize, i64>,
+    /// Per-table invalidation-key accounting extracted from committed
+    /// receipts: `(row-keyed invalidation keys, wildcard invalidations)`
+    /// per table catalog id. This is exactly the key stream the caching
+    /// tier consumes at commit time (a primary-key-attributable write
+    /// yields one key per written row; a write the extractor cannot pin to
+    /// rows yields one wildcard), recorded whether or not a cache was
+    /// enabled — rolled-back receipts contribute nothing, which is the
+    /// invariant the cache tests lean on.
+    pub invalidation_keys: BTreeMap<usize, (u64, u64)>,
 }
 
 impl CommitLedger {
-    fn record_commit(&mut self, interaction: Option<usize>, log: &TxnLog) {
+    fn record_commit(&mut self, interaction: Option<usize>, log: &TxnLog, db: &Database) {
         self.committed += 1;
         if let Some(id) = interaction {
             if id >= self.per_interaction.len() {
@@ -197,6 +206,23 @@ impl CommitLedger {
         for (table, delta) in log.row_deltas() {
             *self.row_deltas.entry(table).or_default() += delta;
         }
+        for w in db.write_set(log) {
+            let entry = self.invalidation_keys.entry(w.table).or_default();
+            match &w.rows {
+                Some(rows) => entry.0 += rows.len() as u64,
+                None => entry.1 += 1,
+            }
+        }
+    }
+
+    /// Total row-keyed invalidation keys across all tables.
+    pub fn row_keys(&self) -> u64 {
+        self.invalidation_keys.values().map(|(rows, _)| rows).sum()
+    }
+
+    /// Total wildcard (whole-table) invalidations across all tables.
+    pub fn wildcards(&self) -> u64 {
+        self.invalidation_keys.values().map(|(_, wild)| wild).sum()
     }
 
     /// Net committed row delta for table catalog id `table`.
@@ -416,6 +442,10 @@ impl<'a> WorkloadDriver<'a> {
         pending.sort_by_key(|(seq, _)| std::cmp::Reverse(*seq));
         let n = pending.len() as u64;
         for (_, log) in pending {
+            // Flush dependent method-cache entries (uncounted) before the
+            // rows revert; the result cache purges itself inside
+            // `apply_rollback`.
+            self.middleware.purge_method_tables(&log.touched_tables());
             self.db.apply_rollback(log);
             self.ledger.rolled_back += 1;
         }
@@ -463,6 +493,12 @@ impl<'a> WorkloadDriver<'a> {
     /// with a deadline when the resilience policy sets one.
     fn submit_attempt(&mut self, sim: &mut Simulation, client_id: usize, id: usize) {
         let now = sim.now();
+        // Advance both cache clocks to simulated time before the eager
+        // host-side execution, so TTL freshness is judged at submit time
+        // (no-ops when no cache is enabled, and under transactional
+        // invalidation the clock is never consulted).
+        self.db.set_cache_clock(now.as_micros());
+        self.middleware.set_cache_clock(now.as_micros());
         let seq = self.txn_seq;
         self.txn_seq += 1;
         let client = &mut self.clients[client_id];
@@ -547,7 +583,7 @@ impl Driver for WorkloadDriver<'_> {
         // Job completion is the commit point: record the receipt in the
         // ledger and drop the undo log.
         if let Some((_, log)) = self.clients[client_id].pending_txn.take() {
-            self.ledger.record_commit(self.clients[client_id].current, &log);
+            self.ledger.record_commit(self.clients[client_id].current, &log, self.db);
         }
         if let Some(ts) = &mut self.trace {
             if let Some(p) = ts.pending.remove(&done.id) {
@@ -603,6 +639,10 @@ impl Driver for WorkloadDriver<'_> {
         // must not survive: roll the transaction back before anything else
         // (in particular before a retry re-executes the interaction).
         if let Some((_, log)) = self.clients[client_id].pending_txn.take() {
+            // Aborted writes never published: flush dependent method-cache
+            // entries (uncounted — this is coherence, not invalidation)
+            // before the rows revert, then unwind the transaction.
+            self.middleware.purge_method_tables(&log.touched_tables());
             self.db.apply_rollback(log);
             self.ledger.rolled_back += 1;
         }

@@ -7,17 +7,58 @@ use crate::driver::{
 use crate::fault::{ChaosOptions, FaultSpec, ResilienceConfig};
 use crate::mix::Mix;
 use dynamid_core::{
-    AdmissionControl, Application, CostModel, InstallOptions, Middleware, StandardConfig,
+    AdmissionControl, Application, CachePolicy, CacheScope, CostModel, InstallOptions,
+    MethodCacheConfig, MethodCacheStats, Middleware, StandardConfig,
 };
 use dynamid_sim::{
     EngineStats, ErrorCounters, GrantPolicy, LockStats, SimDuration, SimTime, Simulation,
 };
-use dynamid_sqldb::Database;
+use dynamid_sqldb::{Database, ResultCacheConfig};
 use dynamid_trace::TraceCapture;
 
 /// One-way LAN latency between the paper's machines (switched 100 Mb/s
 /// Ethernet).
 pub const LAN_LATENCY: SimDuration = SimDuration::from_micros(100);
+
+/// Caching-tier counters for one run, present in the result only when the
+/// spec enabled caching via [`ExperimentSpec::caching`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Result-cache hits inside the database tier.
+    pub query_hits: u64,
+    /// Result-cache misses (cacheable statements that executed).
+    pub query_misses: u64,
+    /// Result-cache entries dropped by commit-driven invalidation.
+    pub query_invalidations: u64,
+    /// Result-cache lookups bypassed because the open transaction had
+    /// written one of the statement's read tables.
+    pub query_bypasses: u64,
+    /// Middleware session-façade method-cache counters (all zero outside
+    /// EJB configurations).
+    pub method: MethodCacheStats,
+}
+
+impl CacheStats {
+    /// Hit rate of the query result cache (0 when it never looked up).
+    pub fn query_hit_rate(&self) -> f64 {
+        let total = self.query_hits + self.query_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.query_hits as f64 / total as f64
+        }
+    }
+
+    /// Hit rate of the method cache (0 when it never looked up).
+    pub fn method_hit_rate(&self) -> f64 {
+        let total = self.method.hits + self.method.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.method.hits as f64 / total as f64
+        }
+    }
+}
 
 /// Everything measured by one experiment run (one configuration at one
 /// client count).
@@ -55,6 +96,8 @@ pub struct ExperimentResult {
     pub ledger: CommitLedger,
     /// Span trace of the run, present only when the spec enabled tracing.
     pub trace: Option<TraceCapture>,
+    /// Caching-tier counters, present only when the spec enabled caching.
+    pub cache_stats: Option<CacheStats>,
 }
 
 impl ExperimentResult {
@@ -95,6 +138,7 @@ pub struct ExperimentSpec<'a> {
     chaos: ChaosOptions,
     tracing: bool,
     defer_unwind: bool,
+    caching: Option<CachePolicy>,
 }
 
 impl<'a> ExperimentSpec<'a> {
@@ -110,6 +154,7 @@ impl<'a> ExperimentSpec<'a> {
             chaos: ChaosOptions::default(),
             tracing: false,
             defer_unwind: false,
+            caching: None,
         }
     }
 
@@ -170,6 +215,19 @@ impl<'a> ExperimentSpec<'a> {
         self
     }
 
+    /// Enables the transactional caching tier: the database-tier read-query
+    /// result cache and/or the middleware session-façade method cache,
+    /// per the policy's [`scope`](CachePolicy::scope). Off by default (the
+    /// paper's setup); the result's
+    /// [`cache_stats`](ExperimentResult::cache_stats) is populated when on.
+    /// The result cache is enabled on the database for the duration of the
+    /// run and disabled again before returning, so the caller's database is
+    /// left in its baseline mode.
+    pub fn caching(mut self, policy: CachePolicy) -> Self {
+        self.caching = Some(policy);
+        self
+    }
+
     /// Skip the end-of-run database unwind of in-flight transactions,
     /// leaving their writes in place (ledger accounting is unchanged: they
     /// still count as rolled back). Only correct when the caller restores
@@ -197,13 +255,33 @@ impl<'a> ExperimentSpec<'a> {
         if self.tracing {
             sim.enable_tracing();
         }
+        let query_cache = self
+            .caching
+            .is_some_and(|p| matches!(p.scope, CacheScope::QueryResults | CacheScope::Both));
+        if let Some(p) = self.caching {
+            if query_cache {
+                db.enable_result_cache(ResultCacheConfig {
+                    capacity: p.capacity,
+                    invalidation: p.invalidation,
+                });
+            }
+        }
+        let db_stats_before = db.stats();
         let middleware = Middleware::install_opts(
             &mut sim,
             config,
             db,
             app,
             self.costs.clone(),
-            InstallOptions { admission: self.chaos.admission, tracing: self.tracing },
+            InstallOptions {
+                admission: self.chaos.admission,
+                tracing: self.tracing,
+                method_cache: self.caching.and_then(|p| {
+                    matches!(p.scope, CacheScope::Methods | CacheScope::Both).then_some(
+                        MethodCacheConfig { capacity: p.capacity, invalidation: p.invalidation },
+                    )
+                }),
+            },
         );
         let total = workload.total();
         if let Some(spec) = self.chaos.faults {
@@ -246,6 +324,22 @@ impl<'a> ExperimentSpec<'a> {
         let goodput_ipm = metrics.goodput_ipm(measure);
         let latency_p99 = metrics.latency.quantile(0.99);
         let errors = metrics.errors_detail;
+        let cache_stats = self.caching.map(|_| {
+            let s1 = db.stats();
+            let s0 = db_stats_before;
+            CacheStats {
+                query_hits: s1.result_cache_hits.saturating_sub(s0.result_cache_hits),
+                query_misses: s1.result_cache_misses.saturating_sub(s0.result_cache_misses),
+                query_invalidations: s1
+                    .result_cache_invalidations
+                    .saturating_sub(s0.result_cache_invalidations),
+                query_bypasses: s1.result_cache_bypasses.saturating_sub(s0.result_cache_bypasses),
+                method: middleware.method_cache_stats().unwrap_or_default(),
+            }
+        });
+        if query_cache {
+            db.disable_result_cache();
+        }
         ExperimentResult {
             config,
             clients,
@@ -261,6 +355,7 @@ impl<'a> ExperimentSpec<'a> {
             latency_p99,
             ledger,
             trace,
+            cache_stats,
         }
     }
 }
@@ -301,8 +396,23 @@ mod tests {
             let key = rng.uniform_i64(1, 50);
             match id {
                 0 => {
-                    let r = ctx.query("SELECT v FROM counters WHERE id = ?", &[Value::Int(key)])?;
-                    let v = r.rows.first().and_then(|r| r[0].as_int()).unwrap_or(0);
+                    let v = if matches!(ctx.style(), LogicStyle::EntityBean) {
+                        // Read-only façade, eligible for the method cache
+                        // (identical to a plain façade when none is
+                        // installed).
+                        ctx.facade_cached("Counter.read", &[Value::Int(key)], |em| {
+                            match em.find("counters", Value::Int(key))? {
+                                Some(h) => em.get(h, "v"),
+                                None => Ok(Value::Int(0)),
+                            }
+                        })?
+                        .as_int()
+                        .unwrap_or(0)
+                    } else {
+                        let r =
+                            ctx.query("SELECT v FROM counters WHERE id = ?", &[Value::Int(key)])?;
+                        r.rows.first().and_then(|r| r[0].as_int()).unwrap_or(0)
+                    };
                     ctx.emit(&format!("<html>{v}</html>"));
                 }
                 _ => {
@@ -558,6 +668,133 @@ mod tests {
         let count = db.execute("SELECT COUNT(*) FROM counters", &[]).unwrap();
         assert_eq!(count.rows[0][0].as_int().unwrap(), 50);
         assert!(r.ledger.row_deltas.values().all(|d| *d == 0));
+        // Invalidation-key extraction: each committed Write updated exactly
+        // one primary-keyed row, so the ledger's key stream is one row key
+        // per committed write, no wildcards — and the rolled-back
+        // transactions (including deadline and fault aborts) contributed
+        // nothing, despite having executed their writes eagerly.
+        let counters_id = db.table_index("counters").unwrap();
+        assert_eq!(
+            r.ledger.invalidation_keys.get(&counters_id).copied().unwrap_or_default(),
+            (committed_writes, 0)
+        );
+        assert_eq!(r.ledger.row_keys(), committed_writes);
+        assert_eq!(r.ledger.wildcards(), 0);
+    }
+
+    #[test]
+    fn query_cache_serves_hits_and_keeps_the_commit_oracle() {
+        use dynamid_core::{CacheInvalidation, CachePolicy, CacheScope};
+
+        let mix = mini_mix();
+        let mut db = mini_db();
+        let r = ExperimentSpec::for_config(StandardConfig::PhpColocated)
+            .mix(&mix)
+            .workload(quick(20))
+            .caching(CachePolicy {
+                capacity: 256,
+                scope: CacheScope::QueryResults,
+                invalidation: CacheInvalidation::Transactional,
+            })
+            .run(&mut db, &MiniApp);
+        let cs = r.cache_stats.expect("cache stats populated");
+        assert!(cs.query_hits > 0, "no result-cache hits: {cs:?}");
+        assert!(cs.query_misses > 0);
+        assert!(cs.query_invalidations > 0, "committed writes must invalidate");
+        // Caching is a read-path shortcut: every write still executed, so
+        // the committed-ledger oracle must hold exactly.
+        let committed_writes = r.ledger.per_interaction.get(1).copied().unwrap_or(0);
+        let total = db.execute("SELECT SUM(v) FROM counters", &[]).unwrap();
+        assert_eq!(total.rows[0][0].as_int().unwrap_or(0), committed_writes as i64);
+        // The run leaves the database back in baseline (cache-off) mode.
+        assert!(!db.result_cache_enabled());
+    }
+
+    #[test]
+    fn method_cache_lifts_ejb_throughput() {
+        use dynamid_core::{CacheInvalidation, CachePolicy, CacheScope};
+
+        let mix = mini_mix();
+        let mut db1 = mini_db();
+        let plain = ExperimentSpec::for_config(StandardConfig::EjbFourTier)
+            .mix(&mix)
+            .workload(quick(30))
+            .run(&mut db1, &MiniApp);
+        let mut db2 = mini_db();
+        let cached = ExperimentSpec::for_config(StandardConfig::EjbFourTier)
+            .mix(&mix)
+            .workload(quick(30))
+            .caching(CachePolicy {
+                capacity: 256,
+                scope: CacheScope::Both,
+                invalidation: CacheInvalidation::Transactional,
+            })
+            .run(&mut db2, &MiniApp);
+        assert!(plain.cache_stats.is_none());
+        let cs = cached.cache_stats.expect("cache stats populated");
+        assert!(cs.method.hits > 0, "no method-cache hits: {cs:?}");
+        assert!(
+            cached.throughput_ipm >= plain.throughput_ipm,
+            "caching must not lose throughput: {} vs {}",
+            cached.throughput_ipm,
+            plain.throughput_ipm
+        );
+        // Correctness under caching: the commit oracle holds.
+        let committed_writes = cached.ledger.per_interaction.get(1).copied().unwrap_or(0);
+        let total = db2.execute("SELECT SUM(v) FROM counters", &[]).unwrap();
+        assert_eq!(total.rows[0][0].as_int().unwrap_or(0), committed_writes as i64);
+    }
+
+    #[test]
+    fn ttl_caching_still_satisfies_the_commit_oracle() {
+        use dynamid_core::{CacheInvalidation, CachePolicy, CacheScope};
+
+        // Stale reads are the TTL ablation's point — but the write path
+        // never goes through the cache, so database state and ledger stay
+        // exact even with a very long TTL.
+        let mix = mini_mix();
+        let mut db = mini_db();
+        let r = ExperimentSpec::for_config(StandardConfig::PhpColocated)
+            .mix(&mix)
+            .workload(quick(20))
+            .caching(CachePolicy {
+                capacity: 256,
+                scope: CacheScope::QueryResults,
+                invalidation: CacheInvalidation::Ttl(10_000_000),
+            })
+            .run(&mut db, &MiniApp);
+        let cs = r.cache_stats.expect("cache stats populated");
+        assert!(cs.query_hits > 0);
+        // TTL mode never invalidates at commit.
+        assert_eq!(cs.query_invalidations, 0);
+        let committed_writes = r.ledger.per_interaction.get(1).copied().unwrap_or(0);
+        let total = db.execute("SELECT SUM(v) FROM counters", &[]).unwrap();
+        assert_eq!(total.rows[0][0].as_int().unwrap_or(0), committed_writes as i64);
+    }
+
+    #[test]
+    fn cached_runs_replay_bit_identically() {
+        use dynamid_core::{CacheInvalidation, CachePolicy, CacheScope};
+
+        let mix = mini_mix();
+        let run = || {
+            let mut db = mini_db();
+            ExperimentSpec::for_config(StandardConfig::EjbFourTier)
+                .mix(&mix)
+                .workload(quick(15))
+                .caching(CachePolicy {
+                    capacity: 128,
+                    scope: CacheScope::Both,
+                    invalidation: CacheInvalidation::Transactional,
+                })
+                .run(&mut db, &MiniApp)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.metrics.completed, b.metrics.completed);
+        assert_eq!(a.throughput_ipm, b.throughput_ipm);
+        assert_eq!(a.cache_stats, b.cache_stats);
     }
 
     #[test]

@@ -22,6 +22,6 @@ pub mod fault;
 pub mod mix;
 
 pub use driver::{CommitLedger, ResourceWindow, WorkloadConfig, WorkloadDriver, WorkloadMetrics};
-pub use experiment::{ExperimentResult, ExperimentSpec, LAN_LATENCY};
+pub use experiment::{CacheStats, ExperimentResult, ExperimentSpec, LAN_LATENCY};
 pub use fault::{ChaosOptions, FaultSpec, ResilienceConfig};
 pub use mix::{Mix, TransitionMatrix};

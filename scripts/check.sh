@@ -76,4 +76,15 @@ cargo run --release -q -p dynamid-harness --bin repro -- \
 cmp "results/golden/avail.csv" "$golden_tmp/avail.csv" \
   || { echo "FAIL: avail.csv drifted from results/golden/avail.csv" >&2; exit 1; }
 
+echo "== cache-ablation smoke is byte-identical to results/golden"
+# The pinned grid audits every point (off/transactional points must be
+# clean or the run panics) and fails unless transactional caching lifts
+# EJB browsing throughput >=30% at the top client count, so a zero exit
+# certifies both coherence and the headline uplift; the byte-compare then
+# pins the exact numbers.
+cargo run --release -q -p dynamid-harness --bin repro -- \
+  --quiet --jobs 4 --out "$golden_tmp" cache --smoke >/dev/null
+cmp "results/golden/cache.csv" "$golden_tmp/cache.csv" \
+  || { echo "FAIL: cache.csv drifted from results/golden/cache.csv" >&2; exit 1; }
+
 echo "All checks passed."
